@@ -1,0 +1,103 @@
+"""Ablation: what guided search buys -- and when it is unavailable.
+
+Section 2.2 of the paper explains why its algorithms do not use
+Euclidean bounds: in general graphs the coordinates may not exist, and
+even when they do the weights may not respect them.  This ablation
+quantifies the other side of that trade-off on the one network class
+where bounds *are* valid (the SF-like spatial graph, weights =
+Euclidean lengths):
+
+* plain Dijkstra (the paper's baseline machinery),
+* A* with the Euclidean bound (valid here only),
+* A* with ALT landmark bounds (valid on any graph, needs
+  preprocessing),
+* bidirectional Dijkstra (valid on any graph, no preprocessing).
+
+Settled-node counts are machine-independent; all methods return
+identical distances by construction (asserted).
+"""
+
+import random
+import statistics
+import time
+
+from repro.bench.report import format_table, save_report
+from repro.paths.astar import astar_path, euclidean_heuristic
+from repro.paths.bidirectional import bidirectional_search
+from repro.paths.dijkstra import shortest_path
+from repro.paths.landmarks import LandmarkIndex
+
+QUERY_PAIRS = 20
+LANDMARKS = 8
+
+
+def test_ablation_guided_search(benchmark, spatial_graph, profile):
+    rng = random.Random(17)
+    pairs = [
+        tuple(rng.sample(range(spatial_graph.num_nodes), 2))
+        for _ in range(QUERY_PAIRS)
+    ]
+
+    def experiment():
+        rows = []
+        start = time.perf_counter()
+        landmarks = LandmarkIndex.build(
+            spatial_graph, spatial_graph.num_nodes, count=LANDMARKS, seed=5
+        )
+        alt_preprocess_s = time.perf_counter() - start
+
+        def run(name, fn, preprocess_s=0.0):
+            settled, times, dists = [], [], []
+            for u, v in pairs:
+                start = time.perf_counter()
+                result = fn(u, v)
+                times.append(time.perf_counter() - start)
+                settled.append(result.nodes_settled)
+                dists.append(result.distance)
+            rows.append({
+                "method": name,
+                "preprocess_s": round(preprocess_s, 2),
+                "settled": round(statistics.fmean(settled), 1),
+                "query_ms": round(1000 * statistics.fmean(times), 3),
+            })
+            return dists
+
+        reference = run("dijkstra", lambda u, v: shortest_path(spatial_graph, u, v))
+        euclid = run(
+            "a* euclid",
+            lambda u, v: astar_path(
+                spatial_graph, u, v,
+                heuristic=euclidean_heuristic(spatial_graph.coords, v),
+            ),
+        )
+        alt = run(
+            "a* alt",
+            lambda u, v: astar_path(
+                spatial_graph, u, v, heuristic=landmarks.heuristic(v)
+            ),
+            preprocess_s=alt_preprocess_s,
+        )
+        bidi = run(
+            "bidirectional",
+            lambda u, v: bidirectional_search(spatial_graph, u, v),
+        )
+        for other in (euclid, alt, bidi):
+            for a, b in zip(reference, other):
+                assert abs(a - b) <= 1e-6 * max(a, 1.0)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- guided shortest-path search (SF-like spatial graph)", rows
+    )
+    print("\n" + text)
+    save_report("ablation_astar", text)
+
+    if profile.name == "smoke":
+        return
+
+    settled = {row["method"]: row["settled"] for row in rows}
+    # every guided variant beats blind expansion on spatial long hauls
+    assert settled["a* euclid"] < settled["dijkstra"]
+    assert settled["bidirectional"] < settled["dijkstra"]
+    assert settled["a* alt"] <= settled["dijkstra"]

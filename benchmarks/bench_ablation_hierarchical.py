@@ -1,0 +1,101 @@
+"""Ablation: hierarchical partial materialization for distance queries.
+
+Section 2.2 motivates HiTi/HEPV: full materialization of a 100K-node
+graph needs ~5x10^9 distances, so hierarchical schemes trade a small
+super-graph search for quadratically less storage.  This ablation
+sweeps the fragment size and reports storage entries, build time and
+the per-query settled-node count against flat point-to-point Dijkstra
+-- the trade-off curve a deployment must choose a point on.
+
+The graph is a quarter-scale spatial network: intra-fragment tables
+grow with ``|V| * fragment_size``, and the sweep's purpose is the
+curve shape, not absolute size.
+"""
+
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.bench.report import format_table, save_report
+from repro.datasets.spatial import generate_spatial
+from repro.hier.hepv import HierarchicalDistanceIndex
+from repro.paths.dijkstra import shortest_path
+
+FRAGMENT_SIZES = (8, 32, 128)
+QUERY_PAIRS = 20
+
+
+@pytest.fixture(scope="module")
+def hier_graph(profile):
+    return generate_spatial(max(400, profile.spatial_nodes // 4), seed=42)
+
+
+def test_ablation_hierarchical_distance(benchmark, hier_graph, profile):
+    rng = random.Random(3)
+    pairs = [
+        tuple(rng.sample(range(hier_graph.num_nodes), 2))
+        for _ in range(QUERY_PAIRS)
+    ]
+
+    def experiment():
+        rows = []
+
+        settled, times = [], []
+        for u, v in pairs:
+            start = time.perf_counter()
+            result = shortest_path(hier_graph, u, v)
+            times.append(time.perf_counter() - start)
+            settled.append(result.nodes_settled)
+        rows.append({
+            "config": "flat dijkstra",
+            "storage": 0,
+            "build_s": 0.0,
+            "settled": round(statistics.fmean(settled), 1),
+            "query_ms": round(1000 * statistics.fmean(times), 3),
+        })
+
+        for size in FRAGMENT_SIZES:
+            start = time.perf_counter()
+            index = HierarchicalDistanceIndex.build(
+                hier_graph, fragment_size=size
+            )
+            build_s = time.perf_counter() - start
+            times = []
+            baseline_settled = index.stats.super_settled
+            for u, v in pairs:
+                start = time.perf_counter()
+                index.distance(u, v)
+                times.append(time.perf_counter() - start)
+            per_query = (index.stats.super_settled - baseline_settled) / len(pairs)
+            rows.append({
+                "config": f"hepv s={size}",
+                "storage": index.storage_entries,
+                "build_s": round(build_s, 2),
+                "settled": round(per_query, 1),
+                "query_ms": round(1000 * statistics.fmean(times), 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    full = HierarchicalDistanceIndex.full_materialization_entries(
+        hier_graph.num_nodes
+    )
+    text = format_table(
+        f"Ablation -- hierarchical distance index (spatial |V|="
+        f"{hier_graph.num_nodes}; full materialization = {full} entries)",
+        rows,
+    )
+    print("\n" + text)
+    save_report("ablation_hierarchical", text)
+
+    if profile.name == "smoke":
+        return
+
+    # every configuration stores far less than the full matrix ...
+    for row in rows[1:]:
+        assert row["storage"] < full / 4
+    # ... and settles fewer nodes per query than flat Dijkstra
+    flat = rows[0]["settled"]
+    assert min(row["settled"] for row in rows[1:]) < flat

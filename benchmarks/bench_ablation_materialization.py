@@ -1,0 +1,65 @@
+"""Ablation: the price and payoff of materialization.
+
+The paper's all-NN algorithm (Fig. 8) builds every node's K-NN list in
+one network pass with complexity O(K |E| log(K |E|)), and Section 4.1
+argues the space cost is O(K |V|).  This ablation measures, for growing
+K: the build time, the on-disk size of the list file, and the query
+speedup eager-M buys over plain eager -- the complete trade-off a user
+must weigh before enabling materialization.
+"""
+
+import time
+
+from benchmarks.conftest import make_spatial_db, spatial_queries
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, save_report
+
+DENSITY = 0.01
+
+
+def test_ablation_materialization_tradeoff(benchmark, spatial_graph, profile):
+    def experiment():
+        rows = []
+        baseline = None
+        for capacity in (0,) + tuple(profile.capacity_values):
+            db = make_spatial_db(spatial_graph, profile, DENSITY)
+            build_s = 0.0
+            pages = 0
+            if capacity > 0:
+                start = time.perf_counter()
+                db.materialize(capacity)
+                build_s = time.perf_counter() - start
+                pages = db.materialized.store.num_pages
+            queries = spatial_queries(db, profile)
+            method = "eager-m" if capacity > 0 else "eager"
+            k = min(capacity, 1) if capacity > 0 else 1
+            cost = run_workload(db, queries, k=max(1, k), method=method)
+            if capacity == 0:
+                baseline = cost.total_mean_s
+            speedup = baseline / cost.total_mean_s if cost.total_mean_s else 0.0
+            rows.append({
+                "K": capacity or "-",
+                "method": method,
+                "build_s": round(build_s, 2),
+                "list_pages": pages,
+                "io": round(cost.io_mean, 1),
+                "total_s": round(cost.total_mean_s, 4),
+                "speedup": round(speedup, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation -- materialization trade-off (SF-like, D=0.01, k=1)", rows
+    )
+    print("\n" + text)
+    save_report("ablation_materialization", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # space grows with K ...
+    pages = [r["list_pages"] for r in rows if r["K"] != "-"]
+    assert pages == sorted(pages)
+    # ... and eager-M with K=1 is at least as fast as plain eager
+    assert rows[1]["total_s"] <= rows[0]["total_s"] * 1.25

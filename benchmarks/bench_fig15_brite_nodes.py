@@ -1,0 +1,52 @@
+"""Figure 15: cost versus |V| on BRITE topologies (D = 0.01, k = 1).
+
+Paper setting: preferential-attachment internet topologies exhibit
+*exponential expansion* -- a few hops reach most of the network -- so
+the lazy variants end up visiting most of the graph while the eager
+variants prune early.  Expected shape: eager and eager-M beat lazy and
+lazy-EP by a wide margin, eager-M cheapest overall.
+"""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+from repro.datasets.brite import generate_brite
+from repro.datasets.workload import data_queries, place_node_points
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+DENSITY = 0.01
+
+
+def test_fig15_node_sweep(benchmark, profile):
+    def experiment():
+        rows = []
+        for num_nodes in profile.brite_nodes:
+            graph = generate_brite(num_nodes, seed=21)
+            points = place_node_points(graph, DENSITY, seed=22)
+            db = GraphDatabase(graph, points,
+                               buffer_pages=profile.buffer_pages)
+            db.materialize(2)  # K = k + 1 covers the excluded query point
+            queries = data_queries(points, count=profile.workload_size, seed=23)
+            for method in METHODS:
+                cost = run_workload(db, queries, k=1, method=method)
+                rows.append({"|V|": num_nodes, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        "Figure 15 -- cost vs |V| (BRITE, D=0.01, k=1)", rows, group_by="|V|"
+    )
+    print("\n" + text)
+    save_report("fig15_brite_nodes", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape: at the largest size, the eager variants beat the lazy ones
+    largest = [r for r in rows if r["|V|"] == profile.brite_nodes[-1]]
+    total = {r["method"]: r["total_s"] for r in largest}
+    assert total["eager"] < total["lazy"]
+    assert total["eager-m"] < total["lazy"]
+    assert total["eager-m"] <= total["eager"]

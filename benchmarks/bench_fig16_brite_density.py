@@ -1,0 +1,60 @@
+"""Figure 16: cost versus density on a fixed BRITE topology (k = 1).
+
+Paper setting: |V| fixed, D swept.  Expected shape: lazy and lazy-EP
+visit most of the network regardless of density (exponential
+expansion), while eager and eager-M improve significantly at higher
+densities because every node is quickly surrounded by data points.
+"""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+from repro.datasets.brite import generate_brite
+from repro.datasets.workload import data_queries, place_node_points
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+
+
+@pytest.fixture(scope="module")
+def brite_graph(profile):
+    return generate_brite(profile.brite_fixed_nodes, seed=31)
+
+
+def test_fig16_density_sweep(benchmark, brite_graph, profile):
+    densities = [d for d in profile.densities if d >= 0.005]
+
+    def experiment():
+        rows = []
+        for density in densities:
+            points = place_node_points(brite_graph, density, seed=32)
+            db = GraphDatabase(brite_graph, points,
+                               buffer_pages=profile.buffer_pages)
+            db.materialize(2)
+            queries = data_queries(points, count=profile.workload_size, seed=33)
+            for method in METHODS:
+                cost = run_workload(db, queries, k=1, method=method)
+                rows.append({"D": density, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        f"Figure 16 -- cost vs D (BRITE, |V|={profile.brite_fixed_nodes}, k=1)",
+        rows, group_by="D",
+    )
+    print("\n" + text)
+    save_report("fig16_brite_density", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape 1: eager improves substantially from the lowest to the
+    # highest density
+    eager = [r["total_s"] for r in rows if r["method"] == "eager"]
+    assert eager[-1] < eager[0]
+    # shape 2: at high density the eager variants clearly beat lazy
+    highest = [r for r in rows if r["D"] == densities[-1]]
+    total = {r["method"]: r["total_s"] for r in highest}
+    assert total["eager"] < total["lazy"]
+    assert total["eager-m"] < total["lazy"]

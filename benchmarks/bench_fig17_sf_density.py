@@ -1,0 +1,49 @@
+"""Figure 17: cost versus density on the San-Francisco-like road network.
+
+Paper setting: unrestricted network (points on edges), k = 1, density
+swept.  Expected shape: eager beats lazy on I/O but loses on CPU;
+lazy-EP helps lazy at low densities; eager-M has the lowest total cost;
+everything improves with density (no exponential expansion here).
+"""
+
+from benchmarks.conftest import make_spatial_db, spatial_queries
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+
+
+def test_fig17_density_sweep(benchmark, spatial_graph, profile):
+    densities = profile.densities
+
+    def experiment():
+        rows = []
+        for density in densities:
+            db = make_spatial_db(spatial_graph, profile, density, capacity=2)
+            queries = spatial_queries(db, profile)
+            for method in METHODS:
+                cost = run_workload(db, queries, k=1, method=method)
+                rows.append({"D": density, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure("Figure 17 -- cost vs D (SF, k=1)", rows, group_by="D")
+    print("\n" + text)
+    save_report("fig17_sf_density", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    lowest = [r for r in rows if r["D"] == densities[0]]
+    total = {r["method"]: r["total_s"] for r in lowest}
+    io = {r["method"]: r["io"] for r in lowest}
+    cpu = {r["method"]: r["cpu_s"] for r in lowest}
+    # eager: better I/O than lazy, worse CPU
+    assert io["eager"] <= io["lazy"]
+    assert cpu["eager"] >= cpu["lazy"]
+    # eager-M is the best overall choice
+    assert total["eager-m"] == min(total.values())
+    # every method improves as density rises
+    for method in METHODS:
+        totals = [r["total_s"] for r in rows if r["method"] == method]
+        assert totals[-1] <= totals[0]

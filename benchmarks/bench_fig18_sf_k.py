@@ -1,0 +1,49 @@
+"""Figure 18: cost versus k on the San-Francisco-like network (D = 0.01).
+
+Paper setting: RkNN for k in 1..8 over edge points.  Expected shape:
+every method degrades with k; lazy degrades fastest (its verification
+pruning weakens), lazy-EP scales better than lazy; eager-M's I/O grows
+with k (bigger materialized lists to read) and approaches eager's by
+k = 8.
+"""
+
+from benchmarks.conftest import make_spatial_db, spatial_queries
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+DENSITY = 0.01
+
+
+def test_fig18_k_sweep(benchmark, spatial_graph, profile):
+    k_values = profile.k_values
+    capacity = max(k_values) + 1
+
+    def experiment():
+        db = make_spatial_db(spatial_graph, profile, DENSITY, capacity=capacity)
+        queries = spatial_queries(db, profile)
+        rows = []
+        for k in k_values:
+            for method in METHODS:
+                cost = run_workload(db, queries, k=k, method=method)
+                rows.append({"k": k, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        f"Figure 18 -- cost vs k (SF, D={DENSITY})", rows, group_by="k"
+    )
+    print("\n" + text)
+    save_report("fig18_sf_k", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape 1: every method is more expensive at max k than at k=1
+    for method in METHODS:
+        totals = [r["total_s"] for r in rows if r["method"] == method]
+        assert totals[-1] >= totals[0]
+    # shape 2: lazy deteriorates at least as fast as lazy-EP
+    lazy = [r["total_s"] for r in rows if r["method"] == "lazy"]
+    lazy_ep = [r["total_s"] for r in rows if r["method"] == "lazy-ep"]
+    assert lazy[-1] / max(lazy[0], 1e-9) >= 0.5 * lazy_ep[-1] / max(lazy_ep[0], 1e-9)

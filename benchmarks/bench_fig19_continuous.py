@@ -1,0 +1,52 @@
+"""Figure 19: continuous RkNN cost versus route size (SF, D = 0.01, k = 1).
+
+Paper setting: routes are random simple walks; a continuous query
+returns the union of the RkNN sets of every route node.  Expected
+shape: eager/eager-M grow roughly linearly with route length; the lazy
+variants first get *cheaper* (longer routes discover points earlier,
+shrinking verification ranges) before rising again as the result set
+grows.
+"""
+
+from benchmarks.conftest import make_spatial_db
+from repro.bench.harness import run_continuous_workload
+from repro.bench.report import format_figure, save_report
+from repro.datasets.workload import random_routes
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+DENSITY = 0.01
+
+
+def test_fig19_route_sweep(benchmark, spatial_graph, profile):
+    lengths = profile.route_lengths
+
+    def experiment():
+        db = make_spatial_db(spatial_graph, profile, DENSITY, capacity=2)
+        rows = []
+        for length in lengths:
+            routes = random_routes(
+                db.graph, length, count=profile.workload_size, seed=61
+            )
+            for method in METHODS:
+                cost = run_continuous_workload(db, routes, k=1, method=method)
+                rows.append({"route": length, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        f"Figure 19 -- continuous queries vs route size (SF, D={DENSITY}, k=1)",
+        rows, group_by="route",
+    )
+    print("\n" + text)
+    save_report("fig19_continuous", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape: eager's cost grows with the route length
+    eager = [r["total_s"] for r in rows if r["method"] == "eager"]
+    assert eager[-1] >= eager[0]
+    # result sets grow with route length for every method
+    for method in METHODS:
+        sizes = [r["|result|"] for r in rows if r["method"] == method]
+        assert sizes[-1] >= sizes[0]

@@ -1,0 +1,83 @@
+"""Figure 20: synthetic grid maps -- cost vs |V| and vs average degree.
+
+Paper setting: grid networks (restricted points, D = 0.01, k = 1).
+Expected shapes: (a) |V| barely matters because expansions terminate
+around the query; (b) cost grows with the average degree, and lazy-EP
+scales worst (its second heap re-expands every extra edge).
+"""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import data_queries, place_node_points
+
+METHODS = ("eager", "eager-m", "lazy", "lazy-ep")
+DENSITY = 0.01
+
+
+def _run_grid(graph, profile):
+    points = place_node_points(graph, DENSITY, seed=71)
+    db = GraphDatabase(graph, points, buffer_pages=profile.buffer_pages)
+    db.materialize(2)
+    queries = data_queries(points, count=profile.workload_size, seed=72)
+    return [
+        run_workload(db, queries, k=1, method=method).row()
+        for method in METHODS
+    ]
+
+
+def test_fig20a_node_sweep(benchmark, profile):
+    def experiment():
+        rows = []
+        for num_nodes in profile.grid_nodes:
+            graph = generate_grid(num_nodes, average_degree=4.0, seed=73)
+            for row in _run_grid(graph, profile):
+                rows.append({"|V|": graph.num_nodes, **row})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure("Figure 20a -- cost vs |V| (grid, degree 4)", rows,
+                         group_by="|V|")
+    print("\n" + text)
+    save_report("fig20a_grid_nodes", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape: |V| has no serious effect -- the largest grid costs at most
+    # a small multiple of the smallest for each method
+    for method in METHODS:
+        totals = [r["total_s"] for r in rows if r["method"] == method]
+        assert totals[-1] <= 5 * max(totals[0], 1e-6)
+
+
+@pytest.mark.parametrize("degrees", [(4.0, 5.0, 6.0)])
+def test_fig20b_degree_sweep(benchmark, profile, degrees):
+    def experiment():
+        rows = []
+        for degree in degrees:
+            graph = generate_grid(
+                profile.grid_fixed_nodes, average_degree=degree, seed=74
+            )
+            for row in _run_grid(graph, profile):
+                rows.append({"degree": degree, **row})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        f"Figure 20b -- cost vs degree (grid, |V|={profile.grid_fixed_nodes})",
+        rows, group_by="degree",
+    )
+    print("\n" + text)
+    save_report("fig20b_grid_degree", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape: higher degree means more work for every method
+    for method in METHODS:
+        visited = [r["visited"] for r in rows if r["method"] == method]
+        assert visited[-1] >= 0.5 * visited[0]

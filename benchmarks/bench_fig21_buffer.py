@@ -1,0 +1,53 @@
+"""Figure 21: cost versus LRU buffer size (SF, D = 0.01, k = 1).
+
+Paper setting: the buffer is swept from 0 (every access faults) up to
+sizes that hold the whole working set.  Expected shape: at buffer = 0
+eager is far worse than lazy (its range-NN probes revisit the same
+pages), but a small buffer fixes that; eager stabilizes with a smaller
+buffer than lazy because it visits fewer distinct pages.
+"""
+
+from benchmarks.conftest import make_spatial_db, spatial_queries
+from repro.bench.harness import run_workload
+from repro.bench.report import format_figure, save_report
+
+METHODS = ("eager", "lazy")
+DENSITY = 0.01
+
+
+def test_fig21_buffer_sweep(benchmark, spatial_graph, profile):
+    sizes = profile.buffer_sizes
+
+    def experiment():
+        rows = []
+        for buffer_pages in sizes:
+            db = make_spatial_db(
+                spatial_graph, profile, DENSITY, buffer_pages=buffer_pages
+            )
+            queries = spatial_queries(db, profile)
+            for method in METHODS:
+                cost = run_workload(db, queries, k=1, method=method)
+                rows.append({"buffer": buffer_pages, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_figure(
+        f"Figure 21 -- cost vs buffer size (SF, D={DENSITY}, k=1)",
+        rows, group_by="buffer",
+    )
+    print("\n" + text)
+    save_report("fig21_buffer", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    def series(method):
+        return [r["io"] for r in rows if r["method"] == method]
+
+    eager, lazy = series("eager"), series("lazy")
+    # shape 1: with no buffer, eager faults (much) more than lazy
+    assert eager[0] >= lazy[0]
+    # shape 2: buffering helps eager dramatically
+    assert eager[-1] < 0.25 * eager[0]
+    # shape 3: fully buffered, eager reads no more pages than lazy
+    assert eager[-1] <= lazy[-1]

@@ -1,0 +1,78 @@
+"""Figure 22: maintenance cost of the materialized K-NN lists (SF).
+
+Paper setting: insertions follow the data distribution, deletions pick
+random existing points; the materialized lists are repaired on every
+operation (Section 4.1).  Expected shapes: (a) deletions cost more than
+insertions (two expansion steps) and both get cheaper as density rises
+(smaller influence regions); (b) cost grows with K.
+"""
+
+import random
+
+from benchmarks.conftest import make_spatial_db
+from repro.bench.harness import run_update_workload
+from repro.bench.report import format_table, save_report
+
+DENSITY = 0.01
+
+
+def _update_locations(db, count, seed):
+    rng = random.Random(seed)
+    edges = list(db.graph.edges())
+    inserts = []
+    for _ in range(count):
+        u, v, w = edges[rng.randrange(len(edges))]
+        inserts.append((u, v, rng.uniform(0.0, w)))
+    deletes = rng.sample(sorted(db.points.ids()), min(count, len(db.points)))
+    return inserts, deletes
+
+
+def test_fig22a_updates_vs_density(benchmark, spatial_graph, profile):
+    densities = [d for d in profile.densities if d >= 0.005]
+
+    def experiment():
+        rows = []
+        for density in densities:
+            db = make_spatial_db(spatial_graph, profile, density, capacity=1)
+            inserts, deletes = _update_locations(db, profile.update_count, seed=81)
+            stats = run_update_workload(db, inserts, deletes)
+            rows.append({"D": density, **{k: round(v, 4) for k, v in stats.items()}})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table("Figure 22a -- update cost vs D (SF, K=1)", rows)
+    print("\n" + text)
+    save_report("fig22a_updates_density", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape 1: deletions are more expensive than insertions
+    assert sum(r["delete_io"] for r in rows) >= sum(r["insert_io"] for r in rows)
+    # shape 2: higher density shrinks the influence region
+    assert rows[-1]["insert_io"] <= rows[0]["insert_io"]
+
+
+def test_fig22b_updates_vs_capacity(benchmark, spatial_graph, profile):
+    capacities = profile.capacity_values
+
+    def experiment():
+        rows = []
+        for capacity in capacities:
+            db = make_spatial_db(spatial_graph, profile, DENSITY, capacity=capacity)
+            inserts, deletes = _update_locations(db, profile.update_count, seed=82)
+            stats = run_update_workload(db, inserts, deletes)
+            rows.append({"K": capacity, **{k: round(v, 4) for k, v in stats.items()}})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(f"Figure 22b -- update cost vs K (SF, D={DENSITY})", rows)
+    print("\n" + text)
+    save_report("fig22b_updates_capacity", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape: the I/O overhead increases with K
+    assert rows[-1]["insert_io"] >= rows[0]["insert_io"]
+    assert rows[-1]["delete_io"] >= rows[0]["delete_io"]

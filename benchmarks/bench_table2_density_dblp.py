@@ -1,0 +1,66 @@
+"""Table 2: cost versus data density on the DBLP graph (k = 1).
+
+Paper setting: randomly selected "interesting" authors at density
+D = |P|/|V|; eager and lazy compared.  Expected shape: cost decreases as
+the density grows, the two algorithms incur similar I/O, and eager is
+much more CPU-intensive at low densities (its range-NN probes revisit
+nodes many times).
+"""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.harness import run_workload
+from repro.bench.report import format_table, save_report
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.workload import data_queries, place_node_points
+
+METHODS = ("eager", "lazy")
+
+
+@pytest.fixture(scope="module")
+def dblp_graph(profile):
+    scale = {"smoke": (600, 1_850), "small": (4_260, 13_199),
+             "paper": (4_260, 13_199)}[profile.name]
+    return generate_dblp(num_nodes=scale[0], num_edges=scale[1], seed=1).graph
+
+
+def _dblp_buffer_pages(profile) -> int:
+    """Paper-size graph -> the paper's 1 MB / 256-page buffer (Table 2's
+    'similar I/O, eager more CPU' shape depends on probe re-reads being
+    buffer hits)."""
+    return profile.buffer_pages if profile.name == "smoke" else 256
+
+
+def test_table2_density_sweep(benchmark, dblp_graph, profile):
+    densities = [d for d in profile.densities if d >= 0.005]
+
+    def experiment():
+        rows = []
+        for density in densities:
+            points = place_node_points(dblp_graph, density, seed=5)
+            db = GraphDatabase(dblp_graph, points,
+                               buffer_pages=_dblp_buffer_pages(profile))
+            queries = data_queries(points, count=profile.workload_size, seed=6)
+            for method in METHODS:
+                cost = run_workload(db, queries, k=1, method=method)
+                rows.append({"D": density, **cost.row()})
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table("Table 2 -- cost vs density D (DBLP, k=1)", rows)
+    print("\n" + text)
+    save_report("table2_density_dblp", text)
+
+    if profile.name == "smoke":
+        return  # smoke scale only checks the pipeline; shapes need size
+
+    # shape 1: for each method, cost decreases as density increases
+    for method in METHODS:
+        totals = [r["total_s"] for r in rows if r["method"] == method]
+        assert totals[0] >= totals[-1]
+    # shape 2: eager is more CPU-intensive than lazy at the lowest density
+    lowest = [r for r in rows if r["D"] == densities[0]]
+    eager_cpu = next(r["cpu_s"] for r in lowest if r["method"] == "eager")
+    lazy_cpu = next(r["cpu_s"] for r in lowest if r["method"] == "lazy")
+    assert eager_cpu >= lazy_cpu

@@ -1,0 +1,50 @@
+"""Shared fixtures for the experiment suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Section 6).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale with ``REPRO_BENCH_SCALE`` in {smoke, small, paper}; the default
+``small`` profile is ~10x below the paper's graph sizes (see
+EXPERIMENTS.md for the mapping).  Rendered tables are printed and saved
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.runner import current_profile
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import data_queries, place_edge_points
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return current_profile()
+
+
+@pytest.fixture(scope="session")
+def spatial_graph(profile):
+    """The shared SF-like road network (Figs. 17-19, 21, 22)."""
+    return generate_spatial(profile.spatial_nodes, seed=42)
+
+
+def make_spatial_db(graph, profile, density, *, capacity=None, buffer_pages=None):
+    """An unrestricted database over the shared spatial graph."""
+    points = place_edge_points(graph, density, seed=7)
+    db = GraphDatabase(
+        graph,
+        points,
+        node_order="hilbert",
+        buffer_pages=profile.buffer_pages if buffer_pages is None else buffer_pages,
+    )
+    if capacity is not None:
+        db.materialize(capacity)
+    return db
+
+
+def spatial_queries(db, profile, count=None):
+    return data_queries(db.points, count=count or profile.workload_size, seed=11)

@@ -1,0 +1,56 @@
+"""Ad-hoc RNN queries on a co-authorship graph (paper Section 6.1).
+
+The network is a DBLP-style collaboration graph with unit edge weights,
+so distances are degrees of separation.  An ad-hoc query asks: "for
+which authors *matching a condition* am I the (reverse) nearest
+neighbor?"  Because the interesting set depends on the condition,
+materialization is impossible and only eager and lazy apply -- the
+setting of the paper's Table 1.
+
+Run with:  python examples/dblp_degrees_of_separation.py
+"""
+
+import random
+
+from repro import GraphDatabase, NodePointSet
+from repro.datasets.dblp import generate_dblp
+
+
+def main() -> None:
+    print("generating a DBLP-like co-authorship network...")
+    dblp = generate_dblp(num_nodes=4_260, num_edges=13_199, seed=1)
+    graph = dblp.graph
+    print(f"  {graph.num_nodes} authors, {graph.num_edges} co-author edges "
+          f"(unit weights = degrees of separation)")
+
+    rng = random.Random(9)
+    query_author = rng.randrange(graph.num_nodes)
+
+    for papers in (1, 2, 3):
+        matching = dblp.authors_with_papers(papers)
+        points = NodePointSet({node: node for node in matching})
+        db = GraphDatabase(graph, points, buffer_pages=64)
+        exclude = frozenset(
+            {query_author} if points.point_at(query_author) is not None else set()
+        )
+
+        print(f"\ncondition: exactly {papers} SIGMOD paper(s) "
+              f"({len(matching)} matching authors)")
+        for method in ("eager", "lazy"):
+            db.clear_buffer()
+            result = db.rknn(query_author, k=1, method=method, exclude=exclude)
+            print(
+                f"  {method:6s}: {len(result):3d} authors have the query "
+                f"author as closest match   "
+                f"[{result.io:4d} page I/Os, {result.cpu_seconds * 1000:7.1f} ms CPU]"
+            )
+
+        db.clear_buffer()
+        result = db.rknn(query_author, k=1, method="eager", exclude=exclude)
+        for node in list(result)[:5]:
+            separation = db.network_distance(node, query_author)
+            print(f"    author {node} at {separation:.0f} degrees of separation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""P2P scenario (paper Fig. 1a / Section 1): a new peer joins an overlay.
+
+A peer-to-peer overlay is modeled as a BRITE-style internet topology
+whose edge weights are link latencies.  Peers interested in the same
+content live on some of the nodes.  When a new peer arrives, the peers
+for which the newcomer becomes one of their k nearest neighbors --
+its reverse k-NNs -- should re-wire to it.  The paper motivates k = 4
+(Gnutella's fan-out).
+
+The script also shows why the choice of algorithm matters on this
+topology: preferential-attachment networks expand exponentially, the
+regime where lazy evaluation collapses (paper Figs. 15-16).
+
+Run with:  python examples/p2p_peer_arrival.py
+"""
+
+import random
+
+from repro import GraphDatabase
+from repro.datasets.brite import generate_brite
+from repro.datasets.workload import place_node_points
+
+NUM_NODES = 4_000
+PEER_DENSITY = 0.02
+FANOUT_K = 4
+
+
+def main() -> None:
+    rng = random.Random(7)
+    print(f"generating a {NUM_NODES}-node overlay topology (BRITE-style)...")
+    overlay = generate_brite(NUM_NODES, seed=1)
+    peers = place_node_points(overlay, PEER_DENSITY, seed=2)
+    db = GraphDatabase(overlay, peers, buffer_pages=64)
+    db.materialize(FANOUT_K + 1)
+    print(f"  {overlay.num_nodes} routers, {overlay.num_edges} links, "
+          f"{len(peers)} peers sharing this content type")
+
+    # a new peer joins at a random empty router
+    occupied = {node for _, node in peers.items()}
+    arrival_node = rng.choice(
+        [n for n in range(overlay.num_nodes) if n not in occupied]
+    )
+    print(f"\nnew peer arrives at router {arrival_node}; "
+          f"finding its reverse {FANOUT_K}-NNs...")
+
+    for method in ("eager-m", "eager", "lazy"):
+        db.clear_buffer()
+        result = db.rknn(arrival_node, k=FANOUT_K, method=method)
+        print(
+            f"  {method:8s}: {len(result):3d} peers would re-wire   "
+            f"[{result.io:6d} page I/Os, {result.cpu_seconds:6.3f} s CPU, "
+            f"visited {result.counters.nodes_visited} nodes]"
+        )
+
+    db.clear_buffer()
+    rewire = db.rknn(arrival_node, k=FANOUT_K, method="eager-m")
+    print("\npeers that gain a closer neighbor (peer id, latency):")
+    for pid in list(rewire)[:10]:
+        latency = db.network_distance(peers.node_of(pid), arrival_node)
+        print(f"  peer {pid:5d}  latency {latency:6.1f}")
+    if len(rewire) > 10:
+        print(f"  ... and {len(rewire) - 10} more")
+
+    # the RkNN set is also the newcomer's expected workload (Section 1)
+    print(
+        f"\nexpected workload of the new peer: {len(rewire)} downstream "
+        f"peers ({100.0 * len(rewire) / max(1, len(peers)):.1f}% of the swarm)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Choosing the processing method from problem characteristics.
+
+The paper's Section 6 summary is a decision procedure in prose: eager-M
+when materialization is possible, eager on exponentially-expanding
+networks, lazy when CPU dominates and the network is local.  Its
+conclusion asks for cost models that make the choice automatically.
+This script runs both automations shipped in :mod:`repro.analytics`:
+
+* :func:`recommend_method` -- the paper's qualitative rules, driven by
+  a measured expansion profile;
+* :class:`CalibratingPlanner` -- an optimizer that samples each
+  candidate method and routes queries to the measured winner.
+
+Run with:  python examples/query_planning.py
+"""
+
+from repro import GraphDatabase
+from repro.analytics import (
+    CalibratingPlanner,
+    estimate_selectivity,
+    network_report,
+    recommend_method,
+)
+from repro.datasets.brite import generate_brite
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import place_node_points
+
+SCENARIOS = (
+    ("road network", lambda: generate_spatial(2_000, seed=1)),
+    ("internet overlay", lambda: generate_brite(2_000, seed=1)),
+)
+DENSITY = 0.02
+
+
+def main() -> None:
+    for name, make_graph in SCENARIOS:
+        graph = make_graph()
+        points = place_node_points(graph, DENSITY, seed=3, first_id=100)
+        db = GraphDatabase(graph, points)
+        print(f"=== {name} " + "=" * max(0, 58 - len(name)))
+        for line in network_report(db).summary_lines():
+            print(f"  {line}")
+
+        sel = estimate_selectivity(db, k=1, samples=15)
+        print(f"  selectivity: measured mean |RNN| = {sel.mean:.2f} "
+              f"(closed form: {sel.expected:.0f}, max seen {sel.maximum})")
+
+        advice = recommend_method(db, k=1)
+        print(f"\n  rule-based recommendation: {advice.method!r}")
+        print(f"    because {advice.rationale}")
+
+        planner = CalibratingPlanner(db, methods=("eager", "lazy"), samples=4)
+        plan = planner.plan_for(1)
+        print("\n  measured calibration:")
+        for line in plan.explain().splitlines()[1:]:
+            print(f"  {line}")
+
+        query = db.points.node_of(100)
+        result = planner.rknn(query, 1, exclude={100})
+        print(f"\n  planned query at node {query}: RNN = "
+              f"{sorted(result.points)} ({result.io} I/Os)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: reverse nearest neighbors on a small network.
+
+Builds the toy network of the library's README, runs an RNN query with
+all four algorithms and prints results together with their I/O + CPU
+costs -- the same accounting the paper's evaluation uses.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import GraphDatabase, NodePointSet
+
+# A small undirected network: nodes 0..7, positive edge weights.
+#
+#        (p2) 5 --3-- 1 --5-- 4 [query] --4-- 3 --3-- 6 (p1)
+#              \       \                             /
+#               2 ------+--- 2 --------- 2 ----------
+#               |
+#               7 (p3)  (5 -- 2 costs 2; 2 -- 7 costs 5)
+EDGES = [
+    (4, 3, 4.0), (4, 1, 5.0), (3, 6, 3.0), (1, 5, 3.0),
+    (6, 2, 2.0), (2, 5, 2.0), (5, 3, 6.0), (2, 7, 5.0), (1, 0, 6.0),
+]
+
+# Data points ("interesting" nodes): p1 at node 6, p2 at node 5, p3 at 7.
+POINTS = NodePointSet({1: 6, 2: 5, 3: 7})
+
+
+def main() -> None:
+    db = GraphDatabase.from_edges(EDGES, points=POINTS)
+
+    print("=== k nearest neighbors of node 2 ===")
+    for pid, dist in db.knn(2, k=3):
+        print(f"  point {pid} at network distance {dist}")
+
+    print("\n=== reverse nearest neighbors of a query at node 2 ===")
+    for method in ("eager", "lazy", "lazy-ep"):
+        db.clear_buffer()
+        result = db.rknn(query=2, k=1, method=method)
+        print(
+            f"  {method:8s} -> {list(result.points)}   "
+            f"[{result.io} page I/Os, {result.cpu_seconds * 1000:.2f} ms CPU, "
+            f"{result.counters.nodes_visited} node visits]"
+        )
+
+    # eager-M needs materialized K-NN lists (paper Section 4.1)
+    db.materialize(3)
+    db.clear_buffer()
+    result = db.rknn(query=2, k=1, method="eager-m")
+    print(
+        f"  {'eager-m':8s} -> {list(result.points)}   "
+        f"[{result.io} page I/Os, {result.cpu_seconds * 1000:.2f} ms CPU]"
+    )
+
+    print("\n=== reverse 2-NN (every point counts its two closest) ===")
+    result = db.rknn(query=4, k=2)
+    print(f"  R2NN(node 4) = {list(result.points)}")
+
+    print("\n=== updates maintain the materialized lists ===")
+    outcome = db.insert_point(9, 0)
+    print(f"  inserted point 9 at node 0 (updated {outcome.affected_nodes} lists)")
+    result = db.rknn(query=0, k=1)
+    print(f"  RNN(node 0) now = {list(result.points)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setuptools shim.
+
+The execution environment has no `wheel` package and no network, so
+PEP 660 editable installs (which need bdist_wheel) are unavailable;
+this shim lets `pip install -e .` fall back to `setup.py develop`.
+Project metadata lives in pyproject.toml / setup.cfg.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reverse nearest neighbor (RkNN) query processing in large graphs "
+        "(reproduction of Yiu, Papadias, Mamoulis, Tao; ICDE 2005 / TKDE 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,38 @@
+"""Cost and selectivity estimation (the paper's Section 7 model agenda)."""
+
+from repro.analytics.estimators import (
+    CostEstimate,
+    ExpansionProfile,
+    MethodRecommendation,
+    SelectivityEstimate,
+    estimate_query_cost,
+    estimate_selectivity,
+    expansion_profile,
+    expected_selectivity,
+    recommend_method,
+)
+from repro.analytics.planner import CalibratingPlanner, Plan
+from repro.analytics.report import (
+    DegreeStats,
+    NetworkReport,
+    WeightStats,
+    network_report,
+)
+
+__all__ = [
+    "CalibratingPlanner",
+    "CostEstimate",
+    "DegreeStats",
+    "ExpansionProfile",
+    "MethodRecommendation",
+    "NetworkReport",
+    "Plan",
+    "SelectivityEstimate",
+    "WeightStats",
+    "estimate_query_cost",
+    "estimate_selectivity",
+    "expansion_profile",
+    "expected_selectivity",
+    "network_report",
+    "recommend_method",
+]

@@ -1,0 +1,123 @@
+"""A calibrating, cost-based query planner.
+
+The paper's conclusion calls for models "useful both for selecting the
+best processing method given the problem characteristics, and
+optimizing complex spatial queries".  :func:`recommend_method` (in
+:mod:`repro.analytics.estimators`) encodes the paper's qualitative
+decision rules; :class:`CalibratingPlanner` goes one step further and
+*measures*: it samples a handful of data-distributed queries with each
+candidate method, fits the observed cost, and then routes production
+queries to the cheapest method for their ``k``.
+
+This is the classical optimizer architecture (calibrate once per
+physical configuration, then plan per query) applied to the paper's
+method space.  Calibration cost is bounded and explicit; plans are
+reproducible given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.estimators import CostEstimate, estimate_query_cost
+from repro.api import METHODS, GraphDatabase
+from repro.errors import QueryError
+from repro.storage.stats import CostModel
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A routing decision for one query class."""
+
+    k: int
+    method: str
+    estimated_seconds: float
+    alternatives: tuple[CostEstimate, ...]
+
+    def explain(self) -> str:
+        """Optimizer-style explanation of the decision."""
+        ranked = sorted(self.alternatives, key=lambda est: est.total_mean_s)
+        lines = [f"plan for k={self.k}: use {self.method!r}"]
+        for est in ranked:
+            marker = "->" if est.method == self.method else "  "
+            lines.append(
+                f"  {marker} {est.method:8s} io={est.io_mean:8.1f} "
+                f"cpu={est.cpu_mean_s:.4f}s total={est.total_mean_s:.4f}s"
+            )
+        return "\n".join(lines)
+
+
+class CalibratingPlanner:
+    """Choose RkNN processing methods from measured sample costs."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        methods: tuple[str, ...] = METHODS,
+        samples: int = 5,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+    ):
+        unknown = set(methods) - set(METHODS)
+        if unknown:
+            raise QueryError(f"unknown methods {sorted(unknown)}")
+        if not methods:
+            raise QueryError("at least one candidate method is required")
+        if samples < 1:
+            raise QueryError(f"samples must be >= 1, got {samples}")
+        self.db = db
+        self.samples = samples
+        self.seed = seed
+        self.cost_model = cost_model or CostModel()
+        self._methods = tuple(methods)
+        self._plans: dict[int, Plan] = {}
+
+    def usable_methods(self, k: int) -> tuple[str, ...]:
+        """Candidate methods that can run at this ``k`` right now.
+
+        ``eager-m`` needs materialized lists of capacity ``k + 1``
+        (data-distributed workloads exclude the query's own point).
+        """
+        usable = []
+        for method in self._methods:
+            if method == "eager-m":
+                mat = self.db.materialized
+                if mat is None or mat.capacity < k + 1:
+                    continue
+            usable.append(method)
+        return tuple(usable)
+
+    def calibrate(self, k: int) -> Plan:
+        """Measure every usable method at ``k`` and cache the winner."""
+        candidates = self.usable_methods(k)
+        if not candidates:
+            raise QueryError(f"no usable methods for k={k}")
+        estimates = []
+        for method in candidates:
+            estimates.append(
+                estimate_query_cost(
+                    self.db, k=k, method=method,
+                    samples=self.samples, seed=self.seed,
+                )
+            )
+        best = min(estimates, key=lambda est: est.total_mean_s)
+        plan = Plan(
+            k=k,
+            method=best.method,
+            estimated_seconds=best.total_mean_s,
+            alternatives=tuple(estimates),
+        )
+        self._plans[k] = plan
+        return plan
+
+    def plan_for(self, k: int) -> Plan:
+        """The cached plan for ``k``, calibrating on first use."""
+        plan = self._plans.get(k)
+        if plan is None:
+            plan = self.calibrate(k)
+        return plan
+
+    def rknn(self, query, k: int = 1, exclude=frozenset()):
+        """Run an RkNN query with the planned method."""
+        plan = self.plan_for(k)
+        return self.db.rknn(query, k, method=plan.method, exclude=exclude)

@@ -1,0 +1,110 @@
+"""Descriptive statistics of a graph database.
+
+The paper characterizes each experimental network before using it
+(Section 6: node and edge cardinality, average degree, data density,
+expansion behaviour).  :func:`network_report` computes that
+characterization for any :class:`~repro.api.GraphDatabase`, so the
+benchmark harness and the examples can print paper-style problem
+descriptions, and the planner can reason about problem characteristics
+without hand-typed constants.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analytics.estimators import ExpansionProfile, expansion_profile
+from repro.api import GraphDatabase
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Node-degree distribution summary."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    @property
+    def skewed(self) -> bool:
+        """Max degree far above the mean: a power-law-ish topology."""
+        return self.maximum >= 4 * max(self.mean, 1.0)
+
+
+@dataclass(frozen=True)
+class WeightStats:
+    """Edge-weight distribution summary."""
+
+    minimum: float
+    maximum: float
+    mean: float
+
+    @property
+    def unit_weights(self) -> bool:
+        """All weights equal 1 (hop-count metrics like DBLP)."""
+        return self.minimum == 1.0 and self.maximum == 1.0
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """A paper-style description of one experimental configuration."""
+
+    num_nodes: int
+    num_edges: int
+    num_points: int
+    density: float                # |P| / |V|, the paper's D
+    restricted: bool
+    degrees: DegreeStats
+    weights: WeightStats
+    expansion: ExpansionProfile
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable lines for harness output."""
+        kind = "restricted" if self.restricted else "unrestricted"
+        regime = "exponential" if self.expansion.exponential else "local"
+        return [
+            f"|V| = {self.num_nodes}, |E| = {self.num_edges} ({kind})",
+            f"|P| = {self.num_points}, density D = {self.density:.4f}",
+            (
+                f"degree: min {self.degrees.minimum}, mean "
+                f"{self.degrees.mean:.2f}, max {self.degrees.maximum}"
+            ),
+            (
+                f"weights: [{self.weights.minimum:.3g}, "
+                f"{self.weights.maximum:.3g}], mean {self.weights.mean:.3g}"
+            ),
+            (
+                f"expansion: {regime} (hop-ball growth "
+                f"{self.expansion.growth_ratio:.2f})"
+            ),
+        ]
+
+
+def network_report(
+    db: GraphDatabase, samples: int = 8, seed: int = 0
+) -> NetworkReport:
+    """Characterize a database the way the paper's Section 6 does."""
+    graph = db.graph
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    weights = [w for _, _, w in graph.edges()]
+    return NetworkReport(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_points=len(db.points),
+        density=len(db.points) / graph.num_nodes,
+        restricted=db.restricted,
+        degrees=DegreeStats(
+            minimum=min(degrees),
+            maximum=max(degrees),
+            mean=statistics.fmean(degrees),
+            median=float(statistics.median(degrees)),
+        ),
+        weights=WeightStats(
+            minimum=min(weights) if weights else 0.0,
+            maximum=max(weights) if weights else 0.0,
+            mean=statistics.fmean(weights) if weights else 0.0,
+        ),
+        expansion=expansion_profile(db, samples=samples, seed=seed),
+    )

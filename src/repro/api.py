@@ -1,0 +1,502 @@
+"""Public facade: :class:`GraphDatabase`.
+
+A :class:`GraphDatabase` owns the full storage stack of the paper's
+architecture -- disk-paged adjacency lists, the (optional) edge-point
+file, the shared LRU buffer, optional materialized K-NN lists -- and
+exposes the query algorithms behind a small, cost-accounted API::
+
+    from repro import GraphDatabase, NodePointSet
+
+    db = GraphDatabase.from_edges(edges, points=NodePointSet({0: 5, 1: 9}))
+    result = db.rknn(query=7, k=2, method="eager")
+    print(result.points, result.io, result.cpu_seconds)
+
+Every query method returns a result object carrying the exact counter
+diff for that call, which is what the benchmark harness aggregates into
+the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.core import baseline, unrestricted
+from repro.core.bichromatic import (
+    bichromatic_eager,
+    bichromatic_eager_m,
+    bichromatic_lazy,
+)
+from repro.core.continuous import validate_route
+from repro.core.eager import eager_rknn, eager_rknn_route
+from repro.core.in_route import RouteStop, in_route_knn
+from repro.core.eager_m import eager_m_rknn, eager_m_rknn_route
+from repro.core.lazy import lazy_rknn, lazy_rknn_route
+from repro.core.lazy_ep import lazy_ep_rknn, lazy_ep_rknn_route
+from repro.core.materialize import MaterializedKNN, Seed
+from repro.core.network import NetworkView
+from repro.core.nn import knn as restricted_knn
+from repro.core.nn import range_nn as restricted_range_nn
+from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.graph.partition import bfs_order, hilbert_order
+from repro.points.points import EdgePointSet, NodePointSet, PointSet
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskGraph, EdgePointStore
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.stats import CostTracker
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: Query-processing methods implemented by the database.
+METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
+
+#: Default LRU buffer of the paper's evaluation: 1 MB = 256 pages of 4 KB.
+DEFAULT_BUFFER_PAGES = 256
+
+Location = unrestricted.Location
+
+
+class GraphDatabase:
+    """Disk-based graph database answering (reverse) NN queries.
+
+    Parameters
+    ----------
+    graph:
+        The network.  It is paged out to the simulated disk at
+        construction; queries only touch the disk representation.
+    points:
+        The data set P: a :class:`NodePointSet` (restricted network) or
+        an :class:`EdgePointSet` (unrestricted network).  ``None``
+        creates an empty restricted network.
+    page_size / buffer_pages:
+        Storage parameters; defaults match the paper (4 KB pages,
+        256-page LRU buffer).
+    node_order:
+        Page-packing order.  ``"bfs"`` (default) packs topologically,
+        ``"hilbert"`` packs spatially (requires coordinates).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        points: PointSet | None = None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        node_order: str = "bfs",
+    ):
+        if points is None:
+            points = NodePointSet({})
+        points.validate(graph)
+        self.graph = graph
+        self.points = points
+        self.page_size = page_size
+        self.tracker = CostTracker()
+        self.buffer = BufferManager(buffer_pages, self.tracker)
+        if node_order == "bfs":
+            self._order = bfs_order(graph)
+        elif node_order == "hilbert":
+            self._order = hilbert_order(graph)
+        else:
+            raise QueryError(f"unknown node_order {node_order!r}")
+        point_nodes = frozenset(
+            node for _, node in points.items()
+        ) if isinstance(points, NodePointSet) else frozenset()
+        self.disk = DiskGraph(
+            graph,
+            self.buffer,
+            page_size=page_size,
+            order=self._order,
+            point_nodes=point_nodes,
+        )
+        self._edge_store: EdgePointStore | None = None
+        if isinstance(points, EdgePointSet):
+            self._edge_store = EdgePointStore(
+                graph, points, self.buffer, page_size=page_size, order=self._order
+            )
+        self.view = NetworkView(self.disk, points, self.tracker, self._edge_store)
+        self.materialized: MaterializedKNN | None = None
+        self._ref_points: PointSet | None = None
+        self._ref_view: NetworkView | None = None
+        self._ref_edge_store: EdgePointStore | None = None
+        self._ref_materialized: MaterializedKNN | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int, float]],
+        points: PointSet | None = None,
+        **kwargs,
+    ) -> "GraphDatabase":
+        """Build a database straight from an edge list."""
+        return cls(Graph.from_edges(edges), points, **kwargs)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def restricted(self) -> bool:
+        """True when data points live on nodes (restricted network)."""
+        return self.points.restricted
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize(self, capacity: int) -> None:
+        """Precompute the K-NN lists of every node (paper Section 4.1).
+
+        ``capacity`` is the paper's ``K``: the largest ``k`` any future
+        query may use (queries drawing from the data set and excluding
+        their own point effectively need ``K >= k + 1``).
+        """
+        self.materialized = MaterializedKNN.build(
+            self.view,
+            capacity,
+            self._materialization_seeds(self.points),
+            self.buffer,
+            page_size=self.page_size,
+            order=self._order,
+        )
+
+    def materialize_reference(self, capacity: int) -> None:
+        """Materialize K-NN lists over the attached reference set Q."""
+        if self._ref_view is None or self._ref_points is None:
+            raise QueryError("attach_reference() before materialize_reference()")
+        self._ref_materialized = MaterializedKNN.build(
+            self._ref_view,
+            capacity,
+            self._materialization_seeds(self._ref_points),
+            self.buffer,
+            page_size=self.page_size,
+            order=self._order,
+        )
+
+    def _materialization_seeds(self, points: PointSet) -> list[Seed]:
+        seeds: list[Seed] = []
+        if isinstance(points, NodePointSet):
+            for pid, node in points.items():
+                seeds.append((node, pid, 0.0))
+        elif isinstance(points, EdgePointSet):
+            for pid, (u, v, pos) in points.items():
+                weight = self.graph.weight(u, v)
+                seeds.append((u, pid, pos))
+                seeds.append((v, pid, weight - pos))
+        return seeds
+
+    # -- bichromatic reference set ------------------------------------------
+
+    def attach_reference(self, reference: PointSet) -> None:
+        """Attach the reference set Q for bichromatic queries.
+
+        The database's own points act as P (the potential results); the
+        reference points compete with the query for their attention.
+        """
+        reference.validate(self.graph)
+        if reference.restricted != self.restricted:
+            raise QueryError("reference set must match the network's point mode")
+        self._ref_points = reference
+        self._ref_edge_store = None
+        if isinstance(reference, EdgePointSet):
+            self._ref_edge_store = EdgePointStore(
+                self.graph,
+                reference,
+                self.buffer,
+                page_size=self.page_size,
+                order=self._order,
+            )
+        self._ref_view = NetworkView(
+            self.disk, reference, self.tracker, self._ref_edge_store
+        )
+        self._ref_materialized = None
+
+    # -- cost measurement -----------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the buffer's contents are kept warm)."""
+        self.tracker.reset()
+
+    def clear_buffer(self) -> None:
+        """Drop every buffered page (cold-start the next query)."""
+        self.buffer.clear()
+
+    def _measure(self, func):
+        before = self.tracker.snapshot()
+        with self.tracker.time_block():
+            outcome = func()
+        diff = self.tracker.diff(before)
+        return outcome, diff
+
+    # -- monochromatic RkNN -----------------------------------------------------
+
+    def rknn(
+        self,
+        query: Location,
+        k: int = 1,
+        method: str = "eager",
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> RnnResult:
+        """Reverse k-nearest-neighbor query (paper Sections 3-5).
+
+        ``query`` is a node id in restricted networks, a node id or a
+        canonical ``(u, v, pos)`` edge location in unrestricted ones.
+        ``exclude`` hides data points for the query's duration (the
+        paper's workloads draw queries from the data points and treat
+        them as new arrivals).
+        """
+        self._check_query(query, k, method)
+        points, diff = self._measure(lambda: self._run_rknn(query, k, method, exclude))
+        return RnnResult(tuple(points), diff.io_operations, diff.cpu_seconds, diff)
+
+    def _run_rknn(
+        self, query: Location, k: int, method: str, exclude: AbstractSet[int]
+    ) -> list[int]:
+        if self.restricted:
+            if not isinstance(query, int):
+                raise QueryError("restricted networks take node-id queries")
+            if method == "eager":
+                return eager_rknn(self.view, query, k, exclude)
+            if method == "lazy":
+                return lazy_rknn(self.view, query, k, exclude)
+            if method == "lazy-ep":
+                return lazy_ep_rknn(self.view, query, k, exclude)
+            return eager_m_rknn(self.view, self._require_mat(), query, k, exclude)
+        if method == "eager":
+            return unrestricted.unrestricted_eager(self.view, query, k, exclude)
+        if method == "lazy":
+            return unrestricted.unrestricted_lazy(self.view, query, k, exclude)
+        if method == "lazy-ep":
+            return unrestricted.unrestricted_lazy_ep(self.view, query, k, exclude)
+        return unrestricted.unrestricted_eager_m(
+            self.view, self._require_mat(), query, k, exclude
+        )
+
+    # -- continuous RkNN ---------------------------------------------------------
+
+    def continuous_rknn(
+        self,
+        route: Sequence[int],
+        k: int = 1,
+        method: str = "eager",
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> RnnResult:
+        """Continuous RkNN along a route of nodes (Section 5.1)."""
+        validate_route(self.view, route)
+        self._check_query(route[0], k, method)
+
+        def run() -> list[int]:
+            if self.restricted:
+                if method == "eager":
+                    return eager_rknn_route(self.view, route, k, exclude)
+                if method == "lazy":
+                    return lazy_rknn_route(self.view, route, k, exclude)
+                if method == "lazy-ep":
+                    return lazy_ep_rknn_route(self.view, route, k, exclude)
+                return eager_m_rknn_route(
+                    self.view, self._require_mat(), route, k, exclude
+                )
+            if method == "eager":
+                return unrestricted.unrestricted_eager(
+                    self.view, None, k, exclude, route=route
+                )
+            if method == "lazy":
+                return unrestricted.unrestricted_lazy(
+                    self.view, None, k, exclude, route=route
+                )
+            if method == "lazy-ep":
+                return unrestricted.unrestricted_lazy_ep(
+                    self.view, None, k, exclude, route=route
+                )
+            return unrestricted.unrestricted_eager_m(
+                self.view, self._require_mat(), None, k, exclude, route=route
+            )
+
+        points, diff = self._measure(run)
+        return RnnResult(tuple(points), diff.io_operations, diff.cpu_seconds, diff)
+
+    # -- bichromatic RkNN ---------------------------------------------------------
+
+    def bichromatic_rknn(
+        self,
+        query: Location,
+        k: int = 1,
+        method: str = "eager",
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> RnnResult:
+        """Bichromatic RkNN: database points P that keep the query among
+        their k nearest *reference* points (Section 5.1).  Requires an
+        attached reference set; ``exclude`` hides reference points."""
+        if self._ref_view is None:
+            raise QueryError("attach_reference() before bichromatic queries")
+        self._check_query(query, k, method)
+
+        def run() -> list[int]:
+            if self.restricted:
+                if not isinstance(query, int):
+                    raise QueryError("restricted networks take node-id queries")
+                if method == "eager":
+                    return bichromatic_eager(self.view, self._ref_view, query, k, exclude)
+                if method == "lazy":
+                    return bichromatic_lazy(self.view, self._ref_view, query, k, exclude)
+                if method == "eager-m":
+                    if self._ref_materialized is None:
+                        raise QueryError(
+                            "materialize_reference() before bichromatic eager-m"
+                        )
+                    return bichromatic_eager_m(
+                        self.view, self._ref_view, self._ref_materialized,
+                        query, k, exclude,
+                    )
+                raise QueryError(
+                    "bichromatic queries support methods 'eager', 'lazy', 'eager-m'"
+                )
+            if method != "eager":
+                raise QueryError(
+                    "unrestricted bichromatic queries support method 'eager'"
+                )
+            return unrestricted.unrestricted_bichromatic_eager(
+                self.view, self._ref_view, query, k, exclude
+            )
+
+        points, diff = self._measure(run)
+        return RnnResult(tuple(points), diff.io_operations, diff.cpu_seconds, diff)
+
+    # -- plain NN queries ----------------------------------------------------------
+
+    def knn(
+        self,
+        query: Location,
+        k: int = 1,
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> KnnResult:
+        """The k nearest data points of a location."""
+        def run() -> list[tuple[int, float]]:
+            if self.restricted:
+                if not isinstance(query, int):
+                    raise QueryError("restricted networks take node-id queries")
+                return restricted_knn(self.view, query, k, exclude)
+            return unrestricted.unrestricted_knn(self.view, query, k, exclude)
+
+        neighbors, diff = self._measure(run)
+        return KnnResult(tuple(neighbors), diff.io_operations, diff.cpu_seconds, diff)
+
+    def range_nn(
+        self,
+        query: int,
+        k: int,
+        radius: float,
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> KnnResult:
+        """``range-NN(n, k, e)``: k nearest points strictly within ``radius``."""
+        def run() -> list[tuple[int, float]]:
+            if self.restricted:
+                return restricted_range_nn(self.view, query, k, radius, exclude)
+            return unrestricted.unrestricted_range_nn(
+                self.view, query, k, radius, exclude
+            )
+
+        neighbors, diff = self._measure(run)
+        return KnnResult(tuple(neighbors), diff.io_operations, diff.cpu_seconds, diff)
+
+    def in_route_knn(
+        self,
+        route: Sequence[int],
+        k: int = 1,
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> tuple[list[RouteStop], KnnResult]:
+        """The k nearest points of *every* node on a route ([16]).
+
+        Unlike :meth:`continuous_rknn` (the union of reverse results),
+        this is the forward in-route NN query: each route node gets its
+        own kNN list.  Restricted networks only.  Returns the per-node
+        lists plus an aggregate cost record.
+        """
+        if not self.restricted:
+            raise QueryError("in-route queries require a restricted network")
+        stops, diff = self._measure(
+            lambda: in_route_knn(self.view, route, k, exclude)
+        )
+        cost = KnnResult((), diff.io_operations, diff.cpu_seconds, diff)
+        return stops, cost
+
+    def network_distance(self, loc1: Location, loc2: Location) -> float:
+        """Exact network distance between two locations (uncharged;
+        computed on the in-memory graph, intended for examples/tests)."""
+        return baseline.location_distance(self.graph, loc1, loc2)
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert_point(self, pid: int, location: Location) -> UpdateResult:
+        """Add a data point, maintaining the materialized lists if any.
+
+        Restricted networks take a node id, unrestricted ones an
+        ``(u, v, pos)`` triplet.
+        """
+        def run() -> int:
+            updated = 0
+            if isinstance(self.points, NodePointSet):
+                if not isinstance(location, int):
+                    raise QueryError("restricted networks take node-id locations")
+                self.points = self.points.with_point(pid, location)
+                seeds = [(location, 0.0)]
+            else:
+                if isinstance(location, int):
+                    raise QueryError("unrestricted networks take edge locations")
+                loc = unrestricted.normalize_location(location)
+                self.points = self.points.with_point(pid, loc)
+                assert self._edge_store is not None
+                u, v, pos = loc
+                self._edge_store.insert_point(pid, u, v, pos)
+                weight = self.graph.weight(u, v)
+                seeds = [(u, pos), (v, weight - pos)]
+            self._rebuild_view()
+            if self.materialized is not None:
+                updated = self.materialized.insert(self.view, pid, seeds)
+            return updated
+
+        affected, diff = self._measure(run)
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def delete_point(self, pid: int) -> UpdateResult:
+        """Remove a data point, maintaining the materialized lists if any."""
+        def run() -> int:
+            updated = 0
+            if isinstance(self.points, NodePointSet):
+                node = self.points.node_of(pid)
+                seeds = [(node, 0.0)]
+                self.points = self.points.without_point(pid)
+            else:
+                u, v, pos = self.points.location(pid)
+                weight = self.graph.weight(u, v)
+                seeds = [(u, pos), (v, weight - pos)]
+                self.points = self.points.without_point(pid)
+                assert self._edge_store is not None
+                self._edge_store.delete_point(pid, u, v)
+            self._rebuild_view()
+            if self.materialized is not None:
+                updated = self.materialized.delete(self.view, pid, seeds)
+            return updated
+
+        affected, diff = self._measure(run)
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def _rebuild_view(self) -> None:
+        self.view = NetworkView(self.disk, self.points, self.tracker, self._edge_store)
+
+    # -- validation helpers -------------------------------------------------------
+
+    def _require_mat(self) -> MaterializedKNN:
+        if self.materialized is None:
+            raise QueryError("method 'eager-m' needs materialize() first")
+        return self.materialized
+
+    def _check_query(self, query: Location, k: int, method: str) -> None:
+        if method not in METHODS:
+            raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if isinstance(query, int) and not 0 <= query < self.graph.num_nodes:
+            raise QueryError(f"query node {query} out of range")
+        if not isinstance(query, int) and not math.isfinite(query[2]):
+            raise QueryError(f"non-finite edge offset {query[2]}")

@@ -1,0 +1,200 @@
+"""Public facade for directed networks: :class:`DirectedGraphDatabase`.
+
+The directed extension of the paper (its Section 7 future-work item):
+reverse nearest neighbors on graphs with asymmetric distances, e.g.
+road maps with one-way streets.  The facade mirrors
+:class:`~repro.api.GraphDatabase` for the query types the directed
+setting supports (monochromatic RkNN with ``eager`` / ``eager-m`` /
+``naive``, forward kNN, materialization with update maintenance)::
+
+    from repro import DirectedGraphDatabase, NodePointSet
+
+    db = DirectedGraphDatabase.from_arcs(
+        [(0, 1, 2.0), (1, 0, 5.0), (1, 2, 1.0)],
+        points=NodePointSet({10: 0, 11: 2}),
+    )
+    db.rknn(query=1, k=1)
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from repro.core.directed import (
+    DirectedView,
+    directed_all_nn,
+    directed_delete,
+    directed_insert,
+    directed_knn,
+    directed_range_nn,
+    directed_rknn,
+)
+from repro.core.materialize import MaterializedKNN
+from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.points.points import NodePointSet
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import KnnListStore
+from repro.storage.disk_directed import DiskDiGraph, weak_bfs_order
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.stats import CostTracker
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: Query methods implemented for directed networks.
+METHODS = ("eager", "eager-m", "naive")
+
+DEFAULT_BUFFER_PAGES = 256
+
+
+class DirectedGraphDatabase:
+    """Disk-based directed graph database answering RkNN queries."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        points: NodePointSet | None = None,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    ):
+        if points is None:
+            points = NodePointSet({})
+        for pid, node in points.items():
+            if not 0 <= node < graph.num_nodes:
+                raise QueryError(f"point {pid} lies on unknown node {node}")
+        self.graph = graph
+        self.points = points
+        self.page_size = page_size
+        self.tracker = CostTracker()
+        self.buffer = BufferManager(buffer_pages, self.tracker)
+        self._order = weak_bfs_order(graph)
+        self.disk = DiskDiGraph(
+            graph,
+            self.buffer,
+            page_size=page_size,
+            order=self._order,
+            point_nodes=frozenset(node for _, node in points.items()),
+        )
+        self.view = DirectedView(self.disk, points, self.tracker)
+        self.materialized: MaterializedKNN | None = None
+
+    @classmethod
+    def from_arcs(
+        cls,
+        arcs: Iterable[tuple[int, int, float]],
+        points: NodePointSet | None = None,
+        **kwargs,
+    ) -> "DirectedGraphDatabase":
+        """Build a database straight from an arc list."""
+        return cls(DiGraph.from_arcs(arcs), points, **kwargs)
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize(self, capacity: int) -> None:
+        """Precompute each node's forward K-NN list (directed all-NN)."""
+        lists = directed_all_nn(self.view, capacity)
+        store = KnnListStore(
+            self.graph.num_nodes,
+            capacity,
+            lists,
+            self.buffer,
+            page_size=self.page_size,
+            order=self._order,
+        )
+        self.materialized = MaterializedKNN(store)
+
+    # -- cost measurement -------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.tracker.reset()
+
+    def clear_buffer(self) -> None:
+        self.buffer.clear()
+
+    def _measure(self, func):
+        before = self.tracker.snapshot()
+        with self.tracker.time_block():
+            outcome = func()
+        return outcome, self.tracker.diff(before)
+
+    # -- queries --------------------------------------------------------------
+
+    def rknn(
+        self,
+        query: int,
+        k: int = 1,
+        method: str = "eager",
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> RnnResult:
+        """Directed RkNN: points with ``d(p -> q) <= d(p -> p_k(p))``."""
+        self._check(query, k, method)
+        points, diff = self._measure(
+            lambda: directed_rknn(
+                self.view, query, k, method, self.materialized, exclude
+            )
+        )
+        return RnnResult(tuple(points), diff.io_operations, diff.cpu_seconds, diff)
+
+    def knn(
+        self,
+        query: int,
+        k: int = 1,
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> KnnResult:
+        """The k nearest points *from* ``query`` (forward distances)."""
+        neighbors, diff = self._measure(
+            lambda: directed_knn(self.view, query, k, exclude)
+        )
+        return KnnResult(tuple(neighbors), diff.io_operations, diff.cpu_seconds, diff)
+
+    def range_nn(
+        self,
+        query: int,
+        k: int,
+        radius: float,
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> KnnResult:
+        """Forward range-NN from ``query`` with a strict ``radius``."""
+        neighbors, diff = self._measure(
+            lambda: directed_range_nn(self.view, query, k, radius, exclude)
+        )
+        return KnnResult(tuple(neighbors), diff.io_operations, diff.cpu_seconds, diff)
+
+    # -- updates ----------------------------------------------------------------
+
+    def insert_point(self, pid: int, node: int) -> UpdateResult:
+        """Add a data point, maintaining the materialized lists if any."""
+        def run() -> int:
+            self.points = self.points.with_point(pid, node)
+            self.view = DirectedView(self.disk, self.points, self.tracker)
+            if self.materialized is not None:
+                return directed_insert(self.view, self.materialized, pid, node)
+            return 0
+
+        affected, diff = self._measure(run)
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def delete_point(self, pid: int) -> UpdateResult:
+        """Remove a data point, maintaining the materialized lists if any."""
+        def run() -> int:
+            node = self.points.node_of(pid)
+            self.points = self.points.without_point(pid)
+            self.view = DirectedView(self.disk, self.points, self.tracker)
+            if self.materialized is not None:
+                return directed_delete(self.view, self.materialized, pid, node)
+            return 0
+
+        affected, diff = self._measure(run)
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def _check(self, query: int, k: int, method: str) -> None:
+        if method not in METHODS:
+            raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if not 0 <= query < self.graph.num_nodes:
+            raise QueryError(f"query node {query} out of range")
+        if method == "eager-m" and self.materialized is None:
+            raise QueryError("method 'eager-m' needs materialize() first")

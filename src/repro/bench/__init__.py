@@ -1,0 +1,21 @@
+"""Benchmark harness: workload execution, scaling profiles, reporting."""
+
+from repro.bench.harness import (
+    WorkloadCost,
+    run_continuous_workload,
+    run_update_workload,
+    run_workload,
+)
+from repro.bench.report import format_table, save_report
+from repro.bench.runner import ScaleProfile, current_profile
+
+__all__ = [
+    "ScaleProfile",
+    "WorkloadCost",
+    "current_profile",
+    "format_table",
+    "run_continuous_workload",
+    "run_update_workload",
+    "run_workload",
+    "save_report",
+]

@@ -1,0 +1,107 @@
+"""ASCII bar charts for the experiment suite.
+
+The paper's evaluation communicates through grouped bar charts
+(Figs. 15-22): one group per x-value (|V|, density, k, ...), one bar
+per method, usually on a log scale because the methods differ by
+orders of magnitude.  :func:`format_chart` renders exactly that shape
+in plain text, so ``benchmarks/results/*.txt`` contain a literal
+figure next to each table::
+
+    Figure 16 -- cost vs D (BRITE)           total_s, log scale
+    D=0.005 | eager   ################################## 280.8
+            | eager-m ###########################        22.7
+            ...
+
+Charts are deterministic and dependency-free; they exist for the
+human scanning the results directory, not for parsing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+Row = Mapping[str, object]
+
+#: Width of the widest bar, in characters.
+BAR_WIDTH = 44
+
+
+def format_chart(
+    title: str,
+    rows: Sequence[Row],
+    group_by: str,
+    series: str,
+    value: str,
+    log_scale: bool = True,
+) -> str:
+    """Render a grouped bar chart from table rows.
+
+    ``group_by`` names the x-axis column (one block per distinct
+    value, in first-appearance order), ``series`` the per-bar label
+    column (method), and ``value`` the numeric column to plot.
+    Non-positive values plot as empty bars (log scale has no zero).
+    """
+    if not rows:
+        return f"{title}\n(no data)\n"
+    groups: list[object] = []
+    for row in rows:
+        key = row.get(group_by)
+        if key not in groups:
+            groups.append(key)
+    labels = [str(row.get(series)) for row in rows]
+    label_width = max(len(label) for label in labels)
+    group_width = max(len(f"{group_by}={g}") for g in groups)
+
+    values = [_as_float(row.get(value)) for row in rows]
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return f"{title}\n(no positive values to plot)\n"
+    top = max(positive)
+    bottom = min(positive)
+
+    def bar(v: float) -> int:
+        if v <= 0:
+            return 0
+        if not log_scale:
+            return max(1, round(BAR_WIDTH * v / top))
+        if math.isclose(top, bottom):
+            return BAR_WIDTH
+        # map [bottom, top] onto [1, BAR_WIDTH] logarithmically
+        span = math.log(top) - math.log(bottom)
+        frac = (math.log(v) - math.log(bottom)) / span
+        return max(1, round(1 + frac * (BAR_WIDTH - 1)))
+
+    scale_note = "log scale" if log_scale else "linear scale"
+    lines = [f"{title}    [{value}, {scale_note}]"]
+    for group in groups:
+        first = True
+        for row, v in zip(rows, values):
+            if row.get(group_by) != group:
+                continue
+            prefix = f"{group_by}={group}" if first else ""
+            first = False
+            label = str(row.get(series))
+            lines.append(
+                f"{prefix:<{group_width}} | {label:<{label_width}} "
+                f"{'#' * bar(v)} {_format_value(v)}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _as_float(value: object) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _format_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if v >= 100:
+        return f"{v:.0f}"
+    if v >= 1:
+        return f"{v:.2f}"
+    return f"{v:.4f}"

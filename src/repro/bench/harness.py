@@ -1,0 +1,169 @@
+"""Workload execution and cost aggregation for the experiment suite.
+
+The paper reports, per workload of 50 queries, the average number of
+page faults and the average CPU time, combined into a total cost by
+charging 10 ms per random I/O (Section 6).  :func:`run_workload`
+reproduces exactly that protocol: it replays a list of queries against
+a database with a chosen algorithm and aggregates the per-query counter
+diffs that the public API returns.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.api import GraphDatabase
+from repro.datasets.workload import Query
+from repro.storage.stats import CostModel
+
+
+@dataclass(frozen=True)
+class WorkloadCost:
+    """Aggregate cost of one (method, workload) combination."""
+
+    method: str
+    queries: int
+    io_mean: float
+    io_std: float
+    cpu_mean_s: float
+    total_mean_s: float
+    result_size_mean: float
+    nodes_visited_mean: float
+    heap_ops_mean: float
+
+    def row(self) -> dict[str, float | str]:
+        """Flat mapping used by the table formatter."""
+        return {
+            "method": self.method,
+            "io": round(self.io_mean, 1),
+            "io_std%": round(100.0 * self.io_std / self.io_mean, 0)
+            if self.io_mean else 0.0,
+            "cpu_s": round(self.cpu_mean_s, 4),
+            "total_s": round(self.total_mean_s, 4),
+            "|result|": round(self.result_size_mean, 2),
+            "visited": round(self.nodes_visited_mean, 1),
+        }
+
+
+def run_workload(
+    db: GraphDatabase,
+    queries: Sequence[Query],
+    k: int,
+    method: str,
+    cost_model: CostModel | None = None,
+    warm_buffer: bool = False,
+) -> WorkloadCost:
+    """Execute a query workload and aggregate its costs.
+
+    Unless ``warm_buffer`` is set, the buffer is cleared before every
+    query so each query pays its own faults (the paper's per-query cost
+    with an initially cold 1 MB buffer).
+    """
+    model = cost_model or CostModel()
+    ios: list[int] = []
+    cpus: list[float] = []
+    totals: list[float] = []
+    sizes: list[int] = []
+    visited: list[int] = []
+    heap_ops: list[int] = []
+    for query in queries:
+        if not warm_buffer:
+            db.clear_buffer()
+        result = db.rknn(query.location, k, method=method, exclude=query.exclude)
+        ios.append(result.io)
+        cpus.append(result.cpu_seconds)
+        totals.append(result.total_seconds(model))
+        sizes.append(len(result))
+        visited.append(result.counters.nodes_visited)
+        heap_ops.append(result.counters.heap_pushes + result.counters.heap_pops)
+    return _aggregate(method, ios, cpus, totals, sizes, visited, heap_ops)
+
+
+def run_continuous_workload(
+    db: GraphDatabase,
+    routes: Sequence[Sequence[int]],
+    k: int,
+    method: str,
+    cost_model: CostModel | None = None,
+    warm_buffer: bool = False,
+) -> WorkloadCost:
+    """Execute a continuous-RkNN workload over the given routes."""
+    model = cost_model or CostModel()
+    ios: list[int] = []
+    cpus: list[float] = []
+    totals: list[float] = []
+    sizes: list[int] = []
+    visited: list[int] = []
+    heap_ops: list[int] = []
+    for route in routes:
+        if not warm_buffer:
+            db.clear_buffer()
+        result = db.continuous_rknn(route, k, method=method)
+        ios.append(result.io)
+        cpus.append(result.cpu_seconds)
+        totals.append(result.total_seconds(model))
+        sizes.append(len(result))
+        visited.append(result.counters.nodes_visited)
+        heap_ops.append(result.counters.heap_pushes + result.counters.heap_pops)
+    return _aggregate(method, ios, cpus, totals, sizes, visited, heap_ops)
+
+
+def run_update_workload(
+    db: GraphDatabase,
+    insert_locations: Sequence,
+    delete_ids: Sequence[int],
+    cost_model: CostModel | None = None,
+) -> dict[str, float]:
+    """Alternate insertions and deletions, reporting mean costs of each.
+
+    Mirrors Fig. 22: inserted points follow the data distribution and
+    deleted points are random existing points; the materialized lists
+    are maintained on every operation.
+    """
+    model = cost_model or CostModel()
+    insert_io: list[int] = []
+    insert_total: list[float] = []
+    delete_io: list[int] = []
+    delete_total: list[float] = []
+    next_pid = 1 + max(db.points.ids(), default=0)
+    for location in insert_locations:
+        db.clear_buffer()
+        outcome = db.insert_point(next_pid, location)
+        next_pid += 1
+        insert_io.append(outcome.io)
+        insert_total.append(outcome.total_seconds(model))
+    for pid in delete_ids:
+        db.clear_buffer()
+        outcome = db.delete_point(pid)
+        delete_io.append(outcome.io)
+        delete_total.append(outcome.total_seconds(model))
+    return {
+        "insert_io": statistics.fmean(insert_io) if insert_io else 0.0,
+        "insert_total_s": statistics.fmean(insert_total) if insert_total else 0.0,
+        "delete_io": statistics.fmean(delete_io) if delete_io else 0.0,
+        "delete_total_s": statistics.fmean(delete_total) if delete_total else 0.0,
+    }
+
+
+def _aggregate(
+    method: str,
+    ios: list[int],
+    cpus: list[float],
+    totals: list[float],
+    sizes: list[int],
+    visited: list[int],
+    heap_ops: list[int],
+) -> WorkloadCost:
+    return WorkloadCost(
+        method=method,
+        queries=len(ios),
+        io_mean=statistics.fmean(ios),
+        io_std=statistics.pstdev(ios) if len(ios) > 1 else 0.0,
+        cpu_mean_s=statistics.fmean(cpus),
+        total_mean_s=statistics.fmean(totals),
+        result_size_mean=statistics.fmean(sizes),
+        nodes_visited_mean=statistics.fmean(visited),
+        heap_ops_mean=statistics.fmean(heap_ops),
+    )

@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables and series.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report, and persist them under ``benchmarks/results/`` so runs can be
+compared against the expectations recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.bench.chart import format_chart
+
+Row = Mapping[str, object]
+
+
+def format_figure(
+    title: str,
+    rows: Sequence[Row],
+    group_by: str,
+    series: str = "method",
+    value: str = "total_s",
+    log_scale: bool = True,
+) -> str:
+    """A paper-style figure: the data table plus an ASCII bar chart."""
+    table = format_table(title, rows)
+    chart = format_chart(title, rows, group_by, series, value, log_scale)
+    return f"{table}\n{chart}"
+
+
+def format_table(title: str, rows: Sequence[Row]) -> str:
+    """Render rows (dicts sharing a key set) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(_cell(row.get(col))) for row in rows))
+        for col in columns
+    }
+    lines = [title]
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def results_dir() -> str:
+    """Directory that persists benchmark outputs (created on demand)."""
+    base = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results"),
+    )
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def save_report(name: str, text: str) -> str:
+    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

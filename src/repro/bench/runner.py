@@ -1,0 +1,116 @@
+"""Experiment scaling profiles.
+
+The paper's graphs (90K-360K nodes) are impractical for a pure-Python
+substrate at full size, so every benchmark reads a scale profile:
+
+* ``smoke``  -- minimal sizes for CI sanity (seconds per experiment);
+* ``small``  -- the default: ~10x below the paper, large enough for the
+  qualitative shapes (algorithm ranking, crossovers) to match;
+* ``paper``  -- the paper's original sizes, for patient machines.
+
+Select with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizing knobs consumed by the benchmark modules."""
+
+    name: str
+    #: node counts for the Fig. 15 sweep (paper: 90K..360K)
+    brite_nodes: tuple[int, ...]
+    #: fixed node count for Fig. 16 (paper: 160K)
+    brite_fixed_nodes: int
+    #: node count for the SF-like spatial network (paper: ~175K)
+    spatial_nodes: int
+    #: node counts for Fig. 20a (paper: 40K..360K)
+    grid_nodes: tuple[int, ...]
+    #: fixed node count for Fig. 20b (paper: 160K)
+    grid_fixed_nodes: int
+    #: queries per workload (paper: 50)
+    workload_size: int
+    #: density sweep (paper: 0.002..0.1 variants)
+    densities: tuple[float, ...]
+    #: k sweep for Fig. 18 (paper: 1..8)
+    k_values: tuple[int, ...]
+    #: route lengths for Fig. 19 (paper: 5..40)
+    route_lengths: tuple[int, ...]
+    #: buffer sizes (pages) for Fig. 21 (paper: 0..1024)
+    buffer_sizes: tuple[int, ...]
+    #: K values for Fig. 22b (paper: 1..8)
+    capacity_values: tuple[int, ...]
+    #: updates per update workload
+    update_count: int
+    #: LRU buffer pages, scaled with the graphs (paper: 256 at ~175K nodes)
+    buffer_pages: int
+
+
+_PROFILES = {
+    "smoke": ScaleProfile(
+        name="smoke",
+        brite_nodes=(600, 1_200),
+        brite_fixed_nodes=1_000,
+        spatial_nodes=1_200,
+        grid_nodes=(400, 900),
+        grid_fixed_nodes=400,
+        workload_size=4,
+        densities=(0.01, 0.05),
+        k_values=(1, 2),
+        route_lengths=(2, 5),
+        buffer_sizes=(0, 8, 64),
+        capacity_values=(1, 2),
+        update_count=4,
+        buffer_pages=8,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        brite_nodes=(6_000, 10_000, 16_000, 24_000),
+        brite_fixed_nodes=16_000,
+        spatial_nodes=16_000,
+        grid_nodes=(4_000, 9_000, 16_000),
+        grid_fixed_nodes=9_000,
+        workload_size=12,
+        densities=(0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
+        k_values=(1, 2, 4, 8),
+        route_lengths=(5, 10, 20, 40),
+        buffer_sizes=(0, 4, 16, 64, 256),
+        capacity_values=(1, 2, 4, 8),
+        update_count=10,
+        buffer_pages=64,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        brite_nodes=(90_000, 180_000, 270_000, 360_000),
+        brite_fixed_nodes=160_000,
+        spatial_nodes=175_000,
+        grid_nodes=(40_000, 90_000, 160_000, 250_000, 360_000),
+        grid_fixed_nodes=160_000,
+        workload_size=50,
+        densities=(0.002, 0.005, 0.01, 0.02, 0.05, 0.1),
+        k_values=(1, 2, 4, 8),
+        route_lengths=(5, 10, 20, 40),
+        buffer_sizes=(0, 4, 16, 64, 256, 1024),
+        capacity_values=(1, 2, 4, 8),
+        update_count=50,
+        buffer_pages=256,
+    ),
+}
+
+
+def current_profile() -> ScaleProfile:
+    """The profile selected by ``REPRO_BENCH_SCALE`` (default small)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown REPRO_BENCH_SCALE {name!r}; "
+            f"choose one of {sorted(_PROFILES)}"
+        ) from None

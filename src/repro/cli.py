@@ -1,0 +1,268 @@
+"""Command-line interface: generate data sets, inspect them, run queries.
+
+Usage (also ``python -m repro``)::
+
+    python -m repro generate --kind spatial --nodes 2000 --density 0.02 \\
+        --placement edge -o sf.graph
+    python -m repro info sf.graph
+    python -m repro query sf.graph --query 17 --k 2 --method eager
+    python -m repro query sf.graph --query 3,9,12.5 --method lazy
+    python -m repro recommend sf.graph --k 2
+    python -m repro report sf.graph
+    python -m repro path sf.graph --source 3 --target 1200 --search alt
+    python -m repro plan sf.graph --k 2 --samples 4
+
+Graphs round-trip through the line-oriented format of
+:mod:`repro.graph.io`, so generated data sets can be versioned and
+shared between runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analytics import (
+    CalibratingPlanner,
+    expansion_profile,
+    network_report,
+    recommend_method,
+)
+from repro.api import GraphDatabase
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.grid import generate_grid
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import place_edge_points, place_node_points
+from repro.errors import QueryError, ReproError
+from repro.graph.io import load_graph, save_graph
+from repro.paths.astar import astar_path, euclidean_heuristic
+from repro.paths.bidirectional import bidirectional_search
+from repro.paths.dijkstra import shortest_path
+from repro.paths.landmarks import LandmarkIndex
+
+KINDS = ("dblp", "brite", "spatial", "grid")
+
+SEARCHES = ("dijkstra", "astar", "alt", "bidirectional")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reverse nearest neighbors in large graphs "
+        "(Yiu, Papadias, Mamoulis, Tao; ICDE 2005)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a data set and save it to a file"
+    )
+    generate.add_argument("--kind", choices=KINDS, required=True)
+    generate.add_argument("--nodes", type=int, default=2_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--density", type=float, default=0.02,
+                          help="data density |P|/|V| (0 disables points)")
+    generate.add_argument("--placement", choices=("node", "edge"),
+                          default="node")
+    generate.add_argument("--degree", type=float, default=4.0,
+                          help="average degree for grid graphs")
+    generate.add_argument("-o", "--output", required=True)
+
+    info = commands.add_parser("info", help="summarize a saved data set")
+    info.add_argument("graph")
+
+    query = commands.add_parser("query", help="run an RkNN query")
+    query.add_argument("graph")
+    query.add_argument("--query", required=True,
+                       help="node id, or 'u,v,offset' for edge locations")
+    query.add_argument("--k", type=int, default=1)
+    query.add_argument("--method", default="eager",
+                       choices=("eager", "lazy", "eager-m", "lazy-ep"))
+    query.add_argument("--materialize", type=int, default=0, metavar="K",
+                       help="build K-NN lists before querying (for eager-m)")
+    query.add_argument("--buffer-pages", type=int, default=256)
+
+    recommend = commands.add_parser(
+        "recommend", help="analyze a data set and suggest a method"
+    )
+    recommend.add_argument("graph")
+    recommend.add_argument("--k", type=int, default=1)
+
+    report = commands.add_parser(
+        "report", help="paper-style characterization of a data set"
+    )
+    report.add_argument("graph")
+
+    path = commands.add_parser(
+        "path", help="shortest path between two nodes"
+    )
+    path.add_argument("graph")
+    path.add_argument("--source", type=int, required=True)
+    path.add_argument("--target", type=int, required=True)
+    path.add_argument("--search", choices=SEARCHES, default="dijkstra")
+    path.add_argument("--landmarks", type=int, default=4,
+                      help="landmark count for --search alt")
+
+    plan = commands.add_parser(
+        "plan", help="calibrate methods on sampled queries and pick one"
+    )
+    plan.add_argument("graph")
+    plan.add_argument("--k", type=int, default=1)
+    plan.add_argument("--samples", type=int, default=4)
+    plan.add_argument("--materialize", type=int, default=0, metavar="K",
+                      help="build K-NN lists so eager-m competes")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _generate(args)
+        if args.command == "info":
+            return _info(args)
+        if args.command == "query":
+            return _query(args)
+        if args.command == "recommend":
+            return _recommend(args)
+        if args.command == "report":
+            return _report(args)
+        if args.command == "path":
+            return _path(args)
+        if args.command == "plan":
+            return _plan(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _generate(args: argparse.Namespace) -> int:
+    if args.kind == "dblp":
+        graph = generate_dblp(num_nodes=args.nodes, seed=args.seed).graph
+    elif args.kind == "brite":
+        graph = generate_brite(args.nodes, seed=args.seed)
+    elif args.kind == "spatial":
+        graph = generate_spatial(args.nodes, seed=args.seed)
+    else:
+        graph = generate_grid(args.nodes, average_degree=args.degree,
+                              seed=args.seed)
+    points = None
+    if args.density > 0:
+        if args.placement == "node":
+            points = place_node_points(graph, args.density, seed=args.seed + 1)
+        else:
+            points = place_edge_points(graph, args.density, seed=args.seed + 1)
+    save_graph(args.output, graph, points)
+    point_count = len(points) if points is not None else 0
+    print(f"wrote {args.output}: |V|={graph.num_nodes} "
+          f"|E|={graph.num_edges} |P|={point_count}")
+    return 0
+
+
+def _info(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"average degree {graph.average_degree():.2f}")
+    print(f"connected: {graph.is_connected()}")
+    if points is None:
+        print("points: none")
+    else:
+        mode = "nodes" if points.restricted else "edges"
+        print(f"points: {len(points)} on {mode} "
+              f"(density {len(points) / graph.num_nodes:.4f})")
+    db = GraphDatabase(graph, points)
+    profile = expansion_profile(db)
+    regime = "exponential" if profile.exponential else "local"
+    print(f"expansion: {regime} (hop-ball growth {profile.growth_ratio:.2f})")
+    return 0
+
+
+def _parse_location(text: str):
+    if "," in text:
+        u, v, pos = text.split(",")
+        return (int(u), int(v), float(pos))
+    return int(text)
+
+
+def _query(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
+    if args.materialize > 0:
+        db.materialize(args.materialize)
+    location = _parse_location(args.query)
+    result = db.rknn(location, args.k, method=args.method)
+    print(f"R{args.k}NN({args.query}) = {list(result.points)}")
+    print(f"cost: {result.io} page I/Os, {result.cpu_seconds * 1000:.2f} ms "
+          f"CPU, {result.counters.nodes_visited} node visits, "
+          f"total {result.total_seconds():.4f} s at 10 ms/I-O")
+    return 0
+
+
+def _recommend(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    db = GraphDatabase(graph, points)
+    recommendation = recommend_method(db, k=args.k)
+    profile = recommendation.profile
+    print(f"recommended method: {recommendation.method}")
+    print(f"reason: {recommendation.rationale}")
+    print(f"hop-ball growth ratio: {profile.growth_ratio:.2f} "
+          f"({'exponential' if profile.exponential else 'local'} expansion)")
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    db = GraphDatabase(graph, points)
+    for line in network_report(db).summary_lines():
+        print(line)
+    return 0
+
+
+def _path(args: argparse.Namespace) -> int:
+    graph, _ = load_graph(args.graph)
+    for node in (args.source, args.target):
+        if not 0 <= node < graph.num_nodes:
+            raise QueryError(f"node {node} out of range")
+    if args.search == "dijkstra":
+        result = shortest_path(graph, args.source, args.target)
+    elif args.search == "bidirectional":
+        result = bidirectional_search(graph, args.source, args.target)
+    elif args.search == "astar":
+        if graph.coords is None:
+            raise QueryError(
+                "--search astar needs coordinates; this graph has none "
+                "(use --search alt, which derives bounds from the metric)"
+            )
+        heuristic = euclidean_heuristic(graph.coords, args.target)
+        result = astar_path(graph, args.source, args.target, heuristic)
+    else:
+        index = LandmarkIndex.build(graph, graph.num_nodes,
+                                    count=args.landmarks)
+        result = astar_path(graph, args.source, args.target,
+                            index.heuristic(args.target))
+    if not result.found:
+        print(f"no path from {args.source} to {args.target}")
+        return 1
+    print(f"distance: {result.distance:.4f} over {result.hops} edges "
+          f"({result.nodes_settled} nodes settled by {args.search})")
+    print("path:", " -> ".join(str(node) for node in result.nodes))
+    return 0
+
+
+def _plan(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    if points is None or len(points) == 0:
+        raise QueryError("planning needs a data set with points")
+    db = GraphDatabase(graph, points)
+    if args.materialize > 0:
+        db.materialize(args.materialize)
+    planner = CalibratingPlanner(db, samples=args.samples)
+    print(planner.plan_for(args.k).explain())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

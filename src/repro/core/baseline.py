@@ -1,0 +1,213 @@
+"""Brute-force reference implementations (correctness oracles).
+
+The naive strategy sketched at the start of paper Section 3.1: for every
+data point, compute its distance to the query and check whether fewer
+than ``k`` other points are strictly closer.  It touches every point and
+is therefore only suitable as a baseline/oracle, which is exactly how
+the test suite and the ablation benchmarks use it.
+
+All functions work directly on the in-memory :class:`Graph` (no I/O
+accounting), so oracle results are independent of the storage stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import AbstractSet, Iterable, Mapping
+
+from repro.graph.graph import Graph, edge_key
+from repro.points.points import EdgePointSet, NodePointSet
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: A query/point location: a node id, or an ``(u, v, pos)`` edge triplet.
+Location = int | tuple[int, int, float]
+
+
+def dijkstra(
+    graph: Graph,
+    seeds: Iterable[tuple[int, float]],
+    cutoff: float = math.inf,
+) -> dict[int, float]:
+    """Plain Dijkstra from (possibly several) seeded nodes."""
+    dists: dict[int, float] = {}
+    heap = [(dist, node) for node, dist in seeds]
+    heapq.heapify(heap)
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in dists or dist > cutoff:
+            continue
+        dists[node] = dist
+        for nbr, weight in graph.neighbors(node):
+            if nbr not in dists:
+                heapq.heappush(heap, (dist + weight, nbr))
+    return dists
+
+
+def location_seeds(graph: Graph, location: Location) -> list[tuple[int, float]]:
+    """Node seeds representing a location (node, or position on an edge)."""
+    if isinstance(location, int):
+        return [(location, 0.0)]
+    u, v, pos = location
+    a, b = edge_key(u, v)
+    weight = graph.weight(a, b)
+    return [(a, float(pos)), (b, weight - float(pos))]
+
+
+def direct_distance(loc1: Location, loc2: Location) -> float | None:
+    """Same-edge direct distance ``|pos - pos'|`` (paper Section 5.2),
+    or ``None`` when the locations do not share an edge."""
+    if isinstance(loc1, int) or isinstance(loc2, int):
+        return None
+    if edge_key(loc1[0], loc1[1]) != edge_key(loc2[0], loc2[1]):
+        return None
+    return abs(loc1[2] - loc2[2])
+
+
+def location_distance(
+    graph: Graph, loc1: Location, loc2: Location
+) -> float:
+    """Exact network distance between two locations."""
+    best = direct_distance(loc1, loc2)
+    best = math.inf if best is None else best
+    dists = dijkstra(graph, location_seeds(graph, loc1))
+    for node, offset in location_seeds(graph, loc2):
+        reach = dists.get(node)
+        if reach is not None:
+            best = min(best, reach + offset)
+    return best
+
+
+def _point_locations(points) -> Mapping[int, Location]:
+    if isinstance(points, NodePointSet):
+        return {pid: node for pid, node in points.items()}
+    if isinstance(points, EdgePointSet):
+        return {pid: loc for pid, loc in points.items()}
+    raise TypeError(f"unsupported point set {type(points).__name__}")
+
+
+def _distance_to_location(
+    graph: Graph,
+    node_dists: Mapping[int, float],
+    origin: Location,
+    target: Location,
+) -> float:
+    """Distance from the origin of ``node_dists`` to ``target``.
+
+    ``node_dists`` must come from :func:`dijkstra` seeded at ``origin``;
+    the same-edge direct segment between the two locations is added on
+    top of the node-mediated paths.
+    """
+    best = direct_distance(origin, target)
+    best = math.inf if best is None else best
+    for node, offset in location_seeds(graph, target):
+        reach = node_dists.get(node)
+        if reach is not None:
+            best = min(best, reach + offset)
+    return best
+
+
+def _query_distance(
+    graph: Graph,
+    point_loc: Location,
+    node_dists: Mapping[int, float],
+    query_locs: list[Location],
+) -> float:
+    """Distance from a point to the nearest of the query locations."""
+    best = math.inf
+    for query_loc in query_locs:
+        direct = direct_distance(point_loc, query_loc)
+        if direct is not None:
+            best = min(best, direct)
+    for node, offset in location_seeds(graph, point_loc):
+        reach = node_dists.get(node)
+        if reach is not None:
+            best = min(best, reach + offset)
+    return best
+
+
+def brute_force_rknn(
+    graph: Graph,
+    points,
+    query: Location | list[Location],
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Monochromatic RkNN by exhaustive per-point checking.
+
+    ``query`` may be a single location or a list of locations (the
+    continuous-query case, where the distance to the query is the
+    minimum over the route's nodes, Section 5.1).
+    """
+    return brute_force_brknn(graph, points, points, query, k, exclude)
+
+
+def brute_force_brknn(
+    graph: Graph,
+    data_points,
+    ref_points,
+    query: Location | list[Location],
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Bichromatic RkNN oracle: data points whose k NNs *among the
+    reference points* include the query.  With ``ref_points is
+    data_points`` this degenerates to the monochromatic case (a point
+    never counts against itself)."""
+    query_locs = query if isinstance(query, list) else [query]
+    query_seeds: list[tuple[int, float]] = []
+    for loc in query_locs:
+        query_seeds.extend(location_seeds(graph, loc))
+    query_dists = dijkstra(graph, query_seeds)
+    data_locs = _point_locations(data_points)
+    ref_locs = _point_locations(ref_points)
+    result = []
+    for pid, ploc in data_locs.items():
+        if pid in exclude:
+            continue
+        rough = _query_distance(graph, ploc, query_dists, query_locs)
+        if math.isinf(rough):
+            continue  # the query is unreachable from p
+        # Re-derive both d(p, q) and every d(p, other) from a single
+        # expansion around p, so exact ties (e.g. a point residing on the
+        # query node) compare consistently under floating point -- the
+        # query-side and point-side path sums may differ in the last ulp.
+        cutoff = rough * (1.0 + 1e-9) + 1e-9
+        point_dists = dijkstra(graph, location_seeds(graph, ploc), cutoff=cutoff)
+        dist_pq = min(
+            _distance_to_location(graph, point_dists, ploc, loc)
+            for loc in query_locs
+        )
+        strictly_closer = 0
+        for other, oloc in ref_locs.items():
+            if other == pid or other in exclude:
+                continue
+            dist_po = _distance_to_location(graph, point_dists, ploc, oloc)
+            if dist_po < dist_pq:
+                strictly_closer += 1
+                if strictly_closer >= k:
+                    break
+        if strictly_closer < k:
+            result.append(pid)
+    return sorted(result)
+
+
+def brute_force_knn(
+    graph: Graph,
+    points,
+    source: Location,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """The k nearest points of a location, by exhaustive distances."""
+    dists = dijkstra(graph, location_seeds(graph, source))
+    ranked = []
+    for pid, ploc in _point_locations(points).items():
+        if pid in exclude:
+            continue
+        dist = _distance_to_location(graph, dists, source, ploc)
+        if not math.isinf(dist):
+            ranked.append((dist, pid))
+    ranked.sort()
+    return [(pid, dist) for dist, pid in ranked[:k]]

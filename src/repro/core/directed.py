@@ -1,0 +1,484 @@
+"""RkNN queries on directed networks (paper Section 7 future work).
+
+In a directed network the distance is asymmetric, so
+``RkNN(q) = {p | d(p -> q) <= d(p -> p_k(p))}`` with every distance
+measured *from* the data point.  The undirected machinery adapts as
+follows:
+
+* the main traversal expands **backwards** from the query over incoming
+  arcs, visiting nodes in ascending ``d(n -> q)`` -- the reverse
+  expansion enumerates exactly the nodes that can reach the query;
+* Lemma 1 becomes: if ``k`` points ``x`` satisfy
+  ``d(n -> x) < d(n -> q)``, no point beyond ``n`` (whose shortest path
+  to the query passes through ``n``) can be a reverse neighbor, because
+  ``d(p -> x) <= d(p -> n) + d(n -> x) < d(p -> n) + d(n -> q) = d(p -> q)``.
+  The prune test is a **forward** range-NN probe from ``n``;
+* verification expands **forwards** from a candidate point until the
+  query is met, counting points that are strictly closer.
+
+Candidates are the points residing on backward-visited nodes: a point
+that cannot reach the query is never a reverse neighbor, and a point
+whose node pops at an inflated distance (its true backward paths were
+pruned) is disqualified by the directed Lemma 1, so the exact pop
+distance ``d(p -> q)`` is available whenever it matters.
+
+Unlike the undirected case, lazy evaluation does not transfer: a
+verification discovers forward distances ``d(p -> m)``, which say
+nothing about ``d(m -> p)``, so discovered points cannot prune the
+backward traversal.  The module therefore provides ``eager``,
+``eager-m`` (whose verification collapses to a single list read) and
+the ``naive`` full backward sweep as the baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import AbstractSet
+
+from repro.core.materialize import MaterializedKNN
+from repro.core.numeric import inflate_bound, strictly_less
+from repro.core.pq import CountingHeap
+from repro.errors import QueryError
+from repro.points.points import NodePointSet
+from repro.storage.disk_directed import DiskDiGraph
+from repro.storage.stats import CostTracker
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: Methods accepted by :func:`directed_rknn`.
+METHODS = ("eager", "eager-m", "naive")
+
+
+class DirectedView:
+    """Query-time access to a disk-resident directed network."""
+
+    def __init__(
+        self,
+        disk: DiskDiGraph,
+        points: NodePointSet,
+        tracker: CostTracker,
+    ):
+        self.disk = disk
+        self.points = points
+        self.tracker = tracker
+
+    @property
+    def num_nodes(self) -> int:
+        return self.disk.num_nodes
+
+    def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        return self.disk.out_neighbors(node)
+
+    def in_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        return self.disk.in_neighbors(node)
+
+    def point_at(self, node: int) -> int | None:
+        return self.points.point_at(node)
+
+    def node_of(self, pid: int) -> int:
+        return self.points.node_of(pid)
+
+
+def directed_knn(
+    view: DirectedView,
+    source: int,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """The k nearest points *from* ``source`` (ascending ``d(source -> x)``)."""
+    return directed_range_nn(view, source, k, math.inf, exclude)
+
+
+def directed_range_nn(
+    view: DirectedView,
+    source: int,
+    k: int,
+    radius: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """Forward range-NN: up to ``k`` points with ``d(source -> x)``
+    strictly below ``radius``."""
+    view.tracker.range_nn_calls += 1
+    result: list[tuple[int, float]] = []
+    if k <= 0 or radius <= 0:
+        return result
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, source)
+    visited: set[int] = set()
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        if not strictly_less(dist, radius):
+            break
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude:
+            result.append((pid, dist))
+            if len(result) == k:
+                break
+        for nbr, weight in view.out_neighbors(node):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return result
+
+
+def directed_verify(
+    view: DirectedView,
+    pid: int,
+    k: int,
+    query_node: int,
+    bound: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> bool:
+    """Forward verification: is the query among ``p``'s k nearest
+    (by ``d(p -> .)``) points?  ``bound`` upper-bounds ``d(p -> q)``."""
+    view.tracker.verifications += 1
+    bound = inflate_bound(bound)
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, view.node_of(pid))
+    visited: set[int] = set()
+    point_dists: list[float] = []
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        if dist > bound:
+            break
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        strictly_closer = bisect_left(point_dists, dist)
+        if node == query_node:
+            return strictly_closer < k
+        if strictly_closer >= k:
+            return False
+        other = view.point_at(node)
+        if other is not None and other != pid and other not in exclude:
+            insort(point_dists, dist)
+        for nbr, weight in view.out_neighbors(node):
+            if nbr not in visited:
+                ndist = dist + weight
+                if ndist <= bound:
+                    heap.push(ndist, nbr)
+    return False
+
+
+def directed_all_nn(
+    view: DirectedView,
+    capacity: int,
+) -> dict[int, list[tuple[int, float]]]:
+    """Materialize, per node ``n``, its ``capacity`` nearest points by
+    the *forward* distance ``d(n -> x)``.
+
+    A single multi-source **backward** expansion from every point
+    (incoming arcs relax ``d(n -> x) = w(n, m) + d(m -> x)``), the
+    directed counterpart of the paper's all-NN (Fig. 8).
+    """
+    heap = CountingHeap(view.tracker)
+    for pid, node in view.points.items():
+        heap.push(0.0, (node, pid))
+    lists: dict[int, list[tuple[int, float]]] = {}
+    closed: set[tuple[int, int]] = set()
+    while heap:
+        dist, (node, pid) = heap.pop()
+        if (node, pid) in closed:
+            continue
+        closed.add((node, pid))
+        entries = lists.setdefault(node, [])
+        if len(entries) >= capacity:
+            continue
+        entries.append((pid, dist))
+        for nbr, weight in view.in_neighbors(node):
+            if (nbr, pid) not in closed and len(lists.get(nbr, ())) < capacity:
+                heap.push(dist + weight, (nbr, pid))
+    return lists
+
+
+def directed_rknn(
+    view: DirectedView,
+    query_node: int,
+    k: int = 1,
+    method: str = "eager",
+    materialized: MaterializedKNN | None = None,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Directed monochromatic RkNN of a query located on a node."""
+    if method == "eager":
+        return _directed_eager(view, query_node, k, exclude)
+    if method == "eager-m":
+        if materialized is None:
+            raise QueryError("method 'eager-m' needs materialized K-NN lists")
+        return _directed_eager_m(view, materialized, query_node, k, exclude)
+    if method == "naive":
+        return _directed_naive(view, query_node, k, exclude)
+    raise QueryError(f"unknown method {method!r}; choose one of {METHODS}")
+
+
+def _directed_eager(
+    view: DirectedView,
+    query_node: int,
+    k: int,
+    exclude: AbstractSet[int],
+) -> list[int]:
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, query_node)
+    visited: set[int] = set()
+    result: list[int] = []
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude:
+            # dist is d(p -> q) (exact whenever p can qualify)
+            if directed_verify(view, pid, k, query_node, dist, exclude):
+                result.append(pid)
+        closer = directed_range_nn(view, node, k, dist, exclude)
+        if len(closer) >= k:
+            continue  # directed Lemma 1: nothing beyond can qualify
+        for nbr, weight in view.in_neighbors(node):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+def _directed_eager_m(
+    view: DirectedView,
+    materialized: MaterializedKNN,
+    query_node: int,
+    k: int,
+    exclude: AbstractSet[int],
+) -> list[int]:
+    if k > materialized.capacity:
+        raise QueryError(
+            f"k={k} exceeds the materialized capacity K={materialized.capacity}"
+        )
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, query_node)
+    visited: set[int] = set()
+    result: list[int] = []
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        raw = materialized.get(node)
+        entries = [(p, d) for p, d in raw if p not in exclude]
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude:
+            if _list_verify(view, materialized, raw, entries, pid, k,
+                            query_node, dist, exclude):
+                result.append(pid)
+        closer = [e for e in entries if strictly_less(e[1], dist)]
+        if len(closer) >= k:
+            continue
+        for nbr, weight in view.in_neighbors(node):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+def _list_verify(
+    view: DirectedView,
+    materialized: MaterializedKNN,
+    raw: tuple[tuple[int, float], ...],
+    entries: list[tuple[int, float]],
+    pid: int,
+    k: int,
+    query_node: int,
+    dist: float,
+    exclude: AbstractSet[int],
+) -> bool:
+    """Verification through the candidate's own list.
+
+    The list of ``p``'s node stores ``d(n_p -> x) = d(p -> x)`` exactly,
+    so ``p`` qualifies iff ``d(p -> q) <= t`` with ``t`` the k-th other
+    entry; no expansion needed unless exclusions truncate the list.
+    """
+    others = [e for e in entries if e[0] != pid]
+    if len(others) >= k:
+        threshold = others[k - 1][1]
+    elif len(raw) < materialized.capacity:
+        threshold = math.inf  # untruncated: fewer than k others exist
+    else:
+        return directed_verify(view, pid, k, query_node, dist, exclude)
+    return not strictly_less(threshold, dist)
+
+
+def _directed_naive(
+    view: DirectedView,
+    query_node: int,
+    k: int,
+    exclude: AbstractSet[int],
+) -> list[int]:
+    """Backward sweep without pruning: the directed baseline."""
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, query_node)
+    visited: set[int] = set()
+    result: list[int] = []
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude:
+            if directed_verify(view, pid, k, query_node, dist, exclude):
+                result.append(pid)
+        for nbr, weight in view.in_neighbors(node):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+def brute_force_directed_rknn(
+    graph,
+    points: NodePointSet,
+    query_node: int,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Directed oracle: full forward Dijkstra per data point."""
+    import heapq
+
+    def forward_dists(source: int, cutoff: float) -> dict[int, float]:
+        dists: dict[int, float] = {}
+        heap = [(0.0, source)]
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in dists or dist > cutoff:
+                continue
+            dists[node] = dist
+            for nbr, weight in graph.out_neighbors(node):
+                if nbr not in dists:
+                    heapq.heappush(heap, (dist + weight, nbr))
+        return dists
+
+    result = []
+    for pid, node in points.items():
+        if pid in exclude:
+            continue
+        reach = forward_dists(node, math.inf)
+        dist_pq = reach.get(query_node)
+        if dist_pq is None:
+            continue
+        strictly_closer = 0
+        for other, onode in points.items():
+            if other == pid or other in exclude:
+                continue
+            dist = reach.get(onode)
+            if dist is not None and dist < dist_pq:
+                strictly_closer += 1
+                if strictly_closer >= k:
+                    break
+        if strictly_closer < k:
+            result.append(pid)
+    return sorted(result)
+
+
+def directed_insert(
+    view: DirectedView,
+    materialized: MaterializedKNN,
+    pid: int,
+    node: int,
+) -> int:
+    """Propagate a new point into the forward K-NN lists.
+
+    Mirror image of the undirected insertion (Section 4.1): the new
+    point improves ``d(n -> p)``, which relaxes along *incoming* arcs.
+    Returns the number of updated nodes.
+    """
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, node)
+    visited: set[int] = set()
+    updated = 0
+    while heap:
+        dist, current = heap.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        view.tracker.nodes_visited += 1
+        entries = list(materialized.get(current))
+        if any(existing == pid for existing, _ in entries):
+            raise QueryError(f"point {pid} already materialized")
+        if len(entries) >= materialized.capacity and dist >= entries[-1][1]:
+            continue
+        insort(entries, (pid, dist), key=lambda item: item[1])
+        del entries[materialized.capacity:]
+        materialized.store.put(current, entries)
+        updated += 1
+        for nbr, weight in view.in_neighbors(current):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return updated
+
+
+def directed_delete(
+    view: DirectedView,
+    materialized: MaterializedKNN,
+    pid: int,
+    node: int,
+) -> int:
+    """Remove a point from the forward K-NN lists and refill them.
+
+    Mirror image of the undirected deletion (Fig. 10): step 1 expands
+    backwards from the deleted point's node, dropping it from every
+    affected list and stopping at border nodes; step 2 refills the
+    affected lists from the borders' entries and the affected nodes'
+    survivors, relaying along incoming arcs.  Returns the number of
+    affected nodes.
+    """
+    capacity = materialized.capacity
+    heap = CountingHeap(view.tracker)
+    heap.push(0.0, node)
+    visited: set[int] = set()
+    affected: dict[int, list[tuple[int, float]]] = {}
+    while heap:
+        dist, current = heap.pop()
+        if current in visited:
+            continue
+        visited.add(current)
+        view.tracker.nodes_visited += 1
+        entries = list(materialized.get(current))
+        survivors = [entry for entry in entries if entry[0] != pid]
+        if len(survivors) == len(entries):
+            continue  # border: list unchanged, do not expand
+        affected[current] = survivors
+        for nbr, weight in view.in_neighbors(current):
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+
+    refill = CountingHeap(view.tracker)
+    for current, survivors in affected.items():
+        for other, dist in survivors:
+            refill.push(dist, (current, other))
+        for nbr, weight in view.out_neighbors(current):
+            if nbr in affected:
+                continue
+            for other, dist in materialized.get(nbr):
+                if other != pid:
+                    refill.push(dist + weight, (current, other))
+    closed: set[tuple[int, int]] = set()
+    while refill:
+        dist, (current, other) = refill.pop()
+        if (current, other) in closed:
+            continue
+        closed.add((current, other))
+        entries = affected[current]
+        known = any(existing == other for existing, _ in entries)
+        if not known:
+            if len(entries) >= capacity:
+                continue
+            entries.append((other, dist))
+        for nbr, weight in view.in_neighbors(current):
+            if nbr in affected and (nbr, other) not in closed:
+                refill.push(dist + weight, (nbr, other))
+    for current, entries in affected.items():
+        materialized.store.put(current, entries)
+    return len(affected)

@@ -1,0 +1,134 @@
+"""Eager-M: the eager algorithm over materialized K-NN lists (Section 4.1).
+
+Instead of running a ``range-NN`` probe at every de-heaped node, eager-M
+reads the node's materialized list: the prune test and the candidate
+set come for one logical read.  Verification is also short-circuited:
+for a candidate ``p`` at node ``n'``, if the upper bound
+``d(q, n) + d(n, p)`` of ``d(p, q)`` does not exceed the distance of the
+k-th *other* point in ``n'``'s list, ``p`` is a result without any
+expansion; only inconclusive candidates fall back to a verify query.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Iterable
+
+from repro.core.materialize import MaterializedKNN
+from repro.core.network import NetworkView
+from repro.core.nn import verify
+from repro.core.numeric import strictly_less
+from repro.core.pq import CountingHeap
+from repro.errors import QueryError
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def eager_m_rknn(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    query_node: int,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Monochromatic RkNN using materialized lists."""
+    return _eager_m(view, materialized, [query_node], k, exclude)
+
+
+def eager_m_rknn_route(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    route: Iterable[int],
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Continuous RkNN along a route using materialized lists."""
+    return _eager_m(view, materialized, list(route), k, exclude)
+
+
+def _eager_m(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    sources: list[int],
+    k: int,
+    exclude: AbstractSet[int],
+) -> list[int]:
+    if k > materialized.capacity:
+        raise QueryError(
+            f"k={k} exceeds the materialized capacity K={materialized.capacity}"
+        )
+    heap = CountingHeap(view.tracker)
+    source_set = set(sources)
+    for node in source_set:
+        heap.push(0.0, node)
+    visited: set[int] = set()
+    checked: set[int] = set()
+    result: list[int] = []
+
+    for node in source_set:
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude and pid not in checked:
+            checked.add(pid)
+            result.append(pid)
+
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        entries = [
+            (pid, pdist)
+            for pid, pdist in materialized.get(node)
+            if pid not in exclude
+        ]
+        # candidates: the (up to k) nearest points strictly closer than q
+        candidates = [
+            (pid, pdist) for pid, pdist in entries if strictly_less(pdist, dist)
+        ][:k]
+        for pid, pdist in candidates:
+            if pid in checked:
+                continue
+            checked.add(pid)
+            if _verify_with_lists(
+                view, materialized, pid, k, source_set, dist + pdist, exclude
+            ):
+                result.append(pid)
+        if len(candidates) < k:
+            for nbr, weight in view.neighbors(node):
+                if nbr not in visited:
+                    heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+def _verify_with_lists(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    pid: int,
+    k: int,
+    targets: set[int],
+    bound: float,
+    exclude: AbstractSet[int],
+) -> bool:
+    """Short-circuit verification through the candidate's own node list.
+
+    ``bound`` upper-bounds ``d(p, q)``.  Let ``t`` be the distance of the
+    k-th point other than ``p`` in the list of ``p``'s node.  When
+    ``bound <= t`` the query is within ``p``'s k-th neighbor radius, so
+    ``p`` qualifies without expansion; otherwise the outcome is unknown
+    (``bound`` is only an upper bound) and an exact verify query runs.
+    """
+    node = view.node_of(pid)
+    entries = materialized.get(node)
+    others = [e for e in entries if e[0] != pid and e[0] not in exclude]
+    if len(others) >= k:
+        threshold = others[k - 1][1]
+    elif len(entries) < materialized.capacity:
+        # The list is not truncated, so fewer than k other points exist
+        # in the whole (reachable) network: p qualifies unconditionally.
+        threshold = math.inf
+    else:
+        threshold = None  # truncated list hides the k-th other point
+    if threshold is not None and bound <= threshold:
+        return True
+    return verify(view, pid, k, targets, bound, exclude)

@@ -1,0 +1,59 @@
+"""Network-expansion primitives (Dijkstra-style traversal).
+
+The paper's algorithms are all built on incremental network expansion:
+nodes are visited in ascending order of their network distance from one
+or more sources (Section 2.2, Section 3.1).  :func:`expand_nodes` is a
+generator so callers stop paying I/O the moment they stop iterating --
+the adjacency list of a yielded node is only fetched if the caller asks
+for the next node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.core.network import NetworkView
+from repro.core.pq import CountingHeap
+
+
+def expand_nodes(
+    view: NetworkView,
+    sources: Iterable[tuple[int, float]],
+    max_dist: float = math.inf,
+) -> Iterator[tuple[int, float]]:
+    """Yield ``(node, distance)`` in ascending distance from ``sources``.
+
+    ``sources`` is a list of ``(node, initial_distance)`` pairs (several
+    sources express expansions from edge locations or routes).  Nodes
+    farther than ``max_dist`` are never yielded; each reachable node is
+    yielded exactly once, at its true network distance from the nearest
+    source.
+    """
+    heap = CountingHeap(view.tracker)
+    for node, dist in sources:
+        heap.push(dist, node)
+    visited: set[int] = set()
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        if dist > max_dist:
+            return
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        yield node, dist
+        for nbr, weight in view.neighbors(node):
+            if nbr not in visited:
+                ndist = dist + weight
+                if ndist <= max_dist:
+                    heap.push(ndist, nbr)
+
+
+def distances_from(
+    view: NetworkView,
+    sources: Iterable[tuple[int, float]],
+    max_dist: float = math.inf,
+) -> dict[int, float]:
+    """Materialize :func:`expand_nodes` into a ``node -> distance`` map."""
+    return {node: dist for node, dist in expand_nodes(view, sources, max_dist)}

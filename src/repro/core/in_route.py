@@ -1,0 +1,125 @@
+"""In-route nearest-neighbor queries (paper Section 2.2, ref. [16]).
+
+Shekhar & Yoo's IRNN problem: a traveler follows a fixed route and
+wants, *at every route node*, the k nearest data points -- e.g. the
+nearest fuel stops available at each leg of a trip.  This differs from
+the paper's continuous RkNN (Section 5.1), which unions reverse
+results over the route; here each route node gets its own forward
+kNN answer.
+
+Two query shapes:
+
+* :func:`in_route_knn` -- exact ``(point, distance)`` lists, one kNN
+  expansion per distinct route node (the per-node distances genuinely
+  differ, so each node pays its own -- local -- expansion);
+* :func:`in_route_nn_ids` -- the k nearest *identities* per route
+  node, with [16]-style certification: an anchor node's (k+1)-NN
+  expansion yields a safety margin ``d_{k+1} - d_k``, and while twice
+  the accumulated hop distance stays below that margin the top-k set
+  provably cannot change, so en-route nodes are answered without any
+  expansion.  Re-anchoring happens only when the certificate expires.
+
+The certificate: walking distance ``W`` from anchor ``a`` bounds every
+point's distance change by ``W`` (triangle inequality), so
+``d(b, p_i) <= d(a, p_i) + W <= d_k + W`` for the top-k and
+``d(b, q) >= d(a, q) - W >= d_{k+1} - W`` for every other point;
+``2W < d_{k+1} - d_k`` keeps the two ranges strictly separated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Sequence
+
+from repro.core.network import NetworkView
+from repro.core.nn import knn
+from repro.core.numeric import strictly_less
+from repro.errors import QueryError
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: One route stop: the node and its k nearest points (ascending).
+RouteStop = tuple[int, list[tuple[int, float]]]
+
+#: One identity-only route stop: the node and its k nearest point ids.
+RouteStopIds = tuple[int, frozenset[int]]
+
+
+def _validate_route(view: NetworkView, route: Sequence[int], k: int) -> None:
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if not route:
+        raise QueryError("the route must contain at least one node")
+    for node in route:
+        if not 0 <= node < view.num_nodes:
+            raise QueryError(f"route node {node} out of range")
+    for a, b in zip(route, route[1:]):
+        if a != b and all(nbr != b for nbr, _ in view.neighbors(a)):
+            raise QueryError(f"route nodes {a} and {b} are not adjacent")
+
+
+def in_route_knn(
+    view: NetworkView,
+    route: Sequence[int],
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[RouteStop]:
+    """Exact per-node kNN lists along a route.
+
+    Repeated route nodes are answered from a local cache; every
+    distinct node runs one (locally terminating) kNN expansion.
+    """
+    _validate_route(view, route, k)
+    results: list[RouteStop] = []
+    cache: dict[int, list[tuple[int, float]]] = {}
+    for node in route:
+        neighbors = cache.get(node)
+        if neighbors is None:
+            neighbors = knn(view, node, k, exclude)
+            cache[node] = neighbors
+        results.append((node, neighbors))
+    return results
+
+
+def in_route_nn_ids(
+    view: NetworkView,
+    route: Sequence[int],
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[RouteStopIds]:
+    """Per-node k-nearest *identity sets* with certified skipping.
+
+    Returns, for every route node, the set of its k nearest point ids
+    (fewer when fewer points are reachable).  Ties at the k-th
+    distance force a re-anchor, so the returned set is always the
+    unique strict top-k when one exists and an arbitrary-but-correct
+    expansion answer otherwise (matching :func:`in_route_knn`).
+    """
+    _validate_route(view, route, k)
+    results: list[RouteStopIds] = []
+    anchor_set: frozenset[int] = frozenset()
+    margin = -math.inf   # d_{k+1} - d_k at the current anchor
+    walked = 0.0         # accumulated hop distance since the anchor
+    previous: int | None = None
+    for node in route:
+        if previous is not None and node != previous:
+            walked += _hop_weight(view, previous, node)
+        if previous is None or not strictly_less(2.0 * walked, margin):
+            neighbors = knn(view, node, k + 1, exclude)
+            top = neighbors[:k]
+            anchor_set = frozenset(pid for pid, _ in top)
+            if len(neighbors) <= k:
+                margin = math.inf  # no (k+1)-th point can ever intrude
+            else:
+                margin = neighbors[k][1] - top[-1][1]
+            walked = 0.0
+        results.append((node, anchor_set))
+        previous = node
+    return results
+
+
+def _hop_weight(view: NetworkView, u: int, v: int) -> float:
+    for nbr, weight in view.neighbors(u):
+        if nbr == v:
+            return weight
+    raise QueryError(f"route nodes {u} and {v} are not adjacent")

@@ -1,0 +1,99 @@
+"""Nearest-neighbor primitives on restricted networks.
+
+Three queries from paper Section 3.1:
+
+* :func:`knn` -- the k nearest data points of a node;
+* :func:`range_nn` -- ``range-NN(n, k, e)``: the k nearest data points
+  at distance *strictly smaller* than ``e`` (possibly fewer);
+* :func:`verify` -- ``verify(p, k, q)``: whether the query location is
+  among the k nearest neighbors of data point ``p``, implemented as a
+  range-NN around ``p`` that terminates as soon as ``q`` is met.
+
+Tie handling follows the RkNN definition
+``RkNN(q) = {p | d(p, q) <= d(p, p_k(p))}``: a point belongs to the
+result when *fewer than k* other points are **strictly** closer to it
+than the query, so ties favor the query.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import AbstractSet, Iterable
+
+from repro.core.expansion import expand_nodes
+from repro.core.numeric import inflate_bound, strictly_less
+from repro.core.network import NetworkView
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def knn(
+    view: NetworkView,
+    source: int,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """The ``k`` nearest data points of node ``source`` (ascending)."""
+    return range_nn(view, source, k, math.inf, exclude)
+
+
+def range_nn(
+    view: NetworkView,
+    source: int,
+    k: int,
+    radius: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """``range-NN(source, k, radius)``: up to ``k`` points with distance
+    strictly below ``radius``, in ascending distance order."""
+    view.tracker.range_nn_calls += 1
+    result: list[tuple[int, float]] = []
+    if k <= 0 or radius <= 0:
+        return result
+    for node, dist in expand_nodes(view, [(source, 0.0)]):
+        if not strictly_less(dist, radius):
+            break
+        pid = view.point_at(node)
+        if pid is not None and pid not in exclude:
+            result.append((pid, dist))
+            if len(result) == k:
+                break
+    return result
+
+
+def verify(
+    view: NetworkView,
+    pid: int,
+    k: int,
+    targets: Iterable[int],
+    bound: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> bool:
+    """``verify(p, k, q)``: is the query among the k NNs of point ``p``?
+
+    Expands the network around ``p`` until a target node is met (for
+    single-point queries ``targets`` holds the query node; continuous
+    queries pass every node of the route, per Section 5.1).  ``bound``
+    is any upper bound of ``d(p, q)`` -- the search fails once the
+    frontier passes it.  Returns ``True`` iff fewer than ``k`` data
+    points (other than ``p`` and ``exclude``) lie strictly closer to
+    ``p`` than the first target met.
+    """
+    view.tracker.verifications += 1
+    bound = inflate_bound(bound)  # survive fp noise when d(p, q) == bound
+    target_set = set(targets)
+    start = view.node_of(pid)
+    point_dists: list[float] = []  # ascending distances of points seen
+    for node, dist in expand_nodes(view, [(start, 0.0)], max_dist=bound):
+        strictly_closer = bisect_left(point_dists, dist)
+        if node in target_set:
+            return strictly_closer < k
+        if strictly_closer >= k:
+            # k points already lie strictly below every future frontier
+            # distance, hence strictly below d(p, q): p cannot qualify.
+            return False
+        other = view.point_at(node)
+        if other is not None and other != pid and other not in exclude:
+            insort(point_dists, dist)
+    return False

@@ -1,0 +1,60 @@
+"""Floating-point discipline for network distances.
+
+Every decisive comparison inside one Dijkstra expansion is exact (the
+values share their summation order), but the paper's algorithms also
+compare distances across *different* expansions: a range-NN probe's
+result against the main traversal's distance, a verification bound
+assembled as ``d(q, n) + d(n, p)`` against the verification's own path
+sums, a materialized distance against a query-time distance.  Two sums
+of the same real-valued path can then differ in the last few ulps,
+which flips exact ties (e.g. a data point residing on the query node)
+arbitrarily.
+
+The helpers here make those cross-expansion comparisons deterministic:
+
+* :func:`strictly_less` treats values within a relative guard band as
+  equal, so "strictly closer than the query" never triggers on an
+  exact tie that floating point happened to order the wrong way;
+* :func:`inflate_bound` pads an upper bound so a verification can still
+  reach a target whose true distance equals the bound in real
+  arithmetic.
+
+The guard (1e-9, purely *relative*) sits far above the accumulated
+rounding error of path sums (~1e-13 relative) and far below any genuine
+weight difference produced by the data sets.  It has no absolute floor:
+network distances are sums of positive weights, so a true zero is
+computed exactly and arbitrarily small scales still compare correctly.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Relative half-width of the tie guard band.
+EPS = 1e-9
+
+
+def strictly_less(a: float, b: float) -> bool:
+    """True iff ``a < b`` by more than floating-point path-sum noise."""
+    if math.isinf(a) or math.isinf(b):
+        return a < b
+    return a < b - EPS * max(abs(a), abs(b))
+
+
+def inflate_bound(bound: float) -> float:
+    """Pad an upper bound so real-arithmetic equality stays within it."""
+    if math.isinf(bound):
+        return bound
+    return bound + EPS * abs(bound)
+
+
+def tie_threshold(value: float) -> float:
+    """Largest distance still considered *strictly* below ``value``.
+
+    ``bisect_left(dists, tie_threshold(v))`` counts the entries of an
+    ascending list that are strictly smaller than ``v`` beyond
+    floating-point path-sum noise.
+    """
+    if math.isinf(value):
+        return value
+    return value - EPS * abs(value)

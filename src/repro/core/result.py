@@ -1,0 +1,79 @@
+"""Result objects returned by the public query API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.stats import CostModel, CostTracker
+
+
+@dataclass(frozen=True)
+class RnnResult:
+    """Outcome of one RkNN query.
+
+    Attributes
+    ----------
+    points:
+        The reverse k-nearest neighbors, as sorted point ids.
+    io:
+        Physical page transfers charged to the query (reads + writes).
+    cpu_seconds:
+        Wall-clock CPU time of the query.
+    counters:
+        Full counter diff (visited nodes, heap operations, buffer hits,
+        range-NN probes, verifications, ...).
+    """
+
+    points: tuple[int, ...]
+    io: int
+    cpu_seconds: float
+    counters: CostTracker = field(repr=False, default_factory=CostTracker)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self.points
+
+    def total_seconds(self, model: CostModel | None = None) -> float:
+        """Combined cost: CPU plus charged I/O (default 10 ms per page)."""
+        model = model or CostModel()
+        return model.total_seconds(self.counters)
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """Outcome of a (k-)nearest-neighbor or range-NN query."""
+
+    neighbors: tuple[tuple[int, float], ...]  # (point id, distance), ascending
+    io: int
+    cpu_seconds: float
+    counters: CostTracker = field(repr=False, default_factory=CostTracker)
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+    def __iter__(self):
+        return iter(self.neighbors)
+
+    def ids(self) -> tuple[int, ...]:
+        """Just the point ids, in ascending distance order."""
+        return tuple(pid for pid, _ in self.neighbors)
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of a data-point insertion or deletion."""
+
+    affected_nodes: int
+    io: int
+    cpu_seconds: float
+    counters: CostTracker = field(repr=False, default_factory=CostTracker)
+
+    def total_seconds(self, model: CostModel | None = None) -> float:
+        """Combined cost: CPU plus charged I/O (default 10 ms per page)."""
+        model = model or CostModel()
+        return model.total_seconds(self.counters)

@@ -1,0 +1,735 @@
+"""RkNN processing in unrestricted networks (Section 5.2).
+
+In an unrestricted network data points lie anywhere on edges, addressed
+by ``<n_i, n_j, pos>`` triplets, and the query itself may be a node or
+an edge position.  Distances combine node-mediated paths with the
+*direct* same-edge segment (paper's ``d_L``), and the point file is a
+separate paged store (Fig. 14b).
+
+All four algorithms are provided.  The discovery of candidate points
+differs from the paper's restricted setting in one deliberate way: in
+addition to the range-NN probes, every non-pruned node scans the points
+on its incident edges and submits them for verification.  This closes a
+completeness gap of probe-only discovery -- a point just beyond a node
+``n`` with ``d(n, p) >= d(n, q)`` is returned by no probe, yet can still
+be a reverse neighbor (its shortest path to the query leaves through
+``n``).  Since every node on a reverse neighbor's shortest path to the
+query is unprunable under Lemma 1, scanning incident edges of non-pruned
+nodes discovers every result; verification remains exact, so extra
+candidates only cost work, never correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+from typing import AbstractSet, Callable, Sequence
+
+from repro.core.lazy import _LazyState
+from repro.core.materialize import MaterializedKNN
+from repro.core.network import NetworkView
+from repro.core.numeric import inflate_bound, strictly_less, tie_threshold
+from repro.core.pq import CountingHeap
+from repro.errors import QueryError
+from repro.graph.graph import edge_key
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: A location: a node id, or a canonical ``(u, v, pos)`` edge triplet.
+Location = int | tuple[int, int, float]
+
+_NODE = 0
+_POINT = 1
+
+
+# ---------------------------------------------------------------------------
+# location helpers
+# ---------------------------------------------------------------------------
+
+def normalize_location(location: Location) -> Location:
+    """Canonicalize an edge location to ``u < v`` with ``pos`` from ``u``."""
+    if isinstance(location, int):
+        return location
+    u, v, pos = location
+    if u == v:
+        raise QueryError(f"location ({u}, {v}, {pos}) lies on a self-loop")
+    if pos < 0:
+        raise QueryError(f"negative edge offset {pos}")
+    if (u, v) != edge_key(u, v):
+        raise QueryError(
+            f"pass edge locations in canonical order ({min(u, v)}, {max(u, v)}) "
+            f"with the offset measured from node {min(u, v)}"
+        )
+    return (u, v, float(pos))
+
+
+def location_seeds(view: NetworkView, location: Location) -> list[tuple[int, float]]:
+    """Node seeds ``(node, offset)`` representing a location."""
+    if isinstance(location, int):
+        return [(location, 0.0)]
+    u, v, pos = location
+    weight = view.edge_weight(u, v)
+    if pos > weight:
+        raise QueryError(f"offset {pos} exceeds weight {weight} of edge ({u}, {v})")
+    return [(u, pos), (v, weight - pos)]
+
+
+def direct_distance(loc1: Location, loc2: Location) -> float | None:
+    """Same-edge direct distance, or ``None`` for different edges/nodes."""
+    if isinstance(loc1, int) or isinstance(loc2, int):
+        return None
+    if (loc1[0], loc1[1]) != (loc2[0], loc2[1]):
+        return None
+    return abs(loc1[2] - loc2[2])
+
+
+def _offset_from(node: int, other: int, weight: float, pos: float) -> float:
+    """Distance along the edge from ``node`` to a point at offset ``pos``
+    (``pos`` is measured from the smaller endpoint)."""
+    return pos if node < other else weight - pos
+
+
+# ---------------------------------------------------------------------------
+# primitives: kNN / range-NN / verification
+# ---------------------------------------------------------------------------
+
+def unrestricted_range_nn(
+    view: NetworkView,
+    source: int,
+    k: int,
+    radius: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """``range-NN`` from a node over edge points (paper Section 5.2).
+
+    Points on the edges incident to a de-heaped node re-enter the heap
+    as point entries, so points pop in ascending distance order and the
+    same point discovered over two paths is reported once, at its true
+    distance.  Returns up to ``k`` points strictly closer than
+    ``radius``.
+    """
+    view.tracker.range_nn_calls += 1
+    if k <= 0 or radius <= 0:
+        return []
+    return _expand_points(view, [(source, 0.0)], [], k, radius, exclude)
+
+
+def unrestricted_knn(
+    view: NetworkView,
+    location: Location,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[tuple[int, float]]:
+    """The k nearest edge points of an arbitrary location."""
+    location = normalize_location(location)
+    point_seeds: list[tuple[int, float]] = []
+    if not isinstance(location, int):
+        u, v, pos = location
+        for pid, ppos in view.edge_points(u, v):
+            if pid not in exclude:
+                point_seeds.append((pid, abs(pos - ppos)))
+    return _expand_points(
+        view, location_seeds(view, location), point_seeds, k, math.inf, exclude
+    )
+
+
+def _expand_points(
+    view: NetworkView,
+    node_seeds: Sequence[tuple[int, float]],
+    point_seeds: Sequence[tuple[int, float]],
+    k: int,
+    radius: float,
+    exclude: AbstractSet[int],
+) -> list[tuple[int, float]]:
+    heap = CountingHeap(view.tracker)
+    for node, dist in node_seeds:
+        heap.push(dist, (_NODE, node))
+    for pid, dist in point_seeds:
+        if dist < radius:
+            heap.push(dist, (_POINT, pid))
+    seen_nodes: set[int] = set()
+    seen_points: set[int] = set()
+    result: list[tuple[int, float]] = []
+    while heap:
+        dist, (kind, obj) = heap.pop()
+        if not strictly_less(dist, radius):
+            break
+        if kind == _POINT:
+            if obj in seen_points:
+                continue
+            seen_points.add(obj)
+            result.append((obj, dist))
+            if len(result) == k:
+                break
+            continue
+        if obj in seen_nodes:
+            continue
+        seen_nodes.add(obj)
+        view.tracker.nodes_visited += 1
+        for nbr, weight in view.neighbors(obj):
+            if view.has_points_on(obj, nbr):
+                for pid, pos in view.edge_points(obj, nbr):
+                    if pid in exclude or pid in seen_points:
+                        continue
+                    reach = dist + _offset_from(obj, nbr, weight, pos)
+                    if strictly_less(reach, radius):
+                        heap.push(reach, (_POINT, pid))
+            if nbr not in seen_nodes:
+                ndist = dist + weight
+                if strictly_less(ndist, radius):
+                    heap.push(ndist, (_NODE, nbr))
+    return result
+
+
+def unrestricted_verify(
+    view: NetworkView,
+    count_view: NetworkView,
+    p_loc: Location,
+    skip_pid: int | None,
+    k: int,
+    target_nodes: AbstractSet[int],
+    target_loc: Location | None,
+    bound: float,
+    exclude: AbstractSet[int] = _EMPTY,
+    on_visit: Callable[[int, float], None] | None = None,
+) -> bool:
+    """Exact verification: is the query among the k NNs of a point?
+
+    Expands around ``p_loc``; ``count_view`` supplies the points that
+    compete with the query (equal to ``view`` for monochromatic, the
+    reference view for bichromatic queries).  The query is "met" when a
+    ``target_node`` is de-heaped, when an endpoint of ``target_loc``
+    tightens the node-mediated bound, or via the same-edge direct
+    segment; the smallest of these is the exact ``d(p, q)``.  ``bound``
+    is any upper bound of ``d(p, q)``.  ``on_visit`` is the lazy
+    algorithm's counting hook, called for every node the verification
+    de-heaps.
+
+    Returns ``True`` iff fewer than ``k`` counted points lie strictly
+    closer to ``p`` than the query.
+    """
+    view.tracker.verifications += 1
+    bound = inflate_bound(bound)  # survive fp noise when d(p, q) == bound
+    p_loc = normalize_location(p_loc)
+    best_q = math.inf
+    if target_loc is not None:
+        target_loc = normalize_location(target_loc)
+        direct = direct_distance(p_loc, target_loc)
+        if direct is not None:
+            best_q = direct
+        target_u, target_v, target_pos = target_loc
+        target_weight = view.edge_weight(target_u, target_v)
+    heap = CountingHeap(view.tracker)
+    for node, offset in location_seeds(view, p_loc):
+        heap.push(offset, (_NODE, node))
+    if not isinstance(p_loc, int):
+        u, v, pos = p_loc
+        for pid, ppos in count_view.edge_points(u, v):
+            if pid != skip_pid and pid not in exclude:
+                heap.push(abs(pos - ppos), (_POINT, pid))
+    seen_nodes: set[int] = set()
+    seen_points: set[int] = set()
+    point_dists: list[float] = []
+    while heap:
+        dist, (kind, obj) = heap.pop()
+        if dist >= best_q or dist > bound:
+            break
+        if bisect_left(point_dists, tie_threshold(dist)) >= k:
+            # k points strictly below every remaining candidate d(p, q)
+            return False
+        if kind == _POINT:
+            if obj not in seen_points:
+                seen_points.add(obj)
+                insort(point_dists, dist)
+            continue
+        if obj in seen_nodes:
+            continue
+        seen_nodes.add(obj)
+        view.tracker.nodes_visited += 1
+        if on_visit is not None:
+            on_visit(obj, dist)
+        if obj in target_nodes:
+            best_q = min(best_q, dist)
+            continue
+        if target_loc is not None:
+            if obj == target_u:
+                best_q = min(best_q, dist + target_pos)
+            elif obj == target_v:
+                best_q = min(best_q, dist + (target_weight - target_pos))
+        limit = min(best_q, bound)
+        for nbr, weight in view.neighbors(obj):
+            if count_view.has_points_on(obj, nbr):
+                for pid, pos in count_view.edge_points(obj, nbr):
+                    if pid == skip_pid or pid in exclude or pid in seen_points:
+                        continue
+                    reach = dist + _offset_from(obj, nbr, weight, pos)
+                    if reach < limit:
+                        heap.push(reach, (_POINT, pid))
+            if nbr not in seen_nodes:
+                ndist = dist + weight
+                if ndist <= limit:
+                    heap.push(ndist, (_NODE, nbr))
+    if math.isinf(best_q):
+        return False
+    return bisect_left(point_dists, tie_threshold(best_q)) < k
+
+
+# ---------------------------------------------------------------------------
+# query preparation shared by the algorithms
+# ---------------------------------------------------------------------------
+
+class _QuerySpec:
+    """Seeds and targets derived from a query location or route."""
+
+    def __init__(
+        self,
+        view: NetworkView,
+        query: Location | None,
+        route: Sequence[int] | None,
+    ):
+        if (query is None) == (route is None):
+            raise QueryError("pass exactly one of query location or route")
+        if route is not None:
+            self.target_nodes: frozenset[int] = frozenset(route)
+            self.target_loc: Location | None = None
+            self.seeds = [(node, 0.0) for node in self.target_nodes]
+            self.query_edge_points: list[tuple[int, float]] = []
+            return
+        query = normalize_location(query)
+        if isinstance(query, int):
+            self.target_nodes = frozenset((query,))
+            self.target_loc = None
+            self.seeds = [(query, 0.0)]
+            self.query_edge_points = []
+        else:
+            self.target_nodes = frozenset()
+            self.target_loc = query
+            self.seeds = location_seeds(view, query)
+            u, v, pos = query
+            self.query_edge_points = [
+                (pid, abs(pos - ppos)) for pid, ppos in view.edge_points(u, v)
+            ]
+
+
+# ---------------------------------------------------------------------------
+# eager
+# ---------------------------------------------------------------------------
+
+def unrestricted_eager(
+    view: NetworkView,
+    query: Location | None = None,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+    route: Sequence[int] | None = None,
+) -> list[int]:
+    """Eager RkNN over edge points (single location or route query)."""
+    spec = _QuerySpec(view, query, route)
+    heap = CountingHeap(view.tracker)
+    for node, dist in spec.seeds:
+        heap.push(dist, node)
+    visited: set[int] = set()
+    checked: set[int] = set()
+    result: list[int] = []
+
+    def consider(pid: int, bound: float) -> None:
+        if pid in exclude or pid in checked:
+            return
+        checked.add(pid)
+        if unrestricted_verify(
+            view, view, view.point_location(pid), pid, k,
+            spec.target_nodes, spec.target_loc, bound, exclude,
+        ):
+            result.append(pid)
+
+    for pid, bound in spec.query_edge_points:
+        consider(pid, bound)
+
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        found = unrestricted_range_nn(view, node, k, dist, exclude)
+        for pid, pdist in found:
+            consider(pid, dist + pdist)
+        if len(found) < k:
+            for nbr, weight in view.neighbors(node):
+                if view.has_points_on(node, nbr):
+                    for pid, pos in view.edge_points(node, nbr):
+                        consider(pid, dist + _offset_from(node, nbr, weight, pos))
+                if nbr not in visited:
+                    heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+# ---------------------------------------------------------------------------
+# eager-M
+# ---------------------------------------------------------------------------
+
+def unrestricted_eager_m(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    query: Location | None = None,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+    route: Sequence[int] | None = None,
+) -> list[int]:
+    """Eager-M over edge points: probes come from materialized lists and
+    candidate verification is short-circuited through the k-th-neighbor
+    distance computed by merging the lists of the candidate's edge
+    endpoints (paper Section 5.2, last paragraph of 4.1)."""
+    if k > materialized.capacity:
+        raise QueryError(
+            f"k={k} exceeds the materialized capacity K={materialized.capacity}"
+        )
+    spec = _QuerySpec(view, query, route)
+    heap = CountingHeap(view.tracker)
+    for node, dist in spec.seeds:
+        heap.push(dist, node)
+    visited: set[int] = set()
+    checked: set[int] = set()
+    result: list[int] = []
+
+    def consider(pid: int, bound: float) -> None:
+        if pid in exclude or pid in checked:
+            return
+        checked.add(pid)
+        threshold = _kth_other_distance(view, materialized, pid, k, exclude)
+        if threshold is not None and bound <= threshold:
+            result.append(pid)
+            return
+        if unrestricted_verify(
+            view, view, view.point_location(pid), pid, k,
+            spec.target_nodes, spec.target_loc, bound, exclude,
+        ):
+            result.append(pid)
+
+    for pid, bound in spec.query_edge_points:
+        consider(pid, bound)
+
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        entries = [
+            (pid, pdist)
+            for pid, pdist in materialized.get(node)
+            if pid not in exclude
+        ]
+        candidates = [(pid, pdist) for pid, pdist in entries if pdist < dist][:k]
+        for pid, pdist in candidates:
+            consider(pid, dist + pdist)
+        if len(candidates) < k:
+            for nbr, weight in view.neighbors(node):
+                if view.has_points_on(node, nbr):
+                    for pid, pos in view.edge_points(node, nbr):
+                        consider(pid, dist + _offset_from(node, nbr, weight, pos))
+                if nbr not in visited:
+                    heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+def _kth_other_distance(
+    view: NetworkView,
+    materialized: MaterializedKNN,
+    pid: int,
+    k: int,
+    exclude: AbstractSet[int],
+) -> float | None:
+    """Exact distance from point ``pid`` to its k-th *other* neighbor,
+    derived from the materialized lists of its edge's endpoints plus the
+    points sharing its edge.  Returns ``None`` when the truncated lists
+    cannot answer exactly (the caller then runs a verify query).
+
+    Merging is exact: if a point's true shortest path to ``pid`` leaves
+    through endpoint ``a`` but the point is absent from ``a``'s list,
+    the K stored points of ``a`` are all at least as close to ``pid``,
+    so the k-th merged distance (k <= K) is unaffected.
+    """
+    u, v, pos = view.point_location(pid)
+    weight = view.edge_weight(u, v)
+    merged: dict[int, float] = {}
+
+    def offer(other: int, dist: float) -> None:
+        if other != pid and other not in exclude:
+            current = merged.get(other)
+            if current is None or dist < current:
+                merged[other] = dist
+
+    list_u = materialized.get(u)
+    list_v = materialized.get(v)
+    for other, dist in list_u:
+        offer(other, pos + dist)
+    for other, dist in list_v:
+        offer(other, (weight - pos) + dist)
+    for other, opos in view.edge_points(u, v):
+        offer(other, abs(pos - opos))
+    distances = sorted(merged.values())
+    if len(distances) >= k:
+        return distances[k - 1]
+    capacity = materialized.capacity
+    if len(list_u) < capacity and len(list_v) < capacity:
+        # Both lists are complete, so every reachable point was merged:
+        # fewer than k others exist and the point always qualifies.
+        return math.inf
+    return None
+
+
+# ---------------------------------------------------------------------------
+# lazy
+# ---------------------------------------------------------------------------
+
+def unrestricted_lazy(
+    view: NetworkView,
+    query: Location | None = None,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+    route: Sequence[int] | None = None,
+) -> list[int]:
+    """Lazy RkNN over edge points.
+
+    Pruning happens while processing edges (Section 5.2): a relaxation
+    across an edge carrying ``k``-or-more points (strictly closer to the
+    far endpoint than the query along that path) is suppressed, and the
+    verification queries of discovered points bump per-node counters
+    exactly as in the restricted algorithm.
+    """
+    spec = _QuerySpec(view, query, route)
+    state = _LazyState(view, k)
+    for node, dist in spec.seeds:
+        state.heap.push(dist, node)
+    checked: set[int] = set()
+    result: list[int] = []
+
+    def consider(pid: int, bound: float, frontier: float) -> None:
+        if pid in exclude or pid in checked:
+            return
+        checked.add(pid)
+
+        def on_visit(visited_node: int, vdist: float) -> None:
+            processed_dist = state.processed.get(visited_node)
+            if processed_dist is None:
+                if strictly_less(vdist, frontier):
+                    state.bump_count(visited_node)
+            elif strictly_less(vdist, processed_dist):
+                state.bump_count(visited_node)
+
+        if unrestricted_verify(
+            view, view, view.point_location(pid), pid, k,
+            spec.target_nodes, spec.target_loc, bound, exclude,
+            on_visit=on_visit,
+        ):
+            result.append(pid)
+
+    for pid, bound in spec.query_edge_points:
+        consider(pid, bound, 0.0)
+
+    while state.heap:
+        dist, _, node = state.heap.pop()
+        if node in state.processed:
+            continue
+        state.processed[node] = dist
+        view.tracker.nodes_visited += 1
+        if state.count.get(node, 0) >= k:
+            continue
+        entry_ids: list[int] = []
+        for nbr, weight in view.neighbors(node):
+            closer_on_edge = 0
+            if view.has_points_on(node, nbr):
+                for pid, pos in view.edge_points(node, nbr):
+                    if pid in exclude:
+                        continue
+                    offset = _offset_from(node, nbr, weight, pos)
+                    if strictly_less(weight - offset, dist + weight):
+                        # strictly closer to nbr than the query would be
+                        # along this relaxation (d(nbr, q) <= dist + weight)
+                        closer_on_edge += 1
+                    consider(pid, dist + offset, dist)
+            if nbr not in state.processed and closer_on_edge < k:
+                entry_ids.append(state.heap.push(dist + weight, nbr))
+        if entry_ids:
+            state.entries_of[node] = entry_ids
+    return sorted(result)
+
+
+# ---------------------------------------------------------------------------
+# lazy-EP
+# ---------------------------------------------------------------------------
+
+def unrestricted_lazy_ep(
+    view: NetworkView,
+    query: Location | None = None,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+    route: Sequence[int] | None = None,
+) -> list[int]:
+    """Lazy-EP over edge points: the second heap expands discovered
+    points from their edge locations and prunes the main expansion via
+    each node's k-th discovered-point distance."""
+    spec = _QuerySpec(view, query, route)
+    heap = CountingHeap(view.tracker)
+    for node, dist in spec.seeds:
+        heap.push(dist, node)
+    parallel = _EdgeParallelExpansion(view, k, exclude)
+    visited: set[int] = set()
+    checked: set[int] = set()
+    result: list[int] = []
+
+    def consider(pid: int, bound: float) -> None:
+        parallel.add_point(pid)
+        if pid in checked:
+            return
+        checked.add(pid)
+        if unrestricted_verify(
+            view, view, view.point_location(pid), pid, k,
+            spec.target_nodes, spec.target_loc, bound, exclude,
+        ):
+            result.append(pid)
+
+    for pid, bound in spec.query_edge_points:
+        if pid not in exclude:
+            consider(pid, bound)
+
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        view.tracker.nodes_visited += 1
+        parallel.advance(dist)
+        if strictly_less(parallel.kth_dist(node), dist):
+            continue  # Lemma 1 via discovered points
+        for nbr, weight in view.neighbors(node):
+            if view.has_points_on(node, nbr):
+                for pid, pos in view.edge_points(node, nbr):
+                    if pid not in exclude:
+                        consider(pid, dist + _offset_from(node, nbr, weight, pos))
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return sorted(result)
+
+
+class _EdgeParallelExpansion:
+    """Second heap of lazy-EP for edge-point networks."""
+
+    def __init__(self, view: NetworkView, k: int, exclude: AbstractSet[int]):
+        self.view = view
+        self.k = k
+        self.exclude = exclude
+        self.heap = CountingHeap(view.tracker)
+        self.closed: set[tuple[int, int]] = set()
+        self.knn_dists: dict[int, list[float]] = {}
+        self.discovered: set[int] = set()
+
+    def add_point(self, pid: int) -> None:
+        """Seed ``H'`` with a point the main expansion discovered.
+
+        ``H'`` never scans for points itself: expanding only
+        main-discovered (hence already-verified) points keeps Lemma 1
+        pruning sound and prevents a discovery cascade through the
+        network.
+        """
+        if pid in self.discovered or pid in self.exclude:
+            return
+        self.discovered.add(pid)
+        for node, offset in location_seeds(self.view, self.view.point_location(pid)):
+            self.heap.push(offset, (node, pid))
+
+    def advance(self, limit: float) -> None:
+        # Entries are not globally ascending over time (late-discovered
+        # points re-seed H' at small distances), so the per-node lists
+        # use sorted insertion with eviction of the largest entry.
+        heap = self.heap
+        while heap and heap.peek_distance() < limit:
+            dist, (node, pid) = heap.pop()
+            if (node, pid) in self.closed:
+                continue
+            self.closed.add((node, pid))
+            dists = self.knn_dists.setdefault(node, [])
+            if len(dists) >= self.k and dist >= dists[-1]:
+                continue  # k discovered points at least as close: dominated
+            insort(dists, dist)
+            del dists[self.k:]
+            for nbr, weight in self.view.neighbors(node):
+                if (nbr, pid) in self.closed:
+                    continue
+                nbr_dists = self.knn_dists.get(nbr)
+                reach = dist + weight
+                if nbr_dists and len(nbr_dists) >= self.k and reach >= nbr_dists[-1]:
+                    continue
+                heap.push(reach, (nbr, pid))
+
+    def kth_dist(self, node: int) -> float:
+        dists = self.knn_dists.get(node)
+        if dists is None or len(dists) < self.k:
+            return math.inf
+        return dists[self.k - 1]
+
+
+# ---------------------------------------------------------------------------
+# bichromatic
+# ---------------------------------------------------------------------------
+
+def unrestricted_bichromatic_eager(
+    data_view: NetworkView,
+    ref_view: NetworkView,
+    query: Location,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Bichromatic RkNN with both point sets on edges.
+
+    The expansion and pruning run over the reference set Q; candidate P
+    points are collected from the incident edges of non-pruned nodes
+    (plus the query's own edge) and verified exactly against Q.
+    """
+    query = normalize_location(query)
+    if isinstance(query, int):
+        target_nodes: frozenset[int] = frozenset((query,))
+        target_loc: Location | None = None
+        seeds = [(query, 0.0)]
+    else:
+        target_nodes = frozenset()
+        target_loc = query
+        seeds = location_seeds(ref_view, query)
+    heap = CountingHeap(ref_view.tracker)
+    for node, dist in seeds:
+        heap.push(dist, node)
+    visited: set[int] = set()
+    checked: set[int] = set()
+    result: list[int] = []
+
+    def consider(pid: int, bound: float) -> None:
+        if pid in checked:
+            return
+        checked.add(pid)
+        if unrestricted_verify(
+            ref_view, ref_view, data_view.point_location(pid), None, k,
+            target_nodes, target_loc, bound, exclude,
+        ):
+            result.append(pid)
+
+    if target_loc is not None:
+        u, v, pos = target_loc
+        for pid, ppos in data_view.edge_points(u, v):
+            consider(pid, abs(pos - ppos))
+
+    while heap:
+        dist, node = heap.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        ref_view.tracker.nodes_visited += 1
+        closer = unrestricted_range_nn(ref_view, node, k, dist, exclude)
+        if len(closer) >= k:
+            continue
+        for nbr, weight in data_view.neighbors(node):
+            if data_view.has_points_on(node, nbr):
+                for pid, pos in data_view.edge_points(node, nbr):
+                    consider(pid, dist + _offset_from(node, nbr, weight, pos))
+            if nbr not in visited:
+                heap.push(dist + weight, nbr)
+    return sorted(result)

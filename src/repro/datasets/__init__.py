@@ -1,0 +1,30 @@
+"""Data-set generators mirroring the paper's evaluation test beds."""
+
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import CoauthorshipGraph, generate_dblp
+from repro.datasets.grid import generate_grid
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import (
+    Query,
+    data_queries,
+    node_queries,
+    place_edge_points,
+    place_node_points,
+    random_route,
+    random_routes,
+)
+
+__all__ = [
+    "CoauthorshipGraph",
+    "Query",
+    "data_queries",
+    "generate_brite",
+    "generate_dblp",
+    "generate_grid",
+    "generate_spatial",
+    "node_queries",
+    "place_edge_points",
+    "place_node_points",
+    "random_route",
+    "random_routes",
+]

@@ -1,0 +1,92 @@
+"""San-Francisco-style spatial road network (paper Section 6.2).
+
+The paper's unrestricted experiments run on the San Francisco map from
+the Digital Chart of the World server (maproom.psu.edu/dcw): 174,956
+nodes and 223,001 edges after cleaning, coordinates normalized to
+``[0, 10000]^2`` and edge weights set to the Euclidean distance between
+endpoints.  The DCW server is long gone, so this module synthesizes a
+road network with the same structural signature:
+
+* *planar locality* -- junctions connect only to nearby junctions, so
+  network expansions grow polynomially (no exponential expansion);
+* *edge/node ratio ~= 1.27* -- a perturbed grid with a fraction of the
+  edges deleted and occasional diagonals reproduces SF's ratio;
+* *Euclidean weights* over jittered coordinates in ``[0, 10000]^2``.
+
+The generator is deterministic per seed; the benchmark harness records
+the realized |V| and |E| alongside the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+#: Size of the paper's cleaned San Francisco network.
+PAPER_NUM_NODES = 174_956
+PAPER_NUM_EDGES = 223_001
+
+#: Coordinate range used by the paper.
+COORD_RANGE = 10_000.0
+
+
+def generate_spatial(
+    num_nodes: int,
+    seed: int = 0,
+    edge_node_ratio: float = PAPER_NUM_EDGES / PAPER_NUM_NODES,
+    jitter: float = 0.35,
+) -> Graph:
+    """Generate a road-like planar network with ``~num_nodes`` nodes.
+
+    Construction: lay a ``side x side`` grid of junctions, jitter each
+    coordinate by ``jitter`` cells, connect rook-adjacent junctions plus
+    a sprinkle of diagonals, then delete random edges (never bridges
+    that would disconnect large parts -- we keep the largest component)
+    until the target edge/node ratio is met.
+    """
+    if num_nodes < 4:
+        raise GraphError(f"need at least 4 nodes, got {num_nodes}")
+    if edge_node_ratio <= 1.0:
+        raise GraphError("edge/node ratio must exceed 1.0 for a connected net")
+    rng = random.Random(seed)
+    side = max(2, round(math.sqrt(num_nodes)))
+    cell = COORD_RANGE / side
+    coords: list[tuple[float, float]] = []
+    for row in range(side):
+        for col in range(side):
+            x = (col + 0.5 + rng.uniform(-jitter, jitter)) * cell
+            y = (row + 0.5 + rng.uniform(-jitter, jitter)) * cell
+            coords.append((min(COORD_RANGE, max(0.0, x)),
+                           min(COORD_RANGE, max(0.0, y))))
+
+    def node(row: int, col: int) -> int:
+        return row * side + col
+
+    candidate_edges: list[tuple[int, int]] = []
+    for row in range(side):
+        for col in range(side):
+            if col + 1 < side:
+                candidate_edges.append((node(row, col), node(row, col + 1)))
+            if row + 1 < side:
+                candidate_edges.append((node(row, col), node(row + 1, col)))
+            # occasional diagonal shortcut (freeways / non-grid streets)
+            if row + 1 < side and col + 1 < side and rng.random() < 0.08:
+                candidate_edges.append((node(row, col), node(row + 1, col + 1)))
+
+    target_edges = round(edge_node_ratio * side * side)
+    rng.shuffle(candidate_edges)
+    keep = candidate_edges[: max(target_edges, side * side - 1)]
+    builder = GraphBuilder(on_duplicate="ignore")
+    for u, v in keep:
+        builder.add_edge(u, v, _euclidean(coords[u], coords[v]))
+    graph = builder.build(num_nodes=side * side, coords=coords)
+    component, _ = graph.largest_component_subgraph()
+    return component
+
+
+def _euclidean(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,155 @@
+"""Workload generation: point placements, queries and routes.
+
+Paper Section 6: the data density is ``D = |P| / |V|`` (capped at 0.1);
+workloads contain 50 queries "randomly chosen from the set of data
+points, so that the queries follow the data distribution"; continuous
+queries use routes that are "random walks without repeated nodes".
+
+A monochromatic query drawn from the data set models a *new arrival*
+(the paper's P2P scenario), so the coincident data point is excluded
+for the query's duration; :class:`Query` carries that exclusion set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet, NodePointSet
+
+#: Workload size used throughout the paper's evaluation.
+PAPER_WORKLOAD_SIZE = 50
+
+Location = int | tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One workload query: a location plus the points it hides."""
+
+    location: Location
+    exclude: frozenset[int] = field(default_factory=frozenset)
+
+
+def place_node_points(
+    graph: Graph,
+    density: float,
+    seed: int = 0,
+    first_id: int = 0,
+) -> NodePointSet:
+    """Scatter ``round(density * |V|)`` points on distinct random nodes."""
+    count = _point_count(graph, density)
+    rng = random.Random(seed)
+    nodes = rng.sample(range(graph.num_nodes), count)
+    return NodePointSet({first_id + i: node for i, node in enumerate(nodes)})
+
+
+def place_edge_points(
+    graph: Graph,
+    density: float,
+    seed: int = 0,
+    first_id: int = 0,
+) -> EdgePointSet:
+    """Scatter ``round(density * |V|)`` points uniformly on random edges."""
+    count = _point_count(graph, density)
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    locations = {}
+    for i in range(count):
+        u, v, weight = edges[rng.randrange(len(edges))]
+        locations[first_id + i] = (u, v, rng.uniform(0.0, weight))
+    return EdgePointSet(locations)
+
+
+def _point_count(graph: Graph, density: float) -> int:
+    if not 0.0 < density <= 1.0:
+        raise QueryError(f"density must be in (0, 1], got {density}")
+    count = round(density * graph.num_nodes)
+    if count < 1:
+        raise QueryError(
+            f"density {density} yields no points on {graph.num_nodes} nodes"
+        )
+    return count
+
+
+def data_queries(
+    points: NodePointSet | EdgePointSet,
+    count: int = PAPER_WORKLOAD_SIZE,
+    seed: int = 0,
+    exclude_query_point: bool = True,
+) -> list[Query]:
+    """Draw ``count`` query locations from the data points (Section 6).
+
+    With ``exclude_query_point`` (the default) each query hides the
+    point it was drawn from, modelling a new arrival at that location.
+    """
+    rng = random.Random(seed)
+    ids = sorted(points.ids())
+    if not ids:
+        raise QueryError("cannot draw queries from an empty point set")
+    queries = []
+    for _ in range(count):
+        pid = ids[rng.randrange(len(ids))]
+        if isinstance(points, NodePointSet):
+            location: Location = points.node_of(pid)
+        else:
+            location = points.location(pid)
+        exclude = frozenset((pid,)) if exclude_query_point else frozenset()
+        queries.append(Query(location, exclude))
+    return queries
+
+
+def node_queries(
+    graph: Graph,
+    count: int = PAPER_WORKLOAD_SIZE,
+    seed: int = 0,
+) -> list[Query]:
+    """Draw ``count`` uniform random query nodes (ad-hoc queries)."""
+    rng = random.Random(seed)
+    return [Query(rng.randrange(graph.num_nodes)) for _ in range(count)]
+
+
+def random_route(
+    graph: Graph,
+    length: int,
+    seed: int = 0,
+) -> list[int]:
+    """A random walk of ``length`` nodes without repeated nodes (Fig. 19).
+
+    Retries from fresh start nodes when the walk dead-ends before
+    reaching the requested length; raises :class:`QueryError` if the
+    graph cannot support such a route at all.
+    """
+    if length < 1:
+        raise QueryError(f"route length must be >= 1, got {length}")
+    rng = random.Random(seed)
+    for _ in range(200):
+        start = rng.randrange(graph.num_nodes)
+        route = [start]
+        seen = {start}
+        while len(route) < length:
+            options = [nbr for nbr, _ in graph.neighbors(route[-1])
+                       if nbr not in seen]
+            if not options:
+                break
+            nxt = options[rng.randrange(len(options))]
+            route.append(nxt)
+            seen.add(nxt)
+        if len(route) == length:
+            return route
+    raise QueryError(
+        f"could not find a simple route of {length} nodes in 200 attempts"
+    )
+
+
+def random_routes(
+    graph: Graph,
+    length: int,
+    count: int = PAPER_WORKLOAD_SIZE,
+    seed: int = 0,
+) -> list[list[int]]:
+    """``count`` independent random routes of the given length."""
+    return [random_route(graph, length, seed=seed * 10_007 + i)
+            for i in range(count)]

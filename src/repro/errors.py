@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad node id, bad weight, ...)."""
+
+
+class StorageError(ReproError):
+    """Problem in the simulated disk/page/buffer layer."""
+
+
+class PointError(ReproError):
+    """Problem with a data-point set (duplicate ids, bad locations, ...)."""
+
+
+class QueryError(ReproError):
+    """Invalid query parameters (unknown source, non-positive k, ...)."""
+
+
+class MaterializationError(ReproError):
+    """Problem building or maintaining materialized K-NN lists."""

@@ -1,0 +1,17 @@
+"""In-memory graph model, builders, partitioning and persistence."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph, edge_key
+from repro.graph.io import load_graph, save_graph
+from repro.graph.partition import bfs_order, hilbert_order, partition_nodes
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "bfs_order",
+    "edge_key",
+    "hilbert_order",
+    "load_graph",
+    "partition_nodes",
+    "save_graph",
+]

@@ -1,0 +1,104 @@
+"""Incremental construction of :class:`~repro.graph.graph.Graph` objects.
+
+Dataset generators and file loaders produce edges one at a time, often
+with duplicates (e.g. two authors who co-sign several papers).  The
+builder deduplicates, optionally keeps the minimum weight for parallel
+edges, and can relabel sparse external ids into the dense internal ids
+the engine requires.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, edge_key
+
+
+class GraphBuilder:
+    """Accumulates edges and produces a validated :class:`Graph`.
+
+    Parameters
+    ----------
+    on_duplicate:
+        ``"error"`` (default) rejects a repeated edge, ``"min"`` keeps
+        the smaller weight and ``"ignore"`` keeps the first weight.
+    """
+
+    _POLICIES = ("error", "min", "ignore")
+
+    def __init__(self, on_duplicate: str = "error"):
+        if on_duplicate not in self._POLICIES:
+            raise GraphError(
+                f"on_duplicate must be one of {self._POLICIES}, got {on_duplicate!r}"
+            )
+        self._on_duplicate = on_duplicate
+        self._weights: dict[tuple[int, int], float] = {}
+        self._ids: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+        self._max_node = -1
+
+    # -- node handling -----------------------------------------------------
+
+    def intern(self, label: Hashable) -> int:
+        """Map an arbitrary hashable node label to a dense integer id."""
+        node = self._ids.get(label)
+        if node is None:
+            node = len(self._labels)
+            self._ids[label] = node
+            self._labels.append(label)
+            self._max_node = max(self._max_node, node)
+        return node
+
+    @property
+    def labels(self) -> list[Hashable]:
+        """Original labels indexed by dense node id (empty if unused)."""
+        return list(self._labels)
+
+    # -- edge handling -----------------------------------------------------
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add an undirected edge between dense node ids ``u`` and ``v``."""
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge ({u}, {v}) has non-positive weight {weight}")
+        key = edge_key(u, v)
+        existing = self._weights.get(key)
+        if existing is None:
+            self._weights[key] = float(weight)
+        elif self._on_duplicate == "error":
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        elif self._on_duplicate == "min":
+            self._weights[key] = min(existing, float(weight))
+        self._max_node = max(self._max_node, u, v)
+
+    def add_labeled_edge(self, a: Hashable, b: Hashable, weight: float = 1.0) -> None:
+        """Add an edge between two labels, interning them on the fly."""
+        self.add_edge(self.intern(a), self.intern(b), weight)
+
+    def add_edges(self, edges: Iterable[tuple[int, int, float]]) -> None:
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # -- finalization --------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    def build(
+        self,
+        num_nodes: int | None = None,
+        coords: list[tuple[float, float]] | None = None,
+    ) -> Graph:
+        """Produce the immutable graph.
+
+        ``num_nodes`` defaults to one past the largest node id seen.
+        """
+        if num_nodes is None:
+            if self._max_node < 0:
+                raise GraphError("builder holds no nodes or edges")
+            num_nodes = self._max_node + 1
+        edges = [(u, v, w) for (u, v), w in self._weights.items()]
+        return Graph(num_nodes, edges, coords=coords)

@@ -1,0 +1,139 @@
+"""Directed weighted graphs (paper Section 7's future-work direction).
+
+The paper's algorithms assume undirected networks; Section 7 names
+directed networks (e.g. road maps with one-way streets) as the natural
+extension, where "the neighborhood relation is asymmetric, complicating
+query processing".  :class:`DiGraph` is the directed counterpart of
+:class:`~repro.graph.graph.Graph`: it keeps both out- and in-adjacency
+so the directed RkNN algorithms (:mod:`repro.core.directed`) can expand
+*backwards* from the query (enumerating nodes by their distance **to**
+the query) while probing *forwards* (distances **from** a node to the
+data points).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+Arc = tuple[int, int, float]
+
+
+class DiGraph:
+    """Directed graph over dense integer node ids with positive weights."""
+
+    def __init__(self, num_nodes: int, arcs: Iterable[Arc]):
+        if num_nodes <= 0:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._out: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
+        self._in: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
+        self._weights: dict[tuple[int, int], float] = {}
+        for u, v, w in arcs:
+            self._add_arc(u, v, w)
+
+    def _add_arc(self, u: int, v: int, w: float) -> None:
+        if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+            raise GraphError(f"arc ({u}, {v}) references an unknown node")
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if w <= 0:
+            raise GraphError(f"arc ({u}, {v}) has non-positive weight {w}")
+        if (u, v) in self._weights:
+            raise GraphError(f"duplicate arc ({u}, {v})")
+        self._weights[(u, v)] = float(w)
+        self._out[u].append((v, float(w)))
+        self._in[v].append((u, float(w)))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[Arc], num_nodes: int | None = None) -> "DiGraph":
+        """Build from an arc list, inferring the node count if needed."""
+        arcs = list(arcs)
+        if num_nodes is None:
+            if not arcs:
+                raise GraphError("cannot infer node count from an empty arc list")
+            num_nodes = 1 + max(max(u, v) for u, v, _ in arcs)
+        return cls(num_nodes, arcs)
+
+    @classmethod
+    def from_undirected(cls, graph) -> "DiGraph":
+        """Symmetric closure of an undirected :class:`Graph`."""
+        arcs: list[Arc] = []
+        for u, v, w in graph.edges():
+            arcs.append((u, v, w))
+            arcs.append((v, u, w))
+        return cls(graph.num_nodes, arcs)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._weights)
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def out_neighbors(self, node: int) -> Sequence[tuple[int, float]]:
+        """Arcs leaving ``node`` as ``(head, weight)`` pairs."""
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> Sequence[tuple[int, float]]:
+        """Arcs entering ``node`` as ``(tail, weight)`` pairs."""
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        return len(self._in[node])
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return (u, v) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of arc ``u -> v``; raises :class:`GraphError` if absent."""
+        try:
+            return self._weights[(u, v)]
+        except KeyError:
+            raise GraphError(f"no arc from {u} to {v}") from None
+
+    def arcs(self) -> Iterator[Arc]:
+        for (u, v), w in self._weights.items():
+            yield u, v, w
+
+    def reverse(self) -> "DiGraph":
+        """A copy with every arc reversed."""
+        return DiGraph(self._num_nodes, [(v, u, w) for u, v, w in self.arcs()])
+
+    # -- connectivity ----------------------------------------------------------
+
+    def reachable_from(self, source: int) -> set[int]:
+        """Nodes reachable from ``source`` along arc directions."""
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for nbr, _ in self._out[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        return seen
+
+    def is_strongly_connected(self) -> bool:
+        """Whether every node can reach every other node."""
+        if self._num_nodes == 1:
+            return True
+        if len(self.reachable_from(0)) != self._num_nodes:
+            return False
+        return len(self.reverse().reachable_from(0)) == self._num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(|V|={self.num_nodes}, |A|={self.num_arcs})"

@@ -1,0 +1,172 @@
+"""In-memory weighted undirected graph.
+
+The paper models the network as ``G = (V, E, W)`` with positive edge
+weights and symmetric traversal cost (Section 1).  :class:`Graph` is the
+canonical in-memory representation; the disk-resident representation
+used by the query algorithms is built from it by
+:class:`repro.storage.disk.DiskGraph`.
+
+Nodes are dense integer ids ``0 .. num_nodes - 1``; this matches the
+paper's storage scheme (an index on node id) and keeps adjacency
+look-ups O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+Edge = tuple[int, int, float]
+
+
+def edge_key(u: int, v: int) -> tuple[int, int]:
+    """Canonical (lexicographic) form of an undirected edge.
+
+    The paper assigns a point on edge ``n_i n_j`` to the ordering with
+    ``i < j`` (Section 5.2); the same convention is used everywhere an
+    edge is used as a dictionary key.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Undirected weighted graph over dense integer node ids."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Edge],
+        coords: Sequence[tuple[float, float]] | None = None,
+    ):
+        if num_nodes <= 0:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._adj: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
+        self._weights: dict[tuple[int, int], float] = {}
+        for u, v, w in edges:
+            self._add_edge(u, v, w)
+        if coords is not None and len(coords) != num_nodes:
+            raise GraphError(
+                f"coords has {len(coords)} entries for {num_nodes} nodes"
+            )
+        self.coords = list(coords) if coords is not None else None
+
+    # -- construction ---------------------------------------------------
+
+    def _add_edge(self, u: int, v: int, w: float) -> None:
+        if not (0 <= u < self._num_nodes and 0 <= v < self._num_nodes):
+            raise GraphError(f"edge ({u}, {v}) references an unknown node")
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if w <= 0:
+            raise GraphError(f"edge ({u}, {v}) has non-positive weight {w}")
+        key = edge_key(u, v)
+        if key in self._weights:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._weights[key] = float(w)
+        self._adj[u].append((v, float(w)))
+        self._adj[v].append((u, float(w)))
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        num_nodes: int | None = None,
+        coords: Sequence[tuple[float, float]] | None = None,
+    ) -> "Graph":
+        """Build a graph from an edge list, inferring the node count."""
+        edges = list(edges)
+        if num_nodes is None:
+            if not edges:
+                raise GraphError("cannot infer node count from an empty edge list")
+            num_nodes = 1 + max(max(u, v) for u, v, _ in edges)
+        return cls(num_nodes, edges, coords=coords)
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._weights)
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def neighbors(self, node: int) -> Sequence[tuple[int, float]]:
+        """Neighbor/weight pairs of ``node``."""
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        return len(self._adj[node])
+
+    def average_degree(self) -> float:
+        """Average node degree (2|E| / |V|)."""
+        return 2.0 * self.num_edges / self.num_nodes
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return edge_key(u, v) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        try:
+            return self._weights[edge_key(u, v)]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges once each, in canonical ``(u < v)`` form."""
+        for (u, v), w in self._weights.items():
+            yield u, v, w
+
+    # -- connectivity ----------------------------------------------------
+
+    def connected_components(self) -> list[list[int]]:
+        """All connected components, each as a sorted node list."""
+        seen = [False] * self._num_nodes
+        components = []
+        for start in range(self._num_nodes):
+            if seen[start]:
+                continue
+            component = []
+            queue = deque([start])
+            seen[start] = True
+            while queue:
+                node = queue.popleft()
+                component.append(node)
+                for nbr, _ in self._adj[node]:
+                    if not seen[nbr]:
+                        seen[nbr] = True
+                        queue.append(nbr)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) == 1
+
+    def largest_component_subgraph(self) -> tuple["Graph", list[int]]:
+        """The induced subgraph of the largest component, with relabeled ids.
+
+        Returns ``(subgraph, old_ids)`` where ``old_ids[new] = old``.
+        Mirrors the paper's "cleaning" of the DBLP and San Francisco
+        data sets into a single connected network (Section 6).
+        """
+        component = max(self.connected_components(), key=len)
+        old_ids = list(component)
+        remap = {old: new for new, old in enumerate(old_ids)}
+        edges = [
+            (remap[u], remap[v], w)
+            for u, v, w in self.edges()
+            if u in remap and v in remap
+        ]
+        coords = None
+        if self.coords is not None:
+            coords = [self.coords[old] for old in old_ids]
+        return Graph(len(old_ids), edges, coords=coords), old_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={self.num_nodes}, |E|={self.num_edges})"

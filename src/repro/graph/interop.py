@@ -1,0 +1,263 @@
+"""Interchange formats: DIMACS shortest-path and METIS graph files.
+
+Road-network research distributes graphs in the 9th DIMACS Challenge
+format (the paper's San Francisco map circulates in it today), and
+partitioning tools speak METIS.  Both load into the same
+:class:`~repro.graph.graph.Graph` the rest of the library uses, so
+real data sets can replace the synthetic generators when available.
+
+DIMACS (``.gr`` distance graphs, ``.co`` coordinates)::
+
+    c comment
+    p sp <num_nodes> <num_arcs>
+    a <u> <v> <weight>            (1-based; arcs usually listed both ways)
+
+    p aux sp co <num_nodes>
+    v <node> <x> <y>              (1-based coordinates)
+
+METIS (``.graph``)::
+
+    % comment
+    <num_nodes> <num_edges> [fmt]   (fmt 1 = weighted edges)
+    <nbr> [w] <nbr> [w] ...        (line i: 1-based neighbors of node i)
+
+The loaders are strict about structure (counts must match) but
+tolerant of the usual real-world noise: duplicate reverse arcs,
+comments, and blank lines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, edge_key
+
+
+def load_dimacs(
+    path: str | os.PathLike[str],
+    coordinates: str | os.PathLike[str] | None = None,
+    on_asymmetric: str = "error",
+) -> Graph:
+    """Load a DIMACS ``.gr`` file (plus optional ``.co`` coordinates).
+
+    DIMACS arcs are directed; the paper's model is undirected, so each
+    arc pair must agree.  ``on_asymmetric`` decides what to do when
+    ``w(u, v) != w(v, u)``: ``"error"`` (default), ``"min"`` or
+    ``"max"`` keep the corresponding weight.
+    """
+    if on_asymmetric not in ("error", "min", "max"):
+        raise GraphError(
+            f"on_asymmetric must be 'error', 'min' or 'max', got {on_asymmetric!r}"
+        )
+    num_nodes: int | None = None
+    declared_arcs = 0
+    seen_arcs = 0
+    weights: dict[tuple[int, int], float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            fields = raw.split()
+            if not fields or fields[0] == "c":
+                continue
+            if fields[0] == "p":
+                if len(fields) != 4 or fields[1] != "sp":
+                    raise GraphError(
+                        f"{path}:{lineno}: expected 'p sp <n> <m>', got {raw!r}"
+                    )
+                num_nodes = int(fields[2])
+                declared_arcs = int(fields[3])
+            elif fields[0] == "a":
+                if num_nodes is None:
+                    raise GraphError(f"{path}:{lineno}: arc before 'p sp' header")
+                try:
+                    u, v, w = int(fields[1]), int(fields[2]), float(fields[3])
+                except (IndexError, ValueError) as exc:
+                    raise GraphError(
+                        f"{path}:{lineno}: malformed arc {raw!r}"
+                    ) from exc
+                seen_arcs += 1
+                _merge_arc(weights, u - 1, v - 1, w, on_asymmetric, path, lineno)
+            else:
+                raise GraphError(
+                    f"{path}:{lineno}: unknown record {fields[0]!r}"
+                )
+    if num_nodes is None:
+        raise GraphError(f"{path}: missing 'p sp' header")
+    if declared_arcs != seen_arcs:
+        raise GraphError(
+            f"{path}: header declares {declared_arcs} arcs, found {seen_arcs}"
+        )
+    coords = _load_dimacs_coords(coordinates, num_nodes) if coordinates else None
+    return Graph(
+        num_nodes,
+        [(u, v, w) for (u, v), w in weights.items()],
+        coords=coords,
+    )
+
+
+def _merge_arc(
+    weights: dict[tuple[int, int], float],
+    u: int,
+    v: int,
+    w: float,
+    on_asymmetric: str,
+    path: object,
+    lineno: int,
+) -> None:
+    key = edge_key(u, v)
+    existing = weights.get(key)
+    if existing is None or existing == w:
+        weights[key] = w
+        return
+    if on_asymmetric == "error":
+        raise GraphError(
+            f"{path}:{lineno}: asymmetric arc ({u + 1}, {v + 1}): "
+            f"{existing} vs {w} (pass on_asymmetric='min' or 'max')"
+        )
+    weights[key] = min(existing, w) if on_asymmetric == "min" else max(existing, w)
+
+
+def _load_dimacs_coords(
+    path: str | os.PathLike[str], num_nodes: int
+) -> list[tuple[float, float]]:
+    coords: dict[int, tuple[float, float]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            fields = raw.split()
+            if not fields or fields[0] == "c" or fields[0] == "p":
+                continue
+            if fields[0] == "v":
+                try:
+                    node = int(fields[1]) - 1
+                    coords[node] = (float(fields[2]), float(fields[3]))
+                except (IndexError, ValueError) as exc:
+                    raise GraphError(
+                        f"{path}:{lineno}: malformed coordinate {raw!r}"
+                    ) from exc
+            else:
+                raise GraphError(f"{path}:{lineno}: unknown record {fields[0]!r}")
+    if len(coords) != num_nodes:
+        raise GraphError(
+            f"{path}: coordinates for {len(coords)} of {num_nodes} nodes"
+        )
+    return [coords[node] for node in range(num_nodes)]
+
+
+def save_dimacs(
+    path: str | os.PathLike[str],
+    graph: Graph,
+    coordinates: str | os.PathLike[str] | None = None,
+) -> None:
+    """Write ``graph`` as a DIMACS ``.gr`` file (both arc directions).
+
+    Weights are written with ``repr`` so float weights round-trip;
+    standard DIMACS uses integers, and integral weights are written as
+    integers for compatibility.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"p sp {graph.num_nodes} {2 * graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            text = str(int(w)) if w == int(w) else repr(w)
+            handle.write(f"a {u + 1} {v + 1} {text}\n")
+            handle.write(f"a {v + 1} {u + 1} {text}\n")
+    if coordinates is not None:
+        if graph.coords is None:
+            raise GraphError("graph has no coordinates to save")
+        with open(coordinates, "w", encoding="utf-8") as handle:
+            handle.write(f"p aux sp co {graph.num_nodes}\n")
+            for node, (x, y) in enumerate(graph.coords):
+                handle.write(f"v {node + 1} {x!r} {y!r}\n")
+
+
+def load_metis(path: str | os.PathLike[str]) -> Graph:
+    """Load a METIS ``.graph`` file (fmt 0 unweighted or 1 edge-weighted).
+
+    Unweighted edges get weight 1.0 (the DBLP hop-count convention).
+    """
+    lines = _metis_payload_lines(path)
+    if not lines:
+        raise GraphError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphError(f"{path}: malformed METIS header {lines[0]!r}")
+    num_nodes = int(header[0])
+    declared_edges = int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    if fmt not in ("0", "00", "1", "01"):
+        raise GraphError(
+            f"{path}: unsupported METIS fmt {fmt!r} (node weights not supported)"
+        )
+    weighted = fmt in ("1", "01")
+    payload = lines[1:]
+    if len(payload) < num_nodes or any(line for line in payload[num_nodes:]):
+        raise GraphError(
+            f"{path}: header declares {num_nodes} nodes, "
+            f"found {len(payload)} adjacency lines"
+        )
+    weights: dict[tuple[int, int], float] = {}
+    for node, line in enumerate(payload[:num_nodes]):
+        fields = line.split()
+        step = 2 if weighted else 1
+        if len(fields) % step:
+            raise GraphError(f"{path}: odd token count on node {node + 1}'s line")
+        for i in range(0, len(fields), step):
+            nbr = int(fields[i]) - 1
+            w = float(fields[i + 1]) if weighted else 1.0
+            if nbr == node:
+                raise GraphError(f"{path}: self-loop on node {node + 1}")
+            key = edge_key(node, nbr)
+            existing = weights.get(key)
+            if existing is None:
+                weights[key] = w
+            elif existing != w:
+                raise GraphError(
+                    f"{path}: edge ({node + 1}, {nbr + 1}) listed with "
+                    f"weights {existing} and {w}"
+                )
+    if len(weights) != declared_edges:
+        raise GraphError(
+            f"{path}: header declares {declared_edges} edges, found {len(weights)}"
+        )
+    return Graph(num_nodes, [(u, v, w) for (u, v), w in weights.items()])
+
+
+def save_metis(path: str | os.PathLike[str], graph: Graph) -> None:
+    """Write ``graph`` as an edge-weighted METIS ``.graph`` file.
+
+    METIS edge weights are integers; float weights raise.
+    """
+    adjacency: list[list[tuple[int, float]]] = [[] for _ in graph.nodes()]
+    for u, v, w in graph.edges():
+        if w != int(w):
+            raise GraphError(
+                f"METIS stores integer edge weights; edge ({u}, {v}) has {w}"
+            )
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{graph.num_nodes} {graph.num_edges} 1\n")
+        for neighbors in adjacency:
+            tokens: Iterable[str] = (
+                f"{nbr + 1} {int(w)}" for nbr, w in sorted(neighbors)
+            )
+            handle.write(" ".join(tokens) + "\n")
+
+
+def _metis_payload_lines(path: str | os.PathLike[str]) -> list[str]:
+    """Non-comment lines of a METIS file, preserving blank adjacency rows.
+
+    Blank rows matter: an isolated node's adjacency line is empty.
+    Leading blanks (before the header) carry nothing and are dropped;
+    trailing blanks are validated against the node count by the caller.
+    """
+    lines: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if stripped.startswith("%"):
+                continue
+            if not lines and not stripped:
+                continue
+            lines.append(stripped)
+    return lines

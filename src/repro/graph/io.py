@@ -1,0 +1,108 @@
+"""Plain-text persistence for graphs and point sets.
+
+The on-disk format is a simple line-oriented file that round-trips
+graphs, node coordinates and data points::
+
+    # comment
+    V <num_nodes>
+    C <node> <x> <y>           (optional, one per node)
+    E <u> <v> <weight>
+    NP <point_id> <node>       (restricted data point)
+    EP <point_id> <u> <v> <pos>  (unrestricted data point)
+
+This is deliberately not a performance format -- it exists so examples
+and experiments can persist generated data sets reproducibly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet, NodePointSet, PointSet
+
+
+def save_graph(
+    path: str | os.PathLike[str],
+    graph: Graph,
+    points: PointSet | None = None,
+) -> None:
+    """Write a graph (and optionally its points) to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_graph(handle, graph, points)
+
+
+def _write_graph(handle: TextIO, graph: Graph, points: PointSet | None) -> None:
+    handle.write(f"V {graph.num_nodes}\n")
+    if graph.coords is not None:
+        for node, (x, y) in enumerate(graph.coords):
+            handle.write(f"C {node} {x!r} {y!r}\n")
+    for u, v, w in graph.edges():
+        handle.write(f"E {u} {v} {w!r}\n")
+    if isinstance(points, NodePointSet):
+        for pid, node in sorted(points.items()):
+            handle.write(f"NP {pid} {node}\n")
+    elif isinstance(points, EdgePointSet):
+        for pid, (u, v, pos) in sorted(points.items()):
+            handle.write(f"EP {pid} {u} {v} {pos!r}\n")
+
+
+def load_graph(
+    path: str | os.PathLike[str],
+) -> tuple[Graph, PointSet | None]:
+    """Read a graph file written by :func:`save_graph`.
+
+    Returns ``(graph, points)`` where ``points`` is ``None`` when the
+    file declares no data points.
+    """
+    num_nodes: int | None = None
+    coords: dict[int, tuple[float, float]] = {}
+    edges: list[tuple[int, int, float]] = []
+    node_points: dict[int, int] = {}
+    edge_points: dict[int, tuple[int, int, float]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            tag = fields[0]
+            try:
+                if tag == "V":
+                    num_nodes = int(fields[1])
+                elif tag == "C":
+                    coords[int(fields[1])] = (float(fields[2]), float(fields[3]))
+                elif tag == "E":
+                    edges.append((int(fields[1]), int(fields[2]), float(fields[3])))
+                elif tag == "NP":
+                    node_points[int(fields[1])] = int(fields[2])
+                elif tag == "EP":
+                    edge_points[int(fields[1])] = (
+                        int(fields[2]),
+                        int(fields[3]),
+                        float(fields[4]),
+                    )
+                else:
+                    raise GraphError(f"{path}:{lineno}: unknown record tag {tag!r}")
+            except (IndexError, ValueError) as exc:
+                raise GraphError(f"{path}:{lineno}: malformed line {line!r}") from exc
+    if num_nodes is None:
+        raise GraphError(f"{path}: missing 'V <num_nodes>' header")
+    if node_points and edge_points:
+        raise GraphError(f"{path}: mixes restricted (NP) and unrestricted (EP) points")
+    coord_list = None
+    if coords:
+        if len(coords) != num_nodes:
+            raise GraphError(
+                f"{path}: has coordinates for {len(coords)} of {num_nodes} nodes"
+            )
+        coord_list = [coords[node] for node in range(num_nodes)]
+    graph = Graph(num_nodes, edges, coords=coord_list)
+    points: PointSet | None = None
+    if node_points:
+        points = NodePointSet(node_points)
+    elif edge_points:
+        points = EdgePointSet(edge_points)
+    return graph, points

@@ -1,0 +1,26 @@
+"""Hierarchical partial materialization (paper Section 2.2, refs [6], [7]).
+
+Full materialization of all-pairs distances needs ``|V|(|V|-1)/2``
+entries -- the paper's example: 5 x 10^9 for a 100K-node graph.  HiTi
+[7] and HEPV [6] avoid this by *partial* materialization: partition
+the graph into fragments, precompute distances inside each fragment,
+and route cross-fragment queries through the (much smaller) graph of
+fragment border nodes.
+
+This package implements that trade-off as a distance-query substrate:
+
+* :func:`~repro.hier.fragments.partition_fragments` -- a BFS-growing
+  partitioner producing connected fragments of bounded size;
+* :class:`~repro.hier.hepv.HierarchicalDistanceIndex` -- per-fragment
+  border distance tables plus the border super-graph, answering exact
+  point-to-point distance queries while materializing a small fraction
+  of the all-pairs matrix.
+
+The ablation benchmark compares its query cost and storage against
+flat Dijkstra and against the paper's K-NN materialization.
+"""
+
+from repro.hier.fragments import Fragmentation, partition_fragments
+from repro.hier.hepv import HierarchicalDistanceIndex
+
+__all__ = ["Fragmentation", "partition_fragments", "HierarchicalDistanceIndex"]

@@ -1,0 +1,192 @@
+"""HEPV-style hierarchical distance index.
+
+The index materializes, per fragment, the all-pairs distances of the
+*fragment-restricted* subgraph, and builds a *border super-graph*
+whose nodes are the border nodes of all fragments and whose edges are
+
+* the original cross-fragment edges, and
+* for every fragment, a clique over its borders weighted by the
+  fragment-restricted border-to-border distances.
+
+**Exactness.**  Any shortest path decomposes into maximal
+single-fragment segments joined by cross edges; each segment's
+endpoints are borders (or the query endpoints), and a segment confined
+to fragment ``f`` is no shorter than ``f``'s restricted distance
+between its endpoints.  Hence the super-graph preserves exact
+border-to-border distances, and a query ``d(u, v)`` is answered by
+
+    min( intra_F(u)(u, v)  [same fragment only],
+         min over borders b1 of F(u), b2 of F(v):
+             intra(u, b1) + d_super(b1, b2) + intra(b2, v) )
+
+with one small multi-source Dijkstra on the super-graph.  The storage
+is ``O(sum_f s_f^2)`` -- for fragments of size ``s`` about ``s`` entries
+per node instead of ``|V|/2`` (the paper's 5 x 10^9 example).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.errors import GraphError, QueryError
+from repro.graph.graph import Graph
+from repro.hier.fragments import Fragmentation, partition_fragments
+from repro.paths.dijkstra import single_source_distances
+
+
+@dataclass
+class HierStats:
+    """Work counters for hierarchical distance queries."""
+
+    queries: int = 0
+    same_fragment_hits: int = 0   # answered without touching the super-graph
+    super_settled: int = 0        # super-graph nodes settled across queries
+
+
+class _FragmentView:
+    """Adjacency of one fragment's restricted subgraph."""
+
+    def __init__(self, graph: Graph, fragment_of: tuple[int, ...], fid: int):
+        self._graph = graph
+        self._fragment_of = fragment_of
+        self._fid = fid
+
+    def neighbors(self, node: int):
+        return [
+            (nbr, weight)
+            for nbr, weight in self._graph.neighbors(node)
+            if self._fragment_of[nbr] == self._fid
+        ]
+
+
+class HierarchicalDistanceIndex:
+    """Exact point-to-point network distances via partial materialization."""
+
+    def __init__(
+        self,
+        fragmentation: Fragmentation,
+        intra: list[dict[tuple[int, int], float]],
+        super_adj: dict[int, list[tuple[int, float]]],
+    ):
+        self._frag = fragmentation
+        self._intra = intra
+        self._super_adj = super_adj
+        self.stats = HierStats()
+
+    @classmethod
+    def build(
+        cls, graph: Graph, fragment_size: int = 32
+    ) -> "HierarchicalDistanceIndex":
+        """Partition ``graph`` and materialize the two index levels."""
+        if fragment_size < 1:
+            raise GraphError(f"fragment size must be >= 1, got {fragment_size}")
+        frag = partition_fragments(graph, fragment_size)
+        intra: list[dict[tuple[int, int], float]] = []
+        for fid, members in enumerate(frag.members):
+            view = _FragmentView(graph, frag.fragment_of, fid)
+            table: dict[tuple[int, int], float] = {}
+            for source in members:
+                for node, dist in single_source_distances(view, source).items():
+                    if source <= node:
+                        table[(source, node)] = dist
+            intra.append(table)
+
+        super_adj: dict[int, list[tuple[int, float]]] = {
+            node: [] for node in frag.border_set()
+        }
+        for u, v, w in graph.edges():
+            if frag.fragment_of[u] != frag.fragment_of[v]:
+                super_adj[u].append((v, w))
+                super_adj[v].append((u, w))
+        for fid, border in enumerate(frag.borders):
+            for b1, b2 in itertools.combinations(border, 2):
+                dist = intra[fid].get((min(b1, b2), max(b1, b2)))
+                if dist is not None:
+                    super_adj[b1].append((b2, dist))
+                    super_adj[b2].append((b1, dist))
+        return cls(frag, intra, super_adj)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def fragmentation(self) -> Fragmentation:
+        return self._frag
+
+    @property
+    def storage_entries(self) -> int:
+        """Materialized distance entries (intra tables + super edges)."""
+        intra = sum(len(table) for table in self._intra)
+        super_edges = sum(len(adj) for adj in self._super_adj.values()) // 2
+        return intra + super_edges
+
+    @staticmethod
+    def full_materialization_entries(num_nodes: int) -> int:
+        """All-pairs entries the paper's Section 2.2 example counts."""
+        return num_nodes * (num_nodes - 1) // 2
+
+    # -- queries -------------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> float:
+        """Exact network distance between nodes ``u`` and ``v``.
+
+        Returns ``inf`` when unreachable.
+        """
+        num_nodes = len(self._frag.fragment_of)
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise QueryError(f"nodes ({u}, {v}) out of range")
+        self.stats.queries += 1
+        if u == v:
+            self.stats.same_fragment_hits += 1
+            return 0.0
+        fu = self._frag.fragment_of[u]
+        fv = self._frag.fragment_of[v]
+        best = math.inf
+        if fu == fv:
+            direct = self._intra[fu].get((min(u, v), max(u, v)))
+            if direct is not None:
+                best = direct
+            if not self._frag.borders[fu]:
+                # the fragment is a whole component: no detour can help
+                self.stats.same_fragment_hits += 1
+                return best
+        via = self._via_borders(u, fu, v, fv, cutoff=best)
+        return min(best, via)
+
+    def _via_borders(self, u: int, fu: int, v: int, fv: int, cutoff: float) -> float:
+        """Best ``u -> border -> ... -> border -> v`` route, if any."""
+        exits = self._border_offsets(u, fu)
+        entries = self._border_offsets(v, fv)
+        if not exits or not entries:
+            return math.inf
+        heap = [(offset, border) for border, offset in exits.items()]
+        heapq.heapify(heap)
+        settled: set[int] = set()
+        best = cutoff
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            if dist >= best:
+                break  # every remaining route is at least this long
+            settled.add(node)
+            self.stats.super_settled += 1
+            tail = entries.get(node)
+            if tail is not None and dist + tail < best:
+                best = dist + tail
+            for nbr, weight in self._super_adj[node]:
+                if nbr not in settled and dist + weight < best:
+                    heapq.heappush(heap, (dist + weight, nbr))
+        return best
+
+    def _border_offsets(self, node: int, fid: int) -> dict[int, float]:
+        """Distances from ``node`` to each border of its fragment."""
+        offsets: dict[int, float] = {}
+        table = self._intra[fid]
+        for border in self._frag.borders[fid]:
+            dist = table.get((min(node, border), max(node, border)))
+            if dist is not None:
+                offsets[border] = dist
+        return offsets

@@ -1,0 +1,60 @@
+"""A counted, cached network-distance oracle.
+
+Metric indexes see the network only through a black-box distance
+function.  :class:`NetworkMetric` is that black box: every evaluation
+runs a point-to-point Dijkstra over the charged
+:class:`~repro.core.network.NetworkView` (so page faults surface in
+the shared cost tracker) and bumps ``evaluations``; a cache keeps
+repeated pairs free, mirroring how a practical metric index would
+memoize during construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.network import NetworkView
+from repro.errors import QueryError
+from repro.paths.dijkstra import shortest_path
+
+
+class NetworkMetric:
+    """Node-to-node network distance as a metric-space oracle."""
+
+    def __init__(self, view: NetworkView):
+        self._view = view
+        self._cache: dict[tuple[int, int], float] = {}
+        self.evaluations = 0       # Dijkstra runs actually performed
+        self.requests = 0          # distance() calls including cache hits
+
+    def distance(self, u: int, v: int) -> float:
+        """Network distance between nodes ``u`` and ``v`` (inf if apart)."""
+        if not (0 <= u < self._view.num_nodes and 0 <= v < self._view.num_nodes):
+            raise QueryError(f"nodes ({u}, {v}) out of range")
+        self.requests += 1
+        key = (u, v) if u <= v else (v, u)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        result = shortest_path(self._view, u, v)
+        self._cache[key] = result.distance
+        return result.distance
+
+    def point_distance(self, pid: int, node: int) -> float:
+        """Distance between data point ``pid``'s node and ``node``."""
+        return self.distance(self._view.node_of(pid), node)
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_counters(self) -> None:
+        """Zero the evaluation counters (the cache is kept)."""
+        self.evaluations = 0
+        self.requests = 0
+
+
+def is_finite_metric(value: float) -> bool:
+    """Guard helper: whether a distance is usable for pruning."""
+    return math.isfinite(value)

@@ -1,0 +1,129 @@
+"""RkNN search through a metric index (the paper's rejected alternative).
+
+Korn & Muthukrishnan [9] answer Euclidean RNN queries by precomputing
+each point's *vicinity circle* (radius = distance to its nearest
+neighbor) and running a point-enclosure query: the RNNs of ``q`` are
+the points whose circle contains ``q``.  Because the network distance
+is a metric, the same construction works on graphs with a metric index
+in place of the R-tree:
+
+1. index the data points' nodes in a VP-tree over the network metric;
+2. compute each point's k-th-neighbor radius with a (k+1)-NN tree
+   query (k = 1 gives [9]'s original vicinity circles);
+3. answer ``RkNN(q)`` with the tree's enclosure search -- by the RkNN
+   definition ``d(p, q) <= d(p, p_k(p))``, enclosure hits are exactly
+   the result, no verification step needed.
+
+Every tree decision costs a point-to-point Dijkstra, so the approach
+carries exactly the weakness the paper identifies in Section 2 --
+triangle-inequality pruning cannot exploit connectivity.  The ablation
+benchmark reports the Dijkstra count next to eager's single pruned
+expansion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet
+
+from repro.core.network import NetworkView
+from repro.core.numeric import inflate_bound
+from repro.errors import QueryError
+from repro.metric.distance import NetworkMetric
+from repro.metric.vptree import SearchStats, VPTree
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class MetricRnnIndex:
+    """A vicinity-radius VP-tree over the view's data points.
+
+    ``k`` fixes the order of the reverse queries the index answers
+    (the radii are k-th-neighbor distances, like the paper's
+    materialization capacity fixes its maximum query order).
+    """
+
+    def __init__(
+        self,
+        view: NetworkView,
+        exclude: AbstractSet[int] = _EMPTY,
+        k: int = 1,
+    ):
+        if not view.restricted:
+            raise QueryError("metric RNN indexes require restricted networks")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._view = view
+        self.k = k
+        self.metric = NetworkMetric(view)
+        self._pid_of: dict[int, int] = {}
+        for pid in view.point_ids():
+            if pid not in exclude:
+                self._pid_of[view.node_of(pid)] = pid
+        if not self._pid_of:
+            raise QueryError("cannot index an empty point set")
+        nodes = sorted(self._pid_of)
+        self._tree = VPTree(nodes, self.metric.distance)
+        self._tree.set_vicinity_radii({node: self._nn_radius(node) for node in nodes})
+
+    def _nn_radius(self, node: int) -> float:
+        """Distance from a point's node to its k-th nearest other point.
+
+        Infinite when fewer than ``k`` other points exist (the vicinity
+        ball covers everything the point can reach, as in [9]).  The
+        radius is inflated by the floating-point guard band so exact
+        ties across different path sums stay enclosed (the paper's tie
+        rule favors the query).
+        """
+        neighbors = self._tree.knn(node, self.k + 1)
+        others = [dist for item, dist in neighbors if item != node]
+        if len(others) < self.k:
+            return math.inf
+        return inflate_bound(others[self.k - 1])
+
+    @property
+    def size(self) -> int:
+        return len(self._tree)
+
+    def rknn(
+        self, query_node: int, stats: SearchStats | None = None
+    ) -> list[int]:
+        """``RkNN(query_node)`` via point enclosure.
+
+        Unreachable points are never results: an infinite query
+        distance falls outside every meaningful vicinity ball.
+        """
+        hits = self._tree.enclosing(query_node, stats)
+        return sorted(
+            self._pid_of[node] for node, dist in hits if math.isfinite(dist)
+        )
+
+    # backwards-compatible alias (k is fixed at construction)
+    rnn = rknn
+
+
+def metric_rnn(
+    view: NetworkView,
+    query_node: int,
+    exclude: AbstractSet[int] = _EMPTY,
+    stats: SearchStats | None = None,
+) -> list[int]:
+    """One-shot metric-index RNN (build + query, k = 1)."""
+    return metric_rknn(view, query_node, 1, exclude, stats)
+
+
+def metric_rknn(
+    view: NetworkView,
+    query_node: int,
+    k: int = 1,
+    exclude: AbstractSet[int] = _EMPTY,
+    stats: SearchStats | None = None,
+) -> list[int]:
+    """One-shot metric-index RkNN (build + query).
+
+    Returns the same set as ``eager_rknn(view, query_node, k, exclude)``;
+    exists as the Section 2 comparator, not as a recommended method.
+    """
+    if view.num_points == 0 or all(pid in exclude for pid in view.point_ids()):
+        return []
+    return MetricRnnIndex(view, exclude, k=k).rknn(query_node, stats)

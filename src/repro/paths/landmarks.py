@@ -1,0 +1,122 @@
+"""ALT landmarks: network-metric lower bounds for A*.
+
+The paper declines to use Euclidean bounds because they may be absent
+(P2P graphs) or invalid (travel-time weights).  The ALT technique
+(Goldberg & Harrelson) sidesteps both objections: pick a few landmark
+nodes, precompute exact network distances from each landmark to every
+node, and bound any remaining distance with the triangle inequality::
+
+    d(u, v) >= |d(L, u) - d(L, v)|   for every landmark L.
+
+The bound is admissible *by construction of the network metric*, so it
+works on any graph the paper considers.  Preprocessing costs one full
+Dijkstra per landmark and ``O(|landmarks| * |V|)`` storage -- the same
+partial-materialization trade-off as the paper's Section 4.1 (K-NN
+lists) applied to path search instead of RkNN search.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import QueryError
+from repro.paths.astar import Heuristic
+from repro.paths.dijkstra import Adjacency, single_source_distances
+
+
+class LandmarkIndex:
+    """Precomputed landmark distances providing triangle-inequality bounds."""
+
+    def __init__(self, landmarks: list[int], tables: list[dict[int, float]]):
+        if len(landmarks) != len(tables):
+            raise QueryError("one distance table per landmark is required")
+        if not landmarks:
+            raise QueryError("at least one landmark is required")
+        self.landmarks = list(landmarks)
+        self._tables = tables
+
+    @classmethod
+    def build(
+        cls,
+        graph: Adjacency,
+        num_nodes: int,
+        count: int = 4,
+        seed: int = 0,
+        strategy: str = "farthest",
+    ) -> "LandmarkIndex":
+        """Select ``count`` landmarks and precompute their distance tables.
+
+        ``strategy="farthest"`` grows the set greedily (each new
+        landmark is the node farthest from the current set), which
+        spreads landmarks to the periphery where their bounds are
+        tight; ``"random"`` is the cheap baseline.
+        """
+        if count < 1:
+            raise QueryError(f"need at least one landmark, got {count}")
+        if count > num_nodes:
+            raise QueryError(f"cannot pick {count} landmarks from {num_nodes} nodes")
+        rng = random.Random(seed)
+        first = rng.randrange(num_nodes)
+        landmarks = [first]
+        tables = [single_source_distances(graph, first)]
+        while len(landmarks) < count:
+            if strategy == "random":
+                candidates = [n for n in range(num_nodes) if n not in landmarks]
+                nxt = rng.choice(candidates)
+            elif strategy == "farthest":
+                nxt = _farthest_node(tables, num_nodes, landmarks)
+            else:
+                raise QueryError(f"unknown landmark strategy {strategy!r}")
+            landmarks.append(nxt)
+            tables.append(single_source_distances(graph, nxt))
+        return cls(landmarks, tables)
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """``max_L |d(L, u) - d(L, v)|``: an admissible bound on d(u, v).
+
+        Nodes missing from a landmark's table (unreachable from it)
+        contribute nothing: no finite bound can be derived through a
+        disconnected landmark.
+        """
+        best = 0.0
+        for table in self._tables:
+            du = table.get(u)
+            dv = table.get(v)
+            if du is None or dv is None:
+                continue
+            gap = abs(du - dv)
+            if gap > best:
+                best = gap
+        return best
+
+    def heuristic(self, target: int) -> Heuristic:
+        """A* heuristic callable bounding distances to ``target``."""
+        return lambda node: self.lower_bound(node, target)
+
+    @property
+    def storage_entries(self) -> int:
+        """Materialized (landmark, node) distance pairs."""
+        return sum(len(table) for table in self._tables)
+
+
+def _farthest_node(
+    tables: list[dict[int, float]], num_nodes: int, chosen: list[int]
+) -> int:
+    """The node maximizing the distance to its nearest chosen landmark."""
+    chosen_set = set(chosen)
+    best_node = -1
+    best_dist = -1.0
+    for node in range(num_nodes):
+        if node in chosen_set:
+            continue
+        nearest = min(
+            (table[node] for table in tables if node in table), default=None
+        )
+        if nearest is None:
+            continue  # disconnected from every landmark: not a useful pick
+        if nearest > best_dist:
+            best_dist = nearest
+            best_node = node
+    if best_node < 0:
+        raise QueryError("no reachable candidate nodes left for landmarks")
+    return best_node

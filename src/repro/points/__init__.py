@@ -1,0 +1,5 @@
+"""Data-point sets on nodes (restricted) or edges (unrestricted)."""
+
+from repro.points.points import EdgePointSet, NodePointSet, PointSet
+
+__all__ = ["EdgePointSet", "NodePointSet", "PointSet"]

@@ -1,0 +1,32 @@
+"""Simulated disk storage: pages, LRU buffer, stores and cost accounting.
+
+The store classes are exported lazily (PEP 562): ``repro.storage.disk``
+depends on ``repro.graph.partition``, which itself uses the page format
+from this package -- importing the stores eagerly here would close an
+import cycle.
+"""
+
+from repro.storage.buffer import BufferManager
+from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.stats import CostModel, CostTracker, QueryCost
+
+__all__ = [
+    "BufferManager",
+    "CostModel",
+    "CostTracker",
+    "DiskGraph",
+    "DEFAULT_PAGE_SIZE",
+    "EdgePointStore",
+    "KnnListStore",
+    "QueryCost",
+]
+
+_LAZY = {"DiskGraph", "EdgePointStore", "KnnListStore"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.storage import disk
+
+        return getattr(disk, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,158 @@
+"""Disk-resident storage for directed networks.
+
+A directed network needs *two* adjacency files: the query algorithms
+expand backwards from the query over incoming arcs (ordering nodes by
+their distance **to** the query) and probe forwards over outgoing arcs
+(distances **from** a node).  Both files use the same page format and
+topology-aware packing as the undirected store and share the database's
+LRU buffer; reads from either are charged I/O.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import _span
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    AdjacencyRecord,
+    adjacency_record_size,
+    decode_adjacency_page,
+    encode_adjacency_page,
+    pack_records,
+)
+
+
+def weak_bfs_order(graph: DiGraph, seed: int = 0) -> list[int]:
+    """BFS order over the *weak* (direction-blind) adjacency.
+
+    Packing by weak connectivity keeps both expansion directions local,
+    since forward and backward traversals cross the same regions.
+    """
+    n = graph.num_nodes
+    order: list[int] = []
+    seen = [False] * n
+    starts = [seed] + [v for v in range(n) if v != seed]
+    for start in starts:
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nbr, _ in graph.out_neighbors(node):
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    queue.append(nbr)
+            for nbr, _ in graph.in_neighbors(node):
+                if not seen[nbr]:
+                    seen[nbr] = True
+                    queue.append(nbr)
+    return order
+
+
+class _DirectionFile:
+    """One paged adjacency file (forward or backward lists)."""
+
+    def __init__(
+        self,
+        tag: str,
+        lists: list[tuple[tuple[int, float], ...]],
+        order: Sequence[int],
+        buffer: BufferManager,
+        page_size: int,
+        point_nodes: frozenset[int],
+    ):
+        self.tag = tag
+        self.buffer = buffer
+        self.page_size = page_size
+        sizes = [adjacency_record_size(len(lst)) for lst in lists]
+        node_pages = pack_records(
+            [sizes[node] for node in order], page_size=page_size
+        )
+        self._pages: list[bytes] = []
+        self._spans: list[int] = []
+        self._page_of: list[int] = [-1] * len(lists)
+        for page_no, indices in enumerate(node_pages):
+            records = []
+            for index in indices:
+                node = order[index]
+                records.append(
+                    AdjacencyRecord(node, node in point_nodes, lists[node])
+                )
+                self._page_of[node] = page_no
+            payload = encode_adjacency_page(records)
+            self._pages.append(payload)
+            self._spans.append(_span(payload, page_size))
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        page_no = self._page_of[node]
+        page = self.buffer.get(
+            (self.tag, page_no),
+            lambda: self._load(page_no),
+            span=self._spans[page_no],
+        )
+        return page[node].neighbors
+
+    def _load(self, page_no: int) -> dict[int, AdjacencyRecord]:
+        records = decode_adjacency_page(self._pages[page_no])
+        return {record.node: record for record in records}
+
+
+class DiskDiGraph:
+    """Paged forward + backward adjacency files of a directed network."""
+
+    _instances = 0
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        buffer: BufferManager,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        order: Sequence[int] | None = None,
+        point_nodes: frozenset[int] = frozenset(),
+    ):
+        DiskDiGraph._instances += 1
+        tag = f"dg{DiskDiGraph._instances}"
+        self.num_nodes = graph.num_nodes
+        self.num_arcs = graph.num_arcs
+        if order is None:
+            order = weak_bfs_order(graph)
+        if sorted(order) != list(range(graph.num_nodes)):
+            raise StorageError("page order must cover every node exactly once")
+        out_lists = [tuple(graph.out_neighbors(v)) for v in range(graph.num_nodes)]
+        in_lists = [tuple(graph.in_neighbors(v)) for v in range(graph.num_nodes)]
+        self._forward = _DirectionFile(
+            f"{tag}:fwd", out_lists, order, buffer, page_size, point_nodes
+        )
+        self._backward = _DirectionFile(
+            f"{tag}:rev", in_lists, order, buffer, page_size, point_nodes
+        )
+
+    @property
+    def num_pages(self) -> int:
+        return self._forward.num_pages + self._backward.num_pages
+
+    def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Outgoing arcs of ``node`` (charged read of the forward file)."""
+        self._check(node)
+        return self._forward.neighbors(node)
+
+    def in_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Incoming arcs of ``node`` (charged read of the backward file)."""
+        self._check(node)
+        return self._backward.neighbors(node)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise StorageError(f"node {node} out of range")

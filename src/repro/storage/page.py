@@ -1,0 +1,207 @@
+"""Page formats for the simulated disk.
+
+Three record types live in fixed-size pages (default 4 KB, as in the
+paper's evaluation):
+
+* *adjacency records* -- one per graph node: the node id, a data-point
+  flag and the node's neighbor/weight list (paper Fig. 3b);
+* *edge-point records* -- one per edge that carries data points in an
+  unrestricted network: the edge and its ``(point id, offset)`` pairs
+  (paper Fig. 14b);
+* *K-NN records* -- one per node: the node's materialized list of the K
+  nearest data points (paper Section 4.1).
+
+Records are serialized with :mod:`struct`; a page is simply the
+concatenation of its records behind a record-count header.  Pages are
+the unit of I/O accounting: reading a page whose payload spans ``s``
+physical page slots costs ``s`` I/Os (this only happens for nodes whose
+adjacency list alone exceeds the page size).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import StorageError
+
+#: Default page size used throughout the paper's evaluation (4 KB).
+DEFAULT_PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<H")            # record count
+_ADJ_RECORD_HEADER = struct.Struct("<IBH")   # node id, point flag, degree
+_ADJ_ENTRY = struct.Struct("<Id")            # neighbor id, weight
+_EDGE_RECORD_HEADER = struct.Struct("<IIH")  # u, v, point count
+_EDGE_ENTRY = struct.Struct("<Id")           # point id, offset from min(u,v)
+_KNN_RECORD_HEADER = struct.Struct("<IH")    # node id, entry count
+_KNN_ENTRY = struct.Struct("<Id")            # point id, distance
+
+
+def adjacency_record_size(degree: int) -> int:
+    """Bytes occupied by the adjacency record of a node with ``degree``."""
+    return _ADJ_RECORD_HEADER.size + degree * _ADJ_ENTRY.size
+
+
+def edge_record_size(point_count: int) -> int:
+    """Bytes occupied by an edge-point record holding ``point_count`` points."""
+    return _EDGE_RECORD_HEADER.size + point_count * _EDGE_ENTRY.size
+
+
+def knn_record_size(capacity: int) -> int:
+    """Bytes reserved for a materialized K-NN record with ``capacity`` slots.
+
+    K-NN records are fixed-size (always ``capacity`` slots) so that list
+    maintenance can rewrite a record in place without repacking pages.
+    """
+    return _KNN_RECORD_HEADER.size + capacity * _KNN_ENTRY.size
+
+
+@dataclass(frozen=True)
+class AdjacencyRecord:
+    """Adjacency list of one node plus its data-point flag."""
+
+    node: int
+    has_point: bool
+    neighbors: tuple[tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class EdgePointRecord:
+    """Data points lying on one edge of an unrestricted network.
+
+    Offsets are measured from the lexicographically smaller endpoint,
+    matching the paper's ``<n_i, n_j, pos>`` convention (Section 5.2).
+    """
+
+    u: int
+    v: int
+    points: tuple[tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class KnnRecord:
+    """Materialized list of the K nearest data points of one node."""
+
+    node: int
+    entries: tuple[tuple[int, float], ...]
+    capacity: int
+
+
+def encode_adjacency_page(records: Sequence[AdjacencyRecord]) -> bytes:
+    """Serialize adjacency records into one page payload."""
+    parts = [_HEADER.pack(len(records))]
+    for rec in records:
+        parts.append(
+            _ADJ_RECORD_HEADER.pack(rec.node, int(rec.has_point), len(rec.neighbors))
+        )
+        for nbr, weight in rec.neighbors:
+            parts.append(_ADJ_ENTRY.pack(nbr, weight))
+    return b"".join(parts)
+
+
+def decode_adjacency_page(payload: bytes) -> list[AdjacencyRecord]:
+    """Parse one adjacency page payload back into records."""
+    (count,) = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    records = []
+    for _ in range(count):
+        node, flag, degree = _ADJ_RECORD_HEADER.unpack_from(payload, offset)
+        offset += _ADJ_RECORD_HEADER.size
+        neighbors = []
+        for _ in range(degree):
+            nbr, weight = _ADJ_ENTRY.unpack_from(payload, offset)
+            offset += _ADJ_ENTRY.size
+            neighbors.append((nbr, weight))
+        records.append(AdjacencyRecord(node, bool(flag), tuple(neighbors)))
+    return records
+
+
+def encode_edge_point_page(records: Sequence[EdgePointRecord]) -> bytes:
+    """Serialize edge-point records into one page payload."""
+    parts = [_HEADER.pack(len(records))]
+    for rec in records:
+        parts.append(_EDGE_RECORD_HEADER.pack(rec.u, rec.v, len(rec.points)))
+        for pid, pos in rec.points:
+            parts.append(_EDGE_ENTRY.pack(pid, pos))
+    return b"".join(parts)
+
+
+def decode_edge_point_page(payload: bytes) -> list[EdgePointRecord]:
+    """Parse one edge-point page payload back into records."""
+    (count,) = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    records = []
+    for _ in range(count):
+        u, v, npoints = _EDGE_RECORD_HEADER.unpack_from(payload, offset)
+        offset += _EDGE_RECORD_HEADER.size
+        points = []
+        for _ in range(npoints):
+            pid, pos = _EDGE_ENTRY.unpack_from(payload, offset)
+            offset += _EDGE_ENTRY.size
+            points.append((pid, pos))
+        records.append(EdgePointRecord(u, v, tuple(points)))
+    return records
+
+
+def encode_knn_page(records: Sequence[KnnRecord]) -> bytes:
+    """Serialize K-NN records, padding each to its fixed capacity."""
+    parts = [_HEADER.pack(len(records))]
+    for rec in records:
+        if len(rec.entries) > rec.capacity:
+            raise StorageError(
+                f"K-NN record for node {rec.node} holds {len(rec.entries)} "
+                f"entries but capacity is {rec.capacity}"
+            )
+        parts.append(_KNN_RECORD_HEADER.pack(rec.node, len(rec.entries)))
+        for pid, dist in rec.entries:
+            parts.append(_KNN_ENTRY.pack(pid, dist))
+        padding = rec.capacity - len(rec.entries)
+        parts.append(b"\x00" * (padding * _KNN_ENTRY.size))
+    return b"".join(parts)
+
+
+def decode_knn_page(payload: bytes, capacity: int) -> list[KnnRecord]:
+    """Parse one K-NN page payload (records have fixed ``capacity``)."""
+    (count,) = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    records = []
+    for _ in range(count):
+        node, used = _KNN_RECORD_HEADER.unpack_from(payload, offset)
+        offset += _KNN_RECORD_HEADER.size
+        entries = []
+        for i in range(capacity):
+            pid, dist = _KNN_ENTRY.unpack_from(payload, offset)
+            offset += _KNN_ENTRY.size
+            if i < used:
+                entries.append((pid, dist))
+        records.append(KnnRecord(node, tuple(entries), capacity))
+    return records
+
+
+def pack_records(
+    sizes: Iterable[int], page_size: int = DEFAULT_PAGE_SIZE
+) -> list[list[int]]:
+    """Greedily group record indices into pages of at most ``page_size`` bytes.
+
+    ``sizes`` gives the byte size of each record, in storage order (the
+    caller is expected to pass records already arranged for locality,
+    e.g. in BFS order -- see :mod:`repro.graph.partition`).  A record
+    larger than a page gets a page of its own; its page then *spans*
+    multiple physical slots, which the page store charges accordingly.
+    """
+    pages: list[list[int]] = []
+    current: list[int] = []
+    used = _HEADER.size
+    for index, size in enumerate(sizes):
+        if size <= 0:
+            raise StorageError(f"record {index} has non-positive size {size}")
+        if current and used + size > page_size:
+            pages.append(current)
+            current = []
+            used = _HEADER.size
+        current.append(index)
+        used += size
+    if current:
+        pages.append(current)
+    return pages

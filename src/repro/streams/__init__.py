@@ -1,0 +1,23 @@
+"""RNN aggregates over update streams (paper Section 2.1, ref. [10]).
+
+Korn et al. maintain aggregate results over the RNNs of a set of
+standing query points while the data arrive as a stream.  This package
+provides the graph analogue: :class:`~repro.streams.monitor.RnnMonitor`
+keeps the exact ``RkNN`` result (and its aggregates) of every standing
+query up to date under point insertions and deletions.
+
+The monitor is built from parts the paper already supplies: the
+materialized K-NN lists of Section 4.1 give each point's k-th-neighbor
+radius and are maintained incrementally by the all-NN insert/delete
+algorithms (Fig. 10); one distance field per standing query (the graph
+is static, so it never changes) turns membership into a constant-time
+comparison ``d(p, q) <= d(p, p_k(p))``.
+"""
+
+from repro.streams.monitor import (
+    BichromaticRnnMonitor,
+    MembershipEvent,
+    RnnMonitor,
+)
+
+__all__ = ["BichromaticRnnMonitor", "MembershipEvent", "RnnMonitor"]

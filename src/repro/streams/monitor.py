@@ -1,0 +1,244 @@
+"""Continuous RkNN monitoring under point insertions and deletions.
+
+:class:`RnnMonitor` registers a set of standing queries (nodes of the
+graph) and maintains, for each, the exact monochromatic ``RkNN``
+result while data points come and go.  Design:
+
+* **Distance fields.**  The graph is static, so ``d(q, n)`` for a
+  standing query ``q`` and any node ``n`` never changes.  One
+  single-source Dijkstra per query at registration time materializes
+  the field (an in-memory planning structure, like the paper's node-id
+  index).
+* **Neighbor radii.**  A point ``p`` on node ``n`` belongs to
+  ``RkNN(q)`` iff fewer than ``k`` other points are strictly closer to
+  ``p`` than ``q`` -- equivalently ``d(p, q)`` is within ``p``'s
+  k-th-other-point radius.  The radius comes straight from the
+  materialized K-NN list of ``n`` (capacity ``k + 1``: the list also
+  holds ``p`` itself at distance 0), which the Section 4.1 insert and
+  delete algorithms keep up to date.
+
+Each update therefore costs one materialized-list maintenance pass
+(local network expansion) plus a constant-time membership check per
+(point, query) pair -- no query is ever re-run from scratch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.api import GraphDatabase, Location
+from repro.core.numeric import tie_threshold
+from repro.errors import QueryError
+from repro.paths.dijkstra import single_source_distances
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One result-set change produced by a stream update."""
+
+    query_id: int
+    point_id: int
+    kind: str  # "join" or "leave"
+
+
+class BichromaticRnnMonitor:
+    """Continuous *bichromatic* RkNN results for standing queries.
+
+    The standing queries double as the reference set Q (the paper's
+    Fig. 1b: restaurants compete with rival restaurants): a data point
+    belongs to ``bRkNN(q)`` when fewer than ``k`` *other standing
+    queries* are strictly closer to it than ``q``.  Because queries are
+    fixed and the graph is static, membership depends only on the
+    precomputed distance fields -- each stream update costs one field
+    lookup per (point, query) pair and no network traversal at all.
+    """
+
+    def __init__(self, db: GraphDatabase, queries: dict[int, int], k: int = 1):
+        if not db.restricted:
+            raise QueryError("BichromaticRnnMonitor requires a restricted network")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if len(queries) < 2:
+            raise QueryError(
+                "bichromatic monitoring needs at least two standing queries "
+                "(each competes with the others)"
+            )
+        for qid, node in queries.items():
+            if not 0 <= node < db.graph.num_nodes:
+                raise QueryError(f"query {qid} node {node} out of range")
+        self.db = db
+        self.k = k
+        self._queries = dict(queries)
+        self._fields = {
+            qid: single_source_distances(db.graph, node)
+            for qid, node in queries.items()
+        }
+        self._results: dict[int, set[int]] = {qid: set() for qid in queries}
+        self._refresh()
+
+    def insert(self, pid: int, location: Location) -> list[MembershipEvent]:
+        """Feed a point insertion; returns the membership changes."""
+        self.db.insert_point(pid, location)
+        return self._refresh()
+
+    def delete(self, pid: int) -> list[MembershipEvent]:
+        """Feed a point deletion; returns the membership changes."""
+        self.db.delete_point(pid)
+        return self._refresh()
+
+    def result(self, qid: int) -> list[int]:
+        """Current ``bRkNN`` members of a standing query (sorted)."""
+        try:
+            return sorted(self._results[qid])
+        except KeyError:
+            raise QueryError(f"unknown standing query {qid}") from None
+
+    def counts(self) -> dict[int, int]:
+        """``query id -> |bRkNN(q)|`` for every standing query."""
+        return {qid: len(members) for qid, members in self._results.items()}
+
+    def total_influence(self) -> int:
+        """Sum of result sizes over all standing queries."""
+        return sum(len(members) for members in self._results.values())
+
+    def most_influential(self) -> tuple[int, int]:
+        """``(query id, result size)`` of the largest current result."""
+        qid = max(self._results, key=lambda q: (len(self._results[q]), -q))
+        return qid, len(self._results[qid])
+
+    def _refresh(self) -> list[MembershipEvent]:
+        events: list[MembershipEvent] = []
+        fresh: dict[int, set[int]] = {qid: set() for qid in self._queries}
+        for pid in self.db.points.ids():
+            node = self.db.points.node_of(pid)
+            for qid, field in self._fields.items():
+                dq = field.get(node)
+                if dq is None:
+                    continue
+                threshold = tie_threshold(dq)
+                closer = sum(
+                    1
+                    for other, other_field in self._fields.items()
+                    if other != qid and other_field.get(node, _INF) < threshold
+                )
+                if closer < self.k:
+                    fresh[qid].add(pid)
+        for qid, members in fresh.items():
+            for pid in sorted(members - self._results[qid]):
+                events.append(MembershipEvent(qid, pid, "join"))
+            for pid in sorted(self._results[qid] - members):
+                events.append(MembershipEvent(qid, pid, "leave"))
+        self._results = fresh
+        return events
+
+
+_INF = float("inf")
+
+
+class RnnMonitor:
+    """Exact continuous RkNN results for a set of standing queries."""
+
+    def __init__(self, db: GraphDatabase, queries: dict[int, int], k: int = 1):
+        """Register ``queries`` (query id -> node id) over ``db``.
+
+        The database must be restricted (points on nodes).  The monitor
+        materializes K-NN lists of capacity ``k + 1`` if the database
+        has none; an existing materialization must already satisfy that
+        capacity.
+        """
+        if not db.restricted:
+            raise QueryError("RnnMonitor requires a restricted network")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if not queries:
+            raise QueryError("at least one standing query is required")
+        for qid, node in queries.items():
+            if not 0 <= node < db.graph.num_nodes:
+                raise QueryError(f"query {qid} node {node} out of range")
+        self.db = db
+        self.k = k
+        if db.materialized is None:
+            db.materialize(k + 1)
+        elif db.materialized.capacity < k + 1:
+            raise QueryError(
+                f"existing materialization capacity {db.materialized.capacity} "
+                f"< k + 1 = {k + 1}"
+            )
+        self._fields = {
+            qid: single_source_distances(db.graph, node)
+            for qid, node in queries.items()
+        }
+        self._queries = dict(queries)
+        self._results: dict[int, set[int]] = {qid: set() for qid in queries}
+        self._refresh()
+
+    # -- stream updates ---------------------------------------------------------
+
+    def insert(self, pid: int, location: Location) -> list[MembershipEvent]:
+        """Feed a point insertion; returns the membership changes."""
+        self.db.insert_point(pid, location)
+        return self._refresh()
+
+    def delete(self, pid: int) -> list[MembershipEvent]:
+        """Feed a point deletion; returns the membership changes."""
+        self.db.delete_point(pid)
+        return self._refresh()
+
+    # -- results and aggregates ---------------------------------------------------
+
+    def result(self, qid: int) -> list[int]:
+        """Current ``RkNN`` members of a standing query (sorted)."""
+        try:
+            return sorted(self._results[qid])
+        except KeyError:
+            raise QueryError(f"unknown standing query {qid}") from None
+
+    def counts(self) -> dict[int, int]:
+        """``query id -> |RkNN(q)|`` for every standing query."""
+        return {qid: len(members) for qid, members in self._results.items()}
+
+    def total_influence(self) -> int:
+        """Sum of result sizes over all standing queries ([10]'s aggregate)."""
+        return sum(len(members) for members in self._results.values())
+
+    def most_influential(self) -> tuple[int, int]:
+        """``(query id, result size)`` of the largest current result."""
+        qid = max(self._results, key=lambda q: (len(self._results[q]), -q))
+        return qid, len(self._results[qid])
+
+    # -- membership evaluation ------------------------------------------------------
+
+    def _refresh(self) -> list[MembershipEvent]:
+        """Re-evaluate all (point, query) memberships; emit the diffs."""
+        events: list[MembershipEvent] = []
+        fresh: dict[int, set[int]] = {qid: set() for qid in self._queries}
+        for pid in self.db.points.ids():
+            node = self.db.points.node_of(pid)
+            others = self._other_distances(pid, node)
+            for qid, field in self._fields.items():
+                dq = field.get(node)
+                if dq is None:
+                    continue  # query cannot reach the point
+                closer = bisect_left(others, tie_threshold(dq))
+                if closer < self.k:
+                    fresh[qid].add(pid)
+        for qid, members in fresh.items():
+            for pid in sorted(members - self._results[qid]):
+                events.append(MembershipEvent(qid, pid, "join"))
+            for pid in sorted(self._results[qid] - members):
+                events.append(MembershipEvent(qid, pid, "leave"))
+        self._results = fresh
+        return events
+
+    def _other_distances(self, pid: int, node: int) -> list[float]:
+        """Ascending distances from ``pid`` to its nearest other points.
+
+        Read from the materialized list of the point's node, which
+        contains the point itself at distance 0 plus its ``k`` nearest
+        other points (capacity ``k + 1``).
+        """
+        assert self.db.materialized is not None
+        return sorted(
+            dist for other, dist in self.db.materialized.get(node) if other != pid
+        )

@@ -1,0 +1,21 @@
+"""Network Voronoi diagrams (paper Section 2.2, ref. [8]).
+
+Kolahdouzan & Shahabi answer spatial-network kNN queries with
+*network Voronoi cells*: each data point (generator) owns the nodes
+closer to it than to any other generator.  The paper cites this as the
+main materialization-based alternative to its expansion algorithms, so
+this package provides the comparator:
+
+* :class:`~repro.voronoi.nvd.NetworkVoronoi` -- the diagram itself,
+  built by one multi-source expansion (same cost as one ``all-NN(1)``
+  pass of the paper's Section 4.1);
+* :func:`~repro.voronoi.rnn.voronoi_rnn` -- single RNN retrieval via
+  the Voronoi-neighbor property (candidates are the generators whose
+  cells border the query's cell), verified with the paper's own
+  verification query.
+"""
+
+from repro.voronoi.nvd import NetworkVoronoi
+from repro.voronoi.rnn import voronoi_rnn
+
+__all__ = ["NetworkVoronoi", "voronoi_rnn"]

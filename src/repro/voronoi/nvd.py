@@ -1,0 +1,185 @@
+"""Construction and inspection of network Voronoi diagrams.
+
+A *network Voronoi diagram* (NVD) over generators ``p_1 .. p_m``
+(data points on nodes) assigns every graph node ``n`` to the
+generator(s) minimizing ``d(n, p_i)``.  Construction is a single
+multi-source Dijkstra expansion seeded with all generators at distance
+0 -- the exact machinery of the paper's ``all-NN`` algorithm with
+``K = 1`` (Section 4.1, Fig. 8), so the NVD costs one network sweep.
+
+**Tie handling.**  On graphs with integer weights (the DBLP degrees-of
+separation metric) boundary nodes are frequently equidistant from two
+or more generators.  The diagram therefore records *thick* ownership:
+every generator whose distance equals the node's minimum (within the
+floating-point guard band of :mod:`repro.core.numeric`) owns the node.
+Thick cells overlap on boundaries; the *primary* owner (first settler,
+deterministic) still yields a proper partition for cell-size reports.
+Thick ownership is what makes the Voronoi-neighbor RNN property of
+:mod:`repro.voronoi.rnn` hold under the paper's tie rule (ties favor
+the query); see that module for the proof sketch.
+
+Tie wavefronts are propagated: a generator's expansion continues
+through nodes it co-owns, which is sound because thick cells are
+connected along shortest paths (if ``p`` thick-owns ``n``, it
+thick-owns every node on any shortest ``p -> n`` path -- a closer
+generator at an intermediate node would be closer at ``n`` too).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.network import NetworkView
+from repro.core.numeric import EPS
+from repro.errors import QueryError
+
+
+class NetworkVoronoi:
+    """Order-1 network Voronoi diagram with thick (tie-aware) ownership."""
+
+    def __init__(
+        self,
+        distance: dict[int, float],
+        owners: dict[int, tuple[int, ...]],
+        generators: tuple[int, ...],
+    ):
+        self._distance = distance
+        self._owners = owners
+        self.generators = generators
+
+    @classmethod
+    def build(
+        cls,
+        view: NetworkView,
+        extra_seeds: dict[int, tuple[int, float]] | None = None,
+        exclude: frozenset[int] | set[int] = frozenset(),
+    ) -> "NetworkVoronoi":
+        """Build the diagram for the view's (restricted) point set.
+
+        ``extra_seeds`` maps ``node -> (generator_id, start_distance)``
+        and lets callers inject a query as a temporary generator (the
+        NVD-of-``P + {q}`` construction used by RNN retrieval); the
+        injected id must not collide with a point id.  ``exclude``
+        hides data points (the paper's new-arrival workloads).
+        """
+        if not view.restricted:
+            raise QueryError("network Voronoi diagrams require restricted networks")
+        seeds: list[tuple[float, int, int]] = []  # (distance, gid, node)
+        generators: list[int] = []
+        for pid in sorted(view.point_ids()):
+            if pid in exclude:
+                continue
+            generators.append(pid)
+            seeds.append((0.0, pid, view.node_of(pid)))
+        if extra_seeds:
+            for node, (gid, start) in extra_seeds.items():
+                if gid in generators:
+                    raise QueryError(f"extra seed id {gid} collides with a point id")
+                generators.append(gid)
+                seeds.append((start, gid, node))
+        if not generators:
+            raise QueryError("cannot build a Voronoi diagram without generators")
+
+        heap = list(seeds)
+        heapq.heapify(heap)
+        distance: dict[int, float] = {}
+        owners: dict[int, list[int]] = {}
+        while heap:
+            dist, gid, node = heapq.heappop(heap)
+            view.tracker.heap_pops += 1
+            settled = distance.get(node)
+            if settled is None:
+                distance[node] = dist
+                owners[node] = [gid]
+                view.tracker.nodes_visited += 1
+            elif dist <= settled + EPS * max(abs(dist), 1.0):
+                if gid in owners[node]:
+                    continue
+                owners[node].append(gid)  # tie co-owner; propagate its front
+            else:
+                continue
+            for nbr, weight in view.neighbors(node):
+                ndist = dist + weight
+                nsettled = distance.get(nbr)
+                if nsettled is None or ndist <= nsettled + EPS * max(abs(ndist), 1.0):
+                    heapq.heappush(heap, (ndist, gid, nbr))
+                    view.tracker.heap_pushes += 1
+        frozen = {node: tuple(gids) for node, gids in owners.items()}
+        return cls(distance, frozen, tuple(generators))
+
+    # -- lookups -------------------------------------------------------------
+
+    def cell_of(self, node: int) -> int:
+        """The primary (first-settling) owner of ``node``."""
+        return self.owners_of(node)[0]
+
+    def owners_of(self, node: int) -> tuple[int, ...]:
+        """Every generator within a tie of the node's minimum distance."""
+        try:
+            return self._owners[node]
+        except KeyError:
+            raise QueryError(
+                f"node {node} is unreachable from every generator"
+            ) from None
+
+    def distance_of(self, node: int) -> float:
+        """Distance from ``node`` to its nearest generator."""
+        try:
+            return self._distance[node]
+        except KeyError:
+            raise QueryError(
+                f"node {node} is unreachable from every generator"
+            ) from None
+
+    def covers(self, node: int) -> bool:
+        """Whether ``node`` is reachable from any generator."""
+        return node in self._distance
+
+    def cell_nodes(self, generator: int, thick: bool = False) -> list[int]:
+        """Nodes owned by ``generator``; primary ownership by default."""
+        if thick:
+            return sorted(
+                node for node, gids in self._owners.items() if generator in gids
+            )
+        return sorted(
+            node for node, gids in self._owners.items() if gids[0] == generator
+        )
+
+    def cell_sizes(self) -> dict[int, int]:
+        """Primary-owner cell sizes (a proper partition of covered nodes)."""
+        sizes = {gid: 0 for gid in self.generators}
+        for gids in self._owners.values():
+            sizes[gids[0]] += 1
+        return sizes
+
+    # -- adjacency -------------------------------------------------------------
+
+    def neighbors_of_cell(self, view: NetworkView, generator: int) -> set[int]:
+        """Generators whose thick cell touches ``generator``'s thick cell.
+
+        Two cells touch when they co-own a node or when a graph edge
+        joins nodes they respectively own.  Scans the adjacency lists of
+        the cell's nodes (charged reads, like any query-time traversal).
+        """
+        result: set[int] = set()
+        for node in self.cell_nodes(generator, thick=True):
+            result.update(self._owners[node])
+            for nbr, _ in view.neighbors(node):
+                owners = self._owners.get(nbr)
+                if owners is not None:
+                    result.update(owners)
+        result.discard(generator)
+        return result
+
+    def adjacency(self, view: NetworkView) -> dict[int, set[int]]:
+        """The full cell-adjacency graph (generator -> neighbor set)."""
+        adjacency: dict[int, set[int]] = {gid: set() for gid in self.generators}
+        for node, gids in self._owners.items():
+            local = set(gids)
+            for nbr, _ in view.neighbors(node):
+                owners = self._owners.get(nbr)
+                if owners is not None:
+                    local.update(owners)
+            for gid in gids:
+                adjacency[gid].update(local - {gid})
+        return adjacency

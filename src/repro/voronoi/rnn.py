@@ -1,0 +1,72 @@
+"""RNN retrieval through network Voronoi cells.
+
+The Euclidean literature the paper surveys (Section 2.1, refs [13],
+[17]) exploits Voronoi structure: the RNNs of ``q`` are found among
+the Voronoi neighbors of ``q`` in the diagram of ``P + {q}``.  The
+same property holds in networks:
+
+**Lemma.**  Let ``p`` be a data point with no other point strictly
+closer to it than the query (``p in RNN(q)`` under the paper's tie
+rule).  Then on any shortest ``p -> q`` path, every node is
+thick-owned by ``p`` or by ``q`` in the NVD of ``P + {q}``.
+
+*Proof sketch.*  If some generator ``g`` were strictly closer than
+``q`` to a path node ``n``, then ``d(p, g) <= d(p, n) + d(n, g) <
+d(p, n) + d(n, q) = d(p, q)``, contradicting ``p in RNN(q)``.  Hence
+``min(d(n, p), d(n, q))`` equals the node's minimum distance, and
+whichever of the two attains it thick-owns ``n``.  Since ``d(n, p)``
+rises and ``d(n, q)`` falls along the path, the two thick cells share
+a node or an edge -- i.e. ``p`` is a (thick) Voronoi neighbor of
+``q``.  ∎
+
+The algorithm is therefore: build the diagram with the query injected
+as a temporary generator, collect the generators bordering the query's
+cell, and verify each candidate with the paper's own verification
+query.  One full network sweep makes it strictly more expensive than
+``eager`` on every workload -- which is exactly the paper's argument
+for expansion-based processing; the ablation benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet
+
+from repro.core.network import NetworkView
+from repro.core.nn import verify
+from repro.errors import QueryError
+from repro.voronoi.nvd import NetworkVoronoi
+
+_EMPTY: frozenset[int] = frozenset()
+
+#: Temporary generator id for the injected query (never a valid point id).
+QUERY_GID = -1
+
+
+def voronoi_rnn(
+    view: NetworkView,
+    query_node: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> list[int]:
+    """Single (k=1) monochromatic RNN via Voronoi-neighbor candidates.
+
+    Returns the same result set as ``eager_rknn(view, query_node, 1)``;
+    the Voronoi route exists as a materialization-style comparator, not
+    as a recommended method.  Higher ``k`` would require an order-k
+    diagram and is intentionally unsupported.
+    """
+    if not view.restricted:
+        raise QueryError("voronoi_rnn requires a restricted network")
+    if view.num_points == 0 or all(pid in exclude for pid in view.point_ids()):
+        return []
+    nvd = NetworkVoronoi.build(
+        view,
+        extra_seeds={query_node: (QUERY_GID, 0.0)},
+        exclude=frozenset(exclude),
+    )
+    candidates = nvd.neighbors_of_cell(view, QUERY_GID)
+    result = []
+    for pid in sorted(candidates):
+        if verify(view, pid, 1, {query_node}, math.inf, exclude):
+            result.append(pid)
+    return result

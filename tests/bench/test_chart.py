@@ -1,0 +1,85 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.bench.chart import BAR_WIDTH, format_chart
+from repro.bench.report import format_figure
+
+ROWS = [
+    {"D": 0.01, "method": "eager", "total_s": 10.0},
+    {"D": 0.01, "method": "lazy", "total_s": 100.0},
+    {"D": 0.05, "method": "eager", "total_s": 1.0},
+    {"D": 0.05, "method": "lazy", "total_s": 100.0},
+]
+
+
+class TestFormatChart:
+    def test_empty_rows(self):
+        assert "(no data)" in format_chart("t", [], "D", "method", "total_s")
+
+    def test_groups_appear_in_first_seen_order(self):
+        text = format_chart("t", ROWS, "D", "method", "total_s")
+        assert text.index("D=0.01") < text.index("D=0.05")
+
+    def test_every_row_gets_a_bar(self):
+        text = format_chart("t", ROWS, "D", "method", "total_s")
+        assert text.count("#") > 0
+        assert sum("eager" in line for line in text.splitlines()) == 2
+        assert sum("lazy" in line for line in text.splitlines()) == 2
+
+    def test_log_scale_extremes(self):
+        text = format_chart("t", ROWS, "D", "method", "total_s")
+        lines = [line for line in text.splitlines() if "#" in line]
+        longest = max(line.count("#") for line in lines)
+        shortest = min(line.count("#") for line in lines)
+        assert longest == BAR_WIDTH       # the max value fills the width
+        assert shortest == 1              # the min value is one tick
+
+    def test_linear_scale_is_proportional(self):
+        rows = [
+            {"x": 1, "method": "a", "v": 50.0},
+            {"x": 1, "method": "b", "v": 100.0},
+        ]
+        text = format_chart("t", rows, "x", "method", "v", log_scale=False)
+        lines = [line for line in text.splitlines() if "#" in line]
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_zero_values_plot_empty(self):
+        rows = [
+            {"x": 1, "method": "a", "v": 0.0},
+            {"x": 1, "method": "b", "v": 5.0},
+        ]
+        text = format_chart("t", rows, "x", "method", "v")
+        a_line = next(line for line in text.splitlines() if " a " in line)
+        assert "#" not in a_line
+
+    def test_all_zero_is_handled(self):
+        rows = [{"x": 1, "method": "a", "v": 0.0}]
+        assert "no positive values" in format_chart("t", rows, "x", "method", "v")
+
+    def test_equal_values_fill_width(self):
+        rows = [
+            {"x": 1, "method": "a", "v": 7.0},
+            {"x": 1, "method": "b", "v": 7.0},
+        ]
+        text = format_chart("t", rows, "x", "method", "v")
+        lines = [line for line in text.splitlines() if "#" in line]
+        assert all(line.count("#") == BAR_WIDTH for line in lines)
+
+    def test_non_numeric_values_plot_empty(self):
+        rows = [
+            {"x": 1, "method": "a", "v": "-"},
+            {"x": 1, "method": "b", "v": 3.0},
+        ]
+        text = format_chart("t", rows, "x", "method", "v")
+        assert "#" in text  # b still plots
+
+
+class TestFormatFigure:
+    def test_contains_table_and_chart(self):
+        text = format_figure("Figure X", ROWS, group_by="D")
+        assert text.count("Figure X") == 2  # table title + chart title
+        assert "method" in text             # table header
+        assert "#" in text                  # chart bars
+
+    def test_value_column_named_in_chart_header(self):
+        text = format_figure("F", ROWS, group_by="D", value="total_s")
+        assert "[total_s, log scale]" in text

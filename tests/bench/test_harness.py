@@ -1,0 +1,101 @@
+"""Tests for the benchmark harness."""
+
+import os
+
+import pytest
+
+from repro import GraphDatabase
+from repro.bench.harness import (
+    run_continuous_workload,
+    run_update_workload,
+    run_workload,
+)
+from repro.bench.report import format_table, save_report
+from repro.bench.runner import current_profile
+from repro.datasets.workload import Query, place_node_points
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def bench_db():
+    n = 64
+    edges = [(i, i + 1, 1.0) for i in range(n - 1)]
+    edges += [(i, i + 8, 2.0) for i in range(n - 8)]
+    graph = Graph(n, edges)
+    points = place_node_points(graph, 0.1, seed=1)
+    return GraphDatabase(graph, points), points
+
+
+class TestRunWorkload:
+    def test_aggregates(self, bench_db):
+        db, points = bench_db
+        queries = [Query(node) for _, node in list(points.items())[:5]]
+        cost = run_workload(db, queries, k=1, method="eager")
+        assert cost.queries == 5
+        assert cost.io_mean > 0
+        assert cost.cpu_mean_s >= 0
+        assert cost.total_mean_s >= cost.cpu_mean_s
+        assert cost.method == "eager"
+
+    def test_row_shape(self, bench_db):
+        db, points = bench_db
+        queries = [Query(node) for _, node in list(points.items())[:3]]
+        row = run_workload(db, queries, k=1, method="lazy").row()
+        assert {"method", "io", "cpu_s", "total_s"} <= set(row)
+
+    def test_warm_buffer_reduces_io(self, bench_db):
+        db, points = bench_db
+        queries = [Query(node) for _, node in list(points.items())[:4]] * 2
+        cold = run_workload(db, queries, k=1, method="eager")
+        warm = run_workload(db, queries, k=1, method="eager", warm_buffer=True)
+        assert warm.io_mean <= cold.io_mean
+
+    def test_continuous(self, bench_db):
+        db, _ = bench_db
+        cost = run_continuous_workload(db, [[0, 1, 2], [10, 11]], k=1, method="eager")
+        assert cost.queries == 2
+
+    def test_updates(self, bench_db):
+        db, points = bench_db
+        db.materialize(2)
+        occupied = {node for _, node in points.items()}
+        free = [n for n in db.graph.nodes() if n not in occupied]
+        stats = run_update_workload(
+            db, insert_locations=free[:3],
+            delete_ids=sorted(points.ids())[:2],
+        )
+        assert stats["insert_io"] > 0
+        assert stats["delete_io"] > 0
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table("T", [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}])
+        assert "T" in text and "a" in text and "2.5" in text
+
+    def test_empty_table(self):
+        assert "(no data)" in format_table("T", [])
+
+    def test_save_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("unit", "hello\n")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello\n"
+
+
+class TestProfiles:
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_profile().name == "small"
+
+    def test_selectable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        profile = current_profile()
+        assert profile.name == "smoke"
+        assert profile.workload_size <= 10
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ReproError):
+            current_profile()

@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.graph.graph import Graph, edge_key
+
+
+def build_random_graph(
+    rng: random.Random,
+    num_nodes: int,
+    extra_edges: int,
+    int_weights: bool = True,
+) -> Graph:
+    """A connected random graph: spanning tree + extra random edges."""
+    edges: dict[tuple[int, int], float] = {}
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    for i in range(1, num_nodes):
+        u, v = order[i], order[rng.randrange(i)]
+        weight = float(rng.randint(1, 9)) if int_weights else rng.uniform(0.5, 9.5)
+        edges[edge_key(u, v)] = weight
+    for _ in range(extra_edges):
+        u, v = rng.sample(range(num_nodes), 2)
+        if edge_key(u, v) not in edges:
+            weight = float(rng.randint(1, 9)) if int_weights else rng.uniform(0.5, 9.5)
+            edges[edge_key(u, v)] = weight
+    return Graph(num_nodes, [(u, v, w) for (u, v), w in edges.items()])
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """0 -2- 1 -3- 2 -1- 3 -4- 4 (a weighted path)."""
+    return Graph(5, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 4.0)])
+
+
+@pytest.fixture
+def ring_graph() -> Graph:
+    """Six nodes on a cycle with unit weights."""
+    return Graph(6, [(i, (i + 1) % 6, 1.0) for i in range(6)])
+
+
+@pytest.fixture
+def p2p_graph() -> Graph:
+    """The running-example shape of the paper's Fig. 3 discussion.
+
+    Weights are chosen so the distances quoted in Section 3 hold:
+    d(q at n4, n3) = 4, d(n3, p1 at n6) = 3, d(n1, p2 at n5) = 3.
+    """
+    return Graph(
+        8,
+        [
+            (4, 3, 4.0),   # q's node to n3
+            (4, 1, 5.0),   # q's node to n1
+            (3, 6, 3.0),   # n3 to p1's node
+            (1, 5, 3.0),   # n1 to p2's node
+            (6, 2, 2.0),   # n6 to n2
+            (2, 5, 2.0),   # n2 to n5
+            (5, 3, 6.0),   # n5 to n3
+            (2, 7, 5.0),   # n2 to p3's node
+            (1, 0, 6.0),   # n1 to n0 (empty branch)
+        ],
+    )
+
+
+@pytest.fixture
+def p2p_points() -> NodePointSet:
+    """Data points of the running example: p1 at n6, p2 at n5, p3 at n7."""
+    return NodePointSet({1: 6, 2: 5, 3: 7})
+
+
+@pytest.fixture
+def p2p_db(p2p_graph, p2p_points) -> GraphDatabase:
+    return GraphDatabase(p2p_graph, p2p_points)

@@ -1,0 +1,120 @@
+"""Unit tests for the brute-force oracle itself."""
+
+import math
+
+import pytest
+
+from repro import EdgePointSet, NodePointSet
+from repro.core.baseline import (
+    brute_force_brknn,
+    brute_force_knn,
+    brute_force_rknn,
+    dijkstra,
+    direct_distance,
+    location_distance,
+    location_seeds,
+)
+from repro.graph.graph import Graph
+
+
+class TestDijkstra:
+    def test_path_distances(self, path_graph):
+        dists = dijkstra(path_graph, [(0, 0.0)])
+        assert dists == {0: 0.0, 1: 2.0, 2: 5.0, 3: 6.0, 4: 10.0}
+
+    def test_cutoff(self, path_graph):
+        dists = dijkstra(path_graph, [(0, 0.0)], cutoff=5.0)
+        assert set(dists) == {0, 1, 2}
+
+    def test_multi_seed(self, path_graph):
+        dists = dijkstra(path_graph, [(0, 0.0), (4, 0.0)])
+        assert dists[3] == 4.0
+
+    def test_unreachable_absent(self):
+        graph = Graph(3, [(0, 1, 1.0)])
+        assert 2 not in dijkstra(graph, [(0, 0.0)])
+
+
+class TestLocationHelpers:
+    def test_node_seeds(self, path_graph):
+        assert location_seeds(path_graph, 3) == [(3, 0.0)]
+
+    def test_edge_seeds(self, path_graph):
+        assert location_seeds(path_graph, (1, 2, 1.0)) == [(1, 1.0), (2, 2.0)]
+
+    def test_direct_distance(self):
+        assert direct_distance((0, 1, 0.5), (0, 1, 2.0)) == 1.5
+        assert direct_distance((0, 1, 0.5), (1, 2, 2.0)) is None
+        assert direct_distance(0, (0, 1, 0.5)) is None
+
+    def test_location_distance_node_to_node(self, path_graph):
+        assert location_distance(path_graph, 0, 4) == 10.0
+
+    def test_location_distance_edge_to_edge(self, path_graph):
+        # (0,1)@1.0 to (3,4)@2.0: 1 -> 3 costs 4, plus offsets 1 and 2
+        assert location_distance(path_graph, (0, 1, 1.0), (3, 4, 2.0)) == 1.0 + 4.0 + 2.0
+
+    def test_location_distance_same_edge_direct(self, path_graph):
+        assert location_distance(path_graph, (3, 4, 0.5), (3, 4, 3.5)) == 3.0
+
+    def test_location_distance_unreachable(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert math.isinf(location_distance(graph, 0, 3))
+
+
+class TestBruteForceRknn:
+    def test_simple_membership(self, path_graph):
+        points = NodePointSet({10: 0, 11: 4})
+        assert brute_force_rknn(path_graph, points, 2, 1) == [10, 11]
+
+    def test_closer_point_disqualifies(self):
+        graph = Graph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        points = NodePointSet({10: 0, 11: 1})
+        # from node 3: point 11 has 10 at distance 1 < its query distance
+        assert brute_force_rknn(graph, points, 3, 1) == []
+        assert brute_force_rknn(graph, points, 3, 2) == [10, 11]
+
+    def test_exclusion(self, path_graph):
+        points = NodePointSet({10: 0, 11: 2})
+        assert brute_force_rknn(path_graph, points, 2, 1, exclude={11}) == [10]
+
+    def test_unreachable_point_ignored(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        points = NodePointSet({10: 0, 11: 3})
+        assert brute_force_rknn(graph, points, 1, 1) == [10]
+
+    def test_route_query(self, path_graph):
+        points = NodePointSet({10: 0, 11: 4})
+        assert brute_force_rknn(path_graph, points, [1, 2], 1) == [10, 11]
+
+    def test_edge_points(self, path_graph):
+        points = EdgePointSet({10: (0, 1, 0.5), 11: (3, 4, 2.0)})
+        assert brute_force_rknn(path_graph, points, 2, 1) == [10, 11]
+
+
+class TestBruteForceBichromatic:
+    def test_reference_beats_query(self):
+        graph = Graph(4, [(i, i + 1, 1.0) for i in range(3)])
+        data = NodePointSet({1: 0})
+        refs = NodePointSet({100: 1})
+        # query at 3: ref at distance 1 from the data point beats 3
+        assert brute_force_brknn(graph, data, refs, 3, 1) == []
+        assert brute_force_brknn(graph, data, refs, 1, 1) == [1]
+
+    def test_data_points_do_not_compete(self):
+        graph = Graph(4, [(i, i + 1, 1.0) for i in range(3)])
+        data = NodePointSet({1: 0, 2: 1})
+        refs = NodePointSet({})
+        assert brute_force_brknn(graph, data, refs, 3, 1) == [1, 2]
+
+
+class TestBruteForceKnn:
+    def test_order(self, path_graph):
+        points = NodePointSet({10: 0, 11: 2, 12: 4})
+        got = brute_force_knn(path_graph, points, 1, 2)
+        assert got == [(10, 2.0), (11, 3.0)]
+
+    def test_edge_source(self, path_graph):
+        points = NodePointSet({10: 0, 11: 4})
+        got = brute_force_knn(path_graph, points, (1, 2, 1.5), 1)
+        assert got == [(10, 3.5)]

@@ -1,0 +1,100 @@
+"""Unit tests for bichromatic RkNN queries (restricted networks)."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_brknn
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+METHODS = ("eager", "lazy", "eager-m")
+
+
+def restaurant_scene():
+    """A Fig. 1b-like scenario on a path.
+
+    blocks (P):      p1@0   p2@2     p3@5
+    restaurants (Q):     q1@1        rival@6
+    query: new restaurant at node 3.
+    """
+    graph = Graph(7, [(i, i + 1, 1.0) for i in range(6)])
+    blocks = NodePointSet({1: 0, 2: 2, 3: 5})
+    rivals = NodePointSet({100: 1, 101: 6})
+    return graph, blocks, rivals
+
+
+@pytest.fixture
+def scene_db():
+    graph, blocks, rivals = restaurant_scene()
+    db = GraphDatabase(graph, blocks)
+    db.attach_reference(rivals)
+    db.materialize_reference(3)
+    return db
+
+
+class TestBichromaticScenario:
+    def test_brnn_of_new_restaurant(self, scene_db):
+        # block p2@2: query at distance 1 vs q1 at distance 1 (tie -> query
+        # wins); p3@5: rival at 1 beats query at 2; p1@0: q1 at 1 beats 3.
+        for method in METHODS:
+            assert scene_db.bichromatic_rknn(3, 1, method=method).points == (2,)
+
+    def test_br2nn(self, scene_db):
+        for method in METHODS:
+            assert scene_db.bichromatic_rknn(3, 2, method=method).points == (1, 2, 3)
+
+    def test_query_on_rival_node(self, scene_db):
+        # querying from the rival's own node while hiding the rival
+        for method in METHODS:
+            got = scene_db.bichromatic_rknn(6, 1, method=method, exclude={101})
+            assert got.points == (3,)
+
+    def test_matches_oracle(self, scene_db):
+        graph, blocks, rivals = restaurant_scene()
+        for query in range(graph.num_nodes):
+            want = brute_force_brknn(graph, blocks, rivals, query, 1)
+            for method in METHODS:
+                got = list(scene_db.bichromatic_rknn(query, 1, method=method).points)
+                assert got == want, (query, method)
+
+
+class TestBichromaticEdgeCases:
+    def test_empty_reference_set_everything_qualifies(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({1: 0, 2: 4}))
+        db.attach_reference(NodePointSet({}))
+        for method in ("eager", "lazy"):
+            assert db.bichromatic_rknn(2, 1, method=method).points == (1, 2)
+
+    def test_empty_data_set_empty_result(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({}))
+        db.attach_reference(NodePointSet({100: 0}))
+        assert db.bichromatic_rknn(2, 1).points == ()
+
+    def test_reference_on_query_node_never_strictly_closer(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({1: 0, 2: 4}))
+        db.attach_reference(NodePointSet({100: 2}))
+        # the only rival sits exactly on the query: ties favor the query
+        assert db.bichromatic_rknn(2, 1).points == (1, 2)
+
+
+class TestBichromaticRandomized:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed + 4000)
+        graph = build_random_graph(rng, rng.randint(6, 24), rng.randint(0, 20))
+        p_nodes = rng.sample(range(graph.num_nodes), rng.randint(1, graph.num_nodes // 2))
+        q_pool = [n for n in range(graph.num_nodes) if n not in set(p_nodes)]
+        q_nodes = rng.sample(q_pool, rng.randint(1, max(1, len(q_pool) // 2)))
+        data = NodePointSet({100 + i: n for i, n in enumerate(p_nodes)})
+        refs = NodePointSet({500 + i: n for i, n in enumerate(q_nodes)})
+        db = GraphDatabase(graph, data)
+        db.attach_reference(refs)
+        k = rng.randint(1, 3)
+        db.materialize_reference(k + 1)
+        query = rng.randrange(graph.num_nodes)
+        want = brute_force_brknn(graph, data, refs, query, k)
+        for method in METHODS:
+            got = list(db.bichromatic_rknn(query, k, method=method).points)
+            assert got == want, (seed, method)

@@ -1,0 +1,120 @@
+"""Unit tests for continuous (route) RkNN queries."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet, QueryError
+from repro.core.baseline import brute_force_rknn
+from repro.core.continuous import continuous_rknn, validate_route
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
+
+
+@pytest.fixture
+def route_db(path_graph):
+    db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+    db.materialize(3)
+    return db
+
+
+class TestRouteValidation:
+    def test_valid_route(self, route_db):
+        validate_route(route_db.view, [0, 1, 2])
+
+    def test_empty_route_rejected(self, route_db):
+        with pytest.raises(QueryError):
+            validate_route(route_db.view, [])
+
+    def test_non_edge_hop_rejected(self, route_db):
+        with pytest.raises(QueryError):
+            validate_route(route_db.view, [0, 2])
+
+    def test_out_of_range_node_rejected(self, route_db):
+        with pytest.raises(QueryError):
+            validate_route(route_db.view, [0, 99])
+
+    def test_consecutive_repeat_rejected(self, route_db):
+        with pytest.raises(QueryError):
+            validate_route(route_db.view, [0, 0])
+
+
+class TestContinuousSemantics:
+    def test_union_of_node_results(self, route_db):
+        # route covering the whole path: both points are reverse NNs of
+        # some route node
+        for method in METHODS:
+            got = continuous_rknn(
+                route_db.view, [0, 1, 2, 3, 4], 1, method,
+                materialized=route_db.materialized,
+            )
+            assert got == [10, 11]
+
+    def test_single_node_route_equals_point_query(self, route_db):
+        for method in METHODS:
+            route_result = continuous_rknn(
+                route_db.view, [2], 1, method,
+                materialized=route_db.materialized,
+            )
+            point_result = list(route_db.rknn(2, 1, method=method).points)
+            assert route_result == point_result
+
+    def test_route_through_point_node_collects_it(self, route_db):
+        for method in METHODS:
+            got = continuous_rknn(
+                route_db.view, [0, 1], 1, method,
+                materialized=route_db.materialized,
+            )
+            assert 10 in got
+
+    def test_eager_m_requires_materialization(self, route_db):
+        with pytest.raises(QueryError):
+            continuous_rknn(route_db.view, [0, 1], 1, "eager-m")
+
+    def test_unknown_method_rejected(self, route_db):
+        with pytest.raises(QueryError):
+            continuous_rknn(route_db.view, [0, 1], 1, "psychic")
+
+
+class TestContinuousScenario:
+    def test_longer_route_collects_more(self):
+        # points spread along a long path: a growing route accumulates
+        # reverse neighbors (the Fig. 19 intuition)
+        n = 40
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        points = NodePointSet({100 + i: 4 * i for i in range(10)})
+        db = GraphDatabase(graph, points)
+        sizes = []
+        for length in (1, 5, 15, 30):
+            route = list(range(length))
+            sizes.append(len(continuous_rknn(db.view, route, 1, "eager")))
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+
+class TestContinuousRandomized:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed + 7000)
+        graph = build_random_graph(rng, rng.randint(6, 24), rng.randint(0, 20))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: n for i, n in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        k = rng.randint(1, 3)
+        db.materialize(k + 1)
+        route = [rng.randrange(graph.num_nodes)]
+        for _ in range(rng.randint(0, 5)):
+            options = [x for x, _ in graph.neighbors(route[-1]) if x != route[-1]]
+            if not options:
+                break
+            route.append(rng.choice(options))
+        route = [route[0]] + [b for a, b in zip(route, route[1:]) if a != b]
+        want = brute_force_rknn(graph, points, [int(x) for x in route], k)
+        for method in METHODS:
+            got = continuous_rknn(
+                db.view, route, k, method, materialized=db.materialized
+            )
+            assert got == want, (seed, method, route)

@@ -1,0 +1,75 @@
+"""Unit tests for the eager RkNN algorithm."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.core.eager import eager_rknn
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+
+class TestEagerBasics:
+    def test_running_example(self, p2p_db):
+        # query on the hub node n2: every point keeps the query as its NN
+        assert eager_rknn(p2p_db.view, 2, 1) == [1, 2, 3]
+
+    def test_empty_result(self, p2p_db):
+        # from n4, every point has another point closer than the query
+        assert eager_rknn(p2p_db.view, 4, 1) == []
+
+    def test_k2_only_p1_qualifies(self, p2p_db):
+        # p2 and p3 each have two points strictly closer than the query
+        assert eager_rknn(p2p_db.view, 4, 2) == [1]
+
+    def test_point_on_query_node_is_result(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2, 11: 4}))
+        assert 10 in eager_rknn(db.view, 2, 1)
+
+    def test_exclusion_hides_point(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2, 11: 4}))
+        result = eager_rknn(db.view, 2, 1, exclude={10})
+        assert 10 not in result
+        assert result == [11]
+
+    def test_no_points_no_result(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        assert eager_rknn(db.view, 0, 1) == []
+
+    def test_single_point_is_always_rnn(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        assert eager_rknn(db.view, 0, 1) == [10]
+
+
+class TestEagerPruning:
+    def test_expansion_stops_at_guarded_frontier(self):
+        # long path with points bracketing the query: eager must not
+        # walk to the far ends (Lemma 1 prunes behind each point)
+        n = 101
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 45, 11: 55}))
+        result = eager_rknn(db.view, 50, 1)
+        assert result == [10, 11]
+        assert db.tracker.nodes_visited < n  # did not sweep the path
+
+    def test_verifies_each_point_once(self, p2p_db):
+        eager_rknn(p2p_db.view, 2, 1)
+        assert p2p_db.tracker.verifications <= 3  # one per data point
+
+
+class TestEagerRandomized:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 25))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        k = rng.randint(1, 3)
+        assert eager_rknn(db.view, query, k) == brute_force_rknn(
+            graph, points, query, k
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for network expansion (the Dijkstra generator)."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import dijkstra
+from repro.core.expansion import distances_from, expand_nodes
+from tests.conftest import build_random_graph
+
+
+def make_view(graph):
+    return GraphDatabase(graph, NodePointSet({})).view
+
+
+class TestExpandNodes:
+    def test_ascending_order(self, path_graph):
+        view = make_view(path_graph)
+        dists = [dist for _, dist in expand_nodes(view, [(0, 0.0)])]
+        assert dists == sorted(dists)
+
+    def test_distances_match_dijkstra(self, path_graph):
+        view = make_view(path_graph)
+        expected = dijkstra(path_graph, [(0, 0.0)])
+        assert distances_from(view, [(0, 0.0)]) == expected
+
+    def test_each_node_once(self, ring_graph):
+        view = make_view(ring_graph)
+        nodes = [node for node, _ in expand_nodes(view, [(0, 0.0)])]
+        assert sorted(nodes) == list(range(6))
+
+    def test_max_dist_cuts_off(self, path_graph):
+        view = make_view(path_graph)
+        reached = distances_from(view, [(0, 0.0)], max_dist=5.0)
+        assert reached == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_multi_source(self, path_graph):
+        view = make_view(path_graph)
+        dists = distances_from(view, [(0, 0.0), (4, 0.0)])
+        assert dists[2] == min(5.0, 5.0)
+        assert dists[3] == 4.0
+
+    def test_seed_offsets_respected(self, path_graph):
+        view = make_view(path_graph)
+        dists = distances_from(view, [(0, 1.5)])
+        assert dists[0] == 1.5
+        assert dists[1] == 3.5
+
+    def test_lazy_io(self, ring_graph):
+        # stopping the generator early must avoid further page reads
+        view = make_view(ring_graph)
+        gen = expand_nodes(view, [(0, 0.0)])
+        next(gen)
+        gen.close()
+        assert view.tracker.nodes_visited == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_match_dijkstra(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 20))
+        view = make_view(graph)
+        source = rng.randrange(graph.num_nodes)
+        assert distances_from(view, [(source, 0.0)]) == dijkstra(
+            graph, [(source, 0.0)]
+        )

@@ -1,0 +1,146 @@
+"""Tests for in-route nearest-neighbor queries ([16])."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.in_route import in_route_knn, in_route_nn_ids
+from repro.datasets.workload import random_route
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+
+class TestValidation:
+    def test_empty_route_rejected(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0}))
+        with pytest.raises(QueryError):
+            in_route_knn(db.view, [], 1)
+
+    def test_bad_k_rejected(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0}))
+        with pytest.raises(QueryError):
+            in_route_knn(db.view, [0, 1], 0)
+
+    def test_out_of_range_node_rejected(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0}))
+        with pytest.raises(QueryError):
+            in_route_knn(db.view, [0, 99], 1)
+
+    def test_non_adjacent_hop_rejected(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0}))
+        with pytest.raises(QueryError):
+            in_route_nn_ids(db.view, [0, 3], 1)
+
+
+class TestExactLists:
+    def test_each_stop_gets_its_own_neighbors(self, path_graph):
+        # path 0 -2- 1 -3- 2 -1- 3 -4- 4; points at nodes 0 and 4
+        db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+        stops = in_route_knn(db.view, [1, 2, 3], 1)
+        assert stops[0] == (1, [(10, 2.0)])
+        node, neighbors = stops[1]          # node 2 ties: d=5 both ways
+        assert node == 2 and neighbors[0][1] == 5.0
+        assert stops[2] == (3, [(11, 4.0)])
+
+    def test_point_on_route_node(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 1}))
+        stops = in_route_knn(db.view, [0, 1], 1)
+        assert stops[1] == (1, [(10, 0.0)])
+
+    def test_k_exceeding_point_count(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 1}))
+        stops = in_route_knn(db.view, [0, 1], k=3)
+        assert all(len(neighbors) == 1 for _, neighbors in stops)
+
+    def test_exclusion(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 1, 11: 4}))
+        stops = in_route_knn(db.view, [0, 1], 1, exclude={10})
+        assert all(pid == 11 for _, nbrs in stops for pid, _ in nbrs)
+
+    def test_repeated_route_nodes_served_from_cache(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        before = db.tracker.range_nn_calls
+        stops = in_route_knn(db.view, [0, 1, 0, 1], 1)
+        assert stops[0] == stops[2]
+        assert stops[1] == stops[3]
+        assert db.tracker.range_nn_calls - before == 2  # two distinct nodes
+
+    def test_no_points_yields_empty_lists(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        stops = in_route_knn(db.view, [0, 1, 2], 2)
+        assert all(neighbors == [] for _, neighbors in stops)
+
+
+class TestCertifiedIdentitySets:
+    def test_matches_exact_lists_on_random_routes(self):
+        for seed in range(15):
+            rng = random.Random(seed)
+            graph = build_random_graph(rng, rng.randint(8, 30),
+                                       rng.randint(5, 30))
+            count = rng.randint(1, graph.num_nodes // 2)
+            nodes = rng.sample(range(graph.num_nodes), count)
+            points = NodePointSet({100 + i: n for i, n in enumerate(nodes)})
+            db = GraphDatabase(graph, points)
+            route = random_route(graph, length=rng.randint(2, 8), seed=seed)
+            k = rng.randint(1, 3)
+            exact = in_route_knn(db.view, route, k)
+            ids = in_route_nn_ids(db.view, route, k)
+            for (node_a, neighbors), (node_b, id_set) in zip(exact, ids):
+                assert node_a == node_b
+                exact_dists = [d for _, d in neighbors]
+                id_dists = sorted(
+                    db.network_distance(points.node_of(pid), node_a)
+                    for pid in id_set
+                )
+                # the id set must realize the same distance multiset
+                # (tie sets may pick different representatives)
+                assert len(id_set) == len(neighbors)
+                assert id_dists == pytest.approx(exact_dists)
+
+    def test_certification_skips_expansions(self):
+        # a long path with one far-away point pair: the margin is huge,
+        # so the whole route is answered from a single anchor
+        n = 60
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 0, 11: 59}))
+        before = db.tracker.range_nn_calls
+        stops = in_route_nn_ids(db.view, list(range(0, 20)), 1)
+        calls = db.tracker.range_nn_calls - before
+        assert all(ids == frozenset({10}) for _, ids in stops)
+        # anchored once at node 0; margin = d(11) - d(10) = 59, route
+        # walks 19 < 59/2 more hops, so no re-anchor is needed
+        assert calls == 1
+
+    def test_reanchors_when_certificate_expires(self):
+        n = 60
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 0, 11: 59}))
+        stops = in_route_nn_ids(db.view, list(range(0, 50)), 1)
+        # early nodes belong to 10, late ones to 11
+        assert stops[0][1] == frozenset({10})
+        assert stops[-1][1] == frozenset({11})
+
+    def test_fewer_points_than_k_is_stable(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 2}))
+        before = db.tracker.range_nn_calls
+        stops = in_route_nn_ids(db.view, [0, 1, 2, 3], k=4)
+        calls = db.tracker.range_nn_calls - before
+        assert all(ids == frozenset({10}) for _, ids in stops)
+        assert calls == 1  # infinite margin: one anchor serves the route
+
+    def test_empty_point_set(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        stops = in_route_nn_ids(db.view, [0, 1], 2)
+        assert all(ids == frozenset() for _, ids in stops)
+
+
+class TestRouteHelperCompat:
+    def test_route_from_workload_generator_is_accepted(self):
+        rng = random.Random(5)
+        graph = build_random_graph(rng, 25, 30)
+        db = GraphDatabase(graph, NodePointSet({50: 3}))
+        route = random_route(graph, length=6, seed=2)
+        stops = in_route_knn(db.view, route, 1)
+        assert len(stops) == len(route)

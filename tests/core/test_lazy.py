@@ -1,0 +1,78 @@
+"""Unit tests for the lazy RkNN algorithm."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.core.eager import eager_rknn
+from repro.core.lazy import lazy_rknn
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+
+class TestLazyBasics:
+    def test_running_example(self, p2p_db):
+        assert lazy_rknn(p2p_db.view, 2, 1) == [1, 2, 3]
+
+    def test_empty_result(self, p2p_db):
+        assert lazy_rknn(p2p_db.view, 4, 1) == []
+
+    def test_k2(self, p2p_db):
+        assert lazy_rknn(p2p_db.view, 4, 2) == [1]
+
+    def test_exclusion(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2, 11: 4}))
+        assert lazy_rknn(db.view, 2, 1, exclude={10}) == [11]
+
+    def test_agrees_with_eager(self, p2p_db):
+        for query in range(p2p_db.graph.num_nodes):
+            for k in (1, 2, 3):
+                assert lazy_rknn(p2p_db.view, query, k) == eager_rknn(
+                    p2p_db.view, query, k
+                )
+
+
+class TestLazyPruning:
+    def test_verification_invalidates_heap_entries(self):
+        # Fig. 5/6 scenario: the verification of the first discovered
+        # point visits nodes the main expansion would otherwise expand.
+        # After the fix the traversal must stay local.
+        n = 60
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 28, 11: 34}))
+        result = lazy_rknn(db.view, 30, 1)
+        assert result == [10, 11]
+        assert db.tracker.nodes_visited < n
+
+    def test_point_node_stops_expansion_for_k1(self):
+        # beyond a data point, every node is closer to it than to q
+        n = 30
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 5}))
+        lazy_rknn(db.view, 0, 1)
+        # nodes far beyond the point (e.g. 20+) must never be de-heaped
+        assert db.tracker.nodes_visited < 20
+
+    def test_k2_expands_past_single_point(self):
+        n = 30
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 5, 11: 8}))
+        assert lazy_rknn(db.view, 0, 2) == [10, 11]
+
+
+class TestLazyRandomized:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed + 1000)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 25))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        k = rng.randint(1, 3)
+        assert lazy_rknn(db.view, query, k) == brute_force_rknn(
+            graph, points, query, k
+        )

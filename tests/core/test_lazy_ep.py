@@ -1,0 +1,80 @@
+"""Unit tests for lazy-EP (extended pruning with the parallel heap)."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.core.lazy import lazy_rknn
+from repro.core.lazy_ep import lazy_ep_rknn
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+
+class TestLazyEpBasics:
+    def test_running_example(self, p2p_db):
+        assert lazy_ep_rknn(p2p_db.view, 2, 1) == [1, 2, 3]
+
+    def test_empty_result(self, p2p_db):
+        assert lazy_ep_rknn(p2p_db.view, 4, 1) == []
+
+    def test_k2(self, p2p_db):
+        assert lazy_ep_rknn(p2p_db.view, 4, 2) == [1]
+
+    def test_exclusion(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2, 11: 4}))
+        assert lazy_ep_rknn(db.view, 2, 1, exclude={10}) == [11]
+
+
+class TestExtendedPruning:
+    def fig12_like(self):
+        """A discovered point whose verification prunes nothing, but
+        whose parallel expansion cuts the main traversal (Fig. 12):
+        q -1- p1 -2- hub -1- long tail..."""
+        n = 40
+        edges = [(0, 1, 1.0), (1, 2, 2.0)]
+        edges += [(i, i + 1, 1.0) for i in range(2, n - 1)]
+        graph = Graph(n, edges)
+        points = NodePointSet({10: 1})
+        return graph, points
+
+    def test_prunes_beyond_discovered_point(self):
+        graph, points = self.fig12_like()
+        db_ep = GraphDatabase(graph, points)
+        result = lazy_ep_rknn(db_ep.view, 0, 1)
+        assert result == [10]
+        visited_ep = db_ep.tracker.nodes_visited
+        assert visited_ep < graph.num_nodes  # tail never traversed
+
+    def test_not_worse_than_lazy_on_result(self):
+        graph, points = self.fig12_like()
+        db = GraphDatabase(graph, points)
+        assert lazy_ep_rknn(db.view, 0, 1) == lazy_rknn(db.view, 0, 1)
+
+    def test_pruning_points_still_verified(self):
+        # a point can prune the path to its own node; it must still be
+        # reported when it qualifies (regression for the H'-discovery fix)
+        edges = [(0, 1, 4.0), (1, 2, 5.0), (1, 3, 5.0), (2, 4, 1.0),
+                 (3, 4, 1.0), (4, 5, 1.0)]
+        graph = Graph(6, edges)
+        points = NodePointSet({10: 4, 11: 5})
+        db = GraphDatabase(graph, points)
+        want = brute_force_rknn(graph, points, 0, 2)
+        assert lazy_ep_rknn(db.view, 0, 2) == want
+
+
+class TestLazyEpRandomized:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed + 2000)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 25))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        k = rng.randint(1, 3)
+        assert lazy_ep_rknn(db.view, query, k) == brute_force_rknn(
+            graph, points, query, k
+        )

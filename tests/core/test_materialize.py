@@ -1,0 +1,196 @@
+"""Unit tests for all-NN materialization and its update maintenance."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import dijkstra
+from repro.core.materialize import MaterializedKNN, all_nn
+from repro.errors import MaterializationError
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+
+def reference_lists(graph, points, capacity):
+    """K-NN lists recomputed from scratch with plain Dijkstra."""
+    lists = {}
+    per_point = {
+        pid: dijkstra(graph, [(node, 0.0)]) for pid, node in points.items()
+    }
+    for node in graph.nodes():
+        ranked = sorted(
+            (dists[node], pid)
+            for pid, dists in per_point.items()
+            if node in dists
+        )
+        lists[node] = [(pid, dist) for dist, pid in ranked[:capacity]]
+    return lists
+
+
+def assert_equivalent(got, want, capacity):
+    """Lists must agree on distances (ties may permute identities)."""
+    for node, want_list in want.items():
+        got_list = list(got.get(node, ()))
+        assert [d for _, d in got_list] == pytest.approx(
+            [d for _, d in want_list]
+        ), f"node {node}: {got_list} != {want_list}"
+        assert len(got_list) <= capacity
+
+
+class TestAllNn:
+    def test_single_point(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2}))
+        lists = all_nn(db.view, 1, [(2, 10, 0.0)])
+        assert lists[2] == [(10, 0.0)]
+        assert lists[0] == [(10, 5.0)]
+        assert lists[4] == [(10, 5.0)]
+
+    def test_matches_reference_on_fixture(self, p2p_graph, p2p_points):
+        db = GraphDatabase(p2p_graph, p2p_points)
+        seeds = [(node, pid, 0.0) for pid, node in p2p_points.items()]
+        for capacity in (1, 2, 3):
+            got = all_nn(db.view, capacity, seeds)
+            want = reference_lists(p2p_graph, p2p_points, capacity)
+            assert_equivalent(got, want, capacity)
+
+    def test_invalid_capacity(self, p2p_db):
+        with pytest.raises(MaterializationError):
+            all_nn(p2p_db.view, 0, [])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_reference_randomized(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 25), rng.randint(0, 20))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: n for i, n in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        capacity = rng.randint(1, 4)
+        seeds = [(node, pid, 0.0) for pid, node in points.items()]
+        got = all_nn(db.view, capacity, seeds)
+        want = reference_lists(graph, points, capacity)
+        assert_equivalent(got, want, capacity)
+
+
+class TestInsertMaintenance:
+    def test_insert_updates_nearby_lists(self, path_graph):
+        points = NodePointSet({10: 0})
+        db = GraphDatabase(path_graph, points)
+        db.materialize(1)
+        db.insert_point(11, 4)
+        # node 3 is now closer to the new point (4.0) than to 10 (6.0)
+        assert db.materialized.get(3) == ((11, 4.0),)
+        # node 0 keeps its original nearest point
+        assert db.materialized.get(0) == ((10, 0.0),)
+
+    def test_insert_tie_keeps_incumbent(self):
+        graph = Graph(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        db = GraphDatabase(graph, NodePointSet({10: 0}))
+        db.materialize(1)
+        db.insert_point(11, 2)  # node 1 ties at distance 2
+        assert db.materialized.get(1) == ((10, 2.0),)
+
+    def test_duplicate_insert_rejected(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0}))
+        db.materialize(1)
+        with pytest.raises(Exception):
+            db.insert_point(10, 2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_insert_equals_rebuild(self, seed):
+        rng = random.Random(seed + 500)
+        graph = build_random_graph(rng, rng.randint(6, 20), rng.randint(0, 15))
+        nodes = rng.sample(range(graph.num_nodes), 3)
+        points = NodePointSet({100: nodes[0], 101: nodes[1]})
+        db = GraphDatabase(graph, points)
+        capacity = rng.randint(1, 3)
+        db.materialize(capacity)
+        db.insert_point(102, nodes[2])
+        rebuilt = reference_lists(
+            graph, NodePointSet({100: nodes[0], 101: nodes[1], 102: nodes[2]}),
+            capacity,
+        )
+        got = {n: db.materialized.get(n) for n in graph.nodes()}
+        assert_equivalent(got, rebuilt, capacity)
+
+
+class TestDeleteMaintenance:
+    def test_delete_refills_lists(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+        db.materialize(1)
+        db.delete_point(10)
+        # every node must now point at 11
+        for node in path_graph.nodes():
+            entries = db.materialized.get(node)
+            assert [pid for pid, _ in entries] == [11]
+
+    def test_delete_affected_count(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+        db.materialize(1)
+        outcome = db.delete_point(11)
+        # nodes 3 and 4 had 11 as NN (distances: node2 -> 10 at 5 vs 11 at 5
+        # tie kept by all-NN order)
+        assert outcome.affected_nodes >= 2
+
+    def test_delete_last_point_leaves_empty_lists(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 2}))
+        db.materialize(1)
+        db.delete_point(10)
+        for node in path_graph.nodes():
+            assert db.materialized.get(node) == ()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_delete_equals_rebuild(self, seed):
+        rng = random.Random(seed + 900)
+        graph = build_random_graph(rng, rng.randint(6, 22), rng.randint(0, 18))
+        count = rng.randint(2, max(2, graph.num_nodes // 2))
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: n for i, n in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        capacity = rng.randint(1, 3)
+        db.materialize(capacity)
+        victim = 100 + rng.randrange(count)
+        db.delete_point(victim)
+        remaining = points.without_point(victim)
+        rebuilt = reference_lists(graph, remaining, capacity)
+        got = {n: db.materialized.get(n) for n in graph.nodes()}
+        assert_equivalent(got, rebuilt, capacity)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_update_sequence_equals_rebuild(self, seed):
+        rng = random.Random(seed + 1300)
+        graph = build_random_graph(rng, 15, 10)
+        points = NodePointSet({100: 0, 101: 5})
+        db = GraphDatabase(graph, points)
+        capacity = 2
+        db.materialize(capacity)
+        live = {100: 0, 101: 5}
+        next_id = 102
+        for _ in range(8):
+            occupied = set(live.values())
+            free = [n for n in graph.nodes() if n not in occupied]
+            if live and (rng.random() < 0.4 or not free):
+                victim = rng.choice(sorted(live))
+                db.delete_point(victim)
+                del live[victim]
+            else:
+                node = rng.choice(free)
+                db.insert_point(next_id, node)
+                live[next_id] = node
+                next_id += 1
+        rebuilt = reference_lists(graph, NodePointSet(live), capacity)
+        got = {n: db.materialized.get(n) for n in graph.nodes()}
+        assert_equivalent(got, rebuilt, capacity)
+
+
+class TestMaterializedStore:
+    def test_build_persists_to_pages(self, p2p_graph, p2p_points):
+        db = GraphDatabase(p2p_graph, p2p_points)
+        db.materialize(2)
+        assert isinstance(db.materialized, MaterializedKNN)
+        assert db.materialized.capacity == 2
+        db.clear_buffer()
+        db.reset_stats()
+        db.materialized.get(0)
+        assert db.tracker.page_reads >= 1

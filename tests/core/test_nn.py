@@ -1,0 +1,98 @@
+"""Unit tests for the NN primitives: knn, range-NN and verify."""
+
+import math
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_knn
+from repro.core.nn import knn, range_nn, verify
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture
+def db(path_graph):
+    # points: 10 at node 0, 11 at node 2, 12 at node 4
+    return GraphDatabase(path_graph, NodePointSet({10: 0, 11: 2, 12: 4}))
+
+
+class TestKnn:
+    def test_first_nn(self, db):
+        assert knn(db.view, 1, 1) == [(10, 2.0)]
+
+    def test_order_and_distances(self, db):
+        assert knn(db.view, 1, 3) == [(10, 2.0), (11, 3.0), (12, 8.0)]
+
+    def test_k_larger_than_points(self, db):
+        assert len(knn(db.view, 1, 10)) == 3
+
+    def test_exclude(self, db):
+        assert knn(db.view, 1, 1, exclude={10}) == [(11, 3.0)]
+
+    def test_point_on_source_node(self, db):
+        assert knn(db.view, 0, 1) == [(10, 0.0)]
+
+
+class TestRangeNn:
+    def test_strict_radius(self, db):
+        # point 11 lies at exactly distance 3 from node 1: excluded
+        assert range_nn(db.view, 1, 2, 3.0) == [(10, 2.0)]
+
+    def test_radius_just_above(self, db):
+        assert range_nn(db.view, 1, 2, 3.0001) == [(10, 2.0), (11, 3.0)]
+
+    def test_k_limits_result(self, db):
+        assert range_nn(db.view, 1, 1, 100.0) == [(10, 2.0)]
+
+    def test_empty_when_radius_zero(self, db):
+        assert range_nn(db.view, 1, 1, 0.0) == []
+
+    def test_counts_calls(self, db):
+        before = db.tracker.range_nn_calls
+        range_nn(db.view, 1, 1, 5.0)
+        assert db.tracker.range_nn_calls == before + 1
+
+
+class TestVerify:
+    def test_query_is_nn(self, db):
+        # point 10 at node 0; query at node 1 (distance 2); nearest other
+        # point is 11 at distance 5: the query wins
+        assert verify(db.view, 10, 1, {1}, bound=2.0)
+
+    def test_query_not_nn(self, db):
+        # point 11 at node 2; query at node 4 (distance 5); point 10 is
+        # at distance 5 (tie): the query still wins on ties
+        assert verify(db.view, 11, 1, {4}, bound=5.0)
+
+    def test_strictly_closer_point_defeats_query(self, db):
+        # point 12 at node 4; query at node 0 (distance 10); point 11 at
+        # distance 5 is strictly closer
+        assert not verify(db.view, 12, 1, {0}, bound=10.0)
+
+    def test_k2_tolerates_one_closer_point(self, db):
+        assert verify(db.view, 12, 2, {0}, bound=10.0)
+
+    def test_unreachable_target(self):
+        from repro.graph.graph import Graph
+
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        db = GraphDatabase(graph, NodePointSet({10: 0}))
+        assert not verify(db.view, 10, 1, {3}, bound=math.inf)
+
+    def test_route_targets_use_first_met(self, db):
+        # targets {1, 3}: point 10 reaches node 1 first (distance 2)
+        assert verify(db.view, 10, 1, {1, 3}, bound=10.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_knn_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 25), rng.randint(0, 15))
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(1, graph.num_nodes // 2 + 1))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        source = rng.randrange(graph.num_nodes)
+        k = rng.randint(1, 4)
+        got = knn(db.view, source, k)
+        want = brute_force_knn(graph, points, source, k)
+        assert [d for _, d in got] == [d for _, d in want]

@@ -1,0 +1,51 @@
+"""Unit tests for the floating-point tie discipline."""
+
+import math
+
+from repro.core.numeric import EPS, inflate_bound, strictly_less, tie_threshold
+
+
+class TestStrictlyLess:
+    def test_clear_cases(self):
+        assert strictly_less(1.0, 2.0)
+        assert not strictly_less(2.0, 1.0)
+        assert not strictly_less(1.0, 1.0)
+
+    def test_ulp_noise_treated_as_tie(self):
+        a = 0.1 + 0.2
+        b = 0.3
+        assert not strictly_less(min(a, b), max(a, b))
+
+    def test_guard_scales_with_magnitude(self):
+        big = 1e12
+        assert not strictly_less(big, big * (1 + EPS / 2))
+        assert strictly_less(big, big * (1 + 10 * EPS))
+
+    def test_genuine_small_difference_below_guard_is_tie(self):
+        assert not strictly_less(1.0, 1.0 + EPS / 10)
+
+
+class TestInflateBound:
+    def test_padding_covers_equal_values(self):
+        bound = 0.1 + 0.2
+        assert 0.3 <= inflate_bound(bound)
+
+    def test_infinite_bound_unchanged(self):
+        assert math.isinf(inflate_bound(math.inf))
+
+    def test_monotone(self):
+        assert inflate_bound(5.0) > 5.0
+
+
+class TestTieThreshold:
+    def test_bisect_semantics(self):
+        from bisect import bisect_left
+
+        dists = [1.0, 2.0, 3.0]
+        # entries strictly below 2.0 (with guard): just the 1.0
+        assert bisect_left(dists, tie_threshold(2.0)) == 1
+        # entries strictly below 3.5: all three
+        assert bisect_left(dists, tie_threshold(3.5)) == 3
+
+    def test_infinite_value(self):
+        assert math.isinf(tie_threshold(math.inf))

@@ -1,0 +1,168 @@
+"""Scenario tests reconstructing the paper's worked examples.
+
+The paper's figures give partial edge weights, so these networks are
+rebuilt to satisfy every distance relation the text states; the tests
+then assert the exact behaviour the paper describes.
+"""
+
+import pytest
+
+from repro import EdgePointSet, GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_brknn, brute_force_rknn
+from repro.graph.graph import Graph
+
+ALL_METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
+
+
+class TestFig1aP2P:
+    """Fig. 1a: a new peer q joins; RNN(q) = {p3} although NN(q) = p1."""
+
+    def setup_method(self):
+        #   p2 --1-- p1 --2-- q --3-- p3
+        self.graph = Graph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        self.points = NodePointSet({1: 1, 2: 0, 3: 3})  # p1@1, p2@0, p3@3
+        self.db = GraphDatabase(self.graph, self.points)
+        self.db.materialize(4)
+
+    def test_nn_of_query_is_p1(self):
+        assert self.db.knn(2, 1).ids() == (1,)
+
+    def test_rnn_is_p3_only(self):
+        # p1's NN is p2 (distance 1 < 2), so p1 is not a reverse NN;
+        # p3's closest point is q itself (3 < 5, 6)
+        for method in ALL_METHODS:
+            assert self.db.rknn(2, 1, method=method).points == (3,)
+
+    def test_oracle_agrees(self):
+        assert brute_force_rknn(self.graph, self.points, 2, 1) == [3]
+
+    def test_r4nn_returns_all_peers(self):
+        # the paper's Gnutella motivation: a new peer issues a R4NN query
+        for method in ALL_METHODS:
+            assert self.db.rknn(2, 4, method=method).points == (1, 2, 3)
+
+
+class TestFig1bRestaurants:
+    """Fig. 1b: bichromatic RNN over residential blocks and restaurants.
+
+    Rebuilt on a weighted tree so that:
+      bRNN(q)  = {p1, p2, p3},  bRNN(q1) = {p4, p5},  bRNN(q2) = {}
+      bR2NN(q) = {p1, p2, p3, p4}.
+    """
+
+    def setup_method(self):
+        # layout (restricted reformulation of the road drawing):
+        #   p1 -1- q -1- p2 ; q -2- p3 -2- hub -1- q1 -1- p4 ; q1 -2- p5 -3- q2
+        # all three restaurants (q, q1, q2) form the reference set Q; a
+        # query from one of them hides itself, exactly as in Fig. 1b.
+        edges = [
+            (0, 1, 1.0),   # p1 - q
+            (1, 2, 1.0),   # q - p2
+            (1, 3, 2.0),   # q - p3
+            (3, 4, 2.0),   # p3 - hub
+            (4, 5, 1.0),   # hub - q1
+            (5, 6, 1.0),   # q1 - p4
+            (5, 7, 2.0),   # q1 - p5
+            (7, 8, 3.0),   # p5 - q2
+        ]
+        self.graph = Graph(9, edges)
+        self.blocks = NodePointSet({1: 0, 2: 2, 3: 3, 4: 6, 5: 7})
+        self.restaurants = NodePointSet({99: 1, 100: 5, 101: 8})  # q, q1, q2
+        self.db = GraphDatabase(self.graph, self.blocks)
+        self.db.attach_reference(self.restaurants)
+        self.db.materialize_reference(3)
+
+    def test_brnn_of_new_restaurant(self):
+        for method in ("eager", "lazy", "eager-m"):
+            got = self.db.bichromatic_rknn(1, 1, method=method, exclude={99})
+            assert got.points == (1, 2, 3)
+
+    def test_brnn_of_q1(self):
+        want = brute_force_brknn(
+            self.graph, self.blocks, self.restaurants.without_point(100), 5, 1
+        )
+        got = self.db.bichromatic_rknn(5, 1, exclude={100}).points
+        assert list(got) == want == [4, 5]
+
+    def test_brnn_of_q2_is_empty(self):
+        got = self.db.bichromatic_rknn(8, 1, exclude={101}).points
+        assert got == ()
+
+    def test_br2nn_of_new_restaurant(self):
+        # p5 has both rivals strictly closer than q; every other block
+        # keeps q among its two nearest restaurants (paper: {p1..p4})
+        for method in ("eager", "lazy", "eager-m"):
+            got = self.db.bichromatic_rknn(1, 2, method=method, exclude={99})
+            assert got.points == (1, 2, 3, 4)
+
+
+class TestSection3RunningExample:
+    """Section 3.2's trace: eager prunes at the first point-bearing nodes.
+
+    Rebuilt with the distances the text quotes: d(q, n3) = 4 with a point
+    p1 at distance 3 from n3, and d(q, n1) = 5 with p2 at distance 3.
+    Both p1 and p2 are reverse NNs; the expansion never goes past them.
+    """
+
+    def setup_method(self):
+        # q@0; 0 -4- 1(n3) -3- 2(p1); 0 -5- 3(n1) -3- 4(p2); tails beyond
+        edges = [
+            (0, 1, 4.0), (1, 2, 3.0), (2, 5, 1.0), (5, 6, 1.0),
+            (0, 3, 5.0), (3, 4, 3.0), (4, 7, 1.0), (7, 8, 1.0),
+        ]
+        self.graph = Graph(9, edges)
+        self.points = NodePointSet({1: 2, 2: 4})  # p1@2, p2@4
+        self.db = GraphDatabase(self.graph, self.points)
+
+    def test_both_points_are_results(self):
+        for method in ALL_METHODS[:2] + ALL_METHODS[3:]:
+            assert self.db.rknn(0, 1, method=method).points == (1, 2)
+
+    def test_eager_never_expands_past_pruned_nodes(self):
+        self.db.reset_stats()
+        self.db.rknn(0, 1, method="eager")
+        # nodes 5, 6, 7, 8 lie behind the pruned frontier: at most the
+        # verification expansions may touch the first of them
+        assert self.db.tracker.nodes_visited < 2 * self.graph.num_nodes
+
+
+class TestLemma1:
+    """Lemma 1 itself: d(q, n) > d(p, n) kills everything behind n."""
+
+    def test_points_behind_guard_are_never_results(self):
+        # q -5- n -2- p10 -8- p11 -1- p12: the guard point p10 keeps the
+        # query as its NN; everything behind it is closer to a point
+        edges = [(0, 1, 5.0), (1, 2, 2.0), (2, 3, 8.0), (3, 4, 1.0)]
+        graph = Graph(5, edges)
+        points = NodePointSet({10: 2, 11: 3, 12: 4})
+        db = GraphDatabase(graph, points)
+        assert brute_force_rknn(graph, points, 0, 1) == [10]
+        for method in ("eager", "lazy", "lazy-ep"):
+            got = db.rknn(0, 1, method=method).points
+            assert got == (10,), method
+
+    def test_equality_does_not_prune(self):
+        # d(q, n) == d(p, n): Lemma 1 requires strict inequality, and the
+        # point behind n is a genuine reverse neighbor
+        edges = [(0, 1, 2.0), (1, 2, 2.0), (1, 3, 5.0)]
+        graph = Graph(4, edges)
+        points = NodePointSet({10: 2, 11: 3})
+        db = GraphDatabase(graph, points)
+        want = brute_force_rknn(graph, points, 0, 1)
+        assert 11 in want
+        for method in ("eager", "lazy", "lazy-ep"):
+            assert list(db.rknn(0, 1, method=method).points) == want
+
+
+class TestFig14UnrestrictedExample:
+    """Section 5.2's observation: an edge point's distance is the minimum
+    over both endpoint routes, discovered at different times."""
+
+    def test_two_bounds_resolve_to_minimum(self):
+        # q -- n3 -- n5 square; p3 on edge (n3, n5), closer via n5
+        #   q@0; 0-2-1(n3); 0-3-2(n5); edge (1,2) weight 8 with p3 at 7
+        graph = Graph(3, [(0, 1, 2.0), (0, 2, 3.0), (1, 2, 8.0)])
+        points = EdgePointSet({3: (1, 2, 7.0)})
+        db = GraphDatabase(graph, points)
+        # via n3: 2 + 7 = 9; via n5: 3 + 1 = 4
+        assert db.knn(0, 1).neighbors == ((3, 4.0),)

@@ -1,0 +1,97 @@
+"""Unit tests for the counting and invalidatable heaps."""
+
+from repro.core.pq import CountingHeap, InvalidatableHeap
+from repro.storage.stats import CostTracker
+
+
+class TestCountingHeap:
+    def test_orders_by_distance(self):
+        heap = CountingHeap()
+        for dist in (5.0, 1.0, 3.0):
+            heap.push(dist, f"n{dist}")
+        assert [heap.pop()[0] for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_ties_fifo(self):
+        heap = CountingHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        assert heap.pop()[1] == "first"
+        assert heap.pop()[1] == "second"
+
+    def test_unorderable_payloads_ok(self):
+        heap = CountingHeap()
+        heap.push(1.0, {"a": 1})
+        heap.push(1.0, {"b": 2})
+        heap.pop()
+        heap.pop()
+
+    def test_counts_operations(self):
+        tracker = CostTracker()
+        heap = CountingHeap(tracker)
+        heap.push(1.0, None)
+        heap.push(2.0, None)
+        heap.pop()
+        assert tracker.heap_pushes == 2
+        assert tracker.heap_pops == 1
+
+    def test_peek_distance(self):
+        heap = CountingHeap()
+        heap.push(7.0, "x")
+        heap.push(2.0, "y")
+        assert heap.peek_distance() == 2.0
+        assert len(heap) == 2
+
+
+class TestInvalidatableHeap:
+    def test_pop_skips_invalidated(self):
+        heap = InvalidatableHeap()
+        kept = heap.push(2.0, "keep")
+        dead = heap.push(1.0, "dead")
+        heap.invalidate(dead)
+        dist, entry_id, payload = heap.pop()
+        assert payload == "keep"
+        assert entry_id == kept
+        assert dist == 2.0
+
+    def test_len_reflects_live_entries(self):
+        heap = InvalidatableHeap()
+        ids = [heap.push(float(i), i) for i in range(4)]
+        heap.invalidate(ids[0])
+        heap.invalidate(ids[2])
+        assert len(heap) == 2
+
+    def test_invalidate_popped_entry_is_noop(self):
+        heap = InvalidatableHeap()
+        first = heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        heap.pop()
+        heap.invalidate(first)  # already popped: must not corrupt state
+        assert len(heap) == 1
+        assert heap.pop()[2] == "b"
+
+    def test_double_invalidate_is_noop(self):
+        heap = InvalidatableHeap()
+        entry = heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        heap.invalidate(entry)
+        heap.invalidate(entry)
+        assert len(heap) == 1
+
+    def test_bool_after_all_invalidated(self):
+        heap = InvalidatableHeap()
+        entry = heap.push(1.0, "a")
+        heap.invalidate(entry)
+        assert not heap
+
+    def test_peek_skips_dead(self):
+        heap = InvalidatableHeap()
+        dead = heap.push(1.0, "dead")
+        heap.push(5.0, "live")
+        heap.invalidate(dead)
+        assert heap.peek_distance() == 5.0
+
+    def test_drain(self):
+        heap = InvalidatableHeap()
+        for i in range(3):
+            heap.push(float(i), i)
+        assert [payload for _, _, payload in heap.drain()] == [0, 1, 2]

@@ -1,0 +1,245 @@
+"""Unit tests for unrestricted networks (data points on edges)."""
+
+import math
+import random
+
+import pytest
+
+from repro import EdgePointSet, GraphDatabase, QueryError
+from repro.core.baseline import brute_force_brknn, brute_force_knn, brute_force_rknn
+from repro.core.unrestricted import (
+    direct_distance,
+    normalize_location,
+    unrestricted_knn,
+    unrestricted_range_nn,
+    unrestricted_verify,
+)
+from repro.graph.graph import Graph
+from tests.conftest import build_random_graph
+
+METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
+
+
+@pytest.fixture
+def road():
+    """A 6-node path with weights 4, so points sit mid-edge."""
+    return Graph(6, [(i, i + 1, 4.0) for i in range(5)])
+
+
+@pytest.fixture
+def road_points():
+    # p10 on edge (0,1) at 1.0, p11 on (2,3) at 2.0, p12 on (4,5) at 3.0
+    return EdgePointSet({10: (0, 1, 1.0), 11: (2, 3, 2.0), 12: (4, 5, 3.0)})
+
+
+@pytest.fixture
+def road_db(road, road_points):
+    db = GraphDatabase(road, road_points)
+    db.materialize(3)
+    return db
+
+
+class TestLocations:
+    def test_normalize_accepts_nodes(self):
+        assert normalize_location(4) == 4
+
+    def test_normalize_rejects_reversed_edge(self):
+        with pytest.raises(QueryError):
+            normalize_location((3, 1, 0.5))
+
+    def test_normalize_rejects_negative_offset(self):
+        with pytest.raises(QueryError):
+            normalize_location((1, 3, -0.5))
+
+    def test_direct_distance_same_edge(self):
+        assert direct_distance((0, 1, 1.0), (0, 1, 3.5)) == 2.5
+
+    def test_direct_distance_other_edge(self):
+        assert direct_distance((0, 1, 1.0), (1, 2, 0.5)) is None
+
+
+class TestUnrestrictedKnn:
+    def test_from_node(self, road_db):
+        got = unrestricted_knn(road_db.view, 2, 2)
+        assert [pid for pid, _ in got] == [11, 10]
+        assert [d for _, d in got] == [2.0, 7.0]
+
+    def test_from_edge_location(self, road_db):
+        got = unrestricted_knn(road_db.view, (2, 3, 1.0), 1)
+        assert got == [(11, 1.0)]
+
+    def test_same_edge_direct_distance_used(self, road_db):
+        # query on the same edge as point 10
+        got = unrestricted_knn(road_db.view, (0, 1, 3.0), 1)
+        assert got == [(10, 2.0)]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 18), rng.randint(0, 12),
+                                   int_weights=False)
+        edges = list(graph.edges())
+        locs = {}
+        for i in range(rng.randint(1, len(edges))):
+            u, v, w = edges[rng.randrange(len(edges))]
+            locs[100 + i] = (u, v, rng.uniform(0, w))
+        points = EdgePointSet(locs)
+        db = GraphDatabase(graph, points)
+        u, v, w = edges[rng.randrange(len(edges))]
+        query = (u, v, rng.uniform(0, w))
+        k = rng.randint(1, 3)
+        got = unrestricted_knn(db.view, query, k)
+        want = brute_force_knn(graph, points, query, k)
+        assert [d for _, d in got] == pytest.approx([d for _, d in want])
+
+
+class TestUnrestrictedRangeNn:
+    def test_strict_radius(self, road_db):
+        # point 11 is exactly at distance 2 from node 2
+        assert unrestricted_range_nn(road_db.view, 2, 1, 2.0) == []
+        assert unrestricted_range_nn(road_db.view, 2, 1, 2.5) == [(11, 2.0)]
+
+    def test_k_limits(self, road_db):
+        got = unrestricted_range_nn(road_db.view, 2, 1, 100.0)
+        assert len(got) == 1
+
+    def test_exclude(self, road_db):
+        got = unrestricted_range_nn(road_db.view, 2, 1, 100.0, exclude={11})
+        assert got[0][0] == 10
+
+
+class TestUnrestrictedVerify:
+    def test_query_wins(self, road_db):
+        # point 11 at (2,3,2.0); query at (2,3,3.0): distance 1, the
+        # nearest other point (10) is at 7.0
+        assert unrestricted_verify(
+            road_db.view, road_db.view, (2, 3, 2.0), 11, 1,
+            frozenset(), (2, 3, 3.0), bound=1.0,
+        )
+
+    def test_other_point_wins(self, road_db):
+        # point 12 at (4,5,3.0); query at node 0 (distance 17); point 11
+        # is at distance 9: strictly closer
+        assert not unrestricted_verify(
+            road_db.view, road_db.view, (4, 5, 3.0), 12, 1,
+            frozenset({0}), None, bound=17.0,
+        )
+
+    def test_k2_still_fails_with_two_closer(self, road_db):
+        # both other points (distances 9 and 18) beat the query at 19
+        assert not unrestricted_verify(
+            road_db.view, road_db.view, (4, 5, 3.0), 12, 2,
+            frozenset({0}), None, bound=19.0,
+        )
+
+    def test_k3_tolerates_two(self, road_db):
+        assert unrestricted_verify(
+            road_db.view, road_db.view, (4, 5, 3.0), 12, 3,
+            frozenset({0}), None, bound=19.0,
+        )
+
+    def test_unreachable_query(self):
+        graph = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        points = EdgePointSet({10: (0, 1, 1.0)})
+        db = GraphDatabase(graph, points)
+        assert not unrestricted_verify(
+            db.view, db.view, (0, 1, 1.0), 10, 1,
+            frozenset({3}), None, bound=math.inf,
+        )
+
+
+class TestUnrestrictedRknn:
+    def test_simple_case_all_methods(self, road_db):
+        # query mid-network; compute the oracle and compare every method
+        want = brute_force_rknn(road_db.graph, road_db.points, (2, 3, 1.0), 1)
+        for method in METHODS:
+            got = list(road_db.rknn((2, 3, 1.0), 1, method=method).points)
+            assert got == want, method
+
+    def test_query_at_node(self, road_db):
+        want = brute_force_rknn(road_db.graph, road_db.points, 0, 1)
+        for method in METHODS:
+            assert list(road_db.rknn(0, 1, method=method).points) == want
+
+    def test_point_between_query_and_node(self):
+        # regression for probe-only discovery: the point sits on the
+        # query's edge, far side of a node with a small query distance
+        graph = Graph(3, [(0, 1, 10.0), (1, 2, 1.0)])
+        points = EdgePointSet({10: (0, 1, 1.0)})
+        db = GraphDatabase(graph, points)
+        query = (0, 1, 9.0)
+        want = brute_force_rknn(graph, points, query, 1)
+        assert want == [10]
+        for method in METHODS[:2] + METHODS[3:]:  # no materialization here
+            got = list(db.rknn(query, 1, method=method).points)
+            assert got == [10], method
+
+    def test_exclusion(self, road_db):
+        got = road_db.rknn((2, 3, 2.0), 1, method="eager", exclude={11})
+        assert 11 not in got.points
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle_randomized(self, seed):
+        rng = random.Random(seed + 600)
+        graph = build_random_graph(rng, rng.randint(5, 16), rng.randint(0, 10),
+                                   int_weights=False)
+        edges = list(graph.edges())
+        locs = {}
+        for i in range(rng.randint(1, len(edges))):
+            u, v, w = edges[rng.randrange(len(edges))]
+            locs[100 + i] = (u, v, rng.uniform(0, w))
+        points = EdgePointSet(locs)
+        db = GraphDatabase(graph, points)
+        k = rng.randint(1, 3)
+        db.materialize(k + 1)
+        if rng.random() < 0.5:
+            query = rng.randrange(graph.num_nodes)
+        else:
+            u, v, w = edges[rng.randrange(len(edges))]
+            query = (u, v, rng.uniform(0, w))
+        want = brute_force_rknn(graph, points, query, k)
+        for method in METHODS:
+            got = list(db.rknn(query, k, method=method).points)
+            assert got == want, (seed, method)
+
+
+class TestUnrestrictedBichromatic:
+    def test_scenario(self, road):
+        blocks = EdgePointSet({1: (0, 1, 2.0), 2: (2, 3, 1.0)})
+        rivals = EdgePointSet({100: (4, 5, 1.0)})
+        db = GraphDatabase(road, blocks)
+        db.attach_reference(rivals)
+        query = (1, 2, 2.0)
+        want = brute_force_brknn(road, blocks, rivals, query, 1)
+        got = list(db.bichromatic_rknn(query, 1).points)
+        assert got == want
+
+    def test_only_eager_supported(self, road):
+        db = GraphDatabase(road, EdgePointSet({1: (0, 1, 2.0)}))
+        db.attach_reference(EdgePointSet({100: (4, 5, 1.0)}))
+        with pytest.raises(QueryError):
+            db.bichromatic_rknn((1, 2, 2.0), 1, method="lazy")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle_randomized(self, seed):
+        rng = random.Random(seed + 820)
+        graph = build_random_graph(rng, rng.randint(5, 14), rng.randint(0, 8),
+                                   int_weights=False)
+        edges = list(graph.edges())
+
+        def scatter(count, base):
+            locs = {}
+            for i in range(count):
+                u, v, w = edges[rng.randrange(len(edges))]
+                locs[base + i] = (u, v, rng.uniform(0, w))
+            return EdgePointSet(locs)
+
+        data = scatter(rng.randint(1, 6), 100)
+        refs = scatter(rng.randint(1, 4), 500)
+        db = GraphDatabase(graph, data)
+        db.attach_reference(refs)
+        u, v, w = edges[rng.randrange(len(edges))]
+        query = (u, v, rng.uniform(0, w))
+        k = rng.randint(1, 2)
+        want = brute_force_brknn(graph, data, refs, query, k)
+        assert list(db.bichromatic_rknn(query, k).points) == want

@@ -1,0 +1,144 @@
+"""Tests for the data-set generators (paper Section 6 test beds)."""
+
+import collections
+
+import pytest
+
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.grid import generate_grid
+from repro.datasets.spatial import COORD_RANGE, generate_spatial
+from repro.errors import GraphError
+
+
+class TestDblp:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return generate_dblp(num_nodes=1200, num_edges=3700, seed=7)
+
+    def test_connected_and_sized(self, dblp):
+        graph = dblp.graph
+        assert graph.is_connected()
+        assert 0.85 * 1200 <= graph.num_nodes <= 1200
+        assert graph.num_edges >= 3400
+
+    def test_unit_weights(self, dblp):
+        assert all(w == 1.0 for _, _, w in dblp.graph.edges())
+
+    def test_degree_distribution_is_skewed(self, dblp):
+        graph = dblp.graph
+        degrees = sorted(graph.degree(n) for n in graph.nodes())
+        # a collaboration graph has a heavy tail: the max degree is far
+        # above the median
+        assert degrees[-1] > 8 * degrees[len(degrees) // 2]
+
+    def test_paper_counts_are_skewed(self, dblp):
+        histogram = collections.Counter(dblp.sigmod_papers)
+        assert histogram[0] > histogram[1] > histogram[3]
+
+    def test_attribute_selection(self, dblp):
+        twos = dblp.authors_with_papers(2)
+        assert twos
+        assert all(dblp.sigmod_papers[node] == 2 for node in twos)
+
+    def test_deterministic_per_seed(self):
+        first = generate_dblp(num_nodes=300, num_edges=900, seed=3)
+        second = generate_dblp(num_nodes=300, num_edges=900, seed=3)
+        assert sorted(first.graph.edges()) == sorted(second.graph.edges())
+        assert first.sigmod_papers == second.sigmod_papers
+
+
+class TestBrite:
+    def test_average_degree_near_four(self):
+        graph = generate_brite(2000, m=2, seed=1)
+        assert 3.8 <= graph.average_degree() <= 4.0
+
+    def test_connected(self):
+        assert generate_brite(500, seed=2).is_connected()
+
+    def test_hop_weights(self):
+        graph = generate_brite(300, seed=3, weights="hop")
+        assert all(w == 1.0 for _, _, w in graph.edges())
+
+    def test_latency_weights_in_range(self):
+        graph = generate_brite(300, seed=4)
+        assert all(1.0 <= w <= 10.0 for _, _, w in graph.edges())
+
+    def test_exponential_expansion(self):
+        # preferential attachment: hop-radius 4 already covers most nodes
+        graph = generate_brite(3000, seed=5, weights="hop")
+        from repro.core.baseline import dijkstra
+
+        within4 = sum(1 for d in dijkstra(graph, [(0, 0.0)]).values() if d <= 4)
+        assert within4 > 0.5 * graph.num_nodes
+
+    def test_preferential_attachment_tail(self):
+        graph = generate_brite(3000, seed=6)
+        max_degree = max(graph.degree(n) for n in graph.nodes())
+        assert max_degree > 30  # hubs exist
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            generate_brite(2, m=2)
+        with pytest.raises(GraphError):
+            generate_brite(100, weights="parsecs")
+
+
+class TestSpatial:
+    @pytest.fixture(scope="class")
+    def spatial(self):
+        return generate_spatial(2500, seed=11)
+
+    def test_connected(self, spatial):
+        assert spatial.is_connected()
+
+    def test_edge_node_ratio(self, spatial):
+        ratio = spatial.num_edges / spatial.num_nodes
+        assert 1.1 <= ratio <= 1.45  # paper's SF map: ~1.27
+
+    def test_coordinates_in_range(self, spatial):
+        assert spatial.coords is not None
+        for x, y in spatial.coords:
+            assert 0.0 <= x <= COORD_RANGE
+            assert 0.0 <= y <= COORD_RANGE
+
+    def test_euclidean_weights(self, spatial):
+        import math
+
+        for u, v, w in spatial.edges():
+            ux, uy = spatial.coords[u]
+            vx, vy = spatial.coords[v]
+            assert w == pytest.approx(math.hypot(ux - vx, uy - vy))
+
+    def test_no_exponential_expansion(self, spatial):
+        # planar locality: a 6-hop ball is a small fraction of the graph
+        from collections import deque
+
+        seen = {0}
+        frontier = deque([(0, 0)])
+        while frontier:
+            node, hops = frontier.popleft()
+            if hops == 6:
+                continue
+            for nbr, _ in spatial.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append((nbr, hops + 1))
+        assert len(seen) < 0.25 * spatial.num_nodes
+
+
+class TestGrid:
+    def test_standard_grid_degree(self):
+        graph = generate_grid(900, average_degree=4.0, seed=1)
+        assert graph.average_degree() == pytest.approx(4.0, abs=0.3)
+
+    def test_higher_degree(self):
+        graph = generate_grid(900, average_degree=6.0, seed=2)
+        assert graph.average_degree() == pytest.approx(6.0, abs=0.3)
+
+    def test_connected(self):
+        assert generate_grid(400, seed=3).is_connected()
+
+    def test_degree_below_four_rejected(self):
+        with pytest.raises(GraphError):
+            generate_grid(400, average_degree=3.0)

@@ -1,0 +1,120 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.datasets.workload import (
+    data_queries,
+    node_queries,
+    place_edge_points,
+    place_node_points,
+    random_route,
+    random_routes,
+)
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def grid_graph():
+    side = 8
+    edges = []
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                edges.append((node, node + 1, 1.0))
+            if row + 1 < side:
+                edges.append((node, node + side, 1.0))
+    return Graph(side * side, edges)
+
+
+class TestPointPlacement:
+    def test_node_density(self, grid_graph):
+        points = place_node_points(grid_graph, 0.25, seed=1)
+        assert len(points) == 16
+
+    def test_node_points_distinct(self, grid_graph):
+        points = place_node_points(grid_graph, 0.5, seed=2)
+        nodes = [node for _, node in points.items()]
+        assert len(set(nodes)) == len(nodes)
+
+    def test_edge_density(self, grid_graph):
+        points = place_edge_points(grid_graph, 0.1, seed=3)
+        assert len(points) == 6
+        points.validate(grid_graph)
+
+    def test_first_id_offset(self, grid_graph):
+        points = place_node_points(grid_graph, 0.1, seed=4, first_id=1000)
+        assert min(points.ids()) == 1000
+
+    def test_bad_density_rejected(self, grid_graph):
+        with pytest.raises(QueryError):
+            place_node_points(grid_graph, 0.0)
+        with pytest.raises(QueryError):
+            place_node_points(grid_graph, 1.5)
+
+    def test_deterministic(self, grid_graph):
+        first = place_node_points(grid_graph, 0.2, seed=9)
+        second = place_node_points(grid_graph, 0.2, seed=9)
+        assert dict(first.items()) == dict(second.items())
+
+
+class TestQueries:
+    def test_queries_follow_data(self, grid_graph):
+        points = place_node_points(grid_graph, 0.2, seed=5)
+        queries = data_queries(points, count=30, seed=6)
+        point_nodes = {node for _, node in points.items()}
+        assert len(queries) == 30
+        assert all(q.location in point_nodes for q in queries)
+
+    def test_query_excludes_own_point(self, grid_graph):
+        points = place_node_points(grid_graph, 0.2, seed=7)
+        for query in data_queries(points, count=10, seed=8):
+            (excluded,) = query.exclude
+            assert points.node_of(excluded) == query.location
+
+    def test_no_exclusion_option(self, grid_graph):
+        points = place_node_points(grid_graph, 0.2, seed=7)
+        queries = data_queries(points, count=5, seed=8, exclude_query_point=False)
+        assert all(not q.exclude for q in queries)
+
+    def test_edge_point_queries(self, grid_graph):
+        points = place_edge_points(grid_graph, 0.2, seed=9)
+        queries = data_queries(points, count=5, seed=10)
+        for query in queries:
+            u, v, pos = query.location
+            assert grid_graph.has_edge(u, v)
+
+    def test_node_queries_uniform(self, grid_graph):
+        queries = node_queries(grid_graph, count=20, seed=11)
+        assert len(queries) == 20
+        assert all(0 <= q.location < grid_graph.num_nodes for q in queries)
+
+    def test_empty_point_set_rejected(self, grid_graph):
+        from repro.points.points import NodePointSet
+
+        with pytest.raises(QueryError):
+            data_queries(NodePointSet({}), count=5)
+
+
+class TestRoutes:
+    def test_route_is_simple_walk(self, grid_graph):
+        route = random_route(grid_graph, 12, seed=12)
+        assert len(route) == 12
+        assert len(set(route)) == 12
+        for a, b in zip(route, route[1:]):
+            assert grid_graph.has_edge(a, b)
+
+    def test_multiple_routes(self, grid_graph):
+        routes = random_routes(grid_graph, 6, count=5, seed=13)
+        assert len(routes) == 5
+        assert all(len(r) == 6 for r in routes)
+
+    def test_bad_length_rejected(self, grid_graph):
+        with pytest.raises(QueryError):
+            random_route(grid_graph, 0)
+
+    def test_impossible_route_raises(self):
+        tiny = Graph(2, [(0, 1, 1.0)])
+        with pytest.raises(QueryError):
+            random_route(tiny, 10)

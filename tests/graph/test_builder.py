@@ -1,0 +1,80 @@
+"""Unit tests for the incremental graph builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilderEdges:
+    def test_build_simple(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 2.0)
+        builder.add_edge(1, 2, 3.0)
+        graph = builder.build()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_error_policy(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 2.0)
+        with pytest.raises(GraphError):
+            builder.add_edge(1, 0, 5.0)
+
+    def test_duplicate_min_policy(self):
+        builder = GraphBuilder(on_duplicate="min")
+        builder.add_edge(0, 1, 5.0)
+        builder.add_edge(1, 0, 2.0)
+        assert builder.build().weight(0, 1) == 2.0
+
+    def test_duplicate_ignore_policy(self):
+        builder = GraphBuilder(on_duplicate="ignore")
+        builder.add_edge(0, 1, 5.0)
+        builder.add_edge(1, 0, 2.0)
+        assert builder.build().weight(0, 1) == 5.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(on_duplicate="overwrite")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(2, 2, 1.0)
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(0, 1, -1.0)
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        assert builder.num_edges == 2
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().build()
+
+    def test_explicit_node_count_padding(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1, 1.0)
+        graph = builder.build(num_nodes=10)
+        assert graph.num_nodes == 10
+        assert graph.degree(9) == 0
+
+
+class TestLabelInterning:
+    def test_labels_get_dense_ids(self):
+        builder = GraphBuilder()
+        builder.add_labeled_edge("alice", "bob", 1.0)
+        builder.add_labeled_edge("bob", "carol", 1.0)
+        assert builder.labels == ["alice", "bob", "carol"]
+        graph = builder.build()
+        assert graph.num_nodes == 3
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+
+    def test_intern_is_stable(self):
+        builder = GraphBuilder()
+        first = builder.intern("x")
+        second = builder.intern("x")
+        assert first == second

@@ -1,0 +1,98 @@
+"""Unit tests for the in-memory graph model."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, edge_key
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_identity_on_equal(self):
+        assert edge_key(3, 3) == (3, 3)
+
+
+class TestConstruction:
+    def test_basic_counts(self, path_graph):
+        assert path_graph.num_nodes == 5
+        assert path_graph.num_edges == 4
+
+    def test_neighbors_symmetric(self, path_graph):
+        assert (1, 2.0) in path_graph.neighbors(0)
+        assert (0, 2.0) in path_graph.neighbors(1)
+
+    def test_weight_lookup_either_direction(self, path_graph):
+        assert path_graph.weight(0, 1) == 2.0
+        assert path_graph.weight(1, 0) == 2.0
+
+    def test_missing_edge_rejected(self, path_graph):
+        with pytest.raises(GraphError):
+            path_graph.weight(0, 4)
+
+    def test_degree_and_average(self, path_graph):
+        assert path_graph.degree(0) == 1
+        assert path_graph.degree(1) == 2
+        assert path_graph.average_degree() == pytest.approx(8 / 5)
+
+    def test_edges_iterates_once_canonical(self, path_graph):
+        edges = list(path_graph.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v, _ in edges)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 0, 1.0)])
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, 0.0)])
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, -3.0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, 1.0), (1, 0, 2.0)])
+
+    def test_rejects_unknown_node(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 5, 1.0)])
+
+    def test_from_edges_infers_node_count(self):
+        graph = Graph.from_edges([(0, 3, 1.0)])
+        assert graph.num_nodes == 4
+
+    def test_coords_length_checked(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, 1.0)], coords=[(0.0, 0.0)])
+
+
+class TestConnectivity:
+    def test_connected_graph(self, ring_graph):
+        assert ring_graph.is_connected()
+        assert len(ring_graph.connected_components()) == 1
+
+    def test_disconnected_components(self):
+        graph = Graph(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        components = graph.connected_components()
+        assert sorted(map(tuple, components)) == [(0, 1), (2, 3), (4,)]
+
+    def test_largest_component_subgraph_relabels(self):
+        graph = Graph(6, [(3, 4, 1.0), (4, 5, 2.0), (0, 1, 1.0)])
+        sub, old_ids = graph.largest_component_subgraph()
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert old_ids == [3, 4, 5]
+        assert sub.weight(old_ids.index(3), old_ids.index(4)) == 1.0
+
+    def test_largest_component_keeps_coords(self):
+        coords = [(float(i), 0.0) for i in range(4)]
+        graph = Graph(4, [(2, 3, 1.0)], coords=coords)
+        sub, old_ids = graph.largest_component_subgraph()
+        assert sub.coords == [coords[i] for i in old_ids]

@@ -1,0 +1,175 @@
+"""Tests for DIMACS and METIS interchange formats."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.interop import load_dimacs, load_metis, save_dimacs, save_metis
+from tests.conftest import build_random_graph
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    return (
+        a.num_nodes == b.num_nodes
+        and sorted(a.edges()) == sorted(b.edges())
+    )
+
+
+class TestDimacsRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_graph_round_trips(self, tmp_path, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(3, 30), rng.randint(0, 30))
+        path = tmp_path / "g.gr"
+        save_dimacs(path, graph)
+        assert graphs_equal(load_dimacs(path), graph)
+
+    def test_float_weights_round_trip(self, tmp_path):
+        graph = Graph(3, [(0, 1, 1.5), (1, 2, 2.25)])
+        path = tmp_path / "g.gr"
+        save_dimacs(path, graph)
+        assert sorted(load_dimacs(path).edges()) == sorted(graph.edges())
+
+    def test_coordinates_round_trip(self, tmp_path):
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)],
+                      coords=[(0.0, 0.0), (1.5, 2.0), (3.0, 4.0)])
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        save_dimacs(gr, graph, coordinates=co)
+        loaded = load_dimacs(gr, coordinates=co)
+        assert loaded.coords == graph.coords
+
+    def test_saving_coords_without_coords_is_an_error(self, tmp_path):
+        graph = Graph(2, [(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            save_dimacs(tmp_path / "g.gr", graph, coordinates=tmp_path / "g.co")
+
+
+class TestDimacsParsing:
+    def test_comments_and_one_based_ids(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text(
+            "c a road network\n"
+            "p sp 3 4\n"
+            "a 1 2 5\n"
+            "a 2 1 5\n"
+            "a 2 3 7\n"
+            "a 3 2 7\n"
+        )
+        graph = load_dimacs(path)
+        assert graph.num_nodes == 3
+        assert graph.weight(0, 1) == 5.0
+        assert graph.weight(1, 2) == 7.0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    def test_arc_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 3\na 1 2 5\na 2 1 5\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    def test_asymmetric_arcs_rejected_by_default(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 2\na 1 2 5\na 2 1 9\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path)
+
+    @pytest.mark.parametrize("mode,expected", [("min", 5.0), ("max", 9.0)])
+    def test_asymmetric_arc_resolution(self, tmp_path, mode, expected):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 2\na 1 2 5\na 2 1 9\n")
+        assert load_dimacs(path, on_asymmetric=mode).weight(0, 1) == expected
+
+    def test_bad_resolution_mode_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 2\na 1 2 5\na 2 1 5\n")
+        with pytest.raises(GraphError):
+            load_dimacs(path, on_asymmetric="avg")
+
+    def test_incomplete_coordinates_rejected(self, tmp_path):
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        gr.write_text("p sp 2 2\na 1 2 5\na 2 1 5\n")
+        co.write_text("p aux sp co 2\nv 1 0.0 0.0\n")
+        with pytest.raises(GraphError):
+            load_dimacs(gr, coordinates=co)
+
+
+class TestMetisRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_graph_round_trips(self, tmp_path, seed):
+        rng = random.Random(100 + seed)
+        graph = build_random_graph(rng, rng.randint(3, 30), rng.randint(0, 30))
+        path = tmp_path / "g.graph"
+        save_metis(path, graph)
+        assert graphs_equal(load_metis(path), graph)
+
+    def test_float_weights_rejected_on_save(self, tmp_path):
+        graph = Graph(2, [(0, 1, 1.5)])
+        with pytest.raises(GraphError):
+            save_metis(tmp_path / "g.graph", graph)
+
+
+class TestMetisParsing:
+    def test_unweighted_file_gets_unit_weights(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% a comment\n3 2\n2\n1 3\n2\n")
+        graph = load_metis(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.weight(0, 1) == 1.0
+
+    def test_weighted_file(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 2 1\n2 7\n1 7 3 9\n2 9\n")
+        graph = load_metis(path)
+        assert graph.weight(0, 1) == 7.0
+        assert graph.weight(1, 2) == 9.0
+
+    def test_isolated_node_blank_line(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1\n2\n1\n\n")
+        graph = load_metis(path)
+        assert graph.num_nodes == 3
+        assert graph.degree(2) == 0
+
+    def test_node_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1\n1\n1\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 5\n2\n1 3\n2\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_inconsistent_weights_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 1\n2 5\n1 6\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_node_weight_formats_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 11\n1 2\n1 1\n")
+        with pytest.raises(GraphError):
+            load_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            load_metis(path)

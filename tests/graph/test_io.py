@@ -1,0 +1,87 @@
+"""Unit tests for graph persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.io import load_graph, save_graph
+from repro.points.points import EdgePointSet, NodePointSet
+
+
+class TestRoundTrip:
+    def test_graph_only(self, tmp_path, path_graph):
+        path = tmp_path / "g.txt"
+        save_graph(path, path_graph)
+        loaded, points = load_graph(path)
+        assert points is None
+        assert loaded.num_nodes == path_graph.num_nodes
+        assert sorted(loaded.edges()) == sorted(path_graph.edges())
+
+    def test_with_node_points(self, tmp_path, path_graph):
+        path = tmp_path / "g.txt"
+        points = NodePointSet({7: 0, 9: 3})
+        save_graph(path, path_graph, points)
+        _, loaded = load_graph(path)
+        assert isinstance(loaded, NodePointSet)
+        assert dict(loaded.items()) == {7: 0, 9: 3}
+
+    def test_with_edge_points(self, tmp_path, path_graph):
+        path = tmp_path / "g.txt"
+        points = EdgePointSet({7: (0, 1, 0.5), 9: (2, 3, 0.25)})
+        save_graph(path, path_graph, points)
+        _, loaded = load_graph(path)
+        assert isinstance(loaded, EdgePointSet)
+        assert dict(loaded.items()) == {7: (0, 1, 0.5), 9: (2, 3, 0.25)}
+
+    def test_with_coords(self, tmp_path):
+        graph = Graph(2, [(0, 1, 1.5)], coords=[(0.25, 1.0), (3.5, 4.0)])
+        path = tmp_path / "g.txt"
+        save_graph(path, graph)
+        loaded, _ = load_graph(path)
+        assert loaded.coords == [(0.25, 1.0), (3.5, 4.0)]
+
+    def test_weights_survive_repr_round_trip(self, tmp_path):
+        weight = 0.1 + 0.2  # not exactly representable in decimal
+        graph = Graph(2, [(0, 1, weight)])
+        path = tmp_path / "g.txt"
+        save_graph(path, graph)
+        loaded, _ = load_graph(path)
+        assert loaded.weight(0, 1) == weight
+
+
+class TestMalformedFiles:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("E 0 1 1.0\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_unknown_tag(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("V 2\nX what\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("V 2\nE 0 oops 1.0\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_mixed_point_modes_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("V 3\nE 0 1 1.0\nE 1 2 1.0\nNP 5 0\nEP 6 0 1 0.5\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_partial_coords_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("V 2\nC 0 1.0 2.0\nE 0 1 1.0\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text("# header\nV 2\n\nE 0 1 1.0\n# trailing\n")
+        graph, _ = load_graph(path)
+        assert graph.num_edges == 1

@@ -1,0 +1,77 @@
+"""Unit tests for node ordering and page partitioning."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    _hilbert_d,
+    bfs_order,
+    hilbert_order,
+    partition_nodes,
+)
+
+
+class TestBfsOrder:
+    def test_covers_all_nodes_once(self, ring_graph):
+        order = bfs_order(ring_graph)
+        assert sorted(order) == list(range(6))
+
+    def test_neighbors_are_near_in_order(self):
+        n = 50
+        path = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        order = bfs_order(path, seed=0)
+        assert order == list(range(n))
+
+    def test_disconnected_graph_covered(self):
+        graph = Graph(4, [(0, 1, 1.0)])
+        assert sorted(bfs_order(graph)) == [0, 1, 2, 3]
+
+    def test_bad_seed_rejected(self, ring_graph):
+        with pytest.raises(GraphError):
+            bfs_order(ring_graph, seed=77)
+
+
+class TestHilbertOrder:
+    def test_requires_coords(self, ring_graph):
+        with pytest.raises(GraphError):
+            hilbert_order(ring_graph)
+
+    def test_spatial_neighbors_are_near(self):
+        # 4x4 grid with coordinates; Hilbert order keeps spatial locality
+        side = 4
+        coords = [(float(i % side), float(i // side)) for i in range(side * side)]
+        edges = []
+        for row in range(side):
+            for col in range(side):
+                if col + 1 < side:
+                    edges.append((row * side + col, row * side + col + 1, 1.0))
+                if row + 1 < side:
+                    edges.append((row * side + col, (row + 1) * side + col, 1.0))
+        graph = Graph(side * side, edges, coords=coords)
+        order = hilbert_order(graph, bits=8)
+        assert sorted(order) == list(range(side * side))
+        position = {node: i for i, node in enumerate(order)}
+        # average order-distance of grid neighbors stays small
+        gaps = [abs(position[u] - position[v]) for u, v, _ in edges]
+        assert sum(gaps) / len(gaps) < side * side / 2
+
+    def test_hilbert_curve_is_bijective(self):
+        bits = 3
+        side = 1 << bits
+        values = {_hilbert_d(bits, x, y) for x in range(side) for y in range(side)}
+        assert values == set(range(side * side))
+
+
+class TestPartitionNodes:
+    def test_respects_order_and_size(self):
+        order = [3, 1, 0, 2]
+        sizes = [30, 30, 30, 30]
+        pages = partition_nodes(order, sizes, page_size=70)
+        assert pages == [[3, 1], [0, 2]]
+
+    def test_indexes_sizes_by_node_id(self):
+        order = [1, 0]
+        sizes = [60, 10]  # node 0 is large, node 1 small
+        pages = partition_nodes(order, sizes, page_size=64)
+        assert pages == [[1], [0]]

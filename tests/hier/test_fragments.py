@@ -1,0 +1,90 @@
+"""Tests for the BFS-growing fragment partitioner."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.hier.fragments import partition_fragments
+from tests.conftest import build_random_graph
+
+
+class TestPartitionValidation:
+    def test_rejects_non_positive_size(self, ring_graph):
+        with pytest.raises(GraphError):
+            partition_fragments(ring_graph, 0)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("max_size", [1, 3, 8, 100])
+    def test_partition_covers_all_nodes_once(self, seed, max_size):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 50), rng.randint(0, 40))
+        frag = partition_fragments(graph, max_size)
+        seen = sorted(node for group in frag.members for node in group)
+        assert seen == list(range(graph.num_nodes))
+        for fid, group in enumerate(frag.members):
+            for node in group:
+                assert frag.fragment_of[node] == fid
+
+    @pytest.mark.parametrize("max_size", [1, 2, 5, 9])
+    def test_size_bound_is_respected(self, max_size):
+        rng = random.Random(3)
+        graph = build_random_graph(rng, 40, 30)
+        frag = partition_fragments(graph, max_size)
+        assert all(len(group) <= max_size for group in frag.members)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fragments_are_connected(self, seed):
+        rng = random.Random(seed + 50)
+        graph = build_random_graph(rng, rng.randint(8, 40), rng.randint(0, 30))
+        frag = partition_fragments(graph, 6)
+        for fid, group in enumerate(frag.members):
+            members = set(group)
+            # BFS inside the fragment must reach every member
+            reached = {group[0]}
+            stack = [group[0]]
+            while stack:
+                node = stack.pop()
+                for nbr, _ in graph.neighbors(node):
+                    if nbr in members and nbr not in reached:
+                        reached.add(nbr)
+                        stack.append(nbr)
+            assert reached == members
+
+    def test_border_nodes_have_cross_edges(self):
+        rng = random.Random(9)
+        graph = build_random_graph(rng, 30, 25)
+        frag = partition_fragments(graph, 5)
+        for fid, border in enumerate(frag.borders):
+            for node in border:
+                assert any(
+                    frag.fragment_of[nbr] != fid for nbr, _ in graph.neighbors(node)
+                )
+            for node in frag.interior_nodes(fid):
+                assert all(
+                    frag.fragment_of[nbr] == fid for nbr, _ in graph.neighbors(node)
+                )
+
+    def test_single_fragment_has_no_borders(self, ring_graph):
+        frag = partition_fragments(ring_graph, 100)
+        assert frag.num_fragments == 1
+        assert frag.borders == ((),)
+        assert frag.border_set() == set()
+        assert frag.interior_nodes(0) == list(range(6))
+
+    def test_size_one_fragments_make_everything_border(self, ring_graph):
+        frag = partition_fragments(ring_graph, 1)
+        assert frag.num_fragments == 6
+        assert frag.border_set() == set(range(6))
+
+    def test_disconnected_components_get_separate_fragments(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        frag = partition_fragments(graph, 10)
+        assert frag.num_fragments == 2
+        assert frag.fragment_of[0] == frag.fragment_of[1]
+        assert frag.fragment_of[2] == frag.fragment_of[3]
+        assert frag.fragment_of[0] != frag.fragment_of[2]
+        assert frag.border_set() == set()

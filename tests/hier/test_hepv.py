@@ -1,0 +1,118 @@
+"""Correctness and accounting tests for the hierarchical distance index."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GraphError, QueryError
+from repro.graph.graph import Graph
+from repro.hier.hepv import HierarchicalDistanceIndex
+from repro.paths.dijkstra import shortest_path
+from tests.conftest import build_random_graph
+
+
+class TestBuildValidation:
+    def test_rejects_bad_fragment_size(self, ring_graph):
+        with pytest.raises(GraphError):
+            HierarchicalDistanceIndex.build(ring_graph, fragment_size=0)
+
+    def test_out_of_range_nodes_rejected(self, ring_graph):
+        index = HierarchicalDistanceIndex.build(ring_graph, fragment_size=3)
+        with pytest.raises(QueryError):
+            index.distance(0, 99)
+        with pytest.raises(QueryError):
+            index.distance(-1, 0)
+
+
+class TestDistanceCorrectness:
+    def test_identity(self, ring_graph):
+        index = HierarchicalDistanceIndex.build(ring_graph, fragment_size=2)
+        assert index.distance(4, 4) == 0.0
+
+    def test_ring_distances(self, ring_graph):
+        index = HierarchicalDistanceIndex.build(ring_graph, fragment_size=2)
+        for u in range(6):
+            for v in range(6):
+                expected = min((v - u) % 6, (u - v) % 6)
+                assert index.distance(u, v) == pytest.approx(float(expected))
+
+    def test_unreachable_is_infinite(self):
+        graph = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 2.0)])
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=2)
+        assert math.isinf(index.distance(0, 4))
+        assert index.distance(2, 4) == pytest.approx(3.0)
+
+    def test_shortest_path_weaving_between_fragments(self):
+        # two parallel corridors; the cheap one keeps crossing fragment
+        # boundaries, so a fragment-local route would overestimate
+        edges = [(i, i + 1, 10.0) for i in range(5)]           # costly spine
+        edges += [(0, 6, 1.0), (6, 1, 1.0), (1, 7, 1.0), (7, 2, 1.0),
+                  (2, 8, 1.0), (8, 3, 1.0), (3, 9, 1.0), (9, 4, 1.0),
+                  (4, 10, 1.0), (10, 5, 1.0)]                  # cheap zigzag
+        graph = Graph(11, edges)
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=3)
+        assert index.distance(0, 5) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("fragment_size", [1, 4, 16])
+    def test_matches_dijkstra_on_random_graphs(self, seed, fragment_size):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(6, 45), rng.randint(0, 40),
+                                   int_weights=False)
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=fragment_size)
+        for _ in range(12):
+            u, v = rng.sample(range(graph.num_nodes), 2)
+            expected = shortest_path(graph, u, v).distance
+            assert index.distance(u, v) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_symmetry(self, seed):
+        rng = random.Random(seed + 200)
+        graph = build_random_graph(rng, 25, 20)
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=5)
+        for _ in range(10):
+            u, v = rng.sample(range(graph.num_nodes), 2)
+            assert index.distance(u, v) == pytest.approx(index.distance(v, u))
+
+
+class TestStorageAccounting:
+    def test_partial_materialization_is_smaller_than_full(self):
+        rng = random.Random(1)
+        graph = build_random_graph(rng, 120, 60)
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=12)
+        full = HierarchicalDistanceIndex.full_materialization_entries(120)
+        assert index.storage_entries < full / 2
+
+    def test_full_materialization_formula(self):
+        assert HierarchicalDistanceIndex.full_materialization_entries(100) == 4950
+        # the paper's Section 2.2 example: |V| = 100K -> ~5 * 10^9
+        entries = HierarchicalDistanceIndex.full_materialization_entries(100_000)
+        assert entries == pytest.approx(5e9, rel=0.01)
+
+    def test_single_fragment_stores_all_pairs_of_component(self, ring_graph):
+        index = HierarchicalDistanceIndex.build(ring_graph, fragment_size=6)
+        assert index.storage_entries == 6 * 7 // 2  # includes (u, u) zeros
+
+    def test_stats_track_queries_and_fast_path(self, ring_graph):
+        index = HierarchicalDistanceIndex.build(ring_graph, fragment_size=100)
+        index.distance(0, 3)
+        index.distance(2, 2)
+        assert index.stats.queries == 2
+        # one whole-component fragment: both answered without super-graph
+        assert index.stats.same_fragment_hits == 2
+        assert index.stats.super_settled == 0
+
+    def test_cross_fragment_query_touches_super_graph(self):
+        rng = random.Random(5)
+        graph = build_random_graph(rng, 40, 30)
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=5)
+        pair = next(
+            (u, v)
+            for u in range(40)
+            for v in range(40)
+            if index.fragmentation.fragment_of[u]
+            != index.fragmentation.fragment_of[v]
+        )
+        index.distance(*pair)
+        assert index.stats.super_settled > 0

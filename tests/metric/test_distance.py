@@ -1,0 +1,68 @@
+"""Tests for the counted network-distance oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.metric.distance import NetworkMetric
+from repro.paths.dijkstra import shortest_path
+from tests.conftest import build_random_graph
+
+
+def make_view(graph, placement=None):
+    return GraphDatabase(graph, NodePointSet(placement or {})).view
+
+
+class TestNetworkMetric:
+    def test_distance_matches_dijkstra(self, p2p_graph):
+        metric = NetworkMetric(make_view(p2p_graph))
+        for u in range(p2p_graph.num_nodes):
+            for v in range(p2p_graph.num_nodes):
+                expected = shortest_path(p2p_graph, u, v).distance
+                assert metric.distance(u, v) == pytest.approx(expected)
+
+    def test_out_of_range_rejected(self, ring_graph):
+        metric = NetworkMetric(make_view(ring_graph))
+        with pytest.raises(QueryError):
+            metric.distance(0, 6)
+
+    def test_unreachable_is_infinite(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        metric = NetworkMetric(make_view(graph))
+        assert math.isinf(metric.distance(0, 2))
+
+    def test_cache_avoids_repeat_evaluations(self, ring_graph):
+        metric = NetworkMetric(make_view(ring_graph))
+        metric.distance(0, 3)
+        metric.distance(0, 3)
+        metric.distance(3, 0)  # symmetric key
+        assert metric.requests == 3
+        assert metric.evaluations == 1
+        assert metric.cache_size == 1
+
+    def test_reset_counters_keeps_cache(self, ring_graph):
+        metric = NetworkMetric(make_view(ring_graph))
+        metric.distance(0, 2)
+        metric.reset_counters()
+        assert metric.evaluations == 0
+        metric.distance(0, 2)
+        assert metric.evaluations == 0  # served by the retained cache
+
+    def test_point_distance_uses_point_node(self, ring_graph):
+        view = make_view(ring_graph, {10: 2})
+        metric = NetworkMetric(view)
+        assert metric.point_distance(10, 4) == pytest.approx(2.0)
+
+    def test_triangle_inequality_holds(self):
+        rng = random.Random(7)
+        graph = build_random_graph(rng, 20, 20, int_weights=False)
+        metric = NetworkMetric(make_view(graph))
+        for _ in range(20):
+            a, b, c = rng.sample(range(20), 3)
+            assert metric.distance(a, c) <= (
+                metric.distance(a, b) + metric.distance(b, c) + 1e-9
+            )

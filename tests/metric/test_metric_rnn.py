@@ -1,0 +1,144 @@
+"""Oracle tests for metric-index RNN retrieval."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.core.eager import eager_rknn
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.metric.rnn import MetricRnnIndex, metric_rknn, metric_rnn
+from repro.metric.vptree import SearchStats
+from tests.conftest import build_random_graph
+
+
+class TestMetricRnnBasics:
+    def test_running_example(self, p2p_db):
+        assert metric_rnn(p2p_db.view, 2) == [1, 2, 3]
+        assert metric_rnn(p2p_db.view, 4) == []
+
+    def test_empty_point_set(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        assert metric_rnn(db.view, 0) == []
+
+    def test_all_excluded(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        assert metric_rnn(db.view, 0, exclude={10}) == []
+
+    def test_index_rejects_empty_set(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            MetricRnnIndex(db.view)
+
+    def test_point_on_query_node(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0, 11: 3}))
+        assert 10 in metric_rnn(db.view, 0)
+
+    def test_single_point_qualifies_everywhere(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        assert metric_rnn(db.view, 0) == [10]
+
+    def test_unreachable_point_is_not_a_result(self):
+        graph = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        db = GraphDatabase(graph, NodePointSet({10: 0, 11: 2}))
+        # query in the right component: the left point is unreachable
+        assert metric_rnn(db.view, 4) == [11]
+
+    def test_index_reuse_across_queries(self, p2p_db):
+        index = MetricRnnIndex(p2p_db.view)
+        assert index.rnn(2) == [1, 2, 3]
+        assert index.rnn(4) == []
+        assert index.size == 3
+
+
+class TestMetricRnnCost:
+    def test_every_tree_visit_costs_a_distance_call(self, p2p_db):
+        index = MetricRnnIndex(p2p_db.view)
+        stats = SearchStats()
+        index.rnn(4, stats)
+        assert stats.distance_calls == stats.nodes_visited
+        assert stats.distance_calls >= 1
+
+    def test_construction_runs_dijkstras(self, p2p_db):
+        index = MetricRnnIndex(p2p_db.view)
+        # tree build + radius computation must have evaluated distances
+        assert index.metric.evaluations > 0
+
+
+class TestMetricRnnRandomized:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 25), rng.randint(0, 20))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        assert metric_rnn(db.view, query) == brute_force_rknn(
+            graph, points, query, 1
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exclusion_matches_eager(self, seed):
+        rng = random.Random(500 + seed)
+        graph = build_random_graph(rng, rng.randint(6, 20), rng.randint(0, 15))
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(2, 6))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        hidden = rng.choice(sorted(points.ids()))
+        query = points.node_of(hidden)
+        expected = eager_rknn(db.view, query, 1, exclude={hidden})
+        assert metric_rnn(db.view, query, exclude={hidden}) == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_float_weights(self, seed):
+        rng = random.Random(900 + seed)
+        graph = build_random_graph(rng, rng.randint(5, 20), rng.randint(0, 15),
+                                   int_weights=False)
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(1, 5))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        assert metric_rnn(db.view, query) == brute_force_rknn(
+            graph, points, query, 1
+        )
+
+
+class TestMetricRknnHigherOrders:
+    def test_k_must_be_positive(self, p2p_db):
+        with pytest.raises(QueryError):
+            MetricRnnIndex(p2p_db.view, k=0)
+
+    def test_k_exceeding_point_count_returns_all_reachable(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0, 11: 3}))
+        # with k=5 > |P|-1, every point's radius is infinite
+        assert metric_rknn(db.view, 1, k=5) == [10, 11]
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_oracle(self, seed, k):
+        rng = random.Random(3000 + seed)
+        graph = build_random_graph(rng, rng.randint(6, 22), rng.randint(0, 18))
+        count = rng.randint(2, max(2, graph.num_nodes // 2))
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        assert metric_rknn(db.view, query, k=k) == brute_force_rknn(
+            graph, points, query, k
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_eager_with_exclusion(self, seed):
+        rng = random.Random(4000 + seed)
+        graph = build_random_graph(rng, rng.randint(8, 20), rng.randint(0, 15))
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(3, 7))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        hidden = rng.choice(sorted(points.ids()))
+        query = points.node_of(hidden)
+        expected = eager_rknn(db.view, query, 2, exclude={hidden})
+        assert metric_rknn(db.view, query, 2, exclude={hidden}) == expected

@@ -1,0 +1,167 @@
+"""Tests for the VP-tree over abstract metrics."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.metric.vptree import SearchStats, VPTree
+
+
+def line_metric(u: int, v: int) -> float:
+    """Items live on the integer line: the simplest metric for tests."""
+    return float(abs(u - v))
+
+
+class TestConstruction:
+    def test_empty_items_rejected(self):
+        with pytest.raises(QueryError):
+            VPTree([], line_metric)
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(QueryError):
+            VPTree([1, 1, 2], line_metric)
+
+    def test_single_item_tree(self):
+        tree = VPTree([5], line_metric)
+        assert len(tree) == 1
+        assert tree.depth() == 1
+        assert tree.items() == [5]
+
+    def test_items_roundtrip(self):
+        items = [3, 1, 4, 1 + 10, 5, 9, 2, 6]
+        tree = VPTree(items, line_metric)
+        assert tree.items() == sorted(items)
+        assert len(tree) == len(items)
+
+    def test_depth_is_logarithmic_on_line(self):
+        tree = VPTree(list(range(128)), line_metric)
+        # median splits halve the set; allow slack for the vantage choice
+        assert tree.depth() <= 20
+
+
+class TestKnn:
+    def test_k_must_be_positive(self):
+        tree = VPTree([1, 2], line_metric)
+        with pytest.raises(QueryError):
+            tree.knn(0, 0)
+
+    def test_exact_nearest(self):
+        tree = VPTree([10, 20, 30, 40], line_metric)
+        assert tree.knn(22, 1) == [(20, 2.0)]
+
+    def test_k_larger_than_tree_returns_all(self):
+        tree = VPTree([10, 20], line_metric)
+        result = tree.knn(0, 5)
+        assert result == [(10, 10.0), (20, 20.0)]
+
+    def test_result_is_ascending(self):
+        tree = VPTree(list(range(0, 100, 7)), line_metric)
+        result = tree.knn(31, 4)
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        items = rng.sample(range(1000), rng.randint(2, 60))
+        tree = VPTree(items, line_metric)
+        query = rng.randrange(1000)
+        k = rng.randint(1, 5)
+        expected = sorted(
+            ((item, line_metric(item, query)) for item in items),
+            key=lambda pair: (pair[1], pair[0]),
+        )[:k]
+        assert tree.knn(query, k) == expected
+
+    def test_pruning_happens_on_clustered_data(self):
+        # two far-apart clusters: searching near one must prune the other
+        items = list(range(100, 110)) + list(range(100_000, 100_010))
+        tree = VPTree(items, line_metric)
+        stats = SearchStats()
+        tree.knn(105, 2, stats)
+        assert stats.nodes_pruned > 0
+        assert stats.nodes_visited < len(items)
+
+
+class TestRangeQuery:
+    def test_negative_radius_rejected(self):
+        tree = VPTree([1], line_metric)
+        with pytest.raises(QueryError):
+            tree.range_query(0, -1.0)
+
+    def test_radius_zero_finds_exact_match(self):
+        tree = VPTree([5, 10], line_metric)
+        assert tree.range_query(5, 0.0) == [(5, 0.0)]
+
+    def test_boundary_is_inclusive(self):
+        tree = VPTree([0, 10], line_metric)
+        assert tree.range_query(5, 5.0) == [(0, 5.0), (10, 5.0)]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(100 + seed)
+        items = rng.sample(range(500), rng.randint(2, 50))
+        tree = VPTree(items, line_metric)
+        query = rng.randrange(500)
+        radius = rng.uniform(0, 120)
+        expected = sorted(
+            (
+                (item, line_metric(item, query))
+                for item in items
+                if line_metric(item, query) <= radius
+            ),
+            key=lambda pair: (pair[1], pair[0]),
+        )
+        assert tree.range_query(query, radius) == expected
+
+
+class TestEnclosure:
+    def test_missing_radii_rejected(self):
+        tree = VPTree([1, 2], line_metric)
+        with pytest.raises(QueryError):
+            tree.set_vicinity_radii({1: 1.0})
+
+    def test_enclosure_respects_individual_radii(self):
+        tree = VPTree([0, 10, 30], line_metric)
+        tree.set_vicinity_radii({0: 4.0, 10: 25.0, 30: 1.0})
+        # query 8: |0-8|=8 > 4; |10-8|=2 <= 25; |30-8|=22 > 1
+        assert tree.enclosing(8) == [(10, 2.0)]
+
+    def test_boundary_tie_is_included(self):
+        tree = VPTree([0, 10], line_metric)
+        tree.set_vicinity_radii({0: 5.0, 10: 4.0})
+        assert tree.enclosing(5) == [(0, 5.0)]
+
+    def test_infinite_radius_encloses_everything(self):
+        tree = VPTree([0, 100], line_metric)
+        tree.set_vicinity_radii({0: math.inf, 100: 0.5})
+        assert tree.enclosing(50) == [(0, 50.0)]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(200 + seed)
+        items = rng.sample(range(500), rng.randint(2, 40))
+        radii = {item: rng.uniform(0, 80) for item in items}
+        tree = VPTree(items, line_metric)
+        tree.set_vicinity_radii(radii)
+        query = rng.randrange(500)
+        expected = sorted(
+            (
+                (item, line_metric(item, query))
+                for item in items
+                if line_metric(item, query) <= radii[item]
+            ),
+            key=lambda pair: (pair[1], pair[0]),
+        )
+        assert tree.enclosing(query) == expected
+
+    def test_enclosure_prunes_far_small_radius_subtrees(self):
+        items = list(range(0, 1000, 100))
+        radii = {item: 1.0 for item in items}
+        tree = VPTree(items, line_metric)
+        tree.set_vicinity_radii(radii)
+        stats = SearchStats()
+        tree.enclosing(0, stats)
+        assert stats.nodes_pruned > 0

@@ -1,0 +1,95 @@
+"""Tests for A* search and its heuristics."""
+
+import random
+
+import pytest
+
+from repro.datasets.spatial import generate_spatial
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.paths.astar import astar_path, euclidean_heuristic, zero_heuristic
+from repro.paths.dijkstra import shortest_path
+from tests.conftest import build_random_graph
+
+
+class TestAstarBasics:
+    def test_source_equals_target(self, ring_graph):
+        result = astar_path(ring_graph, 1, 1)
+        assert result.distance == 0.0
+        assert result.nodes == (1,)
+
+    def test_none_heuristic_is_dijkstra(self, p2p_graph):
+        for target in range(p2p_graph.num_nodes):
+            expected = shortest_path(p2p_graph, 4, target)
+            got = astar_path(p2p_graph, 4, target, heuristic=None)
+            assert got.distance == pytest.approx(expected.distance)
+
+    def test_zero_heuristic_returns_zero(self):
+        assert zero_heuristic(123) == 0.0
+
+    def test_unreachable(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert not astar_path(graph, 0, 2).found
+
+
+class TestEuclideanHeuristic:
+    def test_requires_coordinates_for_target(self):
+        with pytest.raises(QueryError):
+            euclidean_heuristic([(0.0, 0.0)], target=5)
+
+    def test_bound_is_zero_at_target(self):
+        coords = [(0.0, 0.0), (3.0, 4.0)]
+        h = euclidean_heuristic(coords, target=1)
+        assert h(1) == 0.0
+        assert h(0) == pytest.approx(5.0)
+
+    def test_scale_multiplies_bound(self):
+        coords = [(0.0, 0.0), (3.0, 4.0)]
+        h = euclidean_heuristic(coords, target=1, scale=0.5)
+        assert h(0) == pytest.approx(2.5)
+
+
+class TestAstarOnSpatialNetwork:
+    @pytest.fixture(scope="class")
+    def sf_like(self):
+        # weights equal Euclidean edge lengths: scale=1 bound is admissible
+        return generate_spatial(num_nodes=400, seed=7)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dijkstra_distance(self, sf_like, seed):
+        rng = random.Random(seed)
+        source, target = rng.sample(range(sf_like.num_nodes), 2)
+        expected = shortest_path(sf_like, source, target)
+        h = euclidean_heuristic(sf_like.coords, target)
+        got = astar_path(sf_like, source, target, heuristic=h)
+        assert got.distance == pytest.approx(expected.distance)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_settles_no_more_nodes_than_dijkstra(self, sf_like, seed):
+        rng = random.Random(100 + seed)
+        source, target = rng.sample(range(sf_like.num_nodes), 2)
+        plain = shortest_path(sf_like, source, target)
+        h = euclidean_heuristic(sf_like.coords, target)
+        guided = astar_path(sf_like, source, target, heuristic=h)
+        assert guided.nodes_settled <= plain.nodes_settled
+
+    def test_path_is_valid_edge_sequence(self, sf_like):
+        source, target = 0, sf_like.num_nodes - 1
+        h = euclidean_heuristic(sf_like.coords, target)
+        result = astar_path(sf_like, source, target, heuristic=h)
+        assert result.nodes[0] == source and result.nodes[-1] == target
+        total = sum(
+            sf_like.weight(u, v) for u, v in zip(result.nodes, result.nodes[1:])
+        )
+        assert total == pytest.approx(result.distance)
+
+
+class TestAstarRandomized:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_zero_heuristic_matches_dijkstra_everywhere(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(4, 30), rng.randint(0, 30))
+        source, target = rng.sample(range(graph.num_nodes), 2)
+        assert astar_path(graph, source, target).distance == pytest.approx(
+            shortest_path(graph, source, target).distance
+        )

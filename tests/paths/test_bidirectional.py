@@ -1,0 +1,72 @@
+"""Tests for bidirectional Dijkstra."""
+
+import math
+import random
+
+import pytest
+
+from repro.datasets.spatial import generate_spatial
+from repro.graph.graph import Graph
+from repro.paths.bidirectional import bidirectional_search
+from repro.paths.dijkstra import shortest_path
+from tests.conftest import build_random_graph
+
+
+class TestBidirectionalBasics:
+    def test_source_equals_target(self, ring_graph):
+        result = bidirectional_search(ring_graph, 2, 2)
+        assert result.distance == 0.0
+        assert result.nodes == (2,)
+
+    def test_adjacent_nodes(self, path_graph):
+        result = bidirectional_search(path_graph, 1, 2)
+        assert result.distance == 3.0
+        assert result.nodes == (1, 2)
+
+    def test_full_path_on_weighted_path(self, path_graph):
+        result = bidirectional_search(path_graph, 0, 4)
+        assert result.distance == 10.0
+        assert result.nodes == (0, 1, 2, 3, 4)
+
+    def test_unreachable(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        result = bidirectional_search(graph, 0, 3)
+        assert not result.found
+        assert math.isinf(result.distance)
+
+    def test_two_route_choice(self):
+        graph = Graph(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.5), (2, 3, 0.4)])
+        result = bidirectional_search(graph, 0, 3)
+        assert result.distance == pytest.approx(1.9)
+        assert result.nodes == (0, 2, 3)
+
+
+class TestBidirectionalRandomized:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_dijkstra(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(4, 40), rng.randint(0, 50),
+                                   int_weights=False)
+        source, target = rng.sample(range(graph.num_nodes), 2)
+        expected = shortest_path(graph, source, target)
+        got = bidirectional_search(graph, source, target)
+        assert got.distance == pytest.approx(expected.distance)
+        # the returned sequence must realize the claimed distance
+        total = sum(graph.weight(u, v) for u, v in zip(got.nodes, got.nodes[1:]))
+        assert total == pytest.approx(got.distance)
+        assert got.nodes[0] == source and got.nodes[-1] == target
+
+    def test_settles_fewer_nodes_on_planar_long_hauls(self):
+        graph = generate_spatial(num_nodes=900, seed=3)
+        rng = random.Random(0)
+        wins = 0
+        trials = 6
+        for _ in range(trials):
+            source, target = rng.sample(range(graph.num_nodes), 2)
+            plain = shortest_path(graph, source, target)
+            both = bidirectional_search(graph, source, target)
+            assert both.distance == pytest.approx(plain.distance)
+            if both.nodes_settled < plain.nodes_settled:
+                wins += 1
+        # two half-radius balls beat one full ball on most planar pairs
+        assert wins >= trials // 2

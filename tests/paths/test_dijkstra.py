@@ -1,0 +1,122 @@
+"""Unit and property tests for point-to-point Dijkstra."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph
+from repro.paths.dijkstra import (
+    shortest_path,
+    shortest_path_tree,
+    single_source_distances,
+)
+from tests.conftest import build_random_graph
+
+
+class TestShortestPathBasics:
+    def test_trivial_source_equals_target(self, path_graph):
+        result = shortest_path(path_graph, 2, 2)
+        assert result.distance == 0.0
+        assert result.nodes == (2,)
+        assert result.hops == 0
+
+    def test_path_on_weighted_path_graph(self, path_graph):
+        result = shortest_path(path_graph, 0, 4)
+        assert result.distance == 2 + 3 + 1 + 4
+        assert result.nodes == (0, 1, 2, 3, 4)
+        assert result.hops == 4
+
+    def test_picks_cheaper_of_two_routes(self):
+        # 0-1-2 costs 2; direct 0-2 costs 5
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        result = shortest_path(graph, 0, 2)
+        assert result.distance == 2.0
+        assert result.nodes == (0, 1, 2)
+
+    def test_unreachable_target(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        result = shortest_path(graph, 0, 3)
+        assert not result.found
+        assert math.isinf(result.distance)
+        assert result.nodes == ()
+
+    def test_early_termination_settles_local_ball(self):
+        # on a long path, reaching a nearby target must not settle the rest
+        n = 200
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        result = shortest_path(graph, 100, 103)
+        assert result.distance == 3.0
+        assert result.nodes_settled <= 8  # ball of radius 3 around node 100
+
+    def test_path_edges_exist_and_sum_to_distance(self, ring_graph):
+        result = shortest_path(ring_graph, 0, 3)
+        total = sum(
+            ring_graph.weight(u, v)
+            for u, v in zip(result.nodes, result.nodes[1:])
+        )
+        assert total == pytest.approx(result.distance)
+
+
+class TestShortestPathTree:
+    def test_tree_distances_match_per_target_queries(self, p2p_graph):
+        dist, parent = shortest_path_tree(p2p_graph, 4)
+        for node, d in dist.items():
+            assert shortest_path(p2p_graph, 4, node).distance == pytest.approx(d)
+        assert parent[4] == 4  # the source is its own parent
+
+    def test_max_dist_truncates_tree(self):
+        n = 50
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        dist = single_source_distances(graph, 0, max_dist=5.0)
+        assert set(dist) == set(range(6))
+
+    def test_parents_form_tree_rooted_at_source(self, ring_graph):
+        dist, parent = shortest_path_tree(ring_graph, 0)
+        for node in dist:
+            current = node
+            for _ in range(len(dist) + 1):
+                if current == 0:
+                    break
+                current = parent[current]
+            assert current == 0
+
+    def test_parent_edge_consistent_with_distance(self, p2p_graph):
+        dist, parent = shortest_path_tree(p2p_graph, 2)
+        for node, d in dist.items():
+            if node == 2:
+                continue
+            prev = parent[node]
+            assert dist[prev] + p2p_graph.weight(prev, node) == pytest.approx(d)
+
+
+class TestDijkstraAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_distances_match_networkx(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 40), rng.randint(0, 40),
+                                   int_weights=False)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(graph.num_nodes))
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        source, target = rng.sample(range(graph.num_nodes), 2)
+        expected = nx.shortest_path_length(nxg, source, target, weight="weight")
+        result = shortest_path(graph, source, target)
+        assert result.distance == pytest.approx(expected)
+        # the reported node sequence must itself realize the distance
+        total = sum(graph.weight(u, v) for u, v in zip(result.nodes, result.nodes[1:]))
+        assert total == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_single_source_matches_networkx(self, seed):
+        rng = random.Random(seed + 100)
+        graph = build_random_graph(rng, rng.randint(5, 25), rng.randint(0, 20))
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(graph.num_nodes))
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        source = rng.randrange(graph.num_nodes)
+        expected = nx.single_source_dijkstra_path_length(nxg, source)
+        assert single_source_distances(graph, source) == pytest.approx(expected)

@@ -1,0 +1,109 @@
+"""Tests for the ALT landmark index."""
+
+import random
+
+import pytest
+
+from repro.datasets.brite import generate_brite
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.paths.astar import astar_path
+from repro.paths.dijkstra import shortest_path, single_source_distances
+from repro.paths.landmarks import LandmarkIndex
+from tests.conftest import build_random_graph
+
+
+class TestLandmarkConstruction:
+    def test_requires_positive_count(self, ring_graph):
+        with pytest.raises(QueryError):
+            LandmarkIndex.build(ring_graph, 6, count=0)
+
+    def test_count_cannot_exceed_nodes(self, ring_graph):
+        with pytest.raises(QueryError):
+            LandmarkIndex.build(ring_graph, 6, count=7)
+
+    def test_unknown_strategy_rejected(self, ring_graph):
+        with pytest.raises(QueryError):
+            LandmarkIndex.build(ring_graph, 6, count=2, strategy="nearest")
+
+    def test_mismatched_tables_rejected(self):
+        with pytest.raises(QueryError):
+            LandmarkIndex([0, 1], [{0: 0.0}])
+
+    def test_landmarks_are_distinct(self, ring_graph):
+        index = LandmarkIndex.build(ring_graph, 6, count=4)
+        assert len(set(index.landmarks)) == 4
+
+    def test_storage_entries_counts_pairs(self, ring_graph):
+        index = LandmarkIndex.build(ring_graph, 6, count=3)
+        assert index.storage_entries == 3 * 6
+
+    def test_farthest_strategy_spreads_landmarks(self):
+        # on a path, the second farthest-pick must be an endpoint far
+        # from the first landmark
+        n = 30
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        index = LandmarkIndex.build(graph, n, count=2, seed=1)
+        first, second = index.landmarks
+        dist = single_source_distances(graph, first)
+        assert dist[second] == max(dist.values())
+
+    def test_random_strategy_builds(self, ring_graph):
+        index = LandmarkIndex.build(ring_graph, 6, count=3, strategy="random")
+        assert len(index.landmarks) == 3
+
+
+class TestLandmarkBounds:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lower_bound_is_admissible(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 30))
+        index = LandmarkIndex.build(graph, graph.num_nodes, count=3, seed=seed)
+        for _ in range(10):
+            u, v = rng.sample(range(graph.num_nodes), 2)
+            true = shortest_path(graph, u, v).distance
+            assert index.lower_bound(u, v) <= true + 1e-9
+
+    def test_bound_to_landmark_is_exact(self, ring_graph):
+        index = LandmarkIndex.build(ring_graph, 6, count=1, seed=0)
+        landmark = index.landmarks[0]
+        for node in range(6):
+            true = shortest_path(ring_graph, node, landmark).distance
+            assert index.lower_bound(node, landmark) == pytest.approx(true)
+
+    def test_bound_is_symmetric(self, p2p_graph):
+        index = LandmarkIndex.build(p2p_graph, p2p_graph.num_nodes, count=2)
+        for u in range(p2p_graph.num_nodes):
+            for v in range(p2p_graph.num_nodes):
+                assert index.lower_bound(u, v) == index.lower_bound(v, u)
+
+    def test_disconnected_landmark_contributes_nothing(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        index = LandmarkIndex([0], [single_source_distances(graph, 0)])
+        assert index.lower_bound(2, 3) == 0.0
+
+
+class TestLandmarkGuidedAstar:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_alt_astar_is_exact(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(6, 40), rng.randint(0, 40),
+                                   int_weights=False)
+        index = LandmarkIndex.build(graph, graph.num_nodes, count=4, seed=seed)
+        source, target = rng.sample(range(graph.num_nodes), 2)
+        expected = shortest_path(graph, source, target).distance
+        got = astar_path(graph, source, target, heuristic=index.heuristic(target))
+        assert got.distance == pytest.approx(expected)
+
+    def test_alt_astar_no_worse_than_dijkstra_on_brite(self):
+        graph = generate_brite(300, seed=5)
+        index = LandmarkIndex.build(graph, graph.num_nodes, count=6, seed=0)
+        rng = random.Random(2)
+        for _ in range(5):
+            source, target = rng.sample(range(graph.num_nodes), 2)
+            plain = shortest_path(graph, source, target)
+            guided = astar_path(
+                graph, source, target, heuristic=index.heuristic(target)
+            )
+            assert guided.distance == pytest.approx(plain.distance)
+            assert guided.nodes_settled <= plain.nodes_settled

@@ -1,0 +1,98 @@
+"""Unit tests for data-point sets."""
+
+import pytest
+
+from repro.errors import PointError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet, NodePointSet
+
+
+class TestNodePointSet:
+    def test_basic_lookups(self):
+        points = NodePointSet({10: 0, 11: 3})
+        assert len(points) == 2
+        assert 10 in points and 12 not in points
+        assert points.node_of(10) == 0
+        assert points.point_at(3) == 11
+        assert points.point_at(1) is None
+
+    def test_one_point_per_node(self):
+        with pytest.raises(PointError):
+            NodePointSet({10: 0, 11: 0})
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(PointError):
+            NodePointSet([(10, 0), (10, 1)])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(PointError):
+            NodePointSet({-1: 0})
+
+    def test_unknown_point_rejected(self):
+        points = NodePointSet({10: 0})
+        with pytest.raises(PointError):
+            points.node_of(99)
+
+    def test_validate_against_graph(self, path_graph):
+        NodePointSet({10: 4}).validate(path_graph)
+        with pytest.raises(PointError):
+            NodePointSet({10: 99}).validate(path_graph)
+
+    def test_with_point_and_without_point(self):
+        points = NodePointSet({10: 0})
+        grown = points.with_point(11, 2)
+        assert 11 in grown and 11 not in points
+        shrunk = grown.without_point(10)
+        assert 10 not in shrunk and 11 in shrunk
+
+    def test_with_point_duplicate_rejected(self):
+        with pytest.raises(PointError):
+            NodePointSet({10: 0}).with_point(10, 1)
+
+
+class TestEdgePointSet:
+    def test_basic_lookups(self):
+        points = EdgePointSet({10: (0, 1, 0.5), 11: (0, 1, 1.5), 12: (2, 3, 0.0)})
+        assert len(points) == 3
+        assert points.location(10) == (0, 1, 0.5)
+        assert points.points_on(0, 1) == [(10, 0.5), (11, 1.5)]
+        assert points.points_on(1, 0) == [(10, 0.5), (11, 1.5)]
+        assert points.points_on(3, 4) == []
+
+    def test_points_sorted_by_offset(self):
+        points = EdgePointSet({10: (0, 1, 1.5), 11: (0, 1, 0.5)})
+        assert points.points_on(0, 1) == [(11, 0.5), (10, 1.5)]
+
+    def test_non_canonical_edge_rejected(self):
+        with pytest.raises(PointError):
+            EdgePointSet({10: (1, 0, 0.5)})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PointError):
+            EdgePointSet({10: (1, 1, 0.5)})
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(PointError):
+            EdgePointSet({10: (0, 1, -0.5)})
+
+    def test_validate_against_graph(self, path_graph):
+        EdgePointSet({10: (0, 1, 1.0)}).validate(path_graph)
+        with pytest.raises(PointError):  # missing edge
+            EdgePointSet({10: (0, 4, 1.0)}).validate(path_graph)
+        with pytest.raises(PointError):  # offset beyond edge weight
+            EdgePointSet({10: (0, 1, 5.0)}).validate(path_graph)
+
+    def test_edges_with_points(self):
+        points = EdgePointSet({10: (0, 1, 0.5), 11: (2, 3, 0.1)})
+        assert sorted(points.edges_with_points()) == [(0, 1), (2, 3)]
+
+    def test_with_and_without_point(self):
+        points = EdgePointSet({10: (0, 1, 0.5)})
+        grown = points.with_point(11, (0, 1, 1.0))
+        assert 11 in grown
+        shrunk = grown.without_point(10)
+        assert 10 not in shrunk
+
+    def test_multiple_points_same_edge_allowed(self):
+        points = EdgePointSet({i: (0, 1, float(i)) for i in range(5)})
+        assert len(points.points_on(0, 1)) == 5

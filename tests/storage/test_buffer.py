@@ -1,0 +1,106 @@
+"""Unit tests for the LRU buffer manager."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.stats import CostTracker
+
+
+def loader(value):
+    return lambda: value
+
+
+class TestBufferBasics:
+    def test_miss_then_hit(self):
+        tracker = CostTracker()
+        buffer = BufferManager(4, tracker)
+        assert buffer.get("a", loader(1)) == 1
+        assert tracker.page_reads == 1
+        assert buffer.get("a", loader(99)) == 1  # cached, loader unused
+        assert tracker.buffer_hits == 1
+        assert tracker.page_reads == 1
+
+    def test_zero_capacity_always_faults(self):
+        tracker = CostTracker()
+        buffer = BufferManager(0, tracker)
+        for _ in range(3):
+            assert buffer.get("a", loader(1)) == 1
+        assert tracker.page_reads == 3
+        assert tracker.buffer_hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferManager(-1)
+
+    def test_bad_span_rejected(self):
+        buffer = BufferManager(2)
+        with pytest.raises(StorageError):
+            buffer.get("a", loader(1), span=0)
+
+
+class TestLruEviction:
+    def test_lru_victim_is_least_recent(self):
+        tracker = CostTracker()
+        buffer = BufferManager(2, tracker)
+        buffer.get("a", loader(1))
+        buffer.get("b", loader(2))
+        buffer.get("a", loader(1))      # touch a: b is now LRU
+        buffer.get("c", loader(3))      # evicts b
+        reads_before = tracker.page_reads
+        buffer.get("a", loader(1))      # still cached
+        assert tracker.page_reads == reads_before
+        buffer.get("b", loader(2))      # faults again
+        assert tracker.page_reads == reads_before + 1
+
+    def test_capacity_respected(self):
+        buffer = BufferManager(3)
+        for key in range(10):
+            buffer.get(key, loader(key))
+        assert len(buffer) == 3
+        assert buffer.used_slots == 3
+
+    def test_oversized_page_occupies_multiple_slots(self):
+        tracker = CostTracker()
+        buffer = BufferManager(3, tracker)
+        buffer.get("big", loader("B"), span=2)
+        assert tracker.page_reads == 2  # charged per physical slot
+        assert buffer.used_slots == 2
+        buffer.get("a", loader(1))
+        assert buffer.used_slots == 3
+        buffer.get("b", loader(2))      # must evict something
+        assert buffer.used_slots <= 3
+
+    def test_page_larger_than_buffer_not_cached(self):
+        tracker = CostTracker()
+        buffer = BufferManager(1, tracker)
+        buffer.get("huge", loader("H"), span=5)
+        assert len(buffer) == 0
+        buffer.get("huge", loader("H"), span=5)
+        assert tracker.page_reads == 10  # faults both times
+
+
+class TestInvalidation:
+    def test_invalidate_forces_reload(self):
+        tracker = CostTracker()
+        buffer = BufferManager(4, tracker)
+        buffer.get("a", loader(1))
+        buffer.invalidate("a")
+        assert buffer.get("a", loader(2)) == 2
+        assert tracker.page_reads == 2
+
+    def test_put_installs_without_read(self):
+        tracker = CostTracker()
+        buffer = BufferManager(4, tracker)
+        buffer.put("a", 42)
+        assert tracker.page_reads == 0
+        assert buffer.get("a", loader(0)) == 42
+        assert tracker.buffer_hits == 1
+
+    def test_clear_empties_buffer(self):
+        buffer = BufferManager(4)
+        buffer.get("a", loader(1))
+        buffer.get("b", loader(2))
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.used_slots == 0

@@ -1,0 +1,172 @@
+"""Unit tests for the disk-resident stores."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskGraph, EdgePointStore, KnnListStore
+from repro.storage.stats import CostTracker
+
+
+@pytest.fixture
+def graph():
+    return Graph(5, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 4.0), (0, 4, 9.0)])
+
+
+@pytest.fixture
+def tracker():
+    return CostTracker()
+
+
+@pytest.fixture
+def buffer(tracker):
+    return BufferManager(8, tracker)
+
+
+class TestDiskGraph:
+    def test_neighbors_match_graph(self, graph, buffer):
+        disk = DiskGraph(graph, buffer)
+        for node in graph.nodes():
+            assert sorted(disk.neighbors(node)) == sorted(graph.neighbors(node))
+
+    def test_reads_are_charged(self, graph, buffer, tracker):
+        disk = DiskGraph(graph, buffer)
+        disk.neighbors(0)
+        assert tracker.page_reads >= 1
+
+    def test_repeated_read_hits_buffer(self, graph, buffer, tracker):
+        disk = DiskGraph(graph, buffer)
+        disk.neighbors(0)
+        reads = tracker.page_reads
+        disk.neighbors(0)
+        assert tracker.page_reads == reads
+        assert tracker.buffer_hits >= 1
+
+    def test_point_flags_stored(self, graph, buffer):
+        disk = DiskGraph(graph, buffer, point_nodes=frozenset({2}))
+        page = disk._load_page(disk.page_of(2))
+        assert page[2].has_point is True
+        assert page[3].has_point is False if 3 in page else True
+
+    def test_small_graph_fits_one_page(self, graph, buffer):
+        disk = DiskGraph(graph, buffer)
+        assert disk.num_pages == 1
+
+    def test_many_pages_with_tiny_page_size(self, graph, buffer):
+        disk = DiskGraph(graph, buffer, page_size=64)
+        assert disk.num_pages > 1
+        # every node still readable
+        for node in graph.nodes():
+            assert sorted(disk.neighbors(node)) == sorted(graph.neighbors(node))
+
+    def test_out_of_range_node_rejected(self, graph, buffer):
+        disk = DiskGraph(graph, buffer)
+        with pytest.raises(StorageError):
+            disk.neighbors(99)
+
+    def test_locality_of_bfs_packing(self, buffer):
+        # a long path packed in BFS order keeps adjacent nodes together
+        n = 200
+        path = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        disk = DiskGraph(path, buffer, page_size=256)
+        jumps = sum(
+            1
+            for i in range(n - 1)
+            if disk.page_of(i) != disk.page_of(i + 1)
+        )
+        assert jumps == disk.num_pages - 1  # consecutive nodes share pages
+
+
+class TestEdgePointStore:
+    def test_points_round_trip(self, graph, buffer):
+        points = EdgePointSet({10: (0, 1, 0.5), 11: (0, 1, 1.5), 12: (2, 3, 0.25)})
+        store = EdgePointStore(graph, points, buffer)
+        assert store.points_on(0, 1) == ((10, 0.5), (11, 1.5))
+        assert store.points_on(1, 0) == ((10, 0.5), (11, 1.5))  # either order
+        assert store.points_on(2, 3) == ((12, 0.25),)
+
+    def test_empty_edge_is_free(self, graph, buffer, tracker):
+        points = EdgePointSet({10: (0, 1, 0.5)})
+        store = EdgePointStore(graph, points, buffer)
+        before = tracker.page_reads
+        assert store.points_on(3, 4) == ()
+        assert tracker.page_reads == before  # index-only look-up
+
+    def test_insert_point(self, graph, buffer):
+        points = EdgePointSet({10: (0, 1, 0.5)})
+        store = EdgePointStore(graph, points, buffer)
+        store.insert_point(11, 0, 1, 1.0)
+        assert store.points_on(0, 1) == ((10, 0.5), (11, 1.0))
+
+    def test_insert_on_fresh_edge(self, graph, buffer):
+        store = EdgePointStore(graph, EdgePointSet({}), buffer)
+        store.insert_point(5, 2, 3, 0.75)
+        assert store.points_on(2, 3) == ((5, 0.75),)
+
+    def test_delete_point(self, graph, buffer):
+        points = EdgePointSet({10: (0, 1, 0.5), 11: (0, 1, 1.5)})
+        store = EdgePointStore(graph, points, buffer)
+        store.delete_point(10, 0, 1)
+        assert store.points_on(0, 1) == ((11, 1.5),)
+
+    def test_delete_last_point_clears_edge(self, graph, buffer):
+        points = EdgePointSet({10: (0, 1, 0.5)})
+        store = EdgePointStore(graph, points, buffer)
+        store.delete_point(10, 0, 1)
+        assert store.points_on(0, 1) == ()
+
+    def test_delete_missing_point_rejected(self, graph, buffer):
+        store = EdgePointStore(graph, EdgePointSet({10: (0, 1, 0.5)}), buffer)
+        with pytest.raises(StorageError):
+            store.delete_point(99, 0, 1)
+
+    def test_writes_are_charged(self, graph, buffer, tracker):
+        store = EdgePointStore(graph, EdgePointSet({10: (0, 1, 0.5)}), buffer)
+        before = tracker.page_writes
+        store.insert_point(11, 0, 1, 1.0)
+        assert tracker.page_writes > before
+
+    def test_offset_outside_edge_rejected(self, graph, buffer):
+        store = EdgePointStore(graph, EdgePointSet({}), buffer)
+        with pytest.raises(StorageError):
+            store.insert_point(5, 0, 1, 100.0)
+
+
+class TestKnnListStore:
+    def test_round_trip(self, buffer):
+        lists = {0: [(7, 1.0), (8, 2.0)], 2: [(9, 0.0)]}
+        store = KnnListStore(3, 2, lists, buffer)
+        assert store.get(0) == ((7, 1.0), (8, 2.0))
+        assert store.get(1) == ()
+        assert store.get(2) == ((9, 0.0),)
+
+    def test_put_rewrites_in_place(self, buffer):
+        store = KnnListStore(3, 2, {}, buffer)
+        store.put(1, [(5, 3.0)])
+        assert store.get(1) == ((5, 3.0),)
+        store.put(1, [(5, 3.0), (6, 4.0)])
+        assert store.get(1) == ((5, 3.0), (6, 4.0))
+
+    def test_put_beyond_capacity_rejected(self, buffer):
+        store = KnnListStore(2, 1, {}, buffer)
+        with pytest.raises(StorageError):
+            store.put(0, [(1, 1.0), (2, 2.0)])
+
+    def test_reads_and_writes_charged(self, buffer, tracker):
+        store = KnnListStore(4, 2, {0: [(7, 1.0)]}, buffer)
+        store.get(0)
+        assert tracker.page_reads >= 1
+        store.put(0, [(7, 1.0), (8, 2.0)])
+        assert tracker.page_writes >= 1
+
+    def test_invalid_capacity_rejected(self, buffer):
+        with pytest.raises(StorageError):
+            KnnListStore(2, 0, {}, buffer)
+
+    def test_distinct_stores_do_not_alias(self, buffer):
+        first = KnnListStore(2, 1, {0: [(1, 1.0)]}, buffer)
+        second = KnnListStore(2, 1, {0: [(2, 9.0)]}, buffer)
+        assert first.get(0) == ((1, 1.0),)
+        assert second.get(0) == ((2, 9.0),)

@@ -1,0 +1,94 @@
+"""Tests for the paged directed-network store."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.storage.buffer import BufferManager
+from repro.storage.disk_directed import DiskDiGraph, weak_bfs_order
+from repro.storage.stats import CostTracker
+
+
+def make_digraph(arcs, num_nodes=None):
+    return DiGraph.from_arcs(arcs, num_nodes=num_nodes)
+
+
+def make_store(graph, buffer_pages=16, **kwargs):
+    tracker = CostTracker()
+    buffer = BufferManager(buffer_pages, tracker)
+    return DiskDiGraph(graph, buffer, **kwargs), tracker
+
+
+class TestWeakBfsOrder:
+    def test_is_a_permutation(self):
+        graph = make_digraph([(0, 1, 1.0), (2, 1, 1.0), (3, 4, 1.0)], 5)
+        order = weak_bfs_order(graph)
+        assert sorted(order) == list(range(5))
+
+    def test_crosses_arc_directions(self):
+        # 0 -> 1 <- 2: node 2 is only reachable against arc direction
+        graph = make_digraph([(0, 1, 1.0), (2, 1, 1.0)], 3)
+        order = weak_bfs_order(graph, seed=0)
+        assert order.index(2) <= 2  # found through the weak adjacency
+
+    def test_covers_disconnected_components(self):
+        graph = make_digraph([(0, 1, 1.0), (2, 3, 1.0)], 4)
+        assert sorted(weak_bfs_order(graph)) == [0, 1, 2, 3]
+
+
+class TestDiskDiGraph:
+    def test_round_trips_both_directions(self):
+        rng = random.Random(3)
+        arcs = []
+        seen = set()
+        for _ in range(60):
+            u, v = rng.sample(range(20), 2)
+            if (u, v) not in seen:
+                seen.add((u, v))
+                arcs.append((u, v, float(rng.randint(1, 9))))
+        graph = make_digraph(arcs, 20)
+        store, _ = make_store(graph)
+        for node in range(20):
+            assert sorted(store.out_neighbors(node)) == sorted(
+                graph.out_neighbors(node)
+            )
+            assert sorted(store.in_neighbors(node)) == sorted(
+                graph.in_neighbors(node)
+            )
+
+    def test_reads_are_charged(self):
+        graph = make_digraph([(0, 1, 1.0), (1, 2, 1.0)], 3)
+        store, tracker = make_store(graph, buffer_pages=1)
+        store.out_neighbors(0)
+        store.in_neighbors(2)
+        assert tracker.logical_reads >= 2
+
+    def test_forward_and_backward_are_separate_files(self):
+        graph = make_digraph([(0, 1, 1.0)], 2)
+        store, _ = make_store(graph)
+        assert store.out_neighbors(0) == ((1, 1.0),)
+        assert store.in_neighbors(0) == ()
+        assert store.out_neighbors(1) == ()
+        assert store.in_neighbors(1) == ((0, 1.0),)
+
+    def test_out_of_range_node_rejected(self):
+        graph = make_digraph([(0, 1, 1.0)], 2)
+        store, _ = make_store(graph)
+        with pytest.raises(StorageError):
+            store.out_neighbors(2)
+        with pytest.raises(StorageError):
+            store.in_neighbors(-1)
+
+    def test_bad_order_rejected(self):
+        graph = make_digraph([(0, 1, 1.0)], 2)
+        tracker = CostTracker()
+        buffer = BufferManager(4, tracker)
+        with pytest.raises(StorageError):
+            DiskDiGraph(graph, buffer, order=[0, 0])
+
+    def test_num_pages_counts_both_directions(self):
+        graph = make_digraph([(0, 1, 1.0), (1, 0, 2.0)], 2)
+        store, _ = make_store(graph)
+        assert store.num_pages >= 2

@@ -1,0 +1,108 @@
+"""Unit tests for page record serialization."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.page import (
+    AdjacencyRecord,
+    EdgePointRecord,
+    KnnRecord,
+    adjacency_record_size,
+    decode_adjacency_page,
+    decode_edge_point_page,
+    decode_knn_page,
+    edge_record_size,
+    encode_adjacency_page,
+    encode_edge_point_page,
+    encode_knn_page,
+    knn_record_size,
+    pack_records,
+)
+
+
+class TestAdjacencyPages:
+    def test_round_trip_single_record(self):
+        record = AdjacencyRecord(7, True, ((1, 2.5), (3, 0.25)))
+        decoded = decode_adjacency_page(encode_adjacency_page([record]))
+        assert decoded == [record]
+
+    def test_round_trip_multiple_records(self):
+        records = [
+            AdjacencyRecord(0, False, ((1, 1.0),)),
+            AdjacencyRecord(1, True, ((0, 1.0), (2, 7.0))),
+            AdjacencyRecord(2, False, ()),
+        ]
+        assert decode_adjacency_page(encode_adjacency_page(records)) == records
+
+    def test_empty_page(self):
+        assert decode_adjacency_page(encode_adjacency_page([])) == []
+
+    def test_size_formula_matches_encoding(self):
+        record = AdjacencyRecord(9, False, tuple((i, 1.0) for i in range(5)))
+        payload = encode_adjacency_page([record])
+        # page header (2 bytes) + the record itself
+        assert len(payload) == 2 + adjacency_record_size(5)
+
+    def test_weights_survive_exactly(self):
+        record = AdjacencyRecord(0, False, ((1, 0.1 + 0.2),))
+        (decoded,) = decode_adjacency_page(encode_adjacency_page([record]))
+        assert decoded.neighbors[0][1] == 0.1 + 0.2
+
+
+class TestEdgePointPages:
+    def test_round_trip(self):
+        records = [
+            EdgePointRecord(0, 1, ((5, 0.5), (6, 2.5))),
+            EdgePointRecord(1, 2, ()),
+        ]
+        assert decode_edge_point_page(encode_edge_point_page(records)) == records
+
+    def test_size_formula(self):
+        record = EdgePointRecord(3, 4, ((1, 1.0), (2, 2.0), (3, 3.0)))
+        payload = encode_edge_point_page([record])
+        assert len(payload) == 2 + edge_record_size(3)
+
+
+class TestKnnPages:
+    def test_round_trip_with_padding(self):
+        records = [
+            KnnRecord(0, ((9, 1.5),), capacity=3),
+            KnnRecord(1, ((9, 0.5), (8, 2.5), (7, 3.5)), capacity=3),
+            KnnRecord(2, (), capacity=3),
+        ]
+        decoded = decode_knn_page(encode_knn_page(records), capacity=3)
+        assert decoded == records
+
+    def test_fixed_record_size(self):
+        payloads = [
+            encode_knn_page([KnnRecord(0, entries, capacity=4)])
+            for entries in ((), ((1, 1.0),), ((1, 1.0), (2, 2.0)))
+        ]
+        assert len({len(p) for p in payloads}) == 1
+        assert len(payloads[0]) == 2 + knn_record_size(4)
+
+    def test_overfull_record_rejected(self):
+        with pytest.raises(StorageError):
+            encode_knn_page([KnnRecord(0, ((1, 1.0), (2, 2.0)), capacity=1)])
+
+
+class TestPackRecords:
+    def test_groups_respect_page_size(self):
+        pages = pack_records([30, 30, 30, 30], page_size=70)
+        assert pages == [[0, 1], [2, 3]]
+
+    def test_oversized_record_gets_own_page(self):
+        pages = pack_records([10, 500, 10], page_size=100)
+        assert pages == [[0], [1], [2]]
+
+    def test_single_page_when_everything_fits(self):
+        assert pack_records([10, 10, 10], page_size=4096) == [[0, 1, 2]]
+
+    def test_preserves_order(self):
+        pages = pack_records([40, 40, 40, 40, 40], page_size=100)
+        flattened = [i for page in pages for i in page]
+        assert flattened == [0, 1, 2, 3, 4]
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(StorageError):
+            pack_records([10, 0, 10])

@@ -1,0 +1,72 @@
+"""Unit tests for cost tracking and the 10 ms/I-O cost model."""
+
+import time
+
+from repro.storage.stats import CostModel, CostTracker, QueryCost
+
+
+class TestCostTracker:
+    def test_snapshot_is_independent(self):
+        tracker = CostTracker()
+        tracker.page_reads = 5
+        snap = tracker.snapshot()
+        tracker.page_reads = 9
+        assert snap.page_reads == 5
+
+    def test_diff_subtracts_every_counter(self):
+        tracker = CostTracker()
+        before = tracker.snapshot()
+        tracker.page_reads += 3
+        tracker.page_writes += 1
+        tracker.buffer_hits += 7
+        tracker.nodes_visited += 11
+        tracker.heap_pushes += 2
+        tracker.heap_pops += 2
+        tracker.range_nn_calls += 1
+        tracker.verifications += 4
+        diff = tracker.diff(before)
+        assert diff.page_reads == 3
+        assert diff.page_writes == 1
+        assert diff.buffer_hits == 7
+        assert diff.nodes_visited == 11
+        assert diff.heap_pushes == 2
+        assert diff.heap_pops == 2
+        assert diff.range_nn_calls == 1
+        assert diff.verifications == 4
+
+    def test_io_operations_property(self):
+        tracker = CostTracker(page_reads=4, page_writes=2)
+        assert tracker.io_operations == 6
+        assert tracker.logical_reads == 4
+
+    def test_time_block_accumulates(self):
+        tracker = CostTracker()
+        with tracker.time_block():
+            time.sleep(0.01)
+        assert tracker.cpu_seconds >= 0.005
+
+    def test_reset(self):
+        tracker = CostTracker(page_reads=5, cpu_seconds=1.0)
+        tracker.reset()
+        assert tracker.page_reads == 0
+        assert tracker.cpu_seconds == 0.0
+
+
+class TestCostModel:
+    def test_default_penalty_is_ten_ms(self):
+        counters = CostTracker(page_reads=10, cpu_seconds=0.5)
+        assert CostModel().total_seconds(counters) == 0.5 + 10 * 0.010
+
+    def test_writes_charged_by_default(self):
+        counters = CostTracker(page_reads=1, page_writes=2)
+        assert CostModel().total_seconds(counters) == 3 * 0.010
+
+    def test_writes_optional(self):
+        counters = CostTracker(page_reads=1, page_writes=2)
+        model = CostModel(charge_writes=False)
+        assert model.total_seconds(counters) == 0.010
+
+    def test_query_cost_wrapper(self):
+        counters = CostTracker(page_reads=2, cpu_seconds=0.1)
+        cost = QueryCost(io=2, cpu_seconds=0.1, counters=counters)
+        assert cost.total_seconds() == 0.1 + 0.02

@@ -1,0 +1,126 @@
+"""Tests for the bichromatic stream monitor."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.paths.dijkstra import single_source_distances
+from repro.streams.monitor import BichromaticRnnMonitor, MembershipEvent
+from tests.conftest import build_random_graph
+
+
+def oracle_bichromatic(graph, points, queries, qid, k):
+    """p in bRkNN(q) iff fewer than k *other* queries are strictly
+    closer to p than q (ties favor q)."""
+    fields = {q: single_source_distances(graph, node)
+              for q, node in queries.items()}
+    result = []
+    for pid in points.ids():
+        node = points.node_of(pid)
+        dq = fields[qid].get(node)
+        if dq is None:
+            continue
+        closer = sum(
+            1 for other in queries
+            if other != qid and fields[other].get(node, float("inf")) < dq - 1e-12
+        )
+        if closer < k:
+            result.append(pid)
+    return sorted(result)
+
+
+class TestBichromaticValidation:
+    def test_needs_two_queries(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            BichromaticRnnMonitor(db, {0: 1})
+
+    def test_rejects_bad_k(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            BichromaticRnnMonitor(db, {0: 1, 1: 4}, k=0)
+
+    def test_rejects_out_of_range_node(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            BichromaticRnnMonitor(db, {0: 1, 1: 99})
+
+
+class TestBichromaticSemantics:
+    def test_points_split_between_two_stands(self):
+        # path of 7 nodes, stands at both ends: points go to the nearer
+        graph = Graph(7, [(i, i + 1, 1.0) for i in range(6)])
+        db = GraphDatabase(graph, NodePointSet({10: 1, 11: 5, 12: 3}))
+        monitor = BichromaticRnnMonitor(db, {0: 0, 1: 6})
+        assert monitor.result(0) == [10, 12]  # node 3 ties: favors each
+        assert monitor.result(1) == [11, 12]
+
+    def test_unreachable_points_belong_to_nobody(self):
+        graph = Graph(5, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        db = GraphDatabase(graph, NodePointSet({10: 1}))
+        monitor = BichromaticRnnMonitor(db, {0: 2, 1: 4})
+        assert monitor.result(0) == []
+        assert monitor.result(1) == []
+
+    def test_k2_admits_second_choice(self):
+        graph = Graph(7, [(i, i + 1, 1.0) for i in range(6)])
+        db = GraphDatabase(graph, NodePointSet({10: 1}))
+        monitor = BichromaticRnnMonitor(db, {0: 0, 1: 3, 2: 6}, k=2)
+        # the point's stand ranking is 0 (d=1), 1 (d=2), 2 (d=5)
+        assert monitor.result(0) == [10]
+        assert monitor.result(1) == [10]
+        assert monitor.result(2) == []
+
+    def test_insert_and_delete_events(self):
+        graph = Graph(7, [(i, i + 1, 1.0) for i in range(6)])
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = BichromaticRnnMonitor(db, {0: 0, 1: 6})
+        events = monitor.insert(10, 1)
+        assert events == [MembershipEvent(0, 10, "join")]
+        events = monitor.delete(10)
+        assert events == [MembershipEvent(0, 10, "leave")]
+        assert monitor.total_influence() == 0
+
+    def test_aggregates(self):
+        graph = Graph(7, [(i, i + 1, 1.0) for i in range(6)])
+        db = GraphDatabase(graph, NodePointSet({10: 1, 11: 2, 12: 5}))
+        monitor = BichromaticRnnMonitor(db, {0: 0, 1: 6})
+        assert monitor.counts() == {0: 2, 1: 1}
+        assert monitor.total_influence() == 3
+        assert monitor.most_influential() == (0, 2)
+
+
+class TestBichromaticAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_random_streams_match_oracle(self, seed, k):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(8, 22), rng.randint(4, 20))
+        query_nodes = rng.sample(range(graph.num_nodes), 3)
+        queries = {qid: node for qid, node in enumerate(query_nodes)}
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = BichromaticRnnMonitor(db, queries, k=k)
+
+        live: dict[int, int] = {}
+        next_pid = 100
+        for _ in range(12):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                del live[victim]
+                monitor.delete(victim)
+            else:
+                taken = set(live.values())
+                free = [n for n in range(graph.num_nodes) if n not in taken]
+                if not free:
+                    continue
+                node = rng.choice(free)
+                live[next_pid] = node
+                monitor.insert(next_pid, node)
+                next_pid += 1
+            points = NodePointSet(dict(live))
+            for qid in queries:
+                expected = oracle_bichromatic(graph, points, queries, qid, k)
+                assert monitor.result(qid) == expected

@@ -1,0 +1,149 @@
+"""Tests for the continuous RkNN stream monitor."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet
+from repro.streams.monitor import MembershipEvent, RnnMonitor
+from tests.conftest import build_random_graph
+
+
+class TestMonitorValidation:
+    def test_requires_restricted_network(self):
+        graph = Graph(3, [(0, 1, 4.0), (1, 2, 4.0)])
+        db = GraphDatabase(graph, EdgePointSet({5: (0, 1, 1.0)}))
+        with pytest.raises(QueryError):
+            RnnMonitor(db, {0: 0})
+
+    def test_requires_queries(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            RnnMonitor(db, {})
+
+    def test_rejects_bad_k(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            RnnMonitor(db, {0: 0}, k=0)
+
+    def test_rejects_out_of_range_query_node(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            RnnMonitor(db, {0: 99})
+
+    def test_rejects_undersized_existing_materialization(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0}))
+        db.materialize(1)
+        with pytest.raises(QueryError):
+            RnnMonitor(db, {0: 3}, k=2)
+
+    def test_unknown_query_id(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        monitor = RnnMonitor(db, {0: 2})
+        with pytest.raises(QueryError):
+            monitor.result(99)
+
+
+class TestMonitorInitialState:
+    def test_initial_results_match_oracle(self, p2p_graph):
+        placement = {1: 5, 2: 6, 3: 7}
+        db = GraphDatabase(p2p_graph, NodePointSet(placement))
+        monitor = RnnMonitor(db, {0: 2, 1: 4})
+        for qid, node in ((0, 2), (1, 4)):
+            expected = brute_force_rknn(p2p_graph, db.points, node, 1)
+            assert monitor.result(qid) == expected
+
+    def test_empty_point_set_has_empty_results(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        monitor = RnnMonitor(db, {0: 1})
+        assert monitor.result(0) == []
+        assert monitor.counts() == {0: 0}
+        assert monitor.total_influence() == 0
+
+
+class TestMonitorUpdates:
+    def test_insert_produces_join_events(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        monitor = RnnMonitor(db, {0: 0})
+        events = monitor.insert(10, 3)
+        assert MembershipEvent(0, 10, "join") in events
+        assert monitor.result(0) == [10]
+
+    def test_closer_insert_evicts_member(self):
+        # query at node 0 of a path; p at node 2 is its RNN until a
+        # point lands at node 1 (which ties with the query for p's
+        # attention -- ties keep the query, so p leaves)
+        graph = Graph(6, [(i, i + 1, 1.0) for i in range(5)])
+        db = GraphDatabase(graph, NodePointSet({10: 2}))
+        monitor = RnnMonitor(db, {0: 0})
+        assert monitor.result(0) == [10]
+        events = monitor.insert(11, 1)
+        kinds = {(e.point_id, e.kind) for e in events}
+        assert (11, "join") in kinds
+        assert (10, "leave") in kinds
+        assert monitor.result(0) == [11]
+
+    def test_delete_restores_membership(self):
+        graph = Graph(6, [(i, i + 1, 1.0) for i in range(5)])
+        db = GraphDatabase(graph, NodePointSet({10: 2, 11: 1}))
+        monitor = RnnMonitor(db, {0: 0})
+        assert monitor.result(0) == [11]
+        events = monitor.delete(11)
+        assert MembershipEvent(0, 10, "join") in events
+        assert MembershipEvent(0, 11, "leave") in events
+        assert monitor.result(0) == [10]
+
+    def test_unreachable_point_never_joins(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = RnnMonitor(db, {0: 0})
+        monitor.insert(10, 2)  # other component
+        assert monitor.result(0) == []
+
+    def test_aggregates(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 1, 11: 4}))
+        monitor = RnnMonitor(db, {0: 0, 1: 3})
+        counts = monitor.counts()
+        assert counts == {0: 2, 1: 2}  # both points tie toward each query
+        assert monitor.total_influence() == 4
+        qid, size = monitor.most_influential()
+        assert size == 2
+
+
+class TestMonitorAgainstRecomputation:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_random_streams_match_oracle(self, seed, k):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(8, 22), rng.randint(4, 20))
+        query_nodes = rng.sample(range(graph.num_nodes), 3)
+        queries = {qid: node for qid, node in enumerate(query_nodes)}
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = RnnMonitor(db, queries, k=k)
+
+        live: dict[int, int] = {}
+        next_pid = 100
+        for _ in range(14):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(sorted(live))
+                del live[victim]
+                monitor.delete(victim)
+            else:
+                taken = set(live.values())
+                free = [n for n in range(graph.num_nodes) if n not in taken]
+                if not free:
+                    continue
+                node = rng.choice(free)
+                live[next_pid] = node
+                monitor.insert(next_pid, node)
+                next_pid += 1
+            points = NodePointSet(dict(live))
+            for qid, qnode in queries.items():
+                expected = brute_force_rknn(graph, points, qnode, k)
+                assert monitor.result(qid) == expected, (
+                    f"seed={seed} k={k} qid={qid} live={live}"
+                )

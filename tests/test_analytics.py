@@ -1,0 +1,112 @@
+"""Tests for the cost/selectivity estimation module."""
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet, QueryError
+from repro.analytics import (
+    estimate_query_cost,
+    estimate_selectivity,
+    expansion_profile,
+    expected_selectivity,
+    recommend_method,
+)
+from repro.datasets.brite import generate_brite
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import place_edge_points, place_node_points
+
+
+@pytest.fixture(scope="module")
+def brite_db():
+    graph = generate_brite(1_500, seed=1)
+    points = place_node_points(graph, 0.03, seed=2)
+    return GraphDatabase(graph, points)
+
+
+@pytest.fixture(scope="module")
+def road_db():
+    graph = generate_spatial(1_500, seed=3)
+    points = place_edge_points(graph, 0.03, seed=4)
+    return GraphDatabase(graph, points, node_order="hilbert")
+
+
+class TestExpectedSelectivity:
+    def test_equals_k(self):
+        assert expected_selectivity(1) == 1.0
+        assert expected_selectivity(7) == 7.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(QueryError):
+            expected_selectivity(0)
+
+
+class TestEstimateSelectivity:
+    def test_mean_near_k(self, brite_db):
+        # the closed-form expectation is k; a 30-query sample should land
+        # in the right ballpark
+        estimate = estimate_selectivity(brite_db, k=2, samples=30, seed=5)
+        assert 0.5 * 2 <= estimate.mean <= 2.0 * 2
+        assert estimate.expected == 2.0
+        assert estimate.maximum >= estimate.mean
+
+    def test_k1(self, road_db):
+        estimate = estimate_selectivity(road_db, k=1, samples=20, seed=6)
+        assert 0.3 <= estimate.mean <= 3.0
+
+    def test_empty_points_rejected(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({}))
+        with pytest.raises(QueryError):
+            estimate_selectivity(db)
+
+
+class TestExpansionProfile:
+    def test_brite_is_exponential(self, brite_db):
+        profile = expansion_profile(brite_db, samples=6, seed=7)
+        assert profile.exponential
+        assert profile.growth_ratio > 2.2
+
+    def test_road_network_is_not(self, road_db):
+        profile = expansion_profile(road_db, samples=6, seed=8)
+        assert not profile.exponential
+
+    def test_ball_sizes_monotone(self, road_db):
+        profile = expansion_profile(road_db, samples=4, seed=9)
+        sizes = profile.hop_ball_sizes
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] == 1.0
+
+
+class TestEstimateQueryCost:
+    def test_reports_costs(self, road_db):
+        estimate = estimate_query_cost(road_db, k=1, method="eager", samples=5)
+        assert estimate.io_mean > 0
+        assert estimate.total_mean_s >= estimate.cpu_mean_s
+
+    def test_methods_comparable(self, brite_db):
+        eager = estimate_query_cost(brite_db, k=1, method="eager", samples=5)
+        lazy = estimate_query_cost(brite_db, k=1, method="lazy", samples=5)
+        # exponential expansion: eager visits no more pages overall
+        assert eager.io_mean <= 2.0 * lazy.io_mean
+
+
+class TestRecommendMethod:
+    def test_prefers_materialized(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+        db.materialize(3)
+        rec = recommend_method(db, k=2)
+        assert rec.method == "eager-m"
+
+    def test_insufficient_capacity_falls_back(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+        db.materialize(2)
+        rec = recommend_method(db, k=2)  # needs K >= 3 for k=2 + exclusion
+        assert rec.method == "eager"
+
+    def test_exponential_network_gets_eager(self, brite_db):
+        rec = recommend_method(brite_db, k=1, samples=5)
+        assert rec.method == "eager"
+        assert "exponential" in rec.rationale
+
+    def test_road_network_gets_eager_with_io_rationale(self, road_db):
+        rec = recommend_method(road_db, k=1, samples=5)
+        assert rec.method == "eager"
+        assert "I/O" in rec.rationale

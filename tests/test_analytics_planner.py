@@ -1,0 +1,119 @@
+"""Tests for the network report and the calibrating planner."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.analytics.planner import CalibratingPlanner
+from repro.analytics.report import network_report
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import generate_dblp
+from repro.errors import QueryError
+from tests.conftest import build_random_graph
+
+
+def seeded_db(seed=0, num_nodes=30, num_points=6):
+    rng = random.Random(seed)
+    graph = build_random_graph(rng, num_nodes, num_nodes)
+    nodes = rng.sample(range(graph.num_nodes), num_points)
+    return GraphDatabase(
+        graph, NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+    )
+
+
+class TestNetworkReport:
+    def test_basic_shape(self):
+        db = seeded_db()
+        report = network_report(db)
+        assert report.num_nodes == db.graph.num_nodes
+        assert report.num_edges == db.graph.num_edges
+        assert report.num_points == 6
+        assert report.density == pytest.approx(6 / 30)
+        assert report.restricted
+        assert report.degrees.minimum <= report.degrees.mean
+        assert report.degrees.mean <= report.degrees.maximum
+        assert report.weights.minimum <= report.weights.mean
+        assert report.weights.mean <= report.weights.maximum
+
+    def test_unit_weight_detection(self):
+        coauth = generate_dblp(num_nodes=200, seed=1)
+        db = GraphDatabase(coauth.graph, NodePointSet({0: 0}))
+        report = network_report(db)
+        assert report.weights.unit_weights
+
+    def test_brite_is_exponential_and_skewed(self):
+        graph = generate_brite(600, seed=2)
+        db = GraphDatabase(graph, NodePointSet({0: 0}))
+        report = network_report(db, samples=6)
+        assert report.expansion.exponential
+        assert report.degrees.skewed
+
+    def test_summary_lines_mention_key_figures(self):
+        db = seeded_db()
+        lines = network_report(db).summary_lines()
+        text = "\n".join(lines)
+        assert "|V| = 30" in text
+        assert "density" in text
+        assert "expansion" in text
+
+
+class TestPlannerValidation:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(QueryError):
+            CalibratingPlanner(seeded_db(), methods=("fastest",))
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(QueryError):
+            CalibratingPlanner(seeded_db(), methods=())
+
+    def test_bad_samples_rejected(self):
+        with pytest.raises(QueryError):
+            CalibratingPlanner(seeded_db(), samples=0)
+
+
+class TestPlannerBehaviour:
+    def test_eager_m_requires_materialization(self):
+        db = seeded_db()
+        planner = CalibratingPlanner(db, samples=2)
+        assert "eager-m" not in planner.usable_methods(1)
+        db.materialize(2)
+        assert "eager-m" in planner.usable_methods(1)
+        # capacity 2 is not enough for k = 2 (query-point exclusion)
+        assert "eager-m" not in planner.usable_methods(2)
+
+    def test_calibration_picks_cheapest_alternative(self):
+        db = seeded_db(seed=3)
+        planner = CalibratingPlanner(db, methods=("eager", "lazy"), samples=3)
+        plan = planner.calibrate(1)
+        best = min(plan.alternatives, key=lambda est: est.total_mean_s)
+        assert plan.method == best.method
+        assert plan.estimated_seconds == pytest.approx(best.total_mean_s)
+
+    def test_plan_is_cached(self):
+        db = seeded_db(seed=4)
+        planner = CalibratingPlanner(db, methods=("eager",), samples=2)
+        first = planner.plan_for(1)
+        assert planner.plan_for(1) is first
+
+    def test_planned_query_matches_direct_query(self):
+        db = seeded_db(seed=5)
+        planner = CalibratingPlanner(db, methods=("eager", "lazy"), samples=2)
+        plan = planner.plan_for(1)
+        query = db.points.node_of(100)
+        planned = planner.rknn(query, 1, exclude={100})
+        direct = db.rknn(query, 1, method=plan.method, exclude={100})
+        assert planned.points == direct.points
+
+    def test_explain_lists_all_alternatives(self):
+        db = seeded_db(seed=6)
+        planner = CalibratingPlanner(db, methods=("eager", "lazy"), samples=2)
+        text = planner.plan_for(1).explain()
+        assert "eager" in text and "lazy" in text
+        assert "->" in text
+
+    def test_no_usable_methods_raises(self):
+        db = seeded_db(seed=7)
+        planner = CalibratingPlanner(db, methods=("eager-m",), samples=2)
+        with pytest.raises(QueryError):
+            planner.calibrate(1)

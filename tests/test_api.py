@@ -1,0 +1,188 @@
+"""Tests for the public GraphDatabase facade."""
+
+import pytest
+
+from repro import (
+    EdgePointSet,
+    GraphDatabase,
+    NodePointSet,
+    QueryError,
+)
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def db(path_graph):
+    return GraphDatabase(path_graph, NodePointSet({10: 0, 11: 4}))
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        db = GraphDatabase.from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+        assert db.graph.num_nodes == 3
+        assert db.restricted
+
+    def test_empty_points_default(self, path_graph):
+        db = GraphDatabase(path_graph)
+        assert db.restricted
+        assert db.rknn(2, 1).points == ()
+
+    def test_points_validated(self, path_graph):
+        with pytest.raises(Exception):
+            GraphDatabase(path_graph, NodePointSet({10: 999}))
+
+    def test_hilbert_order_requires_coords(self, path_graph):
+        with pytest.raises(Exception):
+            GraphDatabase(path_graph, node_order="hilbert")
+
+    def test_unknown_order_rejected(self, path_graph):
+        with pytest.raises(QueryError):
+            GraphDatabase(path_graph, node_order="random")
+
+    def test_unrestricted_mode(self, path_graph):
+        db = GraphDatabase(path_graph, EdgePointSet({10: (0, 1, 0.5)}))
+        assert not db.restricted
+
+
+class TestQueryValidation:
+    def test_unknown_method(self, db):
+        with pytest.raises(QueryError):
+            db.rknn(0, 1, method="oracle")
+
+    def test_bad_k(self, db):
+        with pytest.raises(QueryError):
+            db.rknn(0, 0)
+
+    def test_out_of_range_query(self, db):
+        with pytest.raises(QueryError):
+            db.rknn(99, 1)
+
+    def test_edge_query_on_restricted_network(self, db):
+        with pytest.raises(QueryError):
+            db.rknn((0, 1, 0.5), 1)
+
+    def test_eager_m_needs_materialization(self, db):
+        with pytest.raises(QueryError):
+            db.rknn(0, 1, method="eager-m")
+
+    def test_bichromatic_needs_reference(self, db):
+        with pytest.raises(QueryError):
+            db.bichromatic_rknn(0, 1)
+
+    def test_reference_mode_must_match(self, db):
+        with pytest.raises(QueryError):
+            db.attach_reference(EdgePointSet({100: (0, 1, 0.5)}))
+
+
+class TestResults:
+    def test_result_protocol(self, db):
+        result = db.rknn(2, 1)
+        assert set(result) == set(result.points)
+        assert (10 in result) == (10 in result.points)
+        assert len(result) == len(result.points)
+
+    def test_cost_fields_populated(self, db):
+        db.clear_buffer()
+        result = db.rknn(2, 1)
+        assert result.io >= 1
+        assert result.cpu_seconds >= 0.0
+        assert result.total_seconds() >= result.cpu_seconds
+
+    def test_stats_isolated_per_query(self, db):
+        first = db.rknn(2, 1)
+        second = db.rknn(2, 1)
+        # the second run hits the warm buffer: strictly no more I/O
+        assert second.io <= first.io
+
+    def test_reset_and_clear(self, db):
+        db.rknn(2, 1)
+        db.reset_stats()
+        assert db.tracker.page_reads == 0
+        db.clear_buffer()
+        result = db.rknn(2, 1)
+        assert result.io >= 1
+
+
+class TestNnQueries:
+    def test_knn(self, db):
+        assert db.knn(1, 2).neighbors == ((10, 2.0), (11, 8.0))
+
+    def test_range_nn(self, db):
+        assert db.range_nn(1, 2, 5.0).neighbors == ((10, 2.0),)
+
+    def test_network_distance(self, db):
+        assert db.network_distance(0, 4) == 10.0
+
+
+class TestUpdates:
+    def test_insert_then_query(self, db):
+        db.insert_point(12, 2)
+        assert 12 in db.rknn(2, 1).points
+
+    def test_delete_then_query(self, db):
+        db.delete_point(10)
+        assert 10 not in db.rknn(0, 2).points
+
+    def test_insert_maintains_materialization(self, db):
+        db.materialize(2)
+        db.insert_point(12, 2)
+        assert db.materialized.get(2)[0] == (12, 0.0)
+
+    def test_delete_maintains_materialization(self, db):
+        db.materialize(1)
+        db.delete_point(10)
+        assert db.materialized.get(0) == ((11, 10.0),)
+
+    def test_unrestricted_updates(self, path_graph):
+        db = GraphDatabase(path_graph, EdgePointSet({10: (0, 1, 0.5)}))
+        db.materialize(2)
+        db.insert_point(11, (3, 4, 1.0))
+        assert db.materialized.get(4)[0] == (11, 3.0)
+        db.delete_point(10)
+        assert [pid for pid, _ in db.materialized.get(0)] == [11]
+
+    def test_update_costs_reported(self, db):
+        db.materialize(1)
+        db.clear_buffer()
+        outcome = db.insert_point(12, 2)
+        assert outcome.io >= 1
+        assert outcome.affected_nodes >= 1
+
+
+class TestBufferSizing:
+    def test_zero_buffer_supported(self, path_graph):
+        db = GraphDatabase(path_graph, NodePointSet({10: 0}), buffer_pages=0)
+        first = db.rknn(2, 1)
+        second = db.rknn(2, 1)
+        assert first.points == second.points
+        assert second.io >= first.io  # nothing is ever cached
+
+    def test_small_pages_split_graph(self):
+        n = 64
+        graph = Graph(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+        db = GraphDatabase(graph, NodePointSet({10: 0}), page_size=128)
+        assert db.disk.num_pages > 1
+        assert db.rknn(n - 1, 1).points == (10,)
+
+
+class TestInRouteKnn:
+    def test_lists_and_cost(self, tmp_path):
+        from repro import GraphDatabase, NodePointSet
+        from repro.graph.graph import Graph
+
+        graph = Graph(6, [(i, i + 1, 1.0) for i in range(5)])
+        db = GraphDatabase(graph, NodePointSet({10: 0, 11: 5}))
+        stops, cost = db.in_route_knn([2, 3], k=1)
+        assert stops == [(2, [(10, 2.0)]), (3, [(11, 2.0)])]
+        assert cost.io >= 0 and cost.cpu_seconds >= 0
+
+    def test_rejected_on_unrestricted_networks(self):
+        from repro import EdgePointSet, GraphDatabase, QueryError
+        from repro.graph.graph import Graph
+
+        import pytest
+
+        graph = Graph(3, [(0, 1, 4.0), (1, 2, 4.0)])
+        db = GraphDatabase(graph, EdgePointSet({5: (0, 1, 1.0)}))
+        with pytest.raises(QueryError):
+            db.in_route_knn([0, 1])

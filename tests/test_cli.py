@@ -1,0 +1,176 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def saved_graph(tmp_path):
+    path = tmp_path / "net.graph"
+    code = main([
+        "generate", "--kind", "grid", "--nodes", "100",
+        "--density", "0.1", "--placement", "node",
+        "--seed", "3", "-o", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_file(self, saved_graph, capsys):
+        assert saved_graph.exists()
+
+    def test_all_kinds(self, tmp_path):
+        for kind in ("brite", "spatial", "grid"):
+            path = tmp_path / f"{kind}.graph"
+            assert main([
+                "generate", "--kind", kind, "--nodes", "120",
+                "--density", "0.05", "-o", str(path),
+            ]) == 0
+            assert path.exists()
+
+    def test_edge_placement(self, tmp_path, capsys):
+        path = tmp_path / "edges.graph"
+        assert main([
+            "generate", "--kind", "spatial", "--nodes", "150",
+            "--density", "0.05", "--placement", "edge", "-o", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "|P|=" in out
+
+    def test_no_points(self, tmp_path, capsys):
+        path = tmp_path / "bare.graph"
+        assert main([
+            "generate", "--kind", "grid", "--nodes", "64",
+            "--density", "0", "-o", str(path),
+        ]) == 0
+        assert "|P|=0" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_summarizes(self, saved_graph, capsys):
+        assert main(["info", str(saved_graph)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "points: 10" in out
+        assert "expansion:" in out
+
+
+class TestQuery:
+    def test_node_query(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "R1NN(5)" in out and "page I/Os" in out
+
+    def test_materialized_query(self, saved_graph, capsys):
+        assert main([
+            "query", str(saved_graph), "--query", "5",
+            "--k", "2", "--method", "eager-m", "--materialize", "3",
+        ]) == 0
+        assert "R2NN(5)" in capsys.readouterr().out
+
+    def test_methods_agree(self, saved_graph, capsys):
+        answers = set()
+        for method in ("eager", "lazy", "lazy-ep"):
+            main(["query", str(saved_graph), "--query", "7",
+                  "--method", method])
+            out = capsys.readouterr().out
+            answers.add(out.splitlines()[0])
+        assert len(answers) == 1
+
+    def test_edge_location_query(self, tmp_path, capsys):
+        path = tmp_path / "edges.graph"
+        main(["generate", "--kind", "spatial", "--nodes", "200",
+              "--density", "0.05", "--placement", "edge",
+              "--seed", "1", "-o", str(path)])
+        capsys.readouterr()
+        # find an actual edge to place the query on
+        from repro.graph.io import load_graph
+
+        graph, _ = load_graph(path)
+        u, v, w = next(iter(graph.edges()))
+        assert main([
+            "query", str(path), "--query", f"{u},{v},{w / 2}",
+        ]) == 0
+        assert "page I/Os" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_recommends(self, saved_graph, capsys):
+        assert main(["recommend", str(saved_graph), "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended method:" in out
+        assert "hop-ball growth" in out
+
+    def test_error_paths(self, tmp_path, capsys):
+        missing = tmp_path / "nope.graph"
+        with pytest.raises(FileNotFoundError):
+            main(["info", str(missing)])
+
+
+class TestReport:
+    def test_prints_characterization(self, saved_graph, capsys):
+        assert main(["report", str(saved_graph)]) == 0
+        out = capsys.readouterr().out
+        assert "|V| = " in out and "density" in out and "expansion:" in out
+
+
+class TestPath:
+    @pytest.fixture
+    def spatial_file(self, tmp_path):
+        path = tmp_path / "sp.graph"
+        main(["generate", "--kind", "spatial", "--nodes", "300",
+              "--density", "0.05", "--seed", "2", "-o", str(path)])
+        return path
+
+    def test_all_searches_agree(self, spatial_file, capsys):
+        capsys.readouterr()
+        distances = set()
+        for search in ("dijkstra", "astar", "alt", "bidirectional"):
+            assert main(["path", str(spatial_file), "--source", "0",
+                         "--target", "50", "--search", search]) == 0
+            out = capsys.readouterr().out
+            distances.add(out.splitlines()[0].split()[1])
+        assert len(distances) == 1
+
+    def test_path_line_lists_nodes(self, spatial_file, capsys):
+        capsys.readouterr()
+        main(["path", str(spatial_file), "--source", "0", "--target", "10"])
+        out = capsys.readouterr().out
+        assert "path: 0 ->" in out
+
+    def test_out_of_range_node_is_an_error(self, spatial_file, capsys):
+        assert main(["path", str(spatial_file), "--source", "0",
+                     "--target", "99999"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_astar_without_coords_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "b.graph"
+        main(["generate", "--kind", "brite", "--nodes", "120",
+              "--density", "0.05", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["path", str(path), "--source", "0", "--target", "5",
+                     "--search", "astar"]) == 1
+        assert "coordinates" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_prints_calibration(self, saved_graph, capsys):
+        assert main(["plan", str(saved_graph), "--k", "1",
+                     "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for k=1" in out
+        assert "->" in out
+
+    def test_materialize_enables_eager_m(self, saved_graph, capsys):
+        assert main(["plan", str(saved_graph), "--k", "1", "--samples", "2",
+                     "--materialize", "2"]) == 0
+        assert "eager-m" in capsys.readouterr().out
+
+    def test_plan_without_points_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "bare.graph"
+        main(["generate", "--kind", "grid", "--nodes", "64",
+              "--density", "0", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["plan", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""The documentation's code must run.
+
+Extracts the fenced ``python`` blocks from README.md and the package
+docstring example and executes them in one shared namespace, so the
+quickstart can never drift from the actual API.
+"""
+
+import re
+from pathlib import Path
+
+import repro
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeExamples:
+    def test_readme_has_python_blocks(self):
+        blocks = python_blocks(README.read_text())
+        assert len(blocks) >= 3
+
+    def test_blocks_execute_in_order(self):
+        blocks = python_blocks(README.read_text())
+        namespace: dict[str, object] = {}
+        for block in blocks:
+            exec(compile(block, str(README), "exec"), namespace)
+        # the quickstart leaves a database around with expected state
+        db = namespace["db"]
+        assert db.points is not None
+
+
+class TestPackageDocstring:
+    def test_module_quickstart_runs(self):
+        doc = repro.__doc__
+        code = re.search(
+            r"Quickstart::\n\n((?:    .*\n?)+)", doc
+        ).group(1)
+        source = "\n".join(line[4:] for line in code.splitlines())
+        namespace: dict[str, object] = {}
+        exec(compile(source, "repro.__doc__", "exec"), namespace)
+
+
+class TestExamples:
+    def test_every_example_compiles(self):
+        import py_compile
+
+        examples = sorted(
+            (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+        )
+        assert len(examples) >= 11
+        for script in examples:
+            py_compile.compile(str(script), doraise=True)
+
+    def test_quickstart_example_runs(self, capsys):
+        import runpy
+
+        script = (Path(__file__).resolve().parent.parent / "examples"
+                  / "quickstart.py")
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip()

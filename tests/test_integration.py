@@ -1,0 +1,137 @@
+"""End-to-end integration tests across the full stack.
+
+Each test drives the public API over a generated data set -- the same
+path the benchmarks and examples take -- and cross-checks results
+between algorithms and against the oracle.
+"""
+
+import pytest
+
+from repro import GraphDatabase
+from repro.core.baseline import brute_force_rknn
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.grid import generate_grid
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import (
+    data_queries,
+    place_edge_points,
+    place_node_points,
+    random_route,
+)
+
+ALL_METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
+
+
+class TestDblpFlow:
+    @pytest.fixture(scope="class")
+    def db(self):
+        dblp = generate_dblp(num_nodes=400, num_edges=1200, seed=1)
+        points = place_node_points(dblp.graph, 0.1, seed=2)
+        db = GraphDatabase(dblp.graph, points)
+        db.materialize(3)
+        return db
+
+    def test_methods_agree(self, db):
+        for query in data_queries(db.points, count=6, seed=3):
+            results = {
+                method: db.rknn(
+                    query.location, 2, method=method, exclude=query.exclude
+                ).points
+                for method in ALL_METHODS
+            }
+            assert len(set(results.values())) == 1, results
+
+    def test_matches_oracle(self, db):
+        (query,) = data_queries(db.points, count=1, seed=4)
+        want = brute_force_rknn(db.graph, db.points, query.location, 1, query.exclude)
+        got = list(db.rknn(query.location, 1, exclude=query.exclude).points)
+        assert got == want
+
+
+class TestBriteFlow:
+    @pytest.fixture(scope="class")
+    def db(self):
+        graph = generate_brite(800, seed=5)
+        points = place_node_points(graph, 0.05, seed=6)
+        db = GraphDatabase(graph, points)
+        db.materialize(2)
+        return db
+
+    def test_methods_agree(self, db):
+        for query in data_queries(db.points, count=5, seed=7):
+            results = {
+                method: db.rknn(
+                    query.location, 1, method=method, exclude=query.exclude
+                ).points
+                for method in ALL_METHODS
+            }
+            assert len(set(results.values())) == 1, results
+
+    def test_eager_visits_fewer_nodes_than_lazy(self, db):
+        """The exponential-expansion effect (paper Figs. 15-16)."""
+        eager_visited = 0
+        lazy_visited = 0
+        for query in data_queries(db.points, count=5, seed=8):
+            result = db.rknn(query.location, 1, method="eager",
+                             exclude=query.exclude)
+            eager_visited += result.counters.nodes_visited
+            result = db.rknn(query.location, 1, method="lazy",
+                             exclude=query.exclude)
+            lazy_visited += result.counters.nodes_visited
+        assert eager_visited < lazy_visited
+
+
+class TestSpatialFlow:
+    @pytest.fixture(scope="class")
+    def db(self):
+        graph = generate_spatial(900, seed=9)
+        points = place_edge_points(graph, 0.02, seed=10)
+        db = GraphDatabase(graph, points, node_order="hilbert")
+        db.materialize(3)
+        return db
+
+    def test_methods_agree_on_edge_queries(self, db):
+        for query in data_queries(db.points, count=4, seed=11):
+            results = {
+                method: db.rknn(
+                    query.location, 2, method=method, exclude=query.exclude
+                ).points
+                for method in ALL_METHODS
+            }
+            assert len(set(results.values())) == 1, results
+
+    def test_continuous_queries(self, db):
+        route = random_route(db.graph, 8, seed=12)
+        results = {
+            method: tuple(db.continuous_rknn(route, 1, method=method).points)
+            for method in ALL_METHODS
+        }
+        assert len(set(results.values())) == 1, results
+
+    def test_update_cycle_preserves_correctness(self, db):
+        pid = max(db.points.ids())
+        location = db.points.location(pid)
+        db.delete_point(pid)
+        db.insert_point(pid, location)
+        (query,) = data_queries(db.points, count=1, seed=13)
+        want = brute_force_rknn(db.graph, db.points, query.location, 1, query.exclude)
+        got = list(db.rknn(query.location, 1, method="eager-m",
+                           exclude=query.exclude).points)
+        assert got == want
+
+
+class TestGridFlow:
+    def test_grid_degree_sweep_runs(self):
+        for degree in (4.0, 5.0):
+            graph = generate_grid(400, average_degree=degree, seed=14)
+            points = place_node_points(graph, 0.05, seed=15)
+            db = GraphDatabase(graph, points)
+            (query,) = data_queries(points, count=1, seed=16)
+            results = {
+                method: db.rknn(
+                    query.location, 1, method=method, exclude=query.exclude
+                ).points
+                for method in ("eager", "lazy", "lazy-ep")
+            }
+            assert len(set(results.values())) == 1

@@ -1,0 +1,195 @@
+"""Integration tests across the related-work subsystems.
+
+Each test wires several packages together over a realistic generated
+data set, the way the examples do -- catching interface drift that
+unit tests scoped to one module would miss.
+"""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.analytics import CalibratingPlanner, network_report, recommend_method
+from repro.core.in_route import in_route_knn, in_route_nn_ids
+from repro.datasets.brite import generate_brite
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.spatial import generate_spatial
+from repro.datasets.workload import data_queries, place_node_points, random_route
+from repro.graph.interop import load_dimacs, load_metis, save_dimacs, save_metis
+from repro.hier.hepv import HierarchicalDistanceIndex
+from repro.metric.rnn import metric_rknn
+from repro.paths.astar import astar_path, euclidean_heuristic
+from repro.paths.dijkstra import shortest_path
+from repro.paths.landmarks import LandmarkIndex
+from repro.streams.monitor import BichromaticRnnMonitor, RnnMonitor
+from repro.voronoi.nvd import NetworkVoronoi
+from repro.voronoi.rnn import voronoi_rnn
+
+
+@pytest.fixture(scope="module")
+def spatial_db():
+    graph = generate_spatial(800, seed=21)
+    points = place_node_points(graph, 0.02, seed=22, first_id=100)
+    return GraphDatabase(graph, points, node_order="hilbert")
+
+
+class TestRnnMethodsAgreeAcrossSubsystems:
+    """eager, Voronoi and the metric index are three independent
+    implementations of the same query -- they must agree on real
+    workloads, not just on toy graphs."""
+
+    def test_on_spatial_workload(self, spatial_db):
+        queries = data_queries(spatial_db.points, count=6, seed=23)
+        for query in queries:
+            expected = sorted(
+                spatial_db.rknn(query.location, 1, method="eager",
+                                exclude=query.exclude).points
+            )
+            assert voronoi_rnn(spatial_db.view, query.location,
+                               exclude=query.exclude) == expected
+            assert metric_rknn(spatial_db.view, query.location, 1,
+                               exclude=query.exclude) == expected
+
+    def test_on_dblp_unit_weights(self):
+        coauth = generate_dblp(num_nodes=400, seed=4)
+        points = place_node_points(coauth.graph, 0.05, seed=5, first_id=100)
+        db = GraphDatabase(coauth.graph, points)
+        for query in data_queries(points, count=5, seed=6):
+            expected = sorted(
+                db.rknn(query.location, 1, method="lazy",
+                        exclude=query.exclude).points
+            )
+            assert voronoi_rnn(db.view, query.location,
+                               exclude=query.exclude) == expected
+
+
+class TestDistanceSubstratesAgree:
+    """Four distance oracles over the same spatial graph."""
+
+    def test_dijkstra_astar_hepv_agree(self, spatial_db):
+        graph = spatial_db.graph
+        index = HierarchicalDistanceIndex.build(graph, fragment_size=24)
+        landmarks = LandmarkIndex.build(graph, graph.num_nodes, count=4)
+        rng = random.Random(9)
+        for _ in range(8):
+            u, v = rng.sample(range(graph.num_nodes), 2)
+            reference = shortest_path(graph, u, v).distance
+            assert index.distance(u, v) == pytest.approx(reference)
+            h = euclidean_heuristic(graph.coords, v)
+            assert astar_path(graph, u, v, h).distance == pytest.approx(reference)
+            alt = astar_path(graph, u, v, landmarks.heuristic(v))
+            assert alt.distance == pytest.approx(reference)
+
+    def test_api_network_distance_matches_paths(self, spatial_db):
+        rng = random.Random(10)
+        u, v = rng.sample(range(spatial_db.graph.num_nodes), 2)
+        assert spatial_db.network_distance(u, v) == pytest.approx(
+            shortest_path(spatial_db.graph, u, v).distance
+        )
+
+
+class TestVoronoiDrivesMonitoring:
+    def test_cell_sizes_predict_bichromatic_influence(self):
+        """A stand's bichromatic RNN count over uniformly-spread taxis
+        tracks its Voronoi cell: every taxi strictly inside the cell
+        belongs to the stand's result."""
+        graph = generate_spatial(500, seed=30)
+        stands = {0: 10, 1: graph.num_nodes - 10}
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = BichromaticRnnMonitor(db, stands, k=1)
+        stand_db = GraphDatabase(
+            graph, NodePointSet({900 + sid: node for sid, node in stands.items()})
+        )
+        nvd = NetworkVoronoi.build(stand_db.view)
+        rng = random.Random(31)
+        taxis = {}
+        for pid in range(100, 130):
+            node = rng.randrange(graph.num_nodes)
+            if node in taxis.values() or node in stands.values():
+                continue
+            taxis[pid] = node
+            monitor.insert(pid, node)
+        for pid, node in taxis.items():
+            owners = nvd.owners_of(node)
+            if len(owners) == 1:
+                sid = owners[0] - 900
+                assert pid in monitor.result(sid)
+
+    def test_monochromatic_monitor_matches_direct_queries(self):
+        graph = generate_brite(300, seed=32)
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = RnnMonitor(db, {0: 5, 1: 100}, k=2)
+        rng = random.Random(33)
+        for pid in range(50, 62):
+            taken = {db.points.node_of(p) for p in db.points.ids()}
+            node = rng.choice([n for n in range(graph.num_nodes)
+                               if n not in taken])
+            monitor.insert(pid, node)
+        check_db = GraphDatabase(graph, db.points)
+        for qid, qnode in ((0, 5), (1, 100)):
+            direct = check_db.rknn(qnode, 2, method="eager")
+            assert monitor.result(qid) == sorted(direct.points)
+
+
+class TestInteropFeedsTheEngine:
+    def test_dimacs_round_trip_preserves_query_results(self, tmp_path,
+                                                        spatial_db):
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        save_dimacs(gr, spatial_db.graph, coordinates=co)
+        reloaded = load_dimacs(gr, coordinates=co)
+        db2 = GraphDatabase(reloaded, spatial_db.points, node_order="hilbert")
+        query = data_queries(spatial_db.points, count=1, seed=40)[0]
+        original = spatial_db.rknn(query.location, 2, exclude=query.exclude)
+        again = db2.rknn(query.location, 2, exclude=query.exclude)
+        assert original.points == again.points
+
+    def test_metis_round_trip_preserves_distances(self, tmp_path):
+        coauth = generate_dblp(num_nodes=250, seed=41)
+        path = tmp_path / "g.graph"
+        save_metis(path, coauth.graph)
+        reloaded = load_metis(path)
+        rng = random.Random(42)
+        for _ in range(5):
+            u, v = rng.sample(range(reloaded.num_nodes), 2)
+            assert shortest_path(reloaded, u, v).distance == \
+                shortest_path(coauth.graph, u, v).distance
+
+
+class TestPlanningOverGeneratedWorkloads:
+    def test_planner_and_rules_produce_usable_methods(self, spatial_db):
+        advice = recommend_method(spatial_db, k=1)
+        assert advice.method in ("eager", "lazy", "eager-m", "lazy-ep")
+        planner = CalibratingPlanner(spatial_db, methods=("eager", "lazy"),
+                                     samples=2)
+        plan = planner.plan_for(1)
+        result = planner.rknn(
+            spatial_db.points.node_of(100), 1, exclude={100}
+        )
+        assert plan.method in ("eager", "lazy")
+        assert result.points == spatial_db.rknn(
+            spatial_db.points.node_of(100), 1, method=plan.method,
+            exclude={100},
+        ).points
+
+    def test_report_describes_the_database(self, spatial_db):
+        report = network_report(spatial_db)
+        assert report.num_points == len(spatial_db.points)
+        assert not report.expansion.exponential  # spatial nets are local
+
+
+class TestRoutesAcrossSubsystems:
+    def test_in_route_ids_consistent_with_exact_lists(self, spatial_db):
+        route = random_route(spatial_db.graph, length=12, seed=50)
+        exact = in_route_knn(spatial_db.view, route, 2)
+        ids = in_route_nn_ids(spatial_db.view, route, 2)
+        for (node_a, neighbors), (node_b, id_set) in zip(exact, ids):
+            assert node_a == node_b
+            assert len(id_set) == len(neighbors)
+
+    def test_api_route_query_accounts_cost(self, spatial_db):
+        route = random_route(spatial_db.graph, length=6, seed=51)
+        spatial_db.clear_buffer()
+        stops, cost = spatial_db.in_route_knn(route, 1)
+        assert len(stops) == len(route)
+        assert cost.io > 0

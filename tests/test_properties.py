@@ -1,0 +1,241 @@
+"""Hypothesis property tests: every algorithm against the oracle, plus
+structural invariants of the storage and materialization layers."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EdgePointSet, GraphDatabase, NodePointSet
+from repro.core.baseline import (
+    brute_force_brknn,
+    brute_force_knn,
+    brute_force_rknn,
+    dijkstra,
+    location_distance,
+)
+from repro.core.expansion import distances_from
+from repro.graph.graph import Graph, edge_key
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes=18, int_weights=True):
+    """A connected random graph: random spanning tree + extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    weight = (
+        st.integers(min_value=1, max_value=9).map(float)
+        if int_weights
+        else st.floats(min_value=0.5, max_value=9.5, allow_nan=False)
+    )
+    edges = {}
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges[edge_key(node, parent)] = draw(weight)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and edge_key(u, v) not in edges:
+            edges[edge_key(u, v)] = draw(weight)
+    return Graph(n, [(u, v, w) for (u, v), w in edges.items()])
+
+
+@st.composite
+def restricted_instances(draw):
+    """(graph, points, query node, k) for monochromatic tests."""
+    graph = draw(connected_graphs())
+    n = graph.num_nodes
+    count = draw(st.integers(min_value=1, max_value=max(1, n // 2)))
+    nodes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+    query = draw(st.integers(min_value=0, max_value=n - 1))
+    k = draw(st.integers(min_value=1, max_value=3))
+    return graph, points, query, k
+
+
+@st.composite
+def dyadic_graphs(draw, max_nodes=12):
+    """Connected graphs whose weights are multiples of 1/16.
+
+    Dyadic weights (and the dyadic edge offsets below) make every path
+    sum exactly representable, so genuine distance differences are at
+    least 1/256 -- far above the library's documented 1e-9 relative tie
+    guard -- while exact ties remain exactly equal.  Adversarial inputs
+    with genuine differences *below* the guard are out of contract (the
+    guard deliberately reads them as ties).
+    """
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    weight = st.integers(min_value=8, max_value=152).map(lambda x: x / 16.0)
+    edges = {}
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges[edge_key(node, parent)] = draw(weight)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and edge_key(u, v) not in edges:
+            edges[edge_key(u, v)] = draw(weight)
+    return Graph(n, [(u, v, w) for (u, v), w in edges.items()])
+
+
+@st.composite
+def unrestricted_instances(draw):
+    """(graph, edge points, query location, k)."""
+    graph = draw(dyadic_graphs())
+    edges = list(graph.edges())
+
+    def dyadic_offset(weight: float) -> float:
+        return draw(st.integers(min_value=0, max_value=16)) / 16.0 * weight
+
+    count = draw(st.integers(min_value=1, max_value=min(8, len(edges) * 2)))
+    locations = {}
+    for i in range(count):
+        u, v, w = edges[draw(st.integers(0, len(edges) - 1))]
+        locations[100 + i] = (u, v, dyadic_offset(w))
+    points = EdgePointSet(locations)
+    if draw(st.booleans()):
+        query = draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    else:
+        u, v, w = edges[draw(st.integers(0, len(edges) - 1))]
+        query = (u, v, dyadic_offset(w))
+    k = draw(st.integers(min_value=1, max_value=2))
+    return graph, points, query, k
+
+
+class TestRknnAgainstOracle:
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_all_methods_restricted(self, instance):
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        db.materialize(k + 1)
+        want = brute_force_rknn(graph, points, query, k)
+        for method in ("eager", "lazy", "lazy-ep", "eager-m"):
+            assert list(db.rknn(query, k, method=method).points) == want, method
+
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_exclusion_restricted(self, instance):
+        graph, points, query, k = instance
+        coincident = points.point_at(query)
+        exclude = frozenset({coincident}) if coincident is not None else frozenset()
+        db = GraphDatabase(graph, points)
+        db.materialize(k + 1)
+        want = brute_force_rknn(graph, points, query, k, exclude)
+        for method in ("eager", "lazy", "lazy-ep", "eager-m"):
+            got = list(db.rknn(query, k, method=method, exclude=exclude).points)
+            assert got == want, method
+
+    @given(unrestricted_instances())
+    @settings(**SETTINGS)
+    def test_all_methods_unrestricted(self, instance):
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        db.materialize(k + 1)
+        want = brute_force_rknn(graph, points, query, k)
+        for method in ("eager", "lazy", "lazy-ep", "eager-m"):
+            assert list(db.rknn(query, k, method=method).points) == want, method
+
+
+class TestDefinitionInvariants:
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_monotone_in_k(self, instance):
+        """RkNN results are monotone: RkNN(q) subset-of R(k+1)NN(q)."""
+        graph, points, query, _ = instance
+        db = GraphDatabase(graph, points)
+        previous: set[int] = set()
+        for k in (1, 2, 3):
+            current = set(db.rknn(query, k).points)
+            assert previous <= current
+            previous = current
+
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_result_points_have_query_in_their_knn(self, instance):
+        """Direct check of the RkNN definition for every reported point."""
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        result = db.rknn(query, k).points
+        for pid in result:
+            node = points.node_of(pid)
+            dist_pq = location_distance(graph, node, query)
+            closer = [
+                other
+                for other, onode in points.items()
+                if other != pid
+                and location_distance(graph, node, onode) < dist_pq - 1e-9
+            ]
+            assert len(closer) < k
+
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_knn_is_sorted_and_consistent(self, instance):
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        got = db.knn(query, k).neighbors
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+        want = brute_force_knn(graph, points, query, k)
+        assert dists == [d for _, d in want]
+
+
+class TestSubstrateInvariants:
+    @given(connected_graphs())
+    @settings(**SETTINGS)
+    def test_disk_expansion_matches_dijkstra(self, graph):
+        db = GraphDatabase(graph, NodePointSet({}))
+        assert distances_from(db.view, [(0, 0.0)]) == dijkstra(graph, [(0, 0.0)])
+
+    @given(connected_graphs(), st.integers(min_value=64, max_value=512))
+    @settings(**SETTINGS)
+    def test_page_size_never_changes_results(self, graph, page_size):
+        points = NodePointSet({100: 0})
+        big = GraphDatabase(graph, points)
+        small = GraphDatabase(graph, points, page_size=page_size, buffer_pages=4)
+        for query in range(0, graph.num_nodes, max(1, graph.num_nodes // 4)):
+            assert big.rknn(query, 1).points == small.rknn(query, 1).points
+
+    @given(restricted_instances())
+    @settings(**SETTINGS)
+    def test_materialized_lists_sorted_and_bounded(self, instance):
+        graph, points, _, k = instance
+        db = GraphDatabase(graph, points)
+        db.materialize(k + 1)
+        for node in graph.nodes():
+            entries = db.materialized.get(node)
+            dists = [d for _, d in entries]
+            assert dists == sorted(dists)
+            assert len(entries) <= k + 1
+            assert len({pid for pid, _ in entries}) == len(entries)
+
+
+class TestBichromaticProperties:
+    @given(restricted_instances(), st.integers(min_value=0, max_value=10_000))
+    @settings(**SETTINGS)
+    def test_bichromatic_matches_oracle(self, instance, ref_seed):
+        graph, data, query, k = instance
+        import random
+
+        rng = random.Random(ref_seed)
+        count = rng.randint(1, max(1, graph.num_nodes // 3))
+        nodes = rng.sample(range(graph.num_nodes), count)
+        refs = NodePointSet({500 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, data)
+        db.attach_reference(refs)
+        db.materialize_reference(k + 1)
+        want = brute_force_brknn(graph, data, refs, query, k)
+        for method in ("eager", "lazy", "eager-m"):
+            got = list(db.bichromatic_rknn(query, k, method=method).points)
+            assert got == want, method

@@ -1,0 +1,268 @@
+"""Hypothesis property tests for the related-work subsystems.
+
+Mirrors tests/test_properties.py: randomized connected graphs, every
+new component checked against an oracle or a metric invariant.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.hier.fragments import partition_fragments
+from repro.hier.hepv import HierarchicalDistanceIndex
+from repro.metric.rnn import metric_rknn
+from repro.metric.vptree import VPTree
+from repro.paths.astar import astar_path
+from repro.paths.bidirectional import bidirectional_search
+from repro.paths.dijkstra import shortest_path, single_source_distances
+from repro.paths.landmarks import LandmarkIndex
+from repro.voronoi.nvd import NetworkVoronoi
+from repro.voronoi.rnn import voronoi_rnn
+from tests.test_properties import connected_graphs
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_pair(draw, int_weights=True):
+    graph = draw(connected_graphs(int_weights=int_weights))
+    source = draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    target = draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    return graph, source, target
+
+
+@st.composite
+def graph_and_points(draw):
+    graph = draw(connected_graphs())
+    count = draw(st.integers(min_value=1, max_value=max(1, graph.num_nodes // 2)))
+    nodes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+    query = draw(st.integers(min_value=0, max_value=graph.num_nodes - 1))
+    return graph, points, query
+
+
+class TestPathProperties:
+    @settings(**SETTINGS)
+    @given(graph_and_pair())
+    def test_network_distance_is_a_metric(self, data):
+        graph, u, v = data
+        duv = shortest_path(graph, u, v).distance
+        dvu = shortest_path(graph, v, u).distance
+        assert duv == dvu  # symmetry
+        assert (duv == 0.0) == (u == v)  # identity (positive weights)
+        # triangle inequality through every node
+        for w in range(graph.num_nodes):
+            dw = shortest_path(graph, u, w).distance
+            wv = shortest_path(graph, w, v).distance
+            assert duv <= dw + wv + 1e-9 * max(1.0, duv)
+
+    @settings(**SETTINGS)
+    @given(graph_and_pair(int_weights=False))
+    def test_all_searches_agree(self, data):
+        graph, u, v = data
+        expected = shortest_path(graph, u, v).distance
+        assert astar_path(graph, u, v).distance == expected
+        assert abs(bidirectional_search(graph, u, v).distance - expected) \
+            <= 1e-9 * max(1.0, expected)
+
+    @settings(**SETTINGS)
+    @given(graph_and_pair())
+    def test_path_realizes_distance(self, data):
+        graph, u, v = data
+        result = shortest_path(graph, u, v)
+        total = sum(graph.weight(a, b)
+                    for a, b in zip(result.nodes, result.nodes[1:]))
+        assert total == result.distance  # int weights: exact sum
+
+    @settings(**SETTINGS)
+    @given(graph_and_pair(), st.integers(min_value=1, max_value=4))
+    def test_landmark_bound_admissible_and_alt_exact(self, data, count):
+        graph, u, v = data
+        count = min(count, graph.num_nodes)
+        index = LandmarkIndex.build(graph, graph.num_nodes, count=count)
+        true = shortest_path(graph, u, v).distance
+        assert index.lower_bound(u, v) <= true + 1e-9 * max(1.0, true)
+        guided = astar_path(graph, u, v, heuristic=index.heuristic(v))
+        assert abs(guided.distance - true) <= 1e-9 * max(1.0, true)
+
+
+class TestHierProperties:
+    @settings(**SETTINGS)
+    @given(graph_and_pair(int_weights=False),
+           st.integers(min_value=1, max_value=20))
+    def test_hepv_distance_matches_dijkstra(self, data, fragment_size):
+        graph, u, v = data
+        index = HierarchicalDistanceIndex.build(graph, fragment_size)
+        expected = shortest_path(graph, u, v).distance
+        assert abs(index.distance(u, v) - expected) \
+            <= 1e-9 * max(1.0, expected)
+
+    @settings(**SETTINGS)
+    @given(connected_graphs(), st.integers(min_value=1, max_value=10))
+    def test_fragmentation_is_a_partition_of_connected_pieces(
+        self, graph, max_size
+    ):
+        frag = partition_fragments(graph, max_size)
+        seen = sorted(n for group in frag.members for n in group)
+        assert seen == list(range(graph.num_nodes))
+        assert all(len(group) <= max_size for group in frag.members)
+        for fid, border in enumerate(frag.borders):
+            assert set(border) <= set(frag.members[fid])
+
+
+class TestVoronoiProperties:
+    @settings(**SETTINGS)
+    @given(graph_and_points())
+    def test_nvd_distance_is_min_over_generators(self, data):
+        graph, points, _ = data
+        db = GraphDatabase(graph, points)
+        nvd = NetworkVoronoi.build(db.view)
+        fields = {
+            pid: single_source_distances(graph, node)
+            for pid, node in points.items()
+        }
+        for node in range(graph.num_nodes):
+            expected = min(field[node] for field in fields.values())
+            assert abs(nvd.distance_of(node) - expected) \
+                <= 1e-9 * max(1.0, expected)
+            # every thick owner attains the minimum
+            for owner in nvd.owners_of(node):
+                assert fields[owner][node] <= expected + 1e-6 * max(1.0, expected)
+
+    @settings(**SETTINGS)
+    @given(graph_and_points())
+    def test_voronoi_rnn_matches_oracle(self, data):
+        graph, points, query = data
+        db = GraphDatabase(graph, points)
+        assert voronoi_rnn(db.view, query) == brute_force_rknn(
+            graph, points, query, 1
+        )
+
+
+class TestMetricProperties:
+    @settings(**SETTINGS)
+    @given(graph_and_points(), st.integers(min_value=1, max_value=3))
+    def test_metric_rknn_matches_oracle(self, data, k):
+        graph, points, query = data
+        db = GraphDatabase(graph, points)
+        assert metric_rknn(db.view, query, k=k) == brute_force_rknn(
+            graph, points, query, k
+        )
+
+    @settings(**SETTINGS)
+    @given(graph_and_points(), st.integers(min_value=1, max_value=5))
+    def test_vptree_knn_matches_brute_force(self, data, k):
+        graph, points, query = data
+        db = GraphDatabase(graph, points)
+        fields = {
+            node: single_source_distances(graph, node)
+            for _, node in points.items()
+        }
+        tree = VPTree(sorted(fields), lambda a, b: fields[a].get(b, math.inf)
+                      if a in fields else fields[b][a])
+        got = tree.knn(query, k)
+        expected = sorted(
+            ((node, fields[node].get(query, math.inf)) for node in fields),
+            key=lambda pair: (pair[1], pair[0]),
+        )[:k]
+        # compare as multisets of distances (id ties may order differently)
+        assert [d for _, d in got] == [d for _, d in expected]
+        assert {n for n, _ in got} <= set(fields)
+
+
+@st.composite
+def stream_scenarios(draw):
+    """A graph, standing queries, and an insert/delete event script."""
+    graph = draw(connected_graphs(max_nodes=14))
+    query_count = draw(
+        st.integers(min_value=1, max_value=min(3, graph.num_nodes))
+    )
+    query_nodes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            min_size=query_count, max_size=query_count, unique=True,
+        )
+    )
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=0, max_value=graph.num_nodes - 1),
+            ),
+            min_size=1, max_size=10,
+        )
+    )
+    return graph, dict(enumerate(query_nodes)), script
+
+
+class TestStreamMonitorProperties:
+    @settings(**SETTINGS)
+    @given(stream_scenarios(), st.integers(min_value=1, max_value=2))
+    def test_monitor_always_matches_recomputation(self, scenario, k):
+        from repro import NodePointSet
+        from repro.streams.monitor import RnnMonitor
+
+        graph, queries, script = scenario
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = RnnMonitor(db, queries, k=k)
+        live: dict[int, int] = {}
+        next_pid = 100
+        for action, node in script:
+            if action == "insert" and node not in live.values():
+                live[next_pid] = node
+                monitor.insert(next_pid, node)
+                next_pid += 1
+            elif action == "delete" and live:
+                victim = sorted(live)[node % len(live)]
+                del live[victim]
+                monitor.delete(victim)
+            else:
+                continue
+            points = NodePointSet(dict(live))
+            for qid, qnode in queries.items():
+                assert monitor.result(qid) == brute_force_rknn(
+                    graph, points, qnode, k
+                )
+
+    @settings(**SETTINGS)
+    @given(stream_scenarios())
+    def test_events_are_consistent_with_results(self, scenario):
+        from repro import NodePointSet
+        from repro.streams.monitor import RnnMonitor
+
+        graph, queries, script = scenario
+        db = GraphDatabase(graph, NodePointSet({}))
+        monitor = RnnMonitor(db, queries, k=1)
+        shadow = {qid: set() for qid in queries}
+        next_pid = 100
+        live: dict[int, int] = {}
+        for action, node in script:
+            if action == "insert" and node not in live.values():
+                live[next_pid] = node
+                events = monitor.insert(next_pid, node)
+                next_pid += 1
+            elif action == "delete" and live:
+                victim = sorted(live)[node % len(live)]
+                del live[victim]
+                events = monitor.delete(victim)
+            else:
+                continue
+            for event in events:
+                if event.kind == "join":
+                    assert event.point_id not in shadow[event.query_id]
+                    shadow[event.query_id].add(event.point_id)
+                else:
+                    shadow[event.query_id].discard(event.point_id)
+            for qid in queries:
+                assert sorted(shadow[qid]) == monitor.result(qid)

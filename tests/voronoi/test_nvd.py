@@ -1,0 +1,172 @@
+"""Tests for network Voronoi diagram construction."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.paths.dijkstra import single_source_distances
+from repro.voronoi.nvd import NetworkVoronoi
+from tests.conftest import build_random_graph
+
+
+def build_db(graph, placement):
+    return GraphDatabase(graph, NodePointSet(placement))
+
+
+class TestBuildValidation:
+    def test_requires_generators(self, ring_graph):
+        db = build_db(ring_graph, {})
+        with pytest.raises(QueryError):
+            NetworkVoronoi.build(db.view)
+
+    def test_all_excluded_is_rejected(self, ring_graph):
+        db = build_db(ring_graph, {10: 0})
+        with pytest.raises(QueryError):
+            NetworkVoronoi.build(db.view, exclude=frozenset({10}))
+
+    def test_extra_seed_id_collision_rejected(self, ring_graph):
+        db = build_db(ring_graph, {10: 0})
+        with pytest.raises(QueryError):
+            NetworkVoronoi.build(db.view, extra_seeds={3: (10, 0.0)})
+
+    def test_unrestricted_rejected(self):
+        from repro.points.points import EdgePointSet
+
+        graph = Graph(3, [(0, 1, 4.0), (1, 2, 4.0)])
+        db = GraphDatabase(graph, EdgePointSet({5: (0, 1, 1.0)}))
+        with pytest.raises(QueryError):
+            NetworkVoronoi.build(db.view)
+
+
+class TestCellAssignment:
+    def test_single_generator_owns_everything(self, ring_graph):
+        db = build_db(ring_graph, {7: 2})
+        nvd = NetworkVoronoi.build(db.view)
+        assert nvd.cell_nodes(7) == list(range(6))
+        assert nvd.cell_sizes() == {7: 6}
+
+    def test_distance_matches_dijkstra(self, p2p_graph):
+        db = build_db(p2p_graph, {1: 5, 2: 6, 3: 7})
+        nvd = NetworkVoronoi.build(db.view)
+        per_gen = {
+            pid: single_source_distances(p2p_graph, node)
+            for pid, node in ((1, 5), (2, 6), (3, 7))
+        }
+        for node in range(p2p_graph.num_nodes):
+            expected = min(per_gen[pid][node] for pid in (1, 2, 3))
+            assert nvd.distance_of(node) == pytest.approx(expected)
+
+    def test_primary_owner_attains_minimum(self, p2p_graph):
+        db = build_db(p2p_graph, {1: 5, 2: 6, 3: 7})
+        nvd = NetworkVoronoi.build(db.view)
+        per_gen = {
+            pid: single_source_distances(p2p_graph, node)
+            for pid, node in ((1, 5), (2, 6), (3, 7))
+        }
+        for node in range(p2p_graph.num_nodes):
+            owner = nvd.cell_of(node)
+            assert per_gen[owner][node] == pytest.approx(nvd.distance_of(node))
+
+    def test_thick_owners_are_exactly_the_tied_generators(self):
+        # path 0-1-2-3-4, generators at both ends: node 2 is tied
+        graph = Graph(5, [(i, i + 1, 1.0) for i in range(4)])
+        db = build_db(graph, {10: 0, 11: 4})
+        nvd = NetworkVoronoi.build(db.view)
+        assert set(nvd.owners_of(2)) == {10, 11}
+        assert nvd.owners_of(1) == (10,)
+        assert nvd.owners_of(3) == (11,)
+
+    def test_primary_cells_partition_covered_nodes(self):
+        rng = random.Random(4)
+        graph = build_random_graph(rng, 40, 40)
+        placement = {100 + i: n for i, n in enumerate(rng.sample(range(40), 6))}
+        nvd = NetworkVoronoi.build(build_db(graph, placement).view)
+        sizes = nvd.cell_sizes()
+        assert sum(sizes.values()) == graph.num_nodes
+        all_nodes = sorted(
+            node for pid in placement for node in nvd.cell_nodes(pid)
+        )
+        assert all_nodes == list(range(40))
+
+    def test_disconnected_nodes_are_uncovered(self):
+        graph = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        db = build_db(graph, {9: 0})
+        nvd = NetworkVoronoi.build(db.view)
+        assert nvd.covers(1)
+        assert not nvd.covers(2)
+        with pytest.raises(QueryError):
+            nvd.cell_of(2)
+        with pytest.raises(QueryError):
+            nvd.distance_of(3)
+
+    def test_exclusion_removes_generator(self, ring_graph):
+        db = build_db(ring_graph, {10: 0, 11: 3})
+        nvd = NetworkVoronoi.build(db.view, exclude=frozenset({10}))
+        assert nvd.generators == (11,)
+        assert nvd.cell_nodes(11) == list(range(6))
+
+    def test_extra_seed_becomes_generator(self, ring_graph):
+        db = build_db(ring_graph, {10: 0})
+        nvd = NetworkVoronoi.build(db.view, extra_seeds={3: (-1, 0.0)})
+        assert -1 in nvd.generators
+        assert nvd.cell_of(3) == -1
+        assert 3 in nvd.cell_nodes(-1)
+
+    def test_generator_node_distance_zero(self, p2p_graph):
+        db = build_db(p2p_graph, {1: 5, 2: 6})
+        nvd = NetworkVoronoi.build(db.view)
+        assert nvd.distance_of(5) == 0.0
+        assert nvd.distance_of(6) == 0.0
+        assert nvd.cell_of(5) == 1
+        assert nvd.cell_of(6) == 2
+
+
+class TestAdjacency:
+    def test_two_cells_on_a_path_are_adjacent(self):
+        graph = Graph(6, [(i, i + 1, 1.0) for i in range(5)])
+        db = build_db(graph, {10: 0, 11: 5})
+        nvd = NetworkVoronoi.build(db.view)
+        assert nvd.neighbors_of_cell(db.view, 10) == {11}
+        assert nvd.neighbors_of_cell(db.view, 11) == {10}
+
+    def test_middle_cell_separates_end_cells(self):
+        # 9 nodes on a path, generators at 0, 4, 8: end cells never touch
+        graph = Graph(9, [(i, i + 1, 1.0) for i in range(8)])
+        db = build_db(graph, {10: 0, 11: 4, 12: 8})
+        nvd = NetworkVoronoi.build(db.view)
+        adjacency = nvd.adjacency(db.view)
+        assert adjacency[11] == {10, 12}
+        assert 12 not in adjacency[10]
+        assert 10 not in adjacency[12]
+
+    def test_adjacency_is_symmetric(self):
+        rng = random.Random(11)
+        graph = build_random_graph(rng, 30, 25)
+        placement = {100 + i: n for i, n in enumerate(rng.sample(range(30), 5))}
+        db = build_db(graph, placement)
+        nvd = NetworkVoronoi.build(db.view)
+        adjacency = nvd.adjacency(db.view)
+        for gid, neighbors in adjacency.items():
+            for other in neighbors:
+                assert gid in adjacency[other]
+
+    def test_neighbors_of_cell_matches_full_adjacency(self):
+        rng = random.Random(12)
+        graph = build_random_graph(rng, 25, 20)
+        placement = {100 + i: n for i, n in enumerate(rng.sample(range(25), 4))}
+        db = build_db(graph, placement)
+        nvd = NetworkVoronoi.build(db.view)
+        adjacency = nvd.adjacency(db.view)
+        for gid in placement:
+            assert nvd.neighbors_of_cell(db.view, gid) == adjacency[gid]
+
+    def test_tied_node_makes_cells_adjacent(self):
+        # generators two hops apart around a tie node
+        graph = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        db = build_db(graph, {10: 0, 11: 2})
+        nvd = NetworkVoronoi.build(db.view)
+        assert set(nvd.owners_of(1)) == {10, 11}
+        assert nvd.neighbors_of_cell(db.view, 10) == {11}

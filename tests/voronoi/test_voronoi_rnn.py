@@ -1,0 +1,104 @@
+"""Oracle tests for Voronoi-based RNN retrieval."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.core.baseline import brute_force_rknn
+from repro.core.eager import eager_rknn
+from repro.errors import QueryError
+from repro.graph.graph import Graph
+from repro.points.points import EdgePointSet
+from repro.voronoi.rnn import voronoi_rnn
+from tests.conftest import build_random_graph
+
+
+class TestVoronoiRnnBasics:
+    def test_running_example(self, p2p_db):
+        assert voronoi_rnn(p2p_db.view, 2) == [1, 2, 3]
+        assert voronoi_rnn(p2p_db.view, 4) == []
+
+    def test_empty_point_set(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({}))
+        assert voronoi_rnn(db.view, 0) == []
+
+    def test_everything_excluded(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        assert voronoi_rnn(db.view, 0, exclude={10}) == []
+
+    def test_point_on_query_node(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 0, 11: 3}))
+        assert 10 in voronoi_rnn(db.view, 0)
+
+    def test_single_point_always_qualifies(self, ring_graph):
+        db = GraphDatabase(ring_graph, NodePointSet({10: 3}))
+        assert voronoi_rnn(db.view, 0) == [10]
+
+    def test_unrestricted_rejected(self):
+        graph = Graph(3, [(0, 1, 4.0), (1, 2, 4.0)])
+        db = GraphDatabase(graph, EdgePointSet({5: (0, 1, 1.0)}))
+        with pytest.raises(QueryError):
+            voronoi_rnn(db.view, 0)
+
+
+class TestVoronoiRnnTies:
+    def test_tie_blocked_corridor_is_not_missed(self):
+        # path 0-1-2-3-4 (unit weights), q at 4, p at 0, and a third
+        # point hanging off node 2 at distance 2: all three pairwise
+        # distances tie at 4, so both data points are RNNs under the
+        # paper's tie rule.  A tie-unaware diagram hands node 2 to the
+        # hanging point and misses p.
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (2, 5, 2.0)]
+        graph = Graph(6, edges)
+        db = GraphDatabase(graph, NodePointSet({7: 0, 8: 5}))
+        assert eager_rknn(db.view, 4, 1) == [7, 8]
+        assert voronoi_rnn(db.view, 4) == [7, 8]
+
+    def test_all_points_equidistant_on_star(self):
+        # star: center 0, leaves 1..5 at weight 2; query at center
+        edges = [(0, leaf, 2.0) for leaf in range(1, 6)]
+        graph = Graph(6, edges)
+        placement = {10 + i: leaf for i, leaf in enumerate(range(1, 6))}
+        db = GraphDatabase(graph, NodePointSet(placement))
+        assert voronoi_rnn(db.view, 0) == sorted(placement)
+
+
+class TestVoronoiRnnRandomized:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_oracle_integer_weights(self, seed):
+        rng = random.Random(seed)
+        graph = build_random_graph(rng, rng.randint(5, 30), rng.randint(0, 25))
+        count = rng.randint(1, graph.num_nodes // 2)
+        nodes = rng.sample(range(graph.num_nodes), count)
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        assert voronoi_rnn(db.view, query) == brute_force_rknn(
+            graph, points, query, 1
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_oracle_float_weights(self, seed):
+        rng = random.Random(1000 + seed)
+        graph = build_random_graph(rng, rng.randint(5, 25), rng.randint(0, 20),
+                                   int_weights=False)
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(1, 5))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        query = rng.randrange(graph.num_nodes)
+        assert voronoi_rnn(db.view, query) == brute_force_rknn(
+            graph, points, query, 1
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exclusion_matches_eager(self, seed):
+        rng = random.Random(2000 + seed)
+        graph = build_random_graph(rng, rng.randint(6, 25), rng.randint(0, 20))
+        nodes = rng.sample(range(graph.num_nodes), rng.randint(2, 6))
+        points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+        db = GraphDatabase(graph, points)
+        hidden = rng.choice(sorted(points.ids()))
+        query = points.node_of(hidden)
+        expected = eager_rknn(db.view, query, 1, exclude={hidden})
+        assert voronoi_rnn(db.view, query, exclude={hidden}) == expected
