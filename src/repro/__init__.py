@@ -36,6 +36,7 @@ Quickstart::
 from repro.api import GraphDatabase
 from repro.api_directed import DirectedGraphDatabase
 from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.engine import BatchResult, QueryEngine, QuerySpec
 from repro.errors import (
     GraphError,
     MaterializationError,
@@ -53,6 +54,7 @@ from repro.storage.stats import CostModel, CostTracker
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "CostModel",
     "CostTracker",
     "DiGraph",
@@ -67,7 +69,9 @@ __all__ = [
     "NodePointSet",
     "PointError",
     "PointSet",
+    "QueryEngine",
     "QueryError",
+    "QuerySpec",
     "ReproError",
     "RnnResult",
     "StorageError",

@@ -117,6 +117,15 @@ class CalibratingPlanner:
             plan = self.calibrate(k)
         return plan
 
+    def method_for(self, k: int) -> str:
+        """The planned method for ``k`` (used by the batch engine to
+        resolve ``method="auto"`` query specs)."""
+        return self.plan_for(k).method
+
+    def estimated_seconds(self, k: int) -> float:
+        """The planned method's estimated per-query cost at ``k``."""
+        return self.plan_for(k).estimated_seconds
+
     def rknn(self, query, k: int = 1, exclude=frozenset()):
         """Run an RkNN query with the planned method."""
         plan = self.plan_for(k)

@@ -18,6 +18,7 @@ the paper's tables and figures.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import AbstractSet, Iterable, Sequence
 
@@ -122,6 +123,10 @@ class GraphDatabase:
         self._ref_view: NetworkView | None = None
         self._ref_edge_store: EdgePointStore | None = None
         self._ref_materialized: MaterializedKNN | None = None
+        #: Update generation: bumped by every point insertion/deletion.
+        #: The query engine keys its result cache on this counter, so a
+        #: bump invalidates every previously cached answer.
+        self.generation = 0
 
     # -- constructors ------------------------------------------------------
 
@@ -210,6 +215,59 @@ class GraphDatabase:
             self.disk, reference, self.tracker, self._ref_edge_store
         )
         self._ref_materialized = None
+        # swapping Q changes bichromatic answers: invalidate cached results
+        self.generation += 1
+
+    # -- serving --------------------------------------------------------------
+
+    def engine(self, **kwargs) -> "QueryEngine":
+        """A batch :class:`~repro.engine.engine.QueryEngine` over this
+        database.  Keyword arguments are forwarded to the engine
+        constructor (``cache_entries``, ``calibrator``, ``plan``)."""
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(self, **kwargs)
+
+    def read_clone(self) -> "GraphDatabase":
+        """A read-only session sharing this database's disk images.
+
+        The clone references the same serialized pages (and the same
+        in-memory graph and point sets) but owns a private buffer and
+        cost tracker, so concurrent read-only queries on different
+        clones never race on LRU state or counters.  The clone starts
+        cold; its tracker starts at zero.
+
+        Clones are for *reading*: running updates through a clone is
+        unsupported (the mutated pages would be shared with the parent
+        while the point indexes diverged).
+        """
+        clone = copy.copy(self)
+        clone.tracker = CostTracker()
+        clone.buffer = BufferManager(self.buffer.capacity_pages, clone.tracker)
+        clone.disk = copy.copy(self.disk)
+        clone.disk.buffer = clone.buffer
+        if self._edge_store is not None:
+            clone._edge_store = copy.copy(self._edge_store)
+            clone._edge_store.buffer = clone.buffer
+        if self.materialized is not None:
+            store = copy.copy(self.materialized.store)
+            store.buffer = clone.buffer
+            clone.materialized = MaterializedKNN(store)
+        clone.view = NetworkView(
+            clone.disk, clone.points, clone.tracker, clone._edge_store
+        )
+        if self._ref_view is not None and self._ref_points is not None:
+            if self._ref_edge_store is not None:
+                clone._ref_edge_store = copy.copy(self._ref_edge_store)
+                clone._ref_edge_store.buffer = clone.buffer
+            clone._ref_view = NetworkView(
+                clone.disk, self._ref_points, clone.tracker, clone._ref_edge_store
+            )
+            if self._ref_materialized is not None:
+                ref_store = copy.copy(self._ref_materialized.store)
+                ref_store.buffer = clone.buffer
+                clone._ref_materialized = MaterializedKNN(ref_store)
+        return clone
 
     # -- cost measurement -----------------------------------------------------
 
@@ -456,6 +514,7 @@ class GraphDatabase:
             return updated
 
         affected, diff = self._measure(run)
+        self.generation += 1
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def delete_point(self, pid: int) -> UpdateResult:
@@ -479,6 +538,7 @@ class GraphDatabase:
             return updated
 
         affected, diff = self._measure(run)
+        self.generation += 1
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _rebuild_view(self) -> None:

@@ -18,6 +18,7 @@ setting supports (monochromatic RkNN with ``eager`` / ``eager-m`` /
 
 from __future__ import annotations
 
+import copy
 from typing import AbstractSet, Iterable
 
 from repro.core.directed import (
@@ -79,6 +80,8 @@ class DirectedGraphDatabase:
         )
         self.view = DirectedView(self.disk, points, self.tracker)
         self.materialized: MaterializedKNN | None = None
+        #: Update generation (see :class:`~repro.api.GraphDatabase`).
+        self.generation = 0
 
     @classmethod
     def from_arcs(
@@ -104,6 +107,38 @@ class DirectedGraphDatabase:
             order=self._order,
         )
         self.materialized = MaterializedKNN(store)
+
+    # -- serving --------------------------------------------------------------
+
+    def engine(self, **kwargs) -> "QueryEngine":
+        """A batch :class:`~repro.engine.engine.QueryEngine` over this
+        database (``knn`` / ``rknn`` / ``range`` specs; the directed
+        facade has no bichromatic queries)."""
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(self, **kwargs)
+
+    def read_clone(self) -> "DirectedGraphDatabase":
+        """A read-only session with a private buffer and tracker.
+
+        Shares the serialized adjacency pages of both direction files;
+        see :meth:`repro.api.GraphDatabase.read_clone` for the contract
+        (read-only use, cold private buffer, zeroed tracker).
+        """
+        clone = copy.copy(self)
+        clone.tracker = CostTracker()
+        clone.buffer = BufferManager(self.buffer.capacity_pages, clone.tracker)
+        clone.disk = copy.copy(self.disk)
+        clone.disk._forward = copy.copy(self.disk._forward)
+        clone.disk._forward.buffer = clone.buffer
+        clone.disk._backward = copy.copy(self.disk._backward)
+        clone.disk._backward.buffer = clone.buffer
+        if self.materialized is not None:
+            store = copy.copy(self.materialized.store)
+            store.buffer = clone.buffer
+            clone.materialized = MaterializedKNN(store)
+        clone.view = DirectedView(clone.disk, clone.points, clone.tracker)
+        return clone
 
     # -- cost measurement -------------------------------------------------------
 
@@ -174,6 +209,7 @@ class DirectedGraphDatabase:
             return 0
 
         affected, diff = self._measure(run)
+        self.generation += 1
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def delete_point(self, pid: int) -> UpdateResult:
@@ -187,6 +223,7 @@ class DirectedGraphDatabase:
             return 0
 
         affected, diff = self._measure(run)
+        self.generation += 1
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _check(self, query: int, k: int, method: str) -> None:

@@ -1,21 +1,27 @@
 """Benchmark harness: workload execution, scaling profiles, reporting."""
 
 from repro.bench.harness import (
+    ThroughputReport,
     WorkloadCost,
     run_continuous_workload,
+    run_throughput_benchmark,
     run_update_workload,
     run_workload,
+    throughput_specs,
 )
 from repro.bench.report import format_table, save_report
 from repro.bench.runner import ScaleProfile, current_profile
 
 __all__ = [
     "ScaleProfile",
+    "ThroughputReport",
     "WorkloadCost",
     "current_profile",
     "format_table",
     "run_continuous_workload",
+    "run_throughput_benchmark",
     "run_update_workload",
     "run_workload",
     "save_report",
+    "throughput_specs",
 ]

@@ -10,12 +10,15 @@ diffs that the public API returns.
 
 from __future__ import annotations
 
+import random
 import statistics
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.api import GraphDatabase
-from repro.datasets.workload import Query
+from repro.datasets.workload import Query, data_queries
+from repro.engine.spec import QuerySpec
 from repro.storage.stats import CostModel
 
 
@@ -145,6 +148,131 @@ def run_update_workload(
         "delete_io": statistics.fmean(delete_io) if delete_io else 0.0,
         "delete_total_s": statistics.fmean(delete_total) if delete_total else 0.0,
     }
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Batched-vs-sequential serving throughput on one workload.
+
+    ``speedup`` is sequential seconds / batched seconds for the *same*
+    repeated workload: the sequential loop re-executes every query
+    through the facade, while the engine serves repeats and warmed
+    entries from its result cache and runs misses across workers.
+    """
+
+    queries: int
+    distinct: int
+    workers: int
+    sequential_seconds: float
+    batched_seconds: float
+    batched_cold_seconds: float
+    cache_hits: int
+    cache_misses: int
+    batch_io: int
+
+    @property
+    def sequential_qps(self) -> float:
+        return self.queries / self.sequential_seconds if self.sequential_seconds else 0.0
+
+    @property
+    def batched_qps(self) -> float:
+        return self.queries / self.batched_seconds if self.batched_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.sequential_seconds / self.batched_seconds
+            if self.batched_seconds
+            else float("inf")
+        )
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"workload: {self.queries} queries ({self.distinct} distinct), "
+            f"{self.workers} workers",
+            f"sequential: {self.sequential_seconds:.4f} s "
+            f"({self.sequential_qps:.0f} q/s)",
+            f"batched (cold cache): {self.batched_cold_seconds:.4f} s",
+            f"batched (warm cache): {self.batched_seconds:.4f} s "
+            f"({self.batched_qps:.0f} q/s, {self.cache_hits} hits / "
+            f"{self.cache_misses} misses, {self.batch_io} page I/Os)",
+            f"speedup: {self.speedup:.1f}x",
+        ]
+
+
+def throughput_specs(
+    db: GraphDatabase,
+    distinct: int = 25,
+    repeat: int = 4,
+    k: int = 2,
+    method: str = "eager",
+    seed: int = 0,
+) -> list[QuerySpec]:
+    """A serving workload: ``distinct`` data-distributed RkNN queries,
+    each arriving ``repeat`` times, interleaved at random.
+
+    Repetition models real traffic (popular locations are queried over
+    and over); it is what a result cache exists to exploit.
+    """
+    base = data_queries(db.points, count=distinct, seed=seed)
+    specs = [
+        QuerySpec("rknn", query.location, k=k, method=method, exclude=query.exclude)
+        for query in base
+    ] * repeat
+    random.Random(seed + 1).shuffle(specs)
+    return specs
+
+
+def run_throughput_benchmark(
+    db: GraphDatabase,
+    specs: Sequence[QuerySpec],
+    workers: int = 4,
+) -> ThroughputReport:
+    """Measure sequential facade calls against warm-cache batch serving.
+
+    Protocol: one unmeasured sequential pass warms the page buffer;
+    the measured sequential pass then replays every query through the
+    facade.  The engine side measures a cold-cache batch (which also
+    populates the cache) and then the warm-cache batch the acceptance
+    numbers quote -- both with ``workers`` worker sessions.
+    """
+    engine = db.engine(cache_entries=max(1024, len(specs)))
+
+    def run_one(spec: QuerySpec) -> None:
+        # the baseline is the plain facade, exactly as a caller without
+        # the engine would issue the query
+        if spec.kind == "rknn":
+            db.rknn(spec.query, spec.k, method=spec.method, exclude=spec.exclude)
+        elif spec.kind == "knn":
+            db.knn(spec.query, spec.k, exclude=spec.exclude)
+        elif spec.kind == "range":
+            db.range_nn(spec.query, spec.k, spec.radius, exclude=spec.exclude)
+        else:
+            db.bichromatic_rknn(spec.query, spec.k, method=spec.method,
+                                exclude=spec.exclude)
+
+    def run_sequential() -> float:
+        start = time.perf_counter()
+        for spec in specs:
+            run_one(spec)
+        return time.perf_counter() - start
+
+    run_sequential()  # warm the page buffer
+    sequential_seconds = run_sequential()
+
+    cold = engine.run_batch(specs, workers=workers)
+    warm = engine.run_batch(specs, workers=workers)
+    return ThroughputReport(
+        queries=len(specs),
+        distinct=len({spec.key() for spec in specs}),
+        workers=workers,
+        sequential_seconds=sequential_seconds,
+        batched_seconds=warm.elapsed_seconds,
+        batched_cold_seconds=cold.elapsed_seconds,
+        cache_hits=warm.hits,
+        cache_misses=warm.misses,
+        batch_io=warm.io,
+    )
 
 
 def _aggregate(

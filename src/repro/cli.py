@@ -11,6 +11,14 @@ Usage (also ``python -m repro``)::
     python -m repro report sf.graph
     python -m repro path sf.graph --source 3 --target 1200 --search alt
     python -m repro plan sf.graph --k 2 --samples 4
+    python -m repro batch sf.graph --specs queries.jsonl --workers 4
+
+The ``batch`` subcommand reads one JSON query spec per line (see
+:mod:`repro.engine.spec`), e.g.::
+
+    {"kind": "rknn", "query": 17, "k": 2, "method": "eager"}
+    {"kind": "knn", "query": 3, "k": 3}
+    {"kind": "range", "query": 5, "k": 2, "radius": 8.0}
 
 Graphs round-trip through the line-oriented format of
 :mod:`repro.graph.io`, so generated data sets can be versioned and
@@ -35,6 +43,7 @@ from repro.datasets.dblp import generate_dblp
 from repro.datasets.grid import generate_grid
 from repro.datasets.spatial import generate_spatial
 from repro.datasets.workload import place_edge_points, place_node_points
+from repro.engine.spec import load_specs
 from repro.errors import QueryError, ReproError
 from repro.graph.io import load_graph, save_graph
 from repro.paths.astar import astar_path, euclidean_heuristic
@@ -112,6 +121,25 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--samples", type=int, default=4)
     plan.add_argument("--materialize", type=int, default=0, metavar="K",
                       help="build K-NN lists so eager-m competes")
+
+    batch = commands.add_parser(
+        "batch", help="execute a JSONL batch of queries through the engine"
+    )
+    batch.add_argument("graph")
+    batch.add_argument("--specs", required=True,
+                       help="JSONL file: one query spec object per line")
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="replay the batch N times (exercises the cache)")
+    batch.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache entries (0 disables caching)")
+    batch.add_argument("--materialize", type=int, default=0, metavar="K",
+                       help="build K-NN lists before executing (for eager-m)")
+    batch.add_argument("--buffer-pages", type=int, default=256)
+    batch.add_argument("--no-plan", action="store_true",
+                       help="execute in file order (no locality planning)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="print only the batch summary")
     return parser
 
 
@@ -133,6 +161,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _path(args)
         if args.command == "plan":
             return _plan(args)
+        if args.command == "batch":
+            return _batch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -249,6 +279,37 @@ def _path(args: argparse.Namespace) -> int:
     print(f"distance: {result.distance:.4f} over {result.hops} edges "
           f"({result.nodes_settled} nodes settled by {args.search})")
     print("path:", " -> ".join(str(node) for node in result.nodes))
+    return 0
+
+
+def _batch(args: argparse.Namespace) -> int:
+    try:
+        with open(args.specs) as handle:
+            specs = load_specs(handle)
+    except OSError as exc:
+        raise QueryError(f"cannot read {args.specs}: {exc}") from exc
+    if not specs:
+        raise QueryError(f"{args.specs} contains no query specs")
+    if args.repeat < 1:
+        raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
+    graph, points = load_graph(args.graph)
+    db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
+    if args.materialize > 0:
+        db.materialize(args.materialize)
+    engine = db.engine(cache_entries=args.cache_size, plan=not args.no_plan)
+    for round_no in range(args.repeat):
+        outcome = engine.run_batch(specs, workers=args.workers)
+        if not args.quiet:
+            for spec, result in zip(specs, outcome.results):
+                answer = (list(result.points) if hasattr(result, "points")
+                          else list(result.neighbors))
+                print(f"{spec.kind}({spec.query}) k={spec.k} -> {answer} "
+                      f"[{result.io} I/Os]")
+        label = f"round {round_no + 1}/{args.repeat}: " if args.repeat > 1 else ""
+        print(f"{label}{len(outcome)} queries in {outcome.elapsed_seconds:.4f} s "
+              f"({outcome.queries_per_second:.0f} q/s), "
+              f"{outcome.hits} cache hits / {outcome.misses} misses, "
+              f"{outcome.io} page I/Os, {args.workers} worker(s)")
     return 0
 
 

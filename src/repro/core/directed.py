@@ -12,7 +12,13 @@ follows:
   ``d(n -> x) < d(n -> q)``, no point beyond ``n`` (whose shortest path
   to the query passes through ``n``) can be a reverse neighbor, because
   ``d(p -> x) <= d(p -> n) + d(n -> x) < d(p -> n) + d(n -> q) = d(p -> q)``.
-  The prune test is a **forward** range-NN probe from ``n``;
+  The prune test is a **forward** range-NN probe from ``n``.  One
+  exception survives the argument: when the candidate beyond ``n`` *is*
+  one of the ``k`` witnesses, that witness does not count against it (a
+  point is never its own competitor), so the witnesses themselves are
+  verified as candidates before the node is pruned -- exactly like the
+  undirected eager algorithm, whose probes double as candidate
+  discovery;
 * verification expands **forwards** from a candidate point until the
   query is met, counting points that are strictly closer.
 
@@ -225,6 +231,7 @@ def _directed_eager(
     heap = CountingHeap(view.tracker)
     heap.push(0.0, query_node)
     visited: set[int] = set()
+    checked: set[int] = set()  # points already verified
     result: list[int] = []
     while heap:
         dist, node = heap.pop()
@@ -233,13 +240,23 @@ def _directed_eager(
         visited.add(node)
         view.tracker.nodes_visited += 1
         pid = view.point_at(node)
-        if pid is not None and pid not in exclude:
+        if pid is not None and pid not in exclude and pid not in checked:
+            checked.add(pid)
             # dist is d(p -> q) (exact whenever p can qualify)
             if directed_verify(view, pid, k, query_node, dist, exclude):
                 result.append(pid)
         closer = directed_range_nn(view, node, k, dist, exclude)
         if len(closer) >= k:
-            continue  # directed Lemma 1: nothing beyond can qualify
+            # Directed Lemma 1: beyond this node, only the witnesses
+            # themselves can still qualify (a point never counts
+            # against itself) -- verify them, then prune.
+            for wpid, _ in closer:
+                if wpid not in checked:
+                    checked.add(wpid)
+                    if directed_verify(view, wpid, k, query_node,
+                                       math.inf, exclude):
+                        result.append(wpid)
+            continue
         for nbr, weight in view.in_neighbors(node):
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
@@ -260,6 +277,7 @@ def _directed_eager_m(
     heap = CountingHeap(view.tracker)
     heap.push(0.0, query_node)
     visited: set[int] = set()
+    checked: set[int] = set()  # points already verified
     result: list[int] = []
     while heap:
         dist, node = heap.pop()
@@ -270,17 +288,47 @@ def _directed_eager_m(
         raw = materialized.get(node)
         entries = [(p, d) for p, d in raw if p not in exclude]
         pid = view.point_at(node)
-        if pid is not None and pid not in exclude:
+        if pid is not None and pid not in exclude and pid not in checked:
+            checked.add(pid)
             if _list_verify(view, materialized, raw, entries, pid, k,
                             query_node, dist, exclude):
                 result.append(pid)
         closer = [e for e in entries if strictly_less(e[1], dist)]
         if len(closer) >= k:
+            # same witness exception as _directed_eager: a candidate
+            # beyond this node escapes the k witnesses only by being
+            # one of them, so verify each witness before pruning
+            for wpid, _ in closer:
+                if wpid not in checked:
+                    checked.add(wpid)
+                    if _witness_qualifies(view, materialized, wpid, k,
+                                          query_node, exclude):
+                        result.append(wpid)
             continue
         for nbr, weight in view.in_neighbors(node):
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
+
+
+def _witness_qualifies(
+    view: DirectedView,
+    materialized: MaterializedKNN,
+    pid: int,
+    k: int,
+    query_node: int,
+    exclude: AbstractSet[int],
+) -> bool:
+    """Verify a pruning witness as a candidate (no known ``d(p -> q)``).
+
+    The witness's own list yields the exact k-th-competitor distance,
+    which bounds the forward verification expansion; a truncated or
+    exclusion-shortened list falls back to an unbounded expansion.
+    """
+    raw = materialized.get(view.node_of(pid))
+    others = [e for e in raw if e[0] != pid and e[0] not in exclude]
+    bound = others[k - 1][1] if len(others) >= k else math.inf
+    return directed_verify(view, pid, k, query_node, bound, exclude)
 
 
 def _list_verify(

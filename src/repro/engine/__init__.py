@@ -1,0 +1,23 @@
+"""Query-execution layer: batched, cached, concurrent query serving.
+
+The algorithms of :mod:`repro.core` answer one query at a time; this
+package turns them into something that can absorb traffic.  See
+:mod:`repro.engine.engine` for the architecture overview.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.engine import BatchResult, QueryEngine
+from repro.engine.planner import BatchPlan, plan_batch
+from repro.engine.spec import KINDS, QuerySpec, load_specs
+
+__all__ = [
+    "BatchPlan",
+    "BatchResult",
+    "CacheStats",
+    "KINDS",
+    "QueryEngine",
+    "QuerySpec",
+    "ResultCache",
+    "load_specs",
+    "plan_batch",
+]

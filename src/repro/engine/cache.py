@@ -1,0 +1,95 @@
+"""LRU result cache for the query engine.
+
+Keys are ``(db generation,) + spec.key()``: bumping the database's
+generation counter (every ``insert_point`` / ``delete_point`` does)
+makes every previously cached entry unreachable, so updates invalidate
+the cache without the engine having to reason about which results an
+update could have changed.  Stale-generation entries still occupying
+slots are pruned lazily on the next store.
+
+The cached value is the result object exactly as the facade returned
+it; :class:`~repro.engine.engine.QueryEngine` re-labels hits with a
+zero cost record, because a hit performs no I/O and no expansion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import QueryError
+
+
+@dataclass
+class CacheStats:
+    """Observable behavior of a :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """A capacity-bounded LRU map from query keys to result objects."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise QueryError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, tuple[int, Any]]" = OrderedDict()
+        self._stored_generation: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, generation: int, key: Hashable) -> Any | None:
+        """The cached result for ``key`` at ``generation``, or ``None``.
+
+        An entry stored under an older generation never matches: the
+        lookup key embeds the generation.
+        """
+        full_key = (generation, key)
+        entry = self._entries.get(full_key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(full_key)
+        self.stats.hits += 1
+        return entry[1]
+
+    def put(self, generation: int, key: Hashable, result: Any) -> None:
+        """Install a result, evicting LRU (and stale) entries as needed."""
+        if self.capacity == 0:
+            return
+        if self._stored_generation != generation:
+            # every stored entry belongs to one generation, so a bump
+            # invalidates them all at once (no per-put scanning)
+            if self._stored_generation is not None and self._entries:
+                self.stats.invalidations += len(self._entries)
+                self._entries.clear()
+            self._stored_generation = generation
+        full_key = (generation, key)
+        if full_key in self._entries:
+            self._entries.move_to_end(full_key)
+        self._entries[full_key] = (generation, result)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._stored_generation = None

@@ -1,0 +1,294 @@
+"""Batched, cached, concurrent query execution over a graph database.
+
+:class:`QueryEngine` is the serving layer above the paper's query
+algorithms: where :class:`~repro.api.GraphDatabase` answers one query
+at a time, the engine admits *batches* of heterogeneous
+:class:`~repro.engine.spec.QuerySpec` values and executes them through
+three cooperating mechanisms:
+
+* an LRU **result cache** keyed on ``(kind, args, db generation)``
+  (:mod:`repro.engine.cache`) -- repeated queries cost nothing, and any
+  point insertion/deletion bumps the generation, invalidating every
+  stale entry;
+* an **admission planner** (:mod:`repro.engine.planner`) that resolves
+  ``method="auto"`` through the calibrating cost model and orders each
+  batch so queries touching the same disk pages run adjacently;
+* a **worker pool** (:mod:`concurrent.futures`) for read-only batches:
+  each worker runs on a :meth:`~repro.api.GraphDatabase.read_clone`
+  session with a private buffer and tracker, and the per-query counter
+  diffs are merged back into the database's global accounting.
+
+Results come back in the caller's original batch order and are
+bitwise-identical to a sequential loop over the facade (the engine
+only reorders and deduplicates; it never changes an algorithm).
+
+Usage::
+
+    engine = db.engine()
+    batch = [QuerySpec("rknn", query=7, k=2), QuerySpec("knn", query=3, k=1)]
+    outcome = engine.run_batch(batch, workers=4)
+    outcome.results[0].points, outcome.hits, outcome.counters.io_operations
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.planner import BatchPlan, plan_batch, resolve_method
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+from repro.storage.stats import CostTracker
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch: per-query results plus batch-level accounting.
+
+    Attributes
+    ----------
+    results:
+        Result objects in the caller's original batch order (cache hits
+        carry a zero cost record).
+    order:
+        The execution permutation the planner chose.
+    hits / misses:
+        Result-cache outcomes over the batch (a repeated spec within
+        one batch counts as a hit for every repetition after the first).
+    executed:
+        Distinct queries actually run against the database.
+    elapsed_seconds:
+        Wall-clock time of the whole batch.
+    counters:
+        Merged counter diff of every executed query.
+    """
+
+    results: tuple
+    order: tuple[int, ...]
+    hits: int
+    misses: int
+    executed: int
+    elapsed_seconds: float
+    counters: CostTracker = field(repr=False, default_factory=CostTracker)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def io(self) -> int:
+        """Physical page transfers charged to the batch."""
+        return self.counters.io_operations
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput (0.0 for an empty or instantaneous batch)."""
+        if not self.results or self.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.elapsed_seconds
+
+
+class QueryEngine:
+    """Batch executor with result caching over one graph database.
+
+    Parameters
+    ----------
+    db:
+        A :class:`~repro.api.GraphDatabase` or
+        :class:`~repro.api_directed.DirectedGraphDatabase`.  The engine
+        holds a reference, not a copy: updates through either the
+        engine or the database itself bump the database's generation
+        and thereby invalidate cached results.
+    cache_entries:
+        Result-cache capacity (``0`` disables caching).
+    calibrator:
+        Optional :class:`~repro.analytics.planner.CalibratingPlanner`;
+        required to execute ``method="auto"`` specs and used to order
+        RkNN groups by estimated cost.
+    plan:
+        When false, batches execute in the caller's order (no locality
+        grouping); the cache still applies.
+    """
+
+    def __init__(
+        self,
+        db,
+        *,
+        cache_entries: int = 1024,
+        calibrator=None,
+        plan: bool = True,
+    ):
+        self.db = db
+        self.cache = ResultCache(cache_entries)
+        self.calibrator = calibrator
+        self.plan_batches = plan
+
+    @property
+    def generation(self) -> int:
+        """The database's update generation (cache-key component)."""
+        return self.db.generation
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    # -- single queries -----------------------------------------------------
+
+    def run(self, spec: QuerySpec):
+        """Execute one spec through the cache.
+
+        A hit returns the cached answer re-labeled with a zero cost
+        record (a hit performs no I/O and no expansion); a miss
+        executes on the database and caches the result.
+        """
+        spec = resolve_method(spec, self.calibrator)
+        generation = self.generation
+        cached = self.cache.get(generation, spec.key())
+        if cached is not None:
+            return _zero_cost(cached)
+        result = self._execute(self.db, spec)
+        self.cache.put(generation, spec.key(), result)
+        return result
+
+    # -- batches ------------------------------------------------------------
+
+    def run_batch(self, specs: Sequence[QuerySpec], workers: int = 1) -> BatchResult:
+        """Execute a batch of read-only queries.
+
+        The batch is planned (see :mod:`repro.engine.planner`), probed
+        against the result cache, deduplicated (identical specs execute
+        once), and the remaining misses run either sequentially on the
+        database or -- with ``workers > 1`` -- across read-only worker
+        sessions whose counter diffs are merged back into the
+        database's tracker.  Results keep the caller's order.
+
+        Worker sessions start with *cold private buffers* (thread
+        safety forbids sharing the LRU), so a page that a sequential
+        run would fault once can fault once per worker: with a cold
+        cache and few distinct queries, ``workers=1`` reports less
+        physical I/O and pure-Python batches gain little wall-clock
+        from threads.  Workers pay off for large miss-heavy batches
+        over disjoint page neighborhoods (which the planner's chunking
+        preserves); the result cache, not the pool, is what makes
+        repeated traffic cheap.
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        start = time.perf_counter()
+        specs = list(specs)
+        if self.plan_batches:
+            plan = plan_batch(self.db, specs, self.calibrator)
+        else:
+            resolved = tuple(resolve_method(s, self.calibrator) for s in specs)
+            plan = BatchPlan(resolved, tuple(range(len(resolved))))
+        generation = self.generation
+
+        results: list = [None] * len(specs)
+        hits = 0
+        pending: list[tuple[int, QuerySpec]] = []  # first occurrence per key
+        followers: dict[tuple, list[int]] = {}  # key -> later duplicate indices
+        for index in plan.order:
+            spec = plan.specs[index]
+            key = spec.key()
+            if key in followers:
+                followers[key].append(index)
+                continue
+            cached = self.cache.get(generation, key)
+            if cached is not None:
+                results[index] = _zero_cost(cached)
+                hits += 1
+                continue
+            followers[key] = []
+            pending.append((index, spec))
+
+        executed = self._execute_pending(pending, workers, generation, results)
+        batch_counters = CostTracker.merged(
+            results[index].counters for index, _ in pending
+        )
+        for index, spec in pending:
+            for dup in followers[spec.key()]:
+                results[dup] = _zero_cost(results[index])
+                hits += 1
+
+        return BatchResult(
+            results=tuple(results),
+            order=plan.order,
+            hits=hits,
+            misses=len(pending),
+            executed=executed,
+            elapsed_seconds=time.perf_counter() - start,
+            counters=batch_counters,
+        )
+
+    def _execute_pending(
+        self,
+        pending: list[tuple[int, QuerySpec]],
+        workers: int,
+        generation: int,
+        results: list,
+    ) -> int:
+        """Run the cache misses; fill ``results``; return executed count."""
+        if not pending:
+            return 0
+        if workers == 1 or len(pending) == 1:
+            for index, spec in pending:
+                results[index] = self._execute(self.db, spec)
+        else:
+            chunks = _contiguous_chunks(pending, workers)
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [pool.submit(self._run_chunk, chunk) for chunk in chunks]
+                outcomes = [future.result() for future in futures]
+            for chunk_results in outcomes:
+                for index, result in chunk_results:
+                    results[index] = result
+                    # fold the worker session's per-query work into the
+                    # database's global accounting
+                    self.db.tracker.merge(result.counters)
+        for index, spec in pending:
+            self.cache.put(generation, spec.key(), results[index])
+        return len(pending)
+
+    def _run_chunk(self, chunk: list[tuple[int, QuerySpec]]) -> list:
+        """Worker body: execute a chunk on a private read-only session."""
+        session = self.db.read_clone()
+        return [(index, self._execute(session, spec)) for index, spec in chunk]
+
+    def _execute(self, db, spec: QuerySpec):
+        if spec.kind == "rknn":
+            return db.rknn(spec.query, spec.k, method=spec.method, exclude=spec.exclude)
+        if spec.kind == "knn":
+            return db.knn(spec.query, spec.k, exclude=spec.exclude)
+        if spec.kind == "range":
+            return db.range_nn(spec.query, spec.k, spec.radius, exclude=spec.exclude)
+        if spec.kind == "bichromatic":
+            runner = getattr(db, "bichromatic_rknn", None)
+            if runner is None:
+                raise QueryError(
+                    f"{type(db).__name__} does not support bichromatic queries"
+                )
+            return runner(spec.query, spec.k, method=spec.method, exclude=spec.exclude)
+        raise QueryError(f"unknown query kind {spec.kind!r}")  # pragma: no cover
+
+
+def _zero_cost(result):
+    """A copy of a cached result carrying an all-zero cost record."""
+    return replace(result, io=0, cpu_seconds=0.0, counters=CostTracker())
+
+
+def _contiguous_chunks(items: list, workers: int) -> list[list]:
+    """Split a list into <= ``workers`` contiguous, near-equal chunks.
+
+    Contiguity preserves the planner's locality ordering within each
+    worker's run.
+    """
+    count = min(workers, len(items))
+    size, remainder = divmod(len(items), count)
+    chunks = []
+    start = 0
+    for i in range(count):
+        end = start + size + (1 if i < remainder else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks

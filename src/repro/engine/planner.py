@@ -1,0 +1,116 @@
+"""Admission planning: method resolution and buffer-friendly ordering.
+
+A batch of heterogeneous queries admitted together can be executed in
+any order, and order matters: the database's LRU buffer rewards runs of
+queries that touch the same page neighborhoods.  :func:`plan_batch`
+therefore
+
+1. resolves ``method="auto"`` specs through a
+   :class:`~repro.analytics.planner.CalibratingPlanner` (the paper's
+   measured cost model picks the cheapest RkNN method for each ``k``);
+2. groups specs by ``(kind, method, k)`` so one algorithm's access
+   pattern runs to completion before the next starts, ordering RkNN
+   groups by the planner's estimated per-query cost when available
+   (cheap, shallow expansions first keeps the buffer warm for the
+   deep ones);
+3. within a group, sorts queries by the disk page of their location
+   (the :mod:`repro.graph.partition` packing order), so queries whose
+   expansions start from the same page run adjacently and share
+   buffer frames.
+
+The plan is a permutation of the batch -- results are always reported
+in the caller's original order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.engine.spec import AUTO_METHOD, QuerySpec
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """An executable ordering of one batch.
+
+    ``specs`` are the resolved specs (``auto`` methods replaced), index-
+    aligned with the caller's batch; ``order`` is the execution
+    permutation over those indices.
+    """
+
+    specs: tuple[QuerySpec, ...]
+    order: tuple[int, ...]
+
+    def explain(self) -> str:
+        """Human-readable account of the chosen execution order."""
+        lines = [f"batch plan over {len(self.specs)} queries:"]
+        for position, index in enumerate(self.order):
+            spec = self.specs[index]
+            method = f" {spec.method}" if spec.kind in ("rknn", "bichromatic") else ""
+            lines.append(
+                f"  {position:3d}: [{index}] {spec.kind}{method} "
+                f"k={spec.k} query={spec.query}"
+            )
+        return "\n".join(lines)
+
+
+def resolve_method(spec: QuerySpec, calibrator=None) -> QuerySpec:
+    """Replace ``method="auto"`` with the calibrating planner's choice."""
+    if spec.method != AUTO_METHOD:
+        return spec
+    if spec.kind not in ("rknn", "bichromatic"):
+        return replace(spec, method="eager")
+    if calibrator is None:
+        raise QueryError(
+            "method 'auto' needs a calibrating planner; "
+            "construct the engine with calibrator=CalibratingPlanner(db)"
+        )
+    return replace(spec, method=calibrator.method_for(spec.k))
+
+
+def page_rank(db, query) -> int:
+    """Disk page holding a query location (free node-index look-up).
+
+    Edge locations rank by the smaller page of their two endpoints; a
+    database whose disk layer exposes no page index ranks everything 0.
+    Out-of-range nodes rank 0 too -- planning must not fail before the
+    facade's own validation can reject the query with a clean error.
+    """
+    page_of = getattr(db.disk, "page_of", None)
+    if page_of is None:
+        return 0
+    num_nodes = db.graph.num_nodes
+    if isinstance(query, int):
+        return page_of(query) if 0 <= query < num_nodes else 0
+    u, v, _ = query
+    if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+        return 0
+    return min(page_of(u), page_of(v))
+
+
+def plan_batch(db, specs, calibrator=None) -> BatchPlan:
+    """Resolve and order a batch for buffer-friendly execution."""
+    resolved = tuple(resolve_method(spec, calibrator) for spec in specs)
+
+    def group_cost(spec: QuerySpec) -> float:
+        if calibrator is not None and spec.kind == "rknn":
+            try:
+                return calibrator.estimated_seconds(spec.k)
+            except QueryError:
+                pass
+        return 0.0
+
+    def sort_key(index: int):
+        spec = resolved[index]
+        return (
+            group_cost(spec),
+            spec.kind,
+            spec.method,
+            spec.k,
+            page_rank(db, spec.query),
+            index,
+        )
+
+    order = tuple(sorted(range(len(resolved)), key=sort_key))
+    return BatchPlan(resolved, order)

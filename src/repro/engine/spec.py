@@ -1,0 +1,181 @@
+"""Declarative query descriptions consumed by the batch engine.
+
+A :class:`QuerySpec` captures one query -- its kind, location and
+parameters -- as an immutable, hashable value.  That buys three things:
+
+* batches are plain sequences of specs, serializable to JSON lines for
+  the ``repro batch`` CLI subcommand and replayable workload files;
+* the result cache can key on the spec directly (``spec.key()``);
+* the admission planner can reorder and group specs freely, since a
+  spec carries everything needed to execute it later.
+
+The supported kinds mirror the read-only query surface of
+:class:`~repro.api.GraphDatabase` (and, minus ``bichromatic``, of
+:class:`~repro.api_directed.DirectedGraphDatabase`):
+
+``knn``
+    forward k-nearest-neighbor query (``method`` is ignored);
+``rknn``
+    monochromatic reverse k-NN with any of the paper's methods;
+``bichromatic``
+    bichromatic reverse k-NN against the attached reference set;
+``range``
+    ``range-NN(n, k, e)`` with a strict ``radius``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import QueryError
+
+#: Query kinds the engine knows how to dispatch.
+KINDS = ("knn", "rknn", "bichromatic", "range")
+
+#: ``method`` value asking the engine's planner to pick the cheapest method.
+AUTO_METHOD = "auto"
+
+Location = int | tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One read-only query, as data.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    query:
+        A node id, or a ``(u, v, pos)`` edge location for unrestricted
+        networks.
+    k:
+        Neighborhood size (>= 1).
+    method:
+        Processing method for (bichromatic) RkNN kinds; ``"auto"``
+        defers the choice to the engine's calibrating planner.  Ignored
+        by ``knn`` and ``range``.
+    radius:
+        Range bound, required by (and only by) ``range``.
+    exclude:
+        Point ids hidden for the query's duration.
+    """
+
+    kind: str
+    query: Location
+    k: int = 1
+    method: str = "eager"
+    radius: float | None = None
+    exclude: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise QueryError(f"unknown query kind {self.kind!r}; choose one of {KINDS}")
+        if not isinstance(self.k, int) or self.k < 1:
+            raise QueryError(f"k must be an integer >= 1, got {self.k!r}")
+        if not isinstance(self.query, int):
+            if not isinstance(self.query, (tuple, list)) or len(self.query) != 3:
+                raise QueryError(f"edge locations are (u, v, pos), got {self.query!r}")
+            loc = tuple(self.query)
+            try:
+                normalized = (int(loc[0]), int(loc[1]), float(loc[2]))
+            except (TypeError, ValueError) as exc:
+                raise QueryError(f"bad edge location {loc!r}: {exc}") from exc
+            object.__setattr__(self, "query", normalized)
+            if not math.isfinite(self.query[2]):
+                raise QueryError(f"non-finite edge offset {loc[2]!r}")
+        if self.kind == "range":
+            if self.radius is None:
+                raise QueryError("range queries need a radius")
+            if (not isinstance(self.radius, (int, float))
+                    or not math.isfinite(self.radius) or self.radius < 0):
+                raise QueryError(
+                    f"radius must be finite and >= 0, got {self.radius!r}"
+                )
+        elif self.radius is not None:
+            raise QueryError(f"{self.kind} queries take no radius")
+        object.__setattr__(self, "exclude", frozenset(self.exclude))
+
+    def key(self) -> tuple:
+        """Canonical hashable identity of the query (cache key material).
+
+        ``method`` is deliberately part of the key: methods are answer-
+        equivalent but not cost-equivalent, and the cache stores results
+        together with the cost record of the run that produced them.
+        """
+        method = self.method if self.kind in ("rknn", "bichromatic") else ""
+        return (
+            self.kind,
+            self.query,
+            self.k,
+            method,
+            self.radius,
+            tuple(sorted(self.exclude)),
+        )
+
+    # -- JSON round-trip (the `repro batch` wire format) --------------------
+
+    def to_json(self) -> str:
+        """One JSON object (one JSONL line) describing this spec."""
+        payload: dict = {"kind": self.kind, "query": self.query, "k": self.k}
+        if self.kind in ("rknn", "bichromatic"):
+            payload["method"] = self.method
+        if self.radius is not None:
+            payload["radius"] = self.radius
+        if self.exclude:
+            payload["exclude"] = sorted(self.exclude)
+        return json.dumps(payload)
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping) -> "QuerySpec":
+        """Build a spec from a parsed JSON object."""
+        if "kind" not in payload or "query" not in payload:
+            raise QueryError("query specs need at least 'kind' and 'query'")
+        known = {"kind", "query", "k", "method", "radius", "exclude"}
+        unknown = set(payload) - known
+        if unknown:
+            raise QueryError(f"unknown query spec fields {sorted(unknown)}")
+        query = payload["query"]
+        if isinstance(query, list):
+            query = tuple(query)
+        try:
+            return cls(
+                kind=payload["kind"],
+                query=query,
+                k=int(payload.get("k", 1)),
+                method=payload.get("method", "eager"),
+                radius=payload.get("radius"),
+                exclude=frozenset(int(pid) for pid in payload.get("exclude", ())),
+            )
+        except (TypeError, ValueError) as exc:
+            # bad field types (k="a", exclude=["x"], radius=[]) must
+            # surface as QueryError so CLI callers report a clean line
+            raise QueryError(f"bad query spec field: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, line: str) -> "QuerySpec":
+        """Parse one JSONL line into a spec."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"bad query spec JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise QueryError(f"query specs are JSON objects, got {type(payload).__name__}")
+        return cls.from_mapping(payload)
+
+
+def load_specs(lines: Iterable[str]) -> list[QuerySpec]:
+    """Parse a JSONL stream (blank lines and ``#`` comments skipped)."""
+    specs = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            specs.append(QuerySpec.from_json(line))
+        except QueryError as exc:
+            raise QueryError(f"line {lineno}: {exc}") from exc
+    return specs

@@ -143,6 +143,15 @@ class DiskDiGraph:
     def num_pages(self) -> int:
         return self._forward.num_pages + self._backward.num_pages
 
+    def page_of(self, node: int) -> int:
+        """Forward-file page holding ``node`` (free index look-up).
+
+        Exposed for locality-aware batch planning: queries whose nodes
+        share a forward page hit the same buffer frame.
+        """
+        self._check(node)
+        return self._forward._page_of[node]
+
     def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
         """Outgoing arcs of ``node`` (charged read of the forward file)."""
         self._check(node)

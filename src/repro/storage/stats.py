@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 #: Charge per random I/O used throughout the paper's evaluation (10 ms).
 DEFAULT_IO_PENALTY_S = 0.010
@@ -56,6 +57,35 @@ class CostTracker:
             verifications=self.verifications - before.verifications,
             cpu_seconds=self.cpu_seconds - before.cpu_seconds,
         )
+
+    def merge(self, other: "CostTracker") -> None:
+        """Add another tracker's counters into this one in place.
+
+        Used by the batch engine to fold the per-worker trackers of a
+        parallel batch back into the database's global accounting, and
+        generally to aggregate per-query diffs::
+
+            total = CostTracker()
+            for result in results:
+                total.merge(result.counters)
+        """
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.buffer_hits += other.buffer_hits
+        self.nodes_visited += other.nodes_visited
+        self.heap_pushes += other.heap_pushes
+        self.heap_pops += other.heap_pops
+        self.range_nn_calls += other.range_nn_calls
+        self.verifications += other.verifications
+        self.cpu_seconds += other.cpu_seconds
+
+    @classmethod
+    def merged(cls, diffs: "Iterable[CostTracker]") -> "CostTracker":
+        """A fresh tracker holding the sum of the given counter diffs."""
+        total = cls()
+        for diff in diffs:
+            total.merge(diff)
+        return total
 
     @property
     def io_operations(self) -> int:

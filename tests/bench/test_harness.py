@@ -7,9 +7,13 @@ import pytest
 from repro import GraphDatabase
 from repro.bench.harness import (
     run_continuous_workload,
+    run_throughput_benchmark,
     run_update_workload,
     run_workload,
+    throughput_specs,
 )
+from repro.bench.throughput import default_benchmark_db
+from repro.bench import throughput
 from repro.bench.report import format_table, save_report
 from repro.bench.runner import current_profile
 from repro.datasets.workload import Query, place_node_points
@@ -67,6 +71,43 @@ class TestRunWorkload:
         )
         assert stats["insert_io"] > 0
         assert stats["delete_io"] > 0
+
+
+class TestThroughputBenchmark:
+    def test_repeated_workload_shape(self, bench_db):
+        db, _ = bench_db
+        specs = throughput_specs(db, distinct=5, repeat=3, seed=4)
+        assert len(specs) == 15
+        assert len({spec.key() for spec in specs}) <= 5
+
+    def test_acceptance_speedup_on_default_graph(self):
+        """PR acceptance: batched engine execution (4 workers, warm
+        cache) is at least 2x sequential single-query throughput on
+        the harness's default graph."""
+        db = default_benchmark_db()
+        specs = throughput_specs(db, distinct=25, repeat=4, seed=0)
+        report = run_throughput_benchmark(db, specs, workers=4)
+        assert report.queries == 100
+        assert report.workers == 4
+        assert report.cache_misses == 0  # the warm batch is all hits
+        assert report.batch_io == 0
+        assert report.speedup >= 2.0
+        assert report.batched_qps >= 2.0 * report.sequential_qps
+
+    def test_summary_lines(self, bench_db):
+        db, _ = bench_db
+        specs = throughput_specs(db, distinct=4, repeat=2, seed=1)
+        report = run_throughput_benchmark(db, specs, workers=2)
+        text = "\n".join(report.summary_lines())
+        assert "speedup" in text and "workers" in text
+
+    def test_module_main_smoke(self, capsys):
+        assert throughput.main([
+            "--nodes", "100", "--distinct", "5", "--repeat", "2",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "sequential" in out
 
 
 class TestReport:

@@ -1,0 +1,75 @@
+"""ResultCache: LRU behavior, generation invalidation, statistics."""
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.errors import QueryError
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get(0, "a") is None
+        cache.put(0, "a", "result")
+        assert cache.get(0, "a") == "result"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_capacity_evicts_least_recent(self):
+        cache = ResultCache(2)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.get(0, "a")  # refresh a
+        cache.put(0, "c", 3)  # evicts b
+        assert cache.get(0, "b") is None
+        assert cache.get(0, "a") == 1
+        assert cache.get(0, "c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_reput_updates_in_place(self):
+        cache = ResultCache(2)
+        cache.put(0, "a", 1)
+        cache.put(0, "a", 2)
+        assert len(cache) == 1
+        assert cache.get(0, "a") == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put(0, "a", 1)
+        assert cache.get(0, "a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(QueryError):
+            ResultCache(-1)
+
+
+class TestGenerations:
+    def test_old_generation_never_matches(self):
+        cache = ResultCache(4)
+        cache.put(0, "a", "stale")
+        assert cache.get(1, "a") is None
+
+    def test_stale_entries_pruned_on_put(self):
+        cache = ResultCache(4)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.put(1, "c", 3)
+        assert len(cache) == 1
+        assert cache.stats.invalidations == 2
+
+    def test_clear_counts_invalidations(self):
+        cache = ResultCache(4)
+        cache.put(0, "a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(4)
+        assert cache.stats.hit_rate == 0.0
+        cache.put(0, "a", 1)
+        cache.get(0, "a")
+        cache.get(0, "b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)

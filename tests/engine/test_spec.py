@@ -1,0 +1,116 @@
+"""QuerySpec: validation, identity keys, and the JSONL wire format."""
+
+import pytest
+
+from repro.engine.spec import AUTO_METHOD, KINDS, QuerySpec, load_specs
+from repro.errors import QueryError
+
+
+class TestValidation:
+    def test_kinds_are_closed(self):
+        with pytest.raises(QueryError, match="unknown query kind"):
+            QuerySpec("walk", query=0)
+
+    def test_every_kind_constructs(self):
+        for kind in KINDS:
+            radius = 5.0 if kind == "range" else None
+            spec = QuerySpec(kind, query=0, k=1, radius=radius)
+            assert spec.kind == kind
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(QueryError, match="k must be an integer >= 1"):
+            QuerySpec("rknn", query=0, k=0)
+
+    def test_range_needs_radius(self):
+        with pytest.raises(QueryError, match="radius"):
+            QuerySpec("range", query=0, k=1)
+
+    def test_radius_rejected_elsewhere(self):
+        with pytest.raises(QueryError, match="no radius"):
+            QuerySpec("rknn", query=0, radius=3.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(QueryError, match="radius"):
+            QuerySpec("range", query=0, radius=-1.0)
+
+    def test_edge_location_normalized(self):
+        spec = QuerySpec("rknn", query=[3, 9, 2])
+        assert spec.query == (3, 9, 2.0)
+
+    def test_bad_edge_location(self):
+        with pytest.raises(QueryError, match="edge locations"):
+            QuerySpec("rknn", query=(1, 2))
+
+    def test_non_finite_offset(self):
+        with pytest.raises(QueryError, match="non-finite"):
+            QuerySpec("rknn", query=(1, 2, float("nan")))
+
+
+class TestKey:
+    def test_equal_specs_share_a_key(self):
+        a = QuerySpec("rknn", query=4, k=2, method="lazy", exclude={7, 3})
+        b = QuerySpec("rknn", query=4, k=2, method="lazy", exclude=frozenset({3, 7}))
+        assert a.key() == b.key()
+        assert a == b
+
+    def test_method_distinguishes_rknn_keys(self):
+        eager = QuerySpec("rknn", query=4, k=2, method="eager")
+        lazy = QuerySpec("rknn", query=4, k=2, method="lazy")
+        assert eager.key() != lazy.key()
+
+    def test_method_irrelevant_for_knn(self):
+        a = QuerySpec("knn", query=4, k=2, method="eager")
+        b = QuerySpec("knn", query=4, k=2, method="lazy")
+        assert a.key() == b.key()
+
+    def test_specs_are_hashable(self):
+        assert len({QuerySpec("knn", query=1), QuerySpec("knn", query=1)}) == 1
+
+
+class TestJson:
+    def test_round_trip(self):
+        specs = [
+            QuerySpec("rknn", query=17, k=2, method="lazy-ep", exclude={5}),
+            QuerySpec("knn", query=(0, 1, 0.5), k=3),
+            QuerySpec("range", query=2, k=1, radius=4.5),
+            QuerySpec("bichromatic", query=9, k=1, method=AUTO_METHOD),
+        ]
+        lines = [spec.to_json() for spec in specs]
+        assert load_specs(lines) == specs
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["", "# header", '{"kind": "knn", "query": 1}', "   "]
+        assert load_specs(lines) == [QuerySpec("knn", query=1)]
+
+    def test_bad_json_reports_line(self):
+        with pytest.raises(QueryError, match="line 2"):
+            load_specs(['{"kind": "knn", "query": 1}', "{nope"])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(QueryError, match="unknown query spec fields"):
+            QuerySpec.from_json('{"kind": "knn", "query": 1, "limit": 5}')
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(QueryError, match="at least"):
+            QuerySpec.from_json('{"kind": "knn"}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(QueryError, match="JSON objects"):
+            QuerySpec.from_json("[1, 2]")
+
+    def test_bad_field_types_stay_query_errors(self):
+        # every malformed value must surface as QueryError (never a raw
+        # TypeError/ValueError) so the CLI reports a clean line number
+        bad_lines = [
+            '{"kind": "knn", "query": 7.5}',
+            '{"kind": "knn", "query": 1, "k": "a"}',
+            '{"kind": "knn", "query": 1, "exclude": ["x"]}',
+            '{"kind": "range", "query": 1, "radius": []}',
+            '{"kind": "rknn", "query": [1, "b", 0.5]}',
+            '{"kind": "knn", "query": null}',
+        ]
+        for line in bad_lines:
+            with pytest.raises(QueryError):
+                QuerySpec.from_json(line)
+        with pytest.raises(QueryError, match="line 1"):
+            load_specs([bad_lines[0]])

@@ -1,0 +1,156 @@
+"""DirectedGraphDatabase coverage: parity with the undirected facade on
+symmetric digraphs, engine integration, and cache invalidation across
+updates."""
+
+import random
+
+import pytest
+
+from repro import DirectedGraphDatabase, GraphDatabase, NodePointSet, QuerySpec
+from repro.errors import QueryError
+from tests.conftest import build_random_graph
+
+
+def symmetric_pair(seed: int, nodes: int = 40, extra: int = 25, density: float = 0.2):
+    """An undirected database and its directed twin (each edge becomes
+    two opposite arcs of equal weight), sharing one point set."""
+    rng = random.Random(seed)
+    graph = build_random_graph(rng, nodes, extra)
+    point_nodes = rng.sample(range(nodes), max(1, int(density * nodes)))
+    points = NodePointSet({100 + i: node for i, node in enumerate(point_nodes)})
+    arcs = []
+    for u, v, w in graph.edges():
+        arcs.append((u, v, w))
+        arcs.append((v, u, w))
+    return GraphDatabase(graph, points), DirectedGraphDatabase.from_arcs(arcs, points)
+
+
+class TestSymmetricParity:
+    """On a symmetric digraph, directed distances equal undirected ones,
+    so every query kind must agree with the undirected facade."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rknn_parity(self, seed):
+        undirected, directed = symmetric_pair(seed)
+        for k in (1, 2):
+            for query in range(0, 40, 5):
+                want = undirected.rknn(query, k).points
+                assert directed.rknn(query, k, method="eager").points == want
+                assert directed.rknn(query, k, method="naive").points == want
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rknn_eager_m_parity(self, seed):
+        undirected, directed = symmetric_pair(seed)
+        directed.materialize(3)
+        for query in range(0, 40, 5):
+            want = undirected.rknn(query, 2).points
+            assert directed.rknn(query, 2, method="eager-m").points == want
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_knn_parity(self, seed):
+        undirected, directed = symmetric_pair(seed)
+        for query in range(0, 40, 7):
+            want = undirected.knn(query, 3).neighbors
+            got = directed.knn(query, 3).neighbors
+            assert [pid for pid, _ in got] == [pid for pid, _ in want]
+            for (_, dg), (_, dw) in zip(got, want):
+                assert dg == pytest.approx(dw)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_range_nn_parity(self, seed):
+        undirected, directed = symmetric_pair(seed)
+        for query in range(0, 40, 7):
+            want = undirected.range_nn(query, 3, 8.0).neighbors
+            assert directed.range_nn(query, 3, 8.0).neighbors == want
+
+    def test_exclusion_parity(self):
+        undirected, directed = symmetric_pair(9)
+        pid = sorted(undirected.points.ids())[0]
+        query = undirected.points.node_of(pid)
+        exclude = frozenset({pid})
+        want = undirected.rknn(query, 1, exclude=exclude).points
+        assert directed.rknn(query, 1, exclude=exclude).points == want
+
+
+class TestAsymmetry:
+    def test_one_way_arc_breaks_parity(self):
+        # p at node 2 reaches q at 0 only through the long way round;
+        # q's RkNN under forward distances differs from the undirected view
+        arcs = [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 10.0)]
+        directed = DirectedGraphDatabase.from_arcs(arcs, NodePointSet({7: 2}))
+        # d(2 -> 0) = 10: point 7 is still q's only candidate, check knn cost
+        neighbors = directed.knn(0, 1).neighbors
+        assert neighbors == ((7, pytest.approx(2.0)),)  # 0->1->2 forward
+
+
+class TestDirectedEngine:
+    def test_batch_matches_sequential(self):
+        _, directed = symmetric_pair(6)
+        rng = random.Random(0)
+        specs = [QuerySpec("rknn", rng.randrange(40), k=rng.randint(1, 2))
+                 for _ in range(12)]
+        specs += [QuerySpec("knn", rng.randrange(40), k=2) for _ in range(6)]
+        want = []
+        for spec in specs:
+            if spec.kind == "rknn":
+                want.append(directed.rknn(spec.query, spec.k).points)
+            else:
+                want.append(directed.knn(spec.query, spec.k).neighbors)
+        for workers in (1, 3):
+            outcome = directed.engine().run_batch(specs, workers=workers)
+            got = [r.points if hasattr(r, "points") else r.neighbors
+                   for r in outcome.results]
+            assert got == want, workers
+
+    def test_bichromatic_unsupported(self):
+        _, directed = symmetric_pair(6)
+        with pytest.raises(QueryError, match="bichromatic"):
+            directed.engine().run([QuerySpec("bichromatic", 0)][0])
+
+    def test_insert_invalidates_cache(self):
+        _, directed = symmetric_pair(8)
+        engine = directed.engine()
+        free = next(n for n in range(40) if directed.points.point_at(n) is None)
+        spec = QuerySpec("rknn", free, k=1)
+        stale = engine.run(spec)
+        directed.insert_point(999, free)
+        fresh = engine.run(spec)
+        assert engine.cache_stats.hits == 0  # both runs were misses
+        assert fresh.points == directed.rknn(free, 1).points
+        # the new point sits on the query node (distance 0), so the
+        # fresh result must contain it while the stale one could not
+        assert 999 in fresh.points and 999 not in stale.points
+
+    def test_delete_invalidates_cache(self):
+        _, directed = symmetric_pair(8)
+        directed.materialize(3)
+        engine = directed.engine()
+        victim = sorted(directed.points.ids())[0]
+        node = directed.points.node_of(victim)
+        stale = engine.run(QuerySpec("rknn", node, k=1))
+        directed.delete_point(victim)
+        fresh = engine.run(QuerySpec("rknn", node, k=1))
+        assert victim not in fresh.points
+        assert fresh.points == directed.rknn(node, 1).points
+
+    def test_update_bumps_generation(self):
+        _, directed = symmetric_pair(8)
+        g0 = directed.generation
+        free = next(n for n in range(40) if directed.points.point_at(n) is None)
+        directed.insert_point(999, free)
+        directed.delete_point(999)
+        assert directed.generation == g0 + 2
+
+    def test_read_clone_parity_and_isolation(self):
+        _, directed = symmetric_pair(10)
+        directed.materialize(3)
+        clone = directed.read_clone()
+        before = directed.tracker.snapshot()
+        for query in range(0, 40, 9):
+            for method in ("eager", "eager-m"):
+                assert (clone.rknn(query, 2, method=method).points
+                        == directed.rknn(query, 2, method=method).points)
+        # interleaved clone queries charged nothing extra to the parent:
+        # the parent's diff equals its own queries' summed counters
+        assert directed.tracker.diff(before).nodes_visited > 0
+        assert clone.tracker.nodes_visited > 0

@@ -95,6 +95,65 @@ class TestQuery:
         assert "page I/Os" in capsys.readouterr().out
 
 
+class TestBatch:
+    @pytest.fixture
+    def specs_file(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        path.write_text(
+            "# a mixed batch\n"
+            '{"kind": "rknn", "query": 7, "k": 2, "method": "eager"}\n'
+            '{"kind": "knn", "query": 3, "k": 3}\n'
+            '{"kind": "range", "query": 5, "k": 2, "radius": 8.0}\n'
+            '{"kind": "rknn", "query": 7, "k": 2, "method": "eager"}\n'
+        )
+        return path
+
+    def test_executes_batch(self, saved_graph, specs_file, capsys):
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file),
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rknn(7)" in out and "knn(3)" in out and "range(5)" in out
+        assert "1 cache hits / 3 misses" in out  # the duplicate rknn line
+
+    def test_repeat_exercises_cache(self, saved_graph, specs_file, capsys):
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file),
+                     "--repeat", "2", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1/2" in out and "round 2/2" in out
+        assert "4 cache hits / 0 misses" in out  # second round fully cached
+
+    def test_quiet_prints_only_summary(self, saved_graph, specs_file, capsys):
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file),
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "rknn(7)" not in out
+        assert "queries in" in out
+
+    def test_matches_single_queries(self, saved_graph, specs_file, capsys):
+        main(["query", str(saved_graph), "--query", "7", "--k", "2"])
+        want = capsys.readouterr().out.splitlines()[0]  # "R2NN(7) = [...]"
+        answer = want.split(" = ")[1]
+        main(["batch", str(saved_graph), "--specs", str(specs_file)])
+        batch_out = capsys.readouterr().out
+        assert f"rknn(7) k=2 -> {answer}" in batch_out
+
+    def test_missing_file_is_an_error(self, saved_graph, capsys):
+        assert main(["batch", str(saved_graph), "--specs", "/nope.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_file_is_an_error(self, saved_graph, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("# nothing\n")
+        assert main(["batch", str(saved_graph), "--specs", str(empty)]) == 1
+        assert "no query specs" in capsys.readouterr().err
+
+    def test_bad_spec_reports_line(self, saved_graph, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "knn", "query": 1}\n{"kind": "warp"}\n')
+        assert main(["batch", str(saved_graph), "--specs", str(bad)]) == 1
+        assert "line 2" in capsys.readouterr().err
+
+
 class TestRecommend:
     def test_recommends(self, saved_graph, capsys):
         assert main(["recommend", str(saved_graph), "--k", "1"]) == 0

@@ -5,7 +5,13 @@ import math
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro import EdgePointSet, GraphDatabase, NodePointSet
+from repro import (
+    DirectedGraphDatabase,
+    EdgePointSet,
+    GraphDatabase,
+    NodePointSet,
+    QuerySpec,
+)
 from repro.core.baseline import (
     brute_force_brknn,
     brute_force_knn,
@@ -13,6 +19,7 @@ from repro.core.baseline import (
     dijkstra,
     location_distance,
 )
+from repro.core.directed import brute_force_directed_rknn
 from repro.core.expansion import distances_from
 from repro.graph.graph import Graph, edge_key
 
@@ -219,6 +226,117 @@ class TestSubstrateInvariants:
             assert dists == sorted(dists)
             assert len(entries) <= k + 1
             assert len({pid for pid, _ in entries}) == len(entries)
+
+
+@st.composite
+def directed_instances(draw):
+    """(arcs, points, query node, k) on a random weakly connected digraph."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    weight = st.integers(min_value=1, max_value=9).map(float)
+    arcs: dict[tuple[int, int], float] = {}
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        if draw(st.booleans()):
+            arcs[(node, parent)] = draw(weight)
+        else:
+            arcs[(parent, node)] = draw(weight)
+        if draw(st.booleans()):  # sometimes add the reverse arc too
+            u, v = (node, parent) if (node, parent) not in arcs else (parent, node)
+            if (u, v) not in arcs:
+                arcs[(u, v)] = draw(weight)
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and (u, v) not in arcs:
+            arcs[(u, v)] = draw(weight)
+    count = draw(st.integers(min_value=1, max_value=max(1, n // 2)))
+    nodes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    points = NodePointSet({100 + i: node for i, node in enumerate(nodes)})
+    query = draw(st.integers(min_value=0, max_value=n - 1))
+    k = draw(st.integers(min_value=1, max_value=3))
+    return [(u, v, w) for (u, v), w in arcs.items()], points, query, k
+
+
+class TestDirectedAgainstOracle:
+    """Every directed method against the full forward-Dijkstra oracle.
+
+    This class exists because the pruning lemma of the directed eager
+    traversal has a subtle exception (a pruning witness can be the very
+    candidate it would prune, and a point never counts against itself)
+    that hand-picked examples missed.
+    """
+
+    @given(directed_instances())
+    @settings(**SETTINGS)
+    def test_all_methods_directed(self, instance):
+        arcs, points, query, k = instance
+        db = DirectedGraphDatabase.from_arcs(arcs, points)
+        db.materialize(k + 1)
+        want = brute_force_directed_rknn(db.graph, points, query, k)
+        for method in ("naive", "eager", "eager-m"):
+            assert list(db.rknn(query, k, method=method).points) == want, method
+
+    @given(directed_instances())
+    @settings(**SETTINGS)
+    def test_exclusion_directed(self, instance):
+        arcs, points, query, k = instance
+        db = DirectedGraphDatabase.from_arcs(arcs, points)
+        db.materialize(k + 1)
+        coincident = points.point_at(query)
+        exclude = frozenset({coincident}) if coincident is not None else frozenset()
+        want = brute_force_directed_rknn(db.graph, points, query, k, exclude)
+        for method in ("naive", "eager", "eager-m"):
+            got = list(db.rknn(query, k, method=method, exclude=exclude).points)
+            assert got == want, method
+
+
+class TestEngineProperties:
+    """The batch engine is answer-transparent: for any batch, any worker
+    count and any cache state, results equal the brute-force oracle."""
+
+    @given(restricted_instances(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_batched_methods_match_oracle(self, instance, workers):
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        db.materialize(k + 1)
+        want = brute_force_rknn(graph, points, query, k)
+        specs = [QuerySpec("rknn", query, k=k, method=method)
+                 for method in ("eager", "lazy", "lazy-ep", "eager-m")]
+        engine = db.engine()
+        cold = engine.run_batch(specs, workers=workers)
+        assert [list(r.points) for r in cold.results] == [want] * len(specs)
+        # warm replay: identical answers, all hits, zero incremental I/O
+        warm = engine.run_batch(specs, workers=workers)
+        assert [list(r.points) for r in warm.results] == [want] * len(specs)
+        assert warm.misses == 0 and warm.io == 0
+
+    @given(restricted_instances())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cache_never_survives_updates(self, instance):
+        graph, points, query, k = instance
+        db = GraphDatabase(graph, points)
+        engine = db.engine()
+        spec = QuerySpec("rknn", query, k=k)
+        engine.run(spec)
+        free = next(
+            (n for n in range(graph.num_nodes) if points.point_at(n) is None),
+            None,
+        )
+        if free is None:
+            return
+        db.insert_point(999, free)
+        fresh = engine.run(spec)
+        want = brute_force_rknn(graph, db.points, query, k)
+        assert list(fresh.points) == want
 
 
 class TestBichromaticProperties:
