@@ -1,0 +1,91 @@
+"""Sharded backend: I/O decomposition vs the single-store expansion.
+
+Not a paper figure -- this benchmark validates the scaling claim of the
+sharded backend on the paper's grid dataset (restricted points,
+D = 0.01, k = 1): cutting the graph into K shards decomposes the
+expansion's I/O into per-shard counters that
+
+* sum exactly to the sharded run's total I/O (no work is lost or
+  double-counted), and
+* stay within 2x of the single-store expansion's I/O (each shard runs
+  its own buffer pool, as an independent storage host would; the extra
+  I/O comes only from boundary crossings and per-shard page packing).
+
+Answers are asserted identical to the single store for every query.
+"""
+
+from repro import GraphDatabase, ShardedDatabase
+from repro.bench.report import save_report
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import data_queries, place_node_points
+
+DENSITY = 0.01
+SHARD_COUNTS = (1, 4)
+
+
+def _run(db, queries, k=1):
+    """Replay the workload cold (cleared buffers), collecting answers + I/O."""
+    answers = []
+    io = 0
+    for query in queries:
+        db.clear_buffer()
+        result = db.rknn(query.location, k, method="eager", exclude=query.exclude)
+        answers.append(result.points)
+        io += result.counters.page_reads
+    return answers, io
+
+
+def test_sharded_io_within_2x_of_single_store(benchmark, profile):
+    def experiment():
+        graph = generate_grid(profile.grid_fixed_nodes, average_degree=4.0,
+                              seed=81)
+        points = place_node_points(graph, DENSITY, seed=82)
+        queries = data_queries(points, count=profile.workload_size, seed=83)
+
+        single = GraphDatabase(graph, points,
+                               buffer_pages=profile.buffer_pages)
+        single_answers, single_io = _run(single, queries)
+
+        rows = [{"backend": "single", "io": single_io, "shards": "-",
+                 "ratio": 1.0}]
+        checks = []
+        for num_shards in SHARD_COUNTS:
+            sharded = ShardedDatabase(graph, points, num_shards=num_shards,
+                                      buffer_pages=profile.buffer_pages)
+            before = [t.page_reads for t in sharded.shard_counters()]
+            answers, total_io = _run(sharded, queries)
+            per_shard = [
+                t.page_reads - b
+                for t, b in zip(sharded.shard_counters(), before)
+            ]
+            rows.append({
+                "backend": f"K={num_shards}",
+                "io": total_io,
+                "shards": "+".join(str(reads) for reads in per_shard),
+                "ratio": round(total_io / max(1, single_io), 2),
+            })
+            checks.append({
+                "answers_match": answers == single_answers,
+                "per_shard_sums_to_total": sum(per_shard) == total_io,
+                "within_2x": total_io <= 2 * max(1, single_io),
+            })
+        return rows, checks
+
+    rows, checks = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = ["Sharded backend -- grid, per-shard I/O vs single store",
+             f"{'backend':>8}  {'io':>6}  {'per-shard reads':>20}  ratio"]
+    for row in rows:
+        lines.append(f"{row['backend']:>8}  {row['io']:>6}  "
+                     f"{row['shards']:>20}  {row['ratio']}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_report("sharded_grid_io", text)
+
+    for num_shards, check in zip(SHARD_COUNTS, checks):
+        assert check["answers_match"], \
+            f"K={num_shards}: sharded answers diverge from the single store"
+        assert check["per_shard_sums_to_total"], \
+            f"K={num_shards}: per-shard counters do not sum to the total I/O"
+        assert check["within_2x"], \
+            f"K={num_shards}: sharded I/O exceeds 2x the single store"

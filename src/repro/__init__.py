@@ -22,7 +22,11 @@ landmarks), network Voronoi diagrams with an NVD-based RNN competitor
 (:mod:`repro.metric`), continuous RkNN monitoring over update streams
 (:mod:`repro.streams`), and the cost/selectivity models plus a
 calibrating planner the paper's conclusion calls for
-(:mod:`repro.analytics`).
+(:mod:`repro.analytics`).  For scale-out, :mod:`repro.shard` cuts the
+network into K edge-disjoint storage shards behind
+:class:`ShardedDatabase` / :class:`ShardedDirectedDatabase` facades
+that answer every query identically to the single-store databases
+while the batch engine executes independent shards concurrently.
 
 Quickstart::
 
@@ -49,6 +53,7 @@ from repro.graph.graph import Graph
 from repro.graph.digraph import DiGraph
 from repro.graph.builder import GraphBuilder
 from repro.points.points import EdgePointSet, NodePointSet, PointSet
+from repro.shard import ShardedDatabase, ShardedDirectedDatabase
 from repro.storage.stats import CostModel, CostTracker
 
 __version__ = "1.0.0"
@@ -74,6 +79,8 @@ __all__ = [
     "QuerySpec",
     "ReproError",
     "RnnResult",
+    "ShardedDatabase",
+    "ShardedDirectedDatabase",
     "StorageError",
     "UpdateResult",
     "__version__",

@@ -297,11 +297,26 @@ class GraphDatabase:
     ) -> RnnResult:
         """Reverse k-nearest-neighbor query (paper Sections 3-5).
 
-        ``query`` is a node id in restricted networks, a node id or a
-        canonical ``(u, v, pos)`` edge location in unrestricted ones.
-        ``exclude`` hides data points for the query's duration (the
-        paper's workloads draw queries from the data points and treat
-        them as new arrivals).
+        Parameters
+        ----------
+        query:
+            A node id in restricted networks; a node id or a canonical
+            ``(u, v, pos)`` edge location in unrestricted ones.
+        k:
+            Neighborhood size (>= 1).
+        method:
+            One of :data:`METHODS`; ``"eager-m"`` requires
+            :meth:`materialize` first.
+        exclude:
+            Data point ids hidden for the query's duration (the
+            paper's workloads draw queries from the data points and
+            treat them as new arrivals).
+
+        Returns
+        -------
+        RnnResult
+            The reverse neighbors (sorted point ids) plus the exact
+            counter diff of this call.
         """
         self._check_query(query, k, method)
         points, diff = self._measure(lambda: self._run_rknn(query, k, method, exclude))
@@ -339,7 +354,20 @@ class GraphDatabase:
         method: str = "eager",
         exclude: AbstractSet[int] = _EMPTY,
     ) -> RnnResult:
-        """Continuous RkNN along a route of nodes (Section 5.1)."""
+        """Continuous RkNN along a route of nodes (Section 5.1).
+
+        Parameters
+        ----------
+        route:
+            A walk: consecutive nodes must share an edge.
+        k / method / exclude:
+            As in :meth:`rknn`.
+
+        Returns
+        -------
+        RnnResult
+            The union of the route nodes' reverse neighbor sets.
+        """
         validate_route(self.view, route)
         self._check_query(route[0], k, method)
 
@@ -382,9 +410,28 @@ class GraphDatabase:
         method: str = "eager",
         exclude: AbstractSet[int] = _EMPTY,
     ) -> RnnResult:
-        """Bichromatic RkNN: database points P that keep the query among
-        their k nearest *reference* points (Section 5.1).  Requires an
-        attached reference set; ``exclude`` hides reference points."""
+        """Bichromatic RkNN against the attached reference set (Section 5.1).
+
+        Parameters
+        ----------
+        query:
+            Query location (node id, or edge location when
+            unrestricted).
+        k:
+            Neighborhood size among the *reference* points.
+        method:
+            ``"eager"``, ``"lazy"`` or ``"eager-m"`` on restricted
+            networks (``eager-m`` needs :meth:`materialize_reference`);
+            ``"eager"`` on unrestricted ones.
+        exclude:
+            Reference point ids hidden for the query's duration.
+
+        Returns
+        -------
+        RnnResult
+            Database points P that keep the query among their k
+            nearest reference points.
+        """
         if self._ref_view is None:
             raise QueryError("attach_reference() before bichromatic queries")
         self._check_query(query, k, method)
@@ -428,7 +475,24 @@ class GraphDatabase:
         k: int = 1,
         exclude: AbstractSet[int] = _EMPTY,
     ) -> KnnResult:
-        """The k nearest data points of a location."""
+        """The k nearest data points of a location.
+
+        Parameters
+        ----------
+        query:
+            Query location (node id, or edge location when
+            unrestricted).
+        k:
+            Number of neighbors requested.
+        exclude:
+            Data point ids hidden for the query's duration.
+
+        Returns
+        -------
+        KnnResult
+            ``(point id, network distance)`` pairs in ascending
+            distance order, plus the cost record.
+        """
         def run() -> list[tuple[int, float]]:
             if self.restricted:
                 if not isinstance(query, int):
@@ -446,7 +510,25 @@ class GraphDatabase:
         radius: float,
         exclude: AbstractSet[int] = _EMPTY,
     ) -> KnnResult:
-        """``range-NN(n, k, e)``: k nearest points strictly within ``radius``."""
+        """``range-NN(n, k, e)``: k nearest points strictly within ``radius``.
+
+        Parameters
+        ----------
+        query:
+            Query node id.
+        k:
+            Maximum number of points returned.
+        radius:
+            Strict distance bound ``e`` (points at exactly ``radius``
+            are excluded).
+        exclude:
+            Data point ids hidden for the query's duration.
+
+        Returns
+        -------
+        KnnResult
+            Up to ``k`` points strictly inside the range, ascending.
+        """
         def run() -> list[tuple[int, float]]:
             if self.restricted:
                 return restricted_range_nn(self.view, query, k, radius, exclude)
@@ -488,8 +570,18 @@ class GraphDatabase:
     def insert_point(self, pid: int, location: Location) -> UpdateResult:
         """Add a data point, maintaining the materialized lists if any.
 
-        Restricted networks take a node id, unrestricted ones an
-        ``(u, v, pos)`` triplet.
+        Parameters
+        ----------
+        pid:
+            New point id (must be unused).
+        location:
+            A node id on restricted networks; an ``(u, v, pos)``
+            triplet on unrestricted ones.
+
+        Returns
+        -------
+        UpdateResult
+            The number of updated K-NN lists plus the cost record.
         """
         def run() -> int:
             updated = 0
@@ -518,7 +610,18 @@ class GraphDatabase:
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def delete_point(self, pid: int) -> UpdateResult:
-        """Remove a data point, maintaining the materialized lists if any."""
+        """Remove a data point, maintaining the materialized lists if any.
+
+        Parameters
+        ----------
+        pid:
+            Id of the point to remove.
+
+        Returns
+        -------
+        UpdateResult
+            The number of repaired K-NN lists plus the cost record.
+        """
         def run() -> int:
             updated = 0
             if isinstance(self.points, NodePointSet):

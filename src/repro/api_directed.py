@@ -143,9 +143,11 @@ class DirectedGraphDatabase:
     # -- cost measurement -------------------------------------------------------
 
     def reset_stats(self) -> None:
+        """Zero the counters (the buffer's contents are kept warm)."""
         self.tracker.reset()
 
     def clear_buffer(self) -> None:
+        """Drop every buffered page (cold-start the next query)."""
         self.buffer.clear()
 
     def _measure(self, func):
@@ -163,7 +165,26 @@ class DirectedGraphDatabase:
         method: str = "eager",
         exclude: AbstractSet[int] = _EMPTY,
     ) -> RnnResult:
-        """Directed RkNN: points with ``d(p -> q) <= d(p -> p_k(p))``."""
+        """Directed RkNN: points with ``d(p -> q) <= d(p -> p_k(p))``.
+
+        Parameters
+        ----------
+        query:
+            Query node id.
+        k:
+            Neighborhood size (>= 1).
+        method:
+            One of :data:`METHODS`; ``"eager-m"`` requires
+            :meth:`materialize` first.
+        exclude:
+            Data point ids hidden for the query's duration.
+
+        Returns
+        -------
+        RnnResult
+            The reverse neighbors (sorted point ids) plus the exact
+            counter diff of this call.
+        """
         self._check(query, k, method)
         points, diff = self._measure(
             lambda: directed_rknn(
@@ -178,7 +199,22 @@ class DirectedGraphDatabase:
         k: int = 1,
         exclude: AbstractSet[int] = _EMPTY,
     ) -> KnnResult:
-        """The k nearest points *from* ``query`` (forward distances)."""
+        """The k nearest points *from* ``query`` (forward distances).
+
+        Parameters
+        ----------
+        query:
+            Query node id.
+        k:
+            Number of neighbors requested.
+        exclude:
+            Data point ids hidden for the query's duration.
+
+        Returns
+        -------
+        KnnResult
+            ``(point id, forward distance)`` pairs, ascending.
+        """
         neighbors, diff = self._measure(
             lambda: directed_knn(self.view, query, k, exclude)
         )
@@ -191,7 +227,24 @@ class DirectedGraphDatabase:
         radius: float,
         exclude: AbstractSet[int] = _EMPTY,
     ) -> KnnResult:
-        """Forward range-NN from ``query`` with a strict ``radius``."""
+        """Forward range-NN from ``query`` with a strict ``radius``.
+
+        Parameters
+        ----------
+        query:
+            Query node id.
+        k:
+            Maximum number of points returned.
+        radius:
+            Strict bound on ``d(query -> x)``.
+        exclude:
+            Data point ids hidden for the query's duration.
+
+        Returns
+        -------
+        KnnResult
+            Up to ``k`` points strictly inside the range, ascending.
+        """
         neighbors, diff = self._measure(
             lambda: directed_range_nn(self.view, query, k, radius, exclude)
         )
@@ -200,7 +253,20 @@ class DirectedGraphDatabase:
     # -- updates ----------------------------------------------------------------
 
     def insert_point(self, pid: int, node: int) -> UpdateResult:
-        """Add a data point, maintaining the materialized lists if any."""
+        """Add a data point, maintaining the materialized lists if any.
+
+        Parameters
+        ----------
+        pid:
+            New point id (must be unused).
+        node:
+            Node the point resides on.
+
+        Returns
+        -------
+        UpdateResult
+            The number of updated K-NN lists plus the cost record.
+        """
         def run() -> int:
             self.points = self.points.with_point(pid, node)
             self.view = DirectedView(self.disk, self.points, self.tracker)
@@ -213,7 +279,18 @@ class DirectedGraphDatabase:
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def delete_point(self, pid: int) -> UpdateResult:
-        """Remove a data point, maintaining the materialized lists if any."""
+        """Remove a data point, maintaining the materialized lists if any.
+
+        Parameters
+        ----------
+        pid:
+            Id of the point to remove.
+
+        Returns
+        -------
+        UpdateResult
+            The number of repaired K-NN lists plus the cost record.
+        """
         def run() -> int:
             node = self.points.node_of(pid)
             self.points = self.points.without_point(pid)

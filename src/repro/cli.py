@@ -12,6 +12,8 @@ Usage (also ``python -m repro``)::
     python -m repro path sf.graph --source 3 --target 1200 --search alt
     python -m repro plan sf.graph --k 2 --samples 4
     python -m repro batch sf.graph --specs queries.jsonl --workers 4
+    python -m repro shard build sf.graph --shards 4
+    python -m repro batch sf.graph --specs queries.jsonl --shards 4 --workers 4
 
 The ``batch`` subcommand reads one JSON query spec per line (see
 :mod:`repro.engine.spec`), e.g.::
@@ -46,6 +48,8 @@ from repro.datasets.workload import place_edge_points, place_node_points
 from repro.engine.spec import load_specs
 from repro.errors import QueryError, ReproError
 from repro.graph.io import load_graph, save_graph
+from repro.points.points import NodePointSet
+from repro.shard import ShardedDatabase, ShardedGraphStore
 from repro.paths.astar import astar_path, euclidean_heuristic
 from repro.paths.bidirectional import bidirectional_search
 from repro.paths.dijkstra import shortest_path
@@ -140,6 +144,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execute in file order (no locality planning)")
     batch.add_argument("--quiet", action="store_true",
                        help="print only the batch summary")
+    batch.add_argument("--shards", type=int, default=0, metavar="K",
+                       help="serve from a K-shard backend (0 = unsharded); "
+                       "workers then execute independent shards concurrently")
+
+    shard = commands.add_parser(
+        "shard", help="sharded-backend operations"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_build = shard_sub.add_parser(
+        "build", help="cut a data set into K shards and report the layout"
+    )
+    shard_build.add_argument("graph")
+    shard_build.add_argument("--shards", type=int, default=4, metavar="K")
+    shard_build.add_argument("--order", choices=("bfs", "hilbert"),
+                             default="bfs", help="cut heuristic")
+    shard_build.add_argument("--buffer-pages", type=int, default=256,
+                             help="LRU budget per shard (each shard models "
+                             "an independent storage host)")
+    shard_build.add_argument("--assignment", metavar="FILE",
+                             help="write 'node shard' lines to FILE")
     return parser
 
 
@@ -163,6 +187,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _plan(args)
         if args.command == "batch":
             return _batch(args)
+        if args.command == "shard":
+            return _shard_build(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -293,10 +319,17 @@ def _batch(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
     graph, points = load_graph(args.graph)
-    db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
+    if args.shards < 0:
+        raise QueryError(f"--shards must be >= 0, got {args.shards}")
+    if args.shards > 0:
+        db = ShardedDatabase(graph, points, num_shards=args.shards,
+                             buffer_pages=args.buffer_pages)
+    else:
+        db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
     if args.materialize > 0:
         db.materialize(args.materialize)
     engine = db.engine(cache_entries=args.cache_size, plan=not args.no_plan)
+    backend = f"{args.shards} shard(s)" if args.shards > 0 else "unsharded"
     for round_no in range(args.repeat):
         outcome = engine.run_batch(specs, workers=args.workers)
         if not args.quiet:
@@ -309,7 +342,44 @@ def _batch(args: argparse.Namespace) -> int:
         print(f"{label}{len(outcome)} queries in {outcome.elapsed_seconds:.4f} s "
               f"({outcome.queries_per_second:.0f} q/s), "
               f"{outcome.hits} cache hits / {outcome.misses} misses, "
-              f"{outcome.io} page I/Os, {args.workers} worker(s)")
+              f"{outcome.io} page I/Os, {args.workers} worker(s), {backend}")
+    if args.shards > 0 and not args.quiet:
+        for shard_id, counters in enumerate(db.shard_counters()):
+            print(f"shard {shard_id}: {counters.page_reads} page reads, "
+                  f"{counters.buffer_hits} buffer hits")
+    return 0
+
+
+def _shard_build(args: argparse.Namespace) -> int:
+    graph, points = load_graph(args.graph)
+    if points is not None and not isinstance(points, NodePointSet):
+        raise QueryError(
+            "the sharded backend serves restricted (node-placed) data sets"
+        )
+    point_nodes = (frozenset(node for _, node in points.items())
+                   if points is not None else frozenset())
+    store = ShardedGraphStore(
+        graph,
+        num_shards=args.shards,
+        order=args.order,
+        buffer_pages=args.buffer_pages,
+        point_nodes=point_nodes,
+    )
+    print(f"cut {graph.num_nodes} nodes / {graph.num_edges} edges into "
+          f"{store.num_shards} shard(s) ({args.order} order): "
+          f"{store.num_cut_edges} cut edges "
+          f"({store.num_cut_edges / max(1, graph.num_edges):.1%} of edges)")
+    for shard in store.shards:
+        print(f"shard {shard.shard_id}: {shard.num_nodes} nodes, "
+              f"{shard.num_intra_edges} intra edges, "
+              f"{shard.num_boundary_nodes} boundary nodes, "
+              f"{shard.disk.num_pages} pages, "
+              f"{shard.buffer.capacity_pages} buffer pages")
+    if args.assignment:
+        with open(args.assignment, "w") as handle:
+            for node, shard_id in enumerate(store.plan.assignment):
+                handle.write(f"{node} {shard_id}\n")
+        print(f"wrote assignment to {args.assignment}")
     return 0
 
 

@@ -16,7 +16,11 @@ three cooperating mechanisms:
 * a **worker pool** (:mod:`concurrent.futures`) for read-only batches:
   each worker runs on a :meth:`~repro.api.GraphDatabase.read_clone`
   session with a private buffer and tracker, and the per-query counter
-  diffs are merged back into the database's global accounting.
+  diffs are merged back into the database's global accounting.  Over a
+  sharded backend (:mod:`repro.shard`) the pool turns **shard**-aware:
+  queries are routed to the shard their expansion starts in and whole
+  shard buckets are assigned to workers, so independent shards execute
+  concurrently.
 
 Results come back in the caller's original batch order and are
 bitwise-identical to a sequential loop over the facade (the engine
@@ -38,7 +42,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.planner import BatchPlan, plan_batch, resolve_method
+from repro.engine.planner import BatchPlan, home_shard, plan_batch, resolve_method
 from repro.engine.spec import QuerySpec
 from repro.errors import QueryError
 from repro.storage.stats import CostTracker
@@ -110,6 +114,15 @@ class QueryEngine:
     plan:
         When false, batches execute in the caller's order (no locality
         grouping); the cache still applies.
+    shard_parallel:
+        Shard-aware worker routing (default on).  When the database is
+        sharded (it exposes ``shard_of``) and a batch runs with
+        ``workers > 1``, pending queries are bucketed by the shard
+        their expansion starts in and whole buckets are assigned to
+        workers, so independent shards execute concurrently and no two
+        workers contend for the same shard's pages.  Ignored for
+        unsharded databases; ``False`` falls back to contiguous
+        chunking.
     """
 
     def __init__(
@@ -119,11 +132,13 @@ class QueryEngine:
         cache_entries: int = 1024,
         calibrator=None,
         plan: bool = True,
+        shard_parallel: bool = True,
     ):
         self.db = db
         self.cache = ResultCache(cache_entries)
         self.calibrator = calibrator
         self.plan_batches = plan
+        self.shard_parallel = shard_parallel
 
     @property
     def generation(self) -> int:
@@ -236,11 +251,19 @@ class QueryEngine:
             for index, spec in pending:
                 results[index] = self._execute(self.db, spec)
         else:
-            chunks = _contiguous_chunks(pending, workers)
+            if self.shard_parallel and hasattr(self.db, "shard_of"):
+                chunks = _shard_chunks(self.db, pending, workers)
+            else:
+                chunks = _contiguous_chunks(pending, workers)
             with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
                 futures = [pool.submit(self._run_chunk, chunk) for chunk in chunks]
                 outcomes = [future.result() for future in futures]
-            for chunk_results in outcomes:
+            merge_shards = getattr(self.db, "merge_session_shards", None)
+            for chunk_results, session in outcomes:
+                if merge_shards is not None:
+                    # sharded backends also keep the per-shard I/O
+                    # decomposition of the worker's session
+                    merge_shards(session)
                 for index, result in chunk_results:
                     results[index] = result
                     # fold the worker session's per-query work into the
@@ -250,10 +273,17 @@ class QueryEngine:
             self.cache.put(generation, spec.key(), results[index])
         return len(pending)
 
-    def _run_chunk(self, chunk: list[tuple[int, QuerySpec]]) -> list:
-        """Worker body: execute a chunk on a private read-only session."""
+    def _run_chunk(self, chunk: list[tuple[int, QuerySpec]]) -> tuple[list, object]:
+        """Worker body: execute a chunk on a private read-only session.
+
+        Returns the per-query results together with the session, so
+        the caller can fold the session's shard counters back into the
+        parent database (done on the main thread; trackers are not
+        thread-safe to merge concurrently).
+        """
         session = self.db.read_clone()
-        return [(index, self._execute(session, spec)) for index, spec in chunk]
+        outcomes = [(index, self._execute(session, spec)) for index, spec in chunk]
+        return outcomes, session
 
     def _execute(self, db, spec: QuerySpec):
         if spec.kind == "rknn":
@@ -275,6 +305,26 @@ class QueryEngine:
 def _zero_cost(result):
     """A copy of a cached result carrying an all-zero cost record."""
     return replace(result, io=0, cpu_seconds=0.0, counters=CostTracker())
+
+
+def _shard_chunks(db, pending: list, workers: int) -> list[list]:
+    """Bucket pending queries by home shard, then pack buckets onto workers.
+
+    Each query is routed to the shard its expansion starts in
+    (:func:`repro.engine.planner.home_shard`); a bucket never splits
+    across workers, so each shard's pages are touched by one worker
+    session only and independent shards run concurrently.  Buckets are
+    packed largest-first onto the least-loaded worker to balance the
+    chunks; within a bucket the planner's order is preserved.
+    """
+    buckets: dict[int, list] = {}
+    for item in pending:
+        buckets.setdefault(home_shard(db, item[1].query), []).append(item)
+    count = min(workers, len(buckets))
+    chunks: list[list] = [[] for _ in range(count)]
+    for bucket in sorted(buckets.values(), key=len, reverse=True):
+        min(chunks, key=len).extend(bucket)
+    return [chunk for chunk in chunks if chunk]
 
 
 def _contiguous_chunks(items: list, workers: int) -> list[list]:

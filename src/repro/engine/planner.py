@@ -16,7 +16,10 @@ therefore
 3. within a group, sorts queries by the disk page of their location
    (the :mod:`repro.graph.partition` packing order), so queries whose
    expansions start from the same page run adjacently and share
-   buffer frames.
+   buffer frames.  Sharded backends hand out *shard-major* page
+   ranks, so the same sort also groups queries by home shard -- the
+   order the engine's worker pool exploits to execute distinct shards
+   concurrently (see :func:`repro.engine.engine.QueryEngine`).
 
 The plan is a permutation of the batch -- results are always reported
 in the caller's original order.
@@ -69,24 +72,49 @@ def resolve_method(spec: QuerySpec, calibrator=None) -> QuerySpec:
     return replace(spec, method=calibrator.method_for(spec.k))
 
 
+def _rank_location(db, query, rank_node) -> int:
+    """Rank a query location through a per-node rank function.
+
+    Edge locations rank by the smaller rank of their two endpoints;
+    out-of-range locations rank 0 -- planning and routing must not
+    fail before the facade's own validation can reject the query with
+    a clean error.
+    """
+    num_nodes = db.graph.num_nodes
+    if isinstance(query, int):
+        return rank_node(query) if 0 <= query < num_nodes else 0
+    u, v, _ = query
+    if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+        return 0
+    return min(rank_node(u), rank_node(v))
+
+
+def home_shard(db, query) -> int:
+    """Shard owning a query's start location (0 for unsharded backends).
+
+    Sharded databases expose ``shard_of``; a query expanding outward
+    from a node first touches that node's shard, so the home shard is
+    where the expansion's I/O concentrates.  The engine's worker pool
+    routes queries to workers by this value.
+    """
+    shard_of = getattr(db, "shard_of", None)
+    if shard_of is None:
+        return 0
+    return _rank_location(db, query, shard_of)
+
+
 def page_rank(db, query) -> int:
     """Disk page holding a query location (free node-index look-up).
 
-    Edge locations rank by the smaller page of their two endpoints; a
-    database whose disk layer exposes no page index ranks everything 0.
-    Out-of-range nodes rank 0 too -- planning must not fail before the
-    facade's own validation can reject the query with a clean error.
+    A database whose disk layer exposes no page index ranks everything
+    0.  Sharded stores hand out shard-major page ranks, so sorting by
+    this value alone already groups queries by shard first and by page
+    within a shard second.
     """
     page_of = getattr(db.disk, "page_of", None)
     if page_of is None:
         return 0
-    num_nodes = db.graph.num_nodes
-    if isinstance(query, int):
-        return page_of(query) if 0 <= query < num_nodes else 0
-    u, v, _ = query
-    if not (0 <= u < num_nodes and 0 <= v < num_nodes):
-        return 0
-    return min(page_of(u), page_of(v))
+    return _rank_location(db, query, page_of)
 
 
 def plan_batch(db, specs, calibrator=None) -> BatchPlan:

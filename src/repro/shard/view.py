@@ -1,0 +1,123 @@
+"""Stitched query-time views over sharded stores.
+
+The paper's algorithms consume a :class:`~repro.core.network.NetworkView`
+(or :class:`~repro.core.directed.DirectedView`); these classes present
+the same protocol over a sharded store, so **every algorithm runs
+unchanged** and produces results identical to the single-store
+database.  What changes is where the work lands: each adjacency read is
+charged to the buffer and tracker of the shard owning the node, so one
+logical expansion decomposes into per-shard frontiers -- the expansion
+enters a shard when the frontier crosses a boundary vertex, runs on
+that shard's disk while it stays inside, and leaves through the
+boundary table.
+
+The algorithmic counters (heap traffic, nodes visited, probe and
+verification counts) accumulate on the facade's global tracker, which
+the view exposes as ``tracker``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QueryError
+from repro.points.points import NodePointSet
+from repro.shard.store import ShardedDiGraphStore, ShardedGraphStore
+from repro.storage.stats import CostTracker
+
+
+class ShardedNetworkView:
+    """NetworkView-compatible access to a sharded undirected network.
+
+    Restricted networks only: the sharded backend stores data points on
+    nodes (the in-memory index of the paper's storage scheme).
+    """
+
+    restricted = True
+
+    def __init__(
+        self,
+        store: ShardedGraphStore,
+        points: NodePointSet,
+        tracker: CostTracker,
+    ):
+        if not isinstance(points, NodePointSet):
+            raise QueryError(
+                "the sharded backend serves restricted networks "
+                "(NodePointSet); edge-resident points are unsupported"
+            )
+        self.store = store
+        self.points = points
+        self.tracker = tracker
+
+    # -- graph ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count across every shard."""
+        return self.store.num_nodes
+
+    def neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Stitched adjacency of ``node``, charged to the owning shard."""
+        return self.store.neighbors(node)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)`` via a charged read of ``u``'s list."""
+        for nbr, weight in self.neighbors(u):
+            if nbr == v:
+                return weight
+        raise QueryError(f"no edge between {u} and {v}")
+
+    # -- points ---------------------------------------------------------------
+
+    @property
+    def num_points(self) -> int:
+        """Number of data points."""
+        return len(self.points)
+
+    def point_ids(self) -> Iterable[int]:
+        """Ids of every data point."""
+        return self.points.ids()
+
+    def point_at(self, node: int) -> int | None:
+        """Point residing on ``node``, if any (free index look-up)."""
+        return self.points.point_at(node)
+
+    def node_of(self, pid: int) -> int:
+        """Node holding point ``pid``."""
+        return self.points.node_of(pid)
+
+
+class ShardedDirectedView:
+    """DirectedView-compatible access to a sharded directed network."""
+
+    def __init__(
+        self,
+        store: ShardedDiGraphStore,
+        points: NodePointSet,
+        tracker: CostTracker,
+    ):
+        self.store = store
+        self.points = points
+        self.tracker = tracker
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count across every shard."""
+        return self.store.num_nodes
+
+    def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Stitched outgoing arcs, charged to the owning shard."""
+        return self.store.out_neighbors(node)
+
+    def in_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Stitched incoming arcs, charged to the owning shard."""
+        return self.store.in_neighbors(node)
+
+    def point_at(self, node: int) -> int | None:
+        """Point residing on ``node``, if any (free index look-up)."""
+        return self.points.point_at(node)
+
+    def node_of(self, pid: int) -> int:
+        """Node holding point ``pid``."""
+        return self.points.node_of(pid)

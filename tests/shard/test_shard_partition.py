@@ -1,0 +1,93 @@
+"""Tests for the shard cut heuristics (repro.shard.partition)."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.shard import cut_digraph, cut_graph
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture
+def graph():
+    return build_random_graph(random.Random(11), 80, 60)
+
+
+class TestCutGraph:
+    def test_every_node_assigned_exactly_once(self, graph):
+        plan = cut_graph(graph, 4)
+        assert sorted(n for nodes in plan.shard_nodes for n in nodes) == list(
+            range(graph.num_nodes)
+        )
+        for shard_id, nodes in enumerate(plan.shard_nodes):
+            for node in nodes:
+                assert plan.assignment[node] == shard_id
+
+    def test_edge_disjoint(self, graph):
+        """Each edge is either intra-shard (exactly one shard) or cut."""
+        plan = cut_graph(graph, 4)
+        cut = {(u, v) for u, v, _ in plan.cut_edges}
+        for u, v, _ in graph.edges():
+            crossing = plan.assignment[u] != plan.assignment[v]
+            assert ((u, v) in cut) == crossing
+
+    def test_near_equal_shard_sizes(self, graph):
+        plan = cut_graph(graph, 3)
+        sizes = [len(nodes) for nodes in plan.shard_nodes]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard_has_no_cut(self, graph):
+        plan = cut_graph(graph, 1)
+        assert plan.num_cut_edges == 0
+        assert set(plan.assignment) == {0}
+
+    def test_contiguous_slices_of_packing_order(self, graph):
+        """BFS slicing keeps cut ratios well below a random assignment."""
+        rng = random.Random(5)
+        plan = cut_graph(graph, 4)
+        random_assignment = [rng.randrange(4) for _ in range(graph.num_nodes)]
+        random_cut = sum(
+            1 for u, v, _ in graph.edges()
+            if random_assignment[u] != random_assignment[v]
+        )
+        assert plan.num_cut_edges <= random_cut
+
+    def test_boundary_nodes_touch_cut_edges(self, graph):
+        plan = cut_graph(graph, 4)
+        boundary = plan.boundary_nodes()
+        for u, v, _ in plan.cut_edges:
+            assert u in boundary and v in boundary
+
+    def test_hilbert_order_requires_coords(self, graph):
+        with pytest.raises(GraphError):
+            cut_graph(graph, 2, order="hilbert")
+
+    def test_bad_parameters(self, graph):
+        with pytest.raises(GraphError):
+            cut_graph(graph, 0)
+        with pytest.raises(GraphError):
+            cut_graph(graph, graph.num_nodes + 1)
+        with pytest.raises(GraphError):
+            cut_graph(graph, 2, order="zorder")
+
+
+class TestCutDigraph:
+    def test_assignment_and_cut_arcs(self):
+        rng = random.Random(7)
+        base = build_random_graph(rng, 40, 30)
+        arcs = []
+        for u, v, w in base.edges():
+            arcs.append((u, v, w))
+            if rng.random() < 0.5:
+                arcs.append((v, u, w + 1.0))
+        graph = DiGraph.from_arcs(arcs, num_nodes=40)
+        plan = cut_digraph(graph, 4)
+        assert sorted(n for nodes in plan.shard_nodes for n in nodes) == list(
+            range(40)
+        )
+        cut = {(u, v) for u, v, _ in plan.cut_edges}
+        for u, v, _ in graph.arcs():
+            crossing = plan.assignment[u] != plan.assignment[v]
+            assert ((u, v) in cut) == crossing

@@ -1,0 +1,130 @@
+"""Tests for the sharded stores (repro.shard.store)."""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.shard import ShardedDiGraphStore, ShardedGraphStore
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture
+def graph():
+    return build_random_graph(random.Random(21), 70, 55)
+
+
+@pytest.fixture
+def store(graph):
+    return ShardedGraphStore(graph, num_shards=4, buffer_pages=64)
+
+
+class TestShardedGraphStore:
+    def test_stitched_adjacency_matches_graph(self, graph, store):
+        """Intra-shard disk lists + boundary table == full adjacency."""
+        for node in range(graph.num_nodes):
+            expected = sorted((nbr, w) for nbr, w in graph.neighbors(node))
+            assert sorted(store.neighbors(node)) == expected
+
+    def test_reads_charge_the_owning_shard(self, graph, store):
+        node = 0
+        shard_id = store.shard_of(node)
+        before = [t.snapshot() for t in store.trackers()]
+        store.neighbors(node)
+        for i, tracker in enumerate(store.trackers()):
+            diff = tracker.diff(before[i])
+            if i == shard_id:
+                assert diff.logical_reads == 1
+            else:
+                assert diff.logical_reads == 0
+
+    def test_shard_counters_sum_equals_total_io(self, graph, store):
+        rng = random.Random(3)
+        for _ in range(200):
+            store.neighbors(rng.randrange(graph.num_nodes))
+        total_reads = sum(t.page_reads for t in store.shard_counters())
+        total_hits = sum(t.buffer_hits for t in store.shard_counters())
+        assert total_reads + total_hits == 200
+
+    def test_page_ranks_are_shard_major(self, graph, store):
+        """page_of orders every page of shard i before any of shard i+1."""
+        ranks_by_shard = [[] for _ in range(store.num_shards)]
+        for node in range(graph.num_nodes):
+            ranks_by_shard[store.shard_of(node)].append(store.page_of(node))
+        for earlier, later in zip(ranks_by_shard, ranks_by_shard[1:]):
+            assert max(earlier) < min(later)
+
+    def test_buffer_budget_is_per_shard(self, graph):
+        """Each shard models an independent host with its own buffer."""
+        store = ShardedGraphStore(graph, num_shards=4, buffer_pages=64)
+        assert all(s.buffer.capacity_pages == 64 for s in store.shards)
+        with pytest.raises(StorageError):
+            ShardedGraphStore(graph, num_shards=2, buffer_pages=-1)
+
+    def test_exact_adjacency_order_is_preserved(self, graph, store):
+        """The stitched lists are byte-for-byte the unsharded adjacency."""
+        for node in range(graph.num_nodes):
+            assert store.neighbors(node) == tuple(graph.neighbors(node))
+
+    def test_global_order_is_a_permutation(self, graph, store):
+        assert sorted(store.global_order()) == list(range(graph.num_nodes))
+
+    def test_out_of_range_node_raises(self, store):
+        with pytest.raises(StorageError):
+            store.neighbors(10_000)
+        with pytest.raises(StorageError):
+            store.shard_of(-1)
+
+    def test_read_clone_isolates_buffers_and_counters(self, graph, store):
+        clone = store.read_clone()
+        clone.neighbors(0)
+        clone.neighbors(0)
+        shard_id = store.shard_of(0)
+        assert clone.shards[shard_id].tracker.logical_reads == 2
+        assert store.shards[shard_id].tracker.logical_reads == 0
+        # parent and clone serve identical data
+        assert clone.neighbors(5) == store.neighbors(5)
+
+    def test_reset_and_clear(self, graph, store):
+        store.neighbors(0)
+        store.clear_buffers()
+        store.reset_trackers()
+        assert all(t.logical_reads == 0 for t in store.trackers())
+        store.neighbors(0)
+        shard = store.shards[store.shard_of(0)]
+        assert shard.tracker.page_reads >= 1  # cold again after clear
+
+
+class TestShardedDiGraphStore:
+    @pytest.fixture
+    def digraph(self):
+        rng = random.Random(13)
+        base = build_random_graph(rng, 50, 40)
+        arcs = []
+        for u, v, w in base.edges():
+            arcs.append((u, v, w))
+            if rng.random() < 0.5:
+                arcs.append((v, u, w + 0.5))
+        return DiGraph.from_arcs(arcs, num_nodes=50)
+
+    def test_stitched_arcs_match_graph_exactly(self, digraph):
+        """Byte-for-byte arc order: the tie-order parity invariant."""
+        store = ShardedDiGraphStore(digraph, num_shards=4, buffer_pages=64)
+        for node in range(digraph.num_nodes):
+            assert store.out_neighbors(node) == tuple(
+                digraph.out_neighbors(node)
+            )
+            assert store.in_neighbors(node) == tuple(
+                digraph.in_neighbors(node)
+            )
+
+    def test_directed_reads_charge_owner(self, digraph):
+        store = ShardedDiGraphStore(digraph, num_shards=4, buffer_pages=64)
+        shard_id = store.shard_of(7)
+        store.out_neighbors(7)
+        store.in_neighbors(7)
+        assert store.shards[shard_id].tracker.logical_reads == 2
+        others = [s.tracker.logical_reads
+                  for s in store.shards if s.shard_id != shard_id]
+        assert all(reads == 0 for reads in others)

@@ -1,0 +1,300 @@
+"""Parity suites: the sharded facades against brute force and the
+single-store databases, for K in {1, 4} shards.
+
+The acceptance bar of the sharded backend: every query kind (kNN,
+RkNN, bichromatic, range) returns results *identical* to the unsharded
+database on both undirected and directed graphs -- the shard cut may
+change where I/O lands, never an answer.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DirectedGraphDatabase,
+    GraphDatabase,
+    NodePointSet,
+    ShardedDatabase,
+    ShardedDirectedDatabase,
+)
+from repro.core.baseline import brute_force_brknn, brute_force_knn, brute_force_rknn
+from repro.core.directed import brute_force_directed_rknn
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+from repro.points.points import EdgePointSet
+from tests.conftest import build_random_graph
+
+SHARD_COUNTS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(42)
+    graph = build_random_graph(rng, 90, 70)
+    points = NodePointSet(
+        {pid: node for pid, node in enumerate(rng.sample(range(90), 18))}
+    )
+    reference = NodePointSet(
+        {100 + i: node for i, node in enumerate(rng.sample(range(90), 12))}
+    )
+    queries = rng.sample(range(90), 12)
+    return graph, points, reference, queries
+
+
+@pytest.fixture(scope="module", params=SHARD_COUNTS)
+def sharded(request, setup):
+    graph, points, reference, _ = setup
+    db = ShardedDatabase(graph, points, num_shards=request.param)
+    db.attach_reference(reference)
+    db.materialize(4)
+    db.materialize_reference(4)
+    return db
+
+
+@pytest.fixture(scope="module")
+def unsharded(setup):
+    graph, points, reference, _ = setup
+    db = GraphDatabase(graph, points)
+    db.attach_reference(reference)
+    db.materialize(4)
+    db.materialize_reference(4)
+    return db
+
+
+class TestUndirectedParity:
+    def test_knn_matches_brute_force_and_single_store(
+        self, setup, sharded, unsharded
+    ):
+        graph, points, _, queries = setup
+
+        def canonical(neighbors):
+            # ties at equal distance are order-ambiguous between the
+            # expansion and the brute-force oracle
+            return sorted(neighbors, key=lambda e: (e[1], e[0]))
+
+        for query in queries:
+            expected = brute_force_knn(graph, points, query, 3)
+            assert canonical(sharded.knn(query, k=3).neighbors) == canonical(expected)
+            # against the single store the answer is bitwise identical
+            assert (sharded.knn(query, k=3).neighbors
+                    == unsharded.knn(query, k=3).neighbors)
+
+    @pytest.mark.parametrize("method", ["eager", "lazy", "eager-m", "lazy-ep"])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_rknn_matches_brute_force_and_single_store(
+        self, setup, sharded, unsharded, method, k
+    ):
+        graph, points, _, queries = setup
+        for query in queries:
+            expected = brute_force_rknn(graph, points, query, k)
+            assert list(sharded.rknn(query, k, method=method).points) == expected
+            assert (sharded.rknn(query, k, method=method).points
+                    == unsharded.rknn(query, k, method=method).points)
+
+    @pytest.mark.parametrize("method", ["eager", "lazy", "eager-m"])
+    def test_bichromatic_matches_brute_force_and_single_store(
+        self, setup, sharded, unsharded, method
+    ):
+        graph, points, reference, queries = setup
+        for query in queries:
+            expected = brute_force_brknn(graph, points, reference, query, 2)
+            result = sharded.bichromatic_rknn(query, 2, method=method)
+            assert list(result.points) == expected
+            assert (result.points
+                    == unsharded.bichromatic_rknn(query, 2, method=method).points)
+
+    def test_range_nn_matches_single_store(self, setup, sharded, unsharded):
+        _, _, _, queries = setup
+        for query in queries:
+            for radius in (4.0, 9.0, 20.0):
+                assert (sharded.range_nn(query, 3, radius).neighbors
+                        == unsharded.range_nn(query, 3, radius).neighbors)
+
+    def test_continuous_rknn_matches_single_store(self, setup, sharded, unsharded):
+        graph, _, _, _ = setup
+        route = [0]
+        while len(route) < 5:
+            nxt = graph.neighbors(route[-1])[0][0]
+            if len(route) > 1 and nxt == route[-2]:
+                nxt = graph.neighbors(route[-1])[-1][0]
+            route.append(nxt)
+        for method in ("eager", "lazy", "lazy-ep"):
+            assert (sharded.continuous_rknn(route, 1, method=method).points
+                    == unsharded.continuous_rknn(route, 1, method=method).points)
+
+    def test_exclude_matches_single_store(self, setup, sharded, unsharded):
+        _, points, _, queries = setup
+        hidden = frozenset(list(points.ids())[:2])
+        for query in queries[:4]:
+            assert (sharded.rknn(query, 2, exclude=hidden).points
+                    == unsharded.rknn(query, 2, exclude=hidden).points)
+
+
+class TestDirectedParity:
+    @pytest.fixture(scope="class")
+    def directed_setup(self):
+        rng = random.Random(17)
+        base = build_random_graph(rng, 60, 45)
+        arcs = []
+        for u, v, w in base.edges():
+            arcs.append((u, v, w))
+            if rng.random() < 0.6:
+                arcs.append((v, u, float(rng.randint(1, 9))))
+        graph = DiGraph.from_arcs(arcs, num_nodes=60)
+        points = NodePointSet(
+            {pid: node for pid, node in enumerate(rng.sample(range(60), 12))}
+        )
+        queries = rng.sample(range(60), 10)
+        return graph, points, queries
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("method", ["eager", "eager-m", "naive"])
+    def test_directed_rknn_parity(self, directed_setup, num_shards, method):
+        graph, points, queries = directed_setup
+        single = DirectedGraphDatabase(graph, points)
+        single.materialize(3)
+        sharded = ShardedDirectedDatabase(graph, points, num_shards=num_shards)
+        sharded.materialize(3)
+        for query in queries:
+            for k in (1, 2):
+                expected = brute_force_directed_rknn(graph, points, query, k)
+                assert list(sharded.rknn(query, k, method=method).points) == expected
+                assert (sharded.rknn(query, k, method=method).points
+                        == single.rknn(query, k, method=method).points)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_directed_updates_track_single_store(self, directed_setup,
+                                                 num_shards):
+        graph, points, queries = directed_setup
+        single = DirectedGraphDatabase(graph, points)
+        single.materialize(3)
+        sharded = ShardedDirectedDatabase(graph, points, num_shards=num_shards)
+        sharded.materialize(3)
+        free_node = next(
+            node for node in range(graph.num_nodes)
+            if points.point_at(node) is None
+        )
+        r_s = sharded.insert_point(700, free_node)
+        r_u = single.insert_point(700, free_node)
+        assert r_s.affected_nodes == r_u.affected_nodes
+        assert sharded.generation == 1
+        for query in queries[:4]:
+            assert (sharded.rknn(query, 1, method="eager-m").points
+                    == single.rknn(query, 1, method="eager-m").points)
+        sharded.delete_point(700)
+        single.delete_point(700)
+        assert sharded.generation == 2
+        for query in queries[:4]:
+            assert (sharded.rknn(query, 1).points
+                    == single.rknn(query, 1).points)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_directed_rejects_non_node_queries(self, directed_setup,
+                                               num_shards):
+        graph, points, _ = directed_setup
+        sharded = ShardedDirectedDatabase(graph, points, num_shards=num_shards)
+        with pytest.raises(QueryError):
+            sharded.rknn((0, 1, 0.5), 1)
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_directed_knn_and_range_parity(self, directed_setup, num_shards):
+        graph, points, queries = directed_setup
+        single = DirectedGraphDatabase(graph, points)
+        sharded = ShardedDirectedDatabase(graph, points, num_shards=num_shards)
+        for query in queries:
+            assert (sharded.knn(query, k=3).neighbors
+                    == single.knn(query, k=3).neighbors)
+            assert (sharded.range_nn(query, 2, 8.0).neighbors
+                    == single.range_nn(query, 2, 8.0).neighbors)
+
+
+class TestUpdatesAndSessions:
+    def test_updates_track_single_store(self, setup):
+        graph, points, _, _ = setup
+        sharded = ShardedDatabase(graph, points, num_shards=4)
+        single = GraphDatabase(graph, points)
+        sharded.materialize(3)
+        single.materialize(3)
+        r_s = sharded.insert_point(500, 33)
+        r_u = single.insert_point(500, 33)
+        assert r_s.affected_nodes == r_u.affected_nodes
+        assert sharded.rknn(33, 1, method="eager-m").points == \
+            single.rknn(33, 1, method="eager-m").points
+        assert sharded.generation == 1
+        sharded.delete_point(500)
+        single.delete_point(500)
+        assert sharded.rknn(33, 1).points == single.rknn(33, 1).points
+        assert sharded.generation == 2
+
+    def test_read_clone_is_isolated_and_identical(self, setup):
+        graph, points, _, queries = setup
+        db = ShardedDatabase(graph, points, num_shards=4)
+        clone = db.read_clone()
+        for query in queries[:4]:
+            assert clone.rknn(query, 2).points == db.rknn(query, 2).points
+        # clone counters are private
+        db.reset_stats()
+        clone.reset_stats()
+        clone.knn(queries[0], k=2)
+        assert db.tracker.logical_reads == 0
+        assert sum(t.logical_reads for t in db.shard_counters()) == 0
+
+    def test_tracker_aggregates_out_of_protocol_work(self, setup):
+        """Materialization and route validation fold into db.tracker too."""
+        graph, points, _, _ = setup
+        db = ShardedDatabase(graph, points, num_shards=4)
+        db.materialize(3)
+        shard_reads = sum(t.page_reads for t in db.shard_counters())
+        assert shard_reads > 0
+        assert db.tracker.page_reads >= shard_reads
+        before_tracker = db.tracker.snapshot()
+        before_shards = db.shard_counters()
+        db.continuous_rknn([0, *[n for n, _ in graph.neighbors(0)][:1]], 1)
+        shard_diff = sum(
+            t.page_reads + t.buffer_hits - b.page_reads - b.buffer_hits
+            for t, b in zip(db.shard_counters(), before_shards)
+        )
+        tracker_diff = db.tracker.diff(before_tracker)
+        assert tracker_diff.page_reads + tracker_diff.buffer_hits >= shard_diff
+
+    def test_per_shard_counters_aggregate_into_tracker(self, setup):
+        graph, points, _, queries = setup
+        db = ShardedDatabase(graph, points, num_shards=4)
+        result = db.rknn(queries[0], 2)
+        shard_io = sum(t.page_reads for t in db.shard_counters())
+        assert shard_io >= 1
+        # the facade's global tracker holds the aggregate
+        assert db.tracker.page_reads == shard_io
+        # and the per-query record equals the merged diff
+        assert result.counters.page_reads == shard_io
+
+
+class TestValidation:
+    def test_rejects_edge_point_sets(self, setup):
+        graph, _, _, _ = setup
+        u, v, w = next(iter(graph.edges()))
+        edge_points = EdgePointSet({1: (u, v, w / 2)})
+        with pytest.raises(QueryError):
+            ShardedDatabase(graph, edge_points, num_shards=2)
+
+    def test_query_validation(self, setup):
+        graph, points, _, _ = setup
+        db = ShardedDatabase(graph, points, num_shards=2)
+        with pytest.raises(QueryError):
+            db.rknn(10_000, 1)
+        with pytest.raises(QueryError):
+            db.rknn(0, 0)
+        with pytest.raises(QueryError):
+            db.rknn(0, 1, method="psychic")
+        with pytest.raises(QueryError):
+            db.rknn(0, 1, method="eager-m")  # not materialized
+        with pytest.raises(QueryError):
+            db.bichromatic_rknn(0, 1)  # no reference attached
+
+    def test_k1_equals_single_store_layout(self, setup):
+        """One shard stores the whole graph: no cut edges at all."""
+        graph, points, _, _ = setup
+        db = ShardedDatabase(graph, points, num_shards=1)
+        assert db.num_shards == 1
+        assert db.store.num_cut_edges == 0

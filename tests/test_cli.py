@@ -147,6 +147,64 @@ class TestBatch:
         assert main(["batch", str(saved_graph), "--specs", str(empty)]) == 1
         assert "no query specs" in capsys.readouterr().err
 
+    def test_sharded_backend_matches_unsharded(self, saved_graph, specs_file,
+                                               capsys):
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file)]) == 0
+        unsharded = [line for line in capsys.readouterr().out.splitlines()
+                     if "->" in line]
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file),
+                     "--shards", "4", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        sharded = [line for line in out.splitlines() if "->" in line]
+        # identical answers (the per-line I/O counts may differ)
+        strip = lambda lines: [line.split(" [")[0] for line in lines]
+        assert strip(sharded) == strip(unsharded)
+        assert "4 shard(s)" in out
+        assert "shard 0:" in out and "shard 3:" in out
+
+    def test_negative_shards_is_an_error(self, saved_graph, specs_file, capsys):
+        assert main(["batch", str(saved_graph), "--specs", str(specs_file),
+                     "--shards", "-1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sharded_rejects_edge_points(self, tmp_path, specs_file, capsys):
+        path = tmp_path / "edge.graph"
+        assert main(["generate", "--kind", "grid", "--nodes", "100",
+                     "--density", "0.1", "--placement", "edge",
+                     "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(path), "--specs", str(specs_file),
+                     "--shards", "2"]) == 1
+        assert "restricted" in capsys.readouterr().err
+
+
+class TestShardBuild:
+    def test_reports_layout(self, saved_graph, capsys):
+        assert main(["shard", "build", str(saved_graph), "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "into 4 shard(s)" in out
+        assert "cut edges" in out
+        for shard_id in range(4):
+            assert f"shard {shard_id}:" in out
+
+    def test_writes_assignment(self, saved_graph, tmp_path, capsys):
+        target = tmp_path / "assignment.txt"
+        assert main(["shard", "build", str(saved_graph), "--shards", "3",
+                     "--assignment", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert len(lines) == 100  # one line per node
+        shards = {int(line.split()[1]) for line in lines}
+        assert shards == {0, 1, 2}
+
+    def test_single_shard_has_no_cut(self, saved_graph, capsys):
+        assert main(["shard", "build", str(saved_graph), "--shards", "1"]) == 0
+        assert "0 cut edges" in capsys.readouterr().out
+
+    def test_too_many_shards_is_an_error(self, saved_graph, capsys):
+        assert main(["shard", "build", str(saved_graph),
+                     "--shards", "5000"]) == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_bad_spec_reports_line(self, saved_graph, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text('{"kind": "knn", "query": 1}\n{"kind": "warp"}\n')

@@ -1,20 +1,34 @@
 """The documentation's code must run.
 
-Extracts the fenced ``python`` blocks from README.md and the package
-docstring example and executes them in one shared namespace, so the
-quickstart can never drift from the actual API.
+Extracts the fenced ``python`` blocks from README.md, the docs pages
+(``docs/architecture.md``, ``docs/algorithms.md``) and the package
+docstring example, and executes them -- one shared namespace per
+document, blocks in order -- so no published snippet can drift from
+the actual API.
 """
 
 import re
 from pathlib import Path
 
+import pytest
+
 import repro
 
-README = Path(__file__).resolve().parent.parent / "README.md"
+ROOT = Path(__file__).resolve().parent.parent
+README = ROOT / "README.md"
+DOCS_PAGES = sorted((ROOT / "docs").glob("*.md"))
 
 
 def python_blocks(text: str) -> list[str]:
     return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def run_blocks(path: Path) -> dict:
+    """Execute every python block of a page in one shared namespace."""
+    namespace: dict[str, object] = {}
+    for block in python_blocks(path.read_text()):
+        exec(compile(block, str(path), "exec"), namespace)
+    return namespace
 
 
 class TestReadmeExamples:
@@ -23,13 +37,31 @@ class TestReadmeExamples:
         assert len(blocks) >= 3
 
     def test_blocks_execute_in_order(self):
-        blocks = python_blocks(README.read_text())
-        namespace: dict[str, object] = {}
-        for block in blocks:
-            exec(compile(block, str(README), "exec"), namespace)
         # the quickstart leaves a database around with expected state
-        db = namespace["db"]
+        db = run_blocks(README)["db"]
         assert db.points is not None
+
+
+class TestDocsPages:
+    """docs/*.md snippets execute (architecture + algorithms pages)."""
+
+    def test_docs_pages_exist(self):
+        names = {page.name for page in DOCS_PAGES}
+        assert {"architecture.md", "algorithms.md"} <= names
+
+    @pytest.mark.parametrize("page", DOCS_PAGES, ids=lambda p: p.name)
+    def test_page_has_enough_snippets(self, page):
+        assert len(python_blocks(page.read_text())) >= 2
+
+    def test_architecture_page_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "architecture.md")
+        # the walkthrough leaves a sharded database around
+        assert namespace["db"].num_shards == 4
+
+    def test_algorithms_page_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "algorithms.md")
+        # every method agreed with the brute-force oracle along the way
+        assert namespace["expected"]
 
 
 class TestPackageDocstring:

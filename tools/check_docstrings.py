@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail when a public API surface is missing docstrings.
+
+A dependency-free stand-in for ``interrogate``/``pydocstyle`` that CI
+and the test suite can both run: walks the given files/directories and
+requires a docstring on
+
+* every module,
+* every public class (name not starting with ``_``), and
+* every public function/method, including properties and classmethods
+  (dunder methods and ``_private`` names are exempt, as are nested
+  functions).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/api.py src/repro/shard
+
+Exit status 0 when everything is documented; 1 with a per-symbol
+report otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _walk_module(path: Path) -> list[str]:
+    """Return the undocumented public symbols of one python file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}: module")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{path}: class {node.name}")
+            for member in node.body:
+                if (isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and _is_public(member.name)
+                        and ast.get_docstring(member) is None):
+                    missing.append(
+                        f"{path}: method {node.name}.{member.name} "
+                        f"(line {member.lineno})"
+                    )
+        elif (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+              and _is_public(node.name)
+              and ast.get_docstring(node) is None):
+            missing.append(f"{path}: function {node.name} (line {node.lineno})")
+    return missing
+
+
+def collect_files(targets: list[str]) -> list[Path]:
+    """Expand file and directory arguments into python files."""
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a python file or directory: {target}")
+    return files
+
+
+def main(argv: list[str]) -> int:
+    """Check every target; print missing symbols; return an exit code."""
+    if not argv:
+        print("usage: check_docstrings.py FILE_OR_DIR [...]", file=sys.stderr)
+        return 2
+    missing: list[str] = []
+    files = collect_files(argv)
+    for path in files:
+        missing.extend(_walk_module(path))
+    if missing:
+        print(f"{len(missing)} public symbol(s) missing docstrings:")
+        for entry in missing:
+            print(f"  {entry}")
+        return 1
+    print(f"docstring coverage OK: {len(files)} file(s), "
+          "every public symbol documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
