@@ -26,7 +26,11 @@ calibrating planner the paper's conclusion calls for
 network into K edge-disjoint storage shards behind
 :class:`ShardedDatabase` / :class:`ShardedDirectedDatabase` facades
 that answer every query identically to the single-store databases
-while the batch engine executes independent shards concurrently.
+while the batch engine executes independent shards concurrently.  For
+raw speed, :mod:`repro.compact` flattens the network into CSR arrays
+behind :class:`CompactDatabase` / :class:`CompactDirectedDatabase`
+facades -- the memory-resident fast path serving the same answers with
+zero page I/O.
 
 Quickstart::
 
@@ -39,6 +43,7 @@ Quickstart::
 
 from repro.api import GraphDatabase
 from repro.api_directed import DirectedGraphDatabase
+from repro.compact import CompactDatabase, CompactDirectedDatabase
 from repro.core.result import KnnResult, RnnResult, UpdateResult
 from repro.engine import BatchResult, QueryEngine, QuerySpec
 from repro.errors import (
@@ -60,6 +65,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchResult",
+    "CompactDatabase",
+    "CompactDirectedDatabase",
     "CostModel",
     "CostTracker",
     "DiGraph",

@@ -79,6 +79,9 @@ class GraphDatabase:
         ``"hilbert"`` packs spatially (requires coordinates).
     """
 
+    #: Engine-visible backend tag (see :func:`repro.engine.planner.backend_of`).
+    backend = "disk"
+
     def __init__(
         self,
         graph: Graph,

@@ -52,6 +52,9 @@ DEFAULT_BUFFER_PAGES = 256
 class DirectedGraphDatabase:
     """Disk-based directed graph database answering RkNN queries."""
 
+    #: Engine-visible backend tag (see :func:`repro.engine.planner.backend_of`).
+    backend = "disk"
+
     def __init__(
         self,
         graph: DiGraph,

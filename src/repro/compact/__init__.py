@@ -1,0 +1,29 @@
+"""Compact backend: CSR flat-array stores behind database facades.
+
+The memory-resident fast path of the multi-backend architecture: the
+network is flattened once into compressed-sparse-row arrays
+(:mod:`repro.compact.csr`), served through store adapters matching the
+disk protocol (:mod:`repro.compact.store`), and exposed behind
+:class:`CompactDatabase` / :class:`CompactDirectedDatabase` facades
+(:mod:`repro.compact.db`) that answer every restricted query
+identically to the disk-backed and sharded databases -- with zero page
+I/O and no buffer bookkeeping on the adjacency hot path.
+"""
+
+from repro.compact.csr import CSRDiGraph, CSRGraph
+from repro.compact.db import CompactDatabase, CompactDirectedDatabase
+from repro.compact.store import (
+    CompactDiGraphStore,
+    CompactGraphStore,
+    MemoryKnnStore,
+)
+
+__all__ = [
+    "CSRDiGraph",
+    "CSRGraph",
+    "CompactDatabase",
+    "CompactDiGraphStore",
+    "CompactDirectedDatabase",
+    "CompactGraphStore",
+    "MemoryKnnStore",
+]

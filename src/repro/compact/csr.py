@@ -1,0 +1,375 @@
+"""CSR (compressed-sparse-row) flat-array graph kernels.
+
+The disk-resident stores spend most of a query decoding adjacency
+pages and maintaining LRU bookkeeping; :class:`CSRGraph` and
+:class:`CSRDiGraph` strip both away.  A CSR kernel is three flat
+arrays built exactly once:
+
+* ``offsets`` -- ``num_nodes + 1`` integers; node ``v``'s adjacency
+  occupies the half-open range ``offsets[v]:offsets[v + 1]``;
+* ``targets`` -- the neighbor ids of every node, concatenated in the
+  node's original adjacency order;
+* ``weights`` -- the matching edge weights (C doubles).
+
+Adjacency order is preserved verbatim from the source graph, so every
+downstream algorithm (whose heap tie-breaking depends on neighbor
+order) produces results byte-identical to the disk-backed stores.
+
+Kernels build from an in-memory :class:`~repro.graph.graph.Graph` /
+:class:`~repro.graph.digraph.DiGraph`, or load straight from an
+existing :class:`~repro.storage.disk.DiskGraph` /
+:class:`~repro.storage.disk_directed.DiskDiGraph` (decoding each page
+once, outside the charged read path).  ``to_graph`` / ``to_digraph``
+reconstruct an in-memory graph whose adjacency lists match the kernel
+entry for entry -- the round trip the property suite leans on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph
+
+AdjacencyLists = Sequence[Sequence[tuple[int, float]]]
+
+
+def _build_arrays(
+    lists: AdjacencyLists,
+) -> tuple[array, array, array]:
+    """Flatten adjacency lists into ``(offsets, targets, weights)``.
+
+    Validates what the in-memory graphs also reject -- self-loops,
+    parallel edges (a neighbor repeated within one list), out-of-range
+    targets and non-positive weights -- so a kernel can never hold a
+    network the rest of the system would refuse.
+    """
+    num_nodes = len(lists)
+    offsets = array("q", [0] * (num_nodes + 1))
+    targets = array("q")
+    weights = array("d")
+    for node, adjacency in enumerate(lists):
+        seen: set[int] = set()
+        for nbr, weight in adjacency:
+            if not 0 <= nbr < num_nodes:
+                raise GraphError(
+                    f"edge ({node}, {nbr}) references an unknown node"
+                )
+            if nbr == node:
+                raise GraphError(f"self-loop on node {node} is not allowed")
+            if nbr in seen:
+                raise GraphError(f"duplicate edge ({node}, {nbr})")
+            if weight <= 0:
+                raise GraphError(
+                    f"edge ({node}, {nbr}) has non-positive weight {weight}"
+                )
+            seen.add(nbr)
+            targets.append(nbr)
+            weights.append(float(weight))
+        offsets[node + 1] = len(targets)
+    return offsets, targets, weights
+
+
+def _merge_edge_order(
+    lists: list[list[tuple[int, float]]],
+) -> list[tuple[int, int, float]]:
+    """Recover one global edge sequence consistent with every local order.
+
+    Re-adding the returned edges to a fresh graph appends each node's
+    incident edges in exactly the order the adjacency lists dictate,
+    reproducing the lists entry for entry.  An edge is emitted only
+    when it sits at the front of *both* endpoints' pending lists.  The
+    source lists came from a real graph, so a consistent order exists;
+    inconsistent hand-built input is rejected.
+    """
+    num_nodes = len(lists)
+    pending: list[deque] = [deque() for _ in range(num_nodes)]
+    remaining = 0
+    for node, adjacency in enumerate(lists):
+        for nbr, weight in adjacency:
+            pending[node].append((nbr, weight))
+            remaining += 1
+    if remaining % 2:
+        raise GraphError("undirected adjacency lists are not symmetric")
+    remaining //= 2
+
+    def ready(u: int) -> tuple[int, int, float] | None:
+        """The edge at the front of ``u``'s list, if its partner agrees."""
+        if not pending[u]:
+            return None
+        v, weight = pending[u][0]
+        if not pending[v]:
+            return None
+        mirror, mirror_weight = pending[v][0]
+        if mirror != u or mirror_weight != weight:
+            return None
+        return (u, v, weight)
+
+    edges: list[tuple[int, int, float]] = []
+    frontier = deque(range(num_nodes))
+    queued = [True] * num_nodes
+    while frontier:
+        u = frontier.popleft()
+        queued[u] = False
+        while True:
+            edge = ready(u)
+            if edge is None:
+                break
+            _, v, weight = edge
+            pending[u].popleft()
+            pending[v].popleft()
+            edges.append(edge)
+            if not queued[v]:
+                frontier.append(v)
+                queued[v] = True
+    if len(edges) != remaining:
+        raise GraphError("adjacency lists admit no consistent edge order")
+    return edges
+
+
+def _merge_arc_order(
+    out_lists: list[list[tuple[int, float]]],
+    in_lists: list[list[tuple[int, float]]],
+) -> list[tuple[int, int, float]]:
+    """Directed counterpart of :func:`_merge_edge_order`.
+
+    An arc ``u -> v`` is emitted when it heads both ``u``'s pending
+    out-list and ``v``'s pending in-list.
+    """
+    num_nodes = len(out_lists)
+    out_pending: list[deque] = [deque(lst) for lst in out_lists]
+    in_pending: list[deque] = [deque(lst) for lst in in_lists]
+    total = sum(len(lst) for lst in out_lists)
+    if total != sum(len(lst) for lst in in_lists):
+        raise GraphError("out- and in-adjacency lists disagree on arc count")
+
+    def ready(u: int) -> tuple[int, int, float] | None:
+        if not out_pending[u]:
+            return None
+        v, weight = out_pending[u][0]
+        if not in_pending[v]:
+            return None
+        tail, mirror_weight = in_pending[v][0]
+        if tail != u or mirror_weight != weight:
+            return None
+        return (u, v, weight)
+
+    arcs: list[tuple[int, int, float]] = []
+    frontier = deque(range(num_nodes))
+    queued = [True] * num_nodes
+    while frontier:
+        u = frontier.popleft()
+        queued[u] = False
+        while True:
+            arc = ready(u)
+            if arc is None:
+                break
+            _, v, weight = arc
+            out_pending[u].popleft()
+            in_pending[v].popleft()
+            arcs.append(arc)
+            # advancing v's in-list may unblock the arc now heading it,
+            # whose readiness is only ever checked from its *tail*
+            if in_pending[v]:
+                tail = in_pending[v][0][0]
+                if not queued[tail]:
+                    frontier.append(tail)
+                    queued[tail] = True
+    if len(arcs) != total:
+        raise GraphError("adjacency lists admit no consistent arc order")
+    return arcs
+
+
+class CSRGraph:
+    """Flat-array adjacency of an undirected network.
+
+    Build once with :meth:`from_graph` (or :meth:`from_disk_graph`),
+    then read adjacency through :meth:`neighbors`.  The arrays are the
+    storage; each node's ``(neighbor, weight)`` tuple is assembled at
+    most once and memoized, so steady-state reads are a list index --
+    no page decode, no buffer bookkeeping, no charged I/O.
+    """
+
+    def __init__(self, lists: AdjacencyLists):
+        self.num_nodes = len(lists)
+        if self.num_nodes == 0:
+            raise GraphError("graph needs at least one node, got 0")
+        self.offsets, self.targets, self.weights = _build_arrays(lists)
+        self._check_symmetry(lists)
+        self.num_edges = len(self.targets) // 2
+        self._memo: list[tuple[tuple[int, float], ...] | None]
+        self._memo = [None] * self.num_nodes
+
+    @staticmethod
+    def _check_symmetry(lists: AdjacencyLists) -> None:
+        """Reject lists no undirected graph could produce: every entry
+        ``(v, w)`` on ``u`` must be mirrored by ``(u, w)`` on ``v``."""
+        weights: dict[tuple[int, int], float] = {}
+        for node, adjacency in enumerate(lists):
+            for nbr, weight in adjacency:
+                weights[(node, nbr)] = float(weight)
+        for (u, v), weight in weights.items():
+            if weights.get((v, u)) != weight:
+                raise GraphError(
+                    f"undirected adjacency lists are not symmetric: "
+                    f"edge ({u}, {v}) has no matching mirror entry"
+                )
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Flatten an in-memory :class:`~repro.graph.graph.Graph`."""
+        return cls([graph.neighbors(v) for v in range(graph.num_nodes)])
+
+    @classmethod
+    def from_disk_graph(cls, disk) -> "CSRGraph":
+        """Load from an existing :class:`~repro.storage.disk.DiskGraph`.
+
+        Decodes every serialized page exactly once, outside the charged
+        read path (construction is not a query), and preserves the
+        on-disk adjacency order.
+        """
+        from repro.storage.page import decode_adjacency_page
+
+        lists: list[tuple[tuple[int, float], ...]] = [()] * disk.num_nodes
+        for payload in disk._pages:
+            for record in decode_adjacency_page(payload):
+                lists[record.node] = record.neighbors
+        return cls(lists)
+
+    # -- reads -----------------------------------------------------------
+
+    def degree(self, node: int) -> int:
+        """Neighbor count of ``node``."""
+        return self.offsets[node + 1] - self.offsets[node]
+
+    def neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """``(neighbor, weight)`` pairs of ``node`` in original order."""
+        memo = self._memo[node]
+        if memo is None:
+            lo, hi = self.offsets[node], self.offsets[node + 1]
+            memo = tuple(zip(self.targets[lo:hi], self.weights[lo:hi]))
+            self._memo[node] = memo
+        return memo
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the three flat arrays."""
+        return (
+            self.offsets.itemsize * len(self.offsets)
+            + self.targets.itemsize * len(self.targets)
+            + self.weights.itemsize * len(self.weights)
+        )
+
+    # -- round trip ------------------------------------------------------
+
+    def to_graph(self) -> Graph:
+        """An in-memory graph whose adjacency lists match this kernel."""
+        lists = [list(self.neighbors(v)) for v in range(self.num_nodes)]
+        edges = _merge_edge_order(lists)
+        return Graph(self.num_nodes, edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+
+class CSRDiGraph:
+    """Flat-array forward + backward adjacency of a directed network.
+
+    Two CSR triples over the same node set: ``out`` holds every node's
+    outgoing arcs, ``in`` its incoming arcs, both in the original
+    adjacency order so backward expansions and forward probes match
+    the paged files arc for arc.
+    """
+
+    def __init__(self, out_lists: AdjacencyLists, in_lists: AdjacencyLists):
+        if len(out_lists) != len(in_lists):
+            raise GraphError("out- and in-lists cover different node counts")
+        self.num_nodes = len(out_lists)
+        if self.num_nodes == 0:
+            raise GraphError("graph needs at least one node, got 0")
+        self._out_offsets, self._out_targets, self._out_weights = _build_arrays(
+            out_lists
+        )
+        self._in_offsets, self._in_targets, self._in_weights = _build_arrays(
+            in_lists
+        )
+        if len(self._out_targets) != len(self._in_targets):
+            raise GraphError("out- and in-adjacency lists disagree on arc count")
+        self.num_arcs = len(self._out_targets)
+        self._out_memo: list[tuple[tuple[int, float], ...] | None]
+        self._out_memo = [None] * self.num_nodes
+        self._in_memo: list[tuple[tuple[int, float], ...] | None]
+        self._in_memo = [None] * self.num_nodes
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CSRDiGraph":
+        """Flatten an in-memory :class:`~repro.graph.digraph.DiGraph`."""
+        nodes = range(graph.num_nodes)
+        return cls(
+            [graph.out_neighbors(v) for v in nodes],
+            [graph.in_neighbors(v) for v in nodes],
+        )
+
+    @classmethod
+    def from_disk_digraph(cls, disk) -> "CSRDiGraph":
+        """Load from an existing
+        :class:`~repro.storage.disk_directed.DiskDiGraph`, decoding each
+        direction file's pages once, uncharged."""
+        from repro.storage.page import decode_adjacency_page
+
+        def decode(direction) -> list[tuple[tuple[int, float], ...]]:
+            lists: list[tuple[tuple[int, float], ...]] = [()] * disk.num_nodes
+            for payload in direction._pages:
+                for record in decode_adjacency_page(payload):
+                    lists[record.node] = record.neighbors
+            return lists
+
+        return cls(decode(disk._forward), decode(disk._backward))
+
+    # -- reads -----------------------------------------------------------
+
+    def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Outgoing ``(head, weight)`` arcs of ``node``, original order."""
+        memo = self._out_memo[node]
+        if memo is None:
+            lo, hi = self._out_offsets[node], self._out_offsets[node + 1]
+            memo = tuple(zip(self._out_targets[lo:hi], self._out_weights[lo:hi]))
+            self._out_memo[node] = memo
+        return memo
+
+    def in_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Incoming ``(tail, weight)`` arcs of ``node``, original order."""
+        memo = self._in_memo[node]
+        if memo is None:
+            lo, hi = self._in_offsets[node], self._in_offsets[node + 1]
+            memo = tuple(zip(self._in_targets[lo:hi], self._in_weights[lo:hi]))
+            self._in_memo[node] = memo
+        return memo
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the six flat arrays."""
+        arrays = (
+            self._out_offsets, self._out_targets, self._out_weights,
+            self._in_offsets, self._in_targets, self._in_weights,
+        )
+        return sum(a.itemsize * len(a) for a in arrays)
+
+    # -- round trip ------------------------------------------------------
+
+    def to_digraph(self) -> DiGraph:
+        """An in-memory digraph whose adjacency matches this kernel."""
+        out_lists = [list(self.out_neighbors(v)) for v in range(self.num_nodes)]
+        in_lists = [list(self.in_neighbors(v)) for v in range(self.num_nodes)]
+        arcs = _merge_arc_order(out_lists, in_lists)
+        return DiGraph(self.num_nodes, arcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRDiGraph(|V|={self.num_nodes}, |A|={self.num_arcs})"

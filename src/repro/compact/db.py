@@ -1,23 +1,23 @@
-"""Sharded database facades: the paper's queries over K storage shards.
+"""Compact database facades: the paper's queries over CSR flat arrays.
 
-:class:`ShardedDatabase` mirrors the restricted-network surface of
+:class:`CompactDatabase` mirrors the restricted-network surface of
 :class:`~repro.api.GraphDatabase` -- kNN, range-NN, monochromatic /
 continuous / bichromatic RkNN, materialization, point updates, batch
-serving -- over a :class:`~repro.shard.store.ShardedGraphStore`.
-Results are **identical** to the single-store database (the algorithms
-are reused verbatim over the stitched view); what changes is the
-storage topology: every adjacency read is served, buffered and charged
-by the shard owning the node.
+serving -- over a :class:`~repro.compact.store.CompactGraphStore`.
+The query algorithms are reused verbatim through the standard
+:class:`~repro.core.network.NetworkView`, so answers are **identical**
+to the disk-backed and sharded databases; what changes is the storage:
+adjacency lives in three flat arrays, reads are free (no pages, no
+buffer, no charged I/O) and a query's cost record counts only the
+algorithmic work (heap traffic, nodes visited, probes, CPU).
 
-Cost accounting follows the database convention: every query returns
-the merged counter diff across the global tracker (CPU, heap traffic,
-probes) and all per-shard trackers (page I/O), and the merged I/O is
-folded back into ``db.tracker`` so the existing aggregate accounting
-keeps working.  The per-shard decomposition stays available through
-:meth:`ShardedDatabase.shard_counters`.
-
-:class:`ShardedDirectedDatabase` is the directed counterpart
+:class:`CompactDirectedDatabase` is the directed counterpart
 (:class:`~repro.api_directed.DirectedGraphDatabase` surface).
+
+Because the store is immutable shared memory, :meth:`read_clone` is a
+constant-time operation: a session is a new tracker over the *same*
+arrays, which is what lets the batch engine hand every worker a
+session without copying the graph (``backend="compact"`` mode).
 """
 
 from __future__ import annotations
@@ -25,6 +25,11 @@ from __future__ import annotations
 import copy
 from typing import AbstractSet, Iterable, Sequence
 
+from repro.compact.store import (
+    CompactDiGraphStore,
+    CompactGraphStore,
+    MemoryKnnStore,
+)
 from repro.core.bichromatic import (
     bichromatic_eager,
     bichromatic_eager_m,
@@ -32,6 +37,7 @@ from repro.core.bichromatic import (
 )
 from repro.core.continuous import validate_route
 from repro.core.directed import (
+    DirectedView,
     directed_all_nn,
     directed_delete,
     directed_insert,
@@ -43,153 +49,108 @@ from repro.core.eager import eager_rknn, eager_rknn_route
 from repro.core.eager_m import eager_m_rknn, eager_m_rknn_route
 from repro.core.lazy import lazy_rknn, lazy_rknn_route
 from repro.core.lazy_ep import lazy_ep_rknn, lazy_ep_rknn_route
-from repro.core.materialize import MaterializedKNN
+from repro.core.materialize import MaterializedKNN, all_nn
+from repro.core.network import NetworkView
 from repro.core.nn import knn as restricted_knn
 from repro.core.nn import range_nn as restricted_range_nn
 from repro.core.result import KnnResult, RnnResult, UpdateResult
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
+from repro.graph.partition import bfs_order, hilbert_order
 from repro.points.points import NodePointSet
-from repro.shard.store import (
-    DEFAULT_BUFFER_PAGES,
-    ShardedDiGraphStore,
-    ShardedGraphStore,
-)
-from repro.shard.view import ShardedDirectedView, ShardedNetworkView
-from repro.storage.buffer import BufferManager
-from repro.storage.disk import KnnListStore
-from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.storage.stats import CostTracker
 
 _EMPTY: frozenset[int] = frozenset()
 
-#: RkNN methods served by the sharded undirected facade.
+#: RkNN methods served by the compact undirected facade.
 METHODS = ("eager", "lazy", "eager-m", "lazy-ep")
 
-#: RkNN methods served by the sharded directed facade.
+#: RkNN methods served by the compact directed facade.
 DIRECTED_METHODS = ("eager", "eager-m", "naive")
 
 
-class _ShardedMeasureMixin:
-    """Counter plumbing shared by both sharded facades."""
+def _require_node_points(points: NodePointSet | None, graph_nodes: int) -> NodePointSet:
+    """Validate the restricted point set shared by both compact facades."""
+    if points is None:
+        points = NodePointSet({})
+    if not isinstance(points, NodePointSet):
+        raise QueryError(
+            "the compact backend serves restricted networks "
+            "(NodePointSet); edge-resident points are unsupported"
+        )
+    for pid, node in points.items():
+        if not 0 <= node < graph_nodes:
+            raise QueryError(f"point {pid} lies on unknown node {node}")
+    return points
+
+
+class _CompactMeasureMixin:
+    """Measurement and session plumbing shared by both compact facades."""
 
     #: Engine-visible backend tag (see :func:`repro.engine.planner.backend_of`).
-    backend = "sharded"
-
-    def _all_trackers(self) -> list[CostTracker]:
-        return [self.tracker, *self.store.trackers()]
+    backend = "compact"
 
     def _measure(self, func):
-        """Run ``func``, returning its outcome and the merged counter diff.
-
-        Snapshots the global tracker and every shard tracker, times the
-        call on the global tracker, then merges the per-tracker diffs
-        into one cost record.  The shard-side I/O diff is folded back
-        into the global tracker so ``db.tracker`` stays the aggregate
-        of all work, while the per-shard trackers keep the
-        decomposition.
-        """
-        trackers = self._all_trackers()
-        before = [tracker.snapshot() for tracker in trackers]
+        before = self.tracker.snapshot()
         with self.tracker.time_block():
             outcome = func()
-        diffs = [
-            tracker.diff(snapshot)
-            for tracker, snapshot in zip(trackers, before)
-        ]
-        merged = CostTracker.merged(diffs)
-        for shard_diff in diffs[1:]:
-            self.tracker.merge(shard_diff)
-        return outcome, merged
-
-    def _folded(self, func):
-        """Run ``func`` folding shard counter diffs into the global tracker.
-
-        For work outside the query protocol (materialization, route
-        validation) that still reads shard pages: keeps ``db.tracker``
-        the aggregate of all shard work without producing a per-call
-        cost record.
-        """
-        trackers = self.store.trackers()
-        before = [tracker.snapshot() for tracker in trackers]
-        outcome = func()
-        for tracker, snapshot in zip(trackers, before):
-            self.tracker.merge(tracker.diff(snapshot))
-        return outcome
-
-    # -- shard introspection ------------------------------------------------
-
-    @property
-    def num_shards(self) -> int:
-        """Number of storage shards ``K``."""
-        return self.store.num_shards
-
-    def shard_of(self, node: int) -> int:
-        """Shard owning ``node`` (free index look-up)."""
-        return self.store.shard_of(node)
-
-    def shard_counters(self) -> list[CostTracker]:
-        """Cumulative per-shard counter snapshots (I/O decomposition).
-
-        Returns
-        -------
-        list of CostTracker
-            One immutable snapshot per shard, in shard order.  Diff two
-            calls around a workload to attribute its I/O to shards.
-        """
-        return self.store.shard_counters()
-
-    def merge_session_shards(self, session) -> None:
-        """Fold a worker session's per-shard counters into this database.
-
-        Called by the batch engine after a parallel chunk completes, so
-        the per-shard I/O decomposition of work done on
-        :meth:`read_clone` sessions is preserved in the parent's shard
-        trackers (the aggregate is merged into ``tracker`` separately,
-        through the per-query cost records).
-
-        Parameters
-        ----------
-        session:
-            A clone produced by this database's ``read_clone``.
-        """
-        for mine, theirs in zip(self.store.trackers(), session.store.trackers()):
-            mine.merge(theirs)
+        diff = self.tracker.diff(before)
+        return outcome, diff
 
     # -- cost measurement ---------------------------------------------------
 
     def reset_stats(self) -> None:
-        """Zero the global tracker and every per-shard tracker."""
+        """Zero the counters."""
         self.tracker.reset()
-        self.store.reset_trackers()
 
     def clear_buffer(self) -> None:
-        """Drop every shard's buffered pages (cold-start the next query)."""
-        self.store.clear_buffers()
+        """No-op: the compact store has no buffer to cool.
+
+        Kept so workloads written against the disk backends (which
+        call ``clear_buffer`` between cold runs) run unchanged.
+        """
+
+    # -- serving ------------------------------------------------------------
+
+    def engine(self, **kwargs) -> "QueryEngine":
+        """A batch :class:`~repro.engine.engine.QueryEngine` over this
+        database.
+
+        Parameters
+        ----------
+        **kwargs:
+            Forwarded to the engine constructor (``cache_entries``,
+            ``calibrator``, ``plan``).  The engine detects the compact
+            backend: worker sessions share these read-only arrays
+            instead of cloning storage, so spinning up a worker costs
+            a tracker, not a buffer pool.
+
+        Returns
+        -------
+        QueryEngine
+        """
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(self, **kwargs)
 
 
-class ShardedDatabase(_ShardedMeasureMixin):
-    """Sharded disk-based graph database answering (reverse) NN queries.
+class CompactDatabase(_CompactMeasureMixin):
+    """Memory-resident CSR graph database answering (reverse) NN queries.
 
     Parameters
     ----------
     graph:
-        The network.  It is cut into ``num_shards`` edge-disjoint
-        partitions, each paged to its own simulated disk.
+        The network.  It is flattened once into CSR arrays; queries
+        never touch pages or a buffer.
     points:
         The data set P as a :class:`~repro.points.points.NodePointSet`
-        (the sharded backend serves restricted networks).  ``None``
+        (the compact backend serves restricted networks).  ``None``
         creates an empty set.
-    num_shards:
-        Shard count ``K``; ``K = 1`` degenerates to the single-store
-        layout.
-    page_size / buffer_pages:
-        Storage parameters.  ``buffer_pages`` is the per-shard LRU
-        budget (each shard models an independent storage host).
     node_order:
-        Cut heuristic and per-shard packing order: ``"bfs"`` (default)
-        or ``"hilbert"`` (requires coordinates).
+        Locality rank fed to the batch planner: ``"bfs"`` (default) or
+        ``"hilbert"`` (requires coordinates).  Answers never depend on
+        it; only batch execution order does.
     """
 
     def __init__(
@@ -197,39 +158,24 @@ class ShardedDatabase(_ShardedMeasureMixin):
         graph: Graph,
         points: NodePointSet | None = None,
         *,
-        num_shards: int = 4,
-        page_size: int = DEFAULT_PAGE_SIZE,
-        buffer_pages: int = DEFAULT_BUFFER_PAGES,
         node_order: str = "bfs",
     ):
-        if points is None:
-            points = NodePointSet({})
-        if not isinstance(points, NodePointSet):
-            raise QueryError(
-                "the sharded backend serves restricted networks "
-                "(NodePointSet); edge-resident points are unsupported"
-            )
+        points = _require_node_points(points, graph.num_nodes)
         points.validate(graph)
         self.graph = graph
         self.points = points
-        self.page_size = page_size
-        self.buffer_pages = buffer_pages
         self.tracker = CostTracker()
-        self.store = ShardedGraphStore(
-            graph,
-            num_shards=num_shards,
-            order=node_order,
-            page_size=page_size,
-            buffer_pages=buffer_pages,
-            point_nodes=frozenset(node for _, node in points.items()),
-        )
-        self.view = ShardedNetworkView(self.store, points, self.tracker)
-        #: Side file buffer for materialized K-NN lists (charged to the
-        #: global tracker; adjacency I/O is what decomposes by shard).
-        self._side_buffer = BufferManager(buffer_pages, self.tracker)
+        if node_order == "bfs":
+            order = bfs_order(graph)
+        elif node_order == "hilbert":
+            order = hilbert_order(graph)
+        else:
+            raise QueryError(f"unknown node_order {node_order!r}")
+        self.store = CompactGraphStore(graph, order=order)
+        self.view = NetworkView(self.store, points, self.tracker)
         self.materialized: MaterializedKNN | None = None
         self._ref_points: NodePointSet | None = None
-        self._ref_view: ShardedNetworkView | None = None
+        self._ref_view: NetworkView | None = None
         self._ref_materialized: MaterializedKNN | None = None
         #: Update generation: bumped by every point insertion/deletion
         #: (the query engine keys its result cache on this counter).
@@ -243,8 +189,8 @@ class ShardedDatabase(_ShardedMeasureMixin):
         edges: Iterable[tuple[int, int, float]],
         points: NodePointSet | None = None,
         **kwargs,
-    ) -> "ShardedDatabase":
-        """Build a sharded database straight from an edge list.
+    ) -> "CompactDatabase":
+        """Build a compact database straight from an edge list.
 
         Parameters
         ----------
@@ -253,28 +199,58 @@ class ShardedDatabase(_ShardedMeasureMixin):
         points:
             Optional :class:`~repro.points.points.NodePointSet`.
         **kwargs:
-            Forwarded to the constructor (``num_shards``, ...).
+            Forwarded to the constructor (``node_order``).
 
         Returns
         -------
-        ShardedDatabase
+        CompactDatabase
         """
         return cls(Graph.from_edges(edges), points, **kwargs)
+
+    @classmethod
+    def from_database(cls, db) -> "CompactDatabase":
+        """Promote an existing disk-backed database to the compact backend.
+
+        Parameters
+        ----------
+        db:
+            A :class:`~repro.api.GraphDatabase` with node-resident
+            points.  Its serialized adjacency pages are decoded once
+            (uncharged) into the CSR arrays; the point set is shared.
+
+        Returns
+        -------
+        CompactDatabase
+            A database answering every restricted query identically to
+            ``db``, without page I/O.
+        """
+        points = _require_node_points(db.points, db.graph.num_nodes)
+        compact = cls.__new__(cls)
+        compact.graph = db.graph
+        compact.points = points
+        compact.tracker = CostTracker()
+        compact.store = CompactGraphStore.from_disk(db.disk)
+        compact.view = NetworkView(compact.store, points, compact.tracker)
+        compact.materialized = None
+        compact._ref_points = None
+        compact._ref_view = None
+        compact._ref_materialized = None
+        compact.generation = 0
+        return compact
 
     # -- properties ---------------------------------------------------------
 
     @property
     def restricted(self) -> bool:
-        """Always true: the sharded backend stores points on nodes."""
+        """Always true: the compact backend stores points on nodes."""
         return True
 
     @property
     def disk(self):
-        """The sharded store, exposed under the facade's disk slot.
+        """The compact store, exposed under the facade's disk slot.
 
         The engine's admission planner only needs ``disk.page_of``;
-        the store's shard-major page ranks make the planner group
-        queries by shard first, page second.
+        the compact store serves the packing-order locality rank.
         """
         return self.store
 
@@ -290,14 +266,13 @@ class ShardedDatabase(_ShardedMeasureMixin):
             query may use (data-distributed queries that exclude their
             own point effectively need ``K >= k + 1``).
         """
-        self.materialized = self._folded(lambda: MaterializedKNN.build(
+        lists = all_nn(
             self.view,
             capacity,
             [(node, pid, 0.0) for pid, node in self.points.items()],
-            self._side_buffer,
-            page_size=self.page_size,
-            order=self.store.global_order(),
-        ))
+        )
+        store = MemoryKnnStore(self.graph.num_nodes, capacity, lists)
+        self.materialized = MaterializedKNN(store)
 
     def materialize_reference(self, capacity: int) -> None:
         """Materialize K-NN lists over the attached reference set Q.
@@ -310,14 +285,13 @@ class ShardedDatabase(_ShardedMeasureMixin):
         """
         if self._ref_view is None or self._ref_points is None:
             raise QueryError("attach_reference() before materialize_reference()")
-        self._ref_materialized = self._folded(lambda: MaterializedKNN.build(
+        lists = all_nn(
             self._ref_view,
             capacity,
             [(node, pid, 0.0) for pid, node in self._ref_points.items()],
-            self._side_buffer,
-            page_size=self.page_size,
-            order=self.store.global_order(),
-        ))
+        )
+        store = MemoryKnnStore(self.graph.num_nodes, capacity, lists)
+        self._ref_materialized = MaterializedKNN(store)
 
     # -- bichromatic reference set ------------------------------------------
 
@@ -332,67 +306,34 @@ class ShardedDatabase(_ShardedMeasureMixin):
             cached bichromatic answers invalidate.
         """
         if not isinstance(reference, NodePointSet):
-            raise QueryError("the sharded backend takes node-resident references")
+            raise QueryError("the compact backend takes node-resident references")
         reference.validate(self.graph)
         self._ref_points = reference
-        self._ref_view = ShardedNetworkView(self.store, reference, self.tracker)
+        self._ref_view = NetworkView(self.store, reference, self.tracker)
         self._ref_materialized = None
         self.generation += 1
 
-    # -- serving ------------------------------------------------------------
+    # -- sessions -----------------------------------------------------------
 
-    def engine(self, **kwargs) -> "QueryEngine":
-        """A batch :class:`~repro.engine.engine.QueryEngine` over this
-        database.
-
-        Parameters
-        ----------
-        **kwargs:
-            Forwarded to the engine constructor (``cache_entries``,
-            ``calibrator``, ``plan``, ``shard_parallel``).  The engine
-            detects the sharded backend and routes each query to its
-            home shard: the planner orders batches shard-major and the
-            worker pool executes distinct shards concurrently.
+    def read_clone(self) -> "CompactDatabase":
+        """A read-only session **sharing** this database's CSR arrays.
 
         Returns
         -------
-        QueryEngine
-        """
-        from repro.engine.engine import QueryEngine
-
-        return QueryEngine(self, **kwargs)
-
-    def read_clone(self) -> "ShardedDatabase":
-        """A read-only session over the same serialized shard pages.
-
-        Returns
-        -------
-        ShardedDatabase
-            A clone sharing every shard's page images but owning
-            private cold buffers and zeroed trackers (per shard and
-            global), so concurrent read-only sessions never race on
-            LRU state or counters.  Running updates through a clone is
-            unsupported.
+        CompactDatabase
+            A constant-time clone: the flat arrays and materialized
+            lists are shared read-only; only the tracker (and the
+            views bound to it) is private, so concurrent sessions
+            never race on counters.  Running updates through a clone
+            is unsupported.
         """
         clone = copy.copy(self)
         clone.tracker = CostTracker()
-        clone.store = self.store.read_clone()
-        clone._side_buffer = BufferManager(
-            self._side_buffer.capacity_pages, clone.tracker
-        )
-        if self.materialized is not None:
-            store = copy.copy(self.materialized.store)
-            store.buffer = clone._side_buffer
-            clone.materialized = MaterializedKNN(store)
-        clone.view = ShardedNetworkView(clone.store, clone.points, clone.tracker)
+        clone.view = NetworkView(self.store, clone.points, clone.tracker)
         if self._ref_points is not None:
-            clone._ref_view = ShardedNetworkView(
-                clone.store, self._ref_points, clone.tracker
+            clone._ref_view = NetworkView(
+                self.store, self._ref_points, clone.tracker
             )
-            if self._ref_materialized is not None:
-                ref_store = copy.copy(self._ref_materialized.store)
-                ref_store.buffer = clone._side_buffer
-                clone._ref_materialized = MaterializedKNN(ref_store)
         return clone
 
     # -- monochromatic RkNN -------------------------------------------------
@@ -421,7 +362,8 @@ class ShardedDatabase(_ShardedMeasureMixin):
         Returns
         -------
         RnnResult
-            The reverse neighbors plus the merged per-shard cost diff.
+            The reverse neighbors plus the cost record (zero I/O: the
+            compact store never faults).
         """
         self._check_query(query, k, method)
         points, diff = self._measure(
@@ -449,7 +391,7 @@ class ShardedDatabase(_ShardedMeasureMixin):
         -------
         RnnResult
         """
-        self._folded(lambda: validate_route(self.view, route))
+        validate_route(self.view, route)
         self._check_query(route[0], k, method)
         points, diff = self._measure(
             lambda: self._run_rknn(list(route), k, method, exclude, route=True)
@@ -550,7 +492,7 @@ class ShardedDatabase(_ShardedMeasureMixin):
         """
         def run() -> list[tuple[int, float]]:
             if not isinstance(query, int):
-                raise QueryError("the sharded backend takes node-id queries")
+                raise QueryError("the compact backend takes node-id queries")
             return restricted_knn(self.view, query, k, exclude)
 
         neighbors, diff = self._measure(run)
@@ -604,7 +546,7 @@ class ShardedDatabase(_ShardedMeasureMixin):
         """
         def run() -> int:
             if not isinstance(node, int):
-                raise QueryError("the sharded backend takes node-id locations")
+                raise QueryError("the compact backend takes node-id locations")
             self.points = self.points.with_point(pid, node)
             self._rebuild_view()
             if self.materialized is not None:
@@ -640,7 +582,7 @@ class ShardedDatabase(_ShardedMeasureMixin):
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _rebuild_view(self) -> None:
-        self.view = ShardedNetworkView(self.store, self.points, self.tracker)
+        self.view = NetworkView(self.store, self.points, self.tracker)
 
     # -- validation helpers -------------------------------------------------
 
@@ -655,50 +597,33 @@ class ShardedDatabase(_ShardedMeasureMixin):
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
         if not isinstance(query, int):
-            raise QueryError("the sharded backend takes node-id queries")
+            raise QueryError("the compact backend takes node-id queries")
         if not 0 <= query < self.graph.num_nodes:
             raise QueryError(f"query node {query} out of range")
 
 
-class ShardedDirectedDatabase(_ShardedMeasureMixin):
-    """Sharded disk-based directed graph database answering RkNN queries.
+class CompactDirectedDatabase(_CompactMeasureMixin):
+    """Memory-resident CSR directed graph database answering RkNN queries.
 
     Mirrors :class:`~repro.api_directed.DirectedGraphDatabase` over a
-    :class:`~repro.shard.store.ShardedDiGraphStore`: backward
-    expansions and forward probes both stitch across shard boundaries
-    through the per-direction boundary tables.
+    :class:`~repro.compact.store.CompactDiGraphStore`: backward
+    expansions and forward probes read the two CSR direction arrays,
+    free of page I/O.
     """
 
     def __init__(
         self,
         graph: DiGraph,
         points: NodePointSet | None = None,
-        *,
-        num_shards: int = 4,
-        page_size: int = DEFAULT_PAGE_SIZE,
-        buffer_pages: int = DEFAULT_BUFFER_PAGES,
     ):
-        if points is None:
-            points = NodePointSet({})
-        for pid, node in points.items():
-            if not 0 <= node < graph.num_nodes:
-                raise QueryError(f"point {pid} lies on unknown node {node}")
+        points = _require_node_points(points, graph.num_nodes)
         self.graph = graph
         self.points = points
-        self.page_size = page_size
-        self.buffer_pages = buffer_pages
         self.tracker = CostTracker()
-        self.store = ShardedDiGraphStore(
-            graph,
-            num_shards=num_shards,
-            page_size=page_size,
-            buffer_pages=buffer_pages,
-            point_nodes=frozenset(node for _, node in points.items()),
-        )
-        self.view = ShardedDirectedView(self.store, points, self.tracker)
-        self._side_buffer = BufferManager(buffer_pages, self.tracker)
+        self.store = CompactDiGraphStore(graph)
+        self.view = DirectedView(self.store, points, self.tracker)
         self.materialized: MaterializedKNN | None = None
-        #: Update generation (see :class:`ShardedDatabase`).
+        #: Update generation (see :class:`CompactDatabase`).
         self.generation = 0
 
     @classmethod
@@ -707,8 +632,8 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
         arcs: Iterable[tuple[int, int, float]],
         points: NodePointSet | None = None,
         **kwargs,
-    ) -> "ShardedDirectedDatabase":
-        """Build a sharded directed database straight from an arc list.
+    ) -> "CompactDirectedDatabase":
+        """Build a compact directed database straight from an arc list.
 
         Parameters
         ----------
@@ -717,17 +642,42 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
         points:
             Optional :class:`~repro.points.points.NodePointSet`.
         **kwargs:
-            Forwarded to the constructor (``num_shards``, ...).
+            Forwarded to the constructor.
 
         Returns
         -------
-        ShardedDirectedDatabase
+        CompactDirectedDatabase
         """
         return cls(DiGraph.from_arcs(arcs), points, **kwargs)
 
+    @classmethod
+    def from_database(cls, db) -> "CompactDirectedDatabase":
+        """Promote an existing disk-backed directed database.
+
+        Parameters
+        ----------
+        db:
+            A :class:`~repro.api_directed.DirectedGraphDatabase`; its
+            two direction files are decoded once (uncharged) into the
+            CSR arrays.
+
+        Returns
+        -------
+        CompactDirectedDatabase
+        """
+        compact = cls.__new__(cls)
+        compact.graph = db.graph
+        compact.points = db.points
+        compact.tracker = CostTracker()
+        compact.store = CompactDiGraphStore.from_disk(db.disk)
+        compact.view = DirectedView(compact.store, db.points, compact.tracker)
+        compact.materialized = None
+        compact.generation = 0
+        return compact
+
     @property
     def disk(self):
-        """The sharded store (planner access to shard-major page ranks)."""
+        """The compact store (planner access to the locality rank)."""
         return self.store
 
     # -- materialization ----------------------------------------------------
@@ -741,49 +691,22 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
             List capacity ``K`` -- the largest ``k`` served by
             ``eager-m``.
         """
-        lists = self._folded(lambda: directed_all_nn(self.view, capacity))
-        store = KnnListStore(
-            self.graph.num_nodes,
-            capacity,
-            lists,
-            self._side_buffer,
-            page_size=self.page_size,
-            order=self.store.global_order(),
-        )
+        lists = directed_all_nn(self.view, capacity)
+        store = MemoryKnnStore(self.graph.num_nodes, capacity, lists)
         self.materialized = MaterializedKNN(store)
 
-    # -- serving ------------------------------------------------------------
+    # -- sessions -----------------------------------------------------------
 
-    def engine(self, **kwargs) -> "QueryEngine":
-        """A batch :class:`~repro.engine.engine.QueryEngine` over this
-        database (``knn`` / ``rknn`` / ``range`` specs).
-
-        Returns
-        -------
-        QueryEngine
-        """
-        from repro.engine.engine import QueryEngine
-
-        return QueryEngine(self, **kwargs)
-
-    def read_clone(self) -> "ShardedDirectedDatabase":
-        """A read-only session with private per-shard buffers and trackers.
+    def read_clone(self) -> "CompactDirectedDatabase":
+        """A read-only session sharing the CSR arrays (constant time).
 
         Returns
         -------
-        ShardedDirectedDatabase
+        CompactDirectedDatabase
         """
         clone = copy.copy(self)
         clone.tracker = CostTracker()
-        clone.store = self.store.read_clone()
-        clone._side_buffer = BufferManager(
-            self._side_buffer.capacity_pages, clone.tracker
-        )
-        if self.materialized is not None:
-            store = copy.copy(self.materialized.store)
-            store.buffer = clone._side_buffer
-            clone.materialized = MaterializedKNN(store)
-        clone.view = ShardedDirectedView(clone.store, clone.points, clone.tracker)
+        clone.view = DirectedView(self.store, clone.points, clone.tracker)
         return clone
 
     # -- queries ------------------------------------------------------------
@@ -894,7 +817,7 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
         """
         def run() -> int:
             self.points = self.points.with_point(pid, node)
-            self.view = ShardedDirectedView(self.store, self.points, self.tracker)
+            self.view = DirectedView(self.store, self.points, self.tracker)
             if self.materialized is not None:
                 return directed_insert(self.view, self.materialized, pid, node)
             return 0
@@ -919,7 +842,7 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
         def run() -> int:
             node = self.points.node_of(pid)
             self.points = self.points.without_point(pid)
-            self.view = ShardedDirectedView(self.store, self.points, self.tracker)
+            self.view = DirectedView(self.store, self.points, self.tracker)
             if self.materialized is not None:
                 return directed_delete(self.view, self.materialized, pid, node)
             return 0

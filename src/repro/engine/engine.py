@@ -16,11 +16,14 @@ three cooperating mechanisms:
 * a **worker pool** (:mod:`concurrent.futures`) for read-only batches:
   each worker runs on a :meth:`~repro.api.GraphDatabase.read_clone`
   session with a private buffer and tracker, and the per-query counter
-  diffs are merged back into the database's global accounting.  Over a
-  sharded backend (:mod:`repro.shard`) the pool turns **shard**-aware:
-  queries are routed to the shard their expansion starts in and whole
-  shard buckets are assigned to workers, so independent shards execute
-  concurrently.
+  diffs are merged back into the database's global accounting.  The
+  pool adapts to the backend (:func:`repro.engine.planner.backend_of`):
+  over a **sharded** backend (:mod:`repro.shard`) queries are routed to
+  the shard their expansion starts in and whole shard buckets are
+  assigned to workers, so independent shards execute concurrently;
+  over a **compact** backend (:mod:`repro.compact`) worker sessions
+  share the read-only CSR arrays -- a session is just a private
+  tracker, so there is no per-worker storage to clone or warm.
 
 Results come back in the caller's original batch order and are
 bitwise-identical to a sequential loop over the facade (the engine
@@ -42,7 +45,13 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.planner import BatchPlan, home_shard, plan_batch, resolve_method
+from repro.engine.planner import (
+    BatchPlan,
+    backend_of,
+    home_shard,
+    plan_batch,
+    resolve_method,
+)
 from repro.engine.spec import QuerySpec
 from repro.errors import QueryError
 from repro.storage.stats import CostTracker
@@ -139,6 +148,12 @@ class QueryEngine:
         self.calibrator = calibrator
         self.plan_batches = plan
         self.shard_parallel = shard_parallel
+
+    @property
+    def backend(self) -> str:
+        """The database's storage backend: ``"disk"``, ``"sharded"``
+        or ``"compact"`` (see :func:`repro.engine.planner.backend_of`)."""
+        return backend_of(self.db)
 
     @property
     def generation(self) -> int:
@@ -251,7 +266,11 @@ class QueryEngine:
             for index, spec in pending:
                 results[index] = self._execute(self.db, spec)
         else:
-            if self.shard_parallel and hasattr(self.db, "shard_of"):
+            # backend="sharded": whole shard buckets per worker.
+            # backend="compact"/"disk": contiguous planner-order chunks
+            # (compact sessions share the read-only CSR arrays, so the
+            # pool costs one tracker per worker, not a storage clone).
+            if self.shard_parallel and self.backend == "sharded":
                 chunks = _shard_chunks(self.db, pending, workers)
             else:
                 chunks = _contiguous_chunks(pending, workers)

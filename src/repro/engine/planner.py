@@ -89,6 +89,27 @@ def _rank_location(db, query, rank_node) -> int:
     return min(rank_node(u), rank_node(v))
 
 
+def backend_of(db) -> str:
+    """The storage backend class of a database: one of
+    ``"disk"``, ``"sharded"``, ``"compact"``.
+
+    Facades advertise themselves through a ``backend`` attribute
+    (``"compact"`` for the CSR flat-array databases); sharded backends
+    are also recognized structurally through ``shard_of``.  Anything
+    else is treated as the single disk store.  The engine picks its
+    worker strategy from this value: shard-bucketed chunks for
+    ``"sharded"``, contiguous chunks over array-sharing sessions for
+    ``"compact"``, contiguous chunks over buffer-cloning sessions for
+    ``"disk"``.
+    """
+    tag = getattr(db, "backend", None)
+    if tag in ("disk", "sharded", "compact"):
+        return tag
+    if hasattr(db, "shard_of"):
+        return "sharded"
+    return "disk"
+
+
 def home_shard(db, query) -> int:
     """Shard owning a query's start location (0 for unsharded backends).
 

@@ -1,0 +1,131 @@
+"""The compact stores against the disk stores, byte for byte."""
+
+import random
+
+import pytest
+
+from repro.compact import CompactDiGraphStore, CompactGraphStore, MemoryKnnStore
+from repro.errors import StorageError
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import bfs_order
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskGraph
+from repro.storage.disk_directed import DiskDiGraph, weak_bfs_order
+from repro.storage.stats import CostTracker
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_random_graph(random.Random(5), 80, 60)
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    rng = random.Random(6)
+    arcs, seen = [], set()
+    for _ in range(300):
+        u, v = rng.sample(range(50), 2)
+        if (u, v) not in seen:
+            seen.add((u, v))
+            arcs.append((u, v, float(rng.randint(1, 9))))
+    return DiGraph.from_arcs(arcs, num_nodes=50)
+
+
+class TestCompactGraphStore:
+    def test_neighbors_match_disk_store(self, graph):
+        disk = DiskGraph(graph, BufferManager(64, CostTracker()))
+        store = CompactGraphStore(graph)
+        for node in range(graph.num_nodes):
+            assert store.neighbors(node) == disk.neighbors(node)
+
+    def test_from_disk_matches_disk(self, graph):
+        disk = DiskGraph(graph, BufferManager(64, CostTracker()))
+        store = CompactGraphStore.from_disk(disk)
+        for node in range(graph.num_nodes):
+            assert store.neighbors(node) == disk.neighbors(node)
+
+    def test_from_disk_rank_matches_disk_packing(self, graph):
+        # the disk packs BFS order into pages, so a disk-loaded store
+        # must rank nodes exactly as a graph-built store does
+        disk = DiskGraph(graph, BufferManager(64, CostTracker()))
+        loaded = CompactGraphStore.from_disk(disk)
+        built = CompactGraphStore(graph)
+        for node in range(graph.num_nodes):
+            assert loaded.page_of(node) == built.page_of(node)
+
+    def test_no_pages_and_rank_follows_order(self, graph):
+        order = bfs_order(graph)
+        store = CompactGraphStore(graph, order=order)
+        assert store.num_pages == 0
+        ranks = [store.page_of(node) for node in order]
+        assert ranks == list(range(graph.num_nodes))
+
+    def test_out_of_range_rejected(self, graph):
+        store = CompactGraphStore(graph)
+        with pytest.raises(StorageError, match="out of range"):
+            store.neighbors(graph.num_nodes)
+        with pytest.raises(StorageError, match="out of range"):
+            store.page_of(-1)
+
+    def test_bad_order_rejected(self, graph):
+        with pytest.raises(StorageError, match="packing order"):
+            CompactGraphStore(graph, order=[0] * graph.num_nodes)
+
+    def test_needs_graph_or_csr(self):
+        with pytest.raises(StorageError, match="needs a graph or a csr"):
+            CompactGraphStore()
+
+
+class TestCompactDiGraphStore:
+    def test_both_directions_match_disk_store(self, digraph):
+        disk = DiskDiGraph(digraph, BufferManager(64, CostTracker()))
+        store = CompactDiGraphStore(digraph)
+        for node in range(digraph.num_nodes):
+            assert store.out_neighbors(node) == disk.out_neighbors(node)
+            assert store.in_neighbors(node) == disk.in_neighbors(node)
+
+    def test_from_disk_matches_disk(self, digraph):
+        disk = DiskDiGraph(digraph, BufferManager(64, CostTracker()))
+        store = CompactDiGraphStore.from_disk(disk)
+        for node in range(digraph.num_nodes):
+            assert store.out_neighbors(node) == disk.out_neighbors(node)
+            assert store.in_neighbors(node) == disk.in_neighbors(node)
+
+    def test_rank_follows_weak_bfs_order(self, digraph):
+        store = CompactDiGraphStore(digraph)
+        order = weak_bfs_order(digraph)
+        assert [store.page_of(node) for node in order] == list(
+            range(digraph.num_nodes)
+        )
+        assert store.num_pages == 0
+
+    def test_out_of_range_rejected(self, digraph):
+        store = CompactDiGraphStore(digraph)
+        for reader in (store.out_neighbors, store.in_neighbors, store.page_of):
+            with pytest.raises(StorageError, match="out of range"):
+                reader(digraph.num_nodes)
+
+
+class TestMemoryKnnStore:
+    def test_round_trip(self):
+        store = MemoryKnnStore(4, 2, {0: [(7, 1.0)], 2: [(8, 2.0), (9, 3.5)]})
+        assert store.get(0) == ((7, 1.0),)
+        assert store.get(1) == ()
+        assert store.get(2) == ((8, 2.0), (9, 3.5))
+        store.put(1, [(5, 0.5)])
+        assert store.get(1) == ((5, 0.5),)
+
+    def test_capacity_enforced(self):
+        store = MemoryKnnStore(2, 1)
+        with pytest.raises(StorageError, match="capacity"):
+            store.put(0, [(1, 1.0), (2, 2.0)])
+        with pytest.raises(StorageError, match="K must be"):
+            MemoryKnnStore(2, 0)
+
+    def test_bounds_checked(self):
+        store = MemoryKnnStore(2, 1)
+        with pytest.raises(StorageError, match="out of range"):
+            store.get(2)
+        with pytest.raises(StorageError, match="out of range"):
+            store.put(-1, [])

@@ -1,0 +1,166 @@
+"""Hypothesis property tests for the CSR flat-array builders.
+
+The compact backend's correctness rests on one invariant: flattening
+never reorders, drops or rewrites an adjacency entry.  These tests
+pin it from every side -- the ``Graph -> CSR -> Graph`` (and
+``DiGraph -> CSR -> DiGraph``) round trip preserves adjacency order
+and weights exactly, isolated vertices survive, disk-loaded kernels
+match graph-built ones, and malformed input (self-loops, parallel
+edges, non-positive weights) is rejected rather than silently
+accepted.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compact import CSRDiGraph, CSRGraph
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.graph import Graph, edge_key
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskGraph
+from repro.storage.disk_directed import DiskDiGraph
+from repro.storage.stats import CostTracker
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sparse_graphs(draw, max_nodes=20):
+    """A random graph, connectivity not required: isolated vertices,
+    shuffled edge insertion order, mixed int/float weights."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    weight = st.one_of(
+        st.integers(min_value=1, max_value=9).map(float),
+        st.floats(min_value=0.25, max_value=9.75, allow_nan=False),
+    )
+    edges = {}
+    count = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and edge_key(u, v) not in edges:
+            edges[edge_key(u, v)] = draw(weight)
+    order = list(edges.items())
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    random.Random(seed).shuffle(order)
+    return Graph(n, [(u, v, w) for (u, v), w in order])
+
+
+@st.composite
+def sparse_digraphs(draw, max_nodes=16):
+    """A random digraph with shuffled arc insertion order."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    arcs = {}
+    count = draw(st.integers(min_value=0, max_value=3 * n))
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v and (u, v) not in arcs:
+            arcs[(u, v)] = float(draw(st.integers(min_value=1, max_value=9)))
+    order = list(arcs.items())
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    random.Random(seed).shuffle(order)
+    return DiGraph(n, [(u, v, w) for (u, v), w in order])
+
+
+class TestUndirectedRoundTrip:
+    @given(graph=sparse_graphs())
+    @settings(**SETTINGS)
+    def test_round_trip_preserves_adjacency_order_and_weights(self, graph):
+        rebuilt = CSRGraph.from_graph(graph).to_graph()
+        assert rebuilt.num_nodes == graph.num_nodes
+        assert rebuilt.num_edges == graph.num_edges
+        for node in range(graph.num_nodes):
+            assert tuple(rebuilt.neighbors(node)) == tuple(graph.neighbors(node))
+
+    @given(graph=sparse_graphs())
+    @settings(**SETTINGS)
+    def test_csr_reads_match_graph_reads(self, graph):
+        csr = CSRGraph.from_graph(graph)
+        assert csr.num_nodes == graph.num_nodes
+        assert csr.num_edges == graph.num_edges
+        for node in range(graph.num_nodes):
+            assert csr.neighbors(node) == tuple(graph.neighbors(node))
+            assert csr.degree(node) == graph.degree(node)
+
+    @given(graph=sparse_graphs())
+    @settings(**SETTINGS)
+    def test_disk_loaded_kernel_matches_graph_built_kernel(self, graph):
+        disk = DiskGraph(graph, BufferManager(16, CostTracker()))
+        from_disk = CSRGraph.from_disk_graph(disk)
+        from_graph = CSRGraph.from_graph(graph)
+        for node in range(graph.num_nodes):
+            assert from_disk.neighbors(node) == from_graph.neighbors(node)
+
+    def test_isolated_vertices_survive(self):
+        graph = Graph(6, [(0, 1, 2.0), (4, 5, 1.5)])  # 2 and 3 isolated
+        csr = CSRGraph.from_graph(graph)
+        assert csr.neighbors(2) == () and csr.neighbors(3) == ()
+        rebuilt = csr.to_graph()
+        assert rebuilt.num_nodes == 6
+        assert tuple(rebuilt.neighbors(2)) == ()
+        assert tuple(rebuilt.neighbors(0)) == ((1, 2.0),)
+
+
+class TestDirectedRoundTrip:
+    @given(graph=sparse_digraphs())
+    @settings(**SETTINGS)
+    def test_round_trip_preserves_both_directions(self, graph):
+        rebuilt = CSRDiGraph.from_digraph(graph).to_digraph()
+        assert rebuilt.num_nodes == graph.num_nodes
+        assert rebuilt.num_arcs == graph.num_arcs
+        for node in range(graph.num_nodes):
+            assert tuple(rebuilt.out_neighbors(node)) == tuple(graph.out_neighbors(node))
+            assert tuple(rebuilt.in_neighbors(node)) == tuple(graph.in_neighbors(node))
+
+    @given(graph=sparse_digraphs())
+    @settings(**SETTINGS)
+    def test_disk_loaded_kernel_matches_digraph_built_kernel(self, graph):
+        disk = DiskDiGraph(graph, BufferManager(16, CostTracker()))
+        from_disk = CSRDiGraph.from_disk_digraph(disk)
+        for node in range(graph.num_nodes):
+            assert from_disk.out_neighbors(node) == tuple(graph.out_neighbors(node))
+            assert from_disk.in_neighbors(node) == tuple(graph.in_neighbors(node))
+
+
+class TestBuilderValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            CSRGraph([[(0, 1.0)]])
+
+    def test_parallel_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            CSRGraph([[(1, 2.0), (1, 3.0)], [(0, 2.0), (0, 3.0)]])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError, match="non-positive"):
+            CSRGraph([[(1, 0.0)], [(0, 0.0)]])
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            CSRGraph([[(7, 1.0)]])
+
+    def test_empty_node_set_rejected(self):
+        with pytest.raises(GraphError, match="at least one node"):
+            CSRGraph([])
+
+    def test_asymmetric_lists_rejected(self):
+        # (0 -> 1) without the mirrored entry cannot come from any
+        # undirected graph
+        with pytest.raises(GraphError, match="not symmetric"):
+            CSRGraph([[(1, 2.0)], []])
+
+    def test_mismatched_mirror_weight_rejected(self):
+        with pytest.raises(GraphError, match="not symmetric"):
+            CSRGraph([[(1, 2.0)], [(0, 3.0)]])
+
+    def test_mismatched_direction_counts_rejected(self):
+        with pytest.raises(GraphError, match="arc count"):
+            CSRDiGraph([[(1, 2.0)], []], [[], []])

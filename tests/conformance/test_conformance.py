@@ -1,0 +1,247 @@
+"""Randomized differential conformance across all storage backends.
+
+With three backends answering the same query surface -- the single
+disk store, the sharded store (K in {1, 4}) and the compact CSR store
+-- interchangeability is a systems invariant, not a per-feature test.
+This suite generates seeded random networks and workloads (kNN, RkNN
+under every method, bichromatic, continuous, range, with interleaved
+point updates), replays the *same* workload on every backend, and
+asserts the answers are identical entry for entry.
+
+Every case is parametrized by its seed and every assertion message
+carries it, so a failure line like ``seed=37`` is a complete
+reproduction recipe::
+
+    pytest tests/conformance -k 'seed37'
+
+The suite is marked ``slow``: CI runs it on the full-matrix job while
+the fast job keeps the per-push wall-clock down.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CompactDatabase,
+    CompactDirectedDatabase,
+    DirectedGraphDatabase,
+    GraphDatabase,
+    NodePointSet,
+    ShardedDatabase,
+    ShardedDirectedDatabase,
+)
+from repro.graph.digraph import DiGraph
+from tests.conftest import build_random_graph
+
+pytestmark = pytest.mark.slow
+
+#: Undirected + directed seeds: ~50 randomized cases in total.
+UNDIRECTED_SEEDS = range(30)
+DIRECTED_SEEDS = range(20)
+
+MATERIALIZE_K = 4
+
+UNDIRECTED_METHODS = ("eager", "lazy", "lazy-ep", "eager-m")
+BICHROMATIC_METHODS = ("eager", "lazy", "eager-m")
+DIRECTED_METHODS = ("eager", "eager-m", "naive")
+
+
+def _free_node(points: NodePointSet, num_nodes: int, rng: random.Random) -> int:
+    used = {node for _, node in points.items()}
+    return rng.choice([v for v in range(num_nodes) if v not in used])
+
+
+def _random_walk(graph, start: int, hops: int, rng: random.Random) -> list[int]:
+    route = [start]
+    for _ in range(hops):
+        neighbors = [nbr for nbr, _ in graph.neighbors(route[-1])]
+        if not neighbors:
+            break
+        route.append(rng.choice(neighbors))
+    return route
+
+
+def _undirected_case(seed: int):
+    """Deterministic network + workload script for one undirected seed."""
+    rng = random.Random(1000 + seed)
+    num_nodes = 30 + (seed % 3) * 10
+    graph = build_random_graph(rng, num_nodes, num_nodes // 2,
+                               int_weights=(seed % 2 == 0))
+    node_pool = rng.sample(range(num_nodes), min(18, num_nodes))
+    points = NodePointSet({pid: node
+                           for pid, node in enumerate(node_pool[:8])})
+    reference = NodePointSet({100 + i: node
+                              for i, node in enumerate(node_pool[8:14])})
+    queries = rng.sample(range(num_nodes), 4)
+    route = _random_walk(graph, queries[0], 3 + seed % 3, rng)
+    insert_at = _free_node(points, num_nodes, rng)
+    delete_pid = rng.choice(sorted(pid for pid, _ in points.items()))
+    radius = 2.0 + (seed % 5) * 2.0
+    return graph, points, reference, queries, route, insert_at, delete_pid, radius
+
+
+def _run_undirected_workload(db, queries, route, insert_at, delete_pid, radius):
+    """One backend's answers for the scripted workload, as a flat list."""
+    answers: list = []
+    for k in (1, 2):
+        for query in queries:
+            answers.append(db.knn(query, k).neighbors)
+            answers.append(db.range_nn(query, k, radius).neighbors)
+            for method in UNDIRECTED_METHODS:
+                answers.append(db.rknn(query, k, method=method).points)
+            for method in BICHROMATIC_METHODS:
+                answers.append(db.bichromatic_rknn(query, k, method=method).points)
+        answers.append(db.continuous_rknn(route, k).points)
+        # interleaved updates between the k = 1 and k = 2 rounds
+        if k == 1:
+            db.insert_point(900, insert_at)
+            db.delete_point(delete_pid)
+    return answers
+
+
+@pytest.mark.parametrize("seed", UNDIRECTED_SEEDS, ids=lambda s: f"seed{s}")
+def test_backends_agree_undirected(seed):
+    (graph, points, reference, queries, route,
+     insert_at, delete_pid, radius) = _undirected_case(seed)
+
+    def build(factory):
+        db = factory()
+        db.attach_reference(reference)
+        db.materialize(MATERIALIZE_K)
+        db.materialize_reference(MATERIALIZE_K)
+        return db
+
+    backends = {
+        "disk": build(lambda: GraphDatabase(graph, points)),
+        "sharded-K1": build(lambda: ShardedDatabase(graph, points, num_shards=1)),
+        "sharded-K4": build(lambda: ShardedDatabase(graph, points, num_shards=4)),
+        "compact": build(lambda: CompactDatabase(graph, points)),
+    }
+    baseline = _run_undirected_workload(
+        backends["disk"], queries, route, insert_at, delete_pid, radius
+    )
+    for name, db in backends.items():
+        if name == "disk":
+            continue
+        answers = _run_undirected_workload(
+            db, queries, route, insert_at, delete_pid, radius
+        )
+        assert answers == baseline, (
+            f"seed={seed}: backend {name!r} diverges from the disk store "
+            f"(reproduce with tests/conformance -k 'seed{seed}')"
+        )
+
+
+def _directed_case(seed: int):
+    """Deterministic directed network + workload for one seed."""
+    rng = random.Random(2000 + seed)
+    num_nodes = 25 + (seed % 3) * 8
+    arcs: list[tuple[int, int, float]] = []
+    seen: set[tuple[int, int]] = set()
+    # a random cycle keeps most nodes mutually reachable, extra arcs
+    # add asymmetry
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    for i, tail in enumerate(order):
+        head = order[(i + 1) % num_nodes]
+        seen.add((tail, head))
+        arcs.append((tail, head, float(rng.randint(1, 9))))
+    for _ in range(num_nodes * 3):
+        tail, head = rng.sample(range(num_nodes), 2)
+        if (tail, head) not in seen:
+            seen.add((tail, head))
+            arcs.append((tail, head, float(rng.randint(1, 9))))
+    graph = DiGraph.from_arcs(arcs, num_nodes=num_nodes)
+    points = NodePointSet({pid: node for pid, node in
+                           enumerate(rng.sample(range(num_nodes), 7))})
+    queries = rng.sample(range(num_nodes), 4)
+    insert_at = _free_node(points, num_nodes, rng)
+    delete_pid = rng.choice(sorted(pid for pid, _ in points.items()))
+    radius = 3.0 + (seed % 4) * 2.0
+    return graph, points, queries, insert_at, delete_pid, radius
+
+
+def _run_directed_workload(db, queries, insert_at, delete_pid, radius):
+    answers: list = []
+    for k in (1, 2):
+        for query in queries:
+            answers.append(db.knn(query, k).neighbors)
+            answers.append(db.range_nn(query, k, radius).neighbors)
+            for method in DIRECTED_METHODS:
+                answers.append(db.rknn(query, k, method=method).points)
+        if k == 1:
+            db.insert_point(900, insert_at)
+            db.delete_point(delete_pid)
+    return answers
+
+
+@pytest.mark.parametrize("seed", DIRECTED_SEEDS, ids=lambda s: f"seed{s}")
+def test_backends_agree_directed(seed):
+    graph, points, queries, insert_at, delete_pid, radius = _directed_case(seed)
+
+    def build(factory):
+        db = factory()
+        db.materialize(MATERIALIZE_K)
+        return db
+
+    backends = {
+        "disk": build(lambda: DirectedGraphDatabase(graph, points)),
+        "sharded-K1": build(
+            lambda: ShardedDirectedDatabase(graph, points, num_shards=1)
+        ),
+        "sharded-K4": build(
+            lambda: ShardedDirectedDatabase(graph, points, num_shards=4)
+        ),
+        "compact": build(lambda: CompactDirectedDatabase(graph, points)),
+    }
+    baseline = _run_directed_workload(
+        backends["disk"], queries, insert_at, delete_pid, radius
+    )
+    for name, db in backends.items():
+        if name == "disk":
+            continue
+        answers = _run_directed_workload(
+            db, queries, insert_at, delete_pid, radius
+        )
+        assert answers == baseline, (
+            f"seed={seed}: backend {name!r} diverges from the disk store "
+            f"(reproduce with tests/conformance -k 'seed{seed}')"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
+def test_engine_batches_agree_across_backends(seed):
+    """The batch engine returns identical answers on every backend,
+    sequentially and with a worker pool."""
+    from repro import QuerySpec
+
+    (graph, points, _, queries, _, _, _, radius) = _undirected_case(seed)
+    specs = []
+    for query in queries:
+        specs.append(QuerySpec("rknn", query=query, k=2, method="eager"))
+        specs.append(QuerySpec("rknn", query=query, k=1, method="lazy"))
+        specs.append(QuerySpec("knn", query=query, k=2))
+        specs.append(QuerySpec("range", query=query, k=2, radius=radius))
+    backends = {
+        "disk": GraphDatabase(graph, points),
+        "sharded-K4": ShardedDatabase(graph, points, num_shards=4),
+        "compact": CompactDatabase(graph, points),
+    }
+
+    def answers_of(outcome):
+        return [
+            result.points if hasattr(result, "points") else result.neighbors
+            for result in outcome.results
+        ]
+
+    baseline = answers_of(backends["disk"].engine().run_batch(specs))
+    for name, db in backends.items():
+        for workers in (1, 3):
+            outcome = db.engine().run_batch(specs, workers=workers)
+            assert answers_of(outcome) == baseline, (
+                f"seed={seed}: engine over {name!r} with workers={workers} "
+                f"diverges (reproduce with tests/conformance -k 'seed{seed}')"
+            )

@@ -57,6 +57,9 @@ class TestDocsPages:
         namespace = run_blocks(ROOT / "docs" / "architecture.md")
         # the walkthrough leaves a sharded database around
         assert namespace["db"].num_shards == 4
+        # ... and a compact one, promoted from the disk store
+        assert namespace["cdb"].backend == "compact"
+        assert namespace["promoted"].backend == "compact"
 
     def test_algorithms_page_executes(self):
         namespace = run_blocks(ROOT / "docs" / "algorithms.md")
@@ -82,7 +85,7 @@ class TestExamples:
         examples = sorted(
             (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
         )
-        assert len(examples) >= 11
+        assert len(examples) >= 12
         for script in examples:
             py_compile.compile(str(script), doraise=True)
 

@@ -1,0 +1,44 @@
+"""Every example script must run to completion.
+
+``tests/test_docs.py`` compiles the examples and runs the quickstart;
+this suite goes further and *executes* every ``examples/*.py`` in a
+fresh subprocess (the same way a reader would), failing on a non-zero
+exit and requiring at least some output.  Marked ``slow``: the full
+sweep costs tens of seconds, so CI runs it on the full-matrix job.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+pytestmark = pytest.mark.slow
+
+
+def test_examples_are_discovered():
+    assert len(EXAMPLES) >= 12
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_to_completion(script):
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited with {proc.returncode}:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"
