@@ -83,7 +83,7 @@ def test_ablation_hierarchical_distance(benchmark, hier_graph, profile):
         hier_graph.num_nodes
     )
     text = format_table(
-        f"Ablation -- hierarchical distance index (spatial |V|="
+        "Ablation -- hierarchical distance index (spatial |V|="
         f"{hier_graph.num_nodes}; full materialization = {full} entries)",
         rows,
     )

@@ -21,6 +21,8 @@ Answers are asserted identical to the disk store for every query.
 
 import time
 
+from emit import emit
+
 from repro import GraphDatabase
 from repro.bench.report import save_report
 from repro.compact import CompactDatabase
@@ -88,6 +90,20 @@ def test_compact_3x_throughput_over_buffered_disk(benchmark, profile):
     text = "\n".join(lines)
     print("\n" + text)
     save_report("compact_grid_throughput", text)
+    emit(
+        "compact",
+        {
+            "disk_io": rows[0]["io"],
+            "compact_io": rows[1]["io"],
+            "speedup": round(checks["speedup"], 3),
+        },
+        # I/O counters are deterministic given the seeds; the combined-
+        # cost speedup divides by wall-clock CPU, so it stays ungated.
+        regression={
+            "disk_io": {"direction": "lower"},
+            "compact_io": {"direction": "lower"},
+        },
+    )
 
     assert checks["answers_match"], \
         "compact answers diverge from the disk store"

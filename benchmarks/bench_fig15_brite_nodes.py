@@ -7,7 +7,6 @@ variants prune early.  Expected shape: eager and eager-M beat lazy and
 lazy-EP by a wide margin, eager-M cheapest overall.
 """
 
-import pytest
 
 from repro import GraphDatabase
 from repro.bench.harness import run_workload

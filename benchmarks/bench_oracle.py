@@ -1,0 +1,121 @@
+"""Landmark oracle: expanded-edge reduction on the eager RkNN workload.
+
+Not a paper figure -- this benchmark validates the acceleration claim
+of the landmark distance oracle (:mod:`repro.oracle`) on the paper's
+grid dataset (restricted points, D = 0.01, k = 1, eager processing):
+attaching the oracle must cut the workload's **expanded-edge count by
+at least 2x** versus the unassisted expansion (the paper's algorithms
+have no valid Euclidean bound here -- grid weights are uniform random,
+not geometric -- so the baseline is the strongest sound
+configuration: no bounds at all).
+
+Answers are asserted bitwise identical in every configuration: oracle
+off vs on, and across all three storage backends (disk, sharded,
+compact) with the oracle enabled -- the pruning rules only skip work
+the bounds prove irrelevant (see :mod:`repro.oracle.prune`).
+
+Emits ``BENCH_oracle.json`` (via :mod:`emit`) with the reduction
+factor as a regression-gated metric.
+"""
+
+from emit import emit
+
+from repro import GraphDatabase, ShardedDatabase
+from repro.bench.report import save_report
+from repro.compact import CompactDatabase
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import data_queries, place_node_points
+
+DENSITY = 0.01
+K = 1
+LANDMARKS = 16
+MIN_REDUCTION = 2.0
+
+
+def _run(db, queries):
+    """Replay the workload cold, collecting answers and counter diffs."""
+    answers = []
+    before = db.tracker.snapshot()
+    for query in queries:
+        db.clear_buffer()
+        result = db.rknn(query.location, K, method="eager",
+                         exclude=query.exclude)
+        answers.append(result.points)
+    return answers, db.tracker.diff(before)
+
+
+def test_oracle_halves_expanded_edges(benchmark, profile):
+    def experiment():
+        graph = generate_grid(profile.grid_fixed_nodes, average_degree=4.0,
+                              seed=81)
+        points = place_node_points(graph, DENSITY, seed=82)
+        queries = data_queries(points, count=profile.workload_size, seed=83)
+
+        plain = GraphDatabase(graph, points, buffer_pages=profile.buffer_pages)
+        plain_answers, plain_diff = _run(plain, queries)
+
+        disk = GraphDatabase(graph, points, buffer_pages=profile.buffer_pages)
+        build = disk.build_oracle(LANDMARKS)
+        disk_answers, disk_diff = _run(disk, queries)
+
+        sharded = ShardedDatabase(graph, points, num_shards=4,
+                                  buffer_pages=profile.buffer_pages)
+        sharded.build_oracle(LANDMARKS)
+        sharded_answers, _ = _run(sharded, queries)
+
+        compact = CompactDatabase(graph, points)
+        compact.build_oracle(LANDMARKS)
+        compact_answers, compact_diff = _run(compact, queries)
+
+        rows = [
+            {"config": "no oracle", "edges": plain_diff.edges_expanded,
+             "io": plain_diff.io_operations, "prunes": 0},
+            {"config": "disk+oracle", "edges": disk_diff.edges_expanded,
+             "io": disk_diff.io_operations,
+             "prunes": disk_diff.oracle_prunes},
+            {"config": "compact+oracle", "edges": compact_diff.edges_expanded,
+             "io": compact_diff.io_operations,
+             "prunes": compact_diff.oracle_prunes},
+        ]
+        checks = {
+            "oracle_answers_match": disk_answers == plain_answers,
+            "backends_agree": (sharded_answers == disk_answers
+                               and compact_answers == disk_answers),
+            "reduction": (plain_diff.edges_expanded
+                          / max(1, disk_diff.edges_expanded)),
+            "build_io": build.io,
+        }
+        metrics = {
+            "edges_plain": plain_diff.edges_expanded,
+            "edges_oracle": disk_diff.edges_expanded,
+            "reduction": round(checks["reduction"], 3),
+            "io_plain": plain_diff.io_operations,
+            "io_oracle": disk_diff.io_operations,
+            "oracle_prunes": disk_diff.oracle_prunes,
+            "landmarks": LANDMARKS,
+            "queries": len(queries),
+        }
+        return rows, checks, metrics
+
+    rows, checks, metrics = benchmark.pedantic(experiment, rounds=1,
+                                               iterations=1)
+
+    lines = ["Landmark oracle -- grid, expanded edges (eager RkNN, k=1)",
+             f"{'config':>14}  {'edges':>9}  {'io':>6}  {'prunes':>7}"]
+    for row in rows:
+        lines.append(f"{row['config']:>14}  {row['edges']:>9}  "
+                     f"{row['io']:>6}  {row['prunes']:>7}")
+    lines.append(f"expanded-edge reduction: {checks['reduction']:.2f}x "
+                 f"(gate: >= {MIN_REDUCTION}x)")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_report("oracle_grid_edges", text)
+    emit("oracle", metrics,
+         regression={"reduction": {"direction": "higher", "tolerance": 0.25}})
+
+    assert checks["oracle_answers_match"], \
+        "oracle-assisted answers diverge from the plain expansion"
+    assert checks["backends_agree"], \
+        "backends disagree with the oracle enabled"
+    assert checks["reduction"] >= MIN_REDUCTION, \
+        f"edge reduction {checks['reduction']:.2f}x below {MIN_REDUCTION}x"

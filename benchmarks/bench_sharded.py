@@ -14,6 +14,8 @@ expansion's I/O into per-shard counters that
 Answers are asserted identical to the single store for every query.
 """
 
+from emit import emit
+
 from repro import GraphDatabase, ShardedDatabase
 from repro.bench.report import save_report
 from repro.datasets.grid import generate_grid
@@ -81,6 +83,20 @@ def test_sharded_io_within_2x_of_single_store(benchmark, profile):
     text = "\n".join(lines)
     print("\n" + text)
     save_report("sharded_grid_io", text)
+    emit(
+        "sharded",
+        {
+            "single_io": rows[0]["io"],
+            "k1_io": rows[1]["io"],
+            "k4_io": rows[2]["io"],
+            "k4_ratio": rows[2]["ratio"],
+        },
+        # all I/O counters are deterministic given the workload seeds
+        regression={
+            "single_io": {"direction": "lower"},
+            "k4_ratio": {"direction": "lower"},
+        },
+    )
 
     for num_shards, check in zip(SHARD_COUNTS, checks):
         assert check["answers_match"], \

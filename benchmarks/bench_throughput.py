@@ -1,0 +1,55 @@
+"""Serving throughput: batched engine vs sequential facade (smoke gate).
+
+The pytest wrapper around :mod:`repro.bench.throughput` (the
+PR-acceptance benchmark introduced with the QueryEngine): on a small
+grid workload with repeated arrivals, batched execution with a warm
+result cache and 4 workers must beat **2x** the sequential facade
+throughput.  Emits ``BENCH_throughput.json`` (via :mod:`emit`) so CI
+archives the run; the gated metrics are the deterministic cache and
+I/O counters -- the wall-clock speedup itself is asserted in-run but
+never compared across machines.
+"""
+
+from emit import emit
+
+from repro.bench.throughput import run
+
+NODES = 200
+DISTINCT = 10
+REPEAT = 3
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def test_batched_serving_beats_sequential_2x(benchmark):
+    report = benchmark.pedantic(
+        lambda: run(nodes=NODES, distinct=DISTINCT, repeat=REPEAT,
+                    workers=WORKERS),
+        rounds=1, iterations=1,
+    )
+
+    print()
+    for line in report.summary_lines():
+        print(line)
+    emit(
+        "throughput",
+        {
+            "queries": report.queries,
+            "distinct": report.distinct,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "batch_io": report.batch_io,
+            "speedup": round(report.speedup, 3),
+        },
+        # hits/misses/io are deterministic for the fixed workload; the
+        # speedup divides wall-clock times, so it stays ungated.
+        regression={
+            "cache_hits": {"direction": "higher", "tolerance": 0.0},
+            "cache_misses": {"direction": "lower", "tolerance": 0.0},
+            "batch_io": {"direction": "lower"},
+        },
+    )
+
+    assert report.speedup >= MIN_SPEEDUP, (
+        f"batched speedup {report.speedup:.2f}x below {MIN_SPEEDUP}x"
+    )

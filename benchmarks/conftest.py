@@ -8,7 +8,7 @@ evaluation (Section 6).  Run with::
 Scale with ``REPRO_BENCH_SCALE`` in {smoke, small, paper}; the default
 ``small`` profile is ~10x below the paper's graph sizes (see
 EXPERIMENTS.md for the mapping).  Rendered tables are printed and saved
-under ``benchmarks/results/``.
+under ``benchmarks/out/``.
 """
 
 from __future__ import annotations

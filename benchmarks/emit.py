@@ -1,0 +1,149 @@
+"""Machine-readable benchmark emission and baseline regression checks.
+
+Every benchmark in this suite calls :func:`emit` with its headline
+metrics; the helper writes ``BENCH_<name>.json`` under
+``benchmarks/out/`` (override with ``REPRO_BENCH_OUT``), which CI
+uploads as workflow artifacts -- the repo's perf trajectory, one JSON
+per benchmark per run.
+
+Committed baselines live in ``benchmarks/results/BENCH_*.json``.  A
+baseline declares which of its metrics are regression-gated and in
+which direction::
+
+    "regression": {"speedup": {"direction": "higher", "tolerance": 0.25}}
+
+``python benchmarks/emit.py --check`` compares a fresh run against the
+baselines and exits non-zero on any regression beyond tolerance
+(CI runs it right after the benchmarks).  Only baselines recorded at
+the same ``REPRO_BENCH_SCALE`` are compared; others are skipped with a
+note, so local ``small``-scale runs never trip the ``smoke`` gates.
+
+Refresh a baseline by re-running the benchmark suite and copying the
+emitted file over the committed one::
+
+    REPRO_BENCH_SCALE=smoke PYTHONPATH=src pytest benchmarks/bench_oracle.py --benchmark-only
+    cp benchmarks/out/BENCH_oracle.json benchmarks/results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+BASELINE_DIR = ROOT / "results"
+
+#: Default relative tolerance before a gated metric counts as regressed.
+DEFAULT_TOLERANCE = 0.25
+
+
+def out_dir() -> Path:
+    """Directory receiving emitted ``BENCH_*.json`` files."""
+    base = Path(os.environ.get("REPRO_BENCH_OUT", ROOT / "out"))
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def current_scale() -> str:
+    """The active ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def emit(name: str, metrics: dict, regression: dict | None = None) -> str:
+    """Write one benchmark's result as ``BENCH_<name>.json``.
+
+    ``metrics`` maps metric names to numbers (machine-independent
+    counters and ratios preferred -- wall-clock belongs in the text
+    reports).  ``regression`` marks the gated subset: metric name to
+    ``{"direction": "higher"|"lower", "tolerance": float}`` (tolerance
+    optional).
+    """
+    payload = {
+        "benchmark": name,
+        "scale": current_scale(),
+        "metrics": metrics,
+        "regression": regression or {},
+    }
+    path = out_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
+
+
+def _within(direction: str, tolerance: float, new: float, base: float) -> bool:
+    if direction == "higher":
+        return new >= base * (1.0 - tolerance)
+    if direction == "lower":
+        return new <= base * (1.0 + tolerance)
+    raise ValueError(f"unknown regression direction {direction!r}")
+
+
+def check(emitted_dir: Path | None = None) -> int:
+    """Compare emitted results against committed baselines.
+
+    Returns the number of failures (missing results or regressed
+    metrics) and prints a line per comparison.
+    """
+    emitted_dir = Path(emitted_dir) if emitted_dir is not None else out_dir()
+    scale = current_scale()
+    failures = 0
+    baselines = sorted(BASELINE_DIR.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {BASELINE_DIR}; nothing to check")
+        return 0
+    for baseline_path in baselines:
+        baseline = json.loads(baseline_path.read_text())
+        name = baseline["benchmark"]
+        if baseline.get("scale") != scale:
+            print(f"SKIP  {name}: baseline scale {baseline.get('scale')!r} "
+                  f"!= current {scale!r}")
+            continue
+        fresh_path = emitted_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL  {name}: no emitted result at {fresh_path}")
+            failures += 1
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        for metric, rule in baseline.get("regression", {}).items():
+            base_value = baseline["metrics"][metric]
+            new_value = fresh["metrics"].get(metric)
+            if new_value is None:
+                print(f"FAIL  {name}.{metric}: missing from emitted result")
+                failures += 1
+                continue
+            direction = rule["direction"]
+            tolerance = rule.get("tolerance", DEFAULT_TOLERANCE)
+            ok = _within(direction, tolerance, new_value, base_value)
+            status = "ok  " if ok else "FAIL"
+            print(f"{status}  {name}.{metric}: {new_value:g} vs baseline "
+                  f"{base_value:g} ({direction} is better, "
+                  f"tolerance {tolerance:.0%})")
+            if not ok:
+                failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point: ``--check`` compares against baselines."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare emitted results against committed "
+                        "baselines; non-zero exit on regression")
+    parser.add_argument("--emitted-dir", default=None,
+                        help="directory of fresh BENCH_*.json files "
+                        "(default: benchmarks/out or REPRO_BENCH_OUT)")
+    args = parser.parse_args(argv)
+    if not args.check:
+        parser.error("nothing to do (pass --check)")
+    failures = check(args.emitted_dir)
+    if failures:
+        print(f"{failures} benchmark regression(s)")
+        return 1
+    print("benchmark results within baseline tolerances")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,7 @@ def main() -> None:
     db.insert_point(9_999, free_node)
     after = engine.run_batch(specs, workers=4)
     print(f"after insert_point: {after.hits} hits / {after.misses} misses "
-          f"(stale entries invalidated)")
+          "(stale entries invalidated)")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ def main() -> None:
     dblp = generate_dblp(num_nodes=4_260, num_edges=13_199, seed=1)
     graph = dblp.graph
     print(f"  {graph.num_nodes} authors, {graph.num_edges} co-author edges "
-          f"(unit weights = degrees of separation)")
+          "(unit weights = degrees of separation)")
 
     rng = random.Random(9)
     query_author = rng.randrange(graph.num_nodes)
@@ -41,7 +41,7 @@ def main() -> None:
             result = db.rknn(query_author, k=1, method=method, exclude=exclude)
             print(
                 f"  {method:6s}: {len(result):3d} authors have the query "
-                f"author as closest match   "
+                "author as closest match   "
                 f"[{result.io:4d} page I/Os, {result.cpu_seconds * 1000:7.1f} ms CPU]"
             )
 

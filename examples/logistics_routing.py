@@ -89,7 +89,7 @@ def main() -> None:
         if i == 0 or ids != stops[i - 1][1]
     ]
     print(f"\nnearest fuel stop along the {len(guided.nodes)}-junction route "
-          f"(changes only):")
+          "(changes only):")
     for node, ids in changes:
         label = ", ".join(f"station {pid}" for pid in sorted(ids)) or "none"
         print(f"  from junction {node:5d}: {label}")

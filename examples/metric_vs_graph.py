@@ -51,7 +51,7 @@ def main() -> None:
     result = index.rnn(query, stats)
     print("\n[vp-tree] result:", result)
     print(f"[vp-tree] {build_dijkstras} Dijkstras to build the index "
-          f"(tree splits + vicinity radii)")
+          "(tree splits + vicinity radii)")
     print(f"[vp-tree] {stats.distance_calls} more distance calls at query "
           f"time ({stats.nodes_pruned} subtrees pruned by the triangle "
           "inequality)")

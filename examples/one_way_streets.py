@@ -79,9 +79,9 @@ def main() -> None:
             passenger, directed, undirected = candidate, d_result, u_result
             break
     print(f"\npassenger appears at junction {passenger}")
-    print(f"  taxis that should take the call (one-way aware): "
+    print("  taxis that should take the call (one-way aware): "
           f"{sorted(directed.points)}")
-    print(f"  taxis a direction-blind model would pick:        "
+    print("  taxis a direction-blind model would pick:        "
           f"{sorted(undirected.points)}")
 
     gained = set(directed.points) - set(undirected.points)
@@ -90,10 +90,10 @@ def main() -> None:
         print("\none-way streets change the answer:")
         for taxi in sorted(gained):
             print(f"  taxi {taxi} gains the passenger "
-                  f"(its two-way 'shortcut' is actually against traffic)")
+                  "(its two-way 'shortcut' is actually against traffic)")
         for taxi in sorted(lost):
             print(f"  taxi {taxi} loses the passenger "
-                  f"(another taxi has a legal shorter route)")
+                  "(another taxi has a legal shorter route)")
     else:
         print("\n(for this passenger the two models agree; rerun with "
               "another seed to see them diverge)")

@@ -65,7 +65,7 @@ def main() -> None:
     db.clear_buffer()
     second_choice = db.bichromatic_rknn(site, k=2)
     print(
-        f"blocks keeping the new site among their top-2 choices: "
+        "blocks keeping the new site among their top-2 choices: "
         f"{len(second_choice)}"
     )
 

@@ -30,7 +30,11 @@ while the batch engine executes independent shards concurrently.  For
 raw speed, :mod:`repro.compact` flattens the network into CSR arrays
 behind :class:`CompactDatabase` / :class:`CompactDirectedDatabase`
 facades -- the memory-resident fast path serving the same answers with
-zero page I/O.
+zero page I/O.  Every backend can additionally preprocess the network
+into an ALT landmark distance oracle (:mod:`repro.oracle`,
+``db.build_oracle()``): triangle-inequality bounds the expansion loops
+consult to skip provably irrelevant work, cutting expanded-edge counts
+and I/O while answers stay bitwise identical.
 
 Quickstart::
 
@@ -57,6 +61,8 @@ from repro.errors import (
 from repro.graph.graph import Graph
 from repro.graph.digraph import DiGraph
 from repro.graph.builder import GraphBuilder
+from repro.core.result import OracleResult
+from repro.oracle import DistanceOracle, LandmarkStore, LowerBoundProvider
 from repro.points.points import EdgePointSet, NodePointSet, PointSet
 from repro.shard import ShardedDatabase, ShardedDirectedDatabase
 from repro.storage.stats import CostModel, CostTracker
@@ -70,6 +76,7 @@ __all__ = [
     "CostModel",
     "CostTracker",
     "DiGraph",
+    "DistanceOracle",
     "DirectedGraphDatabase",
     "EdgePointSet",
     "Graph",
@@ -77,8 +84,11 @@ __all__ = [
     "GraphDatabase",
     "GraphError",
     "KnnResult",
+    "LandmarkStore",
+    "LowerBoundProvider",
     "MaterializationError",
     "NodePointSet",
+    "OracleResult",
     "PointError",
     "PointSet",
     "QueryEngine",

@@ -38,10 +38,18 @@ from repro.core.materialize import MaterializedKNN, Seed
 from repro.core.network import NetworkView
 from repro.core.nn import knn as restricted_knn
 from repro.core.nn import range_nn as restricted_range_nn
-from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.core.result import KnnResult, OracleResult, RnnResult, UpdateResult
 from repro.errors import QueryError
 from repro.graph.graph import Graph
 from repro.graph.partition import bfs_order, hilbert_order
+from repro.oracle import (
+    DEFAULT_LANDMARKS,
+    DistanceOracle,
+    LandmarkStore,
+    resolve_oracle_source,
+    select_landmarks,
+    store_landmark_distances,
+)
 from repro.points.points import EdgePointSet, NodePointSet, PointSet
 from repro.storage.buffer import BufferManager
 from repro.storage.disk import DiskGraph, EdgePointStore
@@ -122,6 +130,13 @@ class GraphDatabase:
             )
         self.view = NetworkView(self.disk, points, self.tracker, self._edge_store)
         self.materialized: MaterializedKNN | None = None
+        #: Landmark distance oracle (see :meth:`build_oracle`); ``None``
+        #: until built or opened.  Attached to every view as its bound
+        #: provider, so the expansion loops prune with it.
+        self.oracle: DistanceOracle | None = None
+        #: Persisted label file backing :attr:`oracle` (``None`` when the
+        #: oracle was opened from an in-memory object).
+        self.oracle_store: LandmarkStore | None = None
         self._ref_points: PointSet | None = None
         self._ref_view: NetworkView | None = None
         self._ref_edge_store: EdgePointStore | None = None
@@ -215,11 +230,114 @@ class GraphDatabase:
                 order=self._order,
             )
         self._ref_view = NetworkView(
-            self.disk, reference, self.tracker, self._ref_edge_store
+            self.disk, reference, self.tracker, self._ref_edge_store,
+            bounds=self.oracle,
         )
         self._ref_materialized = None
         # swapping Q changes bichromatic answers: invalidate cached results
         self.generation += 1
+
+    # -- landmark distance oracle -------------------------------------------
+
+    def build_oracle(
+        self,
+        count: int = DEFAULT_LANDMARKS,
+        *,
+        seed: int = 0,
+        strategy: str = "farthest",
+    ) -> OracleResult:
+        """Build and attach an ALT landmark distance oracle (charged).
+
+        Selects ``count`` landmarks (farthest-point heuristic by
+        default), runs one single-source Dijkstra per landmark over
+        the paged adjacency file (every read charged through the
+        buffer), persists the label table as a paged
+        :class:`~repro.oracle.store.LandmarkStore`, and attaches the
+        resulting :class:`~repro.oracle.oracle.DistanceOracle` to
+        every view.  Subsequent queries return bitwise identical
+        answers while expanding fewer edges (see
+        :mod:`repro.oracle.prune`).
+
+        Parameters
+        ----------
+        count:
+            Number of landmarks ``L`` (label storage is ``L`` doubles
+            per node).
+        seed:
+            Seeds the first landmark pick.
+        strategy:
+            ``"farthest"`` (default) or ``"random"``.
+
+        Returns
+        -------
+        OracleResult
+            The selected landmarks plus the exact preprocessing cost.
+        """
+        if not self.restricted:
+            raise QueryError(
+                "the distance oracle serves restricted networks "
+                "(node-resident points)"
+            )
+
+        def run():
+            landmarks, tables = select_landmarks(
+                lambda source: store_landmark_distances(
+                    self.disk, self.graph.num_nodes, source
+                ),
+                self.graph.num_nodes,
+                count,
+                seed=seed,
+                strategy=strategy,
+            )
+            store = LandmarkStore(
+                self.graph.num_nodes, landmarks, tables, self.buffer,
+                page_size=self.page_size, order=self._order,
+            )
+            return store, DistanceOracle(landmarks, tables)
+
+        (store, oracle), diff = self._measure(run)
+        self.oracle_store = store
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(
+            oracle.landmarks, oracle.storage_entries, store.num_pages,
+            diff.io_operations, diff.cpu_seconds, diff,
+        )
+
+    def open_oracle(self, source) -> OracleResult:
+        """Attach an oracle built elsewhere (store or oracle object).
+
+        Parameters
+        ----------
+        source:
+            A persisted :class:`~repro.oracle.store.LandmarkStore`
+            (decoded uncharged, like the compact backend decodes
+            adjacency pages) or a ready
+            :class:`~repro.oracle.oracle.DistanceOracle` -- e.g. one
+            built by another backend over the same graph.
+
+        Returns
+        -------
+        OracleResult
+            The attached landmarks (opening charges no I/O).
+        """
+        if not self.restricted:
+            raise QueryError(
+                "the distance oracle serves restricted networks "
+                "(node-resident points)"
+            )
+        oracle, store, pages = resolve_oracle_source(
+            source, self.graph.num_nodes
+        )
+        self.oracle_store = store
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(oracle.landmarks, oracle.storage_entries, pages, 0, 0.0)
+
+    def _attach_bounds(self, bounds) -> None:
+        self.view.bounds = bounds
+        if self._ref_view is not None:
+            self._ref_view.bounds = bounds
 
     # -- serving --------------------------------------------------------------
 
@@ -257,14 +375,16 @@ class GraphDatabase:
             store.buffer = clone.buffer
             clone.materialized = MaterializedKNN(store)
         clone.view = NetworkView(
-            clone.disk, clone.points, clone.tracker, clone._edge_store
+            clone.disk, clone.points, clone.tracker, clone._edge_store,
+            bounds=self.oracle,
         )
         if self._ref_view is not None and self._ref_points is not None:
             if self._ref_edge_store is not None:
                 clone._ref_edge_store = copy.copy(self._ref_edge_store)
                 clone._ref_edge_store.buffer = clone.buffer
             clone._ref_view = NetworkView(
-                clone.disk, self._ref_points, clone.tracker, clone._ref_edge_store
+                clone.disk, self._ref_points, clone.tracker,
+                clone._ref_edge_store, bounds=self.oracle,
             )
             if self._ref_materialized is not None:
                 ref_store = copy.copy(self._ref_materialized.store)
@@ -648,7 +768,10 @@ class GraphDatabase:
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _rebuild_view(self) -> None:
-        self.view = NetworkView(self.disk, self.points, self.tracker, self._edge_store)
+        self.view = NetworkView(
+            self.disk, self.points, self.tracker, self._edge_store,
+            bounds=self.oracle,
+        )
 
     # -- validation helpers -------------------------------------------------------
 

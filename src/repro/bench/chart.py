@@ -4,7 +4,7 @@ The paper's evaluation communicates through grouped bar charts
 (Figs. 15-22): one group per x-value (|V|, density, k, ...), one bar
 per method, usually on a log scale because the methods differ by
 orders of magnitude.  :func:`format_chart` renders exactly that shape
-in plain text, so ``benchmarks/results/*.txt`` contain a literal
+in plain text, so ``benchmarks/out/*.txt`` contain a literal
 figure next to each table::
 
     Figure 16 -- cost vs D (BRITE)           total_s, log scale

@@ -1,8 +1,12 @@
 """Plain-text rendering of experiment tables and series.
 
 Benchmarks print the same rows/series the paper's tables and figures
-report, and persist them under ``benchmarks/results/`` so runs can be
-compared against the expectations recorded in EXPERIMENTS.md.
+report, and persist them under ``benchmarks/out/`` (a scratch
+directory; wall-clock numbers are machine-dependent and never
+committed) so runs can be compared against the expectations recorded
+in EXPERIMENTS.md.  The committed machine-independent baselines live
+separately in ``benchmarks/results/BENCH_*.json`` (see
+``benchmarks/emit.py``).
 """
 
 from __future__ import annotations
@@ -60,14 +64,14 @@ def results_dir() -> str:
     base = os.environ.get(
         "REPRO_RESULTS_DIR",
         os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results"),
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "out"),
     )
     os.makedirs(base, exist_ok=True)
     return base
 
 
 def save_report(name: str, text: str) -> str:
-    """Write a rendered table to ``benchmarks/results/<name>.txt``."""
+    """Write a rendered table to ``benchmarks/out/<name>.txt``."""
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)

@@ -214,7 +214,7 @@ class CSRGraph:
         for (u, v), weight in weights.items():
             if weights.get((v, u)) != weight:
                 raise GraphError(
-                    f"undirected adjacency lists are not symmetric: "
+                    "undirected adjacency lists are not symmetric: "
                     f"edge ({u}, {v}) has no matching mirror entry"
                 )
 

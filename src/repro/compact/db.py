@@ -53,11 +53,18 @@ from repro.core.materialize import MaterializedKNN, all_nn
 from repro.core.network import NetworkView
 from repro.core.nn import knn as restricted_knn
 from repro.core.nn import range_nn as restricted_range_nn
-from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.core.result import KnnResult, OracleResult, RnnResult, UpdateResult
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.graph.partition import bfs_order, hilbert_order
+from repro.oracle import (
+    DEFAULT_LANDMARKS,
+    DistanceOracle,
+    csr_landmark_distances,
+    resolve_oracle_source,
+    select_landmarks,
+)
 from repro.points.points import NodePointSet
 from repro.storage.stats import CostTracker
 
@@ -174,6 +181,10 @@ class CompactDatabase(_CompactMeasureMixin):
         self.store = CompactGraphStore(graph, order=order)
         self.view = NetworkView(self.store, points, self.tracker)
         self.materialized: MaterializedKNN | None = None
+        #: Landmark distance oracle (see :meth:`build_oracle`); ``None``
+        #: until built or opened.  The compact backend keeps it purely
+        #: in memory (no pages to persist to).
+        self.oracle: DistanceOracle | None = None
         self._ref_points: NodePointSet | None = None
         self._ref_view: NetworkView | None = None
         self._ref_materialized: MaterializedKNN | None = None
@@ -232,6 +243,7 @@ class CompactDatabase(_CompactMeasureMixin):
         compact.store = CompactGraphStore.from_disk(db.disk)
         compact.view = NetworkView(compact.store, points, compact.tracker)
         compact.materialized = None
+        compact.oracle = None
         compact._ref_points = None
         compact._ref_view = None
         compact._ref_materialized = None
@@ -309,9 +321,88 @@ class CompactDatabase(_CompactMeasureMixin):
             raise QueryError("the compact backend takes node-resident references")
         reference.validate(self.graph)
         self._ref_points = reference
-        self._ref_view = NetworkView(self.store, reference, self.tracker)
+        self._ref_view = NetworkView(
+            self.store, reference, self.tracker, bounds=self.oracle
+        )
         self._ref_materialized = None
         self.generation += 1
+
+    # -- landmark distance oracle -------------------------------------------
+
+    def build_oracle(
+        self,
+        count: int = DEFAULT_LANDMARKS,
+        *,
+        seed: int = 0,
+        strategy: str = "farthest",
+    ) -> OracleResult:
+        """Build and attach an ALT landmark distance oracle (CPU only).
+
+        One single-source Dijkstra per landmark runs directly over the
+        CSR flat arrays, with the relaxation step vectorized across
+        each adjacency range -- no pages, no buffer, no charged I/O.
+        The oracle stays in memory (the compact backend has no disk
+        store to persist to; use :meth:`open_oracle` to share a label
+        table built by a paged backend, or hand this oracle to one).
+
+        Parameters
+        ----------
+        count:
+            Number of landmarks ``L``.
+        seed:
+            Seeds the first landmark pick.
+        strategy:
+            ``"farthest"`` (default) or ``"random"``.
+
+        Returns
+        -------
+        OracleResult
+            The selected landmarks plus the CPU-only cost record.
+        """
+
+        def run():
+            landmarks, tables = select_landmarks(
+                lambda source: csr_landmark_distances(self.store.csr, source),
+                self.graph.num_nodes,
+                count,
+                seed=seed,
+                strategy=strategy,
+            )
+            return DistanceOracle(landmarks, tables)
+
+        oracle, diff = self._measure(run)
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(
+            oracle.landmarks, oracle.storage_entries, 0,
+            diff.io_operations, diff.cpu_seconds, diff,
+        )
+
+    def open_oracle(self, source) -> OracleResult:
+        """Attach an oracle built elsewhere (store or oracle object).
+
+        Parameters
+        ----------
+        source:
+            A persisted :class:`~repro.oracle.store.LandmarkStore`
+            (decoded uncharged) or a ready
+            :class:`~repro.oracle.oracle.DistanceOracle` built by any
+            backend over the same graph.
+
+        Returns
+        -------
+        OracleResult
+            The attached landmarks (opening charges no I/O).
+        """
+        oracle, _, _ = resolve_oracle_source(source, self.graph.num_nodes)
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(oracle.landmarks, oracle.storage_entries, 0, 0, 0.0)
+
+    def _attach_bounds(self, bounds) -> None:
+        self.view.bounds = bounds
+        if self._ref_view is not None:
+            self._ref_view.bounds = bounds
 
     # -- sessions -----------------------------------------------------------
 
@@ -329,10 +420,12 @@ class CompactDatabase(_CompactMeasureMixin):
         """
         clone = copy.copy(self)
         clone.tracker = CostTracker()
-        clone.view = NetworkView(self.store, clone.points, clone.tracker)
+        clone.view = NetworkView(
+            self.store, clone.points, clone.tracker, bounds=self.oracle
+        )
         if self._ref_points is not None:
             clone._ref_view = NetworkView(
-                self.store, self._ref_points, clone.tracker
+                self.store, self._ref_points, clone.tracker, bounds=self.oracle
             )
         return clone
 
@@ -582,7 +675,9 @@ class CompactDatabase(_CompactMeasureMixin):
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _rebuild_view(self) -> None:
-        self.view = NetworkView(self.store, self.points, self.tracker)
+        self.view = NetworkView(
+            self.store, self.points, self.tracker, bounds=self.oracle
+        )
 
     # -- validation helpers -------------------------------------------------
 

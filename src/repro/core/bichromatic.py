@@ -57,7 +57,9 @@ def bichromatic_eager(
         pid = data_view.point_at(node)
         if pid is not None:
             result.append(pid)
-        for nbr, weight in ref_view.neighbors(node):
+        neighbors = ref_view.neighbors(node)
+        ref_view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
@@ -110,7 +112,9 @@ def bichromatic_eager_m(
         pid = data_view.point_at(node)
         if pid is not None:
             result.append(pid)
-        for nbr, weight in ref_view.neighbors(node):
+        neighbors = ref_view.neighbors(node)
+        ref_view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
@@ -158,7 +162,9 @@ def bichromatic_lazy(
             if len(range_nn(ref_view, node, k, dist, exclude)) < k:
                 result.append(data_pid)
         entry_ids = []
-        for nbr, weight in ref_view.neighbors(node):
+        neighbors = ref_view.neighbors(node)
+        ref_view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in state.processed:
                 entry_ids.append(state.heap.push(dist + weight, nbr))
         if entry_ids:

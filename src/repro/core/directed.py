@@ -125,7 +125,9 @@ def directed_range_nn(
             result.append((pid, dist))
             if len(result) == k:
                 break
-        for nbr, weight in view.out_neighbors(node):
+        neighbors = view.out_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return result
@@ -163,7 +165,9 @@ def directed_verify(
         other = view.point_at(node)
         if other is not None and other != pid and other not in exclude:
             insort(point_dists, dist)
-        for nbr, weight in view.out_neighbors(node):
+        neighbors = view.out_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 ndist = dist + weight
                 if ndist <= bound:
@@ -196,7 +200,9 @@ def directed_all_nn(
         if len(entries) >= capacity:
             continue
         entries.append((pid, dist))
-        for nbr, weight in view.in_neighbors(node):
+        neighbors = view.in_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if (nbr, pid) not in closed and len(lists.get(nbr, ())) < capacity:
                 heap.push(dist + weight, (nbr, pid))
     return lists
@@ -257,7 +263,9 @@ def _directed_eager(
                                        math.inf, exclude):
                         result.append(wpid)
             continue
-        for nbr, weight in view.in_neighbors(node):
+        neighbors = view.in_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
@@ -305,7 +313,9 @@ def _directed_eager_m(
                                           query_node, exclude):
                         result.append(wpid)
             continue
-        for nbr, weight in view.in_neighbors(node):
+        neighbors = view.in_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
@@ -379,7 +389,9 @@ def _directed_naive(
         if pid is not None and pid not in exclude:
             if directed_verify(view, pid, k, query_node, dist, exclude):
                 result.append(pid)
-        for nbr, weight in view.in_neighbors(node):
+        neighbors = view.in_neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)
@@ -461,7 +473,9 @@ def directed_insert(
         del entries[materialized.capacity:]
         materialized.store.put(current, entries)
         updated += 1
-        for nbr, weight in view.in_neighbors(current):
+        neighbors = view.in_neighbors(current)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return updated
@@ -498,7 +512,9 @@ def directed_delete(
         if len(survivors) == len(entries):
             continue  # border: list unchanged, do not expand
         affected[current] = survivors
-        for nbr, weight in view.in_neighbors(current):
+        neighbors = view.in_neighbors(current)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
 
@@ -506,7 +522,9 @@ def directed_delete(
     for current, survivors in affected.items():
         for other, dist in survivors:
             refill.push(dist, (current, other))
-        for nbr, weight in view.out_neighbors(current):
+        neighbors = view.out_neighbors(current)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr in affected:
                 continue
             for other, dist in materialized.get(nbr):
@@ -524,7 +542,9 @@ def directed_delete(
             if len(entries) >= capacity:
                 continue
             entries.append((other, dist))
-        for nbr, weight in view.in_neighbors(current):
+        neighbors = view.in_neighbors(current)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr in affected and (nbr, other) not in closed:
                 refill.push(dist + weight, (nbr, other))
     for current, entries in affected.items():

@@ -92,7 +92,9 @@ def _eager(
         if len(found) < k:
             # Lemma 1 does not apply: fewer than k points are strictly
             # closer to this node than the query, keep expanding.
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr not in visited:
                     heap.push(dist + weight, nbr)
     return sorted(result)

@@ -95,7 +95,9 @@ def _eager_m(
             ):
                 result.append(pid)
         if len(candidates) < k:
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr not in visited:
                     heap.push(dist + weight, nbr)
     return sorted(result)

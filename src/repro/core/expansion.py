@@ -43,7 +43,9 @@ def expand_nodes(
         visited.add(node)
         view.tracker.nodes_visited += 1
         yield node, dist
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 ndist = dist + weight
                 if ndist <= max_dist:

@@ -101,7 +101,9 @@ def _lazy(
             if state.count.get(node, 0) >= k:
                 continue
         entry_ids: list[int] = []
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in state.processed:
                 entry_ids.append(state.heap.push(dist + weight, nbr))
         if entry_ids:
@@ -163,7 +165,9 @@ def _lazy_verify(
         other = view.point_at(node)
         if other is not None and other != pid and other not in exclude:
             insort(point_dists, dist)
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 ndist = dist + weight
                 if ndist <= limit:

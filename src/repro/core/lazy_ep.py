@@ -89,7 +89,9 @@ class _ParallelExpansion:
                 continue  # k discovered points at least as close: dominated
             insort(dists, (dist, pid))
             del dists[self.k:]
-            for nbr, weight in self.view.neighbors(node):
+            neighbors = self.view.neighbors(node)
+            self.view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if (nbr, pid) in self.closed:
                     continue
                 nbr_dists = self.knn_dists.get(nbr)
@@ -154,7 +156,9 @@ def _lazy_ep(
             parallel.advance(dist)
         if strictly_less(parallel.kth_dist(node), dist):
             continue  # Lemma 1: k discovered points strictly closer than q
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if nbr not in visited:
                 heap.push(dist + weight, nbr)
     return sorted(result)

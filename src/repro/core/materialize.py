@@ -57,7 +57,9 @@ def all_nn(
         if len(entries) >= capacity:
             continue
         entries.append((pid, dist))
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if (nbr, pid) not in closed and len(lists.get(nbr, ())) < capacity:
                 heap.push(dist + weight, (nbr, pid))
     return lists
@@ -130,7 +132,9 @@ class MaterializedKNN:
             del entries[self.capacity:]
             self.store.put(node, entries)
             updated += 1
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr not in visited:
                     heap.push(dist + weight, nbr)
         return updated
@@ -163,7 +167,9 @@ class MaterializedKNN:
             if len(survivors) == len(entries):
                 continue  # border node: list unchanged, do not expand
             affected[node] = survivors
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr not in visited:
                     heap.push(dist + weight, nbr)
 
@@ -172,7 +178,9 @@ class MaterializedKNN:
         for node, survivors in affected.items():
             for other, dist in survivors:
                 refill.push(dist, (node, other))
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr in affected:
                     continue
                 for other, dist in self.store.get(nbr):
@@ -190,7 +198,9 @@ class MaterializedKNN:
                 if len(entries) >= capacity:
                     continue  # full again: farther candidates are dominated
                 entries.append((other, dist))
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if nbr in affected and (nbr, other) not in closed:
                     refill.push(dist + weight, (nbr, other))
         for node, entries in affected.items():

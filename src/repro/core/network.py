@@ -34,10 +34,14 @@ class NetworkView:
         points: PointSet,
         tracker: CostTracker,
         edge_store: EdgePointStore | None = None,
+        bounds=None,
     ):
         self.disk = disk
         self.tracker = tracker
         self.restricted = points.restricted
+        #: Optional :class:`~repro.oracle.bounds.LowerBoundProvider`
+        #: consulted by the expansion loops (answer-preserving pruning).
+        self.bounds = bounds
         if isinstance(points, NodePointSet):
             self._node_points: NodePointSet | None = points
             self._edge_points: EdgePointSet | None = None

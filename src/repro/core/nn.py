@@ -13,6 +13,14 @@ Tie handling follows the RkNN definition
 ``RkNN(q) = {p | d(p, q) <= d(p, p_k(p))}``: a point belongs to the
 result when *fewer than k* other points are **strictly** closer to it
 than the query, so ties favor the query.
+
+When the view carries a bound provider (``view.bounds``, see
+:mod:`repro.oracle`), probes and verifications first consult the
+answer-preserving pruning rules of :mod:`repro.oracle.prune`:
+provably-empty probes skip their expansion, probes with a proven
+result horizon stop early, and verifications the bounds decide
+outright never expand at all.  Answers are bitwise identical either
+way; only the expansion work shrinks.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import AbstractSet, Iterable
 from repro.core.expansion import expand_nodes
 from repro.core.numeric import inflate_bound, strictly_less
 from repro.core.network import NetworkView
+from repro.oracle.prune import probe_plan, verify_plan
 
 _EMPTY: frozenset[int] = frozenset()
 
@@ -51,7 +60,10 @@ def range_nn(
     result: list[tuple[int, float]] = []
     if k <= 0 or radius <= 0:
         return result
-    for node, dist in expand_nodes(view, [(source, 0.0)]):
+    skip, horizon = probe_plan(view, source, k, radius, exclude)
+    if skip:
+        return result
+    for node, dist in expand_nodes(view, [(source, 0.0)], max_dist=horizon):
         if not strictly_less(dist, radius):
             break
         pid = view.point_at(node)
@@ -81,8 +93,11 @@ def verify(
     ``p`` than the first target met.
     """
     view.tracker.verifications += 1
-    bound = inflate_bound(bound)  # survive fp noise when d(p, q) == bound
     target_set = set(targets)
+    decision, bound = verify_plan(view, pid, k, target_set, bound, exclude)
+    if decision is not None:
+        return decision
+    bound = inflate_bound(bound)  # survive fp noise when d(p, q) == bound
     start = view.node_of(pid)
     point_dists: list[float] = []  # ascending distances of points seen
     for node, dist in expand_nodes(view, [(start, 0.0)], max_dist=bound):

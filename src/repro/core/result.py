@@ -65,6 +65,39 @@ class KnnResult:
 
 
 @dataclass(frozen=True)
+class OracleResult:
+    """Outcome of building (or opening) a landmark distance oracle.
+
+    Attributes
+    ----------
+    landmarks:
+        The selected landmark node ids, in selection order.
+    entries:
+        Materialized ``(landmark, node)`` distance pairs.
+    pages:
+        Pages of the persisted label file (0 for memory-only opens).
+    io:
+        Physical page transfers charged to the preprocessing.
+    cpu_seconds:
+        Wall-clock CPU time of the preprocessing.
+    counters:
+        Full counter diff of the preprocessing work.
+    """
+
+    landmarks: tuple[int, ...]
+    entries: int
+    pages: int
+    io: int
+    cpu_seconds: float
+    counters: CostTracker = field(repr=False, default_factory=CostTracker)
+
+    def total_seconds(self, model: CostModel | None = None) -> float:
+        """Combined cost: CPU plus charged I/O (default 10 ms per page)."""
+        model = model or CostModel()
+        return model.total_seconds(self.counters)
+
+
+@dataclass(frozen=True)
 class UpdateResult:
     """Outcome of a data-point insertion or deletion."""
 

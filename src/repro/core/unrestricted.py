@@ -166,7 +166,9 @@ def _expand_points(
             continue
         seen_nodes.add(obj)
         view.tracker.nodes_visited += 1
-        for nbr, weight in view.neighbors(obj):
+        adjacency = view.neighbors(obj)
+        view.tracker.edges_expanded += len(adjacency)
+        for nbr, weight in adjacency:
             if view.has_points_on(obj, nbr):
                 for pid, pos in view.edge_points(obj, nbr):
                     if pid in exclude or pid in seen_points:
@@ -257,7 +259,9 @@ def unrestricted_verify(
             elif obj == target_v:
                 best_q = min(best_q, dist + (target_weight - target_pos))
         limit = min(best_q, bound)
-        for nbr, weight in view.neighbors(obj):
+        adjacency = view.neighbors(obj)
+        view.tracker.edges_expanded += len(adjacency)
+        for nbr, weight in adjacency:
             if count_view.has_points_on(obj, nbr):
                 for pid, pos in count_view.edge_points(obj, nbr):
                     if pid == skip_pid or pid in exclude or pid in seen_points:
@@ -354,7 +358,9 @@ def unrestricted_eager(
         for pid, pdist in found:
             consider(pid, dist + pdist)
         if len(found) < k:
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if view.has_points_on(node, nbr):
                     for pid, pos in view.edge_points(node, nbr):
                         consider(pid, dist + _offset_from(node, nbr, weight, pos))
@@ -423,7 +429,9 @@ def unrestricted_eager_m(
         for pid, pdist in candidates:
             consider(pid, dist + pdist)
         if len(candidates) < k:
-            for nbr, weight in view.neighbors(node):
+            neighbors = view.neighbors(node)
+            view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if view.has_points_on(node, nbr):
                     for pid, pos in view.edge_points(node, nbr):
                         consider(pid, dist + _offset_from(node, nbr, weight, pos))
@@ -536,7 +544,9 @@ def unrestricted_lazy(
         if state.count.get(node, 0) >= k:
             continue
         entry_ids: list[int] = []
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             closer_on_edge = 0
             if view.has_points_on(node, nbr):
                 for pid, pos in view.edge_points(node, nbr):
@@ -602,7 +612,9 @@ def unrestricted_lazy_ep(
         parallel.advance(dist)
         if strictly_less(parallel.kth_dist(node), dist):
             continue  # Lemma 1 via discovered points
-        for nbr, weight in view.neighbors(node):
+        neighbors = view.neighbors(node)
+        view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if view.has_points_on(node, nbr):
                 for pid, pos in view.edge_points(node, nbr):
                     if pid not in exclude:
@@ -653,7 +665,9 @@ class _EdgeParallelExpansion:
                 continue  # k discovered points at least as close: dominated
             insort(dists, dist)
             del dists[self.k:]
-            for nbr, weight in self.view.neighbors(node):
+            neighbors = self.view.neighbors(node)
+            self.view.tracker.edges_expanded += len(neighbors)
+            for nbr, weight in neighbors:
                 if (nbr, pid) in self.closed:
                     continue
                 nbr_dists = self.knn_dists.get(nbr)
@@ -726,7 +740,9 @@ def unrestricted_bichromatic_eager(
         closer = unrestricted_range_nn(ref_view, node, k, dist, exclude)
         if len(closer) >= k:
             continue
-        for nbr, weight in data_view.neighbors(node):
+        neighbors = data_view.neighbors(node)
+        data_view.tracker.edges_expanded += len(neighbors)
+        for nbr, weight in neighbors:
             if data_view.has_points_on(node, nbr):
                 for pid, pos in data_view.edge_points(node, nbr):
                     consider(pid, dist + _offset_from(node, nbr, weight, pos))

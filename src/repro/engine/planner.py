@@ -13,13 +13,22 @@ therefore
    groups by the planner's estimated per-query cost when available
    (cheap, shallow expansions first keeps the buffer warm for the
    deep ones);
-3. within a group, sorts queries by the disk page of their location
-   (the :mod:`repro.graph.partition` packing order), so queries whose
-   expansions start from the same page run adjacently and share
-   buffer frames.  Sharded backends hand out *shard-major* page
-   ranks, so the same sort also groups queries by home shard -- the
-   order the engine's worker pool exploits to execute distinct shards
-   concurrently (see :func:`repro.engine.engine.QueryEngine`).
+3. when the database carries a landmark distance oracle
+   (``db.oracle``, see :mod:`repro.oracle`), orders queries within a
+   group by a *coarse tier* of their estimated expansion radius --
+   the oracle's lower bound from the query node to its nearest data
+   point, quantized to powers of two so that nearby radii share a
+   tier and the page ordering below still applies within it.
+   Shallow expansions run first, which keeps the buffer warm for the
+   deep ones (the same rationale as the calibrated group ordering, at
+   per-query granularity);
+4. within a group (and radius tier), sorts queries by the disk page of
+   their location (the :mod:`repro.graph.partition` packing order), so
+   queries whose expansions start from the same page run adjacently
+   and share buffer frames.  Sharded backends hand out *shard-major*
+   page ranks, so the same sort also groups queries by home shard --
+   the order the engine's worker pool exploits to execute distinct
+   shards concurrently (see :func:`repro.engine.engine.QueryEngine`).
 
 The plan is a permutation of the batch -- results are always reported
 in the caller's original order.
@@ -27,10 +36,12 @@ in the caller's original order.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from repro.engine.spec import AUTO_METHOD, QuerySpec
 from repro.errors import QueryError
+from repro.oracle.prune import scan_is_profitable
 
 
 @dataclass(frozen=True)
@@ -138,6 +149,53 @@ def page_rank(db, query) -> int:
     return _rank_location(db, query, page_of)
 
 
+def oracle_radius_hint(db, query) -> float:
+    """Estimated expansion radius of a query location (free look-up).
+
+    With a landmark distance oracle attached (``db.oracle``), the
+    lower bound from the query node to its nearest data point
+    under-estimates how far *any* NN-style expansion from that node
+    must travel before meeting data -- a per-query cost proxy the
+    admission planner can sort on without touching a page.  Databases
+    without an oracle (or with no points, non-node queries, or point
+    sets too dense for the scan to pay off -- see
+    :func:`repro.oracle.prune.scan_is_profitable`) rank ``0.0``,
+    preserving the legacy ordering exactly.
+    """
+    oracle = getattr(db, "oracle", None)
+    if oracle is None or not isinstance(query, int):
+        return 0.0
+    if not 0 <= query < oracle.num_nodes:
+        return 0.0
+    points = getattr(db, "points", None)
+    items = getattr(points, "items", None)
+    if items is None:
+        return 0.0
+    if not scan_is_profitable(len(points), oracle.num_landmarks,
+                              oracle.num_nodes):
+        return 0.0
+    best = math.inf
+    for _, node in items():
+        bound = oracle.lower_bound(query, node)
+        if bound < best:
+            best = bound
+            if best == 0.0:
+                break
+    return best if math.isfinite(best) else 0.0
+
+
+def radius_tier(hint: float) -> int:
+    """Quantize a radius hint into a coarse power-of-two tier.
+
+    Continuous hints would be unique per query and silently override
+    the page-adjacency tiebreak; integer tiers keep "about equally
+    deep" queries together so page locality still orders them.
+    """
+    if hint <= 0.0:
+        return 0
+    return max(0, int(math.log2(hint)) + 1)
+
+
 def plan_batch(db, specs, calibrator=None) -> BatchPlan:
     """Resolve and order a batch for buffer-friendly execution."""
     resolved = tuple(resolve_method(spec, calibrator) for spec in specs)
@@ -150,6 +208,14 @@ def plan_batch(db, specs, calibrator=None) -> BatchPlan:
                 pass
         return 0.0
 
+    hint_cache: dict = {}
+
+    def cached_tier(query) -> int:
+        key = query if isinstance(query, int) else None
+        if key not in hint_cache:
+            hint_cache[key] = radius_tier(oracle_radius_hint(db, query))
+        return hint_cache[key]
+
     def sort_key(index: int):
         spec = resolved[index]
         return (
@@ -157,6 +223,7 @@ def plan_batch(db, specs, calibrator=None) -> BatchPlan:
             spec.kind,
             spec.method,
             spec.k,
+            cached_tier(spec.query),
             page_rank(db, spec.query),
             index,
         )

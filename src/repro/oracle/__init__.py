@@ -1,0 +1,36 @@
+"""Landmark distance oracle: ALT-style bounds for the query loops.
+
+Build once per database (``db.build_oracle()``), persist as a paged
+label file (:class:`~repro.oracle.store.LandmarkStore`), consult for
+free at query time (:class:`~repro.oracle.oracle.DistanceOracle`
+through the :class:`~repro.oracle.bounds.LowerBoundProvider`
+protocol).  The pruning rules (:mod:`repro.oracle.prune`) are
+answer-preserving: queries with the oracle attached return bitwise
+identical results while expanding fewer edges and reading fewer
+pages.
+"""
+
+from repro.oracle.bounds import CombinedBounds, EuclideanBounds, LowerBoundProvider
+from repro.oracle.build import (
+    DEFAULT_LANDMARKS,
+    STRATEGIES,
+    csr_landmark_distances,
+    select_landmarks,
+    store_landmark_distances,
+)
+from repro.oracle.oracle import DistanceOracle, resolve_oracle_source
+from repro.oracle.store import LandmarkStore
+
+__all__ = [
+    "CombinedBounds",
+    "DEFAULT_LANDMARKS",
+    "DistanceOracle",
+    "EuclideanBounds",
+    "LandmarkStore",
+    "LowerBoundProvider",
+    "STRATEGIES",
+    "csr_landmark_distances",
+    "resolve_oracle_source",
+    "select_landmarks",
+    "store_landmark_distances",
+]

@@ -1,0 +1,165 @@
+"""The ALT landmark distance oracle (triangle-inequality bounds).
+
+Pick ``L`` landmark nodes, precompute the exact network distance from
+every landmark to every node (one Dijkstra per landmark), and bound
+any remaining distance both ways with the triangle inequality::
+
+    d(u, v) >= |d(K, u) - d(K, v)|     (lower bound)
+    d(u, v) <=  d(u, K) + d(K, v)      (upper bound)
+
+for every landmark ``K``.  Both bounds hold *by construction of the
+network metric*, so -- unlike Euclidean bounds -- they are valid on
+P2P graphs, travel-time weights, and every other network the paper
+considers.  Preprocessing costs one single-source expansion per
+landmark and ``O(L * |V|)`` storage: the same partial-materialization
+trade-off as the paper's Section 4.1 K-NN lists, applied to distance
+bounding instead of RkNN search.
+
+:class:`DistanceOracle` is the query-time object: an immutable label
+table held in flat arrays (free look-ups, exactly like the in-memory
+node-point index of the paper's storage scheme), honoring the
+:class:`~repro.oracle.bounds.LowerBoundProvider` protocol the
+expansion loops consult.  The persistent form is the paged
+:class:`~repro.oracle.store.LandmarkStore`.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+
+_INF = math.inf
+
+
+class DistanceOracle:
+    """Landmark label table answering two-sided network-distance bounds.
+
+    Parameters
+    ----------
+    landmarks:
+        The selected landmark node ids, in selection order.
+    tables:
+        One dense distance table per landmark: ``tables[i][v]`` is the
+        exact network distance between landmark ``i`` and node ``v``
+        (``inf`` when unreachable).  All tables must cover the same
+        node count.
+    """
+
+    def __init__(self, landmarks: Sequence[int], tables: Sequence[Sequence[float]]):
+        if not landmarks:
+            raise QueryError("at least one landmark is required")
+        if len(landmarks) != len(tables):
+            raise QueryError("one distance table per landmark is required")
+        sizes = {len(table) for table in tables}
+        if len(sizes) != 1:
+            raise QueryError("landmark tables must cover the same node count")
+        self.landmarks = tuple(int(node) for node in landmarks)
+        self.num_nodes = sizes.pop()
+        self.num_landmarks = len(self.landmarks)
+        # node-major flat layout: label(v) is one contiguous slice
+        labels = array("d", bytes(8 * self.num_nodes * self.num_landmarks))
+        for i, table in enumerate(tables):
+            stride = self.num_landmarks
+            for v, dist in enumerate(table):
+                labels[v * stride + i] = dist
+        self._labels = labels
+
+    @classmethod
+    def from_labels(
+        cls, landmarks: Sequence[int], labels: Iterable[Sequence[float]]
+    ) -> "DistanceOracle":
+        """Build from node-major labels (one ``L``-tuple per node)."""
+        rows = list(labels)
+        tables = [[row[i] for row in rows] for i in range(len(landmarks))]
+        return cls(landmarks, tables)
+
+    def label(self, node: int) -> tuple[float, ...]:
+        """The ``L`` landmark distances of ``node`` (free look-up)."""
+        if not 0 <= node < self.num_nodes:
+            raise QueryError(f"node {node} out of range")
+        stride = self.num_landmarks
+        return tuple(self._labels[node * stride: (node + 1) * stride])
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """``max_K |d(K, u) - d(K, v)|``: admissible on any graph.
+
+        A landmark reaching exactly one of the two nodes proves them
+        disconnected (``inf``); a landmark reaching neither
+        contributes nothing.
+        """
+        if u == v:
+            return 0.0
+        stride = self.num_landmarks
+        labels = self._labels
+        uoff = u * stride
+        voff = v * stride
+        best = 0.0
+        for i in range(stride):
+            du = labels[uoff + i]
+            dv = labels[voff + i]
+            gap = abs(du - dv)
+            if gap != gap:  # inf - inf: both unreachable, no information
+                continue
+            if gap > best:
+                best = gap
+        return best
+
+    def upper_bound(self, u: int, v: int) -> float:
+        """``min_K d(u, K) + d(K, v)``: a real path through a landmark."""
+        if u == v:
+            return 0.0
+        stride = self.num_landmarks
+        labels = self._labels
+        uoff = u * stride
+        voff = v * stride
+        best = _INF
+        for i in range(stride):
+            total = labels[uoff + i] + labels[voff + i]
+            if total < best:
+                best = total
+        return best
+
+    @property
+    def storage_entries(self) -> int:
+        """Materialized ``(landmark, node)`` distance pairs."""
+        return self.num_nodes * self.num_landmarks
+
+
+def resolve_oracle_source(source, num_nodes: int):
+    """Normalize an ``open_oracle()`` argument (shared by every facade).
+
+    Accepts a persisted :class:`~repro.oracle.store.LandmarkStore`
+    (decoded uncharged into a fresh oracle) or a ready
+    :class:`DistanceOracle`; anything else -- or a node-count mismatch
+    with the target graph -- raises :class:`~repro.errors.QueryError`.
+
+    Returns
+    -------
+    (oracle, store, pages)
+        The attached oracle, its backing store (``None`` for
+        memory-only oracles) and the store's page count (0 without
+        one).
+    """
+    from repro.oracle.store import LandmarkStore
+
+    if isinstance(source, LandmarkStore):
+        oracle = DistanceOracle.from_labels(
+            source.landmarks, source.labels_snapshot()
+        )
+        store, pages = source, source.num_pages
+    elif isinstance(source, DistanceOracle):
+        oracle, store, pages = source, None, 0
+    else:
+        raise QueryError(
+            "open_oracle() takes a LandmarkStore or a DistanceOracle, "
+            f"got {type(source).__name__}"
+        )
+    if oracle.num_nodes != num_nodes:
+        raise QueryError(
+            f"oracle covers {oracle.num_nodes} nodes, "
+            f"graph has {num_nodes}"
+        )
+    return oracle, store, pages

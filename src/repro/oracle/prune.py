@@ -1,0 +1,204 @@
+"""Answer-preserving pruning rules driven by a bound provider.
+
+Every rule here skips work only when the oracle's bounds *prove* the
+skipped work could not have affected the answer, with margins wider
+than floating-point path-sum noise (the ``EPS`` guard band of
+:mod:`repro.core.numeric` sits at 1e-9 relative, while accumulated
+path noise is ~1e-13 relative), so query answers with a bound provider
+attached are bitwise identical to answers without one -- only I/O,
+node visits and expanded-edge counts shrink.
+
+Three rules, consumed by :mod:`repro.core.nn`:
+
+* **empty-probe skip** -- a ``range-NN(n, k, e)`` probe returns ``[]``
+  without expanding anything when every candidate point ``p`` has
+  ``lower_bound(n, p) >= e`` (its true distance can then never pass
+  the probe's *strict* radius test);
+* **probe horizon** -- when the k-th smallest ``upper_bound(n, p)``
+  lands strictly inside the radius (beyond the tie guard band), the
+  probe is guaranteed to fill all ``k`` slots within that horizon, so
+  its expansion can stop there instead of at the radius;
+* **verification short-circuit** -- ``verify(p, k, q)`` is decided
+  without expansion when the oracle proves at least ``k`` points
+  strictly closer to ``p`` than the query (upper bounds below the
+  query's lower bound: *fail*), or proves fewer than ``k`` points
+  could possibly be strictly closer (lower bounds above the query's
+  upper bound: *pass*).  Inconclusive cases fall back to the exact
+  expansion, with the query's oracle upper bound tightening the
+  expansion's termination bound.
+
+Soundness of the tie-band margins: a skipped point must differ from
+the decision threshold by more than ``EPS`` relative, which dominates
+cross-expansion path-sum noise by four orders of magnitude, so no
+floating-point tie can be classified differently by the oracle and by
+the expansion it replaces.
+
+Every rule scans the view's point set (``O(P * L)`` bound look-ups
+per probe/verification), which only pays off when the points are
+sparse relative to the graph -- exactly the regime where expansions
+are deep.  :func:`scan_is_profitable` gates the consultation: on
+dense point sets the rules step aside (answers are identical either
+way; only who does the work changes), so attaching an oracle can
+never make a query's CPU cost blow past its expansion cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet
+
+from repro.core.numeric import inflate_bound, strictly_less, tie_threshold
+
+#: Horizon value meaning "no tightening applies" (expand as usual).
+NO_HORIZON = math.inf
+
+#: Minimum per-scan budget: below this many bound look-ups the scan is
+#: always cheap enough to try.
+MIN_SCAN_BUDGET = 64
+
+
+def scan_is_profitable(num_points: int, num_landmarks: int,
+                       num_nodes: int) -> bool:
+    """Whether an ``O(P * L)`` candidate scan is worth attempting.
+
+    A probe's scan costs ``P * L`` comparisons while the expansion it
+    can save visits at most the whole graph; bounding the scan by the
+    node count keeps the oracle's CPU overhead within the work it
+    displaces.  Dense point sets (``P * L > |V|``) answer probes after
+    a few expansion steps anyway, so the rules stand down there.
+    """
+    return num_points * num_landmarks <= max(MIN_SCAN_BUDGET, num_nodes)
+
+
+def _scan_gate(view, bounds) -> bool:
+    """Apply :func:`scan_is_profitable` to a view/provider pair."""
+    num_landmarks = getattr(bounds, "num_landmarks", 1)
+    return scan_is_profitable(view.num_points, num_landmarks, view.num_nodes)
+
+
+def probe_plan(
+    view, node: int, k: int, radius: float, exclude: AbstractSet[int]
+) -> tuple[bool, float]:
+    """Plan a range-NN probe at ``node`` under the view's bounds.
+
+    Parameters
+    ----------
+    view:
+        A restricted network view; consulted for its ``bounds``
+        provider and its point index.
+    node / k / radius / exclude:
+        The probe's arguments (see :func:`repro.core.nn.range_nn`).
+
+    Returns
+    -------
+    (skip, horizon)
+        ``skip=True`` proves the probe returns ``[]``; otherwise
+        ``horizon`` is a distance at which the probe's expansion may
+        stop early (``inf`` when no tightening applies).
+    """
+    bounds = getattr(view, "bounds", None)
+    if bounds is None or not _scan_gate(view, bounds):
+        return False, NO_HORIZON
+    possible_ubs: list[float] = []
+    all_ubs: list[float] = []
+    for pid in view.point_ids():
+        if pid in exclude:
+            continue
+        pnode = view.node_of(pid)
+        if pnode == node:
+            lb, ub = 0.0, 0.0
+        else:
+            lb = bounds.lower_bound(node, pnode)
+            ub = bounds.upper_bound(node, pnode)
+        all_ubs.append(ub)
+        if lb < radius:
+            possible_ubs.append(ub)
+    if not possible_ubs:
+        # No candidate can be strictly inside the radius: the probe is
+        # provably empty.
+        view.tracker.oracle_prunes += 1
+        return True, NO_HORIZON
+    if len(all_ubs) >= k:
+        all_ubs.sort()
+        horizon = inflate_bound(all_ubs[k - 1])
+        if horizon < tie_threshold(radius):
+            # k candidates provably sit strictly inside the radius and
+            # within the horizon: the probe fills all k slots there.
+            view.tracker.oracle_prunes += 1
+            return False, horizon
+        return False, inflate_bound(radius)
+    # Fewer than k candidates exist at all: the probe returns every
+    # qualifying candidate, and all of them lie within the largest
+    # upper bound among the possible ones.
+    horizon = inflate_bound(max(possible_ubs))
+    if math.isfinite(horizon):
+        view.tracker.oracle_prunes += 1
+    return False, horizon
+
+
+def verify_plan(
+    view,
+    pid: int,
+    k: int,
+    targets: AbstractSet[int],
+    bound: float,
+    exclude: AbstractSet[int],
+) -> tuple[bool | None, float]:
+    """Decide (or tighten) a verification under the view's bounds.
+
+    Parameters
+    ----------
+    view:
+        A restricted network view; consulted for its ``bounds``
+        provider and its point index.
+    pid / k / targets / bound / exclude:
+        The verification's arguments (see
+        :func:`repro.core.nn.verify`); ``bound`` upper-bounds the
+        point-to-query distance.
+
+    Returns
+    -------
+    (decision, bound)
+        ``decision`` is ``True``/``False`` when the oracle settles the
+        verification outright, ``None`` when the exact expansion must
+        run; ``bound`` is the (possibly tightened) upper bound to run
+        it with.
+    """
+    bounds = getattr(view, "bounds", None)
+    if bounds is None or not _scan_gate(view, bounds):
+        return None, bound
+    pnode = view.node_of(pid)
+    lb_query = math.inf
+    ub_query = bound
+    for target in targets:
+        if target == pnode:
+            lb_query = 0.0
+            ub_query = 0.0
+            break
+        lb_query = min(lb_query, bounds.lower_bound(pnode, target))
+        ub_query = min(ub_query, bounds.upper_bound(pnode, target))
+    certainly_closer = 0
+    possibly_closer = 0
+    for other in view.point_ids():
+        if other == pid or other in exclude:
+            continue
+        onode = view.node_of(other)
+        if onode == pnode:
+            other_lb, other_ub = 0.0, 0.0
+        else:
+            other_lb = bounds.lower_bound(pnode, onode)
+            other_ub = bounds.upper_bound(pnode, onode)
+        if strictly_less(other_ub, lb_query):
+            certainly_closer += 1
+            if certainly_closer >= k:
+                view.tracker.oracle_prunes += 1
+                return False, ub_query
+        if not strictly_less(ub_query, other_lb):
+            possibly_closer += 1
+    if possibly_closer < k and math.isfinite(ub_query):
+        # Fewer than k points can be strictly closer to p than the
+        # query, and the finite upper bound proves the query reachable:
+        # the verification passes without expanding.
+        view.tracker.oracle_prunes += 1
+        return True, ub_query
+    return None, ub_query

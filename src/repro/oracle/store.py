@@ -1,0 +1,124 @@
+"""Disk-paged persistence for the oracle's landmark label table.
+
+The label table is ``O(L * |V|)`` doubles -- the same shape and
+storage treatment as the materialized K-NN file of Section 4.1: one
+fixed-size record per node, grouped into pages by the packing order
+of the adjacency file, behind an in-memory node index.  ``get`` is a
+charged logical read through the shared buffer; ``labels_snapshot``
+decodes every page once *outside* the charged path, which is how
+:meth:`open_oracle` rebuilds the free in-memory
+:class:`~repro.oracle.oracle.DistanceOracle` from a persisted table
+(exactly like the compact backend decodes adjacency pages uncharged).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    LandmarkRecord,
+    decode_landmark_page,
+    encode_landmark_page,
+    landmark_record_size,
+)
+from repro.graph.partition import partition_nodes
+
+
+class LandmarkStore:
+    """Paged landmark-label file: per-node distances to each landmark.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node count of the graph the labels cover.
+    landmarks:
+        The landmark node ids, in label-slot order.
+    tables:
+        One dense distance table per landmark (``tables[i][v]`` is the
+        distance between landmark ``i`` and node ``v``).
+    buffer:
+        Buffer manager charging logical reads of label records.
+    page_size / order:
+        Page layout parameters; ``order`` defaults to node-id order
+        and should be the adjacency file's packing order so label
+        locality follows expansion locality.
+    """
+
+    _instances = 0
+
+    def __init__(
+        self,
+        num_nodes: int,
+        landmarks: Sequence[int],
+        tables: Sequence[Sequence[float]],
+        buffer: BufferManager,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        order: Sequence[int] | None = None,
+    ):
+        if not landmarks:
+            raise StorageError("at least one landmark is required")
+        if len(landmarks) != len(tables):
+            raise StorageError("one distance table per landmark is required")
+        for table in tables:
+            if len(table) != num_nodes:
+                raise StorageError("landmark tables must cover every node")
+        LandmarkStore._instances += 1
+        self.FILE_TAG = f"lm{LandmarkStore._instances}"
+        self.num_nodes = num_nodes
+        self.landmarks = tuple(int(node) for node in landmarks)
+        self.num_landmarks = len(self.landmarks)
+        self.page_size = page_size
+        self.buffer = buffer
+        record = landmark_record_size(self.num_landmarks)
+        if order is None:
+            order = range(num_nodes)
+        node_pages = partition_nodes(list(order), [record] * num_nodes,
+                                     page_size=page_size)
+        self._pages: list[bytes] = []
+        self._spans: list[int] = []
+        self._page_of: list[int] = [-1] * num_nodes
+        for page_no, nodes in enumerate(node_pages):
+            records = [
+                LandmarkRecord(v, tuple(float(table[v]) for table in tables))
+                for v in nodes
+            ]
+            payload = encode_landmark_page(records)
+            self._pages.append(payload)
+            self._spans.append(max(1, -(-len(payload) // page_size)))
+            for v in nodes:
+                self._page_of[v] = page_no
+        if any(p < 0 for p in self._page_of):
+            raise StorageError("page order does not cover every node")
+
+    @property
+    def num_pages(self) -> int:
+        """Number of label pages in the file."""
+        return len(self._pages)
+
+    def get(self, node: int) -> tuple[float, ...]:
+        """Label of ``node``: a charged logical read through the buffer."""
+        if not 0 <= node < self.num_nodes:
+            raise StorageError(f"node {node} out of range")
+        page_no = self._page_of[node]
+        page = self.buffer.get(
+            (self.FILE_TAG, page_no),
+            lambda: self._load_page(page_no),
+            span=self._spans[page_no],
+        )
+        return page[node]
+
+    def labels_snapshot(self) -> list[tuple[float, ...]]:
+        """Every node's label, decoded uncharged (bulk oracle load)."""
+        labels: list[tuple[float, ...]] = [()] * self.num_nodes
+        for payload in self._pages:
+            for rec in decode_landmark_page(payload, self.num_landmarks):
+                labels[rec.node] = rec.distances
+        return labels
+
+    def _load_page(self, page_no: int) -> dict[int, tuple[float, ...]]:
+        records = decode_landmark_page(self._pages[page_no], self.num_landmarks)
+        return {rec.node: rec.distances for rec in records}

@@ -57,7 +57,7 @@ class NodePointSet(PointSet):
             if node in self._point_at:
                 raise PointError(
                     f"node {node} already holds point {self._point_at[node]}; "
-                    f"restricted networks allow one point per node"
+                    "restricted networks allow one point per node"
                 )
             self._node_of[pid] = node
             self._point_at[node] = pid

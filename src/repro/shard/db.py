@@ -46,8 +46,16 @@ from repro.core.lazy_ep import lazy_ep_rknn, lazy_ep_rknn_route
 from repro.core.materialize import MaterializedKNN
 from repro.core.nn import knn as restricted_knn
 from repro.core.nn import range_nn as restricted_range_nn
-from repro.core.result import KnnResult, RnnResult, UpdateResult
+from repro.core.result import KnnResult, OracleResult, RnnResult, UpdateResult
 from repro.errors import QueryError
+from repro.oracle import (
+    DEFAULT_LANDMARKS,
+    DistanceOracle,
+    LandmarkStore,
+    resolve_oracle_source,
+    select_landmarks,
+    store_landmark_distances,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 from repro.points.points import NodePointSet
@@ -228,6 +236,11 @@ class ShardedDatabase(_ShardedMeasureMixin):
         #: global tracker; adjacency I/O is what decomposes by shard).
         self._side_buffer = BufferManager(buffer_pages, self.tracker)
         self.materialized: MaterializedKNN | None = None
+        #: Landmark distance oracle (see :meth:`build_oracle`); ``None``
+        #: until built or opened.
+        self.oracle: DistanceOracle | None = None
+        #: Persisted label file backing :attr:`oracle` (side-buffer pages).
+        self.oracle_store: LandmarkStore | None = None
         self._ref_points: NodePointSet | None = None
         self._ref_view: ShardedNetworkView | None = None
         self._ref_materialized: MaterializedKNN | None = None
@@ -335,9 +348,100 @@ class ShardedDatabase(_ShardedMeasureMixin):
             raise QueryError("the sharded backend takes node-resident references")
         reference.validate(self.graph)
         self._ref_points = reference
-        self._ref_view = ShardedNetworkView(self.store, reference, self.tracker)
+        self._ref_view = ShardedNetworkView(
+            self.store, reference, self.tracker, bounds=self.oracle
+        )
         self._ref_materialized = None
         self.generation += 1
+
+    # -- landmark distance oracle -------------------------------------------
+
+    def build_oracle(
+        self,
+        count: int = DEFAULT_LANDMARKS,
+        *,
+        seed: int = 0,
+        strategy: str = "farthest",
+    ) -> OracleResult:
+        """Build and attach an ALT landmark distance oracle (charged).
+
+        One single-source Dijkstra per landmark runs over the stitched
+        store: while the frontier stays inside a shard the reads are
+        charged to that shard's buffer, and it leaves through the
+        boundary-vertex tables -- the same per-shard decomposition as
+        query expansions.  The label table persists as a paged
+        :class:`~repro.oracle.store.LandmarkStore` on the side-file
+        buffer (like the materialized K-NN lists), and the oracle
+        attaches to every view for answer-preserving pruning.
+
+        Parameters
+        ----------
+        count:
+            Number of landmarks ``L``.
+        seed:
+            Seeds the first landmark pick.
+        strategy:
+            ``"farthest"`` (default) or ``"random"``.
+
+        Returns
+        -------
+        OracleResult
+            The selected landmarks plus the merged per-shard cost diff.
+        """
+
+        def run():
+            landmarks, tables = select_landmarks(
+                lambda source: store_landmark_distances(
+                    self.store, self.graph.num_nodes, source
+                ),
+                self.graph.num_nodes,
+                count,
+                seed=seed,
+                strategy=strategy,
+            )
+            store = LandmarkStore(
+                self.graph.num_nodes, landmarks, tables, self._side_buffer,
+                page_size=self.page_size, order=self.store.global_order(),
+            )
+            return store, DistanceOracle(landmarks, tables)
+
+        (store, oracle), diff = self._measure(run)
+        self.oracle_store = store
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(
+            oracle.landmarks, oracle.storage_entries, store.num_pages,
+            diff.io_operations, diff.cpu_seconds, diff,
+        )
+
+    def open_oracle(self, source) -> OracleResult:
+        """Attach an oracle built elsewhere (store or oracle object).
+
+        Parameters
+        ----------
+        source:
+            A persisted :class:`~repro.oracle.store.LandmarkStore`
+            (decoded uncharged) or a ready
+            :class:`~repro.oracle.oracle.DistanceOracle` -- e.g. one
+            built by the single disk store over the same graph.
+
+        Returns
+        -------
+        OracleResult
+            The attached landmarks (opening charges no I/O).
+        """
+        oracle, store, pages = resolve_oracle_source(
+            source, self.graph.num_nodes
+        )
+        self.oracle_store = store
+        self.oracle = oracle
+        self._attach_bounds(oracle)
+        return OracleResult(oracle.landmarks, oracle.storage_entries, pages, 0, 0.0)
+
+    def _attach_bounds(self, bounds) -> None:
+        self.view.bounds = bounds
+        if self._ref_view is not None:
+            self._ref_view.bounds = bounds
 
     # -- serving ------------------------------------------------------------
 
@@ -384,10 +488,12 @@ class ShardedDatabase(_ShardedMeasureMixin):
             store = copy.copy(self.materialized.store)
             store.buffer = clone._side_buffer
             clone.materialized = MaterializedKNN(store)
-        clone.view = ShardedNetworkView(clone.store, clone.points, clone.tracker)
+        clone.view = ShardedNetworkView(
+            clone.store, clone.points, clone.tracker, bounds=self.oracle
+        )
         if self._ref_points is not None:
             clone._ref_view = ShardedNetworkView(
-                clone.store, self._ref_points, clone.tracker
+                clone.store, self._ref_points, clone.tracker, bounds=self.oracle
             )
             if self._ref_materialized is not None:
                 ref_store = copy.copy(self._ref_materialized.store)
@@ -640,7 +746,9 @@ class ShardedDatabase(_ShardedMeasureMixin):
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def _rebuild_view(self) -> None:
-        self.view = ShardedNetworkView(self.store, self.points, self.tracker)
+        self.view = ShardedNetworkView(
+            self.store, self.points, self.tracker, bounds=self.oracle
+        )
 
     # -- validation helpers -------------------------------------------------
 

@@ -40,6 +40,7 @@ class ShardedNetworkView:
         store: ShardedGraphStore,
         points: NodePointSet,
         tracker: CostTracker,
+        bounds=None,
     ):
         if not isinstance(points, NodePointSet):
             raise QueryError(
@@ -49,6 +50,9 @@ class ShardedNetworkView:
         self.store = store
         self.points = points
         self.tracker = tracker
+        #: Optional :class:`~repro.oracle.bounds.LowerBoundProvider`
+        #: consulted by the expansion loops (answer-preserving pruning).
+        self.bounds = bounds
 
     # -- graph ---------------------------------------------------------------
 

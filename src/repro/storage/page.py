@@ -9,7 +9,11 @@ paper's evaluation):
   unrestricted network: the edge and its ``(point id, offset)`` pairs
   (paper Fig. 14b);
 * *K-NN records* -- one per node: the node's materialized list of the K
-  nearest data points (paper Section 4.1).
+  nearest data points (paper Section 4.1);
+* *landmark records* -- one per node: the node's exact network
+  distances to each of the L landmarks of the ALT distance oracle
+  (:mod:`repro.oracle`), the same partial-materialization shape as the
+  K-NN lists with landmark distances in the slots.
 
 Records are serialized with :mod:`struct`; a page is simply the
 concatenation of its records behind a record-count header.  Pages are
@@ -36,6 +40,8 @@ _EDGE_RECORD_HEADER = struct.Struct("<IIH")  # u, v, point count
 _EDGE_ENTRY = struct.Struct("<Id")           # point id, offset from min(u,v)
 _KNN_RECORD_HEADER = struct.Struct("<IH")    # node id, entry count
 _KNN_ENTRY = struct.Struct("<Id")            # point id, distance
+_LANDMARK_RECORD_HEADER = struct.Struct("<I")  # node id
+_LANDMARK_ENTRY = struct.Struct("<d")          # distance to one landmark
 
 
 def adjacency_record_size(degree: int) -> int:
@@ -176,6 +182,54 @@ def decode_knn_page(payload: bytes, capacity: int) -> list[KnnRecord]:
             if i < used:
                 entries.append((pid, dist))
         records.append(KnnRecord(node, tuple(entries), capacity))
+    return records
+
+
+def landmark_record_size(num_landmarks: int) -> int:
+    """Bytes reserved for one node's landmark-label record.
+
+    Records are fixed-size (always ``num_landmarks`` slots) so the
+    whole label table pages out like the materialized K-NN file.
+    """
+    return _LANDMARK_RECORD_HEADER.size + num_landmarks * _LANDMARK_ENTRY.size
+
+
+@dataclass(frozen=True)
+class LandmarkRecord:
+    """Exact network distances of one node to every oracle landmark.
+
+    ``distances`` holds one entry per landmark, in landmark order;
+    unreachable landmarks store ``inf`` (IEEE doubles round-trip it).
+    """
+
+    node: int
+    distances: tuple[float, ...]
+
+
+def encode_landmark_page(records: Sequence[LandmarkRecord]) -> bytes:
+    """Serialize landmark-label records into one page payload."""
+    parts = [_HEADER.pack(len(records))]
+    for rec in records:
+        parts.append(_LANDMARK_RECORD_HEADER.pack(rec.node))
+        for dist in rec.distances:
+            parts.append(_LANDMARK_ENTRY.pack(dist))
+    return b"".join(parts)
+
+
+def decode_landmark_page(payload: bytes, num_landmarks: int) -> list[LandmarkRecord]:
+    """Parse one landmark page (records have ``num_landmarks`` slots)."""
+    (count,) = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    records = []
+    for _ in range(count):
+        (node,) = _LANDMARK_RECORD_HEADER.unpack_from(payload, offset)
+        offset += _LANDMARK_RECORD_HEADER.size
+        distances = []
+        for _ in range(num_landmarks):
+            (dist,) = _LANDMARK_ENTRY.unpack_from(payload, offset)
+            offset += _LANDMARK_ENTRY.size
+            distances.append(dist)
+        records.append(LandmarkRecord(node, tuple(distances)))
     return records
 
 

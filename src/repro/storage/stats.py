@@ -34,10 +34,12 @@ class CostTracker:
     page_writes: int = 0       # physical writes
     buffer_hits: int = 0       # logical reads served from the buffer
     nodes_visited: int = 0     # nodes de-heaped by any expansion
+    edges_expanded: int = 0    # adjacency entries relaxed by expansions
     heap_pushes: int = 0
     heap_pops: int = 0
     range_nn_calls: int = 0
     verifications: int = 0
+    oracle_prunes: int = 0     # probes/verifications resolved by the oracle
     cpu_seconds: float = 0.0   # accumulated via time_block()
 
     def snapshot(self) -> "CostTracker":
@@ -51,10 +53,12 @@ class CostTracker:
             page_writes=self.page_writes - before.page_writes,
             buffer_hits=self.buffer_hits - before.buffer_hits,
             nodes_visited=self.nodes_visited - before.nodes_visited,
+            edges_expanded=self.edges_expanded - before.edges_expanded,
             heap_pushes=self.heap_pushes - before.heap_pushes,
             heap_pops=self.heap_pops - before.heap_pops,
             range_nn_calls=self.range_nn_calls - before.range_nn_calls,
             verifications=self.verifications - before.verifications,
+            oracle_prunes=self.oracle_prunes - before.oracle_prunes,
             cpu_seconds=self.cpu_seconds - before.cpu_seconds,
         )
 
@@ -73,10 +77,12 @@ class CostTracker:
         self.page_writes += other.page_writes
         self.buffer_hits += other.buffer_hits
         self.nodes_visited += other.nodes_visited
+        self.edges_expanded += other.edges_expanded
         self.heap_pushes += other.heap_pushes
         self.heap_pops += other.heap_pops
         self.range_nn_calls += other.range_nn_calls
         self.verifications += other.verifications
+        self.oracle_prunes += other.oracle_prunes
         self.cpu_seconds += other.cpu_seconds
 
     @classmethod
@@ -113,10 +119,12 @@ class CostTracker:
         self.page_writes = 0
         self.buffer_hits = 0
         self.nodes_visited = 0
+        self.edges_expanded = 0
         self.heap_pushes = 0
         self.heap_pops = 0
         self.range_nn_calls = 0
         self.verifications = 0
+        self.oracle_prunes = 0
         self.cpu_seconds = 0.0
 
 

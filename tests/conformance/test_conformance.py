@@ -5,7 +5,9 @@ disk store, the sharded store (K in {1, 4}) and the compact CSR store
 -- interchangeability is a systems invariant, not a per-feature test.
 This suite generates seeded random networks and workloads (kNN, RkNN
 under every method, bichromatic, continuous, range, with interleaved
-point updates), replays the *same* workload on every backend, and
+point updates), replays the *same* workload on every backend -- and,
+for the undirected trio, on oracle-enabled variants of each backend
+(the landmark bounds may only prune, never change an answer) -- and
 asserts the answers are identical entry for entry.
 
 Every case is parametrized by its seed and every assertion message
@@ -107,11 +109,13 @@ def test_backends_agree_undirected(seed):
     (graph, points, reference, queries, route,
      insert_at, delete_pid, radius) = _undirected_case(seed)
 
-    def build(factory):
+    def build(factory, oracle=False):
         db = factory()
         db.attach_reference(reference)
         db.materialize(MATERIALIZE_K)
         db.materialize_reference(MATERIALIZE_K)
+        if oracle:
+            db.build_oracle(3 + seed % 3, seed=seed)
         return db
 
     backends = {
@@ -119,6 +123,15 @@ def test_backends_agree_undirected(seed):
         "sharded-K1": build(lambda: ShardedDatabase(graph, points, num_shards=1)),
         "sharded-K4": build(lambda: ShardedDatabase(graph, points, num_shards=4)),
         "compact": build(lambda: CompactDatabase(graph, points)),
+        # the same trio with the landmark oracle attached: pruning must
+        # never change an answer, on any backend
+        "disk+oracle": build(lambda: GraphDatabase(graph, points),
+                             oracle=True),
+        "sharded-K4+oracle": build(
+            lambda: ShardedDatabase(graph, points, num_shards=4), oracle=True
+        ),
+        "compact+oracle": build(lambda: CompactDatabase(graph, points),
+                                oracle=True),
     }
     baseline = _run_undirected_workload(
         backends["disk"], queries, route, insert_at, delete_pid, radius

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro import EdgePointSet, NodePointSet
 from repro.core.baseline import (

@@ -5,7 +5,6 @@ rebuilt to satisfy every distance relation the text states; the tests
 then assert the exact behaviour the paper describes.
 """
 
-import pytest
 
 from repro import EdgePointSet, GraphDatabase, NodePointSet
 from repro.core.baseline import brute_force_brknn, brute_force_rknn

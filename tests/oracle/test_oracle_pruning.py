@@ -1,0 +1,162 @@
+"""The pruning rules preserve answers bitwise and actually prune.
+
+The randomized suite replays a mixed workload (kNN, range-NN, every
+RkNN method, bichromatic, continuous routes) on the same database
+with and without the oracle attached, asserting identical answers
+entry for entry -- the oracle's core contract.  Targeted cases pin
+the individual rules: provably-empty probes skip their expansion,
+probe horizons bound the expansion, and decidable verifications never
+expand.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import place_node_points
+from repro.oracle.prune import probe_plan, verify_plan
+from tests.conftest import build_random_graph
+
+SEEDS = range(12)
+
+
+def _random_walk(graph, start, hops, rng):
+    route = [start]
+    for _ in range(hops):
+        neighbors = [nbr for nbr, _ in graph.neighbors(route[-1])]
+        if not neighbors:
+            break
+        route.append(rng.choice(neighbors))
+    return route
+
+
+def _workload(db, queries, route, radius):
+    answers = []
+    for k in (1, 2):
+        for query in queries:
+            answers.append(db.knn(query, k).neighbors)
+            answers.append(db.range_nn(query, k, radius).neighbors)
+            for method in ("eager", "lazy", "eager-m", "lazy-ep"):
+                answers.append(db.rknn(query, k, method=method).points)
+            answers.append(db.bichromatic_rknn(query, k).points)
+        answers.append(db.continuous_rknn(route, k).points)
+    return answers
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda s: f"seed{s}")
+def test_oracle_preserves_every_answer(seed):
+    rng = random.Random(4000 + seed)
+    num_nodes = 24 + (seed % 4) * 8
+    graph = build_random_graph(rng, num_nodes, num_nodes // 2,
+                               int_weights=(seed % 2 == 0))
+    nodes = rng.sample(range(num_nodes), 12)
+    points = NodePointSet({pid: node for pid, node in enumerate(nodes[:6])})
+    reference = NodePointSet({50 + i: node
+                              for i, node in enumerate(nodes[6:10])})
+    queries = rng.sample(range(num_nodes), 4)
+    route = _random_walk(graph, queries[0], 2 + seed % 3, rng)
+    radius = 2.0 + (seed % 5) * 2.0
+
+    def build(with_oracle):
+        db = GraphDatabase(graph, points)
+        db.attach_reference(reference)
+        db.materialize(4)
+        db.materialize_reference(4)
+        if with_oracle:
+            db.build_oracle(3 + seed % 4, seed=seed)
+        return db
+
+    plain = _workload(build(False), queries, route, radius)
+    oracled = _workload(build(True), queries, route, radius)
+    assert oracled == plain, (
+        f"seed={seed}: oracle-assisted answers diverge "
+        f"(reproduce with tests/oracle -k 'seed{seed}')"
+    )
+
+
+def _grid_db(with_oracle, landmarks=8):
+    graph = generate_grid(196, average_degree=4.0, seed=5)
+    points = place_node_points(graph, 0.02, seed=6)
+    db = GraphDatabase(graph, points)
+    if with_oracle:
+        db.build_oracle(landmarks, seed=1)
+    return db
+
+
+def test_oracle_reduces_expansion_work():
+    plain = _grid_db(False)
+    oracled = _grid_db(True)
+    query = 0
+    base = plain.rknn(query, 1, method="eager")
+    fast = oracled.rknn(query, 1, method="eager")
+    assert fast.points == base.points
+    assert fast.counters.edges_expanded < base.counters.edges_expanded
+    assert fast.counters.oracle_prunes > 0
+    assert base.counters.oracle_prunes == 0
+
+
+def test_probe_plan_skips_provably_empty_probes():
+    db = _grid_db(True)
+    # a node far from every point, probed with a tiny radius: every
+    # lower bound exceeds the radius, so the probe is provably empty
+    far_node = max(
+        range(db.graph.num_nodes),
+        key=lambda n: min(db.oracle.lower_bound(n, pn)
+                          for _, pn in db.points.items()),
+    )
+    skip, _ = probe_plan(db.view, far_node, 1, 0.25, frozenset())
+    assert skip
+    assert db.range_nn(far_node, 1, 0.25).neighbors == ()
+
+
+def test_dense_point_sets_stand_down():
+    """On dense point sets the O(P*L) candidate scans are not worth
+    their CPU: the rules must step aside (answers are identical either
+    way), so attaching an oracle can never slow a query past its own
+    expansion cost."""
+    from repro.oracle.prune import scan_is_profitable
+
+    assert scan_is_profitable(4, 16, 400)
+    assert not scan_is_profitable(1000, 16, 5000)
+
+    graph = generate_grid(196, average_degree=4.0, seed=5)
+    dense = place_node_points(graph, 0.5, seed=6)
+    db = GraphDatabase(graph, dense)
+    db.build_oracle(8, seed=1)
+    plain = GraphDatabase(graph, dense)
+    fast = db.rknn(0, 1, method="eager")
+    assert fast.points == plain.rknn(0, 1, method="eager").points
+    assert fast.counters.oracle_prunes == 0  # gate kept the scans off
+
+
+def test_probe_plan_without_bounds_is_neutral():
+    db = _grid_db(False)
+    skip, horizon = probe_plan(db.view, 0, 1, 5.0, frozenset())
+    assert not skip and math.isinf(horizon)
+
+
+def test_probe_plan_horizon_bounds_expansion():
+    db = _grid_db(True)
+    pid, pnode = next(iter(db.points.items()))
+    skip, horizon = probe_plan(db.view, pnode, 1, math.inf, frozenset())
+    # the probed node holds a point itself: the 1-NN horizon collapses
+    assert not skip and horizon <= 1e-6
+
+
+def test_verify_plan_decides_trivial_cases():
+    db = _grid_db(True)
+    pid, pnode = next(iter(db.points.items()))
+    # query on the point's own node: d(p, q) = 0, nothing is strictly
+    # closer, so the verification passes without expansion
+    decision, bound = verify_plan(db.view, pid, 1, {pnode}, 10.0, frozenset())
+    assert decision is True and bound == 0.0
+
+
+def test_verify_plan_without_bounds_is_neutral():
+    db = _grid_db(False)
+    pid, pnode = next(iter(db.points.items()))
+    decision, bound = verify_plan(db.view, pid, 1, {pnode}, 10.0, frozenset())
+    assert decision is None and bound == 10.0

@@ -1,0 +1,71 @@
+"""LandmarkStore: paging, charged reads, uncharged bulk snapshots."""
+
+import math
+
+import pytest
+
+from repro.errors import StorageError
+from repro.oracle import DistanceOracle, LandmarkStore
+from repro.storage.buffer import BufferManager
+from repro.storage.page import (
+    LandmarkRecord,
+    decode_landmark_page,
+    encode_landmark_page,
+    landmark_record_size,
+)
+from repro.storage.stats import CostTracker
+
+
+def _store(num_nodes=40, landmarks=(0, 7), page_size=128, buffer_pages=4):
+    tables = [
+        [float(abs(node - landmark)) for node in range(num_nodes)]
+        for landmark in landmarks
+    ]
+    tracker = CostTracker()
+    buffer = BufferManager(buffer_pages, tracker)
+    store = LandmarkStore(num_nodes, landmarks, tables, buffer,
+                          page_size=page_size)
+    return store, tables, tracker
+
+
+def test_landmark_page_roundtrip():
+    records = [
+        LandmarkRecord(3, (0.0, 2.5, math.inf)),
+        LandmarkRecord(9, (1.0, 0.0, 4.0)),
+    ]
+    payload = encode_landmark_page(records)
+    assert decode_landmark_page(payload, 3) == records
+    assert landmark_record_size(3) == 4 + 3 * 8
+
+
+def test_get_charges_and_matches_tables():
+    store, tables, tracker = _store()
+    assert store.num_pages > 1  # the small page size forces real paging
+    for node in (0, 13, 39):
+        label = store.get(node)
+        assert label == tuple(table[node] for table in tables)
+    assert tracker.logical_reads > 0
+    with pytest.raises(StorageError):
+        store.get(40)
+
+
+def test_snapshot_is_uncharged_and_complete():
+    store, tables, tracker = _store()
+    before = tracker.snapshot()
+    labels = store.labels_snapshot()
+    diff = tracker.diff(before)
+    assert diff.logical_reads == 0 and diff.page_reads == 0
+    assert len(labels) == 40
+    oracle = DistanceOracle.from_labels(store.landmarks, labels)
+    assert oracle.label(13) == store.get(13)
+
+
+def test_store_rejects_malformed_inputs():
+    tracker = CostTracker()
+    buffer = BufferManager(4, tracker)
+    with pytest.raises(StorageError):
+        LandmarkStore(4, [], [], buffer)
+    with pytest.raises(StorageError):
+        LandmarkStore(4, [0], [], buffer)
+    with pytest.raises(StorageError):
+        LandmarkStore(4, [0], [[0.0, 1.0]], buffer)  # table misses nodes

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import PointError
-from repro.graph.graph import Graph
 from repro.points.points import EdgePointSet, NodePointSet
 
 

@@ -157,7 +157,8 @@ class TestBatch:
         out = capsys.readouterr().out
         sharded = [line for line in out.splitlines() if "->" in line]
         # identical answers (the per-line I/O counts may differ)
-        strip = lambda lines: [line.split(" [")[0] for line in lines]
+        def strip(lines):
+            return [line.split(" [")[0] for line in lines]
         assert strip(sharded) == strip(unsharded)
         assert "4 shard(s)" in out
         assert "shard 0:" in out and "shard 3:" in out
@@ -210,6 +211,62 @@ class TestShardBuild:
         bad.write_text('{"kind": "knn", "query": 1}\n{"kind": "warp"}\n')
         assert main(["batch", str(saved_graph), "--specs", str(bad)]) == 1
         assert "line 2" in capsys.readouterr().err
+
+
+class TestOracleBuild:
+    def test_reports_layout_and_cost(self, saved_graph, capsys):
+        assert main(["oracle", "build", str(saved_graph),
+                     "--landmarks", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "selected 5 landmarks (farthest):" in out
+        assert "500 (landmark, node) distances" in out
+        assert "pages on the disk store" in out
+        assert "build cost:" in out
+
+    @pytest.mark.parametrize("backend", ["sharded", "compact"])
+    def test_alternate_backends(self, saved_graph, backend, capsys):
+        assert main(["oracle", "build", str(saved_graph),
+                     "--landmarks", "3", "--backend", backend,
+                     "--strategy", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "selected 3 landmarks (random):" in out
+        assert f"on the {backend} store" in out
+
+    def test_rejects_edge_point_data_sets(self, tmp_path, capsys):
+        path = tmp_path / "edge.graph"
+        assert main(["generate", "--kind", "grid", "--nodes", "100",
+                     "--density", "0.1", "--placement", "edge",
+                     "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "build", str(path)]) == 1
+        assert "restricted" in capsys.readouterr().err
+
+    def test_batch_with_oracle_matches_plain(self, saved_graph, tmp_path,
+                                             capsys):
+        specs = tmp_path / "queries.jsonl"
+        specs.write_text(
+            '{"kind": "rknn", "query": 7, "k": 2}\n'
+            '{"kind": "knn", "query": 3, "k": 3}\n'
+        )
+        assert main(["batch", str(saved_graph), "--specs", str(specs)]) == 0
+        plain = [line.split(" [")[0] for line
+                 in capsys.readouterr().out.splitlines() if "->" in line]
+        assert main(["batch", str(saved_graph), "--specs", str(specs),
+                     "--oracle", "--oracle-landmarks", "4"]) == 0
+        out = capsys.readouterr().out
+        oracled = [line.split(" [")[0] for line in out.splitlines()
+                   if "->" in line]
+        assert oracled == plain
+        assert "oracle: 4 landmarks" in out
+
+    def test_batch_oracle_composes_with_compact(self, saved_graph, tmp_path,
+                                                capsys):
+        specs = tmp_path / "queries.jsonl"
+        specs.write_text('{"kind": "rknn", "query": 7, "k": 1}\n')
+        assert main(["batch", str(saved_graph), "--specs", str(specs),
+                     "--compact", "--oracle", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle: 8 landmarks" in out and "compact" in out
 
 
 class TestRecommend:

@@ -17,13 +17,40 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
 
-pytestmark = pytest.mark.slow
-
-
 def test_examples_are_discovered():
     assert len(EXAMPLES) >= 12
 
 
+@pytest.mark.fast
+def test_no_bytecode_directories_committed():
+    """No ``__pycache__`` directory or ``.pyc`` file may be tracked.
+
+    ``examples/__pycache__/`` kept reappearing in working trees; the
+    ignore rules cover it, but a force-add (or a rule regression)
+    would silently commit interpreter bytecode.  Guard the whole tree
+    by asking git for its tracked paths.
+    """
+    proc = subprocess.run(
+        ["git", "ls-files"], capture_output=True, text=True, cwd=str(ROOT)
+    )
+    if proc.returncode != 0:
+        pytest.skip("not a git checkout")
+    offenders = [
+        path for path in proc.stdout.splitlines()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, f"bytecode committed to the repo: {offenders}"
+
+
+@pytest.mark.fast
+def test_gitignore_covers_bytecode_everywhere():
+    """The ignore rules must match ``__pycache__`` at any depth."""
+    rules = (ROOT / ".gitignore").read_text().splitlines()
+    assert "__pycache__/" in rules  # unanchored: applies to every directory
+    assert "*.pyc" in rules
+
+
+@pytest.mark.slow
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs_to_completion(script):
     env = dict(os.environ)

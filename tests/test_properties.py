@@ -1,7 +1,6 @@
 """Hypothesis property tests: every algorithm against the oracle, plus
 structural invariants of the storage and materialization layers."""
 
-import math
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
