@@ -80,9 +80,12 @@ def _within(direction: str, tolerance: float, new: float, base: float) -> bool:
     raise ValueError(f"unknown regression direction {direction!r}")
 
 
-def check(emitted_dir: Path | None = None) -> int:
+def check(emitted_dir: Path | None = None,
+          only: tuple[str, ...] = ()) -> int:
     """Compare emitted results against committed baselines.
 
+    ``only`` restricts the comparison to the named benchmarks (for CI
+    jobs that run a subset of the suite); empty means every baseline.
     Returns the number of failures (missing results or regressed
     metrics) and prints a line per comparison.
     """
@@ -93,9 +96,16 @@ def check(emitted_dir: Path | None = None) -> int:
     if not baselines:
         print(f"no baselines under {BASELINE_DIR}; nothing to check")
         return 0
-    for baseline_path in baselines:
-        baseline = json.loads(baseline_path.read_text())
+    loaded = [(path, json.loads(path.read_text())) for path in baselines]
+    names = {baseline["benchmark"] for _, baseline in loaded}
+    for missing in sorted(set(only) - names):
+        # a typo here must not turn the gate into a guaranteed pass
+        print(f"FAIL  --only {missing}: no committed baseline by that name")
+        failures += 1
+    for baseline_path, baseline in loaded:
         name = baseline["benchmark"]
+        if only and name not in only:
+            continue
         if baseline.get("scale") != scale:
             print(f"SKIP  {name}: baseline scale {baseline.get('scale')!r} "
                   f"!= current {scale!r}")
@@ -134,10 +144,14 @@ def main(argv=None) -> int:
     parser.add_argument("--emitted-dir", default=None,
                         help="directory of fresh BENCH_*.json files "
                         "(default: benchmarks/out or REPRO_BENCH_OUT)")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="NAME",
+                        help="check only this benchmark's baseline "
+                        "(repeatable; default: all baselines)")
     args = parser.parse_args(argv)
     if not args.check:
         parser.error("nothing to do (pass --check)")
-    failures = check(args.emitted_dir)
+    failures = check(args.emitted_dir, only=tuple(args.only))
     if failures:
         print(f"{failures} benchmark regression(s)")
         return 1

@@ -34,7 +34,12 @@ zero page I/O.  Every backend can additionally preprocess the network
 into an ALT landmark distance oracle (:mod:`repro.oracle`,
 ``db.build_oracle()``): triangle-inequality bounds the expansion loops
 consult to skip provably irrelevant work, cutting expanded-edge counts
-and I/O while answers stay bitwise identical.
+and I/O while answers stay bitwise identical.  The serving tier
+(:mod:`repro.serve`) exposes any backend over TCP: an asyncio server
+micro-batches JSON query requests through the engine, sheds load
+beyond its admission bound with explicit ``overloaded`` responses, and
+applies mutations behind a generation-swap protocol so no response
+ever mixes update generations.
 
 Quickstart::
 
@@ -64,6 +69,7 @@ from repro.graph.builder import GraphBuilder
 from repro.core.result import OracleResult
 from repro.oracle import DistanceOracle, LandmarkStore, LowerBoundProvider
 from repro.points.points import EdgePointSet, NodePointSet, PointSet
+from repro.serve import RknnServer, ServeClient, serve_in_thread
 from repro.shard import ShardedDatabase, ShardedDirectedDatabase
 from repro.storage.stats import CostModel, CostTracker
 
@@ -95,10 +101,13 @@ __all__ = [
     "QueryError",
     "QuerySpec",
     "ReproError",
+    "RknnServer",
     "RnnResult",
+    "ServeClient",
     "ShardedDatabase",
     "ShardedDirectedDatabase",
     "StorageError",
     "UpdateResult",
     "__version__",
+    "serve_in_thread",
 ]

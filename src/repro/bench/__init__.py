@@ -3,6 +3,7 @@
 from repro.bench.harness import (
     ThroughputReport,
     WorkloadCost,
+    latency_percentiles,
     run_continuous_workload,
     run_throughput_benchmark,
     run_update_workload,
@@ -18,6 +19,7 @@ __all__ = [
     "WorkloadCost",
     "current_profile",
     "format_table",
+    "latency_percentiles",
     "run_continuous_workload",
     "run_throughput_benchmark",
     "run_update_workload",

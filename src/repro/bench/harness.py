@@ -10,6 +10,7 @@ diffs that the public API returns.
 
 from __future__ import annotations
 
+import math
 import random
 import statistics
 import time
@@ -150,6 +151,29 @@ def run_update_workload(
     }
 
 
+def latency_percentiles(latencies: Sequence[float]) -> dict[str, float]:
+    """p50/p95/p99 of a latency sample, in milliseconds.
+
+    Uses the nearest-rank method (the convention of serving-latency
+    dashboards): pXX is the smallest observation such that XX% of the
+    sample is at or below it.  An empty sample reports zeros.
+    """
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(latencies)
+    count = len(ordered)
+
+    def rank(percent: float) -> float:
+        index = max(math.ceil(percent / 100.0 * count) - 1, 0)
+        return ordered[min(index, count - 1)] * 1000.0
+
+    return {
+        "p50_ms": rank(50.0),
+        "p95_ms": rank(95.0),
+        "p99_ms": rank(99.0),
+    }
+
+
 @dataclass(frozen=True)
 class ThroughputReport:
     """Batched-vs-sequential serving throughput on one workload.
@@ -158,6 +182,11 @@ class ThroughputReport:
     repeated workload: the sequential loop re-executes every query
     through the facade, while the engine serves repeats and warmed
     entries from its result cache and runs misses across workers.
+
+    ``sequential_latencies`` holds the per-query service times of the
+    measured sequential pass, summarized by :meth:`percentiles`;
+    ``batched_mean_ms`` is the per-query amortized latency of the warm
+    batch (one batch execution divided over its queries).
     """
 
     queries: int
@@ -169,6 +198,18 @@ class ThroughputReport:
     cache_hits: int
     cache_misses: int
     batch_io: int
+    sequential_latencies: tuple[float, ...] = ()
+
+    def percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 of the sequential per-query latencies (ms)."""
+        return latency_percentiles(self.sequential_latencies)
+
+    @property
+    def batched_mean_ms(self) -> float:
+        """Amortized per-query latency of the warm batch (ms)."""
+        if not self.queries:
+            return 0.0
+        return self.batched_seconds / self.queries * 1000.0
 
     @property
     def sequential_qps(self) -> float:
@@ -187,15 +228,19 @@ class ThroughputReport:
         )
 
     def summary_lines(self) -> list[str]:
+        tail = self.percentiles()
         return [
             f"workload: {self.queries} queries ({self.distinct} distinct), "
             f"{self.workers} workers",
             f"sequential: {self.sequential_seconds:.4f} s "
             f"({self.sequential_qps:.0f} q/s)",
+            f"sequential latency: p50 {tail['p50_ms']:.3f} ms, "
+            f"p95 {tail['p95_ms']:.3f} ms, p99 {tail['p99_ms']:.3f} ms",
             f"batched (cold cache): {self.batched_cold_seconds:.4f} s",
             f"batched (warm cache): {self.batched_seconds:.4f} s "
             f"({self.batched_qps:.0f} q/s, {self.cache_hits} hits / "
-            f"{self.cache_misses} misses, {self.batch_io} page I/Os)",
+            f"{self.cache_misses} misses, {self.batch_io} page I/Os, "
+            f"{self.batched_mean_ms:.3f} ms/query amortized)",
             f"speedup: {self.speedup:.1f}x",
         ]
 
@@ -251,14 +296,17 @@ def run_throughput_benchmark(
             db.bichromatic_rknn(spec.query, spec.k, method=spec.method,
                                 exclude=spec.exclude)
 
-    def run_sequential() -> float:
+    def run_sequential() -> tuple[float, list[float]]:
+        latencies: list[float] = []
         start = time.perf_counter()
         for spec in specs:
+            began = time.perf_counter()
             run_one(spec)
-        return time.perf_counter() - start
+            latencies.append(time.perf_counter() - began)
+        return time.perf_counter() - start, latencies
 
     run_sequential()  # warm the page buffer
-    sequential_seconds = run_sequential()
+    sequential_seconds, latencies = run_sequential()
 
     cold = engine.run_batch(specs, workers=workers)
     warm = engine.run_batch(specs, workers=workers)
@@ -272,6 +320,7 @@ def run_throughput_benchmark(
         cache_hits=warm.hits,
         cache_misses=warm.misses,
         batch_io=warm.io,
+        sequential_latencies=tuple(latencies),
     )
 
 

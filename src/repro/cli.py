@@ -18,6 +18,8 @@ Usage (also ``python -m repro``)::
     python -m repro batch sf.graph --specs queries.jsonl --compact --workers 4
     python -m repro oracle build sf.graph --landmarks 8
     python -m repro batch sf.graph --specs queries.jsonl --oracle
+    python -m repro query sf.graph --query 17 --k 2 --compact --oracle
+    python -m repro serve sf.graph --port 8750 --shards 4 --workers 2
 
 The ``batch`` subcommand reads one JSON query spec per line (see
 :mod:`repro.engine.spec`), e.g.::
@@ -70,6 +72,52 @@ KINDS = ("dblp", "brite", "spatial", "grid")
 SEARCHES = ("dijkstra", "astar", "alt", "bidirectional")
 
 
+def _add_backend_arguments(parser) -> None:
+    """Backend-selection flags shared by ``query``, ``batch``, ``serve``."""
+    parser.add_argument("--shards", type=int, default=0, metavar="K",
+                        help="serve from a K-shard backend (0 = unsharded)")
+    parser.add_argument("--compact", action="store_true",
+                        help="serve from the memory-resident CSR backend "
+                        "(no page I/O)")
+    parser.add_argument("--oracle", action="store_true",
+                        help="build a landmark distance oracle before serving; "
+                        "answers are identical, expansions prune harder")
+    parser.add_argument("--oracle-landmarks", type=int, default=ORACLE_LANDMARKS,
+                        metavar="L", help="landmark count for --oracle")
+
+
+def _open_backend(args: argparse.Namespace, graph, points):
+    """Build the database the backend flags select.
+
+    Shared by ``query``, ``batch`` and ``serve``: validates the flag
+    combination, constructs the disk / sharded / compact facade,
+    materializes K-NN lists and attaches the oracle when asked.
+    Returns ``(db, backend label)``.
+    """
+    if args.shards < 0:
+        raise QueryError(f"--shards must be >= 0, got {args.shards}")
+    if args.compact and args.shards > 0:
+        raise QueryError("--compact and --shards are mutually exclusive")
+    if args.compact:
+        db = CompactDatabase(graph, points)
+        backend = "compact"
+    elif args.shards > 0:
+        db = ShardedDatabase(graph, points, num_shards=args.shards,
+                             buffer_pages=args.buffer_pages)
+        backend = f"{args.shards} shard(s)"
+    else:
+        db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
+        backend = "unsharded"
+    if getattr(args, "materialize", 0) > 0:
+        db.materialize(args.materialize)
+    if args.oracle:
+        report = db.build_oracle(args.oracle_landmarks)
+        print(f"oracle: {len(report.landmarks)} landmarks, "
+              f"{report.entries} label entries, {report.pages} pages, "
+              f"built for {report.io} page I/Os")
+    return db, backend
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--materialize", type=int, default=0, metavar="K",
                        help="build K-NN lists before querying (for eager-m)")
     query.add_argument("--buffer-pages", type=int, default=256)
+    _add_backend_arguments(query)
 
     recommend = commands.add_parser(
         "recommend", help="analyze a data set and suggest a method"
@@ -154,17 +203,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execute in file order (no locality planning)")
     batch.add_argument("--quiet", action="store_true",
                        help="print only the batch summary")
-    batch.add_argument("--shards", type=int, default=0, metavar="K",
-                       help="serve from a K-shard backend (0 = unsharded); "
-                       "workers then execute independent shards concurrently")
-    batch.add_argument("--compact", action="store_true",
-                       help="serve from the memory-resident CSR backend "
-                       "(no page I/O; workers share the read-only arrays)")
-    batch.add_argument("--oracle", action="store_true",
-                       help="build a landmark distance oracle before serving; "
-                       "answers are identical, expansions prune harder")
-    batch.add_argument("--oracle-landmarks", type=int, default=ORACLE_LANDMARKS,
-                       metavar="L", help="landmark count for --oracle")
+    _add_backend_arguments(batch)
+
+    serve = commands.add_parser(
+        "serve", help="serve queries and mutations over TCP "
+        "(micro-batched asyncio server)"
+    )
+    serve.add_argument("graph")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="listening port (0 picks an ephemeral port)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window in milliseconds")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush a batch once this many requests wait")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admission bound before requests are shed "
+                       "with an 'overloaded' response")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="engine worker sessions per batch")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--materialize", type=int, default=0, metavar="K",
+                       help="build K-NN lists before serving (for eager-m)")
+    serve.add_argument("--buffer-pages", type=int, default=256)
+    serve.add_argument("--ready-file", metavar="FILE",
+                       help="write HOST:PORT to FILE once accepting "
+                       "connections (lets scripts wait for readiness)")
+    _add_backend_arguments(serve)
 
     shard = commands.add_parser(
         "shard", help="sharded-backend operations"
@@ -240,6 +306,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _plan(args)
         if args.command == "batch":
             return _batch(args)
+        if args.command == "serve":
+            return _serve(args)
         if args.command == "shard":
             return _shard_build(args)
         if args.command == "compact":
@@ -302,15 +370,13 @@ def _parse_location(text: str):
 
 def _query(args: argparse.Namespace) -> int:
     graph, points = load_graph(args.graph)
-    db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
-    if args.materialize > 0:
-        db.materialize(args.materialize)
+    db, backend = _open_backend(args, graph, points)
     location = _parse_location(args.query)
     result = db.rknn(location, args.k, method=args.method)
     print(f"R{args.k}NN({args.query}) = {list(result.points)}")
     print(f"cost: {result.io} page I/Os, {result.cpu_seconds * 1000:.2f} ms "
           f"CPU, {result.counters.nodes_visited} node visits, "
-          f"total {result.total_seconds():.4f} s at 10 ms/I-O")
+          f"total {result.total_seconds():.4f} s at 10 ms/I-O, {backend}")
     return 0
 
 
@@ -376,27 +442,7 @@ def _batch(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
     graph, points = load_graph(args.graph)
-    if args.shards < 0:
-        raise QueryError(f"--shards must be >= 0, got {args.shards}")
-    if args.compact and args.shards > 0:
-        raise QueryError("--compact and --shards are mutually exclusive")
-    if args.compact:
-        db = CompactDatabase(graph, points)
-        backend = "compact"
-    elif args.shards > 0:
-        db = ShardedDatabase(graph, points, num_shards=args.shards,
-                             buffer_pages=args.buffer_pages)
-        backend = f"{args.shards} shard(s)"
-    else:
-        db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
-        backend = "unsharded"
-    if args.materialize > 0:
-        db.materialize(args.materialize)
-    if args.oracle:
-        report = db.build_oracle(args.oracle_landmarks)
-        print(f"oracle: {len(report.landmarks)} landmarks, "
-              f"{report.entries} label entries, {report.pages} pages, "
-              f"built for {report.io} page I/Os")
+    db, backend = _open_backend(args, graph, points)
     engine = db.engine(cache_entries=args.cache_size, plan=not args.no_plan)
     for round_no in range(args.repeat):
         outcome = engine.run_batch(specs, workers=args.workers)
@@ -415,6 +461,49 @@ def _batch(args: argparse.Namespace) -> int:
         for shard_id, counters in enumerate(db.shard_counters()):
             print(f"shard {shard_id}: {counters.page_reads} page reads, "
                   f"{counters.buffer_hits} buffer hits")
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import RknnServer
+
+    if args.window_ms < 0:
+        raise QueryError(f"--window-ms must be >= 0, got {args.window_ms}")
+    if args.max_batch < 1:
+        raise QueryError(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_queue < 1:
+        raise QueryError(f"--max-queue must be >= 1, got {args.max_queue}")
+    if args.workers < 1:
+        raise QueryError(f"--workers must be >= 1, got {args.workers}")
+    if args.cache_size < 0:
+        raise QueryError(f"--cache-size must be >= 0, got {args.cache_size}")
+    graph, points = load_graph(args.graph)
+    db, backend = _open_backend(args, graph, points)
+    server = RknnServer(
+        db,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        cache_entries=args.cache_size,
+    )
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
+        print(f"serving {args.graph} ({backend}) on {host}:{port} "
+              f"[window {args.window_ms:g} ms, batch <= {args.max_batch}, "
+              f"queue <= {args.max_queue}, {args.workers} worker(s)]",
+              flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+
+    try:
+        asyncio.run(server.run(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 

@@ -318,6 +318,13 @@ class QueryEngine:
                     f"{type(db).__name__} does not support bichromatic queries"
                 )
             return runner(spec.query, spec.k, method=spec.method, exclude=spec.exclude)
+        if spec.kind == "continuous":
+            runner = getattr(db, "continuous_rknn", None)
+            if runner is None:
+                raise QueryError(
+                    f"{type(db).__name__} does not support continuous queries"
+                )
+            return runner(spec.route, spec.k, method=spec.method, exclude=spec.exclude)
         raise QueryError(f"unknown query kind {spec.kind!r}")  # pragma: no cover
 
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-from repro.engine.spec import AUTO_METHOD, QuerySpec
+from repro.engine.spec import AUTO_METHOD, METHOD_KINDS, QuerySpec
 from repro.errors import QueryError
 from repro.oracle.prune import scan_is_profitable
 
@@ -61,7 +61,7 @@ class BatchPlan:
         lines = [f"batch plan over {len(self.specs)} queries:"]
         for position, index in enumerate(self.order):
             spec = self.specs[index]
-            method = f" {spec.method}" if spec.kind in ("rknn", "bichromatic") else ""
+            method = f" {spec.method}" if spec.kind in METHOD_KINDS else ""
             lines.append(
                 f"  {position:3d}: [{index}] {spec.kind}{method} "
                 f"k={spec.k} query={spec.query}"
@@ -73,7 +73,7 @@ def resolve_method(spec: QuerySpec, calibrator=None) -> QuerySpec:
     """Replace ``method="auto"`` with the calibrating planner's choice."""
     if spec.method != AUTO_METHOD:
         return spec
-    if spec.kind not in ("rknn", "bichromatic"):
+    if spec.kind not in METHOD_KINDS:
         return replace(spec, method="eager")
     if calibrator is None:
         raise QueryError(

@@ -20,7 +20,10 @@ The supported kinds mirror the read-only query surface of
 ``bichromatic``
     bichromatic reverse k-NN against the attached reference set;
 ``range``
-    ``range-NN(n, k, e)`` with a strict ``radius``.
+    ``range-NN(n, k, e)`` with a strict ``radius``;
+``continuous``
+    continuous RkNN along a ``route`` of adjacent nodes (the union of
+    the route nodes' reverse neighbor sets, Section 5.1).
 """
 
 from __future__ import annotations
@@ -33,7 +36,10 @@ from typing import Iterable, Mapping
 from repro.errors import QueryError
 
 #: Query kinds the engine knows how to dispatch.
-KINDS = ("knn", "rknn", "bichromatic", "range")
+KINDS = ("knn", "rknn", "bichromatic", "range", "continuous")
+
+#: Kinds whose execution method matters (and is part of the cache key).
+METHOD_KINDS = ("rknn", "bichromatic", "continuous")
 
 #: ``method`` value asking the engine's planner to pick the cheapest method.
 AUTO_METHOD = "auto"
@@ -60,22 +66,43 @@ class QuerySpec:
         by ``knn`` and ``range``.
     radius:
         Range bound, required by (and only by) ``range``.
+    route:
+        Walk of adjacent node ids, required by (and only by)
+        ``continuous``.  ``query`` is derived from the route's first
+        node, so locality planning and shard routing treat the route
+        like a query starting there.
     exclude:
         Point ids hidden for the query's duration.
     """
 
     kind: str
-    query: Location
+    query: Location = None
     k: int = 1
     method: str = "eager"
     radius: float | None = None
     exclude: frozenset[int] = field(default_factory=frozenset)
+    route: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise QueryError(f"unknown query kind {self.kind!r}; choose one of {KINDS}")
         if not isinstance(self.k, int) or self.k < 1:
             raise QueryError(f"k must be an integer >= 1, got {self.k!r}")
+        if self.kind == "continuous":
+            if not self.route:
+                raise QueryError("continuous queries need a route")
+            try:
+                normalized_route = tuple(int(node) for node in self.route)
+            except (TypeError, ValueError) as exc:
+                raise QueryError(f"bad route {self.route!r}: {exc}") from exc
+            object.__setattr__(self, "route", normalized_route)
+            # the route's first node stands in as the query location for
+            # cache identity, locality planning and shard routing
+            object.__setattr__(self, "query", normalized_route[0])
+        elif self.route is not None:
+            raise QueryError(f"{self.kind} queries take no route")
+        if self.query is None:
+            raise QueryError(f"{self.kind} queries need a query location")
         if not isinstance(self.query, int):
             if not isinstance(self.query, (tuple, list)) or len(self.query) != 3:
                 raise QueryError(f"edge locations are (u, v, pos), got {self.query!r}")
@@ -106,13 +133,14 @@ class QuerySpec:
         equivalent but not cost-equivalent, and the cache stores results
         together with the cost record of the run that produced them.
         """
-        method = self.method if self.kind in ("rknn", "bichromatic") else ""
+        method = self.method if self.kind in METHOD_KINDS else ""
         return (
             self.kind,
             self.query,
             self.k,
             method,
             self.radius,
+            self.route,
             tuple(sorted(self.exclude)),
         )
 
@@ -121,10 +149,13 @@ class QuerySpec:
     def to_json(self) -> str:
         """One JSON object (one JSONL line) describing this spec."""
         payload: dict = {"kind": self.kind, "query": self.query, "k": self.k}
-        if self.kind in ("rknn", "bichromatic"):
+        if self.kind in METHOD_KINDS:
             payload["method"] = self.method
         if self.radius is not None:
             payload["radius"] = self.radius
+        if self.route is not None:
+            payload = {"kind": self.kind, "k": self.k,
+                       "method": self.method, "route": list(self.route)}
         if self.exclude:
             payload["exclude"] = sorted(self.exclude)
         return json.dumps(payload)
@@ -132,15 +163,20 @@ class QuerySpec:
     @classmethod
     def from_mapping(cls, payload: Mapping) -> "QuerySpec":
         """Build a spec from a parsed JSON object."""
-        if "kind" not in payload or "query" not in payload:
+        if "kind" not in payload:
             raise QueryError("query specs need at least 'kind' and 'query'")
-        known = {"kind", "query", "k", "method", "radius", "exclude"}
+        if "query" not in payload and "route" not in payload:
+            raise QueryError("query specs need at least 'kind' and 'query'")
+        known = {"kind", "query", "k", "method", "radius", "exclude", "route"}
         unknown = set(payload) - known
         if unknown:
             raise QueryError(f"unknown query spec fields {sorted(unknown)}")
-        query = payload["query"]
+        query = payload.get("query")
         if isinstance(query, list):
             query = tuple(query)
+        route = payload.get("route")
+        if route is not None and not isinstance(route, (list, tuple)):
+            raise QueryError(f"routes are arrays of node ids, got {route!r}")
         try:
             return cls(
                 kind=payload["kind"],
@@ -149,6 +185,7 @@ class QuerySpec:
                 method=payload.get("method", "eager"),
                 radius=payload.get("radius"),
                 exclude=frozenset(int(pid) for pid in payload.get("exclude", ())),
+                route=tuple(route) if route is not None else None,
             )
         except (TypeError, ValueError) as exc:
             # bad field types (k="a", exclude=["x"], radius=[]) must

@@ -1,0 +1,47 @@
+"""Online serving subsystem: asyncio RkNN server, batcher, client.
+
+The serving tier turns any facade database into a network service:
+
+* :class:`~repro.serve.server.RknnServer` -- the asyncio server:
+  JSON-lines protocol over TCP, micro-batched execution through the
+  :class:`~repro.engine.engine.QueryEngine`, bounded admission with
+  explicit ``overloaded`` shedding, generation-swap safe mutations,
+  standing-query event push, ``/metrics`` and ``/healthz``;
+* :class:`~repro.serve.batcher.MicroBatcher` -- the coalescing
+  admission queue;
+* :class:`~repro.serve.client.ServeClient` -- the blocking client used
+  by tests, benchmarks and the CI replay job;
+* :func:`~repro.serve.server.serve_in_thread` -- run a server on a
+  background thread (the embedding tests and examples use).
+
+Start one from the command line with ``repro serve`` (see
+:mod:`repro.cli`).
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher, QueueFull
+from repro.serve.client import ServeClient, http_get, replay
+from repro.serve.server import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WINDOW,
+    GenerationGate,
+    RknnServer,
+    ServerHandle,
+    serve_in_thread,
+)
+
+__all__ = [
+    "BatcherStats",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_WINDOW",
+    "GenerationGate",
+    "MicroBatcher",
+    "QueueFull",
+    "RknnServer",
+    "ServeClient",
+    "ServerHandle",
+    "http_get",
+    "replay",
+    "serve_in_thread",
+]

@@ -1,0 +1,116 @@
+"""Wire format of the serving tier: JSON lines over TCP, plus HTTP GETs.
+
+One connection carries a stream of newline-delimited JSON objects.
+Every request is an object with an ``op`` field:
+
+``query``
+    the remaining fields form a :class:`~repro.engine.spec.QuerySpec`
+    mapping (``kind``, ``query`` / ``route``, ``k``, ``method``,
+    ``radius``, ``exclude``); the response carries the answer and the
+    update generation it was computed at;
+``insert`` / ``delete``
+    point mutations (``pid`` plus ``location`` for inserts); the
+    response carries the *new* generation;
+``subscribe``
+    registers standing RkNN queries (``queries``: query id -> node id,
+    ``k``); after the acknowledgment the server pushes one
+    ``membership`` event object per result-set change caused by any
+    later mutation, interleaved with the connection's responses;
+``metrics`` / ``healthz``
+    server introspection (also served as HTTP ``GET /metrics`` and
+    ``GET /healthz`` on the same port, for curl and probes).
+
+Responses echo the request's optional ``id`` and always carry a
+``status``: ``ok``, ``overloaded`` (admission control shed the request
+-- retry later) or ``error`` (the request was invalid; the connection
+stays usable).  Pushed events carry an ``event`` field instead of
+``status``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+
+#: Request operations understood by the server.
+OPS = ("query", "insert", "delete", "subscribe", "metrics", "healthz")
+
+#: Fields of a ``query`` request that are protocol envelope, not spec.
+_ENVELOPE_FIELDS = frozenset({"op", "id"})
+
+
+def encode(payload: Mapping) -> bytes:
+    """Serialize one protocol object to its wire line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line into a protocol object.
+
+    Raises :class:`~repro.errors.QueryError` on malformed input so the
+    server can answer with a clean ``error`` response instead of
+    dropping the connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise QueryError(f"request is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"bad request JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise QueryError(
+            f"requests are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def request_spec(payload: Mapping) -> QuerySpec:
+    """Extract the :class:`QuerySpec` from a ``query`` request."""
+    fields = {key: value for key, value in payload.items()
+              if key not in _ENVELOPE_FIELDS}
+    return QuerySpec.from_mapping(fields)
+
+
+def result_payload(result, generation: int) -> dict:
+    """Serialize a facade result object into a response body.
+
+    ``RnnResult`` answers serialize as ``points`` (sorted point ids),
+    ``KnnResult`` answers as ``neighbors`` (``[point id, distance]``
+    pairs in ascending distance order) -- exactly the tuples the facade
+    returns, so a client can compare byte for byte against a direct
+    call at the same generation.
+    """
+    body: dict = {"status": "ok", "generation": generation,
+                  "io": result.io}
+    if hasattr(result, "points"):
+        body["points"] = list(result.points)
+    else:
+        body["neighbors"] = [[pid, dist] for pid, dist in result.neighbors]
+    return body
+
+
+def error_payload(message: str) -> dict:
+    """An ``error`` response body."""
+    return {"status": "error", "error": str(message)}
+
+
+def overloaded_payload(depth: int) -> dict:
+    """An ``overloaded`` response body (admission control shed)."""
+    return {"status": "overloaded", "queue_depth": depth, "retry": True}
+
+
+def membership_payload(event, generation: int) -> dict:
+    """A pushed ``membership`` event body for one result-set change."""
+    return {
+        "event": "membership",
+        "generation": generation,
+        "query_id": event.query_id,
+        "point_id": event.point_id,
+        "kind": event.kind,
+    }

@@ -1,0 +1,576 @@
+"""The asyncio RkNN server: admission, batching, generation swap.
+
+:class:`RknnServer` turns any facade database -- disk, sharded,
+compact, oracle attached or not -- into a network service.  One
+asyncio event loop owns every connection; queries are admitted into a
+:class:`~repro.serve.batcher.MicroBatcher` and executed as engine
+batches on a worker thread, so the loop never blocks on query work.
+
+**Generation swap.**  Mutations (``insert`` / ``delete`` requests) and
+query batches are arbitrated by a writer-preferring
+:class:`GenerationGate`: a batch runs under a *read lease* pinning the
+database's update generation for its whole execution, while a mutation
+waits for in-flight batches to drain, applies under an exclusive
+lease, and bumps the generation.  Batches admitted after the mutation
+run against the new generation.  No response ever mixes generations,
+and every response carries the generation it was computed at, so a
+client can replay the mutation log and verify any answer against a
+direct facade call.
+
+**Backpressure.**  The admission queue is bounded; beyond capacity the
+server immediately answers ``overloaded`` instead of queueing without
+bound (shed requests are counted and surfaced through ``/metrics``).
+
+**Standing queries.**  A ``subscribe`` request registers a
+:class:`~repro.streams.monitor.RnnMonitor` over the live database;
+every later mutation refreshes each subscribed monitor and pushes the
+resulting :class:`~repro.streams.monitor.MembershipEvent` diffs to the
+subscriber as ``membership`` event lines.
+
+``/metrics`` and ``/healthz`` answer both as protocol ops and as plain
+HTTP ``GET`` on the same port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.planner import backend_of
+from repro.engine.spec import QuerySpec
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.serve.batcher import MicroBatcher, QueueFull
+from repro.streams.monitor import RnnMonitor
+
+#: Default coalescing window: 2 ms keeps tail latency low while giving
+#: concurrent arrivals time to share a batch.
+DEFAULT_WINDOW = 0.002
+
+#: Default maximum batch size handed to the engine in one execution.
+DEFAULT_MAX_BATCH = 32
+
+#: Default admission bound before requests are shed as ``overloaded``.
+DEFAULT_MAX_QUEUE = 1024
+
+#: Outbound bytes a subscriber may leave unread before it is evicted.
+MAX_SUBSCRIBER_BACKLOG = 1 << 20
+
+#: Unread response bytes before a connection stops being read from
+#: (TCP backpressure on clients that pipeline without ever reading).
+MAX_RESPONSE_BACKLOG = 1 << 20
+
+
+class GenerationGate:
+    """Writer-preferring read/write arbitration for generation safety.
+
+    Query batches hold *read* leases (many at once is safe -- they only
+    read); a mutation takes the *write* lease, which waits for every
+    in-flight batch to drain and blocks new batches from starting
+    first.  Writer preference keeps the mutation from starving behind
+    a saturated query stream.
+    """
+
+    def __init__(self):
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextlib.asynccontextmanager
+    async def read_lease(self):
+        """Hold a shared lease: the generation cannot change inside."""
+        async with self._cond:
+            while self._writing or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def write_lease(self):
+        """Hold the exclusive lease: every batch has drained inside."""
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class _Subscription:
+    """One connection's standing-query monitor."""
+
+    def __init__(self, monitor: RnnMonitor, writer: asyncio.StreamWriter):
+        self.monitor = monitor
+        self.writer = writer
+
+
+class RknnServer:
+    """Asyncio serving tier over one facade database.
+
+    Parameters
+    ----------
+    db:
+        Any facade database (:class:`~repro.api.GraphDatabase`,
+        :class:`~repro.shard.db.ShardedDatabase`,
+        :class:`~repro.compact.db.CompactDatabase`, with or without an
+        attached oracle).  The server takes ownership: all access must
+        go through requests once serving starts.
+    window / max_batch / max_queue:
+        Micro-batching and admission parameters (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    workers:
+        Worker sessions per engine batch (``read_clone`` pool size the
+        engine spreads each batch over).
+    cache_entries:
+        Result-cache capacity of the server's engine.
+    """
+
+    def __init__(self, db, *, window: float = DEFAULT_WINDOW,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 workers: int = 1, cache_entries: int = 4096):
+        self.db = db
+        self.engine = db.engine(cache_entries=cache_entries)
+        self.workers = workers
+        self.batcher = MicroBatcher(
+            self._run_batch, window=window,
+            max_batch=max_batch, max_queue=max_queue,
+        )
+        self._gate = GenerationGate()
+        # one thread: batches and mutations never share the interpreter
+        # state concurrently even if the gate were misused
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._subscriptions: dict[asyncio.StreamWriter, _Subscription] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+        self.queries_served = 0
+        self.mutations_applied = 0
+        self.errors = 0
+        self.events_pushed = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop` (or :meth:`stop`) is called."""
+        assert self._stop is not None, "start() before serve_until_stopped()"
+        await self._stop.wait()
+        await self.stop()
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0,
+                  ready=None) -> None:
+        """Start, signal readiness, and serve until stopped.
+
+        ``ready`` is an optional callable invoked with the bound
+        ``(host, port)`` once the server is accepting connections --
+        a ``threading.Event.set`` wrapper, a ready-file writer, or a
+        print.
+        """
+        await self.start(host, port)
+        if ready is not None:
+            ready(self.address)
+        await self.serve_until_stopped()
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown signal (usable from any thread)."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def stop(self) -> None:
+        """Close the listener, fail waiting requests, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.close()
+        self._executor.shutdown(wait=True)
+
+    # -- batch execution (the batcher's runner) -----------------------------
+
+    async def _run_batch(self, specs: list[QuerySpec]):
+        """Execute one coalesced batch under a generation read lease."""
+        async with self._gate.read_lease():
+            generation = self.db.generation
+            outcome = await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self.engine.run_batch(specs, workers=self.workers),
+            )
+        self.queries_served += len(specs)
+        return [(result, generation) for result in outcome.results]
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.split(b" ", 1)[0] in (b"GET", b"HEAD"):
+                await self._handle_http(first, reader, writer)
+                return
+            await self._handle_protocol(first, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            # ValueError: a request line overran the StreamReader limit;
+            # the line framing is lost, so drop the connection cleanly
+            pass
+        finally:
+            self._subscriptions.pop(writer, None)
+            # no wait_closed(): the handler may itself be cancelled at
+            # loop shutdown, and awaiting here would log that cancellation
+            writer.close()
+
+    async def _handle_protocol(self, first: bytes,
+                               reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        """The JSON-lines loop: pipelined requests, ordered responses.
+
+        Every request is admitted *at read time* -- queries go straight
+        into the batcher (so a connection that pipelines N queries
+        coalesces them into shared batches), introspection answers
+        synchronously, and mutations/subscriptions *barrier the read
+        loop*: no later line on the connection is read until they
+        complete, so a pipelined query after an insert always observes
+        the bumped generation (per-connection read-your-writes).  A
+        per-connection drain preserves response order.
+        """
+        responses: asyncio.Queue = asyncio.Queue()
+        drain = asyncio.get_running_loop().create_task(
+            self._drain_responses(responses, writer)
+        )
+        try:
+            line = first
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    item = self._admit(stripped, writer)
+                    await responses.put(item)
+                    pending = item[1]
+                    if isinstance(pending, asyncio.Task):
+                        # the mutation barrier; also bounds this
+                        # connection to one task in flight (its failure
+                        # reaches the client through the drain)
+                        with contextlib.suppress(Exception):
+                            await pending
+                if (writer.transport.get_write_buffer_size()
+                        > MAX_RESPONSE_BACKLOG):
+                    # the client is not reading its responses: stop
+                    # reading its requests until the backlog drains, so
+                    # server memory stays bounded (TCP pushes back)
+                    await writer.drain()
+                line = await reader.readline()
+        finally:
+            await responses.put(None)
+            with contextlib.suppress(Exception):
+                await drain
+
+    def _admit(self, line: bytes, writer: asyncio.StreamWriter):
+        """Admit one request line; return ``(request id, pending)``.
+
+        ``pending`` is a ready response body (admission errors, shed
+        requests, introspection), a batcher future resolving to
+        ``(result, generation)`` (queries -- the fast path: no
+        per-request task), or a task computing the body (mutations and
+        subscriptions -- the read loop awaits these before admitting
+        anything later on the connection).
+        """
+        try:
+            payload = protocol.decode(line)
+        except ReproError as exc:
+            self.errors += 1
+            return None, protocol.error_payload(str(exc))
+        request_id = payload.get("id")
+        op = payload.get("op", "query")
+        if op == "query":
+            try:
+                return request_id, self.batcher.admit(
+                    protocol.request_spec(payload)
+                )
+            except QueueFull as exc:
+                return request_id, protocol.overloaded_payload(exc.depth)
+            except ReproError as exc:
+                self.errors += 1
+                return request_id, protocol.error_payload(str(exc))
+            except (KeyError, TypeError, ValueError) as exc:
+                self.errors += 1
+                return request_id, protocol.error_payload(
+                    f"bad request: {exc!r}"
+                )
+        if op == "metrics":
+            return request_id, {"status": "ok", **self.metrics()}
+        if op == "healthz":
+            return request_id, self._health()
+        if op not in ("insert", "delete", "subscribe"):
+            self.errors += 1
+            return request_id, protocol.error_payload(
+                f"unknown op {op!r}; choose one of {protocol.OPS}"
+            )
+        task = asyncio.get_running_loop().create_task(
+            self._respond(payload, writer)
+        )
+        return request_id, task
+
+    async def _drain_responses(self, queue: asyncio.Queue,
+                               writer: asyncio.StreamWriter) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            request_id, pending = item
+            if isinstance(pending, dict):
+                payload = pending
+            else:
+                try:
+                    outcome = await pending
+                    payload = (protocol.result_payload(*outcome)
+                               if isinstance(outcome, tuple) else outcome)
+                except Exception as exc:  # defensive: never kill the drain
+                    payload = protocol.error_payload(str(exc))
+                    self.errors += 1
+            if payload is None:
+                continue
+            if request_id is not None:
+                payload["id"] = request_id
+            writer.write(protocol.encode(payload))
+            # flush once per quiet period, not per line -- unless the
+            # transport buffer is backing up (client not reading)
+            if (queue.empty() or writer.transport.get_write_buffer_size()
+                    > MAX_RESPONSE_BACKLOG):
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+
+    async def _respond(self, payload: dict,
+                       writer: asyncio.StreamWriter) -> dict | None:
+        """Compute the response body for one mutation or subscription."""
+        try:
+            op = payload["op"]
+            if op in ("insert", "delete"):
+                return await self._mutate(op, payload)
+            return await self._subscribe(payload, writer)
+        except ReproError as exc:
+            self.errors += 1
+            return protocol.error_payload(str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            self.errors += 1
+            return protocol.error_payload(f"bad request: {exc!r}")
+
+    # -- mutations and the generation swap ----------------------------------
+
+    async def _mutate(self, op: str, payload: dict) -> dict:
+        """Apply one mutation under the exclusive lease; push events."""
+        pid = int(payload["pid"])
+        if op == "insert":
+            location = payload["location"]
+            if isinstance(location, list):
+                location = tuple(location)
+            apply = lambda: self.db.insert_point(pid, location)  # noqa: E731
+        else:
+            apply = lambda: self.db.delete_point(pid)  # noqa: E731
+        loop = asyncio.get_running_loop()
+        # queries admitted before this mutation must run first (at the
+        # old generation); the write lease then drains the running batch
+        await self.batcher.fence()
+        async with self._gate.write_lease():
+            # every in-flight batch has drained; batches admitted behind
+            # us will observe the bumped generation
+            outcome = await loop.run_in_executor(self._executor, apply)
+            generation = self.db.generation
+            refreshed = []
+            for sub in list(self._subscriptions.values()):
+                events = await loop.run_in_executor(
+                    self._executor, sub.monitor.refresh
+                )
+                refreshed.append((sub, events))
+        self.mutations_applied += 1
+        for sub, events in refreshed:
+            for event in events:
+                sub.writer.write(protocol.encode(
+                    protocol.membership_payload(event, generation)
+                ))
+                self.events_pushed += 1
+            # a subscriber that stops reading must not grow the server's
+            # memory without bound: evict it once its socket buffer
+            # backs up past the limit (its connection handler cleans up)
+            if (events and sub.writer.transport.get_write_buffer_size()
+                    > MAX_SUBSCRIBER_BACKLOG):
+                self._subscriptions.pop(sub.writer, None)
+                sub.writer.close()
+        return {
+            "status": "ok",
+            "op": op,
+            "generation": generation,
+            "updated_lists": outcome.affected_nodes,
+            "io": outcome.io,
+        }
+
+    async def _subscribe(self, payload: dict,
+                         writer: asyncio.StreamWriter) -> dict:
+        queries = {int(qid): int(node)
+                   for qid, node in dict(payload["queries"]).items()}
+        k = int(payload.get("k", 1))
+        loop = asyncio.get_running_loop()
+        async with self._gate.write_lease():
+            # monitor registration may materialize K-NN lists: exclusive
+            monitor = await loop.run_in_executor(
+                self._executor, lambda: RnnMonitor(self.db, queries, k=k)
+            )
+            generation = self.db.generation
+        self._subscriptions[writer] = _Subscription(monitor, writer)
+        return {
+            "status": "ok",
+            "subscribed": sorted(queries),
+            "k": k,
+            "generation": generation,
+            "results": {str(qid): monitor.result(qid) for qid in queries},
+        }
+
+    # -- introspection ------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Counters for the ``/metrics`` endpoint (loop-thread only)."""
+        tracker = self.db.tracker
+        cache = self.engine.cache_stats
+        return {
+            "backend": backend_of(self.db),
+            "generation": self.db.generation,
+            "queue_depth": self.batcher.depth,
+            "queries_served": self.queries_served,
+            "mutations_applied": self.mutations_applied,
+            "errors": self.errors,
+            "events_pushed": self.events_pushed,
+            "subscriptions": len(self._subscriptions),
+            "admission": self.batcher.stats.snapshot(),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+            },
+            "counters": {
+                "page_reads": tracker.page_reads,
+                "buffer_hits": tracker.buffer_hits,
+                "nodes_visited": tracker.nodes_visited,
+                "edges_expanded": tracker.edges_expanded,
+                "oracle_prunes": tracker.oracle_prunes,
+            },
+        }
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "generation": self.db.generation,
+            "backend": backend_of(self.db),
+        }
+
+    # -- HTTP (curl / probe surface) ----------------------------------------
+
+    async def _handle_http(self, first: bytes, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, _ = first.decode("latin-1").split(" ", 2)
+        except ValueError:
+            method, path = "GET", "/"
+        while True:  # drain the header block
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+        if path == "/metrics":
+            status, body = "200 OK", self.metrics()
+        elif path == "/healthz":
+            status, body = "200 OK", self._health()
+        else:
+            status, body = "404 Not Found", {"error": f"unknown path {path}"}
+        content = json.dumps(body, indent=2).encode("utf-8") + b"\n"
+        writer.write(
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(content)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+        )
+        if method != "HEAD":  # HEAD answers carry headers only
+            writer.write(content)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+
+class ServerHandle:
+    """A running server on a background thread (tests, benchmarks).
+
+    Exposes the bound :attr:`host` / :attr:`port` and stops the server
+    when the context exits.
+    """
+
+    def __init__(self, server: RknnServer, thread: threading.Thread):
+        self.server = server
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        """Bound interface of the running server."""
+        return self.server.address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound (possibly ephemeral) port of the running server."""
+        return self.server.address[1]
+
+    def stop(self) -> None:
+        """Signal shutdown and join the serving thread."""
+        self.server.request_stop()
+        self._thread.join(timeout=10)
+
+
+@contextlib.contextmanager
+def serve_in_thread(db, *, host: str = "127.0.0.1", port: int = 0,
+                    **kwargs):
+    """Run an :class:`RknnServer` on a daemon thread; yield its handle.
+
+    The canonical embedding for tests, benchmarks and examples::
+
+        with serve_in_thread(db, max_batch=16) as handle:
+            client = ServeClient(handle.host, handle.port)
+            ...
+    """
+    server = RknnServer(db, **kwargs)
+    ready = threading.Event()
+
+    def _run() -> None:
+        asyncio.run(server.run(host, port, ready=lambda _address: ready.set()))
+
+    thread = threading.Thread(target=_run, daemon=True, name="repro-serve")
+    thread.start()
+    if not ready.wait(timeout=10):
+        raise RuntimeError("server failed to start within 10 s")
+    handle = ServerHandle(server, thread)
+    try:
+        yield handle
+    finally:
+        handle.stop()

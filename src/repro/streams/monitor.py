@@ -87,6 +87,16 @@ class BichromaticRnnMonitor:
         self.db.delete_point(pid)
         return self._refresh()
 
+    def refresh(self) -> list[MembershipEvent]:
+        """Re-evaluate after an out-of-band database update.
+
+        For callers that apply ``insert_point`` / ``delete_point``
+        directly on the database (the serving tier routes one mutation
+        to many monitors): recomputes every membership and returns the
+        changes since the last evaluation.
+        """
+        return self._refresh()
+
     def result(self, qid: int) -> list[int]:
         """Current ``bRkNN`` members of a standing query (sorted)."""
         try:
@@ -183,6 +193,16 @@ class RnnMonitor:
     def delete(self, pid: int) -> list[MembershipEvent]:
         """Feed a point deletion; returns the membership changes."""
         self.db.delete_point(pid)
+        return self._refresh()
+
+    def refresh(self) -> list[MembershipEvent]:
+        """Re-evaluate after an out-of-band database update.
+
+        For callers that apply ``insert_point`` / ``delete_point``
+        directly on the database (the serving tier applies one mutation
+        and refreshes every subscribed monitor): recomputes every
+        membership and returns the changes since the last evaluation.
+        """
         return self._refresh()
 
     # -- results and aggregates ---------------------------------------------------

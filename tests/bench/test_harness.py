@@ -6,6 +6,7 @@ import pytest
 
 from repro import GraphDatabase
 from repro.bench.harness import (
+    latency_percentiles,
     run_continuous_workload,
     run_throughput_benchmark,
     run_update_workload,
@@ -100,6 +101,16 @@ class TestThroughputBenchmark:
         report = run_throughput_benchmark(db, specs, workers=2)
         text = "\n".join(report.summary_lines())
         assert "speedup" in text and "workers" in text
+        assert "p95" in text and "p99" in text
+
+    def test_report_carries_per_query_latencies(self, bench_db):
+        db, _ = bench_db
+        specs = throughput_specs(db, distinct=4, repeat=2, seed=1)
+        report = run_throughput_benchmark(db, specs, workers=2)
+        assert len(report.sequential_latencies) == report.queries
+        tail = report.percentiles()
+        assert 0.0 < tail["p50_ms"] <= tail["p95_ms"] <= tail["p99_ms"]
+        assert report.batched_mean_ms > 0.0
 
     def test_module_main_smoke(self, capsys):
         assert throughput.main([
@@ -108,6 +119,28 @@ class TestThroughputBenchmark:
         ]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "sequential" in out
+
+
+class TestLatencyPercentiles:
+    def test_empty_sample_reports_zeros(self):
+        assert latency_percentiles([]) == {
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_nearest_rank_on_known_sample(self):
+        # 100 samples of 1..100 ms: pXX is exactly XX ms
+        sample = [i / 1000.0 for i in range(1, 101)]
+        tail = latency_percentiles(sample)
+        assert tail == {"p50_ms": 50.0, "p95_ms": 95.0, "p99_ms": 99.0}
+
+    def test_single_observation_is_every_percentile(self):
+        tail = latency_percentiles([0.004])
+        assert tail == {"p50_ms": 4.0, "p95_ms": 4.0, "p99_ms": 4.0}
+
+    def test_order_independent(self):
+        sample = [0.005, 0.001, 0.009, 0.002]
+        assert latency_percentiles(sample) == \
+            latency_percentiles(sorted(sample))
 
 
 class TestReport:

@@ -14,8 +14,26 @@ class TestValidation:
     def test_every_kind_constructs(self):
         for kind in KINDS:
             radius = 5.0 if kind == "range" else None
-            spec = QuerySpec(kind, query=0, k=1, radius=radius)
+            route = (0, 1) if kind == "continuous" else None
+            spec = QuerySpec(kind, query=0, k=1, radius=radius, route=route)
             assert spec.kind == kind
+
+    def test_continuous_needs_route(self):
+        with pytest.raises(QueryError, match="route"):
+            QuerySpec("continuous", query=0)
+
+    def test_route_rejected_elsewhere(self):
+        with pytest.raises(QueryError, match="no route"):
+            QuerySpec("rknn", query=0, route=(0, 1))
+
+    def test_continuous_query_is_route_head(self):
+        spec = QuerySpec("continuous", route=[3, 4, 5])
+        assert spec.query == 3 and spec.route == (3, 4, 5)
+
+    def test_continuous_round_trips_through_json(self):
+        spec = QuerySpec("continuous", route=(2, 7), k=2, method="lazy")
+        again = QuerySpec.from_json(spec.to_json())
+        assert again == spec and again.key() == spec.key()
 
     def test_k_must_be_positive(self):
         with pytest.raises(QueryError, match="k must be an integer >= 1"):

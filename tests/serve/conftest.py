@@ -1,0 +1,56 @@
+"""Shared helpers for the serving-tier suite."""
+
+from __future__ import annotations
+
+from repro.api import GraphDatabase
+from repro.compact import CompactDatabase
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import place_node_points
+from repro.points.points import NodePointSet
+from repro.shard import ShardedDatabase
+
+NODES = 100
+DENSITY = 0.1
+SEED = 3
+
+#: Backend constructors of the serve conformance matrix.
+BACKENDS = ("disk", "sharded", "compact", "disk+oracle", "compact+oracle")
+
+
+def build_inputs():
+    """The suite's shared workload inputs: one grid graph with points."""
+    graph = generate_grid(NODES, average_degree=4.0, seed=SEED)
+    points = place_node_points(graph, DENSITY, seed=SEED + 1)
+    return graph, dict(points.items())
+
+
+def build_db(backend: str, graph, placement: dict):
+    """Construct one backend of the conformance matrix."""
+    points = NodePointSet(dict(placement))
+    if backend.startswith("sharded"):
+        db = ShardedDatabase(graph, points, num_shards=4)
+    elif backend.startswith("compact"):
+        db = CompactDatabase(graph, points)
+    else:
+        db = GraphDatabase(graph, points)
+    if backend.endswith("+oracle"):
+        db.build_oracle(4, seed=0)
+    return db
+
+
+def free_nodes(graph, placement: dict, count: int) -> list[int]:
+    """``count`` nodes holding no data point (mutation targets)."""
+    taken = set(placement.values())
+    nodes = [node for node in range(graph.num_nodes) if node not in taken]
+    assert len(nodes) >= count
+    return nodes[:count]
+
+
+def a_route(graph, length: int = 3) -> list[int]:
+    """A short walk along actual edges, starting from node 0."""
+    route = [0]
+    while len(route) < length:
+        neighbors = [v for v, _ in graph.neighbors(route[-1])]
+        nxt = next((v for v in neighbors if v not in route), neighbors[0])
+        route.append(nxt)
+    return route

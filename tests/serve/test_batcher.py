@@ -1,0 +1,161 @@
+"""MicroBatcher: coalescing, flush-on-full, shedding, failure paths."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.spec import QuerySpec
+from repro.serve.batcher import MicroBatcher, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def spec(node: int) -> QuerySpec:
+    return QuerySpec("rknn", query=node, k=1)
+
+
+class _Recorder:
+    """A runner that records every batch it executes."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list[QuerySpec]] = []
+        self.delay = delay
+
+    async def __call__(self, specs):
+        self.batches.append(list(specs))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        return [f"result-{s.query}" for s in specs]
+
+
+class TestValidation:
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(_Recorder(), window=-1.0)
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(_Recorder(), max_batch=0)
+
+    def test_rejects_bad_max_queue(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatcher(_Recorder(), max_queue=0)
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_a_batch(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, window=0.02, max_batch=16)
+            results = await asyncio.gather(*(batcher.submit(spec(i))
+                                             for i in range(5)))
+            await batcher.close()
+            return recorder, results
+
+        recorder, results = run(scenario())
+        assert results == [f"result-{i}" for i in range(5)]
+        assert len(recorder.batches) == 1
+        assert len(recorder.batches[0]) == 5
+
+    def test_full_batch_flushes_before_window(self):
+        async def scenario():
+            recorder = _Recorder()
+            # a long window that a full batch must not wait for
+            batcher = MicroBatcher(recorder, window=5.0, max_batch=4)
+            await asyncio.wait_for(
+                asyncio.gather(*(batcher.submit(spec(i)) for i in range(4))),
+                timeout=1.0,
+            )
+            await batcher.close()
+            return recorder
+
+        recorder = run(scenario())
+        assert len(recorder.batches) == 1
+
+    def test_zero_window_runs_immediately(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, window=0.0)
+            result = await batcher.submit(spec(9))
+            await batcher.close()
+            return recorder, result
+
+        recorder, result = run(scenario())
+        assert result == "result-9"
+        assert recorder.batches == [[spec(9)]]
+
+    def test_oversized_wave_splits_into_max_batch_chunks(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, window=0.01, max_batch=3)
+            await asyncio.gather(*(batcher.submit(spec(i)) for i in range(8)))
+            await batcher.close()
+            return recorder
+
+        recorder = run(scenario())
+        assert sum(len(batch) for batch in recorder.batches) == 8
+        assert all(len(batch) <= 3 for batch in recorder.batches)
+
+    def test_stats_count_batches_and_coalescing(self):
+        async def scenario():
+            recorder = _Recorder()
+            batcher = MicroBatcher(recorder, window=0.02, max_batch=16)
+            await asyncio.gather(*(batcher.submit(spec(i)) for i in range(4)))
+            await batcher.close()
+            return batcher.stats.snapshot()
+
+        stats = run(scenario())
+        assert stats["admitted"] == 4
+        assert stats["batches"] == 1
+        assert stats["coalesced"] == 4
+        assert stats["shed"] == 0
+
+
+class TestBackpressure:
+    def test_sheds_beyond_max_queue(self):
+        async def scenario():
+            recorder = _Recorder(delay=0.05)
+            batcher = MicroBatcher(recorder, window=0.5, max_batch=64,
+                                   max_queue=3)
+            admitted = [asyncio.ensure_future(batcher.submit(spec(i)))
+                        for i in range(3)]
+            await asyncio.sleep(0)  # let the admissions register
+            with pytest.raises(QueueFull):
+                await batcher.submit(spec(99))
+            shed = batcher.stats.shed
+            for task in admitted:
+                task.cancel()
+            await batcher.close()
+            return shed
+
+        assert run(scenario()) == 1
+
+    def test_queue_full_reports_depth(self):
+        error = QueueFull(7)
+        assert error.depth == 7
+        assert "7" in str(error)
+
+
+class TestFailure:
+    def test_runner_exception_fails_the_batch(self):
+        async def failing(specs):
+            raise RuntimeError("engine exploded")
+
+        async def scenario():
+            batcher = MicroBatcher(failing, window=0.0)
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await batcher.submit(spec(1))
+            await batcher.close()
+
+        run(scenario())
+
+    def test_submit_after_close_is_refused(self):
+        async def scenario():
+            batcher = MicroBatcher(_Recorder(), window=0.0)
+            await batcher.close()
+            with pytest.raises(ConnectionError):
+                await batcher.submit(spec(1))
+
+        run(scenario())

@@ -1,0 +1,113 @@
+"""Property test: monitor event streams replay to exact RkNN answers.
+
+For random graphs and interleaved insert/delete bursts, the
+:class:`~repro.streams.monitor.RnnMonitor`'s ``MembershipEvent``
+stream must be *replayable*: a consumer that starts from the initial
+results and applies only joins and leaves must hold, after every
+burst, exactly the set a from-scratch ``rknn`` recomputation over the
+surviving points produces for each standing query.  This is the
+contract the serving tier relies on when it pushes membership events
+to subscribers instead of result snapshots.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import GraphDatabase
+from repro.points.points import NodePointSet
+from repro.streams.monitor import RnnMonitor
+from tests.conftest import build_random_graph
+
+
+def _apply_events(replayed: dict[int, set[int]], events) -> None:
+    """Apply a burst's events to the replayed result sets."""
+    for event in events:
+        members = replayed[event.query_id]
+        if event.kind == "join":
+            assert event.point_id not in members, (
+                f"join for already-present point {event.point_id}"
+            )
+            members.add(event.point_id)
+        else:
+            assert event.kind == "leave"
+            assert event.point_id in members, (
+                f"leave for absent point {event.point_id}"
+            )
+            members.discard(event.point_id)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_event_replay_matches_fresh_rknn_recomputation(data):
+    seed = data.draw(st.integers(min_value=0, max_value=2**20), label="seed")
+    rng = random.Random(seed)
+    graph = build_random_graph(
+        rng,
+        data.draw(st.integers(min_value=8, max_value=20), label="nodes"),
+        data.draw(st.integers(min_value=2, max_value=14), label="extra_edges"),
+    )
+    k = data.draw(st.integers(min_value=1, max_value=2), label="k")
+    query_count = data.draw(st.integers(min_value=1, max_value=3),
+                            label="queries")
+    queries = {qid: node for qid, node in
+               enumerate(rng.sample(range(graph.num_nodes), query_count))}
+
+    db = GraphDatabase(graph, NodePointSet({}))
+    monitor = RnnMonitor(db, queries, k=k)
+    # the replayed state starts from the initial results (empty here)
+    # and is maintained exclusively through membership events
+    replayed = {qid: set(monitor.result(qid)) for qid in queries}
+
+    live: dict[int, int] = {}
+    next_pid = 100
+    bursts = data.draw(st.integers(min_value=1, max_value=4), label="bursts")
+    for _ in range(bursts):
+        burst_len = data.draw(st.integers(min_value=1, max_value=5),
+                              label="burst_len")
+        for _ in range(burst_len):
+            delete = live and data.draw(st.booleans(), label="delete?")
+            if delete:
+                victim = data.draw(st.sampled_from(sorted(live)),
+                                   label="victim")
+                del live[victim]
+                events = monitor.delete(victim)
+            else:
+                free = [node for node in range(graph.num_nodes)
+                        if node not in set(live.values())]
+                if not free:
+                    continue
+                node = data.draw(st.sampled_from(free), label="node")
+                live[next_pid] = node
+                events = monitor.insert(next_pid, node)
+                next_pid += 1
+            _apply_events(replayed, events)
+
+        # after every burst: replayed state == from-scratch recomputation
+        fresh = GraphDatabase(graph, NodePointSet(dict(live)))
+        for qid, node in queries.items():
+            expected = fresh.rknn(node, k, method="eager").points
+            assert sorted(replayed[qid]) == list(expected), (
+                f"seed={seed} qid={qid} node={node} live={live}"
+            )
+            # the events also kept the monitor's own view consistent
+            assert monitor.result(qid) == sorted(replayed[qid])
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_refresh_without_mutation_emits_nothing(seed):
+    """`refresh()` is idempotent: no database change, no events."""
+    rng = random.Random(seed)
+    graph = build_random_graph(rng, rng.randint(6, 14), rng.randint(2, 8))
+    placement = {}
+    for pid in range(rng.randint(0, 4)):
+        free = [n for n in range(graph.num_nodes)
+                if n not in placement.values()]
+        placement[100 + pid] = rng.choice(free)
+    db = GraphDatabase(graph, NodePointSet(placement))
+    monitor = RnnMonitor(db, {0: rng.randrange(graph.num_nodes)}, k=1)
+    before = monitor.result(0)
+    assert monitor.refresh() == []
+    assert monitor.result(0) == before

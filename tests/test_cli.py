@@ -95,6 +95,46 @@ class TestQuery:
         assert "page I/Os" in capsys.readouterr().out
 
 
+class TestQueryBackends:
+    """`repro query` accepts the same backend flags as `repro batch`."""
+
+    def test_compact_backend(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--k", "2", "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "R2NN(5)" in out and "compact" in out
+        assert "0 page I/Os" in out  # compact adjacency reads are free
+
+    def test_sharded_backend(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--k", "2", "--shards", "4"]) == 0
+        assert "4 shard(s)" in capsys.readouterr().out
+
+    def test_oracle_flag(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--k", "2", "--oracle", "--oracle-landmarks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle: 4 landmarks" in out and "R2NN(5)" in out
+
+    def test_backends_agree_on_answers(self, saved_graph, capsys):
+        answers = set()
+        for flags in ([], ["--compact"], ["--shards", "3"], ["--oracle"]):
+            assert main(["query", str(saved_graph), "--query", "7",
+                         "--k", "2", *flags]) == 0
+            answers.add(capsys.readouterr().out.splitlines()[-2])
+        assert len(answers) == 1
+
+    def test_compact_and_shards_conflict(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--compact", "--shards", "2"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_negative_shards_rejected(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--shards", "-1"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+
 class TestBatch:
     @pytest.fixture
     def specs_file(self, tmp_path):
