@@ -201,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--buffer-pages", type=int, default=256)
     batch.add_argument("--no-plan", action="store_true",
                        help="execute in file order (no locality planning)")
+    batch.add_argument("--no-batch-kernel", action="store_true",
+                       help="disable the vectorized compact batch kernel "
+                            "(scalar per-query execution)")
     batch.add_argument("--quiet", action="store_true",
                        help="print only the batch summary")
     _add_backend_arguments(batch)
@@ -443,7 +446,8 @@ def _batch(args: argparse.Namespace) -> int:
         raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
     graph, points = load_graph(args.graph)
     db, backend = _open_backend(args, graph, points)
-    engine = db.engine(cache_entries=args.cache_size, plan=not args.no_plan)
+    engine = db.engine(cache_entries=args.cache_size, plan=not args.no_plan,
+                       batch_kernel=not args.no_batch_kernel)
     for round_no in range(args.repeat):
         outcome = engine.run_batch(specs, workers=args.workers)
         if not args.quiet:

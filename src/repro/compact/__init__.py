@@ -8,8 +8,16 @@ disk protocol (:mod:`repro.compact.store`), and exposed behind
 (:mod:`repro.compact.db`) that answer every restricted query
 identically to the disk-backed and sharded databases -- with zero page
 I/O and no buffer bookkeeping on the adjacency hot path.
+
+Because the flat arrays support the buffer protocol, the backend also
+carries a vectorized batch kernel (:mod:`repro.compact.batch`):
+``batch_rknn()`` answers a whole batch of RkNN specs in one
+multi-source bucketed Dijkstra over numpy views of the CSR arrays,
+bitwise identical to the scalar loop and charged to the same cost
+model.
 """
 
+from repro.compact.batch import BatchRequest, batch_rknn_kernel, numpy_available
 from repro.compact.csr import CSRDiGraph, CSRGraph
 from repro.compact.db import CompactDatabase, CompactDirectedDatabase
 from repro.compact.store import (
@@ -19,6 +27,7 @@ from repro.compact.store import (
 )
 
 __all__ = [
+    "BatchRequest",
     "CSRDiGraph",
     "CSRGraph",
     "CompactDatabase",
@@ -26,4 +35,6 @@ __all__ = [
     "CompactDirectedDatabase",
     "CompactGraphStore",
     "MemoryKnnStore",
+    "batch_rknn_kernel",
+    "numpy_available",
 ]

@@ -37,6 +37,28 @@ from repro.graph.graph import Graph
 AdjacencyLists = Sequence[Sequence[tuple[int, float]]]
 
 
+def _numpy_views(offsets: array, targets: array, weights: array):
+    """Zero-copy numpy views over one CSR triple (buffer protocol).
+
+    The stdlib arrays remain the storage; the views only reinterpret
+    their memory, so building them costs neither time nor space.  A
+    missing numpy raises :class:`~repro.errors.GraphError` -- callers
+    gate the vectorized path on
+    :func:`repro.compact.batch.numpy_available` first.
+    """
+    try:
+        import numpy as np
+    except ImportError as exc:  # pragma: no cover - numpy ships in CI
+        raise GraphError(
+            "numpy is required for the vectorized CSR views"
+        ) from exc
+    return (
+        np.frombuffer(offsets, dtype=np.int64),
+        np.frombuffer(targets, dtype=np.int64),
+        np.frombuffer(weights, dtype=np.float64),
+    )
+
+
 def _build_arrays(
     lists: AdjacencyLists,
 ) -> tuple[array, array, array]:
@@ -202,6 +224,7 @@ class CSRGraph:
         self.num_edges = len(self.targets) // 2
         self._memo: list[tuple[tuple[int, float], ...] | None]
         self._memo = [None] * self.num_nodes
+        self._flat = None
 
     @staticmethod
     def _check_symmetry(lists: AdjacencyLists) -> None:
@@ -256,6 +279,21 @@ class CSRGraph:
             self._memo[node] = memo
         return memo
 
+    def flat(self):
+        """Numpy views of ``(offsets, targets, weights)`` (zero-copy).
+
+        The views share the kernel's memory through the buffer
+        protocol -- nothing is copied and the arrays stay the single
+        source of truth.  Built once and memoized; the vectorized
+        batch kernel (:mod:`repro.compact.batch`) traverses adjacency
+        through them.  Raises :class:`~repro.errors.GraphError` when
+        numpy is unavailable (callers gate on
+        :func:`repro.compact.batch.numpy_available`).
+        """
+        if self._flat is None:
+            self._flat = _numpy_views(self.offsets, self.targets, self.weights)
+        return self._flat
+
     @property
     def nbytes(self) -> int:
         """Bytes held by the three flat arrays."""
@@ -305,6 +343,8 @@ class CSRDiGraph:
         self._out_memo = [None] * self.num_nodes
         self._in_memo: list[tuple[tuple[int, float], ...] | None]
         self._in_memo = [None] * self.num_nodes
+        self._out_flat = None
+        self._in_flat = None
 
     # -- constructors ----------------------------------------------------
 
@@ -352,6 +392,31 @@ class CSRDiGraph:
             memo = tuple(zip(self._in_targets[lo:hi], self._in_weights[lo:hi]))
             self._in_memo[node] = memo
         return memo
+
+    def out_flat(self):
+        """Numpy views of the out-arc ``(offsets, targets, weights)``.
+
+        Zero-copy and memoized, like :meth:`CSRGraph.flat`; the
+        directed batch kernel expands candidate points forward over
+        these views (distances ``d(p -> .)``).
+        """
+        if self._out_flat is None:
+            self._out_flat = _numpy_views(
+                self._out_offsets, self._out_targets, self._out_weights
+            )
+        return self._out_flat
+
+    def in_flat(self):
+        """Numpy views of the in-arc ``(offsets, targets, weights)``.
+
+        Zero-copy and memoized; the backward counterpart of
+        :meth:`out_flat`.
+        """
+        if self._in_flat is None:
+            self._in_flat = _numpy_views(
+                self._in_offsets, self._in_targets, self._in_weights
+            )
+        return self._in_flat
 
     @property
     def nbytes(self) -> int:

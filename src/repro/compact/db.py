@@ -25,6 +25,11 @@ from __future__ import annotations
 import copy
 from typing import AbstractSet, Iterable, Sequence
 
+from repro.compact.batch import (
+    BatchRequest,
+    batch_rknn_kernel,
+    numpy_available,
+)
 from repro.compact.store import (
     CompactDiGraphStore,
     CompactGraphStore,
@@ -105,6 +110,33 @@ class _CompactMeasureMixin:
         diff = self.tracker.diff(before)
         return outcome, diff
 
+    def _batch_measure(self, flat, requests, oracle):
+        """Run the vectorized kernel under this facade's cost tracking.
+
+        The kernel's per-request charges are merged into the facade
+        tracker inside the timed block (exactly where the scalar path
+        charges its work), then the measured CPU is apportioned evenly
+        across the batch so per-query records stay comparable to
+        scalar ones.
+        """
+        before = self.tracker.snapshot()
+        with self.tracker.time_block():
+            answers, charges = batch_rknn_kernel(
+                flat, self.store.num_nodes, sorted(self.points.items()),
+                requests, oracle=oracle,
+            )
+            for charge in charges:
+                self.tracker.merge(charge)
+        diff = self.tracker.diff(before)
+        cpu_each = diff.cpu_seconds / max(1, len(requests))
+        results = []
+        for answer, charge in zip(answers, charges):
+            charge.cpu_seconds = cpu_each
+            results.append(
+                RnnResult(tuple(answer), charge.io_operations, cpu_each, charge)
+            )
+        return tuple(results)
+
     # -- cost measurement ---------------------------------------------------
 
     def reset_stats(self) -> None:
@@ -128,10 +160,12 @@ class _CompactMeasureMixin:
         ----------
         **kwargs:
             Forwarded to the engine constructor (``cache_entries``,
-            ``calibrator``, ``plan``).  The engine detects the compact
-            backend: worker sessions share these read-only arrays
-            instead of cloning storage, so spinning up a worker costs
-            a tracker, not a buffer pool.
+            ``calibrator``, ``plan``, ``batch_kernel``).  The engine
+            detects the compact backend: worker sessions share these
+            read-only arrays instead of cloning storage, and batched
+            RkNN specs execute through the vectorized
+            :meth:`~CompactDatabase.batch_rknn` kernel unless
+            ``batch_kernel=False``.
 
         Returns
         -------
@@ -505,6 +539,86 @@ class CompactDatabase(_CompactMeasureMixin):
         runner = eager_m_rknn_route if route else eager_m_rknn
         return runner(self.view, mat, sources if route else sources[0], k, exclude)
 
+    # -- vectorized batch kernel --------------------------------------------
+
+    #: Query kinds the vectorized batch kernel serves (engine dispatch).
+    batch_kinds = ("rknn", "continuous")
+
+    def batch_rknn(self, specs) -> tuple[RnnResult, ...]:
+        """Answer a batch of RkNN specs in one vectorized CSR pass.
+
+        All candidate expansions run together as a bucketed
+        multi-source Dijkstra over numpy views of the CSR arrays (see
+        :mod:`repro.compact.batch`), with the attached landmark oracle
+        -- when profitable -- filtering whole candidate rows up front.
+        Answers are bitwise identical to looping the scalar facade
+        over the specs; each spec is validated exactly as its scalar
+        counterpart would validate it.
+
+        Parameters
+        ----------
+        specs:
+            :class:`~repro.engine.spec.QuerySpec` values of kind
+            ``"rknn"`` or ``"continuous"`` (see :attr:`batch_kinds`).
+            Methods are accepted for surface parity but do not change
+            the vectorized plan (every method answers identically).
+
+        Returns
+        -------
+        tuple[RnnResult, ...]
+            One result per spec, in order, each carrying its share of
+            the batch's charged cost (zero I/O; the per-query counters
+            sum to the batch total).  Without numpy the batch falls
+            back to the scalar per-spec loop, answers unchanged.
+        """
+        specs = list(specs)
+        requests = []
+        for spec in specs:
+            if spec.kind == "rknn":
+                self._check_query(spec.query, spec.k, spec.method)
+                sources = (spec.query,)
+            elif spec.kind == "continuous":
+                validate_route(self.view, spec.route)
+                self._check_query(spec.route[0], spec.k, spec.method)
+                sources = tuple(spec.route)
+            else:
+                raise QueryError(
+                    f"batch_rknn serves kinds {self.batch_kinds}, "
+                    f"got {spec.kind!r}"
+                )
+            if spec.method == "eager-m":
+                mat = self._require_mat()
+                if spec.k > mat.capacity:
+                    raise QueryError(
+                        f"k={spec.k} exceeds the materialized capacity "
+                        f"K={mat.capacity}"
+                    )
+            requests.append(
+                BatchRequest(sources, spec.k, frozenset(spec.exclude))
+            )
+        if not specs:
+            return ()
+        if not numpy_available():
+            return tuple(self._scalar_batch(specs))
+        return self._batch_measure(self.store.csr.flat(), requests, self.oracle)
+
+    def _scalar_batch(self, specs):
+        """Per-spec scalar loop: the numpy-free ``batch_rknn`` fallback."""
+        results = []
+        for spec in specs:
+            route = spec.kind == "continuous"
+            sources = list(spec.route) if route else [spec.query]
+            points, diff = self._measure(
+                lambda sources=sources, spec=spec, route=route: self._run_rknn(
+                    sources, spec.k, spec.method, spec.exclude, route=route
+                )
+            )
+            results.append(
+                RnnResult(tuple(points), diff.io_operations,
+                          diff.cpu_seconds, diff)
+            )
+        return results
+
     # -- bichromatic RkNN ---------------------------------------------------
 
     def bichromatic_rknn(
@@ -837,6 +951,71 @@ class CompactDirectedDatabase(_CompactMeasureMixin):
             )
         )
         return RnnResult(tuple(points), diff.io_operations, diff.cpu_seconds, diff)
+
+    # -- vectorized batch kernel --------------------------------------------
+
+    #: Query kinds the vectorized batch kernel serves (engine dispatch).
+    batch_kinds = ("rknn",)
+
+    def batch_rknn(self, specs) -> tuple[RnnResult, ...]:
+        """Answer a batch of directed RkNN specs in one vectorized pass.
+
+        Candidate points expand *forward* over the out-arc CSR views
+        (distances ``d(p -> .)``), and the membership test compares
+        ``d(p -> q)`` against the point's k-th nearest competitor --
+        the directed RkNN definition.  Answers are bitwise identical
+        to looping :meth:`rknn` over the specs.
+
+        Parameters
+        ----------
+        specs:
+            :class:`~repro.engine.spec.QuerySpec` values of kind
+            ``"rknn"`` (see :attr:`batch_kinds`).
+
+        Returns
+        -------
+        tuple[RnnResult, ...]
+            One result per spec, in order; without numpy the batch
+            falls back to the scalar per-spec loop.
+        """
+        specs = list(specs)
+        requests = []
+        for spec in specs:
+            if spec.kind != "rknn":
+                raise QueryError(
+                    f"batch_rknn serves kinds {self.batch_kinds}, "
+                    f"got {spec.kind!r}"
+                )
+            self._check(spec.query, spec.k, spec.method)
+            if spec.method == "eager-m" and spec.k > self.materialized.capacity:
+                raise QueryError(
+                    f"k={spec.k} exceeds the materialized capacity "
+                    f"K={self.materialized.capacity}"
+                )
+            requests.append(
+                BatchRequest((spec.query,), spec.k, frozenset(spec.exclude))
+            )
+        if not specs:
+            return ()
+        if not numpy_available():
+            return tuple(self._scalar_batch(specs))
+        return self._batch_measure(self.store.csr.out_flat(), requests, None)
+
+    def _scalar_batch(self, specs):
+        """Per-spec scalar loop: the numpy-free ``batch_rknn`` fallback."""
+        results = []
+        for spec in specs:
+            points, diff = self._measure(
+                lambda spec=spec: directed_rknn(
+                    self.view, spec.query, spec.k, spec.method,
+                    self.materialized, spec.exclude,
+                )
+            )
+            results.append(
+                RnnResult(tuple(points), diff.io_operations,
+                          diff.cpu_seconds, diff)
+            )
+        return results
 
     def knn(
         self,

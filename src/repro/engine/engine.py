@@ -23,7 +23,11 @@ three cooperating mechanisms:
   assigned to workers, so independent shards execute concurrently;
   over a **compact** backend (:mod:`repro.compact`) worker sessions
   share the read-only CSR arrays -- a session is just a private
-  tracker, so there is no per-worker storage to clone or warm.
+  tracker, so there is no per-worker storage to clone or warm -- and
+  the RkNN / continuous specs of each chunk execute through the
+  backend's vectorized ``batch_rknn`` numpy kernel
+  (:mod:`repro.compact.batch`) in one pass instead of a per-spec
+  Python loop (``batch_kernel=False`` restores the scalar loop).
 
 Results come back in the caller's original batch order and are
 bitwise-identical to a sequential loop over the facade (the engine
@@ -49,6 +53,7 @@ from repro.engine.planner import (
     BatchPlan,
     backend_of,
     home_shard,
+    kernel_batch_kinds,
     plan_batch,
     resolve_method,
 )
@@ -132,6 +137,15 @@ class QueryEngine:
         workers contend for the same shard's pages.  Ignored for
         unsharded databases; ``False`` falls back to contiguous
         chunking.
+    batch_kernel:
+        Vectorized batch dispatch (default on).  Over a compact
+        backend, the cache-missing RkNN / continuous specs of a batch
+        (or of a worker's chunk) execute through the database's
+        ``batch_rknn`` numpy kernel in one pass instead of a per-spec
+        loop -- answers are bitwise identical either way, and cached
+        results stay keyed on ``(generation, spec)`` exactly like
+        scalar ones.  ``False`` forces the scalar loop (the
+        ``--no-batch-kernel`` CLI flag and A/B benchmarks use this).
     """
 
     def __init__(
@@ -142,12 +156,14 @@ class QueryEngine:
         calibrator=None,
         plan: bool = True,
         shard_parallel: bool = True,
+        batch_kernel: bool = True,
     ):
         self.db = db
         self.cache = ResultCache(cache_entries)
         self.calibrator = calibrator
         self.plan_batches = plan
         self.shard_parallel = shard_parallel
+        self.batch_kernel = batch_kernel
 
     @property
     def backend(self) -> str:
@@ -263,8 +279,8 @@ class QueryEngine:
         if not pending:
             return 0
         if workers == 1 or len(pending) == 1:
-            for index, spec in pending:
-                results[index] = self._execute(self.db, spec)
+            for index, result in self._run_items(self.db, pending):
+                results[index] = result
         else:
             # backend="sharded": whole shard buckets per worker.
             # backend="compact"/"disk": contiguous planner-order chunks
@@ -301,8 +317,35 @@ class QueryEngine:
         thread-safe to merge concurrently).
         """
         session = self.db.read_clone()
-        outcomes = [(index, self._execute(session, spec)) for index, spec in chunk]
-        return outcomes, session
+        return self._run_items(session, chunk), session
+
+    def _run_items(self, db, items: list[tuple[int, QuerySpec]]) -> list:
+        """Execute ``(index, spec)`` pairs on ``db``, vectorizing when it pays.
+
+        Over a compact backend with :attr:`batch_kernel` enabled, the
+        specs the database's ``batch_rknn`` kernel can serve (see
+        :func:`repro.engine.planner.kernel_batch_kinds`) run as one
+        vectorized pass; everything else -- and lone batchable specs,
+        which gain nothing from a one-row table -- takes the scalar
+        per-spec path.  Answers are identical either way, and the
+        caller's ``cache.put`` keying by ``(generation, spec.key())``
+        is untouched by the dispatch.
+        """
+        kinds = kernel_batch_kinds(db) if self.batch_kernel else ()
+        batchable = [item for item in items if item[1].kind in kinds]
+        outcomes: list[tuple[int, object]] = []
+        if len(batchable) >= 2:
+            answers = db.batch_rknn([spec for _, spec in batchable])
+            outcomes.extend(
+                (index, result)
+                for (index, _), result in zip(batchable, answers)
+            )
+            chosen = {index for index, _ in batchable}
+            rest = [item for item in items if item[0] not in chosen]
+        else:
+            rest = items
+        outcomes.extend((index, self._execute(db, spec)) for index, spec in rest)
+        return outcomes
 
     def _execute(self, db, spec: QuerySpec):
         if spec.kind == "rknn":

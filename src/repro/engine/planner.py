@@ -121,6 +121,23 @@ def backend_of(db) -> str:
     return "disk"
 
 
+def kernel_batch_kinds(db) -> tuple[str, ...]:
+    """Query kinds ``db`` can answer through a vectorized batch kernel.
+
+    Only the compact backend carries one (``batch_rknn`` over the CSR
+    flat arrays); it advertises the kinds it vectorizes through a
+    ``batch_kinds`` attribute (``("rknn", "continuous")`` undirected,
+    ``("rknn",)`` directed).  Every other backend -- and a compact
+    facade without the kernel -- returns ``()``, so the engine's
+    dispatch degrades to the scalar per-spec loop.
+    """
+    if backend_of(db) != "compact":
+        return ()
+    if getattr(db, "batch_rknn", None) is None:
+        return ()
+    return tuple(getattr(db, "batch_kinds", ()))
+
+
 def home_shard(db, query) -> int:
     """Shard owning a query's start location (0 for unsharded backends).
 

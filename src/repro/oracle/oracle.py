@@ -66,6 +66,7 @@ class DistanceOracle:
             for v, dist in enumerate(table):
                 labels[v * stride + i] = dist
         self._labels = labels
+        self._matrix = None
 
     @classmethod
     def from_labels(
@@ -121,6 +122,29 @@ class DistanceOracle:
             if total < best:
                 best = total
         return best
+
+    def labels_matrix(self):
+        """Node-major ``(num_nodes, num_landmarks)`` numpy label view.
+
+        Zero-copy over the flat label array (buffer protocol) and
+        memoized, so the vectorized batch kernel
+        (:mod:`repro.compact.batch`) can evaluate whole candidate sets
+        of ALT bounds in one broadcast.  The view is read-only; the
+        flat array stays the single source of truth.  Raises
+        :class:`~repro.errors.QueryError` when numpy is unavailable.
+        """
+        if self._matrix is None:
+            try:
+                import numpy as np
+            except ImportError as exc:  # pragma: no cover - numpy in CI
+                raise QueryError(
+                    "numpy is required for the vectorized label view"
+                ) from exc
+            matrix = np.frombuffer(self._labels, dtype=np.float64)
+            matrix = matrix.reshape(self.num_nodes, self.num_landmarks)
+            matrix.flags.writeable = False
+            self._matrix = matrix
+        return self._matrix
 
     @property
     def storage_entries(self) -> int:

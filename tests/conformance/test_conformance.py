@@ -225,6 +225,107 @@ def test_backends_agree_directed(seed):
         )
 
 
+@pytest.mark.parametrize("oracle", (False, True), ids=("plain", "oracle"))
+@pytest.mark.parametrize("seed", range(10), ids=lambda s: f"seed{s}")
+def test_batch_kernel_agrees_across_backends(seed, oracle):
+    """The vectorized batch kernel answers exactly like the scalar
+    paths of every backend -- K in {1, 4}, every method, excludes and
+    route specs, with and without the landmark oracle attached."""
+    from repro import QuerySpec
+
+    (graph, points, _, queries, route,
+     _, delete_pid, _) = _undirected_case(seed)
+    exclude = frozenset({delete_pid})
+    specs = []
+    for query in queries:
+        for k in (1, 4):
+            specs.append(QuerySpec("rknn", query=query, k=k, method="eager"))
+            specs.append(QuerySpec("rknn", query=query, k=k, method="lazy",
+                                   exclude=exclude))
+            specs.append(QuerySpec("rknn", query=query, k=k, method="eager-m"))
+    specs.append(QuerySpec("continuous", route=tuple(route), k=1,
+                           method="eager"))
+
+    def build(factory):
+        db = factory()
+        db.materialize(MATERIALIZE_K)
+        if oracle:
+            db.build_oracle(3 + seed % 3, seed=seed)
+        return db
+
+    def scalar_answers(db):
+        answers = []
+        for spec in specs:
+            if spec.kind == "continuous":
+                answers.append(
+                    db.continuous_rknn(list(spec.route), spec.k,
+                                       method=spec.method).points
+                )
+            else:
+                answers.append(
+                    db.rknn(spec.query, spec.k, method=spec.method,
+                            exclude=spec.exclude).points
+                )
+        return answers
+
+    baseline = scalar_answers(build(lambda: GraphDatabase(graph, points)))
+    scalar_rows = {
+        "sharded-K4": build(lambda: ShardedDatabase(graph, points,
+                                                    num_shards=4)),
+        "compact-scalar": build(lambda: CompactDatabase(graph, points)),
+    }
+    for name, db in scalar_rows.items():
+        assert scalar_answers(db) == baseline, (
+            f"seed={seed}: backend {name!r} diverges from the disk store "
+            f"(reproduce with tests/conformance -k 'seed{seed}')"
+        )
+
+    kernel_db = build(lambda: CompactDatabase(graph, points))
+    direct = [result.points for result in kernel_db.batch_rknn(specs)]
+    assert direct == baseline, (
+        f"seed={seed}: batch_rknn diverges from the scalar backends "
+        f"(reproduce with tests/conformance -k 'seed{seed}')"
+    )
+
+    engine_db = build(lambda: CompactDatabase(graph, points))
+    outcome = engine_db.engine().run_batch(specs)
+    via_engine = [result.points for result in outcome.results]
+    assert via_engine == baseline, (
+        f"seed={seed}: engine batch-kernel dispatch diverges "
+        f"(reproduce with tests/conformance -k 'seed{seed}')"
+    )
+
+
+@pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
+def test_batch_kernel_agrees_directed(seed):
+    """The directed batch kernel (out-CSR expansion) matches the
+    scalar directed backends for K in {1, 4} under every method."""
+    from repro import QuerySpec
+
+    graph, points, queries, _, _, _ = _directed_case(seed)
+    specs = [
+        QuerySpec("rknn", query=query, k=k, method=method)
+        for query in queries
+        for k in (1, 4)
+        for method in DIRECTED_METHODS
+    ]
+
+    disk = DirectedGraphDatabase(graph, points)
+    disk.materialize(MATERIALIZE_K)
+    baseline = [
+        disk.rknn(spec.query, spec.k, method=spec.method).points
+        for spec in specs
+    ]
+
+    compact = CompactDirectedDatabase(graph, points)
+    compact.materialize(MATERIALIZE_K)
+    batched = [result.points for result in compact.batch_rknn(specs)]
+    assert batched == baseline, (
+        f"seed={seed}: directed batch_rknn diverges from the disk store "
+        f"(reproduce with tests/conformance -k 'seed{seed}')"
+    )
+
+
 @pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
 def test_engine_batches_agree_across_backends(seed):
     """The batch engine returns identical answers on every backend,

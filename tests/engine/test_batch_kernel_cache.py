@@ -1,0 +1,82 @@
+"""Generation safety of batch-kernel answers in the engine cache.
+
+The engine stores every result under ``(db generation, spec.key())``.
+Answers produced by the vectorized batch kernel flow through exactly
+the same ``cache.put`` as scalar ones, so a point mutation between two
+identical batches must invalidate every vectorized entry -- a stale
+batched answer served after an update would be a silent correctness
+hole no throughput win excuses.  These tests pin that contract and its
+flip side: at an unchanged generation, a repeated batch is served
+entirely from cache without re-entering the kernel.
+"""
+
+from repro import CompactDatabase, NodePointSet, QuerySpec
+from repro.datasets.grid import generate_grid
+
+
+def _fixture():
+    graph = generate_grid(100, average_degree=4.0, seed=5)
+    points = NodePointSet({pid: node for pid, node in
+                           enumerate(range(0, 40, 5))})
+    specs = [QuerySpec("rknn", query=q, k=2, method="eager")
+             for q in (3, 17, 42, 66, 91)]
+    return graph, points, specs
+
+
+def _answers(outcome):
+    return [result.points for result in outcome.results]
+
+
+def test_mutation_invalidates_batched_answers():
+    graph, points, specs = _fixture()
+    db = CompactDatabase(graph, points)
+    engine = db.engine()
+
+    first = engine.run_batch(specs)
+    assert first.misses == len(specs) and first.hits == 0
+
+    # placing the new point on a query node puts it at distance zero
+    # from that query: it must join the recomputed answer
+    db.insert_point(900, specs[2].query)
+
+    second = engine.run_batch(specs)
+    assert second.hits == 0, (
+        "a stale vectorized answer was served across a generation bump"
+    )
+    assert second.misses == len(specs)
+
+    # the recomputed batch must equal a fresh scalar pass over the
+    # mutated database, not the pre-mutation answers
+    fresh = CompactDatabase(graph, db.points)
+    expected = [fresh.rknn(s.query, s.k, method=s.method).points
+                for s in specs]
+    assert _answers(second) == expected
+    assert _answers(second) != _answers(first), (
+        "the inserted point should appear in some reverse neighborhood; "
+        "widen the fixture if this ever degenerates"
+    )
+
+
+def test_unchanged_generation_serves_batch_from_cache():
+    graph, points, specs = _fixture()
+    db = CompactDatabase(graph, points)
+    engine = db.engine()
+
+    first = engine.run_batch(specs)
+    again = engine.run_batch(specs)
+    assert again.hits == len(specs) and again.misses == 0
+    assert _answers(again) == _answers(first)
+
+
+def test_scalar_and_batch_kernel_share_cache_entries():
+    """A batch-kernel answer satisfies a later scalar-path look-up for
+    the same spec (and vice versa): one key space, one contract."""
+    graph, points, specs = _fixture()
+    db = CompactDatabase(graph, points)
+    engine = db.engine()
+    engine.run_batch(specs)
+
+    solo = engine.run(specs[0])
+    outcome = engine.run_batch(specs)
+    assert outcome.hits == len(specs)
+    assert solo.points == outcome.results[0].points

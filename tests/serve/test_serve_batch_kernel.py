@@ -1,0 +1,95 @@
+"""Serving the compact backend through the vectorized batch kernel.
+
+The server's micro-batcher coalesces concurrent requests into one
+engine batch; on the compact backend every all-RkNN batch of two or
+more specs now runs through the vectorized kernel
+(:mod:`repro.compact.batch`).  This test hammers such a workload while
+a second client races insert/delete mutations, then replays the
+mutation log into per-generation reference facades: every response
+must equal a direct scalar call at its claimed generation, and no
+response may mix generations.  A vectorized fast path that ever served
+a cross-generation answer would fail here first.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, serve_in_thread
+
+from tests.serve.conftest import build_db, build_inputs, free_nodes
+
+
+def _rknn_payloads():
+    payloads = []
+    for node in range(0, 60, 6):
+        payloads.append({"op": "query", "kind": "rknn", "query": node,
+                         "k": 2, "method": "eager"})
+        payloads.append({"op": "query", "kind": "rknn", "query": node + 1,
+                         "k": 1, "method": "lazy"})
+    return payloads
+
+
+@pytest.mark.slow
+def test_batched_rknn_responses_hold_single_generation():
+    graph, placement = build_inputs()
+    db = build_db("compact", graph, placement)
+    payloads = _rknn_payloads()
+    targets = free_nodes(graph, placement, 3)
+    mutations = [("insert", 800 + i, node) for i, node in enumerate(targets)]
+    mutations.append(("delete", 800, None))
+
+    records = []  # (payload, response)
+    with serve_in_thread(db, window=0.002, max_batch=8) as handle:
+        stop = threading.Event()
+
+        def hammer():
+            with ServeClient(handle.host, handle.port) as client:
+                while not stop.is_set():
+                    for payload, response in zip(payloads,
+                                                 client.pipeline(payloads)):
+                        records.append((payload, response))
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        with ServeClient(handle.host, handle.port) as mutator:
+            for op, pid, node in mutations:
+                watermark = len(records) + 5
+                deadline = time.monotonic() + 10
+                while len(records) < watermark and time.monotonic() < deadline:
+                    time.sleep(0.001)
+                if op == "insert":
+                    assert mutator.insert(pid, node)["status"] == "ok"
+                else:
+                    assert mutator.delete(pid)["status"] == "ok"
+        stop.set()
+        thread.join(timeout=30)
+
+    assert records, "no queries completed"
+
+    placement_now = dict(placement)
+    references = {0: build_db("compact", graph, placement_now)}
+    for generation, (op, pid, node) in enumerate(mutations, start=1):
+        if op == "insert":
+            placement_now[pid] = node
+        else:
+            del placement_now[pid]
+        references[generation] = build_db("compact", graph,
+                                          dict(placement_now))
+
+    seen = set()
+    for payload, response in records:
+        assert response["status"] == "ok", (payload, response)
+        generation = response["generation"]
+        assert generation in references, (
+            f"response claims unknown generation {generation}"
+        )
+        seen.add(generation)
+        reference = references[generation]
+        expected = list(reference.rknn(payload["query"], payload["k"],
+                                       method=payload["method"]).points)
+        assert response["points"] == expected, (
+            f"{payload} diverged at generation {generation}"
+        )
+    assert len(seen) > 1, "workload never raced a mutation"
