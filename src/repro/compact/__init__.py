@@ -15,11 +15,19 @@ carries a vectorized batch kernel (:mod:`repro.compact.batch`):
 multi-source bucketed Dijkstra over numpy views of the CSR arrays,
 bitwise identical to the scalar loop and charged to the same cost
 model.
+
+Mutations go through an LSM-style delta overlay
+(:mod:`repro.compact.overlay`): the CSR arrays are an immutable base
+generation, every point/edge insert-delete appends to a log, readers
+pin a ``(base_generation, delta_epoch)`` snapshot stamp, and
+``compact()`` folds the log into a fresh base -- writes never drain
+readers.
 """
 
 from repro.compact.batch import BatchRequest, batch_rknn_kernel, numpy_available
 from repro.compact.csr import CSRDiGraph, CSRGraph
 from repro.compact.db import CompactDatabase, CompactDirectedDatabase
+from repro.compact.overlay import DeltaOp, DeltaOverlay, OverlayGraphStore
 from repro.compact.store import (
     CompactDiGraphStore,
     CompactGraphStore,
@@ -34,7 +42,10 @@ __all__ = [
     "CompactDiGraphStore",
     "CompactDirectedDatabase",
     "CompactGraphStore",
+    "DeltaOp",
+    "DeltaOverlay",
     "MemoryKnnStore",
+    "OverlayGraphStore",
     "batch_rknn_kernel",
     "numpy_available",
 ]

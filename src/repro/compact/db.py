@@ -30,6 +30,7 @@ from repro.compact.batch import (
     batch_rknn_kernel,
     numpy_available,
 )
+from repro.compact.overlay import DeltaOp, DeltaOverlay, OverlayGraphStore
 from repro.compact.store import (
     CompactDiGraphStore,
     CompactGraphStore,
@@ -61,11 +62,12 @@ from repro.core.nn import range_nn as restricted_range_nn
 from repro.core.result import KnnResult, OracleResult, RnnResult, UpdateResult
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
-from repro.graph.graph import Graph
+from repro.graph.graph import Graph, edge_key
 from repro.graph.partition import bfs_order, hilbert_order
 from repro.oracle import (
     DEFAULT_LANDMARKS,
     DistanceOracle,
+    LowerOnlyBounds,
     csr_landmark_distances,
     resolve_oracle_source,
     select_landmarks,
@@ -192,6 +194,11 @@ class CompactDatabase(_CompactMeasureMixin):
         Locality rank fed to the batch planner: ``"bfs"`` (default) or
         ``"hilbert"`` (requires coordinates).  Answers never depend on
         it; only batch execution order does.
+    compact_threshold:
+        When set, the delta overlay auto-compacts into a fresh base
+        generation as soon as the pending log reaches this many
+        operations (see :meth:`compact`); ``None`` (default) leaves
+        compaction to explicit calls.
     """
 
     def __init__(
@@ -200,6 +207,7 @@ class CompactDatabase(_CompactMeasureMixin):
         points: NodePointSet | None = None,
         *,
         node_order: str = "bfs",
+        compact_threshold: int | None = None,
     ):
         points = _require_node_points(points, graph.num_nodes)
         points.validate(graph)
@@ -225,6 +233,26 @@ class CompactDatabase(_CompactMeasureMixin):
         #: Update generation: bumped by every point insertion/deletion
         #: (the query engine keys its result cache on this counter).
         self.generation = 0
+        self._init_overlay(compact_threshold)
+
+    def _init_overlay(self, compact_threshold: int | None) -> None:
+        """Start the delta-overlay state at ``(base 0, epoch 0)``."""
+        if compact_threshold is not None and compact_threshold < 1:
+            raise QueryError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
+        #: Append-only mutation log over the immutable base (see
+        #: :mod:`repro.compact.overlay`).
+        self.overlay = DeltaOverlay(self.points)
+        #: Base generation: bumped only by :meth:`compact`.
+        self.base_generation = 0
+        #: Delta epoch: operations appended since the last compaction.
+        self.delta_epoch = 0
+        self.compact_threshold = compact_threshold
+        self._base_store = self.store
+        self._base_graph = self.graph
+        self._live_weights: dict[tuple[int, int], float] | None = None
+        self._time_travel = False
 
     # -- constructors -------------------------------------------------------
 
@@ -282,6 +310,7 @@ class CompactDatabase(_CompactMeasureMixin):
         compact._ref_view = None
         compact._ref_materialized = None
         compact.generation = 0
+        compact._init_overlay(None)
         return compact
 
     # -- properties ---------------------------------------------------------
@@ -290,6 +319,28 @@ class CompactDatabase(_CompactMeasureMixin):
     def restricted(self) -> bool:
         """Always true: the compact backend stores points on nodes."""
         return True
+
+    @property
+    def stamp(self) -> tuple[int, int]:
+        """The snapshot stamp ``(base_generation, delta_epoch)``.
+
+        Names the exact database state a reader sees: the immutable
+        CSR base plus a prefix of the append-only delta log.  The
+        query engine keys its result cache on this two-part stamp, and
+        the serve tier stamps every response with it, so appends
+        invalidate exactly the entries they must (the epoch moves) and
+        compactions -- which change no answers -- simply move cached
+        traffic to a fresh key.
+        """
+        return (self.base_generation, self.delta_epoch)
+
+    @property
+    def needs_compaction(self) -> bool:
+        """Whether the pending delta log has reached ``compact_threshold``."""
+        return (
+            self.compact_threshold is not None
+            and self.overlay.epoch >= self.compact_threshold
+        )
 
     @property
     def disk(self):
@@ -360,6 +411,10 @@ class CompactDatabase(_CompactMeasureMixin):
         )
         self._ref_materialized = None
         self.generation += 1
+        # Swapping Q replaces an immutable input outside the delta log,
+        # so it moves the *base* half of the snapshot stamp -- cached
+        # bichromatic answers keyed on the old stamp become unreachable.
+        self.base_generation += 1
 
     # -- landmark distance oracle -------------------------------------------
 
@@ -393,6 +448,7 @@ class CompactDatabase(_CompactMeasureMixin):
         OracleResult
             The selected landmarks plus the CPU-only cost record.
         """
+        self._require_base_network("build_oracle")
 
         def run():
             landmarks, tables = select_landmarks(
@@ -428,6 +484,7 @@ class CompactDatabase(_CompactMeasureMixin):
         OracleResult
             The attached landmarks (opening charges no I/O).
         """
+        self._require_base_network("open_oracle")
         oracle, _, _ = resolve_oracle_source(source, self.graph.num_nodes)
         self.oracle = oracle
         self._attach_bounds(oracle)
@@ -462,6 +519,58 @@ class CompactDatabase(_CompactMeasureMixin):
                 self.store, self._ref_points, clone.tracker, bounds=self.oracle
             )
         return clone
+
+    def at_epoch(self, epoch: int) -> "CompactDatabase":
+        """A pinned read-only session answering as of delta ``epoch``.
+
+        Time travel within the current base generation: the session's
+        point set is the delta log replayed to ``epoch``, its store is
+        the base CSR arrays merged with the prefix's edge operations,
+        and its :attr:`stamp` is ``(base_generation, epoch)``.  Because
+        the base is immutable and the log append-only, the session
+        stays valid while the head keeps mutating; it answers exactly
+        what the head answered when its epoch *was* ``epoch``.
+        Epochs older than the last compaction are gone -- compaction
+        folds the log into a fresh base -- so ``epoch`` must be within
+        ``0 .. delta_epoch``.
+
+        Parameters
+        ----------
+        epoch:
+            The delta epoch to pin (0 is the base itself).
+
+        Returns
+        -------
+        CompactDatabase
+            A read-only session: mutations and compaction raise
+            :class:`~repro.errors.QueryError`.  Materialized lists and
+            the bichromatic reference set are not carried (they track
+            the head); the landmark oracle is kept whenever it is
+            still admissible at ``epoch`` (no pending edge insertions
+            in the prefix).
+        """
+        points = self.overlay.points_at(epoch)
+        edge_ops = self.overlay.edge_ops_at(epoch)
+        session = copy.copy(self)
+        session.tracker = CostTracker()
+        session.points = points
+        session.graph = self._base_graph
+        session.store = (
+            self._base_store if not edge_ops
+            else OverlayGraphStore(self._base_store, edge_ops)
+        )
+        session.materialized = None
+        session._ref_points = None
+        session._ref_view = None
+        session._ref_materialized = None
+        if any(op.kind == "insert-edge" for op in edge_ops):
+            session.oracle = None
+        session.view = NetworkView(
+            session.store, points, session.tracker, bounds=session.oracle
+        )
+        session.delta_epoch = epoch
+        session._time_travel = True
+        return session
 
     # -- monochromatic RkNN -------------------------------------------------
 
@@ -598,9 +707,14 @@ class CompactDatabase(_CompactMeasureMixin):
             )
         if not specs:
             return ()
-        if not numpy_available():
+        # Pending *edge* deltas hide the store's raw CSR arrays (the
+        # overlay shim has no ``csr``), so the batch falls back to the
+        # scalar loop until compaction folds the log; point deltas keep
+        # the kernel, since candidate placements are passed explicitly.
+        csr = getattr(self.store, "csr", None)
+        if csr is None or not numpy_available():
             return tuple(self._scalar_batch(specs))
-        return self._batch_measure(self.store.csr.flat(), requests, self.oracle)
+        return self._batch_measure(csr.flat(), requests, self.oracle)
 
     def _scalar_batch(self, specs):
         """Per-spec scalar loop: the numpy-free ``batch_rknn`` fallback."""
@@ -751,6 +865,8 @@ class CompactDatabase(_CompactMeasureMixin):
         UpdateResult
             Number of updated K-NN lists plus the cost record.
         """
+        self._require_writable()
+
         def run() -> int:
             if not isinstance(node, int):
                 raise QueryError("the compact backend takes node-id locations")
@@ -761,7 +877,7 @@ class CompactDatabase(_CompactMeasureMixin):
             return 0
 
         affected, diff = self._measure(run)
-        self.generation += 1
+        self._log_op(DeltaOp("insert-point", pid=pid, node=node))
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
 
     def delete_point(self, pid: int) -> UpdateResult:
@@ -776,6 +892,8 @@ class CompactDatabase(_CompactMeasureMixin):
         -------
         UpdateResult
         """
+        self._require_writable()
+
         def run() -> int:
             node = self.points.node_of(pid)
             self.points = self.points.without_point(pid)
@@ -785,8 +903,213 @@ class CompactDatabase(_CompactMeasureMixin):
             return 0
 
         affected, diff = self._measure(run)
-        self.generation += 1
+        self._log_op(DeltaOp("delete-point", pid=pid))
         return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def insert_edge(self, u: int, v: int, weight: float) -> UpdateResult:
+        """Append an edge insertion to the delta overlay.
+
+        The CSR base stays untouched: the new edge lives in the delta
+        log, and the facade's store becomes (or remains) the merged
+        overlay view, so pinned readers -- ``read_clone()`` sessions
+        and :meth:`at_epoch` snapshots -- keep answering over the
+        state they captured.  Edge deltas suspend the fast paths built
+        on the raw arrays: the vectorized batch kernel falls back to
+        the scalar loop, materialized K-NN lists are dropped (their
+        distances are stale), and an attached landmark oracle is
+        detached (an insertion can shrink distances below the base's
+        lower bounds).  :meth:`compact` folds the log into a fresh
+        base and restores them all.
+
+        Parameters
+        ----------
+        u / v:
+            Distinct endpoint node ids.
+        weight:
+            Positive traversal cost.
+
+        Returns
+        -------
+        UpdateResult
+            ``affected`` is the number of pending delta operations
+            after the append (pre-compaction).
+        """
+        self._require_writable()
+
+        def run() -> int:
+            if not (0 <= u < self.graph.num_nodes
+                    and 0 <= v < self.graph.num_nodes):
+                raise QueryError(f"edge ({u}, {v}) references an unknown node")
+            if u == v:
+                raise QueryError(f"self-loop on node {u} is not allowed")
+            if weight <= 0:
+                raise QueryError(
+                    f"edge ({u}, {v}) has non-positive weight {weight}"
+                )
+            if edge_key(u, v) in self._edge_weights():
+                raise QueryError(f"edge ({u}, {v}) already exists")
+            self._edge_weights()[edge_key(u, v)] = float(weight)
+            self.materialized = None
+            self._ref_materialized = None
+            self.oracle = None
+            return self.overlay.epoch + 1
+
+        affected, diff = self._measure(run)
+        self._log_op(DeltaOp("insert-edge", u=u, v=v, weight=float(weight)))
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    def delete_edge(self, u: int, v: int) -> UpdateResult:
+        """Append an edge deletion to the delta overlay.
+
+        Like :meth:`insert_edge`, the base arrays stay immutable and
+        the deletion is replayed by the merged view; materialized
+        lists are dropped and the batch kernel falls back to scalar
+        until :meth:`compact`.  An attached landmark oracle is *kept*
+        but degraded to lower bounds only
+        (:class:`~repro.oracle.bounds.LowerOnlyBounds`): deleting an
+        edge can only grow distances, so the base's lower bounds
+        remain admissible, while its upper bounds -- witness paths
+        that may have used the deleted edge -- do not.
+
+        Parameters
+        ----------
+        u / v:
+            Endpoints of a currently live edge.
+
+        Returns
+        -------
+        UpdateResult
+            ``affected`` is the number of pending delta operations
+            after the append (pre-compaction).
+        """
+        self._require_writable()
+
+        def run() -> int:
+            if edge_key(u, v) not in self._edge_weights():
+                raise QueryError(f"no edge between {u} and {v}")
+            del self._edge_weights()[edge_key(u, v)]
+            self.materialized = None
+            self._ref_materialized = None
+            if self.oracle is not None and not isinstance(
+                    self.oracle, LowerOnlyBounds):
+                self.oracle = LowerOnlyBounds(self.oracle)
+            return self.overlay.epoch + 1
+
+        affected, diff = self._measure(run)
+        self._log_op(DeltaOp("delete-edge", u=u, v=v))
+        return UpdateResult(affected, diff.io_operations, diff.cpu_seconds, diff)
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> UpdateResult:
+        """Fold the delta log into a fresh immutable base generation.
+
+        With pending edge operations the network is rebuilt -- the
+        merged edge sequence (base order minus deletions, plus
+        insertions in append order) becomes a new
+        :class:`~repro.graph.graph.Graph` and a new CSR store, with
+        adjacency order identical to the overlay view, so answers do
+        not change by a single bit.  With a point-only log the arrays
+        are reused as they are.  Either way the current point set
+        becomes the new base, :attr:`base_generation` is bumped, the
+        epoch resets to 0 and the vectorized batch kernel / oracle
+        builds are available again.  The update :attr:`generation` is
+        *not* bumped: compaction changes no observable state.  With an
+        empty log this is a no-op (nothing folded, no bump), so forced
+        compactions are idempotent.
+
+        Returns
+        -------
+        UpdateResult
+            ``affected`` is the number of delta operations folded.
+        """
+        self._require_writable()
+
+        def run() -> int:
+            folded = self.overlay.epoch
+            if folded == 0:
+                return 0
+            if self.overlay.edge_op_count:
+                graph = Graph(
+                    self._base_graph.num_nodes,
+                    self._merged_edges(),
+                    coords=self._base_graph.coords,
+                )
+                self.graph = graph
+                self._base_graph = graph
+                self.store = CompactGraphStore(graph, order=bfs_order(graph))
+            else:
+                self.store = self._base_store
+            self._base_store = self.store
+            self.overlay = DeltaOverlay(self.points)
+            self.base_generation += 1
+            self.delta_epoch = 0
+            self._live_weights = None
+            self._rebuild_view()
+            if self._ref_points is not None:
+                self._ref_view = NetworkView(
+                    self.store, self._ref_points, self.tracker,
+                    bounds=self.oracle,
+                )
+            return folded
+
+        folded, diff = self._measure(run)
+        return UpdateResult(folded, diff.io_operations, diff.cpu_seconds, diff)
+
+    def _merged_edges(self) -> list[tuple[int, int, float]]:
+        """The head edge sequence: base order with the log replayed.
+
+        A deletion removes its edge; a (re)insertion appends at the
+        end -- exactly the order :class:`OverlayGraphStore` replays
+        per node, so the rebuilt adjacency matches the overlay view.
+        """
+        merged = {
+            edge_key(u, v): (u, v, w) for u, v, w in self._base_graph.edges()
+        }
+        for op in self.overlay.edge_ops_at(self.overlay.epoch):
+            key = edge_key(op.u, op.v)
+            if op.kind == "insert-edge":
+                merged[key] = (op.u, op.v, float(op.weight))
+            else:
+                del merged[key]
+        return list(merged.values())
+
+    def _edge_weights(self) -> dict[tuple[int, int], float]:
+        """The live (head) edge table, built lazily on first edge mutation."""
+        if self._live_weights is None:
+            live = {
+                edge_key(u, v): w for u, v, w in self._base_graph.edges()
+            }
+            for op in self.overlay.edge_ops_at(self.overlay.epoch):
+                key = edge_key(op.u, op.v)
+                if op.kind == "insert-edge":
+                    live[key] = float(op.weight)
+                else:
+                    del live[key]
+            self._live_weights = live
+        return self._live_weights
+
+    def _log_op(self, op: DeltaOp) -> None:
+        """Append a validated mutation: bump the epoch, rebind views,
+        auto-compact past the threshold.  Never drains readers --
+        pinned sessions keep their captured store/point references."""
+        self.delta_epoch = self.overlay.append(op)
+        if op.is_edge_op:
+            self.store = OverlayGraphStore(
+                self._base_store, self.overlay.edge_ops_at(self.delta_epoch)
+            )
+        self._rebuild_view()
+        if self._ref_points is not None:
+            self._ref_view = NetworkView(
+                self.store, self._ref_points, self.tracker, bounds=self.oracle
+            )
+        self.generation += 1
+        if self.needs_compaction:
+            self.compact()
+
+    def _require_writable(self) -> None:
+        if self._time_travel:
+            raise QueryError("time-travel sessions are read-only")
 
     def _rebuild_view(self) -> None:
         self.view = NetworkView(
@@ -799,6 +1122,13 @@ class CompactDatabase(_CompactMeasureMixin):
         if self.materialized is None:
             raise QueryError("method 'eager-m' needs materialize() first")
         return self.materialized
+
+    def _require_base_network(self, what: str) -> None:
+        if self.overlay.edge_op_count:
+            raise QueryError(
+                f"{what}() needs the CSR base: {self.overlay.edge_op_count} "
+                "edge delta(s) pending -- compact() first"
+            )
 
     def _check_query(self, query: int, k: int, method: str) -> None:
         if method not in METHODS:

@@ -1,0 +1,290 @@
+"""LSM-style delta overlay over an immutable CSR base generation.
+
+The compact backend's mutation story used to be "swap the world":
+every point insertion/deletion rebound the facade's view, and the
+serve tier drained all in-flight batches through its
+writer-preferring gate before letting the write land.  This module
+replaces that with the append-mostly design the streaming RkNN
+setting wants:
+
+* the CSR arrays stay **immutable** -- they are the *base
+  generation*;
+* every mutation is appended to a :class:`DeltaOverlay` log as a
+  :class:`DeltaOp` (point insert/delete, edge insert/delete), bumping
+  the *delta epoch* (the number of appended operations);
+* readers pin a ``(base_generation, delta_epoch)`` **stamp**:
+  a snapshot is the base arrays plus a log prefix, so appends never
+  invalidate -- let alone drain -- a running query;
+* :class:`OverlayGraphStore` is the thin merged-view shim: it speaks
+  the same store protocol as
+  :class:`~repro.compact.store.CompactGraphStore` (``num_nodes``,
+  ``num_edges``, ``page_of``, ``neighbors``) while replaying the
+  pending *edge* operations over the base adjacency on demand;
+* compaction (:meth:`~repro.compact.db.CompactDatabase.compact`)
+  folds the log into a fresh CSR base, bumps the base generation and
+  resets the epoch to zero -- the only moment that behaves like the
+  old swap.
+
+**Answer identity.**  Heap tie-breaking -- and therefore every RkNN
+answer -- depends on adjacency *order*.  The merged view reproduces
+exactly the order a from-scratch rebuild would produce: a node's base
+neighbors in their original order, minus deleted edges (deletion
+preserves the relative order of survivors), plus delta-inserted edges
+in append order.  Rebuilding a :class:`~repro.graph.graph.Graph` from
+the same merged edge sequence yields identical adjacency lists, so
+overlay-view answers are bitwise identical to a rebuild at every
+epoch -- the property suite in
+``tests/compact/test_overlay_properties.py`` holds the system to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError, StorageError
+from repro.points.points import NodePointSet
+
+#: Operation kinds a delta log may hold.
+OP_KINDS = ("insert-point", "delete-point", "insert-edge", "delete-edge")
+
+#: The subset of :data:`OP_KINDS` that changes the network itself.
+EDGE_KINDS = ("insert-edge", "delete-edge")
+
+
+@dataclass(frozen=True)
+class DeltaOp:
+    """One appended mutation in a :class:`DeltaOverlay` log.
+
+    Point operations carry ``pid``/``node``; edge operations carry
+    ``u``/``v`` (and ``weight`` for insertions).  Instances are frozen:
+    a log entry never changes after it is appended, which is what makes
+    a ``(base, epoch)`` stamp a durable snapshot name.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`OP_KINDS`.
+    pid / node:
+        Point id and node for point operations (``node`` is ``None``
+        for deletions).
+    u / v / weight:
+        Endpoints and weight for edge operations (``weight`` is
+        ``None`` for deletions).
+    """
+
+    kind: str
+    pid: int | None = None
+    node: int | None = None
+    u: int | None = None
+    v: int | None = None
+    weight: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise QueryError(f"unknown delta op kind {self.kind!r}")
+
+    @property
+    def is_edge_op(self) -> bool:
+        """Whether this operation mutates the network (see
+        :data:`EDGE_KINDS`)."""
+        return self.kind in EDGE_KINDS
+
+
+class DeltaOverlay:
+    """Append-only mutation log over an immutable point/network base.
+
+    The overlay is the write side of the compact backend's LSM pair:
+    the base (CSR arrays + the point set at the last compaction) is
+    immutable, and every mutation lands here as an appended
+    :class:`DeltaOp`.  The log length is the **delta epoch**; a log
+    prefix of length ``e`` names the exact database state after the
+    first ``e`` mutations, which is what time-travel sessions
+    (``at_epoch``) and snapshot replay in the test battery rely on.
+
+    Parameters
+    ----------
+    base_points:
+        The point set at the base generation (epoch 0).
+    """
+
+    def __init__(self, base_points: NodePointSet):
+        self.base_points = base_points
+        self._ops: list[DeltaOp] = []
+        self._edge_ops = 0
+        self._edge_inserts = 0
+
+    @property
+    def epoch(self) -> int:
+        """The delta epoch: number of operations appended so far."""
+        return len(self._ops)
+
+    @property
+    def edge_op_count(self) -> int:
+        """How many of the appended operations are edge operations."""
+        return self._edge_ops
+
+    @property
+    def has_edge_inserts(self) -> bool:
+        """Whether any pending operation inserts an edge.
+
+        Edge insertions can *shrink* network distances, which breaks
+        the admissibility of landmark lower bounds computed on the
+        base -- the facade detaches its oracle exactly when this turns
+        true.  Deletions only grow distances, so base bounds stay
+        admissible under them.
+        """
+        return self._edge_inserts > 0
+
+    def append(self, op: DeltaOp) -> int:
+        """Append one operation; return the new epoch.
+
+        Parameters
+        ----------
+        op:
+            The validated operation (the facade validates against the
+            merged head state *before* appending).
+
+        Returns
+        -------
+        int
+            The epoch after the append (``old epoch + 1``).
+        """
+        self._ops.append(op)
+        if op.is_edge_op:
+            self._edge_ops += 1
+            if op.kind == "insert-edge":
+                self._edge_inserts += 1
+        return len(self._ops)
+
+    def ops_at(self, epoch: int) -> tuple[DeltaOp, ...]:
+        """The log prefix naming state ``epoch``.
+
+        Parameters
+        ----------
+        epoch:
+            A value in ``0 .. self.epoch``.
+
+        Returns
+        -------
+        tuple[DeltaOp, ...]
+        """
+        if not 0 <= epoch <= len(self._ops):
+            raise QueryError(
+                f"epoch {epoch} out of range (log holds epochs "
+                f"0..{len(self._ops)})"
+            )
+        return tuple(self._ops[:epoch])
+
+    def edge_ops_at(self, epoch: int) -> tuple[DeltaOp, ...]:
+        """The edge operations within the prefix of length ``epoch``."""
+        return tuple(op for op in self.ops_at(epoch) if op.is_edge_op)
+
+    def points_at(self, epoch: int) -> NodePointSet:
+        """Replay the point set as of ``epoch``.
+
+        Parameters
+        ----------
+        epoch:
+            A value in ``0 .. self.epoch``; 0 is the base point set.
+
+        Returns
+        -------
+        NodePointSet
+            A fresh set: the base placement with the prefix's point
+            insertions/deletions applied in order.
+        """
+        placement = dict(self.base_points.items())
+        for op in self.ops_at(epoch):
+            if op.kind == "insert-point":
+                placement[op.pid] = op.node
+            elif op.kind == "delete-point":
+                del placement[op.pid]
+        return NodePointSet(placement)
+
+
+class OverlayGraphStore:
+    """Merged view of a CSR base plus pending edge operations.
+
+    Speaks the compact store protocol (``num_nodes`` / ``num_edges`` /
+    ``num_pages`` / ``page_of`` / ``neighbors``) so
+    :class:`~repro.core.network.NetworkView` -- and through it every
+    expansion kernel -- consults the overlay without change.  A node's
+    adjacency is replayed lazily and memoized: base neighbors in base
+    order, deletions removing their single matching entry, insertions
+    appended in log order.  Nodes no edge operation touches return the
+    base tuple itself (same objects, same floats -- bitwise identical).
+
+    Deliberately does **not** expose a ``csr`` attribute: the
+    vectorized batch kernel and the landmark-oracle builder read raw
+    flat arrays, which do not reflect pending edge deltas, so the
+    facade falls back to the scalar path (and refuses oracle builds)
+    whenever its store is an overlay view.  Compaction restores the
+    fast paths.
+
+    Parameters
+    ----------
+    base:
+        The immutable :class:`~repro.compact.store.CompactGraphStore`.
+    edge_ops:
+        The pending edge operations, in append order (a
+        :meth:`DeltaOverlay.edge_ops_at` prefix).
+    """
+
+    def __init__(self, base, edge_ops):
+        self.base = base
+        self.edge_ops = tuple(edge_ops)
+        self.num_nodes = base.num_nodes
+        inserts = sum(1 for op in self.edge_ops if op.kind == "insert-edge")
+        self.num_edges = base.num_edges + 2 * inserts - len(self.edge_ops)
+        self._node_ops: dict[int, list[DeltaOp]] = {}
+        for op in self.edge_ops:
+            if not op.is_edge_op:
+                raise StorageError(
+                    f"OverlayGraphStore takes edge operations, got {op.kind!r}"
+                )
+            self._node_ops.setdefault(op.u, []).append(op)
+            self._node_ops.setdefault(op.v, []).append(op)
+        self._merged: dict[int, tuple[tuple[int, float], ...]] = {}
+
+    @property
+    def num_pages(self) -> int:
+        """Always 0: the overlay view is memory-resident."""
+        return 0
+
+    def page_of(self, node: int) -> int:
+        """The base store's locality rank (delta edges do not repack)."""
+        return self.base.page_of(node)
+
+    def neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
+        """Merged adjacency of ``node``: base order, then delta appends.
+
+        Parameters
+        ----------
+        node:
+            Node id.
+
+        Returns
+        -------
+        tuple[tuple[int, float], ...]
+            Exactly the adjacency a from-scratch rebuild at this epoch
+            would produce, so heap tie-breaking -- and every answer --
+            matches the rebuild bitwise.
+        """
+        ops = self._node_ops.get(node)
+        if ops is None:
+            return self.base.neighbors(node)
+        merged = self._merged.get(node)
+        if merged is None:
+            entries = list(self.base.neighbors(node))
+            for op in ops:
+                other = op.v if op.u == node else op.u
+                if op.kind == "insert-edge":
+                    entries.append((other, float(op.weight)))
+                else:
+                    for i, (nbr, _) in enumerate(entries):
+                        if nbr == other:
+                            del entries[i]
+                            break
+            merged = tuple(entries)
+            self._merged[node] = merged
+        return merged

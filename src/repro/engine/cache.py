@@ -1,10 +1,15 @@
 """LRU result cache for the query engine.
 
-Keys are ``(db generation,) + spec.key()``: bumping the database's
-generation counter (every ``insert_point`` / ``delete_point`` does)
-makes every previously cached entry unreachable, so updates invalidate
-the cache without the engine having to reason about which results an
-update could have changed.  Stale-generation entries still occupying
+Keys are ``(snapshot, spec.key())``, where ``snapshot`` is any
+hashable snapshot identifier the engine supplies -- the scalar update
+generation for the disk/sharded backends, or the two-part
+delta-overlay stamp ``(base_generation, delta_epoch)`` for the
+compact backend (see :attr:`~repro.engine.engine.QueryEngine.cache_stamp`).
+Moving the snapshot (every ``insert_point`` / ``delete_point`` /
+``insert_edge`` / ``delete_edge`` does, as does a compaction) makes
+every previously cached entry unreachable, so updates invalidate the
+cache without the engine having to reason about which results an
+update could have changed.  Stale-snapshot entries still occupying
 slots are pruned lazily on the next store.
 
 The cached value is the result object exactly as the facade returned
@@ -48,17 +53,18 @@ class ResultCache:
             raise QueryError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Hashable, tuple[int, Any]]" = OrderedDict()
-        self._stored_generation: int | None = None
+        self._entries: "OrderedDict[Hashable, tuple[Hashable, Any]]" = OrderedDict()
+        self._stored_generation: Hashable | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, generation: int, key: Hashable) -> Any | None:
-        """The cached result for ``key`` at ``generation``, or ``None``.
+    def get(self, generation: Hashable, key: Hashable) -> Any | None:
+        """The cached result for ``key`` at snapshot ``generation``, or
+        ``None``.
 
-        An entry stored under an older generation never matches: the
-        lookup key embeds the generation.
+        An entry stored under an older snapshot never matches: the
+        lookup key embeds the snapshot identifier.
         """
         full_key = (generation, key)
         entry = self._entries.get(full_key)
@@ -69,12 +75,12 @@ class ResultCache:
         self.stats.hits += 1
         return entry[1]
 
-    def put(self, generation: int, key: Hashable, result: Any) -> None:
+    def put(self, generation: Hashable, key: Hashable, result: Any) -> None:
         """Install a result, evicting LRU (and stale) entries as needed."""
         if self.capacity == 0:
             return
         if self._stored_generation != generation:
-            # every stored entry belongs to one generation, so a bump
+            # every stored entry belongs to one snapshot, so a move
             # invalidates them all at once (no per-put scanning)
             if self._stored_generation is not None and self._entries:
                 self.stats.invalidations += len(self._entries)

@@ -6,9 +6,12 @@ at a time, the engine admits *batches* of heterogeneous
 :class:`~repro.engine.spec.QuerySpec` values and executes them through
 three cooperating mechanisms:
 
-* an LRU **result cache** keyed on ``(kind, args, db generation)``
-  (:mod:`repro.engine.cache`) -- repeated queries cost nothing, and any
-  point insertion/deletion bumps the generation, invalidating every
+* an LRU **result cache** keyed on ``(kind, args, snapshot)``
+  (:mod:`repro.engine.cache`) -- the snapshot component is the
+  database's two-part delta-overlay stamp ``(base_generation,
+  delta_epoch)`` when it has one (see :attr:`QueryEngine.cache_stamp`),
+  or the plain update generation otherwise; repeated queries cost
+  nothing, and any mutation moves the snapshot, invalidating every
   stale entry;
 * an **admission planner** (:mod:`repro.engine.planner`) that resolves
   ``method="auto"`` through the calibrating cost model and orders each
@@ -177,6 +180,22 @@ class QueryEngine:
         return self.db.generation
 
     @property
+    def cache_stamp(self):
+        """The snapshot identifier the result cache is keyed on.
+
+        Databases with a delta overlay (the compact backend) expose a
+        two-part ``stamp = (base_generation, delta_epoch)``: a delta
+        append moves the epoch (invalidating exactly the entries whose
+        answers may have changed) and a compaction moves the base.
+        Hashing only ``db.generation`` would go stale there --
+        compaction resets no generation, and two distinct snapshots
+        could collide on one counter.  Backends without a stamp fall
+        back to the scalar generation, unchanged.
+        """
+        stamp = getattr(self.db, "stamp", None)
+        return self.db.generation if stamp is None else stamp
+
+    @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
 
@@ -190,7 +209,7 @@ class QueryEngine:
         executes on the database and caches the result.
         """
         spec = resolve_method(spec, self.calibrator)
-        generation = self.generation
+        generation = self.cache_stamp
         cached = self.cache.get(generation, spec.key())
         if cached is not None:
             return _zero_cost(cached)
@@ -229,7 +248,7 @@ class QueryEngine:
         else:
             resolved = tuple(resolve_method(s, self.calibrator) for s in specs)
             plan = BatchPlan(resolved, tuple(range(len(resolved))))
-        generation = self.generation
+        generation = self.cache_stamp
 
         results: list = [None] * len(specs)
         hits = 0

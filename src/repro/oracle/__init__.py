@@ -10,7 +10,12 @@ identical results while expanding fewer edges and reading fewer
 pages.
 """
 
-from repro.oracle.bounds import CombinedBounds, EuclideanBounds, LowerBoundProvider
+from repro.oracle.bounds import (
+    CombinedBounds,
+    EuclideanBounds,
+    LowerBoundProvider,
+    LowerOnlyBounds,
+)
 from repro.oracle.build import (
     DEFAULT_LANDMARKS,
     STRATEGIES,
@@ -28,6 +33,7 @@ __all__ = [
     "EuclideanBounds",
     "LandmarkStore",
     "LowerBoundProvider",
+    "LowerOnlyBounds",
     "STRATEGIES",
     "csr_landmark_distances",
     "resolve_oracle_source",

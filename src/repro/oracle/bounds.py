@@ -80,3 +80,37 @@ class CombinedBounds:
     def upper_bound(self, u: int, v: int) -> float:
         """The smaller (tighter) of the two upper bounds."""
         return min(self._first.upper_bound(u, v), self._second.upper_bound(u, v))
+
+
+class LowerOnlyBounds:
+    """A provider degraded to its lower bounds (``upper_bound`` is inf).
+
+    Edge *deletions* only grow shortest-path distances, so lower
+    bounds computed on the pre-deletion network stay admissible --
+    each is at most the old distance, which is at most the new one.
+    Upper bounds break the other way (an old ``d(u,l) + d(l,v)`` path
+    may no longer exist), so a landmark oracle survives a deletion
+    only in degraded form.  The delta overlay
+    (:meth:`repro.compact.db.CompactDatabase.delete_edge`) wraps the
+    attached oracle in this class instead of discarding it.
+
+    Every other attribute delegates to the wrapped provider, so the
+    vectorized batch kernel's row filter -- which reads the landmark
+    label matrix but only ever derives *lower* bounds from it -- keeps
+    working on a degraded oracle.
+    """
+
+    def __init__(self, inner: LowerBoundProvider):
+        self._inner = inner
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """The wrapped provider's (still admissible) lower bound."""
+        return self._inner.lower_bound(u, v)
+
+    def upper_bound(self, u: int, v: int) -> float:
+        """Always ``inf``: old upper bounds may undercut new distances."""
+        return math.inf
+
+    def __getattr__(self, name: str):
+        """Delegate everything else (labels, landmark counts) inward."""
+        return getattr(self._inner, name)

@@ -120,6 +120,15 @@ class ServeClient:
         """Delete a data point; returns the new generation."""
         return self.request({"op": "delete", "pid": pid})
 
+    def compact(self) -> dict:
+        """Fold the server's delta-overlay log into a fresh base.
+
+        Compact backend only; the response carries the folded
+        operation count and the new ``base_generation`` /
+        ``delta_epoch`` snapshot stamp.
+        """
+        return self.request({"op": "compact"})
+
     def subscribe(self, queries: dict, k: int = 1) -> dict:
         """Register standing RkNN queries on this connection.
 

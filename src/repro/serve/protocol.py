@@ -11,6 +11,10 @@ Every request is an object with an ``op`` field:
 ``insert`` / ``delete``
     point mutations (``pid`` plus ``location`` for inserts); the
     response carries the *new* generation;
+``compact``
+    folds a delta-overlay database's pending mutation log into a
+    fresh immutable base (compact backend only); the response carries
+    the folded operation count and the new snapshot stamp;
 ``subscribe``
     registers standing RkNN queries (``queries``: query id -> node id,
     ``k``); after the acknowledgment the server pushes one
@@ -25,6 +29,13 @@ Responses echo the request's optional ``id`` and always carry a
 -- retry later) or ``error`` (the request was invalid; the connection
 stays usable).  Pushed events carry an ``event`` field instead of
 ``status``.
+
+Over a delta-overlay database (the compact backend) every ``query``,
+``insert``, ``delete`` and ``compact`` response additionally carries
+the snapshot stamp it was computed at as ``base_generation`` /
+``delta_epoch`` -- the pair names the exact immutable state (base
+arrays plus log prefix) that produced the answer, which is what the
+linearizability battery replays against.
 """
 
 from __future__ import annotations
@@ -36,7 +47,8 @@ from repro.engine.spec import QuerySpec
 from repro.errors import QueryError
 
 #: Request operations understood by the server.
-OPS = ("query", "insert", "delete", "subscribe", "metrics", "healthz")
+OPS = ("query", "insert", "delete", "compact", "subscribe", "metrics",
+       "healthz")
 
 #: Fields of a ``query`` request that are protocol envelope, not spec.
 _ENVELOPE_FIELDS = frozenset({"op", "id"})
@@ -77,17 +89,21 @@ def request_spec(payload: Mapping) -> QuerySpec:
     return QuerySpec.from_mapping(fields)
 
 
-def result_payload(result, generation: int) -> dict:
+def result_payload(result, generation: int,
+                   stamp: tuple[int, int] | None = None) -> dict:
     """Serialize a facade result object into a response body.
 
     ``RnnResult`` answers serialize as ``points`` (sorted point ids),
     ``KnnResult`` answers as ``neighbors`` (``[point id, distance]``
     pairs in ascending distance order) -- exactly the tuples the facade
     returns, so a client can compare byte for byte against a direct
-    call at the same generation.
+    call at the same generation.  ``stamp`` (delta-overlay backends)
+    adds the ``base_generation`` / ``delta_epoch`` snapshot fields.
     """
     body: dict = {"status": "ok", "generation": generation,
                   "io": result.io}
+    if stamp is not None:
+        body["base_generation"], body["delta_epoch"] = stamp
     if hasattr(result, "points"):
         body["points"] = list(result.points)
     else:

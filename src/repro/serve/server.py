@@ -6,16 +6,30 @@ asyncio event loop owns every connection; queries are admitted into a
 :class:`~repro.serve.batcher.MicroBatcher` and executed as engine
 batches on a worker thread, so the loop never blocks on query work.
 
-**Generation swap.**  Mutations (``insert`` / ``delete`` requests) and
-query batches are arbitrated by a writer-preferring
-:class:`GenerationGate`: a batch runs under a *read lease* pinning the
-database's update generation for its whole execution, while a mutation
-waits for in-flight batches to drain, applies under an exclusive
-lease, and bumps the generation.  Batches admitted after the mutation
-run against the new generation.  No response ever mixes generations,
-and every response carries the generation it was computed at, so a
-client can replay the mutation log and verify any answer against a
-direct facade call.
+**Generation swap (disk / sharded backends).**  Mutations (``insert``
+/ ``delete`` requests) and query batches are arbitrated by a
+writer-preferring :class:`GenerationGate`: a batch runs under a *read
+lease* pinning the database's update generation for its whole
+execution, while a mutation waits for in-flight batches to drain,
+applies under an exclusive lease, and bumps the generation.  Batches
+admitted after the mutation run against the new generation.  No
+response ever mixes generations, and every response carries the
+generation it was computed at, so a client can replay the mutation
+log and verify any answer against a direct facade call.
+
+**Delta-overlay appends (compact backend).**  A database exposing a
+snapshot ``stamp`` (``(base_generation, delta_epoch)``; see
+:mod:`repro.compact.overlay`) flips the serve tier into append mode:
+``insert`` / ``delete`` requests skip the gate entirely -- the write
+is an append to the overlay log, readers keep the immutable state
+they pinned, and the single-thread executor (which already serializes
+batches and mutations) is the only ordering mechanism.  Writes never
+drain reads; the gate's exclusive lease survives solely for the
+``compact`` op (folding the log into a fresh base) and for
+subscription registration, and every gate drain is counted in
+``/metrics`` so the no-drain-on-append property is observable.  Every
+response carries the stamp it was computed at, replay-verifiable
+against a from-scratch rebuild of that snapshot.
 
 **Backpressure.**  The admission queue is bounded; beyond capacity the
 server immediately answers ``overloaded`` instead of queueing without
@@ -79,6 +93,11 @@ class GenerationGate:
         self._readers = 0
         self._writers_waiting = 0
         self._writing = False
+        #: Exclusive leases granted so far -- i.e. how many times the
+        #: gate drained readers.  Appends on a delta-overlay backend
+        #: never touch the gate, so this stays at the compaction count
+        #: there (surfaced through ``/metrics`` as ``drains``).
+        self.drains = 0
 
     @contextlib.asynccontextmanager
     async def read_lease(self):
@@ -105,6 +124,7 @@ class GenerationGate:
             finally:
                 self._writers_waiting -= 1
             self._writing = True
+            self.drains += 1
         try:
             yield
         finally:
@@ -154,6 +174,9 @@ class RknnServer:
             max_batch=max_batch, max_queue=max_queue,
         )
         self._gate = GenerationGate()
+        # Delta-overlay backends expose a snapshot stamp: mutations
+        # append instead of fencing, and responses carry the stamp.
+        self._overlay = getattr(db, "stamp", None) is not None
         # one thread: batches and mutations never share the interpreter
         # state concurrently even if the gate were misused
         self._executor = ThreadPoolExecutor(max_workers=1)
@@ -164,6 +187,7 @@ class RknnServer:
         self.address: tuple[str, int] | None = None
         self.queries_served = 0
         self.mutations_applied = 0
+        self.compactions = 0
         self.errors = 0
         self.events_pushed = 0
 
@@ -216,10 +240,32 @@ class RknnServer:
     # -- batch execution (the batcher's runner) -----------------------------
 
     async def _run_batch(self, specs: list[QuerySpec]):
-        """Execute one coalesced batch under a generation read lease."""
+        """Execute one coalesced batch; stamp every result's snapshot.
+
+        Disk/sharded backends run under a generation read lease (the
+        gate keeps a mutation from landing mid-batch).  Delta-overlay
+        backends need no lease: the executor task captures the stamp
+        *on the executor thread*, immediately before the engine runs,
+        so the stamp and the answers come from the same serialized
+        interval -- appends land as whole executor tasks and can never
+        interleave with a running batch.
+        """
+        loop = asyncio.get_running_loop()
+        if self._overlay:
+            def execute():
+                generation = self.db.generation
+                stamp = self.db.stamp
+                outcome = self.engine.run_batch(specs, workers=self.workers)
+                return outcome, generation, stamp
+
+            outcome, generation, stamp = await loop.run_in_executor(
+                self._executor, execute
+            )
+            self.queries_served += len(specs)
+            return [(result, generation, stamp) for result in outcome.results]
         async with self._gate.read_lease():
             generation = self.db.generation
-            outcome = await asyncio.get_running_loop().run_in_executor(
+            outcome = await loop.run_in_executor(
                 self._executor,
                 lambda: self.engine.run_batch(specs, workers=self.workers),
             )
@@ -328,7 +374,7 @@ class RknnServer:
             return request_id, {"status": "ok", **self.metrics()}
         if op == "healthz":
             return request_id, self._health()
-        if op not in ("insert", "delete", "subscribe"):
+        if op not in ("insert", "delete", "compact", "subscribe"):
             self.errors += 1
             return request_id, protocol.error_payload(
                 f"unknown op {op!r}; choose one of {protocol.OPS}"
@@ -374,6 +420,8 @@ class RknnServer:
             op = payload["op"]
             if op in ("insert", "delete"):
                 return await self._mutate(op, payload)
+            if op == "compact":
+                return await self._compact()
             return await self._subscribe(payload, writer)
         except ReproError as exc:
             self.errors += 1
@@ -385,7 +433,15 @@ class RknnServer:
     # -- mutations and the generation swap ----------------------------------
 
     async def _mutate(self, op: str, payload: dict) -> dict:
-        """Apply one mutation under the exclusive lease; push events."""
+        """Apply one mutation; push events.
+
+        Overlay backends **append**: no fence, no exclusive lease --
+        the write and the subscription refreshes run as one task on
+        the single-thread executor, serialized against batches but
+        never draining them, and the response carries the post-append
+        stamp.  Other backends keep the generation swap: fence, drain,
+        apply, bump.
+        """
         pid = int(payload["pid"])
         if op == "insert":
             location = payload["location"]
@@ -395,20 +451,37 @@ class RknnServer:
         else:
             apply = lambda: self.db.delete_point(pid)  # noqa: E731
         loop = asyncio.get_running_loop()
-        # queries admitted before this mutation must run first (at the
-        # old generation); the write lease then drains the running batch
-        await self.batcher.fence()
-        async with self._gate.write_lease():
-            # every in-flight batch has drained; batches admitted behind
-            # us will observe the bumped generation
-            outcome = await loop.run_in_executor(self._executor, apply)
-            generation = self.db.generation
-            refreshed = []
-            for sub in list(self._subscriptions.values()):
-                events = await loop.run_in_executor(
-                    self._executor, sub.monitor.refresh
-                )
-                refreshed.append((sub, events))
+        if self._overlay:
+            def apply_and_refresh():
+                outcome = apply()
+                generation = self.db.generation
+                stamp = self.db.stamp
+                refreshed = [
+                    (sub, sub.monitor.refresh())
+                    for sub in list(self._subscriptions.values())
+                ]
+                return outcome, generation, stamp, refreshed
+
+            outcome, generation, stamp, refreshed = await loop.run_in_executor(
+                self._executor, apply_and_refresh
+            )
+        else:
+            stamp = None
+            # queries admitted before this mutation must run first (at
+            # the old generation); the write lease then drains the
+            # running batch
+            await self.batcher.fence()
+            async with self._gate.write_lease():
+                # every in-flight batch has drained; batches admitted
+                # behind us will observe the bumped generation
+                outcome = await loop.run_in_executor(self._executor, apply)
+                generation = self.db.generation
+                refreshed = []
+                for sub in list(self._subscriptions.values()):
+                    events = await loop.run_in_executor(
+                        self._executor, sub.monitor.refresh
+                    )
+                    refreshed.append((sub, events))
         self.mutations_applied += 1
         for sub, events in refreshed:
             for event in events:
@@ -423,11 +496,45 @@ class RknnServer:
                     > MAX_SUBSCRIBER_BACKLOG):
                 self._subscriptions.pop(sub.writer, None)
                 sub.writer.close()
-        return {
+        body = {
             "status": "ok",
             "op": op,
             "generation": generation,
             "updated_lists": outcome.affected_nodes,
+            "io": outcome.io,
+        }
+        if stamp is not None:
+            body["base_generation"], body["delta_epoch"] = stamp
+        return body
+
+    async def _compact(self) -> dict:
+        """Fold the overlay log into a fresh base: the one drain point.
+
+        Admitted queries run first (fence), in-flight batches drain
+        (exclusive lease), then the fold runs on the executor and the
+        base generation bumps.  Pinned client state is unaffected --
+        compaction changes no answers -- but batches admitted behind
+        the compaction observe the fresh base stamp.
+        """
+        if not self._overlay or not hasattr(self.db, "compact"):
+            raise ReproError(
+                "compact requires a delta-overlay database "
+                "(the compact backend)"
+            )
+        loop = asyncio.get_running_loop()
+        await self.batcher.fence()
+        async with self._gate.write_lease():
+            outcome = await loop.run_in_executor(self._executor, self.db.compact)
+            generation = self.db.generation
+            stamp = self.db.stamp
+        self.compactions += 1
+        return {
+            "status": "ok",
+            "op": "compact",
+            "folded": outcome.affected_nodes,
+            "generation": generation,
+            "base_generation": stamp[0],
+            "delta_epoch": stamp[1],
             "io": outcome.io,
         }
 
@@ -458,12 +565,14 @@ class RknnServer:
         """Counters for the ``/metrics`` endpoint (loop-thread only)."""
         tracker = self.db.tracker
         cache = self.engine.cache_stats
-        return {
+        body = {
             "backend": backend_of(self.db),
             "generation": self.db.generation,
             "queue_depth": self.batcher.depth,
             "queries_served": self.queries_served,
             "mutations_applied": self.mutations_applied,
+            "compactions": self.compactions,
+            "drains": self._gate.drains,
             "errors": self.errors,
             "events_pushed": self.events_pushed,
             "subscriptions": len(self._subscriptions),
@@ -482,13 +591,20 @@ class RknnServer:
                 "oracle_prunes": tracker.oracle_prunes,
             },
         }
+        if self._overlay:
+            stamp = self.db.stamp
+            body["base_generation"], body["delta_epoch"] = stamp
+        return body
 
     def _health(self) -> dict:
-        return {
+        body = {
             "status": "ok",
             "generation": self.db.generation,
             "backend": backend_of(self.db),
         }
+        if self._overlay:
+            body["base_generation"], body["delta_epoch"] = self.db.stamp
+        return body
 
     # -- HTTP (curl / probe surface) ----------------------------------------
 

@@ -1,0 +1,210 @@
+"""Hypothesis property tests for the delta overlay.
+
+The invariant the overlay stands on: at **every** epoch of a random
+mutation script, the overlay's answers are bitwise identical to a
+database rebuilt from scratch out of the merged state -- base edges in
+base order, minus deletions, plus insertions in append order.  The
+suite drives random scripts of point and edge mutations, checks every
+historical epoch through :meth:`at_epoch`, the head state, and the
+post-compaction state, for RkNN and continuous queries at K in
+{1, 4}, with and without an attached landmark oracle.
+
+Every assertion message carries the generating ``seed`` so a failing
+example is reproducible outside hypothesis.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CompactDatabase, NodePointSet
+from repro.graph.graph import Graph, edge_key
+from tests.conftest import build_random_graph
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Delta op kinds a script may draw from (edge inserts break landmark
+#: lower bounds, so oracle-on scripts exclude them).
+ALL_KINDS = ("insert-point", "delete-point", "insert-edge", "delete-edge")
+ORACLE_SAFE_KINDS = ("insert-point", "delete-point", "delete-edge")
+
+
+@st.composite
+def overlay_scripts(draw, kinds=ALL_KINDS):
+    """A random network, point set and mutation script.
+
+    The script is returned as abstract steps; :func:`apply_script`
+    materializes them adaptively (each step picks arguments valid in
+    the state the previous steps produced).
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=16, max_value=36))
+    num_points = draw(st.integers(min_value=5, max_value=8))
+    steps = draw(st.lists(st.sampled_from(kinds), min_size=1, max_size=6))
+    return seed, n, num_points, steps
+
+
+def build_case(seed, n, num_points):
+    """The base network, point set and a script RNG for one example."""
+    rng = random.Random(seed)
+    graph = build_random_graph(rng, n, n // 2, int_weights=True)
+    points = NodePointSet({
+        pid: node
+        for pid, node in enumerate(rng.sample(range(n), num_points))
+    })
+    return graph, points, rng
+
+
+def apply_script(db, graph, points, steps, rng):
+    """Run ``steps`` against ``db`` while replaying them on a model.
+
+    Returns one ``(edges, points)`` model snapshot per epoch (epoch 0
+    is the pre-script state).  The model keeps merged edges in an
+    insertion-ordered dict -- delete removes the key, insert appends a
+    fresh key at the end -- which is exactly the adjacency order the
+    overlay (and a post-compaction rebuild) must reproduce.
+    """
+    merged = {edge_key(u, v): (u, v, w) for u, v, w in graph.edges()}
+    live_points = dict(points.items())
+    next_pid = max(live_points) + 100
+    snapshots = [(list(merged.values()), dict(live_points))]
+    for kind in steps:
+        if kind == "insert-point":
+            taken = set(live_points.values())
+            free = [node for node in range(graph.num_nodes)
+                    if node not in taken]
+            if not free:
+                continue
+            node = rng.choice(free)
+            db.insert_point(next_pid, node)
+            live_points[next_pid] = node
+            next_pid += 1
+        elif kind == "delete-point":
+            if len(live_points) <= 2:
+                continue
+            pid = rng.choice(sorted(live_points))
+            db.delete_point(pid)
+            del live_points[pid]
+        elif kind == "insert-edge":
+            missing = [
+                (a, b)
+                for a in range(graph.num_nodes)
+                for b in range(a + 1, graph.num_nodes)
+                if edge_key(a, b) not in merged
+            ]
+            if not missing:
+                continue
+            u, v = rng.choice(missing)
+            weight = float(rng.randint(1, 9))
+            db.insert_edge(u, v, weight)
+            merged[edge_key(u, v)] = (u, v, weight)
+        else:  # delete-edge
+            if len(merged) <= graph.num_nodes // 2:
+                continue
+            key = rng.choice(sorted(merged))
+            u, v, _ = merged[key]
+            db.delete_edge(u, v)
+            del merged[key]
+        snapshots.append((list(merged.values()), dict(live_points)))
+    return snapshots
+
+
+def reference_db(num_nodes, snapshot):
+    """A from-scratch database holding one model snapshot."""
+    edges, live_points = snapshot
+    return CompactDatabase(Graph(num_nodes, edges),
+                           NodePointSet(live_points))
+
+
+def a_route(reference, rng):
+    """A short random walk valid in ``reference``'s network."""
+    graph = reference.graph
+    starts = [n for n in range(graph.num_nodes) if graph.neighbors(n)]
+    route = [rng.choice(starts)]
+    for _ in range(2):
+        neighbors = [nbr for nbr, _ in graph.neighbors(route[-1])
+                     if nbr != route[-1]]
+        if not neighbors:
+            break
+        route.append(rng.choice(neighbors))
+    return route
+
+
+def check_state(session, reference, seed, label, rng):
+    """Bitwise-compare one overlay state against its rebuild."""
+    ks = [1] + ([4] if len(dict(reference.points.items())) >= 4 else [])
+    queries = rng.sample(range(reference.graph.num_nodes),
+                         min(5, reference.graph.num_nodes))
+    for k in ks:
+        for query in queries:
+            got = session.rknn(query, k).points
+            want = reference.rknn(query, k).points
+            assert got == want, (
+                f"seed={seed} {label}: rknn({query}, k={k}) "
+                f"gave {got}, rebuild gave {want}"
+            )
+        route = a_route(reference, rng)
+        got = session.continuous_rknn(route, k).points
+        want = reference.continuous_rknn(route, k).points
+        assert got == want, (
+            f"seed={seed} {label}: continuous_rknn({route}, k={k}) "
+            f"gave {got}, rebuild gave {want}"
+        )
+
+
+@settings(**SETTINGS)
+@given(overlay_scripts())
+def test_overlay_matches_rebuild_at_every_epoch(case):
+    """at_epoch(e) == from-scratch rebuild of the epoch-e state."""
+    seed, n, num_points, steps = case
+    graph, points, rng = build_case(seed, n, num_points)
+    db = CompactDatabase(graph, points)
+    snapshots = apply_script(db, graph, points, steps, rng)
+    assert db.stamp == (0, len(snapshots) - 1), f"seed={seed}"
+    for epoch, snapshot in enumerate(snapshots):
+        reference = reference_db(n, snapshot)
+        session = db.at_epoch(epoch)
+        check_state(session, reference, seed, f"epoch {epoch}",
+                    random.Random(seed + epoch))
+
+
+@settings(**SETTINGS)
+@given(overlay_scripts())
+def test_compaction_preserves_head_answers(case):
+    """compact() folds the log without changing a single answer."""
+    seed, n, num_points, steps = case
+    graph, points, rng = build_case(seed, n, num_points)
+    db = CompactDatabase(graph, points)
+    snapshots = apply_script(db, graph, points, steps, rng)
+    reference = reference_db(n, snapshots[-1])
+    check_state(db, reference, seed, "head", random.Random(seed))
+    db.compact()
+    assert db.stamp == (1, 0) or len(snapshots) == 1, f"seed={seed}"
+    check_state(db, reference, seed, "post-compaction", random.Random(seed))
+
+
+@settings(**SETTINGS)
+@given(overlay_scripts(kinds=ORACLE_SAFE_KINDS))
+def test_overlay_with_oracle_matches_oracle_free_rebuild(case):
+    """Oracle pruning stays answer-preserving across the whole log.
+
+    Edge deletions only grow shortest-path distances, so landmark
+    lower bounds built on the base stay admissible; the oracle-on
+    overlay must match an oracle-free rebuild at the head and after
+    compaction.
+    """
+    seed, n, num_points, steps = case
+    graph, points, rng = build_case(seed, n, num_points)
+    db = CompactDatabase(graph, points)
+    db.build_oracle(3)
+    snapshots = apply_script(db, graph, points, steps, rng)
+    assert db.oracle is not None, f"seed={seed}: oracle detached"
+    reference = reference_db(n, snapshots[-1])
+    check_state(db, reference, seed, "oracle head", random.Random(seed))
+    db.compact()
+    check_state(db, reference, seed, "oracle post-compaction",
+                random.Random(seed))

@@ -7,7 +7,10 @@ This suite generates seeded random networks and workloads (kNN, RkNN
 under every method, bichromatic, continuous, range, with interleaved
 point updates), replays the *same* workload on every backend -- and,
 for the undirected trio, on oracle-enabled variants of each backend
-(the landmark bounds may only prune, never change an answer) -- and
+(the landmark bounds may only prune, never change an answer) and on
+delta-overlay variants of the compact store, both pre-compaction
+(reads through the merged overlay view) and post-compaction
+(``compact_threshold=1`` folds every append immediately) -- and
 asserts the answers are identical entry for entry.
 
 Every case is parametrized by its seed and every assertion message
@@ -118,11 +121,33 @@ def test_backends_agree_undirected(seed):
             db.build_oracle(3 + seed % 3, seed=seed)
         return db
 
+    def churned_overlay():
+        # a net-zero edge insert + delete leaves pending delta ops, so
+        # the whole workload reads through the merged overlay view
+        # (and its point mutations stay pre-compaction log appends)
+        db = CompactDatabase(graph, points)
+        a, b = next(
+            (a, b)
+            for a in range(graph.num_nodes)
+            for b in range(a + 1, graph.num_nodes)
+            if not graph.has_edge(a, b)
+        )
+        db.insert_edge(a, b, 1.0)
+        db.delete_edge(a, b)
+        return db
+
     backends = {
         "disk": build(lambda: GraphDatabase(graph, points)),
         "sharded-K1": build(lambda: ShardedDatabase(graph, points, num_shards=1)),
         "sharded-K4": build(lambda: ShardedDatabase(graph, points, num_shards=4)),
         "compact": build(lambda: CompactDatabase(graph, points)),
+        # the delta overlay, pre-compaction (merged view with a pending
+        # edge log) and post-compaction (threshold 1 folds every append
+        # into a fresh base immediately)
+        "compact+overlay-pending": build(churned_overlay),
+        "compact+overlay-compacted": build(
+            lambda: CompactDatabase(graph, points, compact_threshold=1)
+        ),
         # the same trio with the landmark oracle attached: pruning must
         # never change an answer, on any backend
         "disk+oracle": build(lambda: GraphDatabase(graph, points),

@@ -1,0 +1,133 @@
+"""Result-cache keying over delta-overlay databases.
+
+Regression battery for the snapshot-keyed result cache.  Keying on
+``db.generation`` alone is wrong over the compact backend's delta
+overlay: compaction swaps the entire base without bumping the
+generation (it changes no observable state), and a reference-set swap
+lives outside the delta log entirely.  The engine therefore keys on
+the two-part ``(base_generation, delta_epoch)`` stamp -- these tests
+pin that the key invalidates exactly what it must and nothing more.
+"""
+
+import random
+
+import pytest
+
+from repro import CompactDatabase, GraphDatabase, NodePointSet, QuerySpec
+from repro.engine.engine import QueryEngine
+from tests.conftest import build_random_graph
+
+
+@pytest.fixture
+def db():
+    rng = random.Random(11)
+    graph = build_random_graph(rng, 40, 20, int_weights=True)
+    nodes = rng.sample(range(40), 8)
+    return CompactDatabase(graph, NodePointSet(
+        {100 + i: node for i, node in enumerate(nodes)}
+    ))
+
+
+SPEC = QuerySpec("rknn", query=3, k=2)
+
+
+def test_compact_backend_stamp_is_two_part(db):
+    engine = QueryEngine(db)
+    assert engine.cache_stamp == (0, 0)
+    db.insert_point(50, next(
+        n for n in range(40) if db.points.point_at(n) is None
+    ))
+    assert engine.cache_stamp == (0, 1)
+
+
+def test_backends_without_stamp_fall_back_to_generation():
+    rng = random.Random(11)
+    graph = build_random_graph(rng, 30, 15)
+    disk = GraphDatabase(graph, NodePointSet({0: 3, 1: 17}))
+    engine = QueryEngine(disk)
+    assert engine.cache_stamp == disk.generation == 0
+
+
+def test_repeat_at_unchanged_stamp_hits(db):
+    engine = QueryEngine(db)
+    first = engine.run(SPEC)
+    hit = engine.run(SPEC)
+    assert engine.cache_stats.hits == 1 and engine.cache_stats.misses == 1
+    assert hit.points == first.points
+    assert hit.io == 0  # a hit is re-labeled with a zero cost record
+
+
+def test_append_invalidates_and_refreshes(db):
+    engine = QueryEngine(db)
+    engine.run(SPEC)
+    free = next(n for n in range(40) if db.points.point_at(n) is None)
+    db.insert_point(50, free)
+    refreshed = engine.run(SPEC)
+    assert engine.cache_stats.hits == 0 and engine.cache_stats.misses == 2
+    assert refreshed.points == db.rknn(SPEC.query, SPEC.k).points
+
+
+def test_generation_alone_would_collide_across_compaction(db):
+    """The collision the two-part key exists to prevent.
+
+    Compaction swaps every base array while leaving ``generation``
+    untouched; a generation-keyed cache could not tell the two
+    snapshots apart.  The stamp moves, the answers (by the overlay's
+    core invariant) do not.
+    """
+    engine = QueryEngine(db)
+    db.insert_edge(0, 39, 2.0)
+    before = engine.run(SPEC)
+    generation_before, stamp_before = db.generation, engine.cache_stamp
+    db.compact()
+    assert db.generation == generation_before  # collision bait
+    assert engine.cache_stamp != stamp_before  # the key still moves
+    after = engine.run(SPEC)
+    assert after.points == before.points
+    assert engine.cache_stats.misses == 2  # distinct snapshots, no hit
+
+
+def test_edge_mutations_refresh_through_engine(db):
+    engine = QueryEngine(db)
+    baseline = [engine.run(QuerySpec("rknn", query=q, k=2)).points
+                for q in range(0, 40, 7)]
+    u, v, _ = next(iter(db.graph.edges()))
+    db.delete_edge(u, v)
+    for q, old in zip(range(0, 40, 7), baseline):
+        got = engine.run(QuerySpec("rknn", query=q, k=2)).points
+        assert got == db.rknn(q, 2).points
+    db.compact()
+    for q in range(0, 40, 7):
+        got = engine.run(QuerySpec("rknn", query=q, k=2)).points
+        assert got == db.rknn(q, 2).points
+
+
+def test_attach_reference_moves_the_key(db):
+    """A reference swap happens outside the delta log; the stamp must
+    move anyway or bichromatic answers would be served stale."""
+    engine = QueryEngine(db)
+    db.attach_reference(NodePointSet({0: 5, 1: 22}))
+    spec = QuerySpec("bichromatic", query=3, k=1)
+    engine.run(spec)
+    stamp = engine.cache_stamp
+    db.attach_reference(NodePointSet({0: 9}))
+    assert engine.cache_stamp != stamp
+    second = engine.run(spec)
+    assert engine.cache_stats.hits == 0
+    assert second.points == db.bichromatic_rknn(3, 1).points
+
+
+def test_batch_path_uses_the_stamp(db):
+    engine = QueryEngine(db)
+    specs = [QuerySpec("rknn", query=q, k=1) for q in (1, 5, 9, 13)]
+    outcome = engine.run_batch(specs)
+    db.insert_edge(0, 39, 1.5)
+    refreshed = engine.run_batch(specs)
+    assert engine.cache_stats.hits == 0
+    for spec, result in zip(specs, refreshed.results):
+        assert result.points == db.rknn(spec.query, spec.k).points
+    again = engine.run_batch(specs)
+    assert [r.points for r in again.results] == [
+        r.points for r in refreshed.results
+    ]
+    assert engine.cache_stats.hits == len(specs)

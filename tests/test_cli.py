@@ -388,3 +388,82 @@ class TestPlan:
         capsys.readouterr()
         assert main(["plan", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCompactCompact:
+    """The ``compact compact`` verb: apply a mutation log, fold it."""
+
+    def _targets(self, saved_graph):
+        """A free node and a missing edge of the saved grid network."""
+        from repro.graph.io import load_graph
+
+        graph, points = load_graph(saved_graph)
+        taken = {node for _, node in points.items()}
+        free = next(n for n in range(graph.num_nodes) if n not in taken)
+        missing = next(
+            (a, b)
+            for a in range(graph.num_nodes)
+            for b in range(a + 1, graph.num_nodes)
+            if not graph.has_edge(a, b)
+        )
+        return free, missing
+
+    def test_folds_a_mutation_log(self, saved_graph, tmp_path, capsys):
+        free, (a, b) = self._targets(saved_graph)
+        log = tmp_path / "mutations.jsonl"
+        log.write_text(
+            f'{{"op": "insert", "pid": 900, "node": {free}}}\n'
+            "\n"
+            f'{{"op": "insert-edge", "u": {a}, "v": {b}, "weight": 2.5}}\n'
+            f'{{"op": "delete-edge", "u": {a}, "v": {b}}}\n'
+            '{"op": "delete", "pid": 900}\n'
+        )
+        assert main(["compact", "compact", str(saved_graph),
+                     "--mutations", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "applied 4 mutation(s)" in out
+        assert "stamp (0, 4), 4 pending delta op(s)" in out
+        assert "folded 4 delta op(s) into base generation 1" in out
+        assert "stamp (1, 0)" in out
+        assert "never drains" in out
+
+    def test_empty_log_is_idempotent(self, saved_graph, capsys):
+        assert main(["compact", "compact", str(saved_graph)]) == 0
+        out = capsys.readouterr().out
+        assert "applied 0 mutation(s)" in out
+        assert "folded 0 delta op(s)" in out
+
+    def test_threshold_autocompacts_while_applying(self, saved_graph,
+                                                   tmp_path, capsys):
+        free, _ = self._targets(saved_graph)
+        log = tmp_path / "mutations.jsonl"
+        log.write_text(
+            f'{{"op": "insert", "pid": 900, "node": {free}}}\n'
+            '{"op": "delete", "pid": 900}\n'
+        )
+        assert main(["compact", "compact", str(saved_graph),
+                     "--mutations", str(log), "--threshold", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stamp (2, 0), 0 pending delta op(s)" in out
+
+    def test_bad_mutation_reports_file_and_line(self, saved_graph, tmp_path,
+                                                capsys):
+        log = tmp_path / "mutations.jsonl"
+        log.write_text('{"op": "insert", "pid": 900, "node": 0}\n'
+                       '{"op": "frobnicate"}\n')
+        assert main(["compact", "compact", str(saved_graph),
+                     "--mutations", str(log)]) == 1
+        err = capsys.readouterr().err
+        assert "mutations.jsonl:2: bad mutation" in err
+
+    def test_query_threshold_requires_compact_backend(self, saved_graph,
+                                                      capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--compact-threshold", "2"]) == 1
+        assert "--compact-threshold requires --compact" in \
+            capsys.readouterr().err
+
+    def test_query_accepts_threshold_with_compact(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5", "--k", "2",
+                     "--compact", "--compact-threshold", "4"]) == 0
+        assert "R2NN(5)" in capsys.readouterr().out

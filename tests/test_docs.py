@@ -60,6 +60,10 @@ class TestDocsPages:
         # ... and a compact one, promoted from the disk store
         assert namespace["cdb"].backend == "compact"
         assert namespace["promoted"].backend == "compact"
+        # the delta-overlay walkthrough compacted to a fresh base while
+        # a pinned clone kept the original snapshot
+        assert namespace["odb"].stamp == (1, 0)
+        assert namespace["pinned"].stamp == (0, 0)
 
     def test_algorithms_page_executes(self):
         namespace = run_blocks(ROOT / "docs" / "algorithms.md")
