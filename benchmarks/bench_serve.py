@@ -25,18 +25,19 @@ percentiles) are recorded for the archived trajectory but stay
 ungated across machines.
 """
 
+import os
 import random
 import threading
 import time
 
 from emit import emit
 
-from repro import GraphDatabase
+from repro import CompactDatabase, GraphDatabase
 from repro.bench.harness import latency_percentiles
 from repro.bench.report import save_report
 from repro.datasets.grid import generate_grid
 from repro.datasets.workload import place_node_points
-from repro.serve import ServeClient, serve_in_thread
+from repro.serve import ServeClient, fleet_in_thread, serve_in_thread
 
 DENSITY = 0.1
 DISTINCT = 25
@@ -108,46 +109,51 @@ def _run_open_loop(db, payloads, rate_qps: float):
     in flight is whatever the offered rate produces -- queueing delay
     lands in the recorded latency, not in the arrival schedule.
     """
+    with serve_in_thread(db, window=WINDOW, max_batch=MAX_BATCH) as handle:
+        return _drive_open_loop(handle, payloads, rate_qps)
+
+
+def _drive_open_loop(handle, payloads, rate_qps: float):
+    """Drive one already-running server handle at the offered rate."""
     assigned = [list(range(conn, len(payloads), CONCURRENCY))
                 for conn in range(CONCURRENCY)]
     latencies = [0.0] * len(payloads)
     tally = {"ok": 0, "overloaded": 0, "error": 0}
     lock = threading.Lock()
 
-    with serve_in_thread(db, window=WINDOW, max_batch=MAX_BATCH) as handle:
-        clients = [ServeClient(handle.host, handle.port)
-                   for _ in range(CONCURRENCY)]
-        start = time.perf_counter()
+    clients = [ServeClient(handle.host, handle.port)
+               for _ in range(CONCURRENCY)]
+    start = time.perf_counter()
 
-        def send(conn: int) -> None:
-            client = clients[conn]
-            for index in assigned[conn]:
-                delay = start + index / rate_qps - time.perf_counter()
-                if delay > 0:
-                    time.sleep(delay)
-                client.send(payloads[index])
+    def send(conn: int) -> None:
+        client = clients[conn]
+        for index in assigned[conn]:
+            delay = start + index / rate_qps - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            client.send(payloads[index])
 
-        def receive(conn: int) -> None:
-            client = clients[conn]
-            for index in assigned[conn]:
-                response = client.recv()
-                latencies[index] = (time.perf_counter()
-                                    - start - index / rate_qps)
-                status = response.get("status")
-                with lock:
-                    tally[status if status in tally else "error"] += 1
+    def receive(conn: int) -> None:
+        client = clients[conn]
+        for index in assigned[conn]:
+            response = client.recv()
+            latencies[index] = (time.perf_counter()
+                                - start - index / rate_qps)
+            status = response.get("status")
+            with lock:
+                tally[status if status in tally else "error"] += 1
 
-        threads = [threading.Thread(target=task, args=(conn,))
-                   for conn in range(CONCURRENCY)
-                   for task in (send, receive)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        elapsed = time.perf_counter() - start
-        server_metrics = clients[0].metrics()
-        for client in clients:
-            client.close()
+    threads = [threading.Thread(target=task, args=(conn,))
+               for conn in range(CONCURRENCY)
+               for task in (send, receive)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    server_metrics = clients[0].metrics()
+    for client in clients:
+        client.close()
     return elapsed, latencies, tally, server_metrics
 
 
@@ -235,3 +241,118 @@ def test_batched_serving_beats_sequential_loop_2x(benchmark, profile):
     assert checks["p95_ms"] <= P95_BUDGET_MS, (
         f"p95 latency {checks['p95_ms']:.1f} ms over {P95_BUDGET_MS:g} ms"
     )
+
+
+# -- multi-process fleet ----------------------------------------------------
+
+#: Worker process count of the fleet under test (CI smoke uses 2).
+FLEET_WORKERS = int(os.environ.get("REPRO_BENCH_FLEET_WORKERS", "2"))
+#: Wall-clock scaling floors, asserted only on machines with enough
+#: cores to host the router plus every worker (one core cannot
+#: demonstrate process-level parallelism).
+FLEET_SPEEDUP_FLOORS = {2: 1.2, 4: 3.0}
+
+
+def _build_compact_db(profile) -> CompactDatabase:
+    graph = generate_grid(profile.grid_fixed_nodes, average_degree=4.0,
+                          seed=51)
+    points = place_node_points(graph, DENSITY, seed=52)
+    return CompactDatabase(graph, points)
+
+
+def test_fleet_scales_out_the_compact_server(benchmark, profile, tmp_path):
+    """``repro serve --workers N`` vs the single-process compact server.
+
+    Both sides run the identical mixed workload at the same offered
+    open-loop rate; the fleet's extra capacity shows up as higher
+    sustained throughput.  The response tally is deterministic and
+    regression-gated; the wall-clock speedup is recorded always but
+    asserted only when the machine has at least ``workers + 1`` cores
+    (router + workers), since one core serializes the processes.
+    """
+    snapshot = _build_compact_db(profile).save_snapshot(tmp_path / "snap")
+
+    def experiment():
+        payloads = _payloads(profile.grid_fixed_nodes, seed=53)
+        sequential_seconds = min(
+            _run_sequential(_build_compact_db(profile), payloads)[0]
+            for _ in range(2)
+        )
+        offered = (len(payloads) / sequential_seconds) * OFFERED_MULTIPLE
+
+        single_rounds = [
+            _run_open_loop(_build_compact_db(profile), payloads, offered)
+            for _ in range(2)
+        ]
+        single_seconds, _, single_tally, _ = min(
+            single_rounds, key=lambda outcome: outcome[0]
+        )
+
+        fleet_rounds = []
+        for _ in range(2):
+            with fleet_in_thread(str(snapshot), workers=FLEET_WORKERS,
+                                 window=WINDOW,
+                                 max_batch=MAX_BATCH) as handle:
+                fleet_rounds.append(
+                    _drive_open_loop(handle, payloads, offered)
+                )
+        fleet_seconds, latencies, tally, server_metrics = min(
+            fleet_rounds, key=lambda outcome: outcome[0]
+        )
+
+        tail = latency_percentiles(latencies)
+        speedup = single_seconds / fleet_seconds
+        metrics = {
+            "requests": len(payloads),
+            "workers": FLEET_WORKERS,
+            "concurrency": CONCURRENCY,
+            "ok": tally["ok"],
+            "overloaded": tally["overloaded"],
+            "errors": tally["error"],
+            "single_ok": single_tally["ok"],
+            "batches": server_metrics["admission"]["batches"],
+            "reroutes": server_metrics["reroutes"],
+            "live_workers": server_metrics["live_workers"],
+            "speedup_vs_single_process": round(speedup, 3),
+            "p50_ms": round(tail["p50_ms"], 3),
+            "p95_ms": round(tail["p95_ms"], 3),
+        }
+        rows = [
+            {"mode": "single process", "seconds": single_seconds,
+             "qps": len(payloads) / single_seconds},
+            {"mode": f"fleet x{FLEET_WORKERS}", "seconds": fleet_seconds,
+             "qps": len(payloads) / fleet_seconds},
+        ]
+        return rows, tally, metrics, speedup
+
+    rows, tally, metrics, speedup = benchmark.pedantic(experiment, rounds=1,
+                                                       iterations=1)
+
+    lines = [f"Serve fleet -- {FLEET_WORKERS} worker processes vs one "
+             "compact server, same offered load",
+             f"{'mode':>16}  {'seconds':>8}  {'q/s':>7}"]
+    for row in rows:
+        lines.append(f"{row['mode']:>16}  {row['seconds']:>8.4f}  "
+                     f"{row['qps']:>7.0f}")
+    lines.append(f"latency: p50 {metrics['p50_ms']:.1f} ms, "
+                 f"p95 {metrics['p95_ms']:.1f} ms")
+    lines.append(f"speedup: {speedup:.2f}x over the single process "
+                 f"({os.cpu_count()} cores here)")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_report("serve_fleet", text)
+    emit("serve_fleet", metrics, regression={
+        "ok": {"direction": "higher", "tolerance": 0.0},
+        "errors": {"direction": "lower", "tolerance": 0.0},
+    })
+
+    assert tally["error"] == 0, tally
+    assert tally["ok"] == metrics["requests"], tally
+    assert metrics["live_workers"] == FLEET_WORKERS, metrics
+    floor = FLEET_SPEEDUP_FLOORS.get(FLEET_WORKERS)
+    cores = os.cpu_count() or 1
+    if floor is not None and cores >= FLEET_WORKERS + 1:
+        assert speedup >= floor, (
+            f"fleet x{FLEET_WORKERS} speedup {speedup:.2f}x below "
+            f"{floor}x on a {cores}-core machine"
+        )

@@ -4,4 +4,7 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# guarded so multiprocessing's spawn bootstrap (which re-imports the
+# main module in every serve-fleet worker) doesn't re-run the CLI
+if __name__ == "__main__":
+    sys.exit(main())

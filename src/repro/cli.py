@@ -19,7 +19,7 @@ Usage (also ``python -m repro``)::
     python -m repro oracle build sf.graph --landmarks 8
     python -m repro batch sf.graph --specs queries.jsonl --oracle
     python -m repro query sf.graph --query 17 --k 2 --compact --oracle
-    python -m repro serve sf.graph --port 8750 --shards 4 --workers 2
+    python -m repro serve sf.graph --port 8750 --compact --workers 4
 
 The ``batch`` subcommand reads one JSON query spec per line (see
 :mod:`repro.engine.spec`), e.g.::
@@ -36,6 +36,7 @@ shared between runs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Sequence
@@ -231,7 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission bound before requests are shed "
                        "with an 'overloaded' response")
     serve.add_argument("--workers", type=int, default=1,
-                       help="engine worker sessions per batch")
+                       help="worker processes; > 1 boots a multi-process "
+                       "fleet over a shared mmap'd CSR snapshot "
+                       "(requires --compact)")
     serve.add_argument("--cache-size", type=int, default=4096,
                        help="result-cache entries (0 disables caching)")
     serve.add_argument("--materialize", type=int, default=0, metavar="K",
@@ -495,8 +498,8 @@ def _batch(args: argparse.Namespace) -> int:
 
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
-
-    from repro.serve.server import RknnServer
+    import contextlib
+    import tempfile
 
     if args.window_ms < 0:
         raise QueryError(f"--window-ms must be >= 0, got {args.window_ms}")
@@ -508,16 +511,45 @@ def _serve(args: argparse.Namespace) -> int:
         raise QueryError(f"--workers must be >= 1, got {args.workers}")
     if args.cache_size < 0:
         raise QueryError(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.workers > 1 and not args.compact:
+        raise QueryError(
+            "--workers > 1 runs a multi-process fleet over a shared CSR "
+            "snapshot, which needs the compact backend: add --compact"
+        )
     graph, points = load_graph(args.graph)
-    db, backend = _open_backend(args, graph, points)
-    server = RknnServer(
-        db,
-        window=args.window_ms / 1000.0,
-        max_batch=args.max_batch,
-        max_queue=args.max_queue,
-        workers=args.workers,
-        cache_entries=args.cache_size,
-    )
+    snapshot_dir: tempfile.TemporaryDirectory | None = None
+    if args.workers > 1:
+        from repro.serve.fleet import FleetServer
+
+        # workers materialize and build their own oracles from the
+        # snapshot, so skip that work on the parent's throwaway copy
+        threshold = getattr(args, "compact_threshold", None)
+        parent_db = CompactDatabase(graph, points, compact_threshold=threshold)
+        snapshot_dir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        parent_db.save_snapshot(snapshot_dir.name)
+        backend = "compact"
+        server = FleetServer(
+            snapshot_dir.name,
+            workers=args.workers,
+            window=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            materialize=args.materialize,
+            oracle_landmarks=args.oracle_landmarks if args.oracle else None,
+            cache_entries=args.cache_size,
+        )
+    else:
+        from repro.serve.server import RknnServer
+
+        db, backend = _open_backend(args, graph, points)
+        server = RknnServer(
+            db,
+            window=args.window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            workers=args.workers,
+            cache_entries=args.cache_size,
+        )
 
     def ready(address: tuple[str, int]) -> None:
         host, port = address
@@ -533,6 +565,14 @@ def _serve(args: argparse.Namespace) -> int:
         asyncio.run(server.run(args.host, args.port, ready=ready))
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        # a stale ready file would make a supervisor believe a dead (or
+        # restarting) server is already accepting connections
+        if args.ready_file:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(args.ready_file)
+        if snapshot_dir is not None:
+            snapshot_dir.cleanup()
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.compact.batch import BatchRequest, batch_rknn_kernel, numpy_available
 from repro.compact.csr import CSRDiGraph, CSRGraph
 from repro.compact.db import CompactDatabase, CompactDirectedDatabase
 from repro.compact.overlay import DeltaOp, DeltaOverlay, OverlayGraphStore
+from repro.compact.snapshot import CSRGraphAdapter, load_snapshot, save_snapshot
 from repro.compact.store import (
     CompactDiGraphStore,
     CompactGraphStore,
@@ -38,6 +39,7 @@ __all__ = [
     "BatchRequest",
     "CSRDiGraph",
     "CSRGraph",
+    "CSRGraphAdapter",
     "CompactDatabase",
     "CompactDiGraphStore",
     "CompactDirectedDatabase",
@@ -47,5 +49,7 @@ __all__ = [
     "MemoryKnnStore",
     "OverlayGraphStore",
     "batch_rknn_kernel",
+    "load_snapshot",
     "numpy_available",
+    "save_snapshot",
 ]

@@ -26,6 +26,9 @@ entry for entry -- the round trip the property suite leans on.
 
 from __future__ import annotations
 
+import os
+import struct
+import sys
 from array import array
 from collections import deque
 from typing import Sequence
@@ -35,6 +38,92 @@ from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
 
 AdjacencyLists = Sequence[Sequence[tuple[int, float]]]
+
+# On-disk flat-array format (little-endian throughout):
+#   header   -- magic ``RCSR`` + uint16 version + uint16 kind
+#   counts   -- int64 num_nodes + int64 entry count(s)
+#   arrays   -- the CSR triple(s) exactly as held in memory:
+#               offsets (num_nodes + 1 int64), targets (int64),
+#               weights (float64); a digraph writes the out-triple
+#               then the in-triple.
+# Both header shapes are 8-byte multiples (24 bytes undirected, 32
+# directed), so every array starts 8-byte aligned and ``load(...,
+# mmap=True)`` can hand out typed views over one shared mapping.
+_MAGIC = b"RCSR"
+_FORMAT_VERSION = 1
+_KIND_GRAPH = 1
+_KIND_DIGRAPH = 2
+_HEADER = struct.Struct("<4sHH")
+
+
+def _le_bytes(arr) -> bytes:
+    """Serialize one flat array as little-endian raw bytes."""
+    if sys.byteorder == "big":  # pragma: no cover - little-endian CI
+        import numpy as np
+
+        return np.asarray(arr).byteswap().tobytes()
+    return arr.tobytes()
+
+
+def _read_exact(handle, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or reject the file as truncated."""
+    data = handle.read(count)
+    if len(data) != count:
+        raise GraphError(f"CSR file truncated while reading {what}")
+    return data
+
+
+def _read_preamble(handle, expected_kind: int, counts: int) -> tuple[int, ...]:
+    """Validate the header and return the int64 count fields."""
+    magic, version, kind = _HEADER.unpack(
+        _read_exact(handle, _HEADER.size, "header")
+    )
+    if magic != _MAGIC:
+        raise GraphError("not a CSR file (bad magic)")
+    if version != _FORMAT_VERSION:
+        raise GraphError(f"unsupported CSR format version {version}")
+    if kind != expected_kind:
+        raise GraphError("CSR file holds the other graph kind")
+    return struct.unpack(
+        f"<{counts}q", _read_exact(handle, 8 * counts, "counts")
+    )
+
+
+def _mmap_views(path, preamble_size: int, sizes: Sequence[tuple[int, str]]):
+    """Typed read-only views over one shared mapping of ``path``.
+
+    One ``numpy.memmap`` of the whole file backs every view, so N
+    worker processes loading the same snapshot share a single set of
+    page-cache pages -- the zero-copy cross-process ``read_clone``.
+    ``sizes`` pairs each array's element count with its dtype, in file
+    order; the byte offsets all stay 8-aligned by construction.
+    """
+    import numpy as np
+
+    raw = np.memmap(path, dtype=np.uint8, mode="r")
+    expected = preamble_size + sum(count * 8 for count, _ in sizes)
+    if raw.size < expected:
+        raise GraphError("CSR file truncated while mapping arrays")
+    views = []
+    cursor = preamble_size
+    for count, dtype in sizes:
+        stop = cursor + count * 8
+        views.append(raw[cursor:stop].view(dtype))
+        cursor = stop
+    return views
+
+
+def _load_arrays(handle, sizes: Sequence[tuple[int, str]]) -> list[array]:
+    """Read the flat arrays into stdlib ``array`` storage (copying)."""
+    out = []
+    for count, dtype in sizes:
+        typecode = "q" if dtype == "<i8" else "d"
+        arr = array(typecode)
+        arr.frombytes(_read_exact(handle, count * 8, "arrays"))
+        if sys.byteorder == "big":  # pragma: no cover - little-endian CI
+            arr.byteswap()
+        out.append(arr)
+    return out
 
 
 def _numpy_views(offsets: array, targets: array, weights: array):
@@ -52,10 +141,15 @@ def _numpy_views(offsets: array, targets: array, weights: array):
         raise GraphError(
             "numpy is required for the vectorized CSR views"
         ) from exc
+    def view(arr, dtype):
+        if isinstance(arr, np.ndarray):  # mmap-loaded storage is already a view
+            return arr
+        return np.frombuffer(arr, dtype=dtype)
+
     return (
-        np.frombuffer(offsets, dtype=np.int64),
-        np.frombuffer(targets, dtype=np.int64),
-        np.frombuffer(weights, dtype=np.float64),
+        view(offsets, np.int64),
+        view(targets, np.int64),
+        view(weights, np.float64),
     )
 
 
@@ -264,18 +358,88 @@ class CSRGraph:
                 lists[record.node] = record.neighbors
         return cls(lists)
 
+    @classmethod
+    def _from_arrays(cls, num_nodes: int, offsets, targets, weights):
+        """Adopt already-validated flat arrays without re-flattening.
+
+        The loader's entry point: the arrays came from a file this
+        module wrote (or a mapping of one), so the O(E) list
+        validation and symmetry check are skipped -- loading stays
+        constant-time regardless of graph size.
+        """
+        kernel = cls.__new__(cls)
+        kernel.num_nodes = num_nodes
+        kernel.offsets = offsets
+        kernel.targets = targets
+        kernel.weights = weights
+        kernel.num_edges = len(targets) // 2
+        kernel._memo = [None] * num_nodes
+        kernel._flat = None
+        return kernel
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the kernel to ``path`` in the flat on-disk format.
+
+        The three arrays are dumped verbatim after a 24-byte preamble,
+        so the file *is* the in-memory layout -- ``load`` round-trips
+        bitwise, with or without ``mmap``.
+        """
+        with open(os.fspath(path), "wb") as handle:
+            handle.write(_HEADER.pack(_MAGIC, _FORMAT_VERSION, _KIND_GRAPH))
+            handle.write(struct.pack("<2q", self.num_nodes, len(self.targets)))
+            handle.write(_le_bytes(self.offsets))
+            handle.write(_le_bytes(self.targets))
+            handle.write(_le_bytes(self.weights))
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = False) -> "CSRGraph":
+        """Read a kernel previously written by :meth:`save`.
+
+        With ``mmap=False`` the arrays are copied into process-private
+        stdlib storage.  With ``mmap=True`` they are read-only
+        ``numpy.memmap`` views over one shared mapping of the file:
+        loading is constant-time and N processes mapping the same
+        snapshot share physical pages, which is what makes
+        ``CompactDatabase.read_clone`` zero-copy across processes.
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as handle:
+            num_nodes, num_entries = _read_preamble(handle, _KIND_GRAPH, 2)
+            if num_nodes < 1 or num_entries < 0 or num_entries % 2:
+                raise GraphError("CSR file header holds impossible counts")
+            sizes = [
+                (num_nodes + 1, "<i8"),
+                (num_entries, "<i8"),
+                (num_entries, "<f8"),
+            ]
+            if mmap:
+                arrays = _mmap_views(path, _HEADER.size + 16, sizes)
+            else:
+                arrays = _load_arrays(handle, sizes)
+        offsets, targets, weights = arrays
+        if offsets[0] != 0 or offsets[num_nodes] != num_entries:
+            raise GraphError("CSR file offsets disagree with its header")
+        return cls._from_arrays(num_nodes, offsets, targets, weights)
+
     # -- reads -----------------------------------------------------------
 
     def degree(self, node: int) -> int:
         """Neighbor count of ``node``."""
-        return self.offsets[node + 1] - self.offsets[node]
+        return int(self.offsets[node + 1] - self.offsets[node])
 
     def neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
         """``(neighbor, weight)`` pairs of ``node`` in original order."""
         memo = self._memo[node]
         if memo is None:
-            lo, hi = self.offsets[node], self.offsets[node + 1]
-            memo = tuple(zip(self.targets[lo:hi], self.weights[lo:hi]))
+            lo, hi = int(self.offsets[node]), int(self.offsets[node + 1])
+            # .tolist() yields plain int/float for stdlib and numpy
+            # storage alike -- downstream JSON encoding and dict keys
+            # must never see numpy scalars
+            memo = tuple(
+                zip(self.targets[lo:hi].tolist(), self.weights[lo:hi].tolist())
+            )
             self._memo[node] = memo
         return memo
 
@@ -373,14 +537,87 @@ class CSRDiGraph:
 
         return cls(decode(disk._forward), decode(disk._backward))
 
+    @classmethod
+    def _from_arrays(cls, num_nodes: int, out_arrays, in_arrays):
+        """Adopt already-validated out/in triples without re-flattening."""
+        kernel = cls.__new__(cls)
+        kernel.num_nodes = num_nodes
+        (
+            kernel._out_offsets, kernel._out_targets, kernel._out_weights,
+        ) = out_arrays
+        kernel._in_offsets, kernel._in_targets, kernel._in_weights = in_arrays
+        kernel.num_arcs = len(kernel._out_targets)
+        kernel._out_memo = [None] * num_nodes
+        kernel._in_memo = [None] * num_nodes
+        kernel._out_flat = None
+        kernel._in_flat = None
+        return kernel
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write both direction triples to ``path`` (out first, then in)."""
+        with open(os.fspath(path), "wb") as handle:
+            handle.write(_HEADER.pack(_MAGIC, _FORMAT_VERSION, _KIND_DIGRAPH))
+            handle.write(
+                struct.pack(
+                    "<3q",
+                    self.num_nodes,
+                    len(self._out_targets),
+                    len(self._in_targets),
+                )
+            )
+            for arr in (
+                self._out_offsets, self._out_targets, self._out_weights,
+                self._in_offsets, self._in_targets, self._in_weights,
+            ):
+                handle.write(_le_bytes(arr))
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = False) -> "CSRDiGraph":
+        """Read a kernel previously written by :meth:`save`.
+
+        Same contract as :meth:`CSRGraph.load`: ``mmap=False`` copies
+        into stdlib arrays, ``mmap=True`` maps read-only shared views.
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as handle:
+            num_nodes, out_arcs, in_arcs = _read_preamble(
+                handle, _KIND_DIGRAPH, 3
+            )
+            if num_nodes < 1 or out_arcs < 0 or out_arcs != in_arcs:
+                raise GraphError("CSR file header holds impossible counts")
+            sizes = [
+                (num_nodes + 1, "<i8"),
+                (out_arcs, "<i8"),
+                (out_arcs, "<f8"),
+                (num_nodes + 1, "<i8"),
+                (in_arcs, "<i8"),
+                (in_arcs, "<f8"),
+            ]
+            if mmap:
+                arrays = _mmap_views(path, _HEADER.size + 24, sizes)
+            else:
+                arrays = _load_arrays(handle, sizes)
+        for offsets, arcs in ((arrays[0], out_arcs), (arrays[3], in_arcs)):
+            if offsets[0] != 0 or offsets[num_nodes] != arcs:
+                raise GraphError("CSR file offsets disagree with its header")
+        return cls._from_arrays(num_nodes, arrays[:3], arrays[3:])
+
     # -- reads -----------------------------------------------------------
 
     def out_neighbors(self, node: int) -> tuple[tuple[int, float], ...]:
         """Outgoing ``(head, weight)`` arcs of ``node``, original order."""
         memo = self._out_memo[node]
         if memo is None:
-            lo, hi = self._out_offsets[node], self._out_offsets[node + 1]
-            memo = tuple(zip(self._out_targets[lo:hi], self._out_weights[lo:hi]))
+            lo = int(self._out_offsets[node])
+            hi = int(self._out_offsets[node + 1])
+            memo = tuple(
+                zip(
+                    self._out_targets[lo:hi].tolist(),
+                    self._out_weights[lo:hi].tolist(),
+                )
+            )
             self._out_memo[node] = memo
         return memo
 
@@ -388,8 +625,14 @@ class CSRDiGraph:
         """Incoming ``(tail, weight)`` arcs of ``node``, original order."""
         memo = self._in_memo[node]
         if memo is None:
-            lo, hi = self._in_offsets[node], self._in_offsets[node + 1]
-            memo = tuple(zip(self._in_targets[lo:hi], self._in_weights[lo:hi]))
+            lo = int(self._in_offsets[node])
+            hi = int(self._in_offsets[node + 1])
+            memo = tuple(
+                zip(
+                    self._in_targets[lo:hi].tolist(),
+                    self._in_weights[lo:hi].tolist(),
+                )
+            )
             self._in_memo[node] = memo
         return memo
 

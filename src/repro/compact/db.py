@@ -495,6 +495,60 @@ class CompactDatabase(_CompactMeasureMixin):
         if self._ref_view is not None:
             self._ref_view.bounds = bounds
 
+    # -- snapshots ----------------------------------------------------------
+
+    def save_snapshot(self, path):
+        """Write the immutable base to a snapshot directory.
+
+        Thin wrapper over :func:`repro.compact.snapshot.save_snapshot`
+        (see there for the format and the clean-base requirement).
+
+        Parameters
+        ----------
+        path:
+            Snapshot directory (created if missing).
+
+        Returns
+        -------
+        pathlib.Path
+            The snapshot directory.
+        """
+        from repro.compact.snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    @classmethod
+    def load_snapshot(
+        cls, path, *, mmap: bool = True, compact_threshold=None
+    ) -> "CompactDatabase":
+        """Rebuild a database from a snapshot directory.
+
+        With ``mmap=True`` (default) the CSR arrays are read-only
+        memory maps: loading is constant-time and every process
+        mapping the same snapshot shares physical pages -- the
+        cross-process form of :meth:`read_clone`.
+
+        Parameters
+        ----------
+        path:
+            A directory written by :meth:`save_snapshot`.
+        mmap:
+            Map the arrays instead of copying them.
+        compact_threshold:
+            Auto-compaction trigger, as in the constructor.
+
+        Returns
+        -------
+        CompactDatabase
+            Answering exactly what the saved database answered,
+            starting at stamp ``(0, 0)``.
+        """
+        from repro.compact.snapshot import load_snapshot
+
+        return load_snapshot(
+            path, mmap=mmap, compact_threshold=compact_threshold
+        )
+
     # -- sessions -----------------------------------------------------------
 
     def read_clone(self) -> "CompactDatabase":

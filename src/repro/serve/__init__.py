@@ -12,7 +12,11 @@ The serving tier turns any facade database into a network service:
 * :class:`~repro.serve.client.ServeClient` -- the blocking client used
   by tests, benchmarks and the CI replay job;
 * :func:`~repro.serve.server.serve_in_thread` -- run a server on a
-  background thread (the embedding tests and examples use).
+  background thread (the embedding tests and examples use);
+* :class:`~repro.serve.fleet.FleetServer` -- the multi-process
+  scale-out form: the same protocol, executed by N worker processes
+  over one shared mmap'd snapshot (``repro serve --workers N``), with
+  :func:`~repro.serve.fleet.fleet_in_thread` as its embedding helper.
 
 Start one from the command line with ``repro serve`` (see
 :mod:`repro.cli`).
@@ -20,10 +24,12 @@ Start one from the command line with ``repro serve`` (see
 
 from repro.serve.batcher import BatcherStats, MicroBatcher, QueueFull
 from repro.serve.client import ServeClient, http_get, replay
+from repro.serve.fleet import FleetServer, WorkerDied, fleet_in_thread
 from repro.serve.server import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_QUEUE,
     DEFAULT_WINDOW,
+    ConnectionServer,
     GenerationGate,
     RknnServer,
     ServerHandle,
@@ -32,15 +38,19 @@ from repro.serve.server import (
 
 __all__ = [
     "BatcherStats",
+    "ConnectionServer",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_QUEUE",
     "DEFAULT_WINDOW",
+    "FleetServer",
     "GenerationGate",
     "MicroBatcher",
     "QueueFull",
     "RknnServer",
     "ServeClient",
     "ServerHandle",
+    "WorkerDied",
+    "fleet_in_thread",
     "http_get",
     "replay",
     "serve_in_thread",

@@ -141,62 +141,44 @@ class _Subscription:
         self.writer = writer
 
 
-class RknnServer:
-    """Asyncio serving tier over one facade database.
+class ConnectionServer:
+    """Lifecycle and connection plumbing shared by every serve front.
 
-    Parameters
-    ----------
-    db:
-        Any facade database (:class:`~repro.api.GraphDatabase`,
-        :class:`~repro.shard.db.ShardedDatabase`,
-        :class:`~repro.compact.db.CompactDatabase`, with or without an
-        attached oracle).  The server takes ownership: all access must
-        go through requests once serving starts.
-    window / max_batch / max_queue:
-        Micro-batching and admission parameters (see
-        :class:`~repro.serve.batcher.MicroBatcher`).
-    workers:
-        Worker sessions per engine batch (``read_clone`` pool size the
-        engine spreads each batch over).
-    cache_entries:
-        Result-cache capacity of the server's engine.
+    Owns the listener, the shutdown handshake, and the JSON-lines /
+    HTTP connection loops -- everything that does not depend on *how*
+    a request is executed.  Subclasses plug in the execution policy
+    through five hooks: :meth:`_admit_query` (a query's pending
+    outcome), :meth:`_mutate` / :meth:`_compact` / :meth:`_subscribe`
+    (the non-query ops), and :meth:`metrics` / :meth:`_health`
+    (introspection).  :class:`RknnServer` executes in-process;
+    :class:`~repro.serve.fleet.FleetServer` routes to worker
+    processes.
     """
 
-    def __init__(self, db, *, window: float = DEFAULT_WINDOW,
-                 max_batch: int = DEFAULT_MAX_BATCH,
-                 max_queue: int = DEFAULT_MAX_QUEUE,
-                 workers: int = 1, cache_entries: int = 4096):
-        self.db = db
-        self.engine = db.engine(cache_entries=cache_entries)
-        self.workers = workers
-        self.batcher = MicroBatcher(
-            self._run_batch, window=window,
-            max_batch=max_batch, max_queue=max_queue,
-        )
-        self._gate = GenerationGate()
-        # Delta-overlay backends expose a snapshot stamp: mutations
-        # append instead of fencing, and responses carry the stamp.
-        self._overlay = getattr(db, "stamp", None) is not None
-        # one thread: batches and mutations never share the interpreter
-        # state concurrently even if the gate were misused
-        self._executor = ThreadPoolExecutor(max_workers=1)
+    def __init__(self):
         self._subscriptions: dict[asyncio.StreamWriter, _Subscription] = {}
         self._server: asyncio.AbstractServer | None = None
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+        # request_stop() may land on another thread before start() has
+        # created the loop and event: the flag records the request and
+        # start() honors it immediately (the pre-start race guard)
+        self._stop_pending = False
+        self._stop_mutex = threading.Lock()
         self.address: tuple[str, int] | None = None
-        self.queries_served = 0
-        self.mutations_applied = 0
-        self.compactions = 0
         self.errors = 0
-        self.events_pushed = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Bind and start accepting connections (port 0 = ephemeral)."""
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
+        with self._stop_mutex:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            if self._stop_pending:
+                # a stop requested before the loop existed wins
+                # immediately: serve_until_stopped() returns at once
+                self._stop.set()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port
         )
@@ -224,53 +206,58 @@ class RknnServer:
         await self.serve_until_stopped()
 
     def request_stop(self) -> None:
-        """Thread-safe shutdown signal (usable from any thread)."""
-        if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+        """Thread-safe shutdown signal (usable from any thread).
+
+        Safe to call at any point in the lifecycle: a request landing
+        before :meth:`start` has created the event loop is remembered
+        and honored the moment the server starts, instead of being
+        silently dropped.
+        """
+        with self._stop_mutex:
+            self._stop_pending = True
+            loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
 
     async def stop(self) -> None:
-        """Close the listener, fail waiting requests, release the pool."""
+        """Close the listener; subclasses release their execution state."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.batcher.close()
-        self._executor.shutdown(wait=True)
 
-    # -- batch execution (the batcher's runner) -----------------------------
+    # -- execution hooks ----------------------------------------------------
 
-    async def _run_batch(self, specs: list[QuerySpec]):
-        """Execute one coalesced batch; stamp every result's snapshot.
+    def _admit_query(self, payload: dict):
+        """Admit one ``query`` request; return its pending outcome.
 
-        Disk/sharded backends run under a generation read lease (the
-        gate keeps a mutation from landing mid-batch).  Delta-overlay
-        backends need no lease: the executor task captures the stamp
-        *on the executor thread*, immediately before the engine runs,
-        so the stamp and the answers come from the same serialized
-        interval -- appends land as whole executor tasks and can never
-        interleave with a running batch.
+        The return value is a future resolving to a response body (or
+        a ``(result, generation[, stamp])`` tuple), or a ready body
+        dict.  May raise :class:`~repro.serve.batcher.QueueFull` to
+        shed the request.
         """
-        loop = asyncio.get_running_loop()
-        if self._overlay:
-            def execute():
-                generation = self.db.generation
-                stamp = self.db.stamp
-                outcome = self.engine.run_batch(specs, workers=self.workers)
-                return outcome, generation, stamp
+        raise NotImplementedError
 
-            outcome, generation, stamp = await loop.run_in_executor(
-                self._executor, execute
-            )
-            self.queries_served += len(specs)
-            return [(result, generation, stamp) for result in outcome.results]
-        async with self._gate.read_lease():
-            generation = self.db.generation
-            outcome = await loop.run_in_executor(
-                self._executor,
-                lambda: self.engine.run_batch(specs, workers=self.workers),
-            )
-        self.queries_served += len(specs)
-        return [(result, generation) for result in outcome.results]
+    async def _mutate(self, op: str, payload: dict) -> dict:
+        """Apply one ``insert`` / ``delete``; return the response body."""
+        raise NotImplementedError
+
+    async def _compact(self) -> dict:
+        """Fold the delta log; return the response body."""
+        raise NotImplementedError
+
+    async def _subscribe(self, payload: dict,
+                         writer: asyncio.StreamWriter) -> dict:
+        """Register a standing query; return the response body."""
+        raise NotImplementedError
+
+    def metrics(self) -> dict:
+        """Counters for the ``/metrics`` endpoint (loop-thread only)."""
+        raise NotImplementedError
+
+    def _health(self) -> dict:
+        """Body of the ``/healthz`` endpoint."""
+        raise NotImplementedError
 
     # -- connection handling ------------------------------------------------
 
@@ -357,9 +344,7 @@ class RknnServer:
         op = payload.get("op", "query")
         if op == "query":
             try:
-                return request_id, self.batcher.admit(
-                    protocol.request_spec(payload)
-                )
+                return request_id, self._admit_query(payload)
             except QueueFull as exc:
                 return request_id, protocol.overloaded_payload(exc.depth)
             except ReproError as exc:
@@ -429,6 +414,131 @@ class RknnServer:
         except (KeyError, TypeError, ValueError) as exc:
             self.errors += 1
             return protocol.error_payload(f"bad request: {exc!r}")
+
+    # -- HTTP (curl / probe surface) ----------------------------------------
+
+    async def _handle_http(self, first: bytes, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, _ = first.decode("latin-1").split(" ", 2)
+        except ValueError:
+            method, path = "GET", "/"
+        while True:  # drain the header block
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+        if path == "/metrics":
+            status, body = "200 OK", self.metrics()
+        elif path == "/healthz":
+            status, body = "200 OK", self._health()
+        else:
+            status, body = "404 Not Found", {"error": f"unknown path {path}"}
+        content = json.dumps(body, indent=2).encode("utf-8") + b"\n"
+        writer.write(
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(content)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+        )
+        if method != "HEAD":  # HEAD answers carry headers only
+            writer.write(content)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+
+class RknnServer(ConnectionServer):
+    """Asyncio serving tier over one facade database.
+
+    Parameters
+    ----------
+    db:
+        Any facade database (:class:`~repro.api.GraphDatabase`,
+        :class:`~repro.shard.db.ShardedDatabase`,
+        :class:`~repro.compact.db.CompactDatabase`, with or without an
+        attached oracle).  The server takes ownership: all access must
+        go through requests once serving starts.
+    window / max_batch / max_queue:
+        Micro-batching and admission parameters (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    workers:
+        Worker sessions per engine batch (``read_clone`` pool size the
+        engine spreads each batch over).
+    cache_entries:
+        Result-cache capacity of the server's engine.
+    """
+
+    def __init__(self, db, *, window: float = DEFAULT_WINDOW,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 workers: int = 1, cache_entries: int = 4096):
+        super().__init__()
+        self.db = db
+        self.engine = db.engine(cache_entries=cache_entries)
+        self.workers = workers
+        self.batcher = MicroBatcher(
+            self._run_batch, window=window,
+            max_batch=max_batch, max_queue=max_queue,
+        )
+        self._gate = GenerationGate()
+        # Delta-overlay backends expose a snapshot stamp: mutations
+        # append instead of fencing, and responses carry the stamp.
+        self._overlay = getattr(db, "stamp", None) is not None
+        # one thread: batches and mutations never share the interpreter
+        # state concurrently even if the gate were misused
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self.queries_served = 0
+        self.mutations_applied = 0
+        self.compactions = 0
+        self.events_pushed = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def stop(self) -> None:
+        """Close the listener, fail waiting requests, release the pool."""
+        await super().stop()
+        await self.batcher.close()
+        self._executor.shutdown(wait=True)
+
+    # -- admission (the base class's query hook) ----------------------------
+
+    def _admit_query(self, payload: dict):
+        """Admit a query straight into the micro-batcher (fast path)."""
+        return self.batcher.admit(protocol.request_spec(payload))
+
+    # -- batch execution (the batcher's runner) -----------------------------
+
+    async def _run_batch(self, specs: list[QuerySpec]):
+        """Execute one coalesced batch; stamp every result's snapshot.
+
+        Disk/sharded backends run under a generation read lease (the
+        gate keeps a mutation from landing mid-batch).  Delta-overlay
+        backends need no lease: the executor task captures the stamp
+        *on the executor thread*, immediately before the engine runs,
+        so the stamp and the answers come from the same serialized
+        interval -- appends land as whole executor tasks and can never
+        interleave with a running batch.
+        """
+        loop = asyncio.get_running_loop()
+        if self._overlay:
+            def execute():
+                generation = self.db.generation
+                stamp = self.db.stamp
+                outcome = self.engine.run_batch(specs, workers=self.workers)
+                return outcome, generation, stamp
+
+            outcome, generation, stamp = await loop.run_in_executor(
+                self._executor, execute
+            )
+            self.queries_served += len(specs)
+            return [(result, generation, stamp) for result in outcome.results]
+        async with self._gate.read_lease():
+            generation = self.db.generation
+            outcome = await loop.run_in_executor(
+                self._executor,
+                lambda: self.engine.run_batch(specs, workers=self.workers),
+            )
+        self.queries_served += len(specs)
+        return [(result, generation) for result in outcome.results]
 
     # -- mutations and the generation swap ----------------------------------
 
@@ -605,36 +715,6 @@ class RknnServer:
         if self._overlay:
             body["base_generation"], body["delta_epoch"] = self.db.stamp
         return body
-
-    # -- HTTP (curl / probe surface) ----------------------------------------
-
-    async def _handle_http(self, first: bytes, reader: asyncio.StreamReader,
-                           writer: asyncio.StreamWriter) -> None:
-        try:
-            method, path, _ = first.decode("latin-1").split(" ", 2)
-        except ValueError:
-            method, path = "GET", "/"
-        while True:  # drain the header block
-            line = await reader.readline()
-            if not line or line in (b"\r\n", b"\n"):
-                break
-        if path == "/metrics":
-            status, body = "200 OK", self.metrics()
-        elif path == "/healthz":
-            status, body = "200 OK", self._health()
-        else:
-            status, body = "404 Not Found", {"error": f"unknown path {path}"}
-        content = json.dumps(body, indent=2).encode("utf-8") + b"\n"
-        writer.write(
-            f"HTTP/1.1 {status}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(content)}\r\n"
-            f"Connection: close\r\n\r\n".encode("latin-1")
-        )
-        if method != "HEAD":  # HEAD answers carry headers only
-            writer.write(content)
-        with contextlib.suppress(ConnectionError):
-            await writer.drain()
 
 
 class ServerHandle:

@@ -108,7 +108,7 @@ def _run_undirected_workload(db, queries, route, insert_at, delete_pid, radius):
 
 
 @pytest.mark.parametrize("seed", UNDIRECTED_SEEDS, ids=lambda s: f"seed{s}")
-def test_backends_agree_undirected(seed):
+def test_backends_agree_undirected(seed, tmp_path):
     (graph, points, reference, queries, route,
      insert_at, delete_pid, radius) = _undirected_case(seed)
 
@@ -147,6 +147,15 @@ def test_backends_agree_undirected(seed):
         "compact+overlay-pending": build(churned_overlay),
         "compact+overlay-compacted": build(
             lambda: CompactDatabase(graph, points, compact_threshold=1)
+        ),
+        # the serve fleet's worker boot path: the compact store saved
+        # to an on-disk snapshot and reloaded over mmap'd CSR arrays
+        "compact+snapshot-mmap": build(
+            lambda: CompactDatabase.load_snapshot(
+                CompactDatabase(graph, points).save_snapshot(
+                    tmp_path / "snap"),
+                mmap=True,
+            )
         ),
         # the same trio with the landmark oracle attached: pruning must
         # never change an answer, on any backend

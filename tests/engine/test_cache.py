@@ -32,6 +32,20 @@ class TestLru:
         assert len(cache) == 1
         assert cache.get(0, "a") == 2
 
+    def test_reput_refreshes_recency(self):
+        # re-putting a present key must move it to most-recent (not
+        # just overwrite in place), so eviction removes the entry that
+        # has actually been idle longest
+        cache = ResultCache(2)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.put(0, "a", 10)  # refresh via re-put, not get
+        cache.put(0, "c", 3)  # must evict b, the least-recent entry
+        assert cache.get(0, "b") is None
+        assert cache.get(0, "a") == 10
+        assert cache.get(0, "c") == 3
+        assert cache.stats.evictions == 1
+
     def test_zero_capacity_disables(self):
         cache = ResultCache(0)
         cache.put(0, "a", 1)

@@ -99,3 +99,36 @@ def test_cli_rejects_nonpositive_serve_limits(graph_file, capsys, flag):
 def test_cli_rejects_negative_cache_size(graph_file, capsys):
     assert cli_main(["serve", str(graph_file), "--cache-size", "-1"]) == 1
     assert "--cache-size" in capsys.readouterr().err
+
+
+def test_cli_fleet_requires_compact_backend(graph_file, capsys):
+    """A multi-process fleet runs over a shared CSR snapshot, so
+    --workers > 1 without --compact must fail with a clean pointer to
+    the flag, not boot a half-configured server."""
+    assert cli_main(["serve", str(graph_file), "--workers", "2"]) == 1
+    assert "--compact" in capsys.readouterr().err
+
+
+def test_cli_removes_ready_file_on_shutdown_and_restarts(graph_file,
+                                                         tmp_path):
+    """The ready file must disappear on shutdown -- a supervisor that
+    polls it would otherwise route traffic at a dead server -- and a
+    restart reusing the same path must become ready again."""
+    proc, host, port = _spawn_server(graph_file, tmp_path)
+    ready = tmp_path / "ready.txt"
+    assert ready.exists()
+    proc.send_signal(signal.SIGINT)
+    proc.communicate(timeout=30)
+    assert proc.returncode == 0
+    assert not ready.exists(), "stale ready file left after shutdown"
+
+    # the restart path: same ready file, fresh server
+    proc, host, port = _spawn_server(graph_file, tmp_path)
+    try:
+        with ServeClient(host, port) as client:
+            assert client.rknn(5, k=2)["status"] == "ok"
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.communicate(timeout=30)
+    assert proc.returncode == 0
+    assert not ready.exists()

@@ -399,3 +399,32 @@ class TestConcurrentMixedWorkload:
                 f"node {node} at generation {generation}"
             )
         assert len(seen_generations) > 1, "workload never raced a mutation"
+
+
+class TestLifecycle:
+    def test_request_stop_before_start_is_not_lost(self, db):
+        """A stop requested before start() has created the event loop
+        must be honored the moment the server starts (the pre-start
+        race: a supervisor shutting down while boot is in flight)."""
+        import asyncio
+
+        from repro.serve.server import RknnServer
+
+        server = RknnServer(db)
+        server.request_stop()  # no loop, no stop event yet
+
+        async def boot():
+            # run() binds, then serve_until_stopped() must return at
+            # once instead of waiting forever on the stop event
+            await asyncio.wait_for(server.run("127.0.0.1", 0), timeout=10)
+
+        asyncio.run(boot())
+
+    def test_request_stop_from_another_thread_after_start(self, db):
+        """The existing post-start path keeps working: request_stop()
+        from a foreign thread stops a running server."""
+        with serve_in_thread(db) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                assert client.healthz()["status"] == "ok"
+        # serve_in_thread's exit path is itself a cross-thread
+        # request_stop(); reaching this line means it returned

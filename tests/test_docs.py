@@ -64,6 +64,9 @@ class TestDocsPages:
         # a pinned clone kept the original snapshot
         assert namespace["odb"].stamp == (1, 0)
         assert namespace["pinned"].stamp == (0, 0)
+        # the process-fleet walkthrough booted real worker processes
+        assert namespace["fleet_metrics"]["mode"] == "fleet"
+        assert namespace["fleet_metrics"]["live_workers"] == 2
 
     def test_algorithms_page_executes(self):
         namespace = run_blocks(ROOT / "docs" / "algorithms.md")
