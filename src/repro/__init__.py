@@ -69,6 +69,7 @@ from repro.graph.builder import GraphBuilder
 from repro.core.result import OracleResult
 from repro.oracle import DistanceOracle, LandmarkStore, LowerBoundProvider
 from repro.points.points import EdgePointSet, NodePointSet, PointSet
+from repro.qlang import compile_text, execute, parse
 from repro.serve import RknnServer, ServeClient, serve_in_thread
 from repro.shard import ShardedDatabase, ShardedDirectedDatabase
 from repro.storage.stats import CostModel, CostTracker
@@ -109,5 +110,8 @@ __all__ = [
     "StorageError",
     "UpdateResult",
     "__version__",
+    "compile_text",
+    "execute",
+    "parse",
     "serve_in_thread",
 ]

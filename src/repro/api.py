@@ -165,6 +165,12 @@ class GraphDatabase:
         """True when data points live on nodes (restricted network)."""
         return self.points.restricted
 
+    @property
+    def reference_points(self) -> PointSet | None:
+        """The attached bichromatic reference set Q (``None`` before
+        :meth:`attach_reference`)."""
+        return self._ref_points
+
     # -- materialization -----------------------------------------------------
 
     def materialize(self, capacity: int) -> None:
@@ -348,6 +354,21 @@ class GraphDatabase:
         from repro.engine.engine import QueryEngine
 
         return QueryEngine(self, **kwargs)
+
+    def query(self, statement):
+        """Answer a qlang statement (or spec) on this database.
+
+        ``statement`` may be a qlang string (``"SELECT * FROM
+        rknn(query=7, k=2)"``; ``;`` separates a script), a
+        :class:`~repro.engine.spec.QuerySpec`, or a sequence of either.
+        Answers run through a batch engine, so compiled plans share
+        the planner, the result cache and (where the backend offers
+        one) the vectorized batch kernel.  Singular queries return one
+        result; scripts and sequences return a list.
+        """
+        from repro.qlang import execute
+
+        return execute(self, statement)
 
     def read_clone(self) -> "GraphDatabase":
         """A read-only session sharing this database's disk images.

@@ -121,6 +121,16 @@ class DirectedGraphDatabase:
 
         return QueryEngine(self, **kwargs)
 
+    def query(self, statement):
+        """Answer a qlang statement (or spec) on this database.
+
+        See :meth:`repro.api.GraphDatabase.query`; the directed facade
+        answers every kind except the bichromatic ones.
+        """
+        from repro.qlang import execute
+
+        return execute(self, statement)
+
     def read_clone(self) -> "DirectedGraphDatabase":
         """A read-only session with a private buffer and tracker.
 

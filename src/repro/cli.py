@@ -7,19 +7,28 @@ Usage (also ``python -m repro``)::
     python -m repro info sf.graph
     python -m repro query sf.graph --query 17 --k 2 --method eager
     python -m repro query sf.graph --query 3,9,12.5 --method lazy
+    python -m repro query sf.graph -e "SELECT * FROM rknn(query=17, k=2)"
+    python -m repro query sf.graph -e "SELECT * FROM topk_influence(k=2) LIMIT 5"
     python -m repro recommend sf.graph --k 2
     python -m repro report sf.graph
     python -m repro path sf.graph --source 3 --target 1200 --search alt
     python -m repro plan sf.graph --k 2 --samples 4
     python -m repro batch sf.graph --specs queries.jsonl --workers 4
     python -m repro shard build sf.graph --shards 4
-    python -m repro batch sf.graph --specs queries.jsonl --shards 4 --workers 4
+    python -m repro batch sf.graph --specs queries.jsonl --backend sharded \\
+        --workers 4
     python -m repro compact build sf.graph
-    python -m repro batch sf.graph --specs queries.jsonl --compact --workers 4
+    python -m repro batch sf.graph --specs queries.jsonl --backend compact \\
+        --workers 4
     python -m repro oracle build sf.graph --landmarks 8
     python -m repro batch sf.graph --specs queries.jsonl --oracle
-    python -m repro query sf.graph --query 17 --k 2 --compact --oracle
-    python -m repro serve sf.graph --port 8750 --compact --workers 4
+    python -m repro query sf.graph --query 17 --k 2 --backend compact --oracle
+    python -m repro serve sf.graph --port 8750 --backend compact --workers 4
+
+Backend selection is one shared option group: ``--backend
+{disk,sharded,compact}`` (+ ``--shard-count K``) and ``--oracle``; the
+old ``--shards K`` / ``--compact`` spellings still work as deprecated
+aliases but warn and will be removed.
 
 The ``batch`` subcommand reads one JSON query spec per line (see
 :mod:`repro.engine.spec`), e.g.::
@@ -64,6 +73,7 @@ from repro.shard import ShardedDatabase, ShardedGraphStore
 from repro.oracle import DEFAULT_LANDMARKS as ORACLE_LANDMARKS
 from repro.oracle import STRATEGIES as ORACLE_STRATEGIES
 from repro.paths.astar import astar_path, euclidean_heuristic
+from repro.qlang import compile_text
 from repro.paths.bidirectional import bidirectional_search
 from repro.paths.dijkstra import shortest_path
 from repro.paths.landmarks import LandmarkIndex
@@ -74,16 +84,32 @@ SEARCHES = ("dijkstra", "astar", "alt", "bidirectional")
 
 
 def _add_backend_arguments(parser) -> None:
-    """Backend-selection flags shared by ``query``, ``batch``, ``serve``."""
-    parser.add_argument("--shards", type=int, default=0, metavar="K",
-                        help="serve from a K-shard backend (0 = unsharded)")
+    """Backend-selection flags shared by ``query``, ``batch``, ``serve``.
+
+    The modern surface is one option group: ``--backend
+    {disk,sharded,compact}`` (+ ``--shard-count``) and ``--oracle``.
+    The pre-redesign spellings ``--shards K`` and ``--compact`` remain
+    as deprecated aliases: they warn on use and will be removed in a
+    future release.
+    """
+    parser.add_argument("--backend", choices=("disk", "sharded", "compact"),
+                        default=None,
+                        help="storage backend to serve from: the paged disk "
+                        "store (default), the K-shard store, or the "
+                        "memory-resident CSR store")
+    parser.add_argument("--shard-count", type=int, default=4, metavar="K",
+                        help="with --backend sharded: number of shards "
+                        "(default 4)")
+    parser.add_argument("--shards", type=int, default=None, metavar="K",
+                        help="deprecated alias for --backend sharded "
+                        "--shard-count K (0 = unsharded); to be removed")
     parser.add_argument("--compact", action="store_true",
-                        help="serve from the memory-resident CSR backend "
-                        "(no page I/O)")
+                        help="deprecated alias for --backend compact; "
+                        "to be removed")
     parser.add_argument("--compact-threshold", type=int, default=None,
-                        metavar="N", help="with --compact: auto-fold the "
-                        "delta-overlay log into a fresh CSR base once N "
-                        "mutations are pending")
+                        metavar="N", help="with the compact backend: "
+                        "auto-fold the delta-overlay log into a fresh CSR "
+                        "base once N mutations are pending")
     parser.add_argument("--oracle", action="store_true",
                         help="build a landmark distance oracle before serving; "
                         "answers are identical, expansions prune harder")
@@ -91,28 +117,71 @@ def _add_backend_arguments(parser) -> None:
                         metavar="L", help="landmark count for --oracle")
 
 
+def _warn_deprecated(flag: str, replacement: str) -> None:
+    """Point users of a pre-redesign flag at the ``--backend`` group."""
+    print(f"warning: {flag} is deprecated and will be removed in a future "
+          f"release; use {replacement}", file=sys.stderr)
+
+
+def _resolve_backend(args: argparse.Namespace) -> tuple[str, int]:
+    """Resolve the backend option group (and its deprecated aliases).
+
+    Returns ``(backend, shard count)`` where ``backend`` is one of
+    ``"disk"``, ``"sharded"``, ``"compact"``.  Memoized on the
+    namespace so ``serve`` can pre-validate without double warnings.
+    """
+    cached = getattr(args, "_resolved_backend", None)
+    if cached is not None:
+        return cached
+    backend = args.backend
+    shard_count = getattr(args, "shard_count", 4)
+    legacy_shards = getattr(args, "shards", None)
+    if getattr(args, "compact", False):
+        if legacy_shards is not None and legacy_shards > 0:
+            raise QueryError("--compact and --shards are mutually exclusive")
+        _warn_deprecated("--compact", "--backend compact")
+        if backend not in (None, "compact"):
+            raise QueryError(f"--compact conflicts with --backend {backend}")
+        backend = "compact"
+    if legacy_shards is not None:
+        if legacy_shards < 0:
+            raise QueryError(f"--shards must be >= 0, got {legacy_shards}")
+        _warn_deprecated("--shards", "--backend sharded --shard-count K")
+        if legacy_shards > 0:
+            if backend not in (None, "sharded"):
+                raise QueryError(
+                    f"--shards conflicts with --backend {backend}"
+                )
+            backend = "sharded"
+            shard_count = legacy_shards
+    backend = backend or "disk"
+    if backend == "sharded" and shard_count < 1:
+        raise QueryError(f"--shard-count must be >= 1, got {shard_count}")
+    args._resolved_backend = (backend, shard_count)
+    return args._resolved_backend
+
+
 def _open_backend(args: argparse.Namespace, graph, points):
-    """Build the database the backend flags select.
+    """Build the database the backend option group selects.
 
     Shared by ``query``, ``batch`` and ``serve``: validates the flag
-    combination, constructs the disk / sharded / compact facade,
+    combination (including the deprecated ``--shards``/``--compact``
+    aliases), constructs the disk / sharded / compact facade,
     materializes K-NN lists and attaches the oracle when asked.
     Returns ``(db, backend label)``.
     """
-    if args.shards < 0:
-        raise QueryError(f"--shards must be >= 0, got {args.shards}")
-    if args.compact and args.shards > 0:
-        raise QueryError("--compact and --shards are mutually exclusive")
+    kind, shard_count = _resolve_backend(args)
     threshold = getattr(args, "compact_threshold", None)
-    if threshold is not None and not args.compact:
-        raise QueryError("--compact-threshold requires --compact")
-    if args.compact:
+    if threshold is not None and kind != "compact":
+        raise QueryError("--compact-threshold requires the compact backend "
+                         "(--backend compact)")
+    if kind == "compact":
         db = CompactDatabase(graph, points, compact_threshold=threshold)
         backend = "compact"
-    elif args.shards > 0:
-        db = ShardedDatabase(graph, points, num_shards=args.shards,
+    elif kind == "sharded":
+        db = ShardedDatabase(graph, points, num_shards=shard_count,
                              buffer_pages=args.buffer_pages)
-        backend = f"{args.shards} shard(s)"
+        backend = f"{shard_count} shard(s)"
     else:
         db = GraphDatabase(graph, points, buffer_pages=args.buffer_pages)
         backend = "unsharded"
@@ -151,10 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="summarize a saved data set")
     info.add_argument("graph")
 
-    query = commands.add_parser("query", help="run an RkNN query")
+    query = commands.add_parser("query", help="run an RkNN or qlang query")
     query.add_argument("graph")
-    query.add_argument("--query", required=True,
+    query.add_argument("--query",
                        help="node id, or 'u,v,offset' for edge locations")
+    query.add_argument("-e", "--execute", metavar="STATEMENT",
+                       help="qlang statement(s) to run, e.g. "
+                       "\"SELECT * FROM rknn(query=17, k=2)\"; "
+                       "';' separates a script")
     query.add_argument("--k", type=int, default=1)
     query.add_argument("--method", default="eager",
                        choices=("eager", "lazy", "eager-m", "lazy-ep"))
@@ -399,9 +472,35 @@ def _parse_location(text: str):
     return int(text)
 
 
+def _spec_label(spec) -> str:
+    """A short printable handle for one compiled statement."""
+    if spec.kind == "continuous":
+        source: object = list(spec.route)
+    elif spec.kind == "aggregate_nn":
+        source = list(spec.group)
+    elif spec.query is None:
+        source = ""
+    else:
+        source = spec.query
+    return f"{spec.kind}({source})"
+
+
 def _query(args: argparse.Namespace) -> int:
+    if (args.query is None) == (args.execute is None):
+        raise QueryError("query takes exactly one of --query or -e/--execute")
     graph, points = load_graph(args.graph)
     db, backend = _open_backend(args, graph, points)
+    if args.execute is not None:
+        specs = compile_text(args.execute)
+        outcome = db.engine().run_batch(specs)
+        for spec, result in zip(specs, outcome.results):
+            answer = (list(result.points) if hasattr(result, "points")
+                      else list(result.neighbors))
+            print(f"{_spec_label(spec)} k={spec.k} -> {answer}")
+        print(f"cost: {len(outcome)} statement(s) in "
+              f"{outcome.elapsed_seconds:.4f} s, {outcome.io} page I/Os, "
+              f"{backend}")
+        return 0
     location = _parse_location(args.query)
     result = db.rknn(location, args.k, method=args.method)
     print(f"R{args.k}NN({args.query}) = {list(result.points)}")
@@ -489,7 +588,7 @@ def _batch(args: argparse.Namespace) -> int:
               f"({outcome.queries_per_second:.0f} q/s), "
               f"{outcome.hits} cache hits / {outcome.misses} misses, "
               f"{outcome.io} page I/Os, {args.workers} worker(s), {backend}")
-    if args.shards > 0 and not args.quiet:
+    if getattr(db, "num_shards", 0) and not args.quiet:
         for shard_id, counters in enumerate(db.shard_counters()):
             print(f"shard {shard_id}: {counters.page_reads} page reads, "
                   f"{counters.buffer_hits} buffer hits")
@@ -511,10 +610,12 @@ def _serve(args: argparse.Namespace) -> int:
         raise QueryError(f"--workers must be >= 1, got {args.workers}")
     if args.cache_size < 0:
         raise QueryError(f"--cache-size must be >= 0, got {args.cache_size}")
-    if args.workers > 1 and not args.compact:
+    backend_kind, _ = _resolve_backend(args)
+    if args.workers > 1 and backend_kind != "compact":
         raise QueryError(
             "--workers > 1 runs a multi-process fleet over a shared CSR "
-            "snapshot, which needs the compact backend: add --compact"
+            "snapshot, which needs the compact backend: add --backend "
+            "compact (or the deprecated --compact alias)"
         )
     graph, points = load_graph(args.graph)
     snapshot_dir: tempfile.TemporaryDirectory | None = None

@@ -177,6 +177,17 @@ class _CompactMeasureMixin:
 
         return QueryEngine(self, **kwargs)
 
+    def query(self, statement):
+        """Answer a qlang statement (or spec) on this database.
+
+        See :meth:`repro.api.GraphDatabase.query`; on the compact
+        backend, batchable sub-queries of compiled plans execute
+        through the vectorized :meth:`batch_rknn` kernel.
+        """
+        from repro.qlang import execute
+
+        return execute(self, statement)
+
 
 class CompactDatabase(_CompactMeasureMixin):
     """Memory-resident CSR graph database answering (reverse) NN queries.
@@ -350,6 +361,12 @@ class CompactDatabase(_CompactMeasureMixin):
         the compact store serves the packing-order locality rank.
         """
         return self.store
+
+    @property
+    def reference_points(self) -> NodePointSet | None:
+        """The attached bichromatic reference set Q (``None`` before
+        :meth:`attach_reference`)."""
+        return self._ref_points
 
     # -- materialization ----------------------------------------------------
 

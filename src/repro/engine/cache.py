@@ -37,6 +37,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total probes: hits plus misses."""
         return self.hits + self.misses
 
     @property

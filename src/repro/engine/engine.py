@@ -52,6 +52,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.groups import expand, needs_expansion
 from repro.engine.planner import (
     BatchPlan,
     backend_of,
@@ -75,10 +76,14 @@ class BatchResult:
         Result objects in the caller's original batch order (cache hits
         carry a zero cost record).
     order:
-        The execution permutation the planner chose.
+        The execution permutation the planner chose over the *flat*
+        batch -- the admitted specs with every group kind expanded
+        into its primitive sub-specs (equal to the admitted batch when
+        no spec needed expansion).
     hits / misses:
-        Result-cache outcomes over the batch (a repeated spec within
-        one batch counts as a hit for every repetition after the first).
+        Result-cache outcomes over the flat batch (a repeated spec
+        within one batch counts as a hit for every repetition after
+        the first).
     executed:
         Distinct queries actually run against the database.
     elapsed_seconds:
@@ -197,6 +202,7 @@ class QueryEngine:
 
     @property
     def cache_stats(self) -> CacheStats:
+        """The result cache's observable counters."""
         return self.cache.stats
 
     # -- single queries -----------------------------------------------------
@@ -206,9 +212,14 @@ class QueryEngine:
 
         A hit returns the cached answer re-labeled with a zero cost
         record (a hit performs no I/O and no expansion); a miss
-        executes on the database and caches the result.
+        executes on the database and caches the result.  Group kinds
+        and range-restricted variants (see :mod:`repro.engine.groups`)
+        delegate to :meth:`run_batch` so their sub-queries share the
+        batch pipeline (and the vectorized kernel where available).
         """
         spec = resolve_method(spec, self.calibrator)
+        if needs_expansion(spec):
+            return self.run_batch([spec]).results[0]
         generation = self.cache_stamp
         cached = self.cache.get(generation, spec.key())
         if cached is not None:
@@ -238,20 +249,50 @@ class QueryEngine:
         over disjoint page neighborhoods (which the planner's chunking
         preserves); the result cache, not the pool, is what makes
         repeated traffic cheap.
+
+        Group kinds (``topk_influence``, ``aggregate_nn``) and
+        range-restricted RkNN specs are first expanded into primitive
+        sub-specs (:mod:`repro.engine.groups`); the sub-specs join the
+        flat batch -- so they are planned, deduplicated, cached and
+        vectorized exactly like caller-supplied primitives -- and the
+        combined answers are cached under the group spec's own key.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         start = time.perf_counter()
-        specs = list(specs)
-        if self.plan_batches:
-            plan = plan_batch(self.db, specs, self.calibrator)
-        else:
-            resolved = tuple(resolve_method(s, self.calibrator) for s in specs)
-            plan = BatchPlan(resolved, tuple(range(len(resolved))))
+        admitted = [resolve_method(spec, self.calibrator) for spec in specs]
         generation = self.cache_stamp
 
-        results: list = [None] * len(specs)
+        results: list = [None] * len(admitted)
         hits = 0
+        flat: list[QuerySpec] = []  # primitive specs, expansion applied
+        slots: list[tuple[int, ...]] = []  # admitted index -> flat indices
+        expansions: dict[int, object] = {}
+        for position, spec in enumerate(admitted):
+            if not needs_expansion(spec):
+                slots.append((len(flat),))
+                flat.append(spec)
+                continue
+            cached = self.cache.get(generation, spec.key())
+            if cached is not None:
+                results[position] = _zero_cost(cached)
+                hits += 1
+                slots.append(())
+                continue
+            expansion = expand(self.db, spec)
+            expansions[position] = expansion
+            slots.append(
+                tuple(range(len(flat), len(flat) + len(expansion.subspecs)))
+            )
+            flat.extend(expansion.subspecs)
+
+        if self.plan_batches:
+            plan = plan_batch(self.db, flat, self.calibrator)
+        else:
+            resolved = tuple(resolve_method(s, self.calibrator) for s in flat)
+            plan = BatchPlan(resolved, tuple(range(len(resolved))))
+
+        flat_results: list = [None] * len(flat)
         pending: list[tuple[int, QuerySpec]] = []  # first occurrence per key
         followers: dict[tuple, list[int]] = {}  # key -> later duplicate indices
         for index in plan.order:
@@ -262,20 +303,33 @@ class QueryEngine:
                 continue
             cached = self.cache.get(generation, key)
             if cached is not None:
-                results[index] = _zero_cost(cached)
+                flat_results[index] = _zero_cost(cached)
                 hits += 1
                 continue
             followers[key] = []
             pending.append((index, spec))
 
-        executed = self._execute_pending(pending, workers, generation, results)
+        executed = self._execute_pending(pending, workers, generation, flat_results)
         batch_counters = CostTracker.merged(
-            results[index].counters for index, _ in pending
+            flat_results[index].counters for index, _ in pending
         )
         for index, spec in pending:
             for dup in followers[spec.key()]:
-                results[dup] = _zero_cost(results[index])
+                flat_results[dup] = _zero_cost(flat_results[index])
                 hits += 1
+
+        for position, spec in enumerate(admitted):
+            if results[position] is not None:
+                continue
+            expansion = expansions.get(position)
+            if expansion is None:
+                results[position] = flat_results[slots[position][0]]
+            else:
+                combined = expansion.combine(
+                    [flat_results[index] for index in slots[position]]
+                )
+                self.cache.put(generation, spec.key(), combined)
+                results[position] = combined
 
         return BatchResult(
             results=tuple(results),
@@ -367,6 +421,11 @@ class QueryEngine:
         return outcomes
 
     def _execute(self, db, spec: QuerySpec):
+        if needs_expansion(spec):  # pragma: no cover - expanded upstream
+            raise QueryError(
+                f"{spec.kind!r} specs execute through the engine's group "
+                f"expansion, not a backend facade"
+            )
         if spec.kind == "rknn":
             return db.rknn(spec.query, spec.k, method=spec.method, exclude=spec.exclude)
         if spec.kind == "knn":

@@ -1,0 +1,56 @@
+"""qlang: a tiny declarative query language over the RkNN engine.
+
+One SQL-ish, TVF-style statement per query::
+
+    SELECT * FROM rknn(query=17, k=2, method='eager')
+    SELECT * FROM topk_influence(k=2) LIMIT 5
+    SELECT * FROM aggregate_nn(group=[3, 8], k=4, agg='max')
+    SELECT * FROM rknn(query=17, k=2) WHERE distance < 5.0
+
+The package is deliberately small and dependency-free:
+
+* :mod:`repro.qlang.lexer` -- a hand-written tokenizer;
+* :mod:`repro.qlang.qast` -- the typed (frozen dataclass) AST plus the
+  canonical formatter, so ``parse(format(ast)) == ast``;
+* :mod:`repro.qlang.parser` -- a recursive-descent parser;
+* :mod:`repro.qlang.compiler` -- lowers statements into
+  :class:`~repro.engine.spec.QuerySpec` values, which the engine plans,
+  caches, batches and (on the compact backend) vectorizes unchanged;
+* :mod:`repro.qlang.api` -- :func:`execute`, the one-call entry point
+  behind every facade's ``Database.query(...)``.
+
+Statements compile to specs; specs run anywhere a spec runs today: the
+engine, the ``repro batch`` / ``repro query -e`` CLI, and the serve
+protocol's ``query`` op (pass ``statement`` instead of spec fields).
+"""
+
+from repro.qlang.api import execute
+from repro.qlang.compiler import CompileError, compile_statement, compile_text
+from repro.qlang.parser import ParseError, parse
+from repro.qlang.qast import (
+    Arg,
+    Call,
+    Comparison,
+    MapValue,
+    Script,
+    Select,
+    format_script,
+    format_statement,
+)
+
+__all__ = [
+    "Arg",
+    "Call",
+    "Comparison",
+    "CompileError",
+    "MapValue",
+    "ParseError",
+    "Script",
+    "Select",
+    "compile_statement",
+    "compile_text",
+    "execute",
+    "format_script",
+    "format_statement",
+    "parse",
+]

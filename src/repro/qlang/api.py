@@ -1,0 +1,80 @@
+"""``execute``: run qlang text or specs on any backend facade.
+
+This is the implementation behind every facade's ``Database.query``
+method -- one public surface accepting a statement string, a
+:class:`~repro.engine.spec.QuerySpec`, or a sequence mixing both, and
+answering through the database's batch engine so compiled plans share
+the planner, the result cache and (where the backend offers one) the
+vectorized batch kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+from repro.qlang.compiler import compile_text
+
+
+def as_specs(query) -> tuple[list[QuerySpec], bool]:
+    """Coerce ``query`` into specs; also report whether it was singular.
+
+    A single spec, or a statement string compiling to exactly one
+    statement, is *singular*: :func:`execute` unwraps its one result.
+    Anything else (multi-statement scripts, sequences) answers as a
+    list.
+    """
+    if isinstance(query, QuerySpec):
+        return [query], True
+    if isinstance(query, str):
+        specs = compile_text(query)
+        return specs, len(specs) == 1
+    if isinstance(query, Sequence):
+        specs = []
+        for item in query:
+            if isinstance(item, QuerySpec):
+                specs.append(item)
+            elif isinstance(item, str):
+                specs.extend(compile_text(item))
+            else:
+                raise QueryError(
+                    f"queries are statements or QuerySpecs, got "
+                    f"{type(item).__name__}"
+                )
+        return specs, False
+    raise QueryError(
+        f"queries are statements or QuerySpecs, got {type(query).__name__}"
+    )
+
+
+def execute(db, query, *, engine=None, workers: int = 1):
+    """Answer qlang text (or specs) on ``db`` through its batch engine.
+
+    Parameters
+    ----------
+    db:
+        Any backend facade exposing ``engine()`` (disk, sharded,
+        compact, and their directed variants).
+    query:
+        A qlang statement string (possibly ``;``-separated), a
+        :class:`~repro.engine.spec.QuerySpec`, or a sequence of either.
+    engine:
+        Reuse an existing :class:`~repro.engine.engine.QueryEngine`
+        (keeps its result cache warm across calls); by default a fresh
+        engine is built per call.
+    workers:
+        Worker sessions for the batch (see
+        :meth:`~repro.engine.engine.QueryEngine.run_batch`).
+
+    Returns
+    -------
+    One result object for a singular query, else a list of results in
+    statement order.
+    """
+    specs, singular = as_specs(query)
+    runner = db.engine() if engine is None else engine
+    outcome = runner.run_batch(specs, workers=workers)
+    if singular:
+        return outcome.results[0]
+    return list(outcome.results)

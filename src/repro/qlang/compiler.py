@@ -1,0 +1,138 @@
+"""Compile qlang statements into engine :class:`QuerySpec` plans.
+
+The compiler is a thin lowering pass: each ``SELECT * FROM kind(...)``
+statement becomes one spec payload, the ``WHERE distance < r`` clause
+becomes the kind-appropriate range restriction, ``LIMIT n`` becomes
+``topk_influence``'s result cap, and the payload is validated by
+:meth:`~repro.engine.spec.QuerySpec.from_payload` -- so the language
+cannot express a spec the engine would reject, and every backend,
+the CLI and the serve tier answer compiled statements through the
+same planner/cache/kernel pipeline as hand-built specs.
+"""
+
+from __future__ import annotations
+
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+from repro.qlang.parser import parse
+from repro.qlang.qast import MapValue, Script, Select
+
+#: Table-valued function names and the spec kind each compiles to
+#: (``range_nn`` is an alias matching the facade method name).
+SOURCES = {
+    "knn": "knn",
+    "rknn": "rknn",
+    "bichromatic": "bichromatic",
+    "range": "range",
+    "range_nn": "range",
+    "continuous": "continuous",
+    "topk_influence": "topk_influence",
+    "aggregate_nn": "aggregate_nn",
+}
+
+
+class CompileError(QueryError):
+    """A well-formed statement the engine has no meaning for."""
+
+
+def compile_statement(select: Select) -> QuerySpec:
+    """Lower one parsed statement into a :class:`QuerySpec`.
+
+    Raises
+    ------
+    CompileError
+        For unknown source functions, duplicate arguments, or clauses
+        that do not apply to the statement's kind; payload-level
+        problems surface as the spec layer's uniform
+        ``invalid query spec`` errors.
+    """
+    name = select.source.name
+    kind = SOURCES.get(name)
+    if kind is None:
+        raise CompileError(
+            f"unknown query function {name!r}; "
+            f"allowed functions: {tuple(sorted(SOURCES))}"
+        )
+    payload: dict = {"kind": kind}
+    for arg in select.source.args:
+        if arg.name == "kind":
+            raise CompileError(
+                "the query kind comes from the function name; "
+                "'kind' is not an argument"
+            )
+        if arg.name in payload:
+            raise CompileError(f"duplicate argument {arg.name!r}")
+        value = arg.value
+        if isinstance(value, MapValue):
+            value = value.to_dict()
+        payload[arg.name] = value
+    _apply_where(select, kind, payload)
+    _apply_limit(select, kind, payload)
+    return QuerySpec.from_payload(payload)
+
+
+def _apply_where(select: Select, kind: str, payload: dict) -> None:
+    """Fold the WHERE clause into the payload's range restriction."""
+    if not select.where:
+        return
+    for predicate in select.where:
+        if predicate.field != "distance":
+            raise CompileError(
+                f"unsupported predicate field {predicate.field!r}; "
+                f"qlang predicates bound 'distance'"
+            )
+        if predicate.op != "<":
+            raise CompileError(
+                "distance bounds are strict; use 'distance < r'"
+            )
+    if len(select.where) > 1:
+        raise CompileError("one 'distance' bound per statement")
+    bound = select.where[0].value
+    if kind == "knn":
+        # k nearest within a bound *is* the range kind
+        payload["kind"] = "range"
+        payload["radius"] = bound
+    elif kind == "range":
+        if "radius" in payload:
+            raise CompileError(
+                "range_nn takes either a radius argument or a "
+                "WHERE distance bound, not both"
+            )
+        payload["radius"] = bound
+    elif kind in ("rknn", "bichromatic"):
+        if "within" in payload:
+            raise CompileError(
+                f"{kind} takes either a within argument or a "
+                f"WHERE distance bound, not both"
+            )
+        payload["within"] = bound
+    else:
+        raise CompileError(
+            f"WHERE distance does not apply to {kind!r} statements"
+        )
+
+
+def _apply_limit(select: Select, kind: str, payload: dict) -> None:
+    """Fold the LIMIT clause into ``topk_influence``'s result cap."""
+    if select.limit is None:
+        return
+    if kind != "topk_influence":
+        raise CompileError(
+            f"LIMIT applies to topk_influence statements only, not {kind!r}"
+        )
+    if "limit" in payload:
+        raise CompileError(
+            "topk_influence takes either a limit argument or a "
+            "LIMIT clause, not both"
+        )
+    payload["limit"] = select.limit
+
+
+def compile_script(script: Script) -> list[QuerySpec]:
+    """Lower every statement of a parsed script, in order."""
+    return [compile_statement(statement) for statement in script.statements]
+
+
+def compile_text(text: str) -> list[QuerySpec]:
+    """Parse and compile qlang source into executable specs."""
+    return compile_script(parse(text))

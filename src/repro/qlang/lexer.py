@@ -1,0 +1,197 @@
+"""Hand-written tokenizer for the qlang surface syntax.
+
+Produces a flat list of :class:`Token` values with 1-based line/column
+positions (used verbatim in parse errors).  Keywords are recognized
+case-insensitively; identifiers keep their spelling.  ``--`` starts a
+comment running to the end of the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+#: Reserved words (matched case-insensitively, stored upper-case).
+KEYWORDS = ("SELECT", "FROM", "WHERE", "AND", "LIMIT")
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+_OPERATORS = ("<=", "<")
+
+#: Single-character punctuation tokens.
+_PUNCTUATION = "(),=*;[]{}:"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_BODY = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_ESCAPES = {"\\": "\\", "'": "'", '"': '"', "n": "\n", "t": "\t"}
+
+
+class LexError(QueryError):
+    """A character stream that is not qlang."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: a ``type`` tag, its python ``value``, and a position.
+
+    ``type`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP`` (comparison operators), ``PUNCT`` or ``EOF``.
+    """
+
+    type: str
+    value: object
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        """Human-readable form for error messages."""
+        if self.type == "EOF":
+            return "end of input"
+        return repr(str(self.value))
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens (ending with one ``EOF`` token).
+
+    Raises
+    ------
+    LexError
+        On any character that cannot start a token, an unterminated
+        string, or a malformed number.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    size = len(text)
+
+    def error(message: str) -> LexError:
+        return LexError(f"qlang syntax error at {line}:{column}: {message}")
+
+    while index < size:
+        char = text[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if text.startswith("--", index):
+            while index < size and text[index] != "\n":
+                index += 1
+            continue
+        start_column = column
+        if char in _IDENT_START:
+            end = index
+            while end < size and text[end] in _IDENT_BODY:
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), line, start_column))
+            else:
+                tokens.append(Token("IDENT", word, line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char in _DIGITS or (char == "-" and index + 1 < size
+                               and text[index + 1] in _DIGITS):
+            index, column, token = _lex_number(text, index, line, column)
+            tokens.append(token)
+            continue
+        if char in "'\"":
+            index, line, column, token = _lex_string(text, index, line, column)
+            tokens.append(token)
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, index)), None
+        )
+        if matched_op is not None:
+            tokens.append(Token("OP", matched_op, line, start_column))
+            index += len(matched_op)
+            column += len(matched_op)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token("PUNCT", char, line, start_column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token("EOF", None, line, column))
+    return tokens
+
+
+def _lex_number(text: str, index: int, line: int, column: int):
+    """Lex an int or float literal starting at ``index``."""
+    start = index
+    start_column = column
+    size = len(text)
+    if text[index] == "-":
+        index += 1
+    while index < size and text[index] in _DIGITS:
+        index += 1
+    is_float = False
+    if index < size and text[index] == ".":
+        is_float = True
+        index += 1
+        while index < size and text[index] in _DIGITS:
+            index += 1
+    if index < size and text[index] in "eE":
+        probe = index + 1
+        if probe < size and text[probe] in "+-":
+            probe += 1
+        if probe < size and text[probe] in _DIGITS:
+            is_float = True
+            index = probe
+            while index < size and text[index] in _DIGITS:
+                index += 1
+    literal = text[start:index]
+    try:
+        value: object = float(literal) if is_float else int(literal)
+    except ValueError as exc:  # pragma: no cover - scanner admits only valid
+        raise LexError(
+            f"qlang syntax error at {line}:{start_column}: "
+            f"bad number {literal!r}"
+        ) from exc
+    return index, column + (index - start), Token(
+        "NUMBER", value, line, start_column
+    )
+
+
+def _lex_string(text: str, index: int, line: int, column: int):
+    """Lex a quoted string literal (single or double quotes)."""
+    quote = text[index]
+    start_line, start_column = line, column
+    index += 1
+    column += 1
+    size = len(text)
+    chars: list[str] = []
+    while index < size:
+        char = text[index]
+        if char == quote:
+            token = Token("STRING", "".join(chars), start_line, start_column)
+            return index + 1, line, column + 1, token
+        if char == "\n":
+            break
+        if char == "\\":
+            if index + 1 >= size or text[index + 1] not in _ESCAPES:
+                raise LexError(
+                    f"qlang syntax error at {line}:{column}: "
+                    f"unsupported escape in string literal"
+                )
+            chars.append(_ESCAPES[text[index + 1]])
+            index += 2
+            column += 2
+            continue
+        chars.append(char)
+        index += 1
+        column += 1
+    raise LexError(
+        f"qlang syntax error at {start_line}:{start_column}: "
+        f"unterminated string literal"
+    )

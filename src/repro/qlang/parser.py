@@ -1,0 +1,200 @@
+"""Recursive-descent parser for qlang.
+
+Grammar (keywords case-insensitive)::
+
+    script      := statement (';' statement)* ';'?
+    statement   := SELECT '*' FROM call [WHERE predicates] [LIMIT int]
+    call        := IDENT '(' [arg (',' arg)*] ')'
+    arg         := IDENT '=' value
+    predicates  := comparison (AND comparison)*
+    comparison  := IDENT ('<' | '<=') NUMBER
+    value       := NUMBER | STRING | 'true' | 'false' | list | map
+    list        := '[' [value (',' value)*] ']'
+    map         := '{' [value ':' value (',' value ':' value)*] '}'
+
+The parser validates *shape* only; name/kind validation happens in the
+compiler (:mod:`repro.qlang.compiler`), so any well-formed statement
+round-trips through the canonical formatter regardless of whether it
+names a real query kind.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.qlang.lexer import Token, tokenize
+from repro.qlang.qast import (
+    Arg,
+    Call,
+    Comparison,
+    MapValue,
+    Script,
+    Select,
+)
+
+
+class ParseError(QueryError):
+    """A token stream that is not a qlang script."""
+
+
+class _Parser:
+    """One pass over a token list (no backtracking needed)."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The token under the cursor (``EOF`` at the end)."""
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> ParseError:
+        """A positioned :class:`ParseError` at the current token."""
+        token = self.current
+        return ParseError(
+            f"qlang syntax error at {token.line}:{token.column}: {message}, "
+            f"got {token.describe()}"
+        )
+
+    def advance(self) -> Token:
+        """Consume and return the current token (``EOF`` is sticky)."""
+        token = self.current
+        if token.type != "EOF":
+            self.position += 1
+        return token
+
+    def accept(self, type_: str, value=None) -> Token | None:
+        """Consume the current token if it matches, else ``None``."""
+        token = self.current
+        if token.type != type_ or (value is not None and token.value != value):
+            return None
+        return self.advance()
+
+    def expect(self, type_: str, value, what: str) -> Token:
+        """Consume a required token or fail naming ``what`` was due."""
+        token = self.accept(type_, value)
+        if token is None:
+            raise self.error(f"expected {what}")
+        return token
+
+    # -- grammar ------------------------------------------------------------
+
+    def script(self) -> Script:
+        """``statement (';' statement)* ';'?`` to end of input."""
+        statements = [self.statement()]
+        while self.accept("PUNCT", ";"):
+            if self.current.type == "EOF":
+                break
+            statements.append(self.statement())
+        if self.current.type != "EOF":
+            raise self.error("expected ';' or end of script")
+        return Script(tuple(statements))
+
+    def statement(self) -> Select:
+        """``SELECT '*' FROM call [WHERE ...] [LIMIT int]``."""
+        self.expect("KEYWORD", "SELECT", "'SELECT'")
+        self.expect("PUNCT", "*", "'*' (qlang selects whole answers)")
+        self.expect("KEYWORD", "FROM", "'FROM'")
+        source = self.call()
+        where: tuple[Comparison, ...] = ()
+        if self.accept("KEYWORD", "WHERE"):
+            predicates = [self.comparison()]
+            while self.accept("KEYWORD", "AND"):
+                predicates.append(self.comparison())
+            where = tuple(predicates)
+        limit = None
+        if self.accept("KEYWORD", "LIMIT"):
+            token = self.current
+            if token.type != "NUMBER" or not isinstance(token.value, int):
+                raise self.error("expected an integer LIMIT")
+            self.advance()
+            limit = token.value
+        return Select(source=source, where=where, limit=limit)
+
+    def call(self) -> Call:
+        """``IDENT '(' [arg (',' arg)*] ')'``."""
+        name = self.current
+        if name.type != "IDENT":
+            raise self.error("expected a query function name")
+        self.advance()
+        self.expect("PUNCT", "(", f"'(' after function name {name.value!r}")
+        args: list[Arg] = []
+        if not self.accept("PUNCT", ")"):
+            args.append(self.argument())
+            while self.accept("PUNCT", ","):
+                args.append(self.argument())
+            self.expect("PUNCT", ")", "')' closing the argument list")
+        return Call(name=name.value, args=tuple(args))
+
+    def argument(self) -> Arg:
+        """``IDENT '=' value``."""
+        name = self.current
+        if name.type != "IDENT":
+            raise self.error("expected an argument name")
+        self.advance()
+        self.expect("PUNCT", "=", f"'=' after argument name {name.value!r}")
+        return Arg(name=name.value, value=self.value())
+
+    def comparison(self) -> Comparison:
+        """``IDENT ('<' | '<=') NUMBER``."""
+        field = self.current
+        if field.type != "IDENT":
+            raise self.error("expected a predicate field name")
+        self.advance()
+        op = self.current
+        if op.type != "OP":
+            raise self.error(f"expected '<' or '<=' after {field.value!r}")
+        self.advance()
+        bound = self.current
+        if bound.type != "NUMBER":
+            raise self.error("expected a numeric bound")
+        self.advance()
+        return Comparison(field=field.value, op=op.value, value=bound.value)
+
+    def value(self):
+        """A number, string, boolean, ``[...]`` list or ``{...}`` map."""
+        token = self.current
+        if token.type == "NUMBER" or token.type == "STRING":
+            self.advance()
+            return token.value
+        if token.type == "IDENT" and token.value.lower() in ("true", "false"):
+            self.advance()
+            return token.value.lower() == "true"
+        if self.accept("PUNCT", "["):
+            items = []
+            if not self.accept("PUNCT", "]"):
+                items.append(self.value())
+                while self.accept("PUNCT", ","):
+                    items.append(self.value())
+                self.expect("PUNCT", "]", "']' closing the list")
+            return tuple(items)
+        if self.accept("PUNCT", "{"):
+            pairs = []
+            if not self.accept("PUNCT", "}"):
+                pairs.append(self.pair())
+                while self.accept("PUNCT", ","):
+                    pairs.append(self.pair())
+                self.expect("PUNCT", "}", "'}' closing the map")
+            return MapValue(tuple(pairs))
+        raise self.error("expected a value")
+
+    def pair(self):
+        """``value ':' value`` inside a map literal."""
+        key = self.value()
+        self.expect("PUNCT", ":", "':' between map key and value")
+        return (key, self.value())
+
+
+def parse(text: str) -> Script:
+    """Parse qlang source into a :class:`~repro.qlang.qast.Script`.
+
+    Raises
+    ------
+    ParseError
+        With a 1-based ``line:column`` position on the first offending
+        token (lexer errors pass through as
+        :class:`~repro.qlang.lexer.LexError`).
+    """
+    return _Parser(tokenize(text)).script()

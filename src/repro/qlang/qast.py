@@ -1,0 +1,116 @@
+"""The qlang abstract syntax tree and its canonical formatter.
+
+Nodes are frozen dataclasses, so statements are hashable values just
+like the :class:`~repro.engine.spec.QuerySpec` objects they compile to.
+:func:`format_script` renders any tree back to canonical source text,
+and the round-trip law holds::
+
+    parse(format_script(script)) == script
+
+Canonical choices: upper-case keywords, single-quoted strings,
+``[...]`` for sequences, ``{id: weight, ...}`` for maps, ``true`` /
+``false`` for booleans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Values a qlang argument can carry: numbers, strings, booleans,
+#: sequences (python tuples) and :class:`MapValue` maps.
+Value = object
+
+
+@dataclass(frozen=True)
+class MapValue:
+    """A ``{key: value, ...}`` literal, as an ordered tuple of pairs."""
+
+    pairs: tuple[tuple[Value, Value], ...]
+
+    def to_dict(self) -> dict:
+        """The pairs as a plain dict (payload form)."""
+        return dict(self.pairs)
+
+
+@dataclass(frozen=True)
+class Arg:
+    """One ``name=value`` argument of a table-valued function call."""
+
+    name: str
+    value: Value
+
+
+@dataclass(frozen=True)
+class Call:
+    """A table-valued function call: ``name(arg, ...)``."""
+
+    name: str
+    args: tuple[Arg, ...] = ()
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A ``field <op> number`` predicate from a WHERE clause."""
+
+    field: str
+    op: str
+    value: Value
+
+
+@dataclass(frozen=True)
+class Select:
+    """One ``SELECT * FROM call [WHERE ...] [LIMIT n]`` statement."""
+
+    source: Call
+    where: tuple[Comparison, ...] = ()
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class Script:
+    """A ``;``-separated sequence of statements."""
+
+    statements: tuple[Select, ...] = field(default_factory=tuple)
+
+
+def format_value(value: Value) -> str:
+    """Render one argument value as canonical qlang source."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = (value.replace("\\", "\\\\").replace("'", "\\'")
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f"'{escaped}'"
+    if isinstance(value, MapValue):
+        inner = ", ".join(
+            f"{format_value(key)}: {format_value(item)}"
+            for key, item in value.pairs
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (tuple, list)):
+        return "[" + ", ".join(format_value(item) for item in value) + "]"
+    raise TypeError(f"unformattable qlang value {value!r}")
+
+
+def format_statement(select: Select) -> str:
+    """Render one statement as canonical qlang source."""
+    args = ", ".join(
+        f"{arg.name}={format_value(arg.value)}" for arg in select.source.args
+    )
+    text = f"SELECT * FROM {select.source.name}({args})"
+    if select.where:
+        predicates = " AND ".join(
+            f"{cmp.field} {cmp.op} {format_value(cmp.value)}"
+            for cmp in select.where
+        )
+        text += f" WHERE {predicates}"
+    if select.limit is not None:
+        text += f" LIMIT {select.limit}"
+    return text
+
+
+def format_script(script: Script) -> str:
+    """Render a whole script, one statement per line, ``;``-separated."""
+    return ";\n".join(format_statement(s) for s in script.statements)

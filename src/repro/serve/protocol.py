@@ -5,9 +5,10 @@ Every request is an object with an ``op`` field:
 
 ``query``
     the remaining fields form a :class:`~repro.engine.spec.QuerySpec`
-    mapping (``kind``, ``query`` / ``route``, ``k``, ``method``,
-    ``radius``, ``exclude``); the response carries the answer and the
-    update generation it was computed at;
+    mapping (``kind``, ``query`` / ``route`` / ``group``, ``k``,
+    ``method``, ``radius``, ``exclude``, ...), or a single qlang
+    ``statement`` string compiled server-side; the response carries
+    the answer and the update generation it was computed at;
 ``insert`` / ``delete``
     point mutations (``pid`` plus ``location`` for inserts); the
     response carries the *new* generation;
@@ -83,10 +84,38 @@ def decode(line: bytes | str) -> dict:
 
 
 def request_spec(payload: Mapping) -> QuerySpec:
-    """Extract the :class:`QuerySpec` from a ``query`` request."""
+    """Extract the :class:`QuerySpec` from a ``query`` request.
+
+    A request may carry either raw spec fields or one qlang
+    ``statement`` string (``{"op": "query", "statement": "SELECT * FROM
+    rknn(query=7, k=2)"}``), which is compiled through
+    :func:`repro.qlang.compiler.compile_text` -- mixing the two forms
+    is rejected.
+    """
     fields = {key: value for key, value in payload.items()
               if key not in _ENVELOPE_FIELDS}
-    return QuerySpec.from_mapping(fields)
+    statement = fields.pop("statement", None)
+    if statement is not None:
+        if fields:
+            raise QueryError(
+                f"a 'statement' query takes no spec fields, "
+                f"got {sorted(fields)}"
+            )
+        if not isinstance(statement, str):
+            raise QueryError(
+                f"'statement' is a qlang string, got "
+                f"{type(statement).__name__}"
+            )
+        from repro.qlang import compile_text
+
+        specs = compile_text(statement)
+        if len(specs) != 1:
+            raise QueryError(
+                f"a query request takes exactly one statement, "
+                f"got {len(specs)}; send one request per statement"
+            )
+        return specs[0]
+    return QuerySpec.from_payload(fields)
 
 
 def result_payload(result, generation: int,

@@ -282,6 +282,12 @@ class ShardedDatabase(_ShardedMeasureMixin):
         return True
 
     @property
+    def reference_points(self) -> NodePointSet | None:
+        """The attached bichromatic reference set Q (``None`` before
+        :meth:`attach_reference`)."""
+        return self._ref_points
+
+    @property
     def disk(self):
         """The sharded store, exposed under the facade's disk slot.
 
@@ -465,6 +471,16 @@ class ShardedDatabase(_ShardedMeasureMixin):
         from repro.engine.engine import QueryEngine
 
         return QueryEngine(self, **kwargs)
+
+    def query(self, statement):
+        """Answer a qlang statement (or spec) on this database.
+
+        See :meth:`repro.api.GraphDatabase.query`; batches compiled
+        from scripts are routed shard-major by the engine's planner.
+        """
+        from repro.qlang import execute
+
+        return execute(self, statement)
 
     def read_clone(self) -> "ShardedDatabase":
         """A read-only session over the same serialized shard pages.
@@ -873,6 +889,16 @@ class ShardedDirectedDatabase(_ShardedMeasureMixin):
         from repro.engine.engine import QueryEngine
 
         return QueryEngine(self, **kwargs)
+
+    def query(self, statement):
+        """Answer a qlang statement (or spec) on this database.
+
+        See :meth:`repro.api.GraphDatabase.query`; the directed facade
+        answers every kind except the bichromatic ones.
+        """
+        from repro.qlang import execute
+
+        return execute(self, statement)
 
     def read_clone(self) -> "ShardedDirectedDatabase":
         """A read-only session with private per-shard buffers and trackers.

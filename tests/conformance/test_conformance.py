@@ -360,6 +360,82 @@ def test_batch_kernel_agrees_directed(seed):
     )
 
 
+@pytest.mark.parametrize("oracle", (False, True), ids=("plain", "oracle"))
+@pytest.mark.parametrize("seed", range(10), ids=lambda s: f"seed{s}")
+def test_group_kinds_agree_across_backends(seed, oracle):
+    """The expanded kinds -- ``topk_influence`` (plain, weighted,
+    bichromatic), ``aggregate_nn`` (sum and max) and range-restricted
+    RkNN (``within``) -- answer identically on every backend, K in
+    {1, 4}, with and without the landmark oracle, through both the
+    spec surface and compiled qlang statements."""
+    from repro import QuerySpec
+
+    (graph, points, reference, queries, _,
+     _, delete_pid, radius) = _undirected_case(seed)
+    group = tuple(sorted(queries[:3]))
+    weighted_pid = sorted(pid for pid, _ in points.items())[0]
+    specs = []
+    for k in (1, 4):
+        specs.append(QuerySpec("topk_influence", k=k, method="eager"))
+        specs.append(QuerySpec("topk_influence", k=k, method="lazy", limit=3,
+                               weights={weighted_pid: 2.5}))
+        specs.append(QuerySpec("topk_influence", k=k, method="eager",
+                               bichromatic=True, limit=4))
+        specs.append(QuerySpec("aggregate_nn", group=group, k=k, agg="sum"))
+        specs.append(QuerySpec("aggregate_nn", group=group, k=k, agg="max"))
+        specs.append(QuerySpec("rknn", query=queries[0], k=k,
+                               method="eager", within=radius))
+        specs.append(QuerySpec("rknn", query=queries[1], k=k, method="lazy",
+                               within=radius, exclude=frozenset({delete_pid})))
+        specs.append(QuerySpec("bichromatic", query=queries[0], k=k,
+                               method="eager", within=radius))
+    statements = (
+        "SELECT * FROM topk_influence(k=1) LIMIT 3",
+        f"SELECT * FROM aggregate_nn(group={list(group)}, k=2, agg='max')",
+        f"SELECT * FROM rknn(query={queries[0]}, k=2) "
+        f"WHERE distance < {radius}",
+    )
+
+    def build(factory):
+        db = factory()
+        db.attach_reference(reference)
+        db.materialize(MATERIALIZE_K)
+        db.materialize_reference(MATERIALIZE_K)
+        if oracle:
+            db.build_oracle(3 + seed % 3, seed=seed)
+        return db
+
+    backends = {
+        "disk": build(lambda: GraphDatabase(graph, points)),
+        "sharded-K1": build(lambda: ShardedDatabase(graph, points,
+                                                    num_shards=1)),
+        "sharded-K4": build(lambda: ShardedDatabase(graph, points,
+                                                    num_shards=4)),
+        "compact": build(lambda: CompactDatabase(graph, points)),
+    }
+
+    def answers_of(db):
+        outcome = db.engine().run_batch(specs)
+        spec_answers = [
+            result.points if hasattr(result, "points") else result.neighbors
+            for result in outcome.results
+        ]
+        text_answers = [
+            result.points if hasattr(result, "points") else result.neighbors
+            for result in db.query(list(statements))
+        ]
+        return spec_answers + text_answers
+
+    baseline = answers_of(backends["disk"])
+    for name, db in backends.items():
+        if name == "disk":
+            continue
+        assert answers_of(db) == baseline, (
+            f"seed={seed}: backend {name!r} diverges on the group kinds "
+            f"(reproduce with tests/conformance -k 'seed{seed}')"
+        )
+
+
 @pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
 def test_engine_batches_agree_across_backends(seed):
     """The batch engine returns identical answers on every backend,

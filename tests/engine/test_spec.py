@@ -12,18 +12,25 @@ class TestValidation:
             QuerySpec("walk", query=0)
 
     def test_every_kind_constructs(self):
-        for kind in KINDS:
-            radius = 5.0 if kind == "range" else None
-            route = (0, 1) if kind == "continuous" else None
-            spec = QuerySpec(kind, query=0, k=1, radius=radius, route=route)
-            assert spec.kind == kind
+        samples = {
+            "knn": dict(query=0),
+            "rknn": dict(query=0),
+            "bichromatic": dict(query=0),
+            "range": dict(query=0, radius=5.0),
+            "continuous": dict(route=(0, 1)),
+            "topk_influence": dict(),
+            "aggregate_nn": dict(group=(0, 1)),
+        }
+        assert set(samples) == set(KINDS)
+        for kind, kwargs in samples.items():
+            assert QuerySpec(kind, **kwargs).kind == kind
 
     def test_continuous_needs_route(self):
         with pytest.raises(QueryError, match="route"):
             QuerySpec("continuous", query=0)
 
     def test_route_rejected_elsewhere(self):
-        with pytest.raises(QueryError, match="no route"):
+        with pytest.raises(QueryError, match="'route' does not apply"):
             QuerySpec("rknn", query=0, route=(0, 1))
 
     def test_continuous_query_is_route_head(self):
@@ -44,7 +51,7 @@ class TestValidation:
             QuerySpec("range", query=0, k=1)
 
     def test_radius_rejected_elsewhere(self):
-        with pytest.raises(QueryError, match="no radius"):
+        with pytest.raises(QueryError, match="'radius' does not apply"):
             QuerySpec("rknn", query=0, radius=3.0)
 
     def test_negative_radius_rejected(self):
@@ -105,12 +112,21 @@ class TestJson:
             load_specs(['{"kind": "knn", "query": 1}', "{nope"])
 
     def test_unknown_fields_rejected(self):
-        with pytest.raises(QueryError, match="unknown query spec fields"):
+        # 'limit' is a real field, but only topk_influence takes it
+        with pytest.raises(
+            QueryError, match=r"unknown field\(s\) \['limit'\] for kind 'knn'"
+        ):
             QuerySpec.from_json('{"kind": "knn", "query": 1, "limit": 5}')
 
     def test_missing_fields_rejected(self):
-        with pytest.raises(QueryError, match="at least"):
+        with pytest.raises(
+            QueryError, match="kind 'knn' is missing required field 'query'"
+        ):
             QuerySpec.from_json('{"kind": "knn"}')
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(QueryError, match="missing required field 'kind'"):
+            QuerySpec.from_json('{"query": 1}')
 
     def test_non_object_rejected(self):
         with pytest.raises(QueryError, match="JSON objects"):
@@ -132,3 +148,87 @@ class TestJson:
                 QuerySpec.from_json(line)
         with pytest.raises(QueryError, match="line 1"):
             load_specs([bad_lines[0]])
+
+
+class TestGroupKinds:
+    """The group kinds (topk_influence / aggregate_nn) and their fields."""
+
+    def test_group_kinds_need_no_query(self):
+        # the old check demanded 'query' whenever 'route' was absent --
+        # per-kind required-field tables fixed that
+        spec = QuerySpec.from_json('{"kind": "topk_influence", "k": 2}')
+        assert spec.query is None and spec.k == 2
+
+    def test_aggregate_query_is_group_head(self):
+        spec = QuerySpec("aggregate_nn", group=[4, 9], k=3)
+        assert spec.query == 4 and spec.group == (4, 9) and spec.agg == "sum"
+
+    def test_aggregate_needs_group(self):
+        with pytest.raises(
+            QueryError, match="kind 'aggregate_nn' is missing required field 'group'"
+        ):
+            QuerySpec.from_json('{"kind": "aggregate_nn"}')
+
+    def test_bad_agg_rejected(self):
+        with pytest.raises(QueryError, match="allowed aggregations"):
+            QuerySpec("aggregate_nn", group=(1,), agg="median")
+
+    def test_group_rejected_elsewhere(self):
+        with pytest.raises(QueryError, match="'group' does not apply"):
+            QuerySpec("rknn", query=0, group=(1, 2))
+
+    def test_topk_takes_no_query(self):
+        with pytest.raises(QueryError, match="'query' does not apply"):
+            QuerySpec("topk_influence", query=3)
+
+    def test_weights_normalize_and_round_trip(self):
+        spec = QuerySpec(
+            "topk_influence", k=2, limit=3, weights={9: 2.0, 4: 0.5},
+            bichromatic=True,
+        )
+        assert spec.weights == ((4, 0.5), (9, 2.0))
+        again = QuerySpec.from_json(spec.to_json())
+        assert again == spec and again.key() == spec.key()
+
+    def test_duplicate_weights_rejected(self):
+        with pytest.raises(QueryError, match="more than once"):
+            QuerySpec("topk_influence", weights=[(1, 2.0), (1, 3.0)])
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(QueryError, match="limit must be an integer >= 1"):
+            QuerySpec("topk_influence", limit=0)
+
+    def test_within_round_trips(self):
+        spec = QuerySpec("rknn", query=3, k=2, within=4.5)
+        again = QuerySpec.from_json(spec.to_json())
+        assert again == spec
+        assert spec.key() != QuerySpec("rknn", query=3, k=2).key()
+
+    def test_within_rejected_elsewhere(self):
+        with pytest.raises(QueryError, match="'within' does not apply"):
+            QuerySpec("knn", query=0, within=2.0)
+
+    def test_group_kinds_round_trip(self):
+        specs = [
+            QuerySpec("topk_influence", k=2, limit=5, method="lazy"),
+            QuerySpec("aggregate_nn", group=(3, 8, 3), k=4, agg="max"),
+        ]
+        assert load_specs([spec.to_json() for spec in specs]) == specs
+
+
+class TestUniformErrors:
+    """Every from_payload rejection is uniform and names the allowed set."""
+
+    CASES = [
+        '{"query": 1}',
+        '{"kind": "walk", "query": 1}',
+        '{"kind": "knn"}',
+        '{"kind": "knn", "query": 1, "limit": 5}',
+        '{"kind": "aggregate_nn", "group": [], "k": 1}',
+        '{"kind": "topk_influence", "limit": -2}',
+    ]
+
+    @pytest.mark.parametrize("line", CASES)
+    def test_rejections_share_the_format(self, line):
+        with pytest.raises(QueryError, match="^invalid query spec: "):
+            QuerySpec.from_json(line)

@@ -1,0 +1,138 @@
+"""Compiler units: statement lowering into validated QuerySpec plans."""
+
+import pytest
+
+from repro.engine.spec import QuerySpec
+from repro.errors import QueryError
+from repro.qlang import compile_statement, compile_text
+from repro.qlang.compiler import SOURCES, CompileError
+from repro.qlang.qast import Arg, Call, Select
+
+
+def one(text) -> QuerySpec:
+    specs = compile_text(text)
+    assert len(specs) == 1
+    return specs[0]
+
+
+class TestLowering:
+    def test_every_source_name_compiles(self):
+        samples = {
+            "knn": "knn(query=1, k=2)",
+            "rknn": "rknn(query=1, k=2)",
+            "bichromatic": "bichromatic(query=1, k=2)",
+            "range": "range(query=1, k=2, radius=3.0)",
+            "range_nn": "range_nn(query=1, k=2, radius=3.0)",
+            "continuous": "continuous(route=[0, 1], k=2)",
+            "topk_influence": "topk_influence(k=2)",
+            "aggregate_nn": "aggregate_nn(group=[1, 2], k=2)",
+        }
+        assert set(samples) == set(SOURCES)
+        for name, call in samples.items():
+            assert one(f"SELECT * FROM {call}").kind == SOURCES[name]
+
+    def test_arguments_become_payload_fields(self):
+        spec = one("SELECT * FROM rknn(query=7, k=2, method='lazy', "
+                   "exclude=[9])")
+        assert spec == QuerySpec("rknn", query=7, k=2, method="lazy",
+                                 exclude=frozenset({9}))
+
+    def test_map_arguments_become_weights(self):
+        spec = one("SELECT * FROM topk_influence(k=1, weights={3: 0.5, "
+                   "4: 2.0})")
+        assert spec.weights == ((3, 0.5), (4, 2.0))
+
+    def test_scripts_compile_in_statement_order(self):
+        specs = compile_text("SELECT * FROM knn(query=1, k=1);\n"
+                             "SELECT * FROM rknn(query=2, k=1)")
+        assert [s.kind for s in specs] == ["knn", "rknn"]
+
+    def test_comments_are_ignored(self):
+        spec = one("-- influence ranking\n"
+                   "SELECT * FROM topk_influence(k=1) -- whole set\n")
+        assert spec.kind == "topk_influence"
+
+
+class TestWhereLowering:
+    def test_knn_with_bound_is_a_range_query(self):
+        spec = one("SELECT * FROM knn(query=1, k=3) WHERE distance < 4.5")
+        assert (spec.kind, spec.radius) == ("range", 4.5)
+
+    def test_range_nn_takes_bound_as_radius(self):
+        spec = one("SELECT * FROM range_nn(query=1, k=3) WHERE distance < 2")
+        assert (spec.kind, spec.radius) == ("range", 2.0)
+
+    def test_rknn_bound_becomes_within(self):
+        spec = one("SELECT * FROM rknn(query=1, k=2) WHERE distance < 6")
+        assert (spec.kind, spec.within) == ("rknn", 6.0)
+
+    def test_bichromatic_bound_becomes_within(self):
+        spec = one("SELECT * FROM bichromatic(query=1, k=2) "
+                   "WHERE distance < 6")
+        assert (spec.kind, spec.within) == ("bichromatic", 6.0)
+
+    @pytest.mark.parametrize(
+        ("text", "fragment"),
+        [
+            ("SELECT * FROM knn(query=1) WHERE hops < 3",
+             "unsupported predicate field 'hops'"),
+            ("SELECT * FROM knn(query=1) WHERE distance <= 3",
+             "bounds are strict"),
+            ("SELECT * FROM knn(query=1) WHERE distance < 3 AND distance < 4",
+             "one 'distance' bound per statement"),
+            ("SELECT * FROM range(query=1, radius=2) WHERE distance < 3",
+             "not both"),
+            ("SELECT * FROM rknn(query=1, within=2) WHERE distance < 3",
+             "not both"),
+            ("SELECT * FROM continuous(route=[0, 1]) WHERE distance < 3",
+             "does not apply to 'continuous'"),
+        ],
+    )
+    def test_bad_where_clauses(self, text, fragment):
+        with pytest.raises(CompileError, match=fragment):
+            compile_text(text)
+
+
+class TestLimitLowering:
+    def test_limit_caps_topk_influence(self):
+        assert one("SELECT * FROM topk_influence(k=1) LIMIT 5").limit == 5
+
+    def test_limit_elsewhere_rejected(self):
+        with pytest.raises(CompileError, match="LIMIT applies to "
+                                               "topk_influence"):
+            compile_text("SELECT * FROM knn(query=1) LIMIT 5")
+
+    def test_limit_clause_and_argument_conflict(self):
+        # 'limit' is a keyword in source text, so the conflicting
+        # argument can only come from a hand-built tree
+        select = Select(
+            source=Call("topk_influence", (Arg("limit", 2),)), limit=5
+        )
+        with pytest.raises(CompileError, match="not both"):
+            compile_statement(select)
+
+
+class TestCompileErrors:
+    def test_unknown_function_lists_the_allowed_set(self):
+        with pytest.raises(CompileError) as info:
+            compile_text("SELECT * FROM nope(query=1)")
+        message = str(info.value)
+        assert "unknown query function 'nope'" in message
+        for name in SOURCES:
+            assert name in message
+
+    def test_kind_argument_rejected(self):
+        with pytest.raises(CompileError, match="'kind' is not an argument"):
+            compile_text("SELECT * FROM knn(kind='rknn')")
+
+    def test_duplicate_argument_rejected(self):
+        with pytest.raises(CompileError, match="duplicate argument 'k'"):
+            compile_text("SELECT * FROM knn(query=1, k=1, k=2)")
+
+    def test_payload_problems_use_the_spec_layer_errors(self):
+        with pytest.raises(QueryError, match="invalid query spec: "):
+            compile_text("SELECT * FROM knn(k=1)")  # missing query
+
+    def test_compile_errors_are_query_errors(self):
+        with pytest.raises(QueryError):
+            compile_text("SELECT * FROM nope()")

@@ -1,0 +1,167 @@
+"""The one public query surface: ``Database.query`` on every backend,
+and the serve tier's ``statement`` request form.
+"""
+
+import json
+import random
+import socket
+
+import pytest
+
+from repro import (
+    CompactDatabase,
+    GraphDatabase,
+    NodePointSet,
+    QuerySpec,
+    ShardedDatabase,
+    serve_in_thread,
+)
+from repro.errors import QueryError
+from repro.qlang import execute
+from repro.serve import protocol
+from tests.conftest import build_random_graph
+
+STATEMENTS = (
+    "SELECT * FROM rknn(query=4, k=2)",
+    "SELECT * FROM knn(query=11, k=3) WHERE distance < 9.0",
+    "SELECT * FROM topk_influence(k=1) LIMIT 3",
+    "SELECT * FROM topk_influence(k=2, weights={100: 3.0}) LIMIT 2",
+    "SELECT * FROM aggregate_nn(group=[4, 11], k=3)",
+    "SELECT * FROM aggregate_nn(group=[4, 11, 19], k=3, agg='max')",
+    "SELECT * FROM rknn(query=19, k=2) WHERE distance < 7.0",
+)
+
+
+def build_inputs():
+    rng = random.Random(23)
+    graph = build_random_graph(rng, 40, 30)
+    placement = {100 + i: node
+                 for i, node in enumerate(rng.sample(range(40), 9))}
+    return graph, placement
+
+
+def backend(kind):
+    graph, placement = build_inputs()
+    points = NodePointSet(dict(placement))
+    if kind == "sharded":
+        db = ShardedDatabase(graph, points, num_shards=4)
+    elif kind == "compact":
+        db = CompactDatabase(graph, points)
+    else:
+        db = GraphDatabase(graph, points)
+    db.materialize(4)
+    return db
+
+
+def answer(result):
+    return (tuple(result.points) if hasattr(result, "points")
+            else tuple(result.neighbors))
+
+
+class TestDatabaseQuery:
+    def test_single_statement_answers_unwrapped(self):
+        db = backend("disk")
+        result = db.query("SELECT * FROM rknn(query=4, k=2)")
+        assert answer(result) == answer(db.rknn(4, 2))
+
+    def test_script_answers_as_a_list(self):
+        db = backend("disk")
+        results = db.query("SELECT * FROM knn(query=4, k=2);\n"
+                           "SELECT * FROM rknn(query=4, k=2)")
+        assert len(results) == 2
+        assert answer(results[0]) == answer(db.knn(4, 2))
+
+    def test_specs_and_mixed_sequences_accepted(self):
+        db = backend("disk")
+        spec = QuerySpec("rknn", query=4, k=2, method="eager")
+        assert answer(db.query(spec)) == answer(db.rknn(4, 2))
+        results = db.query([spec, "SELECT * FROM knn(query=4, k=1)"])
+        assert len(results) == 2
+
+    def test_rejects_other_types(self):
+        db = backend("disk")
+        with pytest.raises(QueryError, match="statements or QuerySpecs"):
+            db.query(42)
+        with pytest.raises(QueryError, match="statements or QuerySpecs"):
+            db.query([42])
+
+    def test_execute_reuses_a_caller_engine_cache(self):
+        db = backend("disk")
+        engine = db.engine()
+        first = execute(db, "SELECT * FROM topk_influence(k=1) LIMIT 2",
+                        engine=engine)
+        again = execute(db, "SELECT * FROM topk_influence(k=1) LIMIT 2",
+                        engine=engine)
+        assert answer(first) == answer(again)
+        assert again.io == 0  # served from the result cache
+
+    def test_statements_answer_identically_across_backends(self):
+        answers = {}
+        for kind in ("disk", "sharded", "compact"):
+            db = backend(kind)
+            answers[kind] = [answer(r) for r in db.query(list(STATEMENTS))]
+        assert answers["disk"] == answers["sharded"] == answers["compact"]
+
+
+class TestServeStatements:
+    def test_request_spec_accepts_a_statement(self):
+        payload = {"op": "query", "id": 1,
+                   "statement": "SELECT * FROM rknn(query=5, k=1)"}
+        assert protocol.request_spec(payload) == QuerySpec(
+            "rknn", query=5, k=1
+        )
+
+    @pytest.mark.parametrize(
+        ("payload", "fragment"),
+        [
+            ({"statement": "SELECT * FROM knn(query=1)", "k": 2},
+             "no spec fields"),
+            ({"statement": 7}, "qlang string"),
+            ({"statement": "SELECT * FROM knn(query=1); "
+                           "SELECT * FROM knn(query=2)"},
+             "exactly one statement"),
+        ],
+    )
+    def test_bad_statement_requests(self, payload, fragment):
+        with pytest.raises(QueryError, match=fragment):
+            protocol.request_spec({"op": "query", **payload})
+
+    def test_served_statements_match_direct_calls(self):
+        db = backend("compact")
+        direct = [answer(r) for r in db.query(list(STATEMENTS))]
+        with serve_in_thread(db) as handle:
+            with socket.create_connection((handle.host, handle.port)) as sock:
+                stream = sock.makefile("rw")
+                served = []
+                for text in STATEMENTS:
+                    stream.write(json.dumps(
+                        {"op": "query", "statement": text}) + "\n")
+                    stream.flush()
+                    body = json.loads(stream.readline())
+                    assert body["status"] == "ok"
+                    if "points" in body:
+                        served.append(tuple(body["points"]))
+                    else:
+                        served.append(tuple(
+                            (pid, dist) for pid, dist in body["neighbors"]
+                        ))
+        assert served == direct
+
+    def test_served_statement_errors_keep_the_connection(self):
+        db = backend("disk")
+        with serve_in_thread(db) as handle:
+            with socket.create_connection((handle.host, handle.port)) as sock:
+                stream = sock.makefile("rw")
+                stream.write(json.dumps(
+                    {"op": "query", "statement": "SELECT * FROM nope()"}
+                ) + "\n")
+                stream.flush()
+                body = json.loads(stream.readline())
+                assert body["status"] == "error"
+                assert "unknown query function 'nope'" in body["error"]
+                stream.write(json.dumps(
+                    {"op": "query",
+                     "statement": "SELECT * FROM knn(query=4, k=1)"}
+                ) + "\n")
+                stream.flush()
+                assert json.loads(stream.readline())["status"] == "ok"

@@ -1,0 +1,125 @@
+"""Golden-file suite: statement -> compiled plan -> answer.
+
+``goldens.jsonl`` pins, for one fixed workload, every statement's
+compiled :class:`QuerySpec` (its JSONL wire line) and its answer on the
+disk backend.  Regenerate after an intentional language or engine
+change with::
+
+    PYTHONPATH=src:. python tests/qlang/test_golden.py regenerate
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet
+from repro.engine.spec import QuerySpec
+from repro.qlang import compile_text
+from tests.conftest import build_random_graph
+
+GOLDENS = Path(__file__).with_name("goldens.jsonl")
+
+
+def golden_database() -> GraphDatabase:
+    """The fixed workload every golden line was recorded against."""
+    rng = random.Random(42)
+    graph = build_random_graph(rng, 40, 25)
+    nodes = rng.sample(range(40), 14)
+    db = GraphDatabase(
+        graph, NodePointSet({100 + i: node for i, node in enumerate(nodes[:8])})
+    )
+    db.attach_reference(
+        NodePointSet({200 + i: node for i, node in enumerate(nodes[8:])})
+    )
+    db.materialize(4)
+    db.materialize_reference(4)
+    return db
+
+
+#: The statements under pin -- every kind, clause, and alias.
+STATEMENTS = (
+    "SELECT * FROM knn(query=0, k=3)",
+    "SELECT * FROM knn(query=0, k=8) WHERE distance < 6.0",
+    "SELECT * FROM range_nn(query=5, k=8, radius=7.0)",
+    "SELECT * FROM rknn(query=0, k=1)",
+    "SELECT * FROM rknn(query=3, k=2, method='lazy')",
+    "SELECT * FROM rknn(query=3, k=2) WHERE distance < 5.0",
+    "SELECT * FROM bichromatic(query=0, k=1)",
+    "SELECT * FROM bichromatic(query=0, k=2) WHERE distance < 8.0",
+    "SELECT * FROM continuous(route=[0, 25, 9], k=2)",
+    "SELECT * FROM topk_influence(k=1)",
+    "SELECT * FROM topk_influence(k=2) LIMIT 3",
+    "SELECT * FROM topk_influence(k=1, weights={101: 2.5, 104: 0.5}) LIMIT 4",
+    "SELECT * FROM topk_influence(k=1, bichromatic=true) LIMIT 3",
+    "SELECT * FROM aggregate_nn(group=[0, 9, 17], k=4)",
+    "SELECT * FROM aggregate_nn(group=[0, 9, 17], k=4, agg='max')",
+    "SELECT * FROM knn(query=2, k=2);\nSELECT * FROM rknn(query=2, k=2)",
+)
+
+
+def answer_payload(result) -> dict:
+    if hasattr(result, "points"):
+        return {"points": list(result.points)}
+    return {"neighbors": [[pid, dist] for pid, dist in result.neighbors]}
+
+
+def record(db, text) -> dict:
+    specs = compile_text(text)
+    outcome = db.engine().run_batch(specs)
+    return {
+        "statement": text,
+        "specs": [json.loads(spec.to_json()) for spec in specs],
+        "answers": [answer_payload(result) for result in outcome.results],
+    }
+
+
+@pytest.fixture(scope="module")
+def db():
+    return golden_database()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    lines = GOLDENS.read_text().splitlines()
+    return {entry["statement"]: entry
+            for entry in map(json.loads, lines)}
+
+
+def test_goldens_cover_exactly_the_statement_list(goldens):
+    assert set(goldens) == set(STATEMENTS)
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_compiled_plan_matches_golden(db, goldens, text):
+    golden = goldens[text]
+    specs = compile_text(text)
+    assert [json.loads(spec.to_json()) for spec in specs] == golden["specs"]
+    # the wire line round-trips through from_payload unchanged
+    for spec in specs:
+        assert QuerySpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_answer_matches_golden(db, goldens, text):
+    golden = goldens[text]
+    outcome = db.engine().run_batch(compile_text(text))
+    assert [answer_payload(r) for r in outcome.results] == golden["answers"]
+
+
+def regenerate() -> None:
+    db = golden_database()
+    with GOLDENS.open("w") as handle:
+        for text in STATEMENTS:
+            handle.write(json.dumps(record(db, text)) + "\n")
+    print(f"wrote {len(STATEMENTS)} goldens to {GOLDENS}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if sys.argv[1:] == ["regenerate"]:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,91 @@
+"""Tokenizer units: lexeme coverage and positioned error messages."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.qlang.lexer import LexError, tokenize
+
+
+def types_and_values(text):
+    return [(t.type, t.value) for t in tokenize(text)]
+
+
+def test_keywords_are_case_insensitive():
+    for text in ("select", "SELECT", "SeLeCt"):
+        assert types_and_values(text) == [("KEYWORD", "SELECT"), ("EOF", None)]
+
+
+def test_identifiers_keep_their_spelling():
+    assert types_and_values("rKnn_2") == [("IDENT", "rKnn_2"), ("EOF", None)]
+
+
+def test_numbers_int_float_negative_exponent():
+    assert types_and_values("7 -3 2.5 -0.5 1e3 2E-2") == [
+        ("NUMBER", 7),
+        ("NUMBER", -3),
+        ("NUMBER", 2.5),
+        ("NUMBER", -0.5),
+        ("NUMBER", 1000.0),
+        ("NUMBER", 0.02),
+        ("EOF", None),
+    ]
+
+
+def test_int_stays_int_float_stays_float():
+    tokens = tokenize("4 4.0")
+    assert isinstance(tokens[0].value, int)
+    assert isinstance(tokens[1].value, float)
+
+
+def test_strings_both_quotes_and_escapes():
+    assert types_and_values("'a' \"b\" 'it\\'s' 'x\\ny'") == [
+        ("STRING", "a"),
+        ("STRING", "b"),
+        ("STRING", "it's"),
+        ("STRING", "x\ny"),
+        ("EOF", None),
+    ]
+
+
+def test_operators_longest_match_first():
+    assert types_and_values("<= <") == [
+        ("OP", "<="),
+        ("OP", "<"),
+        ("EOF", None),
+    ]
+
+
+def test_comments_run_to_end_of_line():
+    text = "select -- the whole answer\nfrom"
+    assert types_and_values(text) == [
+        ("KEYWORD", "SELECT"),
+        ("KEYWORD", "FROM"),
+        ("EOF", None),
+    ]
+
+
+def test_positions_are_one_based_lines_and_columns():
+    tokens = tokenize("select\n  knn")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(LexError, match=r"qlang syntax error at 1:1: "
+                                       r"unexpected character '@'"):
+        tokenize("@")
+
+
+def test_unterminated_string_reports_opening_position():
+    with pytest.raises(LexError, match=r"at 2:3: unterminated string"):
+        tokenize("x\n  'oops")
+
+
+def test_unsupported_escape_rejected():
+    with pytest.raises(LexError, match="unsupported escape"):
+        tokenize(r"'\q'")
+
+
+def test_lex_errors_are_query_errors():
+    with pytest.raises(QueryError):
+        tokenize("?")

@@ -1,0 +1,172 @@
+"""Parser units plus the property the formatter guarantees:
+
+    parse(format_script(script)) == script
+
+for every well-formed tree, whether or not it names a real query kind
+(kind validation belongs to the compiler).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.qlang.lexer import KEYWORDS
+from repro.qlang.parser import ParseError, parse
+from repro.qlang.qast import (
+    Arg,
+    Call,
+    Comparison,
+    MapValue,
+    Script,
+    Select,
+    format_script,
+)
+
+
+def one(text) -> Select:
+    script = parse(text)
+    assert len(script.statements) == 1
+    return script.statements[0]
+
+
+class TestGrammar:
+    def test_minimal_statement(self):
+        select = one("SELECT * FROM rknn(query=7, k=2)")
+        assert select == Select(
+            source=Call("rknn", (Arg("query", 7), Arg("k", 2))),
+            where=(),
+            limit=None,
+        )
+
+    def test_empty_argument_list(self):
+        assert one("SELECT * FROM topk_influence()").source == Call(
+            "topk_influence", ()
+        )
+
+    def test_where_and_limit_clauses(self):
+        select = one(
+            "SELECT * FROM topk_influence(k=1) WHERE distance < 4.5 LIMIT 3"
+        )
+        assert select.where == (Comparison("distance", "<", 4.5),)
+        assert select.limit == 3
+
+    def test_and_chains_predicates(self):
+        select = one("SELECT * FROM knn(query=1) "
+                     "WHERE distance < 9 AND distance <= 2")
+        assert select.where == (
+            Comparison("distance", "<", 9),
+            Comparison("distance", "<=", 2),
+        )
+
+    def test_list_map_bool_and_string_values(self):
+        select = one(
+            "select * from f(group=[1, 2], weights={3: 0.5}, "
+            "bichromatic=true, method='eager')"
+        )
+        assert select.source.args == (
+            Arg("group", (1, 2)),
+            Arg("weights", MapValue(((3, 0.5),))),
+            Arg("bichromatic", True),
+            Arg("method", "eager"),
+        )
+
+    def test_scripts_split_on_semicolons_trailing_allowed(self):
+        script = parse("SELECT * FROM a(); SELECT * FROM b() ;")
+        assert [s.source.name for s in script.statements] == ["a", "b"]
+
+    def test_parser_accepts_unknown_function_names(self):
+        # shape only -- the compiler owns kind validation
+        assert one("SELECT * FROM no_such_kind(x=1)").source.name == \
+            "no_such_kind"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        ("text", "fragment"),
+        [
+            ("FROM knn()", "expected 'SELECT'"),
+            ("SELECT k FROM knn()", "expected '\\*'"),
+            ("SELECT * knn()", "expected 'FROM'"),
+            ("SELECT * FROM 7()", "expected a query function name"),
+            ("SELECT * FROM knn", "expected '\\('"),
+            ("SELECT * FROM knn(7)", "expected an argument name"),
+            ("SELECT * FROM knn(k 2)", "expected '=' after argument name"),
+            ("SELECT * FROM knn(k=)", "expected a value"),
+            ("SELECT * FROM knn(k=1", "expected '\\)'"),
+            ("SELECT * FROM knn() WHERE 4 < 5", "expected a predicate field"),
+            ("SELECT * FROM knn() WHERE distance = 5", "expected '<' or '<='"),
+            ("SELECT * FROM knn() WHERE distance < x", "expected a numeric"),
+            ("SELECT * FROM knn() LIMIT 2.5", "expected an integer LIMIT"),
+            ("SELECT * FROM knn() SELECT", "expected ';' or end of script"),
+            ("SELECT * FROM knn(g=[1, 2)", "expected '\\]'"),
+            ("SELECT * FROM knn(w={1 2})", "expected ':' between map key"),
+        ],
+    )
+    def test_shape_errors_name_the_expectation(self, text, fragment):
+        with pytest.raises(ParseError, match=fragment):
+            parse(text)
+
+    def test_errors_carry_line_and_column(self):
+        with pytest.raises(ParseError, match=r"at 2:8: "):
+            parse("SELECT * FROM knn(k=1);\nSELECT knn")
+
+    def test_parse_errors_are_query_errors(self):
+        with pytest.raises(QueryError):
+            parse("nope")
+
+
+# -- the round-trip law -----------------------------------------------------
+
+_RESERVED = set(KEYWORDS)
+
+idents = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda word: word.upper() not in _RESERVED
+)
+numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+scalars = st.one_of(numbers, st.booleans(), st.text(max_size=12))
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3).map(tuple),
+        st.lists(st.tuples(children, children), max_size=3).map(
+            lambda pairs: MapValue(tuple(pairs))
+        ),
+    ),
+    max_leaves=6,
+)
+args = st.builds(Arg, name=idents, value=values)
+calls = st.builds(
+    Call, name=idents, args=st.lists(args, max_size=4).map(tuple)
+)
+comparisons = st.builds(
+    Comparison,
+    field=idents,
+    op=st.sampled_from(("<", "<=")),
+    value=numbers,
+)
+selects = st.builds(
+    Select,
+    source=calls,
+    where=st.lists(comparisons, max_size=2).map(tuple),
+    limit=st.one_of(st.none(), st.integers(min_value=-99, max_value=99)),
+)
+scripts = st.builds(
+    Script, statements=st.lists(selects, min_size=1, max_size=3).map(tuple)
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(scripts)
+def test_round_trip_parse_of_formatted_script(script):
+    assert parse(format_script(script)) == script
+
+
+@settings(max_examples=60, deadline=None)
+@given(scripts)
+def test_formatting_is_a_fixed_point(script):
+    text = format_script(script)
+    assert format_script(parse(text)) == text

@@ -135,6 +135,127 @@ class TestQueryBackends:
         assert "--shards" in capsys.readouterr().err
 
 
+class TestBackendGroup:
+    """The redesigned ``--backend`` option group and its deprecated
+    ``--shards`` / ``--compact`` aliases."""
+
+    def test_backend_compact(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--k", "2", "--backend", "compact"]) == 0
+        captured = capsys.readouterr()
+        assert "compact" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_backend_sharded_with_count(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--backend", "sharded", "--shard-count", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "3 shard(s)" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_compact_alias_warns_once(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--compact"]) == 0
+        err = capsys.readouterr().err
+        assert err.count("deprecated") == 1
+        assert "--backend compact" in err
+
+    def test_shards_alias_warns_once(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "2 shard(s)" in captured.out
+        assert captured.err.count("deprecated") == 1
+        assert "--backend sharded --shard-count" in captured.err
+
+    def test_shards_zero_means_unsharded(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--shards", "0"]) == 0
+        assert "unsharded" in capsys.readouterr().out
+
+    def test_alias_conflicts_with_backend(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--compact", "--backend", "disk"]) == 1
+        assert "--compact conflicts with --backend disk" in \
+            capsys.readouterr().err
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--shards", "2", "--backend", "compact"]) == 1
+        assert "--shards conflicts with --backend compact" in \
+            capsys.readouterr().err
+
+    def test_bad_shard_count_rejected(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--backend", "sharded", "--shard-count", "0"]) == 1
+        assert "--shard-count must be >= 1" in capsys.readouterr().err
+
+    def test_threshold_requires_compact_backend(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--compact-threshold", "3"]) == 1
+        assert "--compact-threshold requires the compact backend" in \
+            capsys.readouterr().err
+
+
+class TestExecuteStatements:
+    """``repro query -e``: qlang statements from the command line."""
+
+    def test_single_statement(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e",
+                     "SELECT * FROM rknn(query=5, k=2)"]) == 0
+        out = capsys.readouterr().out
+        assert "rknn(5) k=2 ->" in out
+        assert "1 statement(s)" in out
+
+    def test_statement_matches_query_flag(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "--k", "2"]) == 0
+        direct = capsys.readouterr().out.splitlines()[0]
+        answer = direct.split(" = ")[1]
+        assert main(["query", str(saved_graph), "-e",
+                     "SELECT * FROM rknn(query=5, k=2)"]) == 0
+        assert answer in capsys.readouterr().out
+
+    def test_script_prints_one_line_per_statement(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e",
+                     "SELECT * FROM knn(query=5, k=2); "
+                     "SELECT * FROM topk_influence(k=1) LIMIT 3"]) == 0
+        out = capsys.readouterr().out
+        assert "knn(5) k=2 ->" in out
+        assert "topk_influence() k=1 ->" in out
+        assert "2 statement(s)" in out
+
+    def test_statements_identical_across_backends(self, saved_graph, capsys):
+        script = ("SELECT * FROM topk_influence(k=1) LIMIT 3; "
+                  "SELECT * FROM aggregate_nn(group=[5, 9], k=2); "
+                  "SELECT * FROM rknn(query=5, k=2) WHERE distance < 6.0")
+        outputs = set()
+        for flags in (["--backend", "disk"],
+                      ["--backend", "sharded", "--shard-count", "3"],
+                      ["--backend", "compact"]):
+            assert main(["query", str(saved_graph), *flags,
+                         "-e", script]) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs.add("\n".join(lines[:-1]))  # cost line names the backend
+        assert len(outputs) == 1
+
+    def test_requires_exactly_one_input_form(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph)]) == 1
+        assert "exactly one of --query or -e" in capsys.readouterr().err
+        assert main(["query", str(saved_graph), "--query", "5",
+                     "-e", "SELECT * FROM knn(query=5)"]) == 1
+        assert "exactly one of --query or -e" in capsys.readouterr().err
+
+    def test_bad_statement_reports_position(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e", "SELECT nope"]) == 1
+        assert "qlang syntax error at 1:8" in capsys.readouterr().err
+
+    def test_unknown_function_reports_allowed_set(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e",
+                     "SELECT * FROM nope(query=1)"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown query function 'nope'" in err
+        assert "topk_influence" in err
+
+
 class TestBatch:
     @pytest.fixture
     def specs_file(self, tmp_path):
@@ -460,7 +581,7 @@ class TestCompactCompact:
                                                       capsys):
         assert main(["query", str(saved_graph), "--query", "5",
                      "--compact-threshold", "2"]) == 1
-        assert "--compact-threshold requires --compact" in \
+        assert "--compact-threshold requires the compact backend" in \
             capsys.readouterr().err
 
     def test_query_accepts_threshold_with_compact(self, saved_graph, capsys):
