@@ -10,6 +10,8 @@ I/O counters -- the wall-clock speedup itself is asserted in-run but
 never compared across machines.
 """
 
+import os
+
 from emit import emit
 
 from repro.bench.throughput import run
@@ -20,11 +22,16 @@ REPEAT = 3
 WORKERS = 4
 MIN_SPEEDUP = 2.0
 
+#: Opt-in span-level profiling: trace the cold batch and embed the
+#: breakdown in BENCH_throughput.json.  Off by default so the gated
+#: numbers never carry tracing overhead.
+PROFILE = bool(os.environ.get("REPRO_BENCH_PROFILE"))
+
 
 def test_batched_serving_beats_sequential_2x(benchmark):
     report = benchmark.pedantic(
         lambda: run(nodes=NODES, distinct=DISTINCT, repeat=REPEAT,
-                    workers=WORKERS),
+                    workers=WORKERS, profile=PROFILE),
         rounds=1, iterations=1,
     )
 
@@ -32,9 +39,7 @@ def test_batched_serving_beats_sequential_2x(benchmark):
     for line in report.summary_lines():
         print(line)
     tail = report.percentiles()
-    emit(
-        "throughput",
-        {
+    metrics = {
             "queries": report.queries,
             "distinct": report.distinct,
             "cache_hits": report.cache_hits,
@@ -45,7 +50,14 @@ def test_batched_serving_beats_sequential_2x(benchmark):
             "sequential_p95_ms": round(tail["p95_ms"], 3),
             "sequential_p99_ms": round(tail["p99_ms"], 3),
             "batched_mean_ms": round(report.batched_mean_ms, 4),
-        },
+    }
+    if report.profile is not None:
+        # span-level breakdown of the traced cold batch (never gated:
+        # it only appears on REPRO_BENCH_PROFILE runs)
+        metrics["profile"] = report.profile
+    emit(
+        "throughput",
+        metrics,
         # hits/misses/io are deterministic for the fixed workload; the
         # speedup and latency percentiles divide or sample wall-clock
         # times, so they are recorded for the archived trajectory but

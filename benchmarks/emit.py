@@ -86,8 +86,10 @@ def check(emitted_dir: Path | None = None,
 
     ``only`` restricts the comparison to the named benchmarks (for CI
     jobs that run a subset of the suite); empty means every baseline.
-    Returns the number of failures (missing results or regressed
-    metrics) and prints a line per comparison.
+    Returns the number of failures (missing results, regressed metrics,
+    or emitted results with no committed baseline -- a fresh
+    ``BENCH_*.json`` that nothing gates fails by name instead of being
+    silently skipped) and prints a line per comparison.
     """
     emitted_dir = Path(emitted_dir) if emitted_dir is not None else out_dir()
     scale = current_scale()
@@ -132,6 +134,23 @@ def check(emitted_dir: Path | None = None,
                   f"tolerance {tolerance:.0%})")
             if not ok:
                 failures += 1
+    # the reverse gap: a benchmark emitted a result but nobody committed
+    # a baseline for it, so nothing above ever compared it -- fail
+    # loudly instead of letting new benchmarks ride ungated forever
+    for fresh_path in sorted(emitted_dir.glob("BENCH_*.json")):
+        try:
+            emitted_name = json.loads(fresh_path.read_text())["benchmark"]
+        except (json.JSONDecodeError, KeyError, OSError) as exc:
+            print(f"FAIL  {fresh_path}: unreadable emitted result ({exc!r})")
+            failures += 1
+            continue
+        if only and emitted_name not in only:
+            continue
+        if emitted_name not in names:
+            print(f"FAIL  {emitted_name}: emitted {fresh_path} has no "
+                  f"committed baseline (expected "
+                  f"{BASELINE_DIR / fresh_path.name})")
+            failures += 1
     return failures
 
 

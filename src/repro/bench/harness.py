@@ -20,6 +20,7 @@ from typing import Sequence
 from repro.api import GraphDatabase
 from repro.datasets.workload import Query, data_queries
 from repro.engine.spec import QuerySpec
+from repro.obs.trace import Tracer
 from repro.storage.stats import CostModel
 
 
@@ -151,6 +152,42 @@ def run_update_workload(
     }
 
 
+def span_breakdown(trace) -> dict:
+    """Aggregate a trace into the span-level profile BENCH files carry.
+
+    ``trace`` is a :class:`~repro.obs.trace.Tracer` (or anything with
+    ``spans``).  Returns ``{"spans": {name: {"count", "total_ms"}},
+    "edges_expanded", "nodes_visited", "io"}`` -- per-span-name wall
+    clock plus the trace's counter-attribute totals, small enough to
+    embed in an emitted ``BENCH_*.json``.
+    """
+    by_name: dict[str, dict[str, float]] = {}
+    totals = {"edges_expanded": 0, "nodes_visited": 0, "io": 0}
+    for span in trace.spans:
+        entry = by_name.setdefault(span.name, {"count": 0, "total_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] = round(
+            entry["total_ms"] + span.duration * 1000.0, 3
+        )
+        for key in totals:
+            totals[key] += span.attributes.get(key, 0)
+    return {"spans": by_name, **totals}
+
+
+def profile_batch(engine, specs: Sequence[QuerySpec], workers: int = 1):
+    """Execute one traced batch; return ``(outcome, profile)``.
+
+    The opt-in profiling hook for benchmarks: runs ``specs`` through
+    ``engine`` under a fresh :class:`~repro.obs.trace.Tracer` and
+    summarizes the span tree with :func:`span_breakdown`.  Benchmarks
+    that measure untraced throughput should call this on a *separate*
+    pass -- tracing adds per-span timing overhead by design.
+    """
+    tracer = Tracer()
+    outcome = engine.run_batch(specs, workers=workers, tracer=tracer)
+    return outcome, span_breakdown(tracer)
+
+
 def latency_percentiles(latencies: Sequence[float]) -> dict[str, float]:
     """p50/p95/p99 of a latency sample, in milliseconds.
 
@@ -199,6 +236,9 @@ class ThroughputReport:
     cache_misses: int
     batch_io: int
     sequential_latencies: tuple[float, ...] = ()
+    #: Span-level breakdown of the traced cold batch (only when the
+    #: benchmark ran with profiling on; see :func:`span_breakdown`).
+    profile: dict | None = None
 
     def percentiles(self) -> dict[str, float]:
         """p50/p95/p99 of the sequential per-query latencies (ms)."""
@@ -272,6 +312,7 @@ def run_throughput_benchmark(
     db: GraphDatabase,
     specs: Sequence[QuerySpec],
     workers: int = 4,
+    profile: bool = False,
 ) -> ThroughputReport:
     """Measure sequential facade calls against warm-cache batch serving.
 
@@ -280,6 +321,11 @@ def run_throughput_benchmark(
     facade.  The engine side measures a cold-cache batch (which also
     populates the cache) and then the warm-cache batch the acceptance
     numbers quote -- both with ``workers`` worker sessions.
+
+    ``profile`` traces the cold batch and attaches its span-level
+    breakdown to the report (``REPRO_BENCH_PROFILE`` in the pytest
+    wrapper); the default run stays on the no-op tracer so the gated
+    numbers never carry tracing overhead.
     """
     engine = db.engine(cache_entries=max(1024, len(specs)))
 
@@ -308,7 +354,11 @@ def run_throughput_benchmark(
     run_sequential()  # warm the page buffer
     sequential_seconds, latencies = run_sequential()
 
-    cold = engine.run_batch(specs, workers=workers)
+    breakdown = None
+    if profile:
+        cold, breakdown = profile_batch(engine, specs, workers=workers)
+    else:
+        cold = engine.run_batch(specs, workers=workers)
     warm = engine.run_batch(specs, workers=workers)
     return ThroughputReport(
         queries=len(specs),
@@ -321,6 +371,7 @@ def run_throughput_benchmark(
         cache_misses=warm.misses,
         batch_io=warm.io,
         sequential_latencies=tuple(latencies),
+        profile=breakdown,
     )
 
 

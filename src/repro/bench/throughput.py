@@ -55,13 +55,20 @@ def run(
     method: str = "eager",
     workers: int = 4,
     seed: int = 0,
+    profile: bool = False,
 ) -> ThroughputReport:
-    """Build the default database and run the throughput comparison."""
+    """Build the default database and run the throughput comparison.
+
+    ``profile`` additionally traces the cold batch and attaches its
+    span-level breakdown as ``report.profile`` (see
+    :func:`repro.bench.harness.span_breakdown`).
+    """
     db = default_benchmark_db(nodes, density, seed=seed)
     specs = throughput_specs(
         db, distinct=distinct, repeat=repeat, k=k, method=method, seed=seed
     )
-    return run_throughput_benchmark(db, specs, workers=workers)
+    return run_throughput_benchmark(db, specs, workers=workers,
+                                    profile=profile)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -80,6 +87,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                         choices=("eager", "lazy", "eager-m", "lazy-ep"))
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile", action="store_true",
+                        help="trace the cold batch and print its "
+                        "span-level breakdown")
     args = parser.parse_args(argv)
     report = run(
         nodes=args.nodes,
@@ -90,9 +100,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         method=args.method,
         workers=args.workers,
         seed=args.seed,
+        profile=args.profile,
     )
     for line in report.summary_lines():
         print(line)
+    if report.profile is not None:
+        print("cold-batch profile (span name: count, total ms):")
+        for name, entry in sorted(report.profile["spans"].items()):
+            print(f"  {name}: {entry['count']}x, {entry['total_ms']:.3f} ms")
     return 0
 
 

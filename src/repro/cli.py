@@ -9,6 +9,8 @@ Usage (also ``python -m repro``)::
     python -m repro query sf.graph --query 3,9,12.5 --method lazy
     python -m repro query sf.graph -e "SELECT * FROM rknn(query=17, k=2)"
     python -m repro query sf.graph -e "SELECT * FROM topk_influence(k=2) LIMIT 5"
+    python -m repro query sf.graph -e "EXPLAIN SELECT * FROM rknn(query=17, k=2)"
+    python -m repro trace captured_trace.json
     python -m repro recommend sf.graph --k 2
     python -m repro report sf.graph
     python -m repro path sf.graph --source 3 --target 1200 --search alt
@@ -45,6 +47,7 @@ shared between runs.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -73,7 +76,9 @@ from repro.shard import ShardedDatabase, ShardedGraphStore
 from repro.oracle import DEFAULT_LANDMARKS as ORACLE_LANDMARKS
 from repro.oracle import STRATEGIES as ORACLE_STRATEGIES
 from repro.paths.astar import astar_path, euclidean_heuristic
-from repro.qlang import compile_text
+from repro.obs import SlowQueryLog, render_trace
+from repro.obs.slowlog import DEFAULT_THRESHOLD_MS
+from repro.qlang import compile_statements, explain_spec
 from repro.paths.bidirectional import bidirectional_search
 from repro.paths.dijkstra import shortest_path
 from repro.paths.landmarks import LandmarkIndex
@@ -316,7 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", metavar="FILE",
                        help="write HOST:PORT to FILE once accepting "
                        "connections (lets scripts wait for readiness)")
+    serve.add_argument("--log-level",
+                       choices=("debug", "info", "warning", "error"),
+                       default=None,
+                       help="emit server events (sheds, reroutes, "
+                       "compactions) through stdlib logging at this level")
+    serve.add_argument("--slow-query-log", metavar="FILE",
+                       help="append one JSON line per query slower than "
+                       "--slow-query-ms to FILE (single-process server)")
+    serve.add_argument("--slow-query-ms", type=float,
+                       default=DEFAULT_THRESHOLD_MS, metavar="MS",
+                       help="slow-query threshold in milliseconds "
+                       f"(default {DEFAULT_THRESHOLD_MS:g})")
     _add_backend_arguments(serve)
+
+    trace = commands.add_parser(
+        "trace", help="pretty-print a captured trace JSON file "
+        "as an indented span tree"
+    )
+    trace.add_argument("file",
+                       help="trace JSON: a {'spans': [...]} payload, a bare "
+                       "span list, or a serve response carrying 'trace'")
 
     shard = commands.add_parser(
         "shard", help="sharded-backend operations"
@@ -410,6 +435,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _batch(args)
         if args.command == "serve":
             return _serve(args)
+        if args.command == "trace":
+            return _trace(args)
         if args.command == "shard":
             return _shard_build(args)
         if args.command == "compact":
@@ -491,15 +518,34 @@ def _query(args: argparse.Namespace) -> int:
     graph, points = load_graph(args.graph)
     db, backend = _open_backend(args, graph, points)
     if args.execute is not None:
-        specs = compile_text(args.execute)
-        outcome = db.engine().run_batch(specs)
-        for spec, result in zip(specs, outcome.results):
-            answer = (list(result.points) if hasattr(result, "points")
-                      else list(result.neighbors))
-            print(f"{_spec_label(spec)} k={spec.k} -> {answer}")
-        print(f"cost: {len(outcome)} statement(s) in "
-              f"{outcome.elapsed_seconds:.4f} s, {outcome.io} page I/Os, "
-              f"{backend}")
+        statements = compile_statements(args.execute)
+        engine = db.engine()
+        started = time.perf_counter()
+        results: list = [None] * len(statements)
+        plain = [(position, statement.spec)
+                 for position, statement in enumerate(statements)
+                 if not statement.explain]
+        if plain:
+            outcome = engine.run_batch([spec for _, spec in plain])
+            for (position, _), result in zip(plain, outcome.results):
+                results[position] = result
+        for position, statement in enumerate(statements):
+            if statement.explain:
+                results[position] = explain_spec(engine, statement.spec)
+        elapsed = time.perf_counter() - started
+        io = 0
+        for statement, result in zip(statements, results):
+            explained = result.result if statement.explain else result
+            io += explained.io
+            answer = (list(explained.points) if hasattr(explained, "points")
+                      else list(explained.neighbors))
+            print(f"{_spec_label(statement.spec)} k={statement.spec.k} "
+                  f"-> {answer}")
+            if statement.explain:
+                print(json.dumps(result.to_payload(), indent=2,
+                                 sort_keys=True))
+        print(f"cost: {len(statements)} statement(s) in "
+              f"{elapsed:.4f} s, {io} page I/Os, {backend}")
         return 0
     location = _parse_location(args.query)
     result = db.rknn(location, args.k, method=args.method)
@@ -598,8 +644,17 @@ def _batch(args: argparse.Namespace) -> int:
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
     import contextlib
+    import logging
     import tempfile
 
+    if args.log_level is not None:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+        logging.getLogger("repro.serve").setLevel(
+            getattr(logging, args.log_level.upper())
+        )
     if args.window_ms < 0:
         raise QueryError(f"--window-ms must be >= 0, got {args.window_ms}")
     if args.max_batch < 1:
@@ -610,6 +665,20 @@ def _serve(args: argparse.Namespace) -> int:
         raise QueryError(f"--workers must be >= 1, got {args.workers}")
     if args.cache_size < 0:
         raise QueryError(f"--cache-size must be >= 0, got {args.cache_size}")
+    if args.slow_query_ms < 0:
+        raise QueryError(
+            f"--slow-query-ms must be >= 0, got {args.slow_query_ms}"
+        )
+    slow_log = None
+    if args.slow_query_log:
+        if args.workers > 1:
+            raise QueryError(
+                "--slow-query-log records from the single-process server's "
+                "engine; fleet workers run in separate processes (drop "
+                "--workers or the slow-query flags)"
+            )
+        slow_log = SlowQueryLog(args.slow_query_log,
+                                threshold_ms=args.slow_query_ms)
     backend_kind, _ = _resolve_backend(args)
     if args.workers > 1 and backend_kind != "compact":
         raise QueryError(
@@ -650,6 +719,7 @@ def _serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             workers=args.workers,
             cache_entries=args.cache_size,
+            slow_log=slow_log,
         )
 
     def ready(address: tuple[str, int]) -> None:
@@ -674,6 +744,33 @@ def _serve(args: argparse.Namespace) -> int:
                 os.unlink(args.ready_file)
         if snapshot_dir is not None:
             snapshot_dir.cleanup()
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Pretty-print a captured trace file as an indented span tree."""
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise QueryError(f"cannot read {args.file}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"{args.file} is not JSON: {exc}") from exc
+    if isinstance(payload, dict) and "trace" in payload:
+        # a saved serve response or EXPLAIN payload: unwrap its trace
+        payload = payload["trace"]
+    try:
+        lines = render_trace(payload)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise QueryError(
+            f"{args.file} does not look like a trace payload "
+            f"({{'spans': [...]}} or a span list): {exc!r}"
+        ) from exc
+    if not lines:
+        print("(empty trace)")
+        return 0
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -735,8 +832,6 @@ def _compact_build(args: argparse.Namespace) -> int:
 
 
 def _compact_compact(args: argparse.Namespace) -> int:
-    import json
-
     graph, points = load_graph(args.graph)
     if points is not None and not isinstance(points, NodePointSet):
         raise QueryError(

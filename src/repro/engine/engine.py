@@ -63,6 +63,7 @@ from repro.engine.planner import (
 )
 from repro.engine.spec import QuerySpec
 from repro.errors import QueryError
+from repro.obs.trace import NOOP_TRACER
 from repro.storage.stats import CostTracker
 
 
@@ -154,6 +155,17 @@ class QueryEngine:
         results stay keyed on ``(generation, spec)`` exactly like
         scalar ones.  ``False`` forces the scalar loop (the
         ``--no-batch-kernel`` CLI flag and A/B benchmarks use this).
+    tracer:
+        Default :class:`~repro.obs.trace.Tracer` for every batch
+        (``None`` wires in the no-op tracer: zero overhead).  A
+        per-call ``tracer=`` on :meth:`run_batch` overrides it, which
+        is how ``EXPLAIN`` traces one statement without turning
+        tracing on engine-wide.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog`; every
+        executed spec slower than its threshold is appended as one
+        JSONL record.  When unset (the default), per-spec timing is
+        skipped entirely.
     """
 
     def __init__(
@@ -165,6 +177,8 @@ class QueryEngine:
         plan: bool = True,
         shard_parallel: bool = True,
         batch_kernel: bool = True,
+        tracer=None,
+        slow_log=None,
     ):
         self.db = db
         self.cache = ResultCache(cache_entries)
@@ -172,6 +186,8 @@ class QueryEngine:
         self.plan_batches = plan
         self.shard_parallel = shard_parallel
         self.batch_kernel = batch_kernel
+        self.tracer = NOOP_TRACER if tracer is None else tracer
+        self.slow_log = slow_log
 
     @property
     def backend(self) -> str:
@@ -220,6 +236,10 @@ class QueryEngine:
         spec = resolve_method(spec, self.calibrator)
         if needs_expansion(spec):
             return self.run_batch([spec]).results[0]
+        if self.tracer.enabled or self.slow_log is not None:
+            # route through the batch pipeline so the span tree and
+            # the slow log see single queries too
+            return self.run_batch([spec]).results[0]
         generation = self.cache_stamp
         cached = self.cache.get(generation, spec.key())
         if cached is not None:
@@ -230,7 +250,8 @@ class QueryEngine:
 
     # -- batches ------------------------------------------------------------
 
-    def run_batch(self, specs: Sequence[QuerySpec], workers: int = 1) -> BatchResult:
+    def run_batch(self, specs: Sequence[QuerySpec], workers: int = 1,
+                  *, tracer=None) -> BatchResult:
         """Execute a batch of read-only queries.
 
         The batch is planned (see :mod:`repro.engine.planner`), probed
@@ -256,9 +277,28 @@ class QueryEngine:
         flat batch -- so they are planned, deduplicated, cached and
         vectorized exactly like caller-supplied primitives -- and the
         combined answers are cached under the group spec's own key.
+
+        ``tracer`` overrides the engine's default tracer for this one
+        batch (``EXPLAIN`` and the serve tier's per-request tracing
+        pass a fresh :class:`~repro.obs.trace.Tracer` here).  With the
+        default no-op tracer and no slow log, the batch runs the
+        untraced fast path unchanged.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
+        tracer = self.tracer if tracer is None else tracer
+        if not tracer.enabled:
+            return self._run_batch(specs, workers, NOOP_TRACER)
+        with tracer.span("engine.run_batch", backend=self.backend,
+                         specs=len(specs), workers=workers) as root:
+            outcome = self._run_batch(specs, workers, tracer)
+            root.set(hits=outcome.hits, misses=outcome.misses,
+                     executed=outcome.executed)
+        return outcome
+
+    def _run_batch(self, specs: Sequence[QuerySpec], workers: int,
+                   tracer) -> BatchResult:
+        """The batch pipeline body (see :meth:`run_batch`)."""
         start = time.perf_counter()
         admitted = [resolve_method(spec, self.calibrator) for spec in specs]
         generation = self.cache_stamp
@@ -286,30 +326,37 @@ class QueryEngine:
             )
             flat.extend(expansion.subspecs)
 
-        if self.plan_batches:
-            plan = plan_batch(self.db, flat, self.calibrator)
-        else:
-            resolved = tuple(resolve_method(s, self.calibrator) for s in flat)
-            plan = BatchPlan(resolved, tuple(range(len(resolved))))
+        with tracer.span("planner.plan_batch", specs=len(flat),
+                         planned=self.plan_batches):
+            if self.plan_batches:
+                plan = plan_batch(self.db, flat, self.calibrator)
+            else:
+                resolved = tuple(resolve_method(s, self.calibrator) for s in flat)
+                plan = BatchPlan(resolved, tuple(range(len(resolved))))
 
         flat_results: list = [None] * len(flat)
         pending: list[tuple[int, QuerySpec]] = []  # first occurrence per key
         followers: dict[tuple, list[int]] = {}  # key -> later duplicate indices
-        for index in plan.order:
-            spec = plan.specs[index]
-            key = spec.key()
-            if key in followers:
-                followers[key].append(index)
-                continue
-            cached = self.cache.get(generation, key)
-            if cached is not None:
-                flat_results[index] = _zero_cost(cached)
-                hits += 1
-                continue
-            followers[key] = []
-            pending.append((index, spec))
+        probed = hits
+        with tracer.span("cache.probe", specs=len(plan.order)) as probe:
+            for index in plan.order:
+                spec = plan.specs[index]
+                key = spec.key()
+                if key in followers:
+                    followers[key].append(index)
+                    continue
+                cached = self.cache.get(generation, key)
+                if cached is not None:
+                    flat_results[index] = _zero_cost(cached)
+                    hits += 1
+                    continue
+                followers[key] = []
+                pending.append((index, spec))
+            probe.set(hits=hits - probed, misses=len(pending))
 
-        executed = self._execute_pending(pending, workers, generation, flat_results)
+        executed = self._execute_pending(
+            pending, workers, generation, flat_results, tracer
+        )
         batch_counters = CostTracker.merged(
             flat_results[index].counters for index, _ in pending
         )
@@ -347,12 +394,13 @@ class QueryEngine:
         workers: int,
         generation: int,
         results: list,
+        tracer,
     ) -> int:
         """Run the cache misses; fill ``results``; return executed count."""
         if not pending:
             return 0
         if workers == 1 or len(pending) == 1:
-            for index, result in self._run_items(self.db, pending):
+            for index, result in self._run_items(self.db, pending, tracer):
                 results[index] = result
         else:
             # backend="sharded": whole shard buckets per worker.
@@ -363,8 +411,14 @@ class QueryEngine:
                 chunks = _shard_chunks(self.db, pending, workers)
             else:
                 chunks = _contiguous_chunks(pending, workers)
+            # worker threads have empty span stacks, so the hand-off to
+            # the batch's span tree must carry the parent id explicitly
+            parent = tracer.current_id()
             with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                futures = [pool.submit(self._run_chunk, chunk) for chunk in chunks]
+                futures = [
+                    pool.submit(self._run_chunk, chunk, tracer, parent)
+                    for chunk in chunks
+                ]
                 outcomes = [future.result() for future in futures]
             merge_shards = getattr(self.db, "merge_session_shards", None)
             for chunk_results, session in outcomes:
@@ -381,18 +435,24 @@ class QueryEngine:
             self.cache.put(generation, spec.key(), results[index])
         return len(pending)
 
-    def _run_chunk(self, chunk: list[tuple[int, QuerySpec]]) -> tuple[list, object]:
+    def _run_chunk(self, chunk: list[tuple[int, QuerySpec]], tracer,
+                   parent) -> tuple[list, object]:
         """Worker body: execute a chunk on a private read-only session.
 
-        Returns the per-query results together with the session, so
-        the caller can fold the session's shard counters back into the
-        parent database (done on the main thread; trackers are not
-        thread-safe to merge concurrently).
+        ``parent`` is the submitting thread's current span id; the
+        worker's ``engine.worker`` span attaches there so the span tree
+        stays connected across the pool hop.  Returns the per-query
+        results together with the session, so the caller can fold the
+        session's shard counters back into the parent database (done on
+        the main thread; trackers are not thread-safe to merge
+        concurrently).
         """
         session = self.db.read_clone()
-        return self._run_items(session, chunk), session
+        with tracer.span("engine.worker", parent=parent, chunk=len(chunk)):
+            return self._run_items(session, chunk, tracer), session
 
-    def _run_items(self, db, items: list[tuple[int, QuerySpec]]) -> list:
+    def _run_items(self, db, items: list[tuple[int, QuerySpec]],
+                   tracer) -> list:
         """Execute ``(index, spec)`` pairs on ``db``, vectorizing when it pays.
 
         Over a compact backend with :attr:`batch_kernel` enabled, the
@@ -403,21 +463,66 @@ class QueryEngine:
         per-spec path.  Answers are identical either way, and the
         caller's ``cache.put`` keying by ``(generation, spec.key())``
         is untouched by the dispatch.
+
+        With a live tracer or slow log attached, every executed spec
+        gets an ``execute.<kind>`` span carrying its own counter diff;
+        kernel-batched specs become marker children of one
+        ``kernel.batch_rknn`` span (the kernel span itself carries no
+        counters, so trace sums never double-count) and report the
+        pass's amortized elapsed share.
         """
         kinds = kernel_batch_kinds(db) if self.batch_kernel else ()
         batchable = [item for item in items if item[1].kind in kinds]
         outcomes: list[tuple[int, object]] = []
+        log = self.slow_log
+        observe = tracer.enabled or log is not None
         if len(batchable) >= 2:
-            answers = db.batch_rknn([spec for _, spec in batchable])
-            outcomes.extend(
-                (index, result)
-                for (index, _), result in zip(batchable, answers)
-            )
+            kernel_specs = [spec for _, spec in batchable]
+            if observe:
+                began = time.perf_counter()
+                with tracer.span("kernel.batch_rknn",
+                                 specs=len(kernel_specs)) as kernel:
+                    answers = db.batch_rknn(kernel_specs)
+                share = (time.perf_counter() - began) / len(kernel_specs)
+                for (index, spec), result in zip(batchable, answers):
+                    outcomes.append((index, result))
+                    if tracer.enabled:
+                        tracer.add(f"execute.{spec.kind}",
+                                   parent=kernel.span_id, duration=share,
+                                   via="kernel",
+                                   **_counter_attributes(result))
+                    if log is not None:
+                        log.record(spec, result, share,
+                                   backend=self.backend, via="kernel")
+            else:
+                answers = db.batch_rknn(kernel_specs)
+                outcomes.extend(
+                    (index, result)
+                    for (index, _), result in zip(batchable, answers)
+                )
             chosen = {index for index, _ in batchable}
             rest = [item for item in items if item[0] not in chosen]
         else:
             rest = items
-        outcomes.extend((index, self._execute(db, spec)) for index, spec in rest)
+        if observe:
+            sharded = getattr(db, "shard_of", None) is not None
+            for index, spec in rest:
+                began = time.perf_counter()
+                with tracer.span(f"execute.{spec.kind}") as span:
+                    result = self._execute(db, spec)
+                elapsed = time.perf_counter() - began
+                if tracer.enabled:
+                    span.set(via="scalar", **_counter_attributes(result))
+                    if sharded:
+                        span.set(shard=home_shard(db, spec.query))
+                if log is not None:
+                    log.record(spec, result, elapsed,
+                               backend=self.backend, via="scalar")
+                outcomes.append((index, result))
+        else:
+            outcomes.extend(
+                (index, self._execute(db, spec)) for index, spec in rest
+            )
         return outcomes
 
     def _execute(self, db, spec: QuerySpec):
@@ -452,6 +557,22 @@ class QueryEngine:
 def _zero_cost(result):
     """A copy of a cached result carrying an all-zero cost record."""
     return replace(result, io=0, cpu_seconds=0.0, counters=CostTracker())
+
+
+def _counter_attributes(result) -> dict:
+    """One executed result's counter diff as span attributes.
+
+    These are the per-query numbers the slow log records and the trace
+    sums: ``Tracer.attribute_total("edges_expanded")`` over a batch's
+    ``execute.*`` spans equals the batch's merged CostTracker total.
+    """
+    counters = result.counters
+    return {
+        "io": result.io,
+        "edges_expanded": counters.edges_expanded,
+        "nodes_visited": counters.nodes_visited,
+        "oracle_prunes": counters.oracle_prunes,
+    }
 
 
 def _shard_chunks(db, pending: list, workers: int) -> list[list]:

@@ -1,0 +1,46 @@
+"""Observability: tracing, metrics and the slow-query log.
+
+The package is the production-visibility layer over the paper
+reproduction -- stdlib-only, and free when switched off:
+
+* :mod:`repro.obs.trace` -- structured spans.  A :class:`Tracer`
+  records a tree of named spans (monotonic start/duration, parent id,
+  attributes such as backend, cache hits, ``edges_expanded``) across
+  the engine, the backends' execution paths and the serve tier; the
+  :data:`NOOP_TRACER` default makes every instrumentation point a
+  no-op, so an untraced query costs nothing.
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges and log-bucketed latency histograms behind the servers'
+  ``/metrics`` endpoints, rendered as JSON and as Prometheus text
+  exposition (with :func:`parse_prometheus_text` as the in-repo
+  validity check).
+* :mod:`repro.obs.slowlog` -- a threshold-gated JSONL
+  :class:`SlowQueryLog` capturing every query slower than a budget.
+
+``EXPLAIN SELECT ...`` (:mod:`repro.qlang`) is the query-level surface
+of the tracer: it returns the compiled plan plus the executed span
+tree of one statement.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import NOOP_TRACER, Span, Tracer, render_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "parse_prometheus_text",
+    "render_trace",
+]

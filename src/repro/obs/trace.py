@@ -1,0 +1,298 @@
+"""Structured spans: what one query (or batch) actually did, and where.
+
+A :class:`Tracer` collects :class:`Span` records -- name, monotonic
+start offset, duration, parent id, free-form attributes -- into one
+trace.  Spans nest through a per-thread context stack, so code deep in
+the engine can open a span without threading ids through every call;
+worker threads attach to the batch's root through an explicit
+``parent=``.  The resulting tree serializes to plain JSON
+(:meth:`Tracer.to_payload`), travels across the serve protocol and
+fleet worker pipes as a ``trace`` response field, and pretty-prints as
+an indented tree (:func:`render_trace`, the ``repro trace`` CLI).
+
+Tracing is **opt-in per call**: every instrumentation point goes
+through a tracer object, and the default :data:`NOOP_TRACER` answers
+each one with a shared do-nothing span, so a production query with
+tracing off pays a couple of attribute loads and nothing else.
+Attribute conventions used by the engine instrumentation:
+
+``execute.<kind>`` spans
+    one per query actually executed against a backend, carrying that
+    query's own counter diff (``edges_expanded``, ``nodes_visited``,
+    ``oracle_prunes``, ``io``) -- summing an attribute over a trace's
+    ``execute.*`` spans therefore equals the
+    :class:`~repro.storage.stats.CostTracker` total of the batch;
+``kernel.batch_rknn`` spans
+    one vectorized pass of the compact backend's batch kernel; its
+    per-spec children carry the counter attributes (the kernel span
+    itself does not, so nothing is double-counted);
+``engine.run_batch`` roots
+    batch size, backend, worker count, cache hit/miss totals.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One named, timed region of work inside a trace.
+
+    Attributes
+    ----------
+    span_id:
+        Trace-unique integer id (assigned by the tracer).
+    parent_id:
+        The enclosing span's id, or ``None`` for a root.
+    name:
+        Dotted span name (``engine.run_batch``, ``execute.rknn``, ...).
+    start:
+        Monotonic offset in seconds from the tracer's origin.
+    duration:
+        Wall-clock seconds the span was open (0.0 for instantaneous
+        marker spans).
+    attributes:
+        Free-form JSON-serializable key/value pairs.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "duration",
+                 "attributes")
+
+    def __init__(self, span_id: int, parent_id: int | None, name: str,
+                 start: float, duration: float = 0.0,
+                 attributes: dict | None = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attributes = dict(attributes or {})
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes; returns the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_payload(self) -> dict:
+        """The span as a plain JSON-serializable mapping."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": round(self.start * 1000.0, 6),
+            "duration_ms": round(self.duration * 1000.0, 6),
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, {self.duration * 1e3:.3f} ms)")
+
+
+class _NoopSpan:
+    """The shared do-nothing span the :data:`NOOP_TRACER` hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NoopSpan":
+        """Discard attributes (tracing is off)."""
+        return self
+
+    @property
+    def span_id(self) -> None:
+        """No id: a no-op span can never be a parent worth naming."""
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+#: Sentinel distinguishing "inherit the thread's current span" from an
+#: explicit ``parent=None`` (force a root span).
+_INHERIT = object()
+
+
+class Tracer:
+    """Collects one trace: a thread-safe list of finished spans.
+
+    The tracer keeps a per-thread stack of open spans; :meth:`span`
+    without an explicit ``parent`` nests under the thread's innermost
+    open span.  Code that hops threads (the engine's worker pool, the
+    serve executor) passes the parent id explicitly, which also seeds
+    the new thread's stack so deeper spans nest normally.
+    """
+
+    #: Real tracers record; the :class:`NoopTracer` reports ``False``
+    #: so hot paths can skip attribute computation entirely.
+    enabled = True
+
+    def __init__(self):
+        self._origin = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- context ------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_id(self) -> int | None:
+        """The innermost open span's id on this thread (``None`` at root)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, parent=_INHERIT, **attributes):
+        """Open a span around a ``with`` block.
+
+        ``parent`` defaults to the thread's current span; pass an id
+        (or ``None``) to attach explicitly -- the cross-thread hand-off
+        used by worker pools.  Yields the :class:`Span`, whose
+        :meth:`Span.set` can attach outcome attributes before the
+        block closes.
+        """
+        parent_id = self.current_id() if parent is _INHERIT else parent
+        span = Span(next(self._ids), parent_id, name,
+                    time.perf_counter() - self._origin,
+                    attributes=attributes)
+        stack = self._stack()
+        stack.append(span.span_id)
+        began = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - began
+            stack.pop()
+            with self._lock:
+                self._spans.append(span)
+
+    def add(self, name: str, parent: int | None = None,
+            duration: float = 0.0, **attributes) -> Span:
+        """Record an already-finished (marker) span.
+
+        Used for per-item accounting inside an aggregate operation --
+        e.g. one marker per query served by a vectorized kernel pass,
+        each carrying its own counter share under the kernel's span.
+        """
+        span = Span(next(self._ids), parent, name,
+                    time.perf_counter() - self._origin,
+                    duration=duration, attributes=attributes)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # -- output -------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def to_payload(self) -> dict:
+        """The whole trace as a JSON-serializable ``{"spans": [...]}``.
+
+        This is the wire form carried by serve responses (the ``trace``
+        field) and by ``EXPLAIN`` output; :func:`render_trace` turns it
+        back into an indented tree.
+        """
+        return {"spans": [span.to_payload() for span in self.spans]}
+
+    def attribute_total(self, key: str) -> float:
+        """Sum attribute ``key`` over every span carrying it.
+
+        The trace-side form of a :class:`~repro.storage.stats.CostTracker`
+        total: only leaf ``execute.*`` spans carry counter attributes,
+        so the sum never double-counts aggregate spans.
+        """
+        return sum(span.attributes.get(key, 0) for span in self.spans)
+
+
+class NoopTracer:
+    """The do-nothing tracer wired in by default everywhere.
+
+    Every method returns immediately with shared constants; the
+    instrumented hot paths additionally check :attr:`enabled` before
+    computing attributes, so tracing-off costs no allocations.
+    """
+
+    enabled = False
+
+    def current_id(self) -> None:
+        """Always ``None``: nothing records, nothing nests."""
+        return None
+
+    def span(self, name: str, parent=_INHERIT, **attributes) -> _NoopSpan:
+        """The shared no-op context manager."""
+        return _NOOP_SPAN
+
+    def add(self, name: str, parent: int | None = None,
+            duration: float = 0.0, **attributes) -> _NoopSpan:
+        """Discard the marker."""
+        return _NOOP_SPAN
+
+    @property
+    def spans(self) -> tuple:
+        """Always empty."""
+        return ()
+
+    def to_payload(self) -> dict:
+        """An empty trace."""
+        return {"spans": []}
+
+
+#: The process-wide default tracer: tracing off.
+NOOP_TRACER = NoopTracer()
+
+
+def render_trace(trace) -> list[str]:
+    """Pretty-print a trace payload as indented span-tree lines.
+
+    Accepts a :class:`Tracer`, a ``{"spans": [...]}`` payload, or a
+    bare span list; children sort by start offset.  This is the
+    ``repro trace`` CLI's formatter::
+
+        engine.run_batch 1.84 ms  backend=compact specs=1
+          execute.rknn 1.71 ms  edges_expanded=42 io=3
+    """
+    if hasattr(trace, "to_payload"):
+        trace = trace.to_payload()
+    spans = trace.get("spans", trace) if isinstance(trace, dict) else trace
+    children: dict[object, list[dict]] = {}
+    known = {span["span_id"] for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent not in known:
+            parent = None  # orphaned (e.g. a filtered sub-trace): treat as root
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span.get("start_ms", 0.0),
+                                        span["span_id"]))
+    lines: list[str] = []
+
+    def walk(parent, depth: int) -> None:
+        for span in children.get(parent, ()):
+            attributes = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(span.get("attributes", {}).items())
+            )
+            line = (f"{'  ' * depth}{span['name']} "
+                    f"{span.get('duration_ms', 0.0):.3f} ms")
+            lines.append(f"{line}  {attributes}" if attributes else line)
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return lines

@@ -22,10 +22,23 @@ The package is deliberately small and dependency-free:
 Statements compile to specs; specs run anywhere a spec runs today: the
 engine, the ``repro batch`` / ``repro query -e`` CLI, and the serve
 protocol's ``query`` op (pass ``statement`` instead of spec fields).
+``EXPLAIN SELECT ...`` statements additionally answer with the
+compiled plan and the executed span tree (:class:`ExplainResult`).
 """
 
-from repro.qlang.api import execute
-from repro.qlang.compiler import CompileError, compile_statement, compile_text
+from repro.qlang.api import (
+    ExplainResult,
+    build_plan,
+    execute,
+    explain_spec,
+)
+from repro.qlang.compiler import (
+    CompileError,
+    Statement,
+    compile_statement,
+    compile_statements,
+    compile_text,
+)
 from repro.qlang.parser import ParseError, parse
 from repro.qlang.qast import (
     Arg,
@@ -43,13 +56,18 @@ __all__ = [
     "Call",
     "Comparison",
     "CompileError",
+    "ExplainResult",
     "MapValue",
     "ParseError",
     "Script",
     "Select",
+    "Statement",
+    "build_plan",
     "compile_statement",
+    "compile_statements",
     "compile_text",
     "execute",
+    "explain_spec",
     "format_script",
     "format_statement",
     "parse",

@@ -12,6 +12,8 @@ same planner/cache/kernel pipeline as hand-built specs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.engine.spec import QuerySpec
 from repro.errors import QueryError
 from repro.qlang.parser import parse
@@ -33,6 +35,20 @@ SOURCES = {
 
 class CompileError(QueryError):
     """A well-formed statement the engine has no meaning for."""
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One compiled statement: the lowered spec plus execution mode.
+
+    ``explain`` carries the ``EXPLAIN`` prefix through compilation --
+    the spec is identical either way, but an explain statement answers
+    with plan + trace (:func:`repro.qlang.api.explain_spec`) instead of
+    the bare result.
+    """
+
+    spec: QuerySpec
+    explain: bool = False
 
 
 def compile_statement(select: Select) -> QuerySpec:
@@ -134,5 +150,22 @@ def compile_script(script: Script) -> list[QuerySpec]:
 
 
 def compile_text(text: str) -> list[QuerySpec]:
-    """Parse and compile qlang source into executable specs."""
+    """Parse and compile qlang source into executable specs.
+
+    ``EXPLAIN`` prefixes are dropped at this level -- callers that act
+    on them use :func:`compile_statements` instead.
+    """
     return compile_script(parse(text))
+
+
+def compile_statements(text: str) -> list[Statement]:
+    """Parse and compile qlang source, keeping each ``EXPLAIN`` flag.
+
+    The mode-aware sibling of :func:`compile_text`, used by
+    :func:`repro.qlang.api.execute`, the CLI and the serve protocol to
+    route explain statements through the traced path.
+    """
+    return [
+        Statement(spec=compile_statement(select), explain=select.explain)
+        for select in parse(text).statements
+    ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.errors import QueryError
 
 #: Reserved words (matched case-insensitively, stored upper-case).
-KEYWORDS = ("SELECT", "FROM", "WHERE", "AND", "LIMIT")
+KEYWORDS = ("EXPLAIN", "SELECT", "FROM", "WHERE", "AND", "LIMIT")
 
 #: Multi-character operators, longest first so ``<=`` wins over ``<``.
 _OPERATORS = ("<=", "<")

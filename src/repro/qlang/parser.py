@@ -3,7 +3,8 @@
 Grammar (keywords case-insensitive)::
 
     script      := statement (';' statement)* ';'?
-    statement   := SELECT '*' FROM call [WHERE predicates] [LIMIT int]
+    statement   := [EXPLAIN] SELECT '*' FROM call
+                   [WHERE predicates] [LIMIT int]
     call        := IDENT '(' [arg (',' arg)*] ')'
     arg         := IDENT '=' value
     predicates  := comparison (AND comparison)*
@@ -93,7 +94,8 @@ class _Parser:
         return Script(tuple(statements))
 
     def statement(self) -> Select:
-        """``SELECT '*' FROM call [WHERE ...] [LIMIT int]``."""
+        """``[EXPLAIN] SELECT '*' FROM call [WHERE ...] [LIMIT int]``."""
+        explain = self.accept("KEYWORD", "EXPLAIN") is not None
         self.expect("KEYWORD", "SELECT", "'SELECT'")
         self.expect("PUNCT", "*", "'*' (qlang selects whole answers)")
         self.expect("KEYWORD", "FROM", "'FROM'")
@@ -111,7 +113,8 @@ class _Parser:
                 raise self.error("expected an integer LIMIT")
             self.advance()
             limit = token.value
-        return Select(source=source, where=where, limit=limit)
+        return Select(source=source, where=where, limit=limit,
+                      explain=explain)
 
     def call(self) -> Call:
         """``IDENT '(' [arg (',' arg)*] ')'``."""

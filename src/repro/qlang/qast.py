@@ -59,11 +59,17 @@ class Comparison:
 
 @dataclass(frozen=True)
 class Select:
-    """One ``SELECT * FROM call [WHERE ...] [LIMIT n]`` statement."""
+    """One ``[EXPLAIN] SELECT * FROM call [WHERE ...] [LIMIT n]`` statement.
+
+    ``explain`` marks an ``EXPLAIN``-prefixed statement: it compiles to
+    the same spec, but executes traced and answers with the compiled
+    plan plus the span tree instead of the bare result.
+    """
 
     source: Call
     where: tuple[Comparison, ...] = ()
     limit: int | None = None
+    explain: bool = False
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,8 @@ def format_statement(select: Select) -> str:
         f"{arg.name}={format_value(arg.value)}" for arg in select.source.args
     )
     text = f"SELECT * FROM {select.source.name}({args})"
+    if select.explain:
+        text = "EXPLAIN " + text
     if select.where:
         predicates = " AND ".join(
             f"{cmp.field} {cmp.op} {format_value(cmp.value)}"

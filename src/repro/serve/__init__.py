@@ -23,7 +23,7 @@ Start one from the command line with ``repro serve`` (see
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher, QueueFull
-from repro.serve.client import ServeClient, http_get, replay
+from repro.serve.client import ServeClient, http_get, http_get_text, replay
 from repro.serve.fleet import FleetServer, WorkerDied, fleet_in_thread
 from repro.serve.server import (
     DEFAULT_MAX_BATCH,
@@ -52,6 +52,7 @@ __all__ = [
     "WorkerDied",
     "fleet_in_thread",
     "http_get",
+    "http_get_text",
     "replay",
     "serve_in_thread",
 ]

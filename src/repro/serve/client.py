@@ -165,8 +165,14 @@ class ServeClient:
         self.close()
 
 
-def http_get(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
-    """Fetch ``/metrics`` or ``/healthz`` over plain HTTP."""
+def http_get_text(host: str, port: int, path: str,
+                  timeout: float = 10.0) -> str:
+    """Fetch one HTTP path and return the raw response body.
+
+    The text form behind :func:`http_get`, also used directly for the
+    Prometheus exposition at ``/metrics?format=prometheus`` (which is
+    not JSON).
+    """
     with socket.create_connection((host, port), timeout=timeout) as sock:
         sock.sendall(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
                      f"Connection: close\r\n\r\n".encode("latin-1"))
@@ -181,7 +187,12 @@ def http_get(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
     status = header.split(b"\r\n", 1)[0].decode("latin-1")
     if " 200 " not in f"{status} ":
         raise ConnectionError(f"HTTP request failed: {status}")
-    return json.loads(body.decode("utf-8"))
+    return body.decode("utf-8")
+
+
+def http_get(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
+    """Fetch ``/metrics`` or ``/healthz`` over plain HTTP (JSON body)."""
+    return json.loads(http_get_text(host, port, path, timeout=timeout))
 
 
 def replay(lines: Iterable[str], host: str, port: int,

@@ -45,13 +45,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import multiprocessing
 import tempfile
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.errors import QueryError, ReproError
+from repro.obs.metrics import MetricsRegistry
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher
 from repro.serve.server import (
@@ -61,6 +64,10 @@ from repro.serve.server import (
     ConnectionServer,
     ServerHandle,
 )
+
+#: The fleet router's logger (a child of ``repro.serve``, so the CLI's
+#: ``--log-level`` flag covers both serving modes).
+logger = logging.getLogger("repro.serve.fleet")
 
 #: Seconds the router waits for a worker to load its snapshot and
 #: report ready (spawned interpreters pay an import, so be generous).
@@ -84,8 +91,33 @@ def _dispatch(db, engine, config: dict, request: dict) -> dict:
     if kind == "batch":
         generation = db.generation
         stamp = db.stamp
+        specs = request["specs"]
+        if request.get("trace"):
+            # traced/EXPLAIN batches run under a worker-local tracer;
+            # the span tree rides home over the pipe in each body
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+            outcome = engine.run_batch(
+                specs, workers=config.get("engine_workers", 1),
+                tracer=tracer,
+            )
+            bodies = [
+                protocol.result_payload(result, generation, stamp)
+                for result in outcome.results
+            ]
+            trace_payload = tracer.to_payload()
+            for body in bodies:
+                body["trace"] = trace_payload
+            if request.get("explain"):
+                from repro.qlang.api import build_plan
+
+                for body, spec in zip(bodies, specs):
+                    body["explain"] = True
+                    body["plan"] = build_plan(engine, spec)
+            return {"kind": "bodies", "bodies": bodies}
         outcome = engine.run_batch(
-            request["specs"], workers=config.get("engine_workers", 1)
+            specs, workers=config.get("engine_workers", 1)
         )
         return {
             "kind": "bodies",
@@ -302,6 +334,58 @@ class FleetServer(ConnectionServer):
         self.mutations_applied = 0
         self.compactions = 0
         self.reroutes = 0
+        self.registry = self._build_registry()
+
+    def _build_registry(self) -> MetricsRegistry:
+        """Wire the router's observables into one metrics registry.
+
+        Everything is callback-backed over the router's own state (the
+        plain attributes the tests and benchmarks read); the admission
+        callbacks sum across the per-worker batchers at render time,
+        so the registry stays correct as workers die.  The latency
+        histogram (round-trip seconds per worker batch, pipe included)
+        is the only owned series.
+        """
+        registry = MetricsRegistry()
+        registry.counter("queries_served", "Queries answered",
+                         fn=lambda: self.queries_served)
+        registry.counter("mutations_applied", "Point mutations applied",
+                         fn=lambda: self.mutations_applied)
+        registry.counter("compactions", "Delta-log folds",
+                         fn=lambda: self.compactions)
+        registry.counter("errors", "Requests answered with an error",
+                         fn=lambda: self.errors)
+        registry.counter("reroutes", "Queries rerouted off dead workers",
+                         fn=lambda: self.reroutes)
+        registry.counter(
+            "worker_deaths", "Worker processes lost",
+            fn=lambda: sum(1 for w in self._workers if not w.alive),
+        )
+        for key in ("admitted", "shed", "batches", "coalesced"):
+            registry.counter(
+                f"admission_{key}", f"Admission control: {key}",
+                fn=(lambda name: lambda: sum(
+                    getattr(b.stats, name) for b in self._batchers
+                ))(key),
+            )
+        registry.gauge("workers", "Configured worker processes",
+                       fn=lambda: self.num_workers)
+        registry.gauge(
+            "live_workers", "Workers currently answering",
+            fn=lambda: sum(1 for w in self._workers if w.alive),
+        )
+        registry.gauge("generation", "Fleet-wide update generation",
+                       fn=lambda: self._generation)
+        registry.gauge("base_generation", "Overlay base generation",
+                       fn=lambda: self._stamp[0])
+        registry.gauge("delta_epoch", "Overlay delta epoch",
+                       fn=lambda: self._stamp[1])
+        registry.gauge("queue_depth", "Summed admission queue depth",
+                       fn=lambda: sum(b.depth for b in self._batchers))
+        self.latency = registry.histogram(
+            "batch_seconds", "Worker batch round-trip latency (seconds)"
+        )
+        return registry
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -384,16 +468,34 @@ class FleetServer(ConnectionServer):
         """Admit a query into its home worker's batcher.
 
         A dead home worker reroutes at admission; with no live worker
-        the request is refused outright (clean error, no hang).
+        the request is refused outright (clean error, no hang).  A
+        ``trace``-flagged (or ``EXPLAIN``) request bypasses the batcher
+        and ships to its worker as a dedicated single-spec batch, so
+        the returned span tree covers exactly that request.
         """
-        spec = protocol.request_spec(payload)
+        spec, trace, explain = protocol.request_query(payload)
         home = self._worker_of(spec)
         target = home if self._workers[home].alive else self._next_live(home)
         if target is None:
             raise ReproError("no live workers in the fleet")
         if target != home:
             self.reroutes += 1
+            logger.warning(
+                "rerouted query at admission: worker %d is dead, "
+                "using worker %d", home, target,
+            )
+        if trace:
+            return asyncio.get_running_loop().create_task(
+                self._run_traced(target, spec, explain)
+            )
         return self._batchers[target].admit(spec)
+
+    async def _run_traced(self, index: int, spec, explain: bool) -> dict:
+        """One traced spec as its own worker batch; return its body."""
+        bodies = await self._run_worker_batch(
+            index, [spec], trace=True, explain=explain
+        )
+        return bodies[0]
 
     def _runner_for(self, index: int):
         """The batch runner bound to worker ``index``'s pipe."""
@@ -403,7 +505,8 @@ class FleetServer(ConnectionServer):
 
         return run
 
-    async def _run_worker_batch(self, index: int, specs):
+    async def _run_worker_batch(self, index: int, specs, *,
+                                trace: bool = False, explain: bool = False):
         """Ship one coalesced batch to a worker; reroute on death.
 
         The reply's bodies each carry the stamp the worker captured
@@ -414,6 +517,10 @@ class FleetServer(ConnectionServer):
         any of them answers identically).
         """
         request = {"kind": "batch", "specs": list(specs)}
+        if trace:
+            request["trace"] = True
+            request["explain"] = explain
+        began = time.perf_counter()
         try:
             reply = await self._workers[index].call(request)
         except WorkerDied:
@@ -421,10 +528,15 @@ class FleetServer(ConnectionServer):
             if target is None:
                 raise ReproError("no live workers to run the batch") from None
             self.reroutes += len(specs)
+            logger.warning(
+                "worker %d died mid-batch; rerouting %d queries to "
+                "worker %d", index, len(specs), target,
+            )
             reply = await self._workers[target].call(request)
         if reply.get("kind") == "error":
             raise ReproError(reply["message"])
         self.queries_served += len(specs)
+        self.latency.observe(time.perf_counter() - began)
         return reply["bodies"]
 
     # -- fleet-wide mutations -----------------------------------------------
@@ -449,6 +561,10 @@ class FleetServer(ConnectionServer):
                 try:
                     replies.append(await worker.call(request))
                 except WorkerDied:
+                    logger.warning(
+                        "worker %d died during %s broadcast; dropping it "
+                        "from the fleet", worker.index, request["kind"],
+                    )
                     continue
             if not replies:
                 raise ReproError("no live workers in the fleet")
@@ -492,6 +608,10 @@ class FleetServer(ConnectionServer):
         """Broadcast the fold; every worker bumps to the same new base."""
         reply = await self._broadcast({"kind": "compact"})
         self.compactions += 1
+        logger.info(
+            "fleet compacted %d folded operations; new stamp (%d, %d)",
+            reply["folded"], self._stamp[0], self._stamp[1],
+        )
         return {
             "status": "ok",
             "op": "compact",
@@ -535,7 +655,12 @@ class FleetServer(ConnectionServer):
             "errors": self.errors,
             "subscriptions": 0,
             "admission": admission,
+            "latency": self.latency.to_dict(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the registry (loop-thread only)."""
+        return self.registry.render_prometheus()
 
     def _health(self) -> dict:
         live = sum(1 for worker in self._workers if worker.alive)

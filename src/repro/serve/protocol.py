@@ -8,7 +8,11 @@ Every request is an object with an ``op`` field:
     mapping (``kind``, ``query`` / ``route`` / ``group``, ``k``,
     ``method``, ``radius``, ``exclude``, ...), or a single qlang
     ``statement`` string compiled server-side; the response carries
-    the answer and the update generation it was computed at;
+    the answer and the update generation it was computed at.  A
+    truthy ``trace`` envelope field (or an ``EXPLAIN``-prefixed
+    statement) makes the response additionally carry the executed
+    span tree as ``trace`` (and, for ``EXPLAIN``, the compiled plan
+    as ``plan``) -- see :mod:`repro.obs.trace`;
 ``insert`` / ``delete``
     point mutations (``pid`` plus ``location`` for inserts); the
     response carries the *new* generation;
@@ -52,7 +56,7 @@ OPS = ("query", "insert", "delete", "compact", "subscribe", "metrics",
        "healthz")
 
 #: Fields of a ``query`` request that are protocol envelope, not spec.
-_ENVELOPE_FIELDS = frozenset({"op", "id"})
+_ENVELOPE_FIELDS = frozenset({"op", "id", "trace"})
 
 
 def encode(payload: Mapping) -> bytes:
@@ -83,17 +87,23 @@ def decode(line: bytes | str) -> dict:
     return payload
 
 
-def request_spec(payload: Mapping) -> QuerySpec:
-    """Extract the :class:`QuerySpec` from a ``query`` request.
+def request_query(payload: Mapping) -> tuple[QuerySpec, bool, bool]:
+    """Extract ``(spec, trace, explain)`` from a ``query`` request.
 
     A request may carry either raw spec fields or one qlang
     ``statement`` string (``{"op": "query", "statement": "SELECT * FROM
     rknn(query=7, k=2)"}``), which is compiled through
-    :func:`repro.qlang.compiler.compile_text` -- mixing the two forms
-    is rejected.
+    :func:`repro.qlang.compiler.compile_statements` -- mixing the two
+    forms is rejected.
+
+    ``trace`` is the envelope's opt-in flag (``{"trace": true}``): the
+    response will carry the executed span tree.  ``explain`` is set by
+    an ``EXPLAIN``-prefixed statement and implies a trace plus the
+    compiled plan in the response.
     """
     fields = {key: value for key, value in payload.items()
               if key not in _ENVELOPE_FIELDS}
+    trace = bool(payload.get("trace"))
     statement = fields.pop("statement", None)
     if statement is not None:
         if fields:
@@ -106,16 +116,23 @@ def request_spec(payload: Mapping) -> QuerySpec:
                 f"'statement' is a qlang string, got "
                 f"{type(statement).__name__}"
             )
-        from repro.qlang import compile_text
+        from repro.qlang import compile_statements
 
-        specs = compile_text(statement)
-        if len(specs) != 1:
+        statements = compile_statements(statement)
+        if len(statements) != 1:
             raise QueryError(
                 f"a query request takes exactly one statement, "
-                f"got {len(specs)}; send one request per statement"
+                f"got {len(statements)}; send one request per statement"
             )
-        return specs[0]
-    return QuerySpec.from_payload(fields)
+        compiled = statements[0]
+        return compiled.spec, trace or compiled.explain, compiled.explain
+    return QuerySpec.from_payload(fields), trace, False
+
+
+def request_spec(payload: Mapping) -> QuerySpec:
+    """The :class:`QuerySpec` of a ``query`` request (see
+    :func:`request_query`; trace/explain envelope flags are dropped)."""
+    return request_query(payload)[0]
 
 
 def result_payload(result, generation: int,

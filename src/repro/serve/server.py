@@ -50,15 +50,22 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.planner import backend_of
 from repro.engine.spec import QuerySpec
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, QueueFull
 from repro.streams.monitor import RnnMonitor
+
+#: The serving tier's logger (``repro serve --log-level`` wires the
+#: stdlib root handler; libraries embedding the server attach their own).
+logger = logging.getLogger("repro.serve")
 
 #: Default coalescing window: 2 ms keeps tail latency low while giving
 #: concurrent arrivals time to share a batch.
@@ -255,6 +262,11 @@ class ConnectionServer:
         """Counters for the ``/metrics`` endpoint (loop-thread only)."""
         raise NotImplementedError
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the same counters (served at
+        ``GET /metrics?format=prometheus``)."""
+        raise NotImplementedError
+
     def _health(self) -> dict:
         """Body of the ``/healthz`` endpoint."""
         raise NotImplementedError
@@ -346,6 +358,7 @@ class ConnectionServer:
             try:
                 return request_id, self._admit_query(payload)
             except QueueFull as exc:
+                logger.warning("shed query (queue depth %d)", exc.depth)
                 return request_id, protocol.overloaded_payload(exc.depth)
             except ReproError as exc:
                 self.errors += 1
@@ -420,23 +433,31 @@ class ConnectionServer:
     async def _handle_http(self, first: bytes, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
         try:
-            method, path, _ = first.decode("latin-1").split(" ", 2)
+            method, target, _ = first.decode("latin-1").split(" ", 2)
         except ValueError:
-            method, path = "GET", "/"
+            method, target = "GET", "/"
         while True:  # drain the header block
             line = await reader.readline()
             if not line or line in (b"\r\n", b"\n"):
                 break
-        if path == "/metrics":
-            status, body = "200 OK", self.metrics()
-        elif path == "/healthz":
-            status, body = "200 OK", self._health()
+        path, _, query_string = target.partition("?")
+        content_type = "application/json"
+        if path == "/metrics" and "format=prometheus" in query_string.split("&"):
+            status = "200 OK"
+            content_type = "text/plain; version=0.0.4"
+            content = self.metrics_text().encode("utf-8")
         else:
-            status, body = "404 Not Found", {"error": f"unknown path {path}"}
-        content = json.dumps(body, indent=2).encode("utf-8") + b"\n"
+            if path == "/metrics":
+                status, body = "200 OK", self.metrics()
+            elif path == "/healthz":
+                status, body = "200 OK", self._health()
+            else:
+                status, body = ("404 Not Found",
+                                {"error": f"unknown path {path}"})
+            content = json.dumps(body, indent=2).encode("utf-8") + b"\n"
         writer.write(
             f"HTTP/1.1 {status}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(content)}\r\n"
             f"Connection: close\r\n\r\n".encode("latin-1")
         )
@@ -465,15 +486,21 @@ class RknnServer(ConnectionServer):
         engine spreads each batch over).
     cache_entries:
         Result-cache capacity of the server's engine.
+    slow_log:
+        Optional :class:`~repro.obs.slowlog.SlowQueryLog` attached to
+        the server's engine: every executed spec slower than the log's
+        threshold is appended as one JSONL record.
     """
 
     def __init__(self, db, *, window: float = DEFAULT_WINDOW,
                  max_batch: int = DEFAULT_MAX_BATCH,
                  max_queue: int = DEFAULT_MAX_QUEUE,
-                 workers: int = 1, cache_entries: int = 4096):
+                 workers: int = 1, cache_entries: int = 4096,
+                 slow_log=None):
         super().__init__()
         self.db = db
-        self.engine = db.engine(cache_entries=cache_entries)
+        self.engine = db.engine(cache_entries=cache_entries,
+                                slow_log=slow_log)
         self.workers = workers
         self.batcher = MicroBatcher(
             self._run_batch, window=window,
@@ -490,6 +517,70 @@ class RknnServer(ConnectionServer):
         self.mutations_applied = 0
         self.compactions = 0
         self.events_pushed = 0
+        self.registry = self._build_registry()
+
+    def _build_registry(self) -> MetricsRegistry:
+        """Wire every observable number into one metrics registry.
+
+        Pre-existing sources of truth (the plain server counters the
+        tests and benchmarks read, the batcher's admission stats, the
+        engine's cache stats, the database's tracker) join as
+        callback-backed metrics, so nothing is double-booked; the
+        latency histogram is the registry's only owned series.
+        """
+        registry = MetricsRegistry()
+        registry.counter("queries_served", "Queries answered",
+                         fn=lambda: self.queries_served)
+        registry.counter("mutations_applied", "Point mutations applied",
+                         fn=lambda: self.mutations_applied)
+        registry.counter("compactions", "Delta-log folds",
+                         fn=lambda: self.compactions)
+        registry.counter("drains", "Generation-gate reader drains",
+                         fn=lambda: self._gate.drains)
+        registry.counter("errors", "Requests answered with an error",
+                         fn=lambda: self.errors)
+        registry.counter("events_pushed", "Membership events pushed",
+                         fn=lambda: self.events_pushed)
+        stats = self.batcher.stats
+        registry.counter("admission_admitted", "Queries admitted",
+                         fn=lambda: stats.admitted)
+        registry.counter("admission_shed", "Queries shed as overloaded",
+                         fn=lambda: stats.shed)
+        registry.counter("admission_batches", "Coalesced batches executed",
+                         fn=lambda: stats.batches)
+        registry.counter("admission_coalesced", "Queries sharing a batch",
+                         fn=lambda: stats.coalesced)
+        cache = self.engine.cache_stats
+        registry.counter("cache_hits", "Result-cache hits",
+                         fn=lambda: cache.hits)
+        registry.counter("cache_misses", "Result-cache misses",
+                         fn=lambda: cache.misses)
+        registry.counter("cache_evictions", "Result-cache evictions",
+                         fn=lambda: cache.evictions)
+        registry.counter("cache_invalidations", "Result-cache invalidations",
+                         fn=lambda: cache.invalidations)
+        tracker = self.db.tracker
+        for counter in ("page_reads", "buffer_hits", "nodes_visited",
+                        "edges_expanded", "oracle_prunes"):
+            registry.counter(
+                counter, f"CostTracker {counter.replace('_', ' ')}",
+                fn=(lambda name: lambda: getattr(tracker, name))(counter),
+            )
+        registry.gauge("queue_depth", "Admission queue depth",
+                       fn=lambda: self.batcher.depth)
+        registry.gauge("generation", "Database update generation",
+                       fn=lambda: self.db.generation)
+        registry.gauge("subscriptions", "Registered standing queries",
+                       fn=lambda: len(self._subscriptions))
+        if self._overlay:
+            registry.gauge("base_generation", "Overlay base generation",
+                           fn=lambda: self.db.stamp[0])
+            registry.gauge("delta_epoch", "Overlay delta epoch",
+                           fn=lambda: self.db.stamp[1])
+        self.latency = registry.histogram(
+            "batch_seconds", "Engine batch execution latency (seconds)"
+        )
+        return registry
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -502,8 +593,62 @@ class RknnServer(ConnectionServer):
     # -- admission (the base class's query hook) ----------------------------
 
     def _admit_query(self, payload: dict):
-        """Admit a query straight into the micro-batcher (fast path)."""
-        return self.batcher.admit(protocol.request_spec(payload))
+        """Admit a query straight into the micro-batcher (fast path).
+
+        A ``trace``-flagged (or ``EXPLAIN``) request bypasses the
+        batcher and runs as its own dedicated engine batch instead, so
+        its span tree covers exactly that request -- the diagnostics
+        path, deliberately unbatched.
+        """
+        spec, trace, explain = protocol.request_query(payload)
+        if trace:
+            return asyncio.get_running_loop().create_task(
+                self._run_traced(spec, explain)
+            )
+        return self.batcher.admit(spec)
+
+    async def _run_traced(self, spec: QuerySpec, explain: bool) -> dict:
+        """Execute one spec as a dedicated traced batch; build its body.
+
+        Mirrors :meth:`_run_batch`'s snapshot discipline (overlay
+        backends capture the stamp on the executor thread; others hold
+        a read lease) and attaches the span tree -- plus, for
+        ``EXPLAIN``, the compiled plan -- to the response.
+        """
+        from repro.qlang.api import build_plan
+
+        loop = asyncio.get_running_loop()
+        tracer = Tracer()
+        if self._overlay:
+            def execute():
+                generation = self.db.generation
+                stamp = self.db.stamp
+                outcome = self.engine.run_batch(
+                    [spec], workers=self.workers, tracer=tracer
+                )
+                return outcome, generation, stamp
+
+            outcome, generation, stamp = await loop.run_in_executor(
+                self._executor, execute
+            )
+        else:
+            stamp = None
+            async with self._gate.read_lease():
+                generation = self.db.generation
+                outcome = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.engine.run_batch(
+                        [spec], workers=self.workers, tracer=tracer
+                    ),
+                )
+        self.queries_served += 1
+        self.latency.observe(outcome.elapsed_seconds)
+        body = protocol.result_payload(outcome.results[0], generation, stamp)
+        body["trace"] = tracer.to_payload()
+        if explain:
+            body["explain"] = True
+            body["plan"] = build_plan(self.engine, spec)
+        return body
 
     # -- batch execution (the batcher's runner) -----------------------------
 
@@ -530,6 +675,7 @@ class RknnServer(ConnectionServer):
                 self._executor, execute
             )
             self.queries_served += len(specs)
+            self.latency.observe(outcome.elapsed_seconds)
             return [(result, generation, stamp) for result in outcome.results]
         async with self._gate.read_lease():
             generation = self.db.generation
@@ -538,6 +684,7 @@ class RknnServer(ConnectionServer):
                 lambda: self.engine.run_batch(specs, workers=self.workers),
             )
         self.queries_served += len(specs)
+        self.latency.observe(outcome.elapsed_seconds)
         return [(result, generation) for result in outcome.results]
 
     # -- mutations and the generation swap ----------------------------------
@@ -638,6 +785,10 @@ class RknnServer(ConnectionServer):
             generation = self.db.generation
             stamp = self.db.stamp
         self.compactions += 1
+        logger.info(
+            "compacted %d folded operations; new stamp (%d, %d)",
+            outcome.affected_nodes, stamp[0], stamp[1],
+        )
         return {
             "status": "ok",
             "op": "compact",
@@ -700,11 +851,16 @@ class RknnServer(ConnectionServer):
                 "edges_expanded": tracker.edges_expanded,
                 "oracle_prunes": tracker.oracle_prunes,
             },
+            "latency": self.latency.to_dict(),
         }
         if self._overlay:
             stamp = self.db.stamp
             body["base_generation"], body["delta_epoch"] = stamp
         return body
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the registry (loop-thread only)."""
+        return self.registry.render_prometheus()
 
     def _health(self) -> dict:
         body = {

@@ -1,0 +1,99 @@
+"""The baseline gate in ``benchmarks/emit.py --check``, both directions.
+
+Runs :func:`check` in-process against a temporary emitted directory so
+the gate's failure modes -- and especially the reverse gap (an emitted
+result nobody committed a baseline for) -- stay covered by a test
+instead of only by CI behavior.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def emit_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_emit_under_test", ROOT / "benchmarks" / "emit.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+def write_result(directory: Path, name: str, metrics: dict,
+                 regression: dict | None = None,
+                 scale: str = "small") -> Path:
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({
+        "benchmark": name,
+        "scale": scale,
+        "metrics": metrics,
+        "regression": regression or {},
+    }))
+    return path
+
+
+def test_matching_result_passes(emit_module, tmp_path, capsys):
+    write_result(tmp_path, "oracle", {"io": 10})
+    failures = emit_module.check(tmp_path, only=("oracle",))
+    assert failures == 0
+
+
+def test_emitted_without_baseline_fails_by_name(emit_module, tmp_path,
+                                                capsys):
+    write_result(tmp_path, "oracle", {"io": 10})
+    write_result(tmp_path, "brand_new_bench", {"speedup": 9.9})
+    failures = emit_module.check(tmp_path)
+    out = capsys.readouterr().out
+    assert failures >= 1
+    assert "brand_new_bench" in out
+    assert "no committed baseline" in out
+    # the expected destination is spelled out so the fix is copyable
+    assert "BENCH_brand_new_bench.json" in out
+
+
+def test_unreadable_emitted_file_fails(emit_module, tmp_path, capsys):
+    (tmp_path / "BENCH_garbage.json").write_text("{not json")
+    failures = emit_module.check(tmp_path, only=("oracle",))
+    assert failures >= 1
+    assert "unreadable emitted result" in capsys.readouterr().out
+
+
+def test_only_filter_skips_foreign_emitted_files(emit_module, tmp_path):
+    # an un-baselined result outside the --only subset must not fail a
+    # CI job that intentionally runs a single benchmark
+    write_result(tmp_path, "oracle", {"io": 10})
+    write_result(tmp_path, "someone_elses_bench", {"x": 1})
+    assert emit_module.check(tmp_path, only=("oracle",)) == 0
+
+
+def test_missing_only_name_fails(emit_module, tmp_path, capsys):
+    failures = emit_module.check(tmp_path, only=("no_such_bench",))
+    assert failures >= 1
+    assert "no committed baseline by that name" in capsys.readouterr().out
+
+
+def test_regressed_metric_fails(emit_module, tmp_path, capsys, monkeypatch):
+    baseline = json.loads(
+        (ROOT / "benchmarks" / "results" / "BENCH_oracle.json").read_text())
+    # the gate only compares baselines recorded at the active scale
+    monkeypatch.setenv("REPRO_BENCH_SCALE", baseline["scale"])
+    gated, rule = next(iter(baseline["regression"].items()))
+    metrics = dict(baseline["metrics"])
+    if rule["direction"] == "higher":
+        metrics[gated] = metrics[gated] / 100.0
+    else:
+        metrics[gated] = metrics[gated] * 100.0 + 1000.0
+    write_result(tmp_path, "oracle", metrics,
+                 regression=baseline["regression"],
+                 scale=baseline["scale"])
+    failures = emit_module.check(tmp_path, only=("oracle",))
+    assert failures >= 1
+    assert f"FAIL  oracle.{gated}" in capsys.readouterr().out

@@ -7,12 +7,15 @@ import pytest
 from repro import GraphDatabase
 from repro.bench.harness import (
     latency_percentiles,
+    profile_batch,
     run_continuous_workload,
     run_throughput_benchmark,
     run_update_workload,
     run_workload,
+    span_breakdown,
     throughput_specs,
 )
+from repro.obs import Tracer
 from repro.bench.throughput import default_benchmark_db
 from repro.bench import throughput
 from repro.bench.report import format_table, save_report
@@ -111,6 +114,45 @@ class TestThroughputBenchmark:
         tail = report.percentiles()
         assert 0.0 < tail["p50_ms"] <= tail["p95_ms"] <= tail["p99_ms"]
         assert report.batched_mean_ms > 0.0
+
+    def test_profile_is_opt_in_and_covers_the_cold_batch(self, bench_db):
+        db, _ = bench_db
+        specs = throughput_specs(db, distinct=4, repeat=2, seed=1)
+        plain = run_throughput_benchmark(db, specs, workers=2)
+        assert plain.profile is None  # untraced by default
+        profiled = run_throughput_benchmark(db, specs, workers=2,
+                                            profile=True)
+        breakdown = profiled.profile
+        assert breakdown["edges_expanded"] > 0
+        assert "execute.rknn" in breakdown["spans"]
+        assert breakdown["spans"]["engine.run_batch"]["count"] == 1
+
+
+class TestProfileBatch:
+    def test_breakdown_matches_tracker_totals(self, bench_db):
+        db, _ = bench_db
+        specs = throughput_specs(db, distinct=4, repeat=1, seed=2)
+        engine = db.engine()
+        before = db.tracker.snapshot()
+        outcome, breakdown = profile_batch(engine, specs)
+        diff = db.tracker.diff(before)
+        assert len(outcome.results) == len(specs)
+        assert breakdown["edges_expanded"] == diff.edges_expanded
+        assert breakdown["nodes_visited"] == diff.nodes_visited
+        executed = breakdown["spans"]["execute.rknn"]
+        assert executed["count"] == outcome.executed
+        assert executed["total_ms"] >= 0.0
+
+    def test_span_breakdown_aggregates_by_name(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.add("leaf", duration=0.002, io=3)
+            tracer.add("leaf", duration=0.001, io=1)
+        breakdown = span_breakdown(tracer)
+        assert breakdown["spans"]["leaf"]["count"] == 2
+        assert breakdown["spans"]["leaf"]["total_ms"] == pytest.approx(
+            3.0, abs=0.01)
+        assert breakdown["io"] == 4
 
     def test_module_main_smoke(self, capsys):
         assert throughput.main([

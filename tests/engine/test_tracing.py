@@ -1,0 +1,167 @@
+"""End-to-end tracing acceptance: span sums reproduce the CostTracker.
+
+The observability contract: an EXPLAIN'd (or traced) rknn statement
+returns a span tree whose ``execute.*`` leaves carry the per-query
+counter diffs, and summing one attribute over the tree reproduces the
+database's own :class:`~repro.storage.stats.CostTracker` total for the
+same work -- on every backend, through the worker pool, and through
+the compact backend's vectorized batch kernel.
+"""
+
+import pytest
+
+from repro.api import GraphDatabase
+from repro.compact import CompactDatabase
+from repro.datasets.grid import generate_grid
+from repro.datasets.workload import place_node_points
+from repro.engine.spec import QuerySpec
+from repro.obs import NOOP_TRACER, Tracer
+from repro.points.points import NodePointSet
+from repro.qlang import explain_spec
+from repro.shard import ShardedDatabase
+
+BACKENDS = ("disk", "sharded", "compact")
+
+
+def build_db(backend: str):
+    graph = generate_grid(100, average_degree=4.0, seed=3)
+    points = place_node_points(graph, 0.1, seed=4)
+    placement = NodePointSet(dict(points.items()))
+    if backend == "sharded":
+        return ShardedDatabase(graph, placement, num_shards=4)
+    if backend == "compact":
+        return CompactDatabase(graph, placement)
+    return GraphDatabase(graph, placement)
+
+
+def span_total(trace: dict, attribute: str) -> int:
+    return sum(span["attributes"].get(attribute, 0)
+               for span in trace["spans"])
+
+
+def span_names(trace: dict) -> set[str]:
+    return {span["name"] for span in trace["spans"]}
+
+
+class TestExplainMatchesTracker:
+    """The PR acceptance criterion, across the backend matrix."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_explain_edges_sum_equals_tracker_total(self, backend):
+        db = build_db(backend)
+        engine = db.engine()
+        spec = QuerySpec(kind="rknn", query=11, k=2, method="eager")
+        before = db.tracker.snapshot()
+        explained = explain_spec(engine, spec)
+        diff = db.tracker.diff(before)
+        assert diff.edges_expanded > 0
+        assert span_total(explained.trace, "edges_expanded") == \
+            diff.edges_expanded
+        assert span_total(explained.trace, "nodes_visited") == \
+            diff.nodes_visited
+        assert explained.plan["backend"] == backend
+        assert explained.plan["spec"]["method"] == "eager"
+        assert "execute.rknn" in span_names(explained.trace)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_traced_batch_sums_across_specs(self, backend):
+        db = build_db(backend)
+        engine = db.engine()
+        tracer = Tracer()
+        specs = [QuerySpec(kind="rknn", query=node, k=2, method="eager")
+                 for node in (0, 11, 22, 33)]
+        before = db.tracker.snapshot()
+        engine.run_batch(specs, tracer=tracer)
+        diff = db.tracker.diff(before)
+        assert tracer.attribute_total("edges_expanded") == \
+            diff.edges_expanded
+        assert span_names(tracer.to_payload()) >= {
+            "engine.run_batch", "planner.plan_batch", "cache.probe"}
+
+
+class TestExecutionPaths:
+    def test_kernel_batch_leaves_carry_the_counters(self):
+        db = build_db("compact")
+        engine = db.engine()
+        tracer = Tracer()
+        specs = [QuerySpec(kind="rknn", query=node, k=2, method="eager")
+                 for node in (0, 11, 22)]
+        before = db.tracker.snapshot()
+        engine.run_batch(specs, tracer=tracer)
+        diff = db.tracker.diff(before)
+        by_name = {}
+        for span in tracer.to_payload()["spans"]:
+            by_name.setdefault(span["name"], []).append(span)
+        assert len(by_name["kernel.batch_rknn"]) == 1
+        kernel = by_name["kernel.batch_rknn"][0]
+        # the kernel span itself carries no counters -- only its
+        # execute.* marker children do, so sums never double-count
+        assert "edges_expanded" not in kernel["attributes"]
+        leaves = by_name["execute.rknn"]
+        assert len(leaves) == len(specs)
+        assert all(leaf["parent_id"] == kernel["span_id"]
+                   for leaf in leaves)
+        assert all(leaf["attributes"]["via"] == "kernel"
+                   for leaf in leaves)
+        assert sum(leaf["attributes"]["edges_expanded"]
+                   for leaf in leaves) == diff.edges_expanded
+
+    def test_worker_pool_spans_nest_under_the_batch_root(self):
+        db = build_db("disk")
+        engine = db.engine()
+        tracer = Tracer()
+        specs = [QuerySpec(kind="rknn", query=node, k=2, method="eager")
+                 for node in (0, 7, 14, 21, 28, 35)]
+        before = db.tracker.snapshot()
+        engine.run_batch(specs, workers=3, tracer=tracer)
+        diff = db.tracker.diff(before)
+        assert tracer.attribute_total("edges_expanded") == \
+            diff.edges_expanded
+        spans = tracer.to_payload()["spans"]
+        ids = {span["span_id"] for span in spans}
+        # no orphans: every execute span from a worker thread still
+        # parents into the tree
+        assert all(span["parent_id"] in ids for span in spans
+                   if span["parent_id"] is not None)
+        assert sum(span["name"] == "execute.rknn" for span in spans) == \
+            len(specs)
+
+    def test_sharded_execute_spans_name_their_shard(self):
+        db = build_db("sharded")
+        engine = db.engine()
+        tracer = Tracer()
+        specs = [QuerySpec(kind="rknn", query=node, k=2, method="eager")
+                 for node in (0, 50)]
+        engine.run_batch(specs, tracer=tracer)
+        leaves = [span for span in tracer.to_payload()["spans"]
+                  if span["name"] == "execute.rknn"]
+        assert leaves
+        assert all("shard" in leaf["attributes"] for leaf in leaves)
+
+
+class TestTracingDefaults:
+    def test_default_engine_is_noop_and_spanless(self):
+        db = build_db("disk")
+        engine = db.engine()
+        assert engine.tracer is NOOP_TRACER
+        engine.run(QuerySpec(kind="rknn", query=11, k=2, method="eager"))
+        assert NOOP_TRACER.spans == ()
+
+    def test_engine_wide_tracer_covers_single_run(self):
+        db = build_db("disk")
+        tracer = Tracer()
+        engine = db.engine(tracer=tracer)
+        engine.run(QuerySpec(kind="rknn", query=11, k=2, method="eager"))
+        assert "execute.rknn" in span_names(tracer.to_payload())
+
+    def test_cached_explain_reports_a_hit_with_no_execution(self):
+        db = build_db("disk")
+        engine = db.engine()
+        spec = QuerySpec(kind="rknn", query=11, k=2, method="eager")
+        direct = engine.run(spec)
+        explained = explain_spec(engine, spec)
+        names = span_names(explained.trace)
+        assert "execute.rknn" not in names  # cache hit: nothing ran
+        assert "cache.probe" in names
+        assert list(explained.result.points) == list(direct.points)
+        assert span_total(explained.trace, "edges_expanded") == 0

@@ -1,0 +1,158 @@
+"""MetricsRegistry / Counter / Gauge / Histogram / parser unit tests."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_owned_counter_increments(self):
+        counter = Counter("served")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_owned_counter_refuses_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("served").inc(-1)
+
+    def test_callback_counter_reads_source_and_refuses_inc(self):
+        source = {"n": 7}
+        counter = Counter("served", fn=lambda: source["n"])
+        assert counter.value == 7
+        source["n"] = 9
+        assert counter.value == 9
+        with pytest.raises(TypeError, match="callback-backed"):
+            counter.inc()
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("bad name")
+
+
+class TestGauge:
+    def test_owned_gauge_set(self):
+        gauge = Gauge("depth")
+        gauge.set(12)
+        assert gauge.value == 12
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_callback_gauge_refuses_set(self):
+        gauge = Gauge("depth", fn=lambda: 2)
+        assert gauge.value == 2
+        with pytest.raises(TypeError, match="callback-backed"):
+            gauge.set(5)
+
+
+class TestHistogram:
+    def test_observations_land_in_log_buckets(self):
+        histogram = Histogram("latency", buckets=(0.001, 0.01, 0.1))
+        histogram.observe(0.0005)
+        histogram.observe(0.05)
+        histogram.observe(5.0)  # beyond the last bound -> +Inf bucket
+        pairs = histogram.bucket_counts()
+        assert pairs[0] == (0.001, 1)
+        assert pairs[1] == (0.01, 1)   # cumulative
+        assert pairs[2] == (0.1, 2)
+        assert pairs[3] == (math.inf, 3)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.0505)
+
+    def test_quantiles_interpolate_within_buckets(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.02))
+        histogram.observe(0.015, count=100)
+        # all mass in the (0.01, 0.02] bucket: p50 lands mid-bucket
+        assert 0.01 < histogram.quantile(0.5) <= 0.02
+        assert histogram.quantile(1.0) == pytest.approx(0.02)
+
+    def test_quantile_clamps_to_last_finite_bound(self):
+        histogram = Histogram("latency", buckets=(0.01,))
+        histogram.observe(10.0)
+        assert histogram.quantile(0.99) == 0.01
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = Histogram("latency")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.to_dict()["count"] == 0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("latency").quantile(1.5)
+
+    def test_percentiles_are_ordered_and_in_ms(self):
+        histogram = Histogram("latency", buckets=(0.001, 0.01, 0.1, 1.0))
+        for value, count in ((0.002, 90), (0.05, 9), (0.5, 1)):
+            histogram.observe(value, count=count)
+        tail = histogram.percentiles()
+        assert tail["p50_ms"] <= tail["p95_ms"] <= tail["p99_ms"]
+        assert tail["p50_ms"] > 0.0
+
+
+class TestMetricsRegistry:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry(namespace="t")
+        counter = registry.counter("served", "queries answered")
+        counter.inc(3)
+        registry.gauge("depth", fn=lambda: 4)
+        registry.histogram("batch_seconds",
+                           buckets=(0.001, 0.01)).observe(0.005)
+        return registry
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("served")
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.gauge("served")
+
+    def test_to_dict_is_flat_json(self):
+        body = self.build().to_dict()
+        assert body["served"] == 3
+        assert body["depth"] == 4
+        assert body["batch_seconds"]["count"] == 1
+        assert set(body["batch_seconds"]) == {
+            "count", "sum_seconds", "p50_ms", "p95_ms", "p99_ms"}
+
+    def test_prometheus_rendering_round_trips(self):
+        registry = self.build()
+        text = registry.render_prometheus()
+        assert "# TYPE t_served_total counter" in text
+        assert "# HELP t_served_total queries answered" in text
+        assert "# TYPE t_depth gauge" in text
+        assert "# TYPE t_batch_seconds histogram" in text
+        samples = parse_prometheus_text(text)
+        assert samples["t_served_total"] == 3.0
+        assert samples["t_depth"] == 4.0
+        assert samples['t_batch_seconds_bucket{le="+Inf"}'] == 1.0
+        assert samples["t_batch_seconds_count"] == 1.0
+        assert samples["t_batch_seconds_sum"] == pytest.approx(0.005)
+
+    def test_invalid_namespace_rejected(self):
+        with pytest.raises(ValueError, match="invalid namespace"):
+            MetricsRegistry(namespace="9bad ns")
+
+
+class TestParsePrometheusText:
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text("this is { not exposition\n")
+
+    def test_non_numeric_value_raises(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("metric_name not_a_number\n")
+
+    def test_empty_document_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            parse_prometheus_text("# HELP only comments\n")
+
+    def test_labels_kept_verbatim_in_key(self):
+        samples = parse_prometheus_text('m_bucket{le="0.5"} 2\nm_count 2\n')
+        assert samples == {'m_bucket{le="0.5"}': 2.0, "m_count": 2.0}

@@ -1,0 +1,103 @@
+"""SlowQueryLog gating, JSONL entries, and engine integration."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro import GraphDatabase, NodePointSet, QuerySpec
+from repro.obs import SlowQueryLog
+
+
+def fake_result(io=3, edges=40, nodes=12, prunes=2):
+    counters = SimpleNamespace(edges_expanded=edges, nodes_visited=nodes,
+                               oracle_prunes=prunes)
+    return SimpleNamespace(io=io, counters=counters)
+
+
+def ring_db(nodes: int = 24) -> GraphDatabase:
+    edges = [(i, (i + 1) % nodes, 1.0) for i in range(nodes)]
+    points = NodePointSet({pid: node for pid, node in
+                           enumerate(range(0, nodes, 3))})
+    return GraphDatabase.from_edges(edges, points)
+
+
+class TestSlowQueryLog:
+    def test_negative_threshold_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 0"):
+            SlowQueryLog(tmp_path / "slow.jsonl", threshold_ms=-1.0)
+
+    def test_fast_queries_are_gated_out(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=50.0)
+        spec = QuerySpec(kind="rknn", query=1, k=2, method="eager")
+        written = log.record(spec, fake_result(), 0.001, backend="disk")
+        assert written is False
+        assert log.recorded == 0
+        assert not path.exists()
+
+    def test_slow_query_writes_one_jsonl_entry(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=50.0)
+        spec = QuerySpec(kind="rknn", query=7, k=3, method="lazy")
+        written = log.record(spec, fake_result(io=5, edges=90), 0.25,
+                             backend="compact", via="kernel")
+        assert written is True
+        assert log.recorded == 1
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry["kind"] == "rknn"
+        assert entry["query"] == 7
+        assert entry["k"] == 3
+        assert entry["method"] == "lazy"
+        assert entry["elapsed_ms"] == 250.0
+        assert entry["io"] == 5
+        assert entry["edges_expanded"] == 90
+        assert entry["backend"] == "compact"
+        assert entry["via"] == "kernel"
+        assert entry["ts"] > 0
+
+    def test_zero_threshold_records_everything(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=0.0)
+        spec = QuerySpec(kind="knn", query=0, k=1)
+        for _ in range(3):
+            assert log.record(spec, fake_result(), 0.0)
+        assert log.recorded == 3
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_queryless_spec_falls_back_to_its_route(self, tmp_path):
+        log = SlowQueryLog(tmp_path / "slow.jsonl", threshold_ms=0.0)
+        spec = SimpleNamespace(kind="continuous", query=None,
+                               route=(2, 3, 4), k=1, method="eager")
+        log.record(spec, fake_result(), 0.0)
+        entry = json.loads((tmp_path / "slow.jsonl").read_text())
+        assert entry["query"] == [2, 3, 4]
+
+
+class TestEngineIntegration:
+    def test_engine_records_executed_specs(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=0.0)
+        db = ring_db()
+        engine = db.engine(slow_log=log)
+        specs = [QuerySpec(kind="rknn", query=node, k=2, method="eager")
+                 for node in (0, 6, 12)]
+        engine.run_batch(specs)
+        assert log.recorded == 3
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sorted(entry["query"] for entry in entries) == [0, 6, 12]
+        assert all(entry["backend"] == engine.backend for entry in entries)
+
+    def test_cache_hits_are_not_logged(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=0.0)
+        db = ring_db()
+        engine = db.engine(slow_log=log)
+        spec = QuerySpec(kind="rknn", query=0, k=2, method="eager")
+        engine.run(spec)
+        engine.run(spec)  # cache hit: no execution, nothing to log
+        assert log.recorded == 1
+
+    def test_default_engine_has_no_slow_log(self):
+        engine = ring_db().engine()
+        assert engine.slow_log is None

@@ -1,0 +1,139 @@
+"""Tracer / Span / render_trace unit tests."""
+
+import json
+import threading
+
+from repro.obs import NOOP_TRACER, Span, Tracer, render_trace
+from repro.obs.trace import NoopTracer
+
+
+class TestSpan:
+    def test_payload_shape(self):
+        span = Span(3, 1, "execute.rknn", start=0.5, duration=0.25,
+                    attributes={"io": 4})
+        payload = span.to_payload()
+        assert payload == {
+            "span_id": 3,
+            "parent_id": 1,
+            "name": "execute.rknn",
+            "start_ms": 500.0,
+            "duration_ms": 250.0,
+            "attributes": {"io": 4},
+        }
+
+    def test_set_returns_span_and_overwrites(self):
+        span = Span(1, None, "x", 0.0)
+        assert span.set(io=1).set(io=2) is span
+        assert span.attributes == {"io": 2}
+
+
+class TestTracer:
+    def test_spans_nest_through_the_thread_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # completion order: inner closes first
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            parent = tracer.current_id()
+
+            def work():
+                with tracer.span("worker", parent=parent):
+                    with tracer.span("leaf"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["worker"].parent_id == root.span_id
+        assert by_name["leaf"].parent_id == by_name["worker"].span_id
+
+    def test_parent_none_forces_a_root(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("detached", parent=None) as detached:
+                pass
+        assert detached.parent_id is None
+
+    def test_add_records_markers_without_stack_changes(self):
+        tracer = Tracer()
+        with tracer.span("kernel") as kernel:
+            tracer.add("execute.rknn", parent=kernel.span_id,
+                       duration=0.001, io=2)
+            assert tracer.current_id() == kernel.span_id
+        marker = tracer.spans[0]
+        assert marker.name == "execute.rknn"
+        assert marker.parent_id == kernel.span_id
+        assert marker.duration == 0.001
+
+    def test_attribute_total_sums_only_carrying_spans(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            tracer.add("a", io=3)
+            tracer.add("b", io=4)
+            tracer.add("c")  # no io attribute
+        assert tracer.attribute_total("io") == 7
+
+    def test_payload_is_json_serializable(self):
+        tracer = Tracer()
+        with tracer.span("root", backend="disk"):
+            pass
+        payload = json.loads(json.dumps(tracer.to_payload()))
+        assert payload["spans"][0]["name"] == "root"
+        assert payload["spans"][0]["attributes"] == {"backend": "disk"}
+
+
+class TestNoopTracer:
+    def test_disabled_and_inert(self):
+        assert NOOP_TRACER.enabled is False
+        assert isinstance(NOOP_TRACER, NoopTracer)
+        with NOOP_TRACER.span("anything", x=1) as span:
+            span.set(io=5)
+        assert span.span_id is None
+        assert NOOP_TRACER.add("marker") is span
+        assert NOOP_TRACER.spans == ()
+        assert NOOP_TRACER.to_payload() == {"spans": []}
+        assert NOOP_TRACER.current_id() is None
+
+
+class TestRenderTrace:
+    def test_indents_children_and_sorts_by_start(self):
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "root",
+             "start_ms": 0.0, "duration_ms": 5.0, "attributes": {}},
+            {"span_id": 3, "parent_id": 1, "name": "late",
+             "start_ms": 2.0, "duration_ms": 1.0, "attributes": {}},
+            {"span_id": 2, "parent_id": 1, "name": "early",
+             "start_ms": 1.0, "duration_ms": 1.0, "attributes": {"io": 2}},
+        ]
+        lines = render_trace({"spans": spans})
+        assert lines[0].startswith("root 5.000 ms")
+        assert lines[1].startswith("  early 1.000 ms")
+        assert "io=2" in lines[1]
+        assert lines[2].startswith("  late 1.000 ms")
+
+    def test_accepts_tracer_payload_and_bare_list(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        from_tracer = render_trace(tracer)
+        from_payload = render_trace(tracer.to_payload())
+        from_list = render_trace(tracer.to_payload()["spans"])
+        assert from_tracer == from_payload == from_list
+        assert len(from_tracer) == 1
+
+    def test_orphaned_parents_render_as_roots(self):
+        spans = [{"span_id": 9, "parent_id": 404, "name": "orphan",
+                  "start_ms": 0.0, "duration_ms": 1.0, "attributes": {}}]
+        lines = render_trace(spans)
+        assert lines == ["orphan 1.000 ms"]
+
+    def test_empty_trace_renders_no_lines(self):
+        assert render_trace({"spans": []}) == []

@@ -13,8 +13,9 @@ import signal
 import pytest
 
 from repro.compact import CompactDatabase
+from repro.obs import parse_prometheus_text
 from repro.points.points import NodePointSet
-from repro.serve import ServeClient, fleet_in_thread
+from repro.serve import ServeClient, fleet_in_thread, http_get, http_get_text
 from repro.serve.fleet import FleetServer
 
 from tests.serve.conftest import a_route, build_inputs, free_nodes
@@ -133,6 +134,72 @@ class TestConformance:
             assert "fleet" in body["error"]
             # the connection survives the refusal
             assert client.healthz()["status"] == "ok"
+
+
+class TestObservability:
+    def test_http_metrics_and_healthz(self, fleet):
+        handle, _ = fleet
+        with client_of(handle) as client:
+            assert client.rknn(3, k=1)["status"] == "ok"
+        metrics = http_get(handle.host, handle.port, "/metrics")
+        assert metrics["mode"] == "fleet"
+        assert metrics["workers"] == 2
+        assert "latency" in metrics
+        assert metrics["latency"]["count"] >= 1
+        health = http_get(handle.host, handle.port, "/healthz")
+        assert health["status"] == "ok"
+        assert health["live_workers"] == 2
+
+    def test_http_prometheus_exposition_parses(self, fleet):
+        handle, _ = fleet
+        with client_of(handle) as client:
+            assert client.rknn(5, k=1)["status"] == "ok"
+        text = http_get_text(handle.host, handle.port,
+                             "/metrics?format=prometheus")
+        samples = parse_prometheus_text(text)
+        assert samples["repro_workers"] == 2.0
+        assert samples["repro_live_workers"] == 2.0
+        assert samples["repro_queries_served_total"] >= 1.0
+        assert samples["repro_worker_deaths_total"] == 0.0
+        # the latency histogram renders cumulative buckets whose +Inf
+        # bucket equals the series count
+        inf_key = 'repro_batch_seconds_bucket{le="+Inf"}'
+        assert samples[inf_key] == samples["repro_batch_seconds_count"]
+        assert samples["repro_batch_seconds_count"] >= 1.0
+
+    def test_traced_query_carries_span_tree(self, fleet, inputs):
+        handle, db = fleet
+        with client_of(handle) as client:
+            body = client.request({"op": "query", "kind": "rknn",
+                                   "query": 9, "k": 2, "method": "eager",
+                                   "trace": True})
+        assert body["status"] == "ok"
+        assert body["points"] == sorted(db.rknn(9, 2).points)
+        spans = body["trace"]["spans"]
+        names = {span["name"] for span in spans}
+        assert "engine.run_batch" in names
+        assert "execute.rknn" in names
+        # untraced queries stay trace-free (zero-overhead default)
+        with client_of(handle) as client:
+            body = client.rknn(9, k=2)
+        assert "trace" not in body
+
+    def test_explain_statement_over_the_pipe(self, fleet, inputs):
+        handle, db = fleet
+        with client_of(handle) as client:
+            # (query, k) chosen to miss the worker's result cache: a
+            # cached EXPLAIN correctly answers without execute spans
+            body = client.request({
+                "op": "query",
+                "statement": "EXPLAIN SELECT * FROM rknn(query=13, k=3)",
+            })
+        assert body["status"] == "ok"
+        assert body["explain"] is True
+        assert body["plan"]["backend"] == "compact"
+        assert body["plan"]["method"] == "eager"
+        assert body["points"] == sorted(db.rknn(13, 3).points)
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert "execute.rknn" in names
 
 
 class TestMutations:

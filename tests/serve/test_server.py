@@ -1,13 +1,15 @@
 """RknnServer: protocol surface, batching, backpressure, generation swap."""
 
+import json
 import threading
 import time
 
 import pytest
 
 from repro.api import GraphDatabase
+from repro.obs import SlowQueryLog, parse_prometheus_text
 from repro.points.points import NodePointSet
-from repro.serve import ServeClient, http_get, serve_in_thread
+from repro.serve import ServeClient, http_get, http_get_text, serve_in_thread
 from repro.serve.server import GenerationGate
 
 from tests.serve.conftest import a_route, build_db, build_inputs, free_nodes
@@ -296,6 +298,70 @@ class TestIntrospection:
         with serve_in_thread(db) as handle:
             with pytest.raises(ConnectionError, match="404"):
                 http_get(handle.host, handle.port, "/nope")
+
+
+class TestObservability:
+    def test_prometheus_exposition_parses(self, db):
+        with serve_in_thread(db) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                client.rknn(5, k=2)
+            text = http_get_text(handle.host, handle.port,
+                                 "/metrics?format=prometheus")
+        samples = parse_prometheus_text(text)
+        assert samples["repro_queries_served_total"] == 1.0
+        assert samples["repro_edges_expanded_total"] > 0.0
+        inf_key = 'repro_batch_seconds_bucket{le="+Inf"}'
+        assert samples[inf_key] == samples["repro_batch_seconds_count"]
+
+    def test_traced_query_carries_span_tree(self, db, reference):
+        with serve_in_thread(db) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                body = client.request({"op": "query", "kind": "rknn",
+                                       "query": 9, "k": 2,
+                                       "method": "eager", "trace": True})
+                plain = client.rknn(9, k=2)
+        assert body["status"] == "ok"
+        assert body["points"] == list(reference.rknn(9, 2).points)
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert {"engine.run_batch", "execute.rknn"} <= names
+        assert "trace" not in plain  # untraced requests stay trace-free
+
+    def test_explain_statement_answers_plan_and_trace(self, db, reference):
+        with serve_in_thread(db) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                body = client.request({
+                    "op": "query",
+                    "statement":
+                        "EXPLAIN SELECT * FROM rknn(query=5, k=2)",
+                })
+        assert body["status"] == "ok"
+        assert body["explain"] is True
+        assert body["plan"]["backend"] == "disk"
+        assert body["points"] == list(reference.rknn(5, 2).points)
+        names = {span["name"] for span in body["trace"]["spans"]}
+        assert "execute.rknn" in names
+
+    def test_statement_refuses_spec_fields(self, db):
+        with serve_in_thread(db) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                body = client.request({
+                    "op": "query", "kind": "rknn", "query": 5, "k": 2,
+                    "statement": "SELECT * FROM rknn(query=5, k=2)",
+                })
+        assert body["status"] == "error"
+        assert "no spec fields" in body["error"]
+
+    def test_slow_query_log_records_served_queries(self, db, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(path, threshold_ms=0.0)
+        with serve_in_thread(db, slow_log=log) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                client.rknn(5, k=2)
+        assert log.recorded == 1
+        entry = json.loads(path.read_text().splitlines()[0])
+        assert entry["kind"] == "rknn"
+        assert entry["query"] == 5
+        assert entry["backend"] == "disk"
 
 
 class TestGenerationGate:

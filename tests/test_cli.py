@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -254,6 +256,83 @@ class TestExecuteStatements:
         err = capsys.readouterr().err
         assert "unknown query function 'nope'" in err
         assert "topk_influence" in err
+
+    def test_explain_prints_answer_then_payload(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e",
+                     "EXPLAIN SELECT * FROM rknn(query=5, k=2)"]) == 0
+        out = capsys.readouterr().out
+        assert "rknn(5) k=2 ->" in out
+        payload = json.loads(out[out.index("{"):out.rindex("}") + 1])
+        assert payload["explain"] is True
+        assert payload["plan"]["backend"] == "disk"
+        names = {span["name"] for span in payload["trace"]["spans"]}
+        assert "execute.rknn" in names
+
+    def test_explain_mixes_with_plain_statements(self, saved_graph, capsys):
+        assert main(["query", str(saved_graph), "-e",
+                     "SELECT * FROM knn(query=5, k=2); "
+                     "EXPLAIN SELECT * FROM rknn(query=5, k=2)"]) == 0
+        out = capsys.readouterr().out
+        assert "knn(5) k=2 ->" in out
+        assert "2 statement(s)" in out
+        assert '"explain": true' in out
+
+
+class TestTrace:
+    """``repro trace``: pretty-print a saved span tree."""
+
+    def explain_payload(self, saved_graph, capsys) -> dict:
+        assert main(["query", str(saved_graph), "-e",
+                     "EXPLAIN SELECT * FROM rknn(query=5, k=2)"]) == 0
+        out = capsys.readouterr().out
+        return json.loads(out[out.index("{"):out.rindex("}") + 1])
+
+    def test_renders_an_indented_span_tree(self, saved_graph, tmp_path,
+                                           capsys):
+        payload = self.explain_payload(saved_graph, capsys)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload))
+        assert main(["trace", str(path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("engine.run_batch")
+        assert any(line.startswith("  ") and "execute.rknn" in line
+                   for line in lines)
+
+    def test_accepts_a_bare_trace_payload(self, saved_graph, tmp_path,
+                                          capsys):
+        payload = self.explain_payload(saved_graph, capsys)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(payload["trace"]))
+        assert main(["trace", str(path)]) == 0
+        assert "engine.run_batch" in capsys.readouterr().out
+
+    def test_empty_trace_prints_placeholder(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"spans": []}))
+        assert main(["trace", str(path)]) == 0
+        assert "(empty trace)" in capsys.readouterr().out
+
+    def test_unreadable_file_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text("{broken")
+        assert main(["trace", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["trace", str(tmp_path / "missing.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeObservabilityFlags:
+    def test_negative_slow_query_threshold_rejected(self, saved_graph,
+                                                    capsys):
+        assert main(["serve", str(saved_graph), "--slow-query-log",
+                     "slow.jsonl", "--slow-query-ms", "-5"]) == 1
+        assert "--slow-query-ms" in capsys.readouterr().err
+
+    def test_slow_query_log_refused_in_fleet_mode(self, saved_graph,
+                                                  capsys):
+        assert main(["serve", str(saved_graph), "--workers", "2",
+                     "--slow-query-log", "slow.jsonl"]) == 1
+        assert "single-process" in capsys.readouterr().err
 
 
 class TestBatch:

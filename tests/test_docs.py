@@ -1,10 +1,10 @@
 """The documentation's code must run.
 
 Extracts the fenced ``python`` blocks from README.md, the docs pages
-(``docs/architecture.md``, ``docs/algorithms.md``) and the package
-docstring example, and executes them -- one shared namespace per
-document, blocks in order -- so no published snippet can drift from
-the actual API.
+(``docs/architecture.md``, ``docs/algorithms.md``,
+``docs/observability.md``) and the package docstring example, and
+executes them -- one shared namespace per document, blocks in order --
+so no published snippet can drift from the actual API.
 """
 
 import re
@@ -72,6 +72,18 @@ class TestDocsPages:
         namespace = run_blocks(ROOT / "docs" / "algorithms.md")
         # every method agreed with the brute-force oracle along the way
         assert namespace["expected"]
+
+    def test_observability_page_executes(self):
+        namespace = run_blocks(ROOT / "docs" / "observability.md")
+        # the span tree accounted for exactly the tracker's edge diff
+        assert namespace["traced_edges"] == namespace["tracker_edges"]
+        assert namespace["traced_edges"] > 0
+        # EXPLAIN answered with plan + trace
+        assert namespace["payload"]["explain"] is True
+        # the live scrape round-tripped through the in-repo parser
+        assert namespace["server_samples"]["repro_queries_served_total"] >= 2.0
+        # the slow-query log recorded the forced-slow query
+        assert namespace["slow"].recorded == 1
 
 
 class TestPackageDocstring:
